@@ -1,0 +1,114 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are *mechanism* ablations (no model training): unit-linker
+components, the Algorithm 1 masked-LM filter, the Algorithm 2 threshold,
+and the tool engine's catalogue coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusGenerator, SemiAutomatedAnnotator
+from repro.kg import BootstrapRetriever, synthesize_kg
+from repro.linking import UnitLinker
+from repro.simulated import WolframAlphaEngine
+from repro.units import default_kb
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+def _linker_accuracy(linker, cases) -> float:
+    hits = sum(
+        1 for mention, context, expected in cases
+        if (best := linker.link_best(mention, context)) is not None
+        and best.unit_id == expected
+    )
+    return hits / len(cases)
+
+
+LINKING_CASES = (
+    ("dyne/cm", "the spring stiffness is high", "DYN-PER-CentiM"),
+    ("km", "the road is long", "KiloM"),
+    ("千克", "货物的重量", "KiloGM"),
+    ("kg", "weight of the box", "KiloGM"),
+    ("poundal", "the force applied", "POUNDAL"),
+    ("metres", "the pool length", "M"),
+    ("mAh", "phone battery capacity", "MilliA-HR"),
+    ("m/s", "the wind speed", "M-PER-SEC"),
+    ("kilometre", "distance travelled", "KiloM"),
+    ("光年", "到恒星的距离", "LY"),
+)
+
+
+def test_linker_context_and_prior_ablation(benchmark, kb):
+    """Full linker vs degraded variants (DESIGN.md ablation 1)."""
+
+    def run():
+        full = UnitLinker(kb)
+        flat_sharpness = UnitLinker(kb, mention_sharpness=1.0)
+        return (
+            _linker_accuracy(full, LINKING_CASES),
+            _linker_accuracy(flat_sharpness, LINKING_CASES),
+        )
+
+    full_acc, flat_acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert full_acc >= 0.9
+    assert full_acc >= flat_acc
+    benchmark.extra_info["full_accuracy"] = full_acc
+    benchmark.extra_info["flat_sharpness_accuracy"] = flat_acc
+
+
+def test_algorithm1_filter_ablation(benchmark, kb):
+    """Annotation accuracy with vs without the masked-LM filter."""
+
+    def run():
+        background = CorpusGenerator(kb, seed=99).generate(350)
+        corpus = CorpusGenerator(kb, seed=3).generate(250)
+        annotator = SemiAutomatedAnnotator(kb)
+        annotator.train_filter(background)
+        report = annotator.annotate(corpus)
+        return report.accuracy_before_filter, report.accuracy_after_filter
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert after >= before            # the PLM filter must not hurt
+    assert after >= 0.7               # paper quotes 82%
+    benchmark.extra_info["accuracy_before_filter"] = before
+    benchmark.extra_info["accuracy_after_filter"] = after
+
+
+def test_algorithm2_threshold_ablation(benchmark, kb):
+    """Bootstrap threshold tau sweep: stricter tau keeps fewer predicates."""
+
+    def run():
+        store = synthesize_kg(kb, seed=7)
+        kept = {}
+        for tau in (0.3, 0.5, 0.8, 1.0):
+            kept[tau] = BootstrapRetriever(kb, threshold=tau).run(store).predicates
+        return kept
+
+    kept = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert kept[1.0] <= kept[0.8] <= kept[0.5] <= kept[0.3]
+    assert {"身高", "面积", "长度"} <= kept[0.5]
+    benchmark.extra_info["kept_by_tau"] = {
+        str(tau): len(predicates) for tau, predicates in kept.items()
+    }
+
+
+def test_wolfram_coverage_ablation(benchmark, kb):
+    """Tool catalogue size: the 540-unit engine resolves fewer frequent
+    units than the full KB (the RQ4 coverage gap)."""
+
+    def run():
+        engine = WolframAlphaEngine(kb)
+        frequent = kb.top_units_by_frequency(1000)
+        covered = sum(1 for unit in frequent if engine.covers(unit.unit_id))
+        return covered, len(frequent)
+
+    covered, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert covered < total
+    assert covered == 540
+    benchmark.extra_info["coverage"] = f"{covered}/{total}"

@@ -1,0 +1,11 @@
+"""Regenerates Fig. 3 (top units by frequency)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3(run_once):
+    result = run_once(fig3)
+    assert len(result.rows) == 15
+    # Calibration: measured frequencies match the paper series exactly.
+    for _, _, measured, paper in result.rows:
+        assert abs(measured - paper) < 0.02

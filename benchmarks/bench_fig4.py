@@ -1,0 +1,11 @@
+"""Regenerates Fig. 4 (top quantity kinds and their top-five units)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4(run_once):
+    result = run_once(fig4)
+    assert len(result.rows) == 14
+    scores = [row[1] for row in result.rows]
+    assert scores == sorted(scores, reverse=True)
+    assert result.rows[0][0] == "Length"

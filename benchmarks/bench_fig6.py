@@ -1,0 +1,12 @@
+"""Regenerates Fig. 6 (accuracy vs training step per augmentation rate)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6(run_once):
+    result = run_once(fig6)
+    assert len(result.rows) >= 3
+    finals = {row[0]: row[-1] for row in result.rows}
+    # Paper finding: higher augmentation rates beat the lowest rate.
+    lowest = min(finals)
+    assert max(finals.values()) >= finals[lowest]

@@ -1,0 +1,8 @@
+"""Regenerates Table III (the eight dimension bases)."""
+
+from repro.experiments import table3
+
+
+def test_table3(run_once):
+    result = run_once(table3)
+    assert len(result.rows) == 8

@@ -1,0 +1,11 @@
+"""Regenerates Table IV (KB statistics vs UoM / WolframAlpha)."""
+
+from repro.experiments import table4
+
+
+def test_table4(run_once):
+    result = run_once(table4)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["DimUnitDB"][1] > rows["WolframAlpha"][1] > rows["UoM"][1]
+    assert rows["DimUnitDB"][1] > 1000          # paper scale: 1778 units
+    assert rows["WolframAlpha"][1] == 540

@@ -1,0 +1,14 @@
+"""Regenerates Table VI (evaluation dataset statistics)."""
+
+from repro.experiments import table6
+
+
+def test_table6(run_once):
+    result = run_once(table6)
+    rows = {row[0]: row for row in result.rows}
+    # Q- sets use more distinct units than their N- bases (the paper's
+    # point: augmentation injects unit diversity).
+    assert rows["Q-Math23k"][2] > rows["N-Math23k"][2]
+    assert rows["Q-Ape210k"][2] > rows["N-Ape210k"][2]
+    # Q- sets shift mass to higher operation buckets (unit conversions).
+    assert sum(rows["Q-Ape210k"][4:]) > sum(rows["N-Ape210k"][4:])

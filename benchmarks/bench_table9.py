@@ -1,0 +1,25 @@
+"""Regenerates Table IX (N-MWP / Q-MWP accuracy across models)."""
+
+from repro.experiments import table9
+
+
+def test_table9(run_once, benchmark):
+    result = run_once(table9)
+    rows = {row[0]: row for row in result.rows}
+    gpt4 = rows["GPT-4 (simulated)"]
+    dimperc = rows["DimPerc (ours, trained)"]
+    llama = rows["LLaMa analogue (trained)"]
+    # Q-MWP is harder than N-MWP for undimensioned models (both families).
+    assert gpt4[3] < gpt4[1]          # Q-Math23k < N-Math23k
+    assert gpt4[4] < gpt4[2]          # Q-Ape210k < N-Ape210k
+    # Within the trained family, dimension perception + augmentation must
+    # lift Q-MWP accuracy over the N-only-finetuned analogue.
+    assert dimperc[3] >= llama[3]
+    assert dimperc[4] >= llama[4]
+    # The cross-family headline (DimPerc > GPT-4+tool on Q-Ape210k) is
+    # recorded for EXPERIMENTS.md rather than asserted: at quick budgets
+    # it is stochastic.
+    tool = rows["GPT-4 + Wolfram (simulated)"]
+    benchmark.extra_info["dimperc_beats_tool_gpt4_on_q_ape"] = bool(
+        dimperc[4] >= tool[4]
+    )

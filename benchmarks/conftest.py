@@ -1,0 +1,41 @@
+"""Benchmark fixtures: run each experiment once and persist its report."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        name = result.experiment_id.lower().replace(" ", "").replace(".", "")
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(result.render() + "\n", encoding="utf-8")
+        print()
+        print(result.render())
+
+    return _save
+
+
+@pytest.fixture
+def run_once(benchmark, save_report):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(experiment_module, quick: bool = True, seed: int = 0):
+        result = benchmark.pedantic(
+            experiment_module.run,
+            kwargs={"quick": quick, "seed": seed},
+            rounds=1, iterations=1,
+        )
+        save_report(result)
+        benchmark.extra_info["rows"] = len(result.rows)
+        benchmark.extra_info["experiment"] = result.experiment_id
+        return result
+
+    return _run

@@ -1,0 +1,57 @@
+"""DimUnitKB dataset construction: Algorithms 1 and 2 end to end.
+
+Reproduces the Section IV-C pipeline on the synthetic substrates:
+
+1. synthesize a CN-DBpedia-style knowledge graph,
+2. run bootstrapping retrieval (Algorithm 2) to recover quantitative
+   triplets,
+3. generate a quantity-rich corpus and run semi-automated annotation
+   (Algorithm 1) with the masked-LM filter, reporting the annotation
+   accuracy the paper quotes (~82%).
+
+Run:  python examples/kb_construction_pipeline.py
+"""
+
+from repro.corpus import CorpusGenerator, SemiAutomatedAnnotator
+from repro.kg import BootstrapRetriever, synthesize_kg
+from repro.units import default_kb
+
+
+def main() -> None:
+    kb = default_kb()
+
+    # -- Algorithm 2: bootstrapping retrieval over the KG -------------------
+    store = synthesize_kg(kb, seed=7)
+    print(f"knowledge graph: {len(store)} triples, "
+          f"{len(store.predicates())} predicates")
+    retriever = BootstrapRetriever(kb, threshold=0.5, iterations=5)
+    result = retriever.run(store)
+    print(f"\nAlgorithm 2 kept {len(result.predicates)} predicates:")
+    print("  " + ", ".join(sorted(result.predicates)))
+    print(f"quantitative triplets retrieved: {len(result.triples)}")
+    for triple in result.triples[:4]:
+        print(f"  {triple}")
+
+    # -- Algorithm 1: semi-automated annotation ---------------------------------
+    background = CorpusGenerator(kb, seed=99).generate(400)
+    corpus = CorpusGenerator(kb, seed=3).generate(300)
+    annotator = SemiAutomatedAnnotator(kb)
+    annotator.train_filter(background)
+    report = annotator.annotate(corpus)
+    print(f"\nAlgorithm 1 over {len(corpus)} sentences:")
+    print(f"  step 1 (DimKS heuristic) annotations : {report.step1_annotations}")
+    print(f"  step 2 (masked-LM filter) kept       : {report.step2_annotations}")
+    print(f"  accuracy before filter               : "
+          f"{100 * report.accuracy_before_filter:.1f}%")
+    print(f"  accuracy after filter                : "
+          f"{100 * report.accuracy_after_filter:.1f}%  (paper: 82%)")
+    print(f"  manual-review corrections            : {report.reviewed_corrections}")
+    print(f"  final dataset sentences              : {len(report.dataset)}")
+    sample = report.dataset[0]
+    print(f"\nsample annotated sentence:\n  {sample.text}")
+    for quantity in sample.quantities:
+        print(f"    -> {quantity.value:g} {quantity.unit.unit_id}")
+
+
+if __name__ == "__main__":
+    main()

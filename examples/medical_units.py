@@ -1,0 +1,63 @@
+"""Domain walkthrough: clinical unit handling with DimKS.
+
+The paper's conclusion points at biomedicine as a downstream field for
+DimUnitKB.  This example performs routine clinical conversions and a
+dimension-law sanity check on a drug-dose calculation, plus a
+lightweight KB expansion with a hospital-specific unit (the future-work
+feature).
+
+Run:  python examples/medical_units.py
+"""
+
+from repro.core import DimKS
+from repro.core.expansion import extend_kb
+from repro.units import Quantity, default_kb
+from repro.units.schema import UnitSeed
+
+
+def main() -> None:
+    kb = default_kb()
+    dimks = DimKS(kb)
+
+    # -- lab-report conversions ------------------------------------------------
+    glucose_si = dimks.convert(126.0, "mg/L", "g/L")
+    print(f"glucose 126 mg/L = {glucose_si:g} g/L")
+    pressure = dimks.convert(120.0, "mmHg", "kPa")
+    print(f"blood pressure 120 mmHg = {pressure:.2f} kPa")
+    print(f"body temperature 98.6 °F = "
+          f"{dimks.convert(98.6, 'fahrenheit', 'celsius'):.1f} °C\n")
+
+    # -- a weight-based dose with a dimension-law check ----------------------------
+    # dose rate 15 mg per kg body weight, patient 72 kg -> total dose
+    dose_rate = Quantity(15.0, kb.get("MilliGM")) / Quantity(1.0, kb.get("KiloGM"))
+    patient = Quantity(72.0, kb.get("KiloGM"))
+    total = dose_rate * patient
+    print(f"dose = 15 mg/kg x 72 kg -> {total.in_unit(kb.get('GM')).value:.2f} g")
+    # asking for the dose in millilitres would be a unit trap:
+    report = dimks.check_unit_trap(total.dimension, "mL")
+    print(f"expressing the dose in mL is a trap: {report.is_trap}")
+    print(f"  {report.explanation}\n")
+
+    # -- infusion planning over compound units -------------------------------------
+    bag = Quantity(500.0, kb.get("MilliL"))
+    rate = Quantity(125.0, kb.get("MilliL-PER-HR"))
+    duration = bag / rate
+    print(f"500 mL at 125 mL/h runs for "
+          f"{duration.in_unit(kb.get('HR')).value:g} hours\n")
+
+    # -- lightweight expansion: a hospital-specific counting unit -------------------
+    vial = UnitSeed(
+        uid="VIAL-10ML", en="10 mL Vial", zh="10毫升药瓶", symbol="vial",
+        aliases=("vials",), keywords=("medicine", "packaging", "dose"),
+        description="Hospital stock unit: one 10 mL vial.",
+        kind="Volume", factor=1e-5, popularity=0.05, system="Medical",
+    )
+    extended = extend_kb(kb, [vial])
+    extended_dimks = DimKS(extended)
+    vials = extended_dimks.convert(0.5, "L", "vial")
+    print(f"after KB expansion: 0.5 L of solution = {vials:g} vials "
+          "(no re-finetuning needed)")
+
+
+if __name__ == "__main__":
+    main()

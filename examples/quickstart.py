@@ -1,0 +1,57 @@
+"""Quickstart: DimUnitKB, dimension algebra, conversion, unit linking.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dimension import DimensionVector
+from repro.units import Quantity, conversion_factor, default_kb
+from repro.linking import UnitLinker
+
+
+def main() -> None:
+    kb = default_kb()
+    stats = kb.statistics()
+    print(f"DimUnitKB: {stats.num_units} units, "
+          f"{stats.num_quantity_kinds} quantity kinds, "
+          f"{stats.num_dimension_vectors} dimension vectors\n")
+
+    # -- a unit record (Table II schema) -----------------------------------
+    dyn_cm = kb.get("DYN-PER-CentiM")
+    print(f"{dyn_cm.label_en} ({dyn_cm.label_zh})")
+    print(f"  symbol        : {dyn_cm.symbol}")
+    print(f"  quantity kind : {dyn_cm.quantity_kind}")
+    print(f"  DimensionVec  : {dyn_cm.dimension_vec}")
+    print(f"  conversion    : {dyn_cm.conversion_value} N/m")
+    print(f"  frequency     : {dyn_cm.frequency:.3f}\n")
+
+    # -- dimension algebra ---------------------------------------------------
+    force = DimensionVector.parse("LMT-2")
+    area = DimensionVector.parse("L2")
+    print(f"dim(force)/dim(area) = {force / area}   (pressure)\n")
+
+    # -- conversion (Definition 8) ----------------------------------------------
+    km, mi = kb.get("KiloM"), kb.get("MI")
+    print(f"1 mile = {conversion_factor(mi, km):.6f} km")
+
+    # -- the intro example: LeBron vs Curry ----------------------------------------
+    lebron = Quantity(2.06, kb.get("M"))
+    curry = Quantity(188.0, kb.get("CentiM"))
+    taller = "LeBron James" if lebron > curry else "Stephen Curry"
+    print(f"2.06 m vs 188 cm -> {taller} is taller\n")
+
+    # -- unit linking (Definition 1) ----------------------------------------------
+    linker = UnitLinker(kb)
+    for mention, context in (
+        ("dyne/cm", "the stiffness of a spring"),
+        ("degree", "the temperature outside in summer"),
+        ("千克", "货物的重量是三点五"),
+    ):
+        ranked = linker.link(mention, context)[:3]
+        summary = ", ".join(
+            f"{c.unit.unit_id} ({c.score:.3f})" for c in ranked
+        )
+        print(f"link {mention!r} | context {context!r}\n  -> {summary}")
+
+
+if __name__ == "__main__":
+    main()

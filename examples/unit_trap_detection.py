@@ -1,0 +1,55 @@
+"""The Fig. 1 running example: catching a "unit trap" with DimKS.
+
+    The stiffness of a spring is 3000 dyne/cm.  You want to use this
+    spring to suspend an object with a weight of 0.1 poundal.  Calculate
+    how many *square feet* the spring will be stretched?
+
+ChatGPT (per the paper) misses the trap: the answer's dimension is
+length, not area.  DimKS derives dim(poundal)/dim(dyn/cm) = L, flags
+"square feet" as inconsistent, and produces the corrected quantity.
+
+Run:  python examples/unit_trap_detection.py
+"""
+
+from repro.core import DimKS
+from repro.units import Quantity, default_kb
+
+
+def main() -> None:
+    dimks = DimKS(default_kb())
+
+    question = (
+        "The stiffness of a spring is 3000 dyne/cm. You want to use this "
+        "spring to suspend an object with a weight of 0.1 poundal. "
+        "Calculate how many square feet the spring will be stretched?"
+    )
+    print(question, "\n")
+
+    # Step a: link the unit mentions (Section III-B).
+    weight_unit = dimks.link_best("poundal", question)
+    stiffness_unit = dimks.link_best("dyne/cm", question)
+    print(f"linked 'poundal'  -> {weight_unit.unit_id} "
+          f"(dim {weight_unit.dimension})")
+    print(f"linked 'dyne/cm' -> {stiffness_unit.unit_id} "
+          f"(dim {stiffness_unit.dimension})\n")
+
+    # Step b: dimension analysis (the Dimension Laws).
+    expected = dimks.dimension_of_mentions(["poundal", "dyne/cm"], ["/"])
+    print(f"dim(poundal) / dim(dyn/cm) = {expected}  => a length, not an area")
+
+    # Step c: the trap check.
+    report = dimks.check_unit_trap(expected, "square feet", question)
+    print(f"asked unit 'square feet' is a trap: {report.is_trap}")
+    print(f"  {report.explanation}\n")
+
+    # Step d: the corrected computation (paper: 0.0151 feet).
+    weight = Quantity(0.1, weight_unit)
+    stiffness = Quantity(3000.0, stiffness_unit)
+    stretch = weight / stiffness
+    feet = stretch.in_unit(dimks.kb.get("FT"))
+    print(f"corrected answer: {feet.value:.4f} feet "
+          f"(paper's DimPerc answer: 0.0151 feet)")
+
+
+if __name__ == "__main__":
+    main()

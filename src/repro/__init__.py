@@ -1,0 +1,33 @@
+"""repro: reproduction of "Enhancing Quantitative Reasoning Skills of
+Large Language Models through Dimension Perception" (ICDE 2024).
+
+Top-level convenience surface; see the subpackages for the full API:
+
+- :mod:`repro.dimension` -- eight-base dimension algebra
+- :mod:`repro.units`     -- DimUnitKB, quantities, conversion
+- :mod:`repro.linking`   -- unit linking (Levenshtein + context)
+- :mod:`repro.text`      -- tokenization, numerals, quantity extraction
+- :mod:`repro.corpus`    -- synthetic corpora + Algorithm 1
+- :mod:`repro.kg`        -- triple store + Algorithm 2
+- :mod:`repro.llm`       -- numpy transformer substrate
+- :mod:`repro.dimeval`   -- the seven-task benchmark
+- :mod:`repro.simulated` -- calibrated baseline stand-ins
+- :mod:`repro.mwp`       -- N-MWP / Q-MWP datasets and augmentation
+- :mod:`repro.core`      -- DimKS + DimPerc + quantitative reasoning
+- :mod:`repro.experiments` -- per-table/figure regeneration harness
+"""
+
+from repro.core import DimKS
+from repro.dimension import DimensionVector
+from repro.units import DimUnitKB, Quantity, build_kb, default_kb
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DimKS",
+    "DimUnitKB",
+    "DimensionVector",
+    "Quantity",
+    "build_kb",
+    "default_kb",
+]

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the three-step framework.
+
+1. :class:`DimKS` -- the dimensional knowledge system (DimUnitKB + unit
+   linking + extraction) of Section III.
+2. :class:`DimPercPipeline` -- instruction tuning, then DimEval
+   finetuning, producing the LLaMA-IFT analogue and the DimPerc model
+   (Section IV-D).
+3. :class:`QuantitativeReasoner` -- MWP finetuning with quantity-
+   oriented augmentation (rate eta) and equation-tokenization control,
+   producing the Table IX / Fig. 6 / Fig. 7 systems (Section V).
+"""
+
+from repro.core.dimks import DimKS, UnitTrapReport
+from repro.core.encoding import mwp_prompt, mwp_target
+from repro.core.dimperc import DimPercConfig, DimPercPipeline, DimPercModels
+from repro.core.reasoning import (
+    QuantitativeReasoner,
+    ReasoningConfig,
+    LearningCurve,
+)
+
+__all__ = [
+    "DimKS",
+    "DimPercConfig",
+    "DimPercModels",
+    "DimPercPipeline",
+    "LearningCurve",
+    "QuantitativeReasoner",
+    "ReasoningConfig",
+    "UnitTrapReport",
+    "mwp_prompt",
+    "mwp_target",
+]

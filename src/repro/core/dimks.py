@@ -1,0 +1,136 @@
+"""DimKS: the dimensional knowledge system facade (Section III).
+
+Bundles DimUnitKB, the unit linker and the quantity extractor behind the
+operations the rest of the framework needs, including the Fig. 1
+*unit-trap detection*: check whether the unit a question asks for is
+dimensionally consistent with the quantity a computation produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dimension import DimensionVector, dimension_of_expression
+from repro.linking.embeddings import WordEmbeddings
+from repro.linking.linker import LinkCandidate, UnitLinker
+from repro.text.extraction import ExtractedQuantity, QuantityExtractor
+from repro.units.conversion import conversion_factor, convert_value
+from repro.units.kb import DimUnitKB
+from repro.units.quantity import Quantity
+from repro.units.schema import UnitRecord
+
+
+@dataclass(frozen=True)
+class UnitTrapReport:
+    """Outcome of a Fig. 1-style dimensional consistency check."""
+
+    expected_dimension: DimensionVector
+    asked_unit: UnitRecord
+    is_trap: bool
+    correct_units: tuple[UnitRecord, ...]
+
+    @property
+    def explanation(self) -> str:
+        expected = self.expected_dimension.to_formula() or "D"
+        asked = self.asked_unit.dimension.to_formula() or "D"
+        if not self.is_trap:
+            return (
+                f"dim({self.asked_unit.label_en}) = {asked} matches the "
+                f"expected dimension {expected}."
+            )
+        suggestion = ", ".join(u.label_en for u in self.correct_units[:3])
+        return (
+            f"According to the dimension relation the result has dimension "
+            f"{expected}, but {self.asked_unit.label_en} has dimension "
+            f"{asked}; the correct unit should be one of: {suggestion}."
+        )
+
+
+class DimKS:
+    """The accessible dimensional knowledge system."""
+
+    def __init__(
+        self,
+        kb: DimUnitKB,
+        embeddings: WordEmbeddings | None = None,
+    ):
+        self.kb = kb
+        self.linker = UnitLinker(kb, embeddings=embeddings)
+        self.extractor = QuantityExtractor(kb, linker=self.linker)
+
+    # -- linking / extraction --------------------------------------------------
+
+    def link(self, mention: str, context: str = "") -> list[LinkCandidate]:
+        """Ranked linking candidates for a mention (Definition 1)."""
+        return self.linker.link(mention, context)
+
+    def link_best(self, mention: str, context: str = "") -> UnitRecord | None:
+        """The top linking candidate, or None."""
+        return self.linker.link_best(mention, context)
+
+    def extract(self, text: str) -> list[ExtractedQuantity]:
+        """Grounded quantities found in text (Definition 2)."""
+        return self.extractor.extract_grounded(text)
+
+    # -- quantities ---------------------------------------------------------------
+
+    def quantity(self, value: float, mention: str, context: str = "") -> Quantity:
+        """Build a Quantity by linking a unit mention."""
+        unit = self.link_best(mention, context)
+        if unit is None:
+            raise KeyError(f"cannot link unit mention {mention!r}")
+        return Quantity(value, unit)
+
+    def convert(self, value: float, source: str, target: str) -> float:
+        """Convert a value between linked unit mentions."""
+        source_unit = self.link_best(source)
+        target_unit = self.link_best(target)
+        if source_unit is None or target_unit is None:
+            raise KeyError("cannot link conversion units")
+        return convert_value(value, source_unit, target_unit)
+
+    def conversion_factor(self, source: str, target: str) -> float:
+        """The beta with 1 source = beta target (Definition 8)."""
+        source_unit = self.link_best(source)
+        target_unit = self.link_best(target)
+        if source_unit is None or target_unit is None:
+            raise KeyError("cannot link conversion units")
+        return conversion_factor(source_unit, target_unit)
+
+    # -- dimension analysis ------------------------------------------------------------
+
+    def dimension_of_mentions(
+        self, mentions: list[str], ops: list[str]
+    ) -> DimensionVector:
+        """Dimension of a unit expression written with text mentions."""
+        units = []
+        for mention in mentions:
+            unit = self.link_best(mention)
+            if unit is None:
+                raise KeyError(f"cannot link unit mention {mention!r}")
+            units.append(unit)
+        return dimension_of_expression([u.dimension for u in units], ops)
+
+    def check_unit_trap(
+        self,
+        expected: DimensionVector,
+        asked_mention: str,
+        context: str = "",
+    ) -> UnitTrapReport:
+        """The Fig. 1 check: does the asked unit fit the expected dimension?
+
+        For the running example, expected = dim(poundal)/dim(dyn/cm) = L
+        and asked 'square feet' (L2) is flagged as a trap with 'feet'
+        suggested instead.
+        """
+        asked = self.link_best(asked_mention, context)
+        if asked is None:
+            raise KeyError(f"cannot link asked unit {asked_mention!r}")
+        is_trap = asked.dimension != expected
+        correct = self.kb.units_with_dimension(expected)
+        return UnitTrapReport(
+            expected_dimension=expected,
+            asked_unit=asked,
+            is_trap=is_trap,
+            correct_units=correct,
+        )

@@ -1,0 +1,233 @@
+"""Step 2 of the framework: dimension-perception finetuning (Section IV-D).
+
+Produces two checkpoints of the transformer substrate:
+
+- **LLaMaIFT** -- instruction-tuned only (knows the answer format, has no
+  dimension knowledge): the Table VIII baseline;
+- **DimPerc** -- LLaMaIFT further finetuned on the seven DimEval training
+  tasks with templated CoT targets: the paper's headline model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dimeval.benchmark import DimEvalBenchmark, DimEvalSplit
+from repro.dimeval.evaluate import TaskResult, evaluate_model
+from repro.dimeval.schema import DimEvalExample, Task
+from repro.llm.instruct import instruction_dataset
+from repro.llm.interface import TransformerLM
+from repro.llm.model import TransformerConfig, TransformerModel
+from repro.llm.tokenizer import Tokenizer
+from repro.llm.trainer import Seq2SeqExample, Seq2SeqTrainer
+from repro.units.kb import DimUnitKB
+
+
+@dataclass(frozen=True)
+class DimPercConfig:
+    """Scale knobs for the whole DimPerc pipeline.
+
+    Defaults are CPU-sized (see DESIGN.md: the paper trains LLaMA-7B for
+    10k steps on A800s; we train a 2-layer numpy transformer).  The
+    ratios between stages mirror the paper's recipe.
+    """
+
+    seed: int = 0
+    d_model: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    d_ff: int = 128
+    max_len: int = 160
+    pool_size: int = 160
+    train_per_task: int = 260
+    eval_per_task: int = 45
+    instruction_examples: int = 240
+    instruction_steps: int = 120
+    dimeval_steps: int = 900
+    batch_size: int = 16
+    learning_rate: float = 3e-3
+    digit_tokenization: bool = False
+    #: Fraction of stage-2 batches drawn from the instruction dataset
+    #: (replay keeps the copy/induction circuits alive while dimension
+    #: knowledge is injected).
+    instruction_replay: float = 0.10
+    #: Oversampling multipliers for the hardest tasks (extra copies of
+    #: their training examples in the stage-2 mixture).
+    task_oversample: tuple[tuple[str, int], ...] = (
+        ("quantity_extraction", 2),
+        ("dimension_arithmetic", 2),
+        ("comparable_analysis", 2),
+    )
+    #: Use the bounded single-token value vocabulary for quantity
+    #: extraction (DESIGN.md §4b); digit-level copying otherwise.
+    extraction_whole_values: bool = False
+
+
+@dataclass
+class DimPercModels:
+    """The pipeline's outputs: tokenizer, model, and both checkpoints."""
+
+    tokenizer: Tokenizer
+    model: TransformerModel
+    llama_ift_params: dict[str, np.ndarray]
+    dimperc_params: dict[str, np.ndarray]
+    benchmark: DimEvalBenchmark
+    train_split: DimEvalSplit
+    eval_split: DimEvalSplit
+
+    def as_llama_ift(self, name: str = "LLaMaIFT") -> TransformerLM:
+        """The instruction-tuned base checkpoint as a LanguageModel."""
+        self.model.load_params(self.llama_ift_params)
+        return TransformerLM(self.model, self.tokenizer, name=name,
+                             max_new_tokens=64)
+
+    def as_dimperc(self, name: str = "DimPerc") -> TransformerLM:
+        """The DimEval-finetuned checkpoint as a LanguageModel."""
+        self.model.load_params(self.dimperc_params)
+        return TransformerLM(self.model, self.tokenizer, name=name,
+                             max_new_tokens=64)
+
+
+def dimeval_training_examples(
+    split: DimEvalSplit,
+    oversample: tuple[tuple[str, int], ...] = (),
+) -> list[Seq2SeqExample]:
+    """DimEval examples in "<prompt>, R <sep> A" seq2seq form.
+
+    ``oversample`` lists (task value, multiplier) pairs; the named tasks
+    contribute that many copies of each training example.
+    """
+    multipliers = dict(oversample)
+    examples: list[Seq2SeqExample] = []
+    for task, task_examples in split.examples.items():
+        repeat = multipliers.get(task.value, 1)
+        for example in task_examples:
+            pair = Seq2SeqExample(example.prompt, example.training_target)
+            examples.extend([pair] * repeat)
+    return examples
+
+
+class DimPercPipeline:
+    """Instruction tuning -> DimEval finetuning -> evaluation."""
+
+    def __init__(self, kb: DimUnitKB, config: DimPercConfig | None = None):
+        self.kb = kb
+        self.config = config or DimPercConfig()
+
+    # -- vocabulary -----------------------------------------------------------
+
+    def build_tokenizer(
+        self,
+        extra_texts: list[str] = (),
+        splits: list[DimEvalSplit] = (),
+        instructions: list[Seq2SeqExample] = (),
+    ) -> Tokenizer:
+        """Fit the shared vocabulary over every training/eval text."""
+        texts: list[str] = list(extra_texts)
+        for split in splits:
+            for example in split.all_examples():
+                texts.append(example.prompt)
+                texts.append(example.training_target)
+        for example in instructions:
+            texts.append(example.prompt)
+            texts.append(example.target)
+        tokenizer = Tokenizer(digit_tokenization=self.config.digit_tokenization)
+        return tokenizer.fit(texts)
+
+    # -- the pipeline ------------------------------------------------------------
+
+    def run(self, extra_vocab_texts: list[str] = ()) -> DimPercModels:
+        """Train both checkpoints; ``extra_vocab_texts`` lets callers
+        reserve vocabulary for later finetuning stages (e.g. MWP)."""
+        cfg = self.config
+        benchmark = DimEvalBenchmark(
+            self.kb, seed=cfg.seed,
+            train_per_task=cfg.train_per_task,
+            eval_per_task=cfg.eval_per_task,
+            pool_size=cfg.pool_size,
+            extraction_whole_values=cfg.extraction_whole_values,
+        )
+        train_split = benchmark.train_split()
+        eval_split = benchmark.eval_split()
+        instructions = instruction_dataset(cfg.instruction_examples,
+                                           seed=cfg.seed)
+        tokenizer = self.build_tokenizer(
+            extra_texts=list(extra_vocab_texts),
+            splits=[train_split, eval_split],
+            instructions=instructions,
+        )
+        model = TransformerModel(TransformerConfig(
+            vocab_size=tokenizer.vocab_size,
+            d_model=cfg.d_model,
+            n_layers=cfg.n_layers,
+            n_heads=cfg.n_heads,
+            d_ff=cfg.d_ff,
+            max_len=cfg.max_len,
+            seed=cfg.seed,
+        ))
+        # Stage 1: generic instruction finetuning -> LLaMaIFT.
+        trainer = Seq2SeqTrainer(
+            model, tokenizer,
+            learning_rate=cfg.learning_rate,
+            batch_size=cfg.batch_size,
+            seed=cfg.seed,
+        )
+        trainer.train(instructions, steps=cfg.instruction_steps)
+        llama_ift_params = model.copy_params()
+        # Stage 2: DimEval finetuning (with instruction replay) -> DimPerc.
+        dimeval_examples = dimeval_training_examples(
+            train_split, cfg.task_oversample
+        )
+        if cfg.instruction_replay > 0:
+            replay_count = int(cfg.instruction_replay * len(dimeval_examples))
+            replay = (instructions * (replay_count // len(instructions) + 1))
+            dimeval_examples = dimeval_examples + replay[:replay_count]
+        trainer.train(dimeval_examples, steps=cfg.dimeval_steps)
+        dimperc_params = model.copy_params()
+        return DimPercModels(
+            tokenizer=tokenizer,
+            model=model,
+            llama_ift_params=llama_ift_params,
+            dimperc_params=dimperc_params,
+            benchmark=benchmark,
+            train_split=train_split,
+            eval_split=eval_split,
+        )
+
+
+def evaluate_checkpoint(
+    models: DimPercModels, which: str = "dimperc"
+) -> dict[Task, TaskResult]:
+    """Score one checkpoint over the eval split."""
+    lm = models.as_dimperc() if which == "dimperc" else models.as_llama_ift()
+    return evaluate_model(lm, models.eval_split)
+
+
+def category_scores(
+    results: dict[Task, TaskResult]
+) -> dict[str, tuple[float, float]]:
+    """Table VIII aggregation: mean (precision, F1) per category.
+
+    Quantity extraction contributes its (QE precision-analogue, QE F1)
+    as (VE, QE) following the paper's grouping of the three sub-scores
+    under Basic Perception.
+    """
+    from repro.dimeval.schema import CATEGORY_OF_TASK
+
+    sums: dict[str, list[tuple[float, float]]] = {}
+    for task, result in results.items():
+        category = CATEGORY_OF_TASK[task]
+        if result.mcq is not None:
+            pair = (result.mcq.precision, result.mcq.f1)
+        else:
+            pair = (result.extraction.ve_f1, result.extraction.qe_f1)
+        sums.setdefault(category, []).append(pair)
+    return {
+        category: (
+            sum(p for p, _ in pairs) / len(pairs),
+            sum(f for _, f in pairs) / len(pairs),
+        )
+        for category, pairs in sums.items()
+    }

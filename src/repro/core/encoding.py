@@ -1,0 +1,55 @@
+"""Symbolic task encodings for MWP problems (Section V-B4).
+
+Prompts replace each number with its slot token ``N1..Nk`` while keeping
+the unit mentions (the signal augmentation injects); targets are
+``equation <sep> digit-split answer``, matching the paper's
+"<bos> E <sep> A <eos>" output convention.  Number-slot mapping is the
+standard Math23k practice (Wang et al. 2017, the paper's ref. [28]).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.llm.trainer import Seq2SeqExample
+from repro.mwp.equation import tokenize_equation
+from repro.mwp.schema import MWPProblem
+from repro.text.tokenizer import tokenize
+
+_SLOT_MARKER = re.compile(r"(?<=\s)(N\d+)(?=\s)")
+
+
+def mwp_prompt(problem: MWPProblem) -> str:
+    """The symbolic prompt: text tokens with numbers slotted."""
+    text = problem.text
+    for quantity in sorted(problem.quantities, key=lambda q: -len(q.surface)):
+        value_text = f"{quantity.value:g}"
+        slotted = quantity.surface.replace(value_text, f" N{quantity.slot} ", 1)
+        text = text.replace(quantity.surface, slotted, 1)
+    # Keep slot markers whole: tokenize only the segments between them.
+    tokens: list[str] = []
+    for index, part in enumerate(_SLOT_MARKER.split(f" {text} ")):
+        if index % 2 == 1:
+            tokens.append(part)  # the N<k> marker itself
+        else:
+            tokens.extend(tokenize(part, lowercase=True))
+    return "task: mwp text: " + " ".join(tokens)
+
+
+def mwp_target(problem: MWPProblem) -> str:
+    """The training target: spaced equation, ``<sep>``, digit-split answer."""
+    equation = " ".join(tokenize_equation(problem.equation))
+    answer_digits = " ".join(f"{problem.answer:g}")
+    return f"{equation} <sep> {answer_digits}"
+
+
+def mwp_example(problem: MWPProblem) -> Seq2SeqExample:
+    """A problem as a (prompt, target) seq2seq pair."""
+    return Seq2SeqExample(mwp_prompt(problem), mwp_target(problem))
+
+
+def equation_from_output(output: str) -> str:
+    """The predicted equation: everything before the last ``<sep>``."""
+    if "<sep>" in output:
+        output = output.rsplit("<sep>", 1)[0]
+    return output.replace(" ", "")

@@ -1,0 +1,150 @@
+"""Lightweight KB expansion (the paper's future-work direction).
+
+Section VIII: "there may arise a necessity to incorporate new units over
+time ... Finetuning for each database expansion is costly and
+inefficient.  Future work can focus on dimension perception methods that
+facilitate lightweight expansion."
+
+Two mechanisms implement that direction:
+
+- :func:`extend_kb` -- hot-extend an immutable :class:`DimUnitKB` with
+  new unit seeds (rescoring frequencies over the merged population), so
+  the symbolic knowledge system picks up new units instantly.
+- :class:`KnowledgeAugmentedLM` -- retrieval-augmented answering: before
+  querying a trained DimPerc model, the wrapper looks up each option
+  unit in the (possibly extended) KB and prepends its dimension / kind /
+  scale facts to the prompt.  The model can then answer questions about
+  units it never saw during finetuning by *reading* instead of
+  *recalling* -- no re-finetuning required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.dimension import DimensionVector
+from repro.units import frequency
+from repro.units.builder import KindRegistry
+from repro.units.data.kinds import BASE_KINDS
+from repro.units.kb import DimUnitKB
+from repro.units.schema import KindSeed, UnitRecord, UnitSeed
+
+
+class ExpansionError(ValueError):
+    """Raised when new seeds conflict with the existing KB."""
+
+
+def extend_kb(
+    kb: DimUnitKB,
+    new_units: Iterable[UnitSeed],
+    new_kinds: Iterable[KindSeed] = (),
+) -> DimUnitKB:
+    """A new KB containing everything in ``kb`` plus the new entries.
+
+    New kinds may reference fresh dimensions; new units may reference
+    either existing or new kinds.  Frequencies of the *new* units are
+    scored with the standard Eq. 1-2 pipeline against the existing
+    population (existing scores are preserved, keeping Fig. 3/4 stable).
+    """
+    registry = KindRegistry()
+    for seed in BASE_KINDS:
+        registry.register_seed(seed)
+    existing_kinds = {kind.name: kind for kind in kb.kinds()}
+    added_kinds = []
+    for kind_seed in new_kinds:
+        if kind_seed.name in existing_kinds:
+            raise ExpansionError(f"kind {kind_seed.name!r} already exists")
+        added_kinds.append(registry.register_seed(kind_seed))
+
+    kind_index = dict(existing_kinds)
+    kind_index.update({kind.name: kind for kind in added_kinds})
+
+    records = list(kb)
+    seen = set(kb.unit_ids())
+    for seed in new_units:
+        if seed.uid in seen:
+            raise ExpansionError(f"unit {seed.uid!r} already exists")
+        seen.add(seed.uid)
+        try:
+            kind = kind_index[seed.kind]
+        except KeyError as exc:
+            raise ExpansionError(
+                f"unit {seed.uid!r} references unknown kind {seed.kind!r}"
+            ) from exc
+        signals = frequency.design_signals(seed.uid, seed.popularity)
+        score = frequency.score(signals)
+        # Eq. 2 against the designed [0, 1] population span.
+        freq = (1.0 - frequency.DELTA) * min(max(score, 0.0), 1.0) + frequency.DELTA
+        records.append(UnitRecord(
+            unit_id=seed.uid,
+            label_en=seed.en,
+            label_zh=seed.zh,
+            symbol=seed.symbol,
+            aliases=seed.aliases,
+            description=seed.description,
+            keywords=seed.keywords,
+            frequency=freq,
+            quantity_kinds=(seed.kind,),
+            dimension=kind.dimension,
+            conversion_value=seed.factor,
+            conversion_offset=seed.offset,
+            system=seed.system,
+            generated=False,
+            raw_signals=signals,
+        ))
+    return DimUnitKB(records, list(kind_index.values()))
+
+
+def knowledge_block(kb: DimUnitKB, unit_ids: Iterable[str]) -> str:
+    """Retrieved facts for a set of units, in the training token idiom.
+
+    Renders each unit's dimension, kind and coarse scale exactly the way
+    the DimEval CoT templates do, so a finetuned model can consume the
+    facts verbatim.
+    """
+    facts = []
+    for unit_id in unit_ids:
+        unit = kb.get(unit_id)
+        formula = unit.dimension.to_formula() or "D"
+        scale = int(round(math.log10(unit.conversion_value)))
+        facts.append(
+            f"U:{unit.unit_id} is K:{unit.quantity_kind} "
+            f"dim U:{unit.unit_id} = {formula} "
+            f"scale U:{unit.unit_id} = S:{scale}"
+        )
+    return " ".join(facts)
+
+
+class KnowledgeAugmentedLM:
+    """Retrieval-augmented wrapper over a trained LanguageModel.
+
+    For DimEval examples, prepends a ``facts:`` block with the option
+    units' KB records to the prompt, then defers to the wrapped model.
+    Implements the same ``generate``/name protocol the evaluators use.
+    """
+
+    def __init__(self, base, kb: DimUnitKB):
+        self.base = base
+        self.kb = kb
+        self.name = f"{base.name} + DimKS retrieval"
+
+    def _units_in_prompt(self, prompt: str) -> list[str]:
+        unit_ids = []
+        for token in prompt.split():
+            if token.startswith("U:"):
+                unit_id = token[2:]
+                if unit_id in self.kb and unit_id not in unit_ids:
+                    unit_ids.append(unit_id)
+        return unit_ids
+
+    def augment_prompt(self, prompt: str) -> str:
+        """Prepend retrieved unit facts to a symbolic prompt."""
+        unit_ids = self._units_in_prompt(prompt)
+        if not unit_ids:
+            return prompt
+        return f"facts: {knowledge_block(self.kb, unit_ids)} {prompt}"
+
+    def generate(self, prompt: str) -> str:
+        """Generate from the base model over the augmented prompt."""
+        return self.base.generate(self.augment_prompt(prompt))

@@ -1,0 +1,145 @@
+"""Step 3: quantitative reasoning with dimension perception (Section V).
+
+Finetunes a base checkpoint (DimPerc or LLaMaIFT) on MWP data augmented
+at rate eta, decodes equations, and scores them with the calculator --
+the machinery behind Table IX, Fig. 6 and Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.encoding import equation_from_output, mwp_example, mwp_prompt
+from repro.llm.generation import greedy_decode
+from repro.llm.model import TransformerModel
+from repro.llm.tokenizer import Tokenizer
+from repro.llm.trainer import Seq2SeqTrainer
+from repro.mwp.augmentation import Augmenter
+from repro.mwp.datasets import MWPDataset
+from repro.mwp.metrics import equation_answer, score_accuracy
+from repro.mwp.schema import MWPProblem
+from repro.units.kb import DimUnitKB
+
+
+@dataclass(frozen=True)
+class ReasoningConfig:
+    """Scale knobs for MWP finetuning."""
+
+    seed: int = 0
+    steps: int = 700
+    batch_size: int = 16
+    learning_rate: float = 3e-3
+    augmentation_rate: float = 0.5   # the paper's recommended eta
+    max_augmentation_operators: int = 2
+    max_new_tokens: int = 48
+
+
+@dataclass
+class LearningCurve:
+    """Accuracy checkpoints over training steps (Fig. 6 / Fig. 7 series)."""
+
+    label: str
+    steps: list[int] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    def add(self, step: int, accuracy: float) -> None:
+        """Append one (step, accuracy) checkpoint."""
+        self.steps.append(step)
+        self.accuracies.append(accuracy)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+class QuantitativeReasoner:
+    """Finetune + evaluate the substrate on N-/Q-MWP."""
+
+    def __init__(
+        self,
+        kb: DimUnitKB,
+        model: TransformerModel,
+        tokenizer: Tokenizer,
+        config: ReasoningConfig | None = None,
+        name: str = "DimPerc",
+    ):
+        self.kb = kb
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config or ReasoningConfig()
+        self.name = name
+        self.simulated = False
+
+    # -- data --------------------------------------------------------------------
+
+    def build_training_examples(
+        self, pool: MWPDataset, rate: float | None = None
+    ):
+        """N- pool plus ``rate`` x augmented copies (Section V-B2)."""
+        rate = self.config.augmentation_rate if rate is None else rate
+        problems = list(pool.problems)
+        if rate > 0:
+            augmenter = Augmenter(self.kb, seed=self.config.seed)
+            problems += augmenter.augment_dataset(
+                list(pool.problems), rate=rate,
+                max_operators=self.config.max_augmentation_operators,
+            )
+        return [mwp_example(problem) for problem in problems], problems
+
+    # -- training ------------------------------------------------------------------
+
+    def finetune(
+        self,
+        pool: MWPDataset,
+        rate: float | None = None,
+        steps: int | None = None,
+        eval_problems: list[MWPProblem] | None = None,
+        checkpoint_every: int | None = None,
+        curve_label: str = "",
+    ) -> LearningCurve:
+        """Train on the pool; optionally record an accuracy curve."""
+        examples, _ = self.build_training_examples(pool, rate)
+        trainer = Seq2SeqTrainer(
+            self.model, self.tokenizer,
+            learning_rate=self.config.learning_rate,
+            batch_size=self.config.batch_size,
+            seed=self.config.seed,
+        )
+        curve = LearningCurve(label=curve_label or self.name)
+        checkpoint_fn = None
+        if eval_problems is not None and checkpoint_every:
+            def checkpoint_fn(step: int):
+                accuracy = self.evaluate(eval_problems)
+                curve.add(step, accuracy)
+                return accuracy
+        trainer.train(
+            examples,
+            steps=steps if steps is not None else self.config.steps,
+            checkpoint_every=checkpoint_every,
+            checkpoint_fn=checkpoint_fn,
+        )
+        if eval_problems is not None and not checkpoint_every:
+            curve.add(trainer.optimizer.step_count, self.evaluate(eval_problems))
+        return curve
+
+    # -- inference ------------------------------------------------------------------
+
+    def solve(self, problem: MWPProblem) -> float | None:
+        """Decode an equation and run the calculator over it."""
+        prompt_ids = self.tokenizer.encode(mwp_prompt(problem))
+        output_ids = greedy_decode(
+            self.model, prompt_ids, max_new_tokens=self.config.max_new_tokens
+        )
+        output = self.tokenizer.decode(output_ids)
+        return equation_answer(problem, equation_from_output(output))
+
+    def solve_mwp(self, problem: MWPProblem, dataset: str) -> float | None:
+        """Table IX protocol shared with the simulated baselines."""
+        return self.solve(problem)
+
+    def evaluate(self, problems: list[MWPProblem]) -> float:
+        """Answer accuracy over a list of problems."""
+        predictions = [self.solve(problem) for problem in problems]
+        return score_accuracy(predictions, problems)

@@ -1,0 +1,247 @@
+"""Synthetic bilingual quantity-rich corpus with gold annotations.
+
+Four sentence sources mirror the paper's crawl mix (Section IV-C1):
+high-school physics, electronics forums, industrial text, and
+KG-derived statements; plus trap sentences (device codes, serial
+numbers) and number-free filler that exercise Algorithm 1's filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units.kb import DimUnitKB
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class GoldQuantity:
+    """A gold quantity annotation inside a sentence."""
+
+    value: float
+    unit_id: str
+    value_text: str
+    unit_text: str
+
+
+@dataclass(frozen=True)
+class AnnotatedSentence:
+    """A corpus sentence with its gold quantity annotations."""
+
+    text: str
+    quantities: tuple[GoldQuantity, ...]
+    domain: str
+    is_trap: bool = False
+
+    @property
+    def is_quantitative(self) -> bool:
+        return bool(self.quantities)
+
+
+@dataclass(frozen=True)
+class _Template:
+    """A sentence template with quantity slots.
+
+    ``pattern`` contains ``{q0}``, ``{q1}`` ... placeholders; ``slots``
+    gives per-placeholder (unit ids, low, high, decimals).
+    """
+
+    pattern: str
+    slots: tuple[tuple[tuple[str, ...], float, float, int], ...]
+    domain: str
+
+
+_TEMPLATES: tuple[_Template, ...] = (
+    # -- high-school physics -------------------------------------------------
+    _Template(
+        "一个物体以{q0}的速度匀速运动了{q1}，求它通过的路程。",
+        ((("M-PER-SEC", "KiloM-PER-HR"), 2.0, 40.0, 1),
+         (("SEC", "MIN"), 5.0, 120.0, 0)),
+        "physics",
+    ),
+    _Template(
+        "弹簧的劲度系数为{q0}，悬挂一个重{q1}的物体，求伸长量。",
+        ((("N-PER-M", "DYN-PER-CentiM"), 100.0, 5000.0, 0),
+         (("N", "KGF"), 0.5, 50.0, 1)),
+        "physics",
+    ),
+    _Template(
+        "The car accelerates to {q0} within {q1} on the test track.",
+        ((("KiloM-PER-HR", "MI-PER-HR"), 60.0, 240.0, 0),
+         (("SEC",), 3.0, 15.0, 1)),
+        "physics",
+    ),
+    _Template(
+        "实验中液体的密度测得为{q0}，体积为{q1}。",
+        ((("GM-PER-CentiM3", "KiloGM-PER-M3"), 0.7, 3.0, 2),
+         (("MilliL", "L"), 20.0, 500.0, 0)),
+        "physics",
+    ),
+    # -- electronics forum ------------------------------------------------------
+    _Template(
+        "这款手机的电池容量是{q0}，快充功率达到{q1}。",
+        ((("MilliA-HR",), 3000.0, 6000.0, 0),
+         (("W",), 18.0, 210.0, 0)),
+        "electronics",
+    ),
+    _Template(
+        "My new monitor is {q0} wide with a refresh rate of {q1}.",
+        ((("IN", "CentiM"), 21.0, 49.0, 1),
+         (("HZ",), 60.0, 240.0, 0)),
+        "electronics",
+    ),
+    _Template(
+        "路由器的无线速率可达{q0}，覆盖面积约{q1}。",
+        ((("MegaBIT-PER-SEC",), 300.0, 9600.0, 0),
+         (("M2",), 60.0, 300.0, 0)),
+        "electronics",
+    ),
+    # -- industrial --------------------------------------------------------------
+    _Template(
+        "该离心泵的额定流量为{q0}，扬程为{q1}。",
+        ((("M3-PER-HR", "L-PER-SEC"), 5.0, 500.0, 0),
+         (("M",), 10.0, 120.0, 0)),
+        "industrial",
+    ),
+    _Template(
+        "反应釜的工作压力为{q0}，容积为{q1}。",
+        ((("MegaPA", "BAR"), 0.5, 25.0, 1),
+         (("L", "M3"), 50.0, 5000.0, 0)),
+        "industrial",
+    ),
+    _Template(
+        "The conveyor moves {q0} of ore with a motor rated at {q1}.",
+        ((("TONNE-PER-HR",), 20.0, 800.0, 0),
+         (("KiloW",), 5.0, 400.0, 0)),
+        "industrial",
+    ),
+    # -- general / KG-style -------------------------------------------------------
+    _Template(
+        "这条河流全长{q0}，流域面积达{q1}。",
+        ((("KiloM",), 50.0, 6000.0, 0),
+         (("KiloM2",), 200.0, 900000.0, 0)),
+        "general",
+    ),
+    _Template(
+        "这座城市年平均降水量为{q0}，夏季最高气温可达{q1}。",
+        ((("MilliM",), 100.0, 2000.0, 0),
+         (("DEG-C",), 28.0, 44.0, 0)),
+        "general",
+    ),
+    _Template(
+        "The island is approximately {q0} long and {q1} wide.",
+        ((("KiloM", "MI"), 0.8, 40.0, 1),
+         (("M", "KiloM"), 100.0, 8000.0, 0)),
+        "general",
+    ),
+    _Template(
+        "水电站的年发电量约为{q0}，装机容量{q1}。",
+        ((("KiloW-HR", "MegaW-HR"), 1e5, 5e8, 0),
+         (("MegaW",), 20.0, 6000.0, 0)),
+        "general",
+    ),
+)
+
+#: Trap sentences: number-shaped strings that are NOT quantities.
+_TRAP_PATTERNS: tuple[str, ...] = (
+    "实验室新购入了{code}型号的检测设备。",
+    "仓库里还有一台{code}等待检修。",
+    "他的工牌编号是{serial}，入职刚满一年。",
+    "订单号{serial}已经发货，请注意查收。",
+    "The lab registered device {code} for the new project.",
+    "Ticket {serial} was closed by the support team.",
+)
+
+_DEVICE_CODES = ("LPUI-1T", "QRX-2G", "HKM-5T", "ZCV-3M", "BNT-8K", "DWL-1G",
+                 "XJP-7M", "RTY-4T")
+
+#: Number-free filler sentences.
+_PLAIN_SENTENCES: tuple[str, ...] = (
+    "船的速度很快。",
+    "今天的天气非常好，适合出门散步。",
+    "The committee postponed the decision until next week.",
+    "维修人员正在检查生产线。",
+    "The report praised the team's careful documentation.",
+    "她把样品送到了楼下的实验室。",
+)
+
+
+class CorpusGenerator:
+    """Deterministic corpus sampler over the templates above."""
+
+    def __init__(self, kb: DimUnitKB, seed: int = 0):
+        self._kb = kb
+        self._rng = spawn_rng(seed, "corpus-generator")
+
+    def _render_quantity(
+        self, unit_ids: tuple[str, ...], low: float, high: float, decimals: int
+    ) -> GoldQuantity:
+        unit = self._kb.get(self._rng.choice(list(unit_ids)))
+        value = round(self._rng.uniform(low, high), decimals)
+        if decimals == 0:
+            value = int(value)
+        value_text = f"{value:g}"
+        style = self._rng.random()
+        if style < 0.45 and unit.label_zh:
+            unit_text = unit.label_zh
+        elif style < 0.8:
+            unit_text = unit.symbol
+        else:
+            unit_text = unit.label_en
+        return GoldQuantity(float(value), unit.unit_id, value_text, unit_text)
+
+    def quantitative_sentence(self) -> AnnotatedSentence:
+        """One templated sentence with gold quantity annotations."""
+        template = self._rng.choice(list(_TEMPLATES))
+        quantities = []
+        fills = {}
+        for index, slot in enumerate(template.slots):
+            gold = self._render_quantity(*slot)
+            quantities.append(gold)
+            joiner = "" if gold.unit_text and not gold.unit_text[0].isascii() else " "
+            fills[f"q{index}"] = f"{gold.value_text}{joiner}{gold.unit_text}"
+        return AnnotatedSentence(
+            text=template.pattern.format(**fills),
+            quantities=tuple(quantities),
+            domain=template.domain,
+        )
+
+    def trap_sentence(self) -> AnnotatedSentence:
+        """A device-code/serial sentence with no true quantities."""
+        pattern = self._rng.choice(list(_TRAP_PATTERNS))
+        code = self._rng.choice(_DEVICE_CODES)
+        serial = str(self._rng.randint(100000, 999999))
+        return AnnotatedSentence(
+            text=pattern.format(code=code, serial=serial),
+            quantities=(),
+            domain="trap",
+            is_trap=True,
+        )
+
+    def plain_sentence(self) -> AnnotatedSentence:
+        """A number-free filler sentence."""
+        return AnnotatedSentence(
+            text=self._rng.choice(list(_PLAIN_SENTENCES)),
+            quantities=(),
+            domain="plain",
+        )
+
+    def generate(
+        self,
+        count: int,
+        trap_fraction: float = 0.15,
+        plain_fraction: float = 0.15,
+    ) -> list[AnnotatedSentence]:
+        """A corpus of ``count`` sentences with the requested mixture."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        sentences = []
+        for _ in range(count):
+            roll = self._rng.random()
+            if roll < trap_fraction:
+                sentences.append(self.trap_sentence())
+            elif roll < trap_fraction + plain_fraction:
+                sentences.append(self.plain_sentence())
+            else:
+                sentences.append(self.quantitative_sentence())
+        return sentences

@@ -1,0 +1,100 @@
+"""The PLM filter of Algorithm 1, as a context Naive-Bayes slot model.
+
+The paper masks each candidate quantity mention and asks BERT whether the
+slot wants a number/unit; we substitute a small generative model trained
+on gold-labelled synthetic sentences: features are the tokens in a window
+around the masked span, the label is "the masked span was a quantity".
+Laplace-smoothed Naive Bayes gives a calibrated enough filter to drop
+device-code traps like "LPUI-1T" (see DESIGN.md for the substitution
+rationale).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.text.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class SlotExample:
+    """A training instance: a sentence, a masked span, and its label."""
+
+    text: str
+    span_text: str
+    is_quantity: bool
+
+
+class MaskedSlotModel:
+    """Binary Naive Bayes over context-window tokens of masked spans."""
+
+    def __init__(self, window: int = 3, smoothing: float = 1.0):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self.smoothing = smoothing
+        self._token_counts: dict[bool, dict[str, int]] = {True: {}, False: {}}
+        self._class_counts: dict[bool, int] = {True: 0, False: 0}
+        self._vocabulary: set[str] = set()
+        self._trained = False
+
+    # -- features ------------------------------------------------------------
+
+    def _context_tokens(self, text: str, span_text: str) -> list[str]:
+        """Tokens in a window around the first occurrence of ``span_text``."""
+        position = text.find(span_text)
+        if position < 0:
+            before, after = text, ""
+        else:
+            before = text[:position]
+            after = text[position + len(span_text):]
+        left = tokenize(before)[-self.window:]
+        right = tokenize(after)[:self.window]
+        return [f"L:{tok}" for tok in left] + [f"R:{tok}" for tok in right]
+
+    # -- training ----------------------------------------------------------------
+
+    def train(self, examples: list[SlotExample]) -> None:
+        """Fit class priors and token likelihoods from labelled spans."""
+        if not examples:
+            raise ValueError("cannot train the slot model without examples")
+        labels = {example.is_quantity for example in examples}
+        if labels != {True, False}:
+            raise ValueError("training needs both positive and negative spans")
+        for example in examples:
+            self._class_counts[example.is_quantity] += 1
+            bucket = self._token_counts[example.is_quantity]
+            for feature in self._context_tokens(example.text, example.span_text):
+                bucket[feature] = bucket.get(feature, 0) + 1
+                self._vocabulary.add(feature)
+        self._trained = True
+
+    # -- inference ------------------------------------------------------------------
+
+    def quantity_log_odds(self, text: str, span_text: str) -> float:
+        """log P(quantity | context) - log P(not quantity | context)."""
+        if not self._trained:
+            raise RuntimeError("slot model is not trained")
+        features = self._context_tokens(text, span_text)
+        vocab_size = max(len(self._vocabulary), 1)
+        total = sum(self._class_counts.values())
+        log_odds = (
+            math.log((self._class_counts[True] + self.smoothing)
+                     / (total + 2 * self.smoothing))
+            - math.log((self._class_counts[False] + self.smoothing)
+                       / (total + 2 * self.smoothing))
+        )
+        for feature in features:
+            for label, sign in ((True, 1.0), (False, -1.0)):
+                count = self._token_counts[label].get(feature, 0)
+                class_total = sum(self._token_counts[label].values())
+                prob = (count + self.smoothing) / (
+                    class_total + self.smoothing * vocab_size
+                )
+                log_odds += sign * math.log(prob)
+        return log_odds
+
+    def predicts_quantity(self, text: str, span_text: str) -> bool:
+        """Algorithm 1 step-2 verdict for one masked span."""
+        return self.quantity_log_odds(text, span_text) >= 0.0

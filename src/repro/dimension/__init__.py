@@ -1,0 +1,46 @@
+"""Dimension algebra: the eight-base dimensional system of DimUnitKB.
+
+The paper (Section II-A, Table III) represents every quantity's dimension
+as a product of powers of eight bases::
+
+    dim(q) = L^alpha M^beta H^gamma E^sigma T^epsilon A^zeta I^eta  (+ D)
+
+where the bases are Amount of substance (A), Electric current (E),
+Length (L), Luminous intensity (I), Mass (M), Thermodynamic temperature
+(H), Time (T) and the Dimensionless marker (D).
+
+This package provides:
+
+- :class:`DimensionVector` -- an immutable exponent vector with exact
+  (rational) arithmetic, parsing and rendering in the paper's formats.
+- dimension-law helpers (:mod:`repro.dimension.laws`) implementing the
+  comparability / additivity rules quoted in Section III-A.3.
+"""
+
+from repro.dimension.vector import (
+    BASE_ORDER,
+    BASE_QUANTITIES,
+    BASE_UNIT_SYMBOLS,
+    DIMENSIONLESS,
+    DimensionError,
+    DimensionVector,
+)
+from repro.dimension.laws import (
+    DimensionLawViolation,
+    are_comparable,
+    require_comparable,
+    dimension_of_expression,
+)
+
+__all__ = [
+    "BASE_ORDER",
+    "BASE_QUANTITIES",
+    "BASE_UNIT_SYMBOLS",
+    "DIMENSIONLESS",
+    "DimensionError",
+    "DimensionVector",
+    "DimensionLawViolation",
+    "are_comparable",
+    "require_comparable",
+    "dimension_of_expression",
+]

@@ -1,0 +1,85 @@
+"""Dimension laws: the rules quantities must obey (paper Section III-A.3).
+
+    "These laws assert that only physical quantities with identical
+    dimensions can be added, subtracted, or compared."
+
+plus the arithmetic closure used by the Dimension Arithmetic task
+(Definition 6): the dimension of a product/quotient expression of units is
+the product/quotient of their dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.dimension.vector import DimensionError, DimensionVector
+
+
+class DimensionLawViolation(ValueError):
+    """Raised when an operation would combine incomparable dimensions."""
+
+    def __init__(self, message: str, left: DimensionVector, right: DimensionVector):
+        super().__init__(message)
+        self.left = left
+        self.right = right
+
+
+def are_comparable(left: DimensionVector, right: DimensionVector) -> bool:
+    """Comparable Analysis predicate (Definition 4): same dimension."""
+    return left == right
+
+
+def require_comparable(
+    left: DimensionVector,
+    right: DimensionVector,
+    operation: str = "compare",
+) -> None:
+    """Raise :class:`DimensionLawViolation` unless ``left == right``.
+
+    Used by :class:`repro.units.quantity.Quantity` before add/sub/compare,
+    which is exactly how the running example in Fig. 1 catches the
+    poundal-vs-square-feet "unit trap".
+    """
+    if not are_comparable(left, right):
+        raise DimensionLawViolation(
+            f"cannot {operation} quantities of dimension "
+            f"{left.to_formula() or 'D'} and {right.to_formula() or 'D'}",
+            left,
+            right,
+        )
+
+
+#: Arithmetic operations allowed in unit expressions (Table I: op in {x, /}).
+_OPERATIONS: dict[str, Callable[[DimensionVector, DimensionVector], DimensionVector]] = {
+    "*": lambda a, b: a * b,
+    "x": lambda a, b: a * b,
+    "×": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "÷": lambda a, b: a / b,
+}
+
+
+def dimension_of_expression(
+    dimensions: Sequence[DimensionVector],
+    operators: Sequence[str],
+) -> DimensionVector:
+    """Fold ``d1 op1 d2 op2 ... dn`` left-to-right (Definition 6).
+
+    ``operators`` must contain exactly ``len(dimensions) - 1`` entries, each
+    one of ``* x × / ÷``.
+    """
+    if not dimensions:
+        raise DimensionError("empty dimension expression")
+    if len(operators) != len(dimensions) - 1:
+        raise DimensionError(
+            f"{len(dimensions)} operands need {len(dimensions) - 1} operators, "
+            f"got {len(operators)}"
+        )
+    result = dimensions[0]
+    for operator, operand in zip(operators, dimensions[1:]):
+        try:
+            fold = _OPERATIONS[operator]
+        except KeyError as exc:
+            raise DimensionError(f"unknown unit operator {operator!r}") from exc
+        result = fold(result, operand)
+    return result

@@ -1,0 +1,334 @@
+"""The :class:`DimensionVector` type and its parsing/rendering helpers.
+
+DimUnitKB stores each unit's dimension as a ``DimensionVec`` string such as
+``"A0E0L0I0M1H0T-2D0"`` (Fig. 2 of the paper, the entry for dyne per
+centimetre).  The human-readable *dimensional formula* for the same unit is
+``MT-2``.  This module implements both representations over an exact
+rational exponent vector, together with the product/quotient/power algebra
+that dimension analysis requires.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+#: Canonical base order used by the ``DimensionVec`` feature (Table III).
+BASE_ORDER: tuple[str, ...] = ("A", "E", "L", "I", "M", "H", "T", "D")
+
+#: Fundamental quantity measured by each base (Table III).
+BASE_QUANTITIES: Mapping[str, str] = {
+    "A": "Amount of Substance",
+    "E": "Electric Current",
+    "L": "Length",
+    "I": "LuminousIntensity",
+    "M": "Mass",
+    "H": "Thermodynamic Temperature",
+    "T": "Time",
+    "D": "Dimensionless",
+}
+
+#: SI basic unit symbol for each base (Table III; D has no unit).
+BASE_UNIT_SYMBOLS: Mapping[str, str] = {
+    "A": "mol",
+    "E": "A",
+    "L": "m",
+    "I": "cd",
+    "M": "kg",
+    "H": "K",
+    "T": "s",
+    "D": "-",
+}
+
+#: Display order for dimensional formulas, matching the paper's
+#: ``dim(q) = L^a M^b H^g E^s T^e A^z I^h`` convention.
+FORMULA_ORDER: tuple[str, ...] = ("L", "M", "H", "E", "T", "A", "I")
+
+_VECTOR_TOKEN = re.compile(r"([AELIMHTD])(-?\d+(?:/\d+)?)")
+_FORMULA_TOKEN = re.compile(
+    r"([AELIMHTD])\s*(?:\^?\s*(-?\d+(?:/\d+)?)|([²³¹⁰⁴-⁹⁻]+))?"
+)
+_SUPERSCRIPTS = {
+    "⁰": "0", "¹": "1", "²": "2", "³": "3",
+    "⁴": "4", "⁵": "5", "⁶": "6", "⁷": "7",
+    "⁸": "8", "⁹": "9", "⁻": "-",
+}
+
+
+class DimensionError(ValueError):
+    """Raised when a dimension string cannot be parsed or is inconsistent."""
+
+
+def _coerce_exponent(value: object) -> Fraction:
+    """Convert an int/str/Fraction exponent into an exact Fraction."""
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        try:
+            return Fraction(value)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise DimensionError(f"bad exponent {value!r}") from exc
+    if isinstance(value, float):
+        frac = Fraction(value).limit_denominator(1000)
+        if abs(float(frac) - value) > 1e-9:
+            raise DimensionError(f"non-rational exponent {value!r}")
+        return frac
+    raise DimensionError(f"unsupported exponent type {type(value).__name__}")
+
+
+class DimensionVector:
+    """An immutable vector of rational exponents over the eight bases.
+
+    The ``D`` slot is a *marker*, not an algebraic exponent: a quantity is
+    dimensionless exactly when all seven physical exponents are zero, and
+    the canonical form then sets ``D=1`` (mirroring DimUnitKB's
+    ``...D0``/``...D1`` convention).  Algebra therefore only tracks the
+    seven physical bases; ``D`` is derived.
+
+    Instances are hashable and support ``*``, ``/``, ``**`` and ``==``.
+    """
+
+    __slots__ = ("_exponents",)
+
+    def __init__(self, exponents: Mapping[str, object] | None = None, **kwargs: object):
+        merged: dict[str, object] = dict(exponents or {})
+        merged.update(kwargs)
+        values = {}
+        for base, exponent in merged.items():
+            if base == "D":
+                continue  # derived, see class docstring
+            if base not in BASE_ORDER:
+                raise DimensionError(f"unknown dimension base {base!r}")
+            frac = _coerce_exponent(exponent)
+            if frac:
+                values[base] = frac
+        self._exponents: tuple[Fraction, ...] = tuple(
+            values.get(base, Fraction(0)) for base in BASE_ORDER[:-1]
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def dimensionless(cls) -> "DimensionVector":
+        """The dimension of pure numbers, angles, ratios and counts."""
+        return cls()
+
+    @classmethod
+    def from_exponent_tuple(cls, exponents: Iterable[object]) -> "DimensionVector":
+        """Build from the 7 physical exponents in ``BASE_ORDER`` order."""
+        values = list(exponents)
+        if len(values) != len(BASE_ORDER) - 1:
+            raise DimensionError(
+                f"expected {len(BASE_ORDER) - 1} exponents, got {len(values)}"
+            )
+        return cls(dict(zip(BASE_ORDER, values)))
+
+    @classmethod
+    def parse(cls, text: str) -> "DimensionVector":
+        """Parse either a ``DimensionVec`` string or a dimensional formula.
+
+        Accepts the KB vector form (``"A0E0L0I0M1H0T-2D0"``), the compact
+        formula form (``"MT-2"``, ``"LMT-2"``), caret/space forms
+        (``"L M T^-2"``, ``"L*M/T^2"`` is *not* supported -- use
+        :func:`repro.dimension.laws.dimension_of_expression` for unit
+        expressions) and unicode superscripts (``"LMT⁻²"``).
+        """
+        if not isinstance(text, str):
+            raise DimensionError(f"expected str, got {type(text).__name__}")
+        stripped = text.strip()
+        if not stripped or stripped in {"D", "D0", "D1", "1", "-"}:
+            return cls.dimensionless()
+        if stripped.endswith(("D0", "D1")):
+            # A trailing D marker is unique to the KB vector format; formulas
+            # never carry an explicit D exponent.  Parse strictly.
+            return cls._parse_vector_form(stripped)
+        if _looks_like_vector_form(stripped):
+            try:
+                return cls._parse_vector_form(stripped)
+            except DimensionError:
+                pass  # e.g. "LM-1H-1T-1I-1" is a formula, not a KB vector
+        return cls._parse_formula_form(stripped)
+
+    @classmethod
+    def _parse_vector_form(cls, text: str) -> "DimensionVector":
+        matches = _VECTOR_TOKEN.findall(text)
+        consumed = "".join(base + exp for base, exp in matches)
+        if consumed != text.replace(" ", ""):
+            raise DimensionError(f"malformed DimensionVec string {text!r}")
+        exponents: dict[str, Fraction] = {}
+        for base, exp in matches:
+            if base in exponents:
+                raise DimensionError(f"duplicate base {base!r} in {text!r}")
+            exponents[base] = _coerce_exponent(exp)
+        return cls(exponents)
+
+    @classmethod
+    def _parse_formula_form(cls, text: str) -> "DimensionVector":
+        cleaned = text.replace("·", " ").replace("*", " ")
+        exponents: dict[str, Fraction] = {}
+        position = 0
+        for match in _FORMULA_TOKEN.finditer(cleaned):
+            gap = cleaned[position:match.start()]
+            if gap.strip():
+                raise DimensionError(f"unparseable fragment {gap!r} in {text!r}")
+            position = match.end()
+            base, ascii_exp, sup_exp = match.groups()
+            if sup_exp:
+                ascii_exp = "".join(_SUPERSCRIPTS.get(ch, "?") for ch in sup_exp)
+                if "?" in ascii_exp:
+                    raise DimensionError(f"bad superscript in {text!r}")
+            exponent = _coerce_exponent(ascii_exp) if ascii_exp else Fraction(1)
+            exponents[base] = exponents.get(base, Fraction(0)) + exponent
+        if cleaned[position:].strip():
+            raise DimensionError(f"unparseable fragment in {text!r}")
+        if not exponents:
+            raise DimensionError(f"empty dimensional formula {text!r}")
+        return cls(exponents)
+
+    # -- accessors ---------------------------------------------------------
+
+    def exponent(self, base: str) -> Fraction:
+        """Exponent of ``base``; for ``D`` returns 1 iff dimensionless."""
+        if base == "D":
+            return Fraction(1) if self.is_dimensionless else Fraction(0)
+        try:
+            return self._exponents[BASE_ORDER.index(base)]
+        except ValueError as exc:
+            raise DimensionError(f"unknown dimension base {base!r}") from exc
+
+    def __getitem__(self, base: str) -> Fraction:
+        return self.exponent(base)
+
+    @property
+    def is_dimensionless(self) -> bool:
+        return not any(self._exponents)
+
+    @property
+    def physical_exponents(self) -> tuple[Fraction, ...]:
+        """The 7 physical exponents in ``BASE_ORDER`` order (D excluded)."""
+        return self._exponents
+
+    def nonzero_bases(self) -> list[str]:
+        """Bases with a non-zero exponent, in formula display order."""
+        return [base for base in FORMULA_ORDER if self.exponent(base)]
+
+    # -- algebra -----------------------------------------------------------
+
+    def __mul__(self, other: "DimensionVector") -> "DimensionVector":
+        if not isinstance(other, DimensionVector):
+            return NotImplemented
+        return DimensionVector.from_exponent_tuple(
+            a + b for a, b in zip(self._exponents, other._exponents)
+        )
+
+    def __truediv__(self, other: "DimensionVector") -> "DimensionVector":
+        if not isinstance(other, DimensionVector):
+            return NotImplemented
+        return DimensionVector.from_exponent_tuple(
+            a - b for a, b in zip(self._exponents, other._exponents)
+        )
+
+    def __pow__(self, power: object) -> "DimensionVector":
+        exponent = _coerce_exponent(power)
+        return DimensionVector.from_exponent_tuple(
+            value * exponent for value in self._exponents
+        )
+
+    def inverse(self) -> "DimensionVector":
+        """The reciprocal dimension (all exponents negated)."""
+        return self ** -1
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DimensionVector):
+            return NotImplemented
+        return self._exponents == other._exponents
+
+    def __hash__(self) -> int:
+        return hash(self._exponents)
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_vector_string(self) -> str:
+        """Render in DimUnitKB's ``DimensionVec`` format.
+
+        Example: ``MT^-2`` renders as ``"A0E0L0I0M1H0T-2D0"``; the
+        dimensionless vector renders as ``"A0E0L0I0M0H0T0D1"``.
+        """
+        parts = []
+        for base in BASE_ORDER[:-1]:
+            value = self.exponent(base)
+            parts.append(f"{base}{_format_exponent(value)}")
+        parts.append("D1" if self.is_dimensionless else "D0")
+        return "".join(parts)
+
+    def to_formula(self, separator: str = "") -> str:
+        """Render the compact dimensional formula, e.g. ``"LMT-2"``.
+
+        Dimensionless quantities render as ``"D"`` (the paper writes the
+        dimensionless marker explicitly in Fig. 5 option lists).
+        """
+        if self.is_dimensionless:
+            return "D"
+        parts = []
+        for base in FORMULA_ORDER:
+            value = self.exponent(base)
+            if not value:
+                continue
+            if value == 1:
+                parts.append(base)
+            else:
+                parts.append(f"{base}{_format_exponent(value)}")
+        return separator.join(parts)
+
+    def to_si_expression(self) -> str:
+        """Render as a product of SI base-unit symbols, e.g. ``m2*kg/s2``.
+
+        This is the option format used by the Dimension Prediction task in
+        Fig. 5 (e.g. ``m2·kg/s2``).
+        """
+        if self.is_dimensionless:
+            return "1"
+        numerator: list[str] = []
+        denominator: list[str] = []
+        for base in FORMULA_ORDER:
+            value = self.exponent(base)
+            if not value:
+                continue
+            symbol = BASE_UNIT_SYMBOLS[base]
+            magnitude = abs(value)
+            token = symbol if magnitude == 1 else f"{symbol}{_format_exponent(magnitude)}"
+            if value > 0:
+                numerator.append(token)
+            else:
+                denominator.append(token)
+        head = "*".join(numerator) if numerator else "1"
+        if denominator:
+            return f"{head}/{'*'.join(denominator)}"
+        return head
+
+    def __repr__(self) -> str:
+        return f"DimensionVector({self.to_formula() or 'D'!r})"
+
+    def __str__(self) -> str:
+        return self.to_formula()
+
+
+def _format_exponent(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _looks_like_vector_form(text: str) -> bool:
+    """Vector form mentions at least 4 distinct bases each followed by digits."""
+    matches = _VECTOR_TOKEN.findall(text)
+    return len(matches) >= 4 and all(exp != "" for _, exp in matches)
+
+
+#: Shared dimensionless singleton (cheap to construct, provided for clarity).
+DIMENSIONLESS = DimensionVector.dimensionless()

@@ -1,0 +1,50 @@
+"""DimEval: the seven-task dimension-perception benchmark (Section IV).
+
+Three categories (Fig. 5):
+
+- *Basic perception*: Quantity Extraction, QuantityKind Match
+- *Dimension perception*: Comparable Analysis, Dimension Prediction,
+  Dimension Arithmetic
+- *Scale perception*: Magnitude Comparison, Unit Conversion
+
+Each generator emits :class:`DimEvalExample` objects carrying both a
+symbolic prompt (for the transformer substrate) and a natural-language
+question (for the simulated baselines), plus a templated CoT reasoning
+target per Section IV-D.
+"""
+
+from repro.dimeval.schema import (
+    CATEGORY_OF_TASK,
+    TASK_CATEGORIES,
+    TASKS,
+    DimEvalExample,
+    Task,
+)
+from repro.dimeval.benchmark import DimEvalBenchmark, DimEvalSplit
+from repro.dimeval.metrics import (
+    ExtractionScore,
+    MCQScore,
+    parse_choice,
+    parse_extraction,
+    score_extraction,
+    score_mcq,
+)
+from repro.dimeval.evaluate import TaskResult, evaluate_model
+
+__all__ = [
+    "CATEGORY_OF_TASK",
+    "DimEvalBenchmark",
+    "DimEvalExample",
+    "DimEvalSplit",
+    "ExtractionScore",
+    "MCQScore",
+    "Task",
+    "TASKS",
+    "TASK_CATEGORIES",
+    "TaskResult",
+    "evaluate_model",
+    "parse_choice",
+    "parse_extraction",
+    "score_extraction",
+    "score_mcq",
+]

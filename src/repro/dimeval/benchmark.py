@@ -1,0 +1,77 @@
+"""DimEval assembly: train/eval splits for all seven tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dimeval.generators import GENERATORS
+from repro.dimeval.schema import DimEvalExample, Task
+from repro.units.kb import DimUnitKB
+
+
+@dataclass(frozen=True)
+class DimEvalSplit:
+    """Per-task example lists for one split."""
+
+    examples: dict[Task, list[DimEvalExample]]
+
+    def task_examples(self, task: Task) -> list[DimEvalExample]:
+        """Examples of one task within this split."""
+        return self.examples[task]
+
+    def all_examples(self) -> list[DimEvalExample]:
+        """Every example across the seven tasks."""
+        return [ex for examples in self.examples.values() for ex in examples]
+
+    def __len__(self) -> int:
+        return sum(len(examples) for examples in self.examples.values())
+
+
+class DimEvalBenchmark:
+    """Builds deterministic train/eval splits over the seven tasks.
+
+    Train and eval draw from the same task distributions with disjoint
+    RNG streams (the paper finetunes on the training portions of the
+    same benchmark it evaluates -- Section IV-D).
+    """
+
+    def __init__(
+        self,
+        kb: DimUnitKB,
+        seed: int = 0,
+        train_per_task: int = 300,
+        eval_per_task: int = 45,
+        pool_size: int = 240,
+        extraction_whole_values: bool = False,
+    ):
+        """``extraction_whole_values`` switches the quantity-extraction
+        task to the bounded single-token value vocabulary (DESIGN.md §4b)."""
+        if train_per_task < 0 or eval_per_task < 0:
+            raise ValueError("split sizes must be non-negative")
+        self._kb = kb
+        self._seed = seed
+        self._train_per_task = train_per_task
+        self._eval_per_task = eval_per_task
+        self._pool_size = pool_size
+        self._extraction_whole_values = extraction_whole_values
+
+    def _build_split(self, offset: int, per_task: int) -> DimEvalSplit:
+        examples: dict[Task, list[DimEvalExample]] = {}
+        for generator_cls in GENERATORS:
+            kwargs = {}
+            if generator_cls.task is Task.QUANTITY_EXTRACTION:
+                kwargs["whole_value_tokens"] = self._extraction_whole_values
+            generator = generator_cls(
+                self._kb, seed=self._seed + offset,
+                pool_size=self._pool_size, **kwargs,
+            )
+            examples[generator.task] = generator.generate(per_task)
+        return DimEvalSplit(examples)
+
+    def train_split(self) -> DimEvalSplit:
+        """The finetuning split."""
+        return self._build_split(offset=0, per_task=self._train_per_task)
+
+    def eval_split(self) -> DimEvalSplit:
+        """The held-out evaluation split (disjoint RNG stream)."""
+        return self._build_split(offset=104729, per_task=self._eval_per_task)

@@ -1,0 +1,98 @@
+"""DimEval dataset export: JSONL release format.
+
+The paper releases DimEval as a benchmark; this module serialises the
+generated splits into a line-per-example JSON format carrying the
+natural question, symbolic prompt, options, gold answer and CoT target,
+and reads them back for external evaluation harnesses.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.dimeval.schema import DimEvalExample, Task
+
+
+class DatasetExportError(ValueError):
+    """Raised for malformed DimEval JSONL documents."""
+
+
+def example_to_dict(example: DimEvalExample) -> dict:
+    """One example as a JSON-compatible dict."""
+    return {
+        "task": example.task.value,
+        "prompt": example.prompt,
+        "question": example.question,
+        "options": list(example.options),
+        "option_tokens": list(example.option_tokens),
+        "answer_index": example.answer_index,
+        "reasoning": example.reasoning,
+        "payload": _jsonable(example.payload),
+    }
+
+
+def example_from_dict(data: dict) -> DimEvalExample:
+    """Rebuild an example from its JSON dict."""
+    try:
+        return DimEvalExample(
+            task=Task(data["task"]),
+            prompt=data["prompt"],
+            question=data["question"],
+            options=tuple(data.get("options", ())),
+            answer_index=int(data["answer_index"]),
+            reasoning=data.get("reasoning", ""),
+            option_tokens=tuple(data.get("option_tokens", ())),
+            payload=_detuple(data.get("payload", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetExportError(f"bad DimEval record: {exc}") from exc
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _detuple(value):
+    if isinstance(value, dict):
+        return {key: _detuple(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return tuple(_detuple(item) for item in value)
+    return value
+
+
+def save_examples(
+    examples: Iterable[DimEvalExample], path: str | pathlib.Path
+) -> int:
+    """Write examples to JSONL; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for example in examples:
+            handle.write(json.dumps(example_to_dict(example),
+                                    ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_examples(path: str | pathlib.Path) -> list[DimEvalExample]:
+    """Read examples back from a JSONL file."""
+    examples = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                data = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise DatasetExportError(
+                    f"line {line_number}: invalid JSON ({exc})"
+                ) from exc
+            examples.append(example_from_dict(data))
+    return examples

@@ -1,0 +1,114 @@
+"""Shared infrastructure for DimEval dataset generators."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.dimeval.schema import OPTION_LETTERS, DimEvalExample, Task
+from repro.units.kb import DimUnitKB
+from repro.units.schema import UnitRecord
+from repro.utils.rng import spawn_rng
+
+
+def frequent_unit_pool(kb: DimUnitKB, size: int = 240) -> tuple[UnitRecord, ...]:
+    """The benchmark's working set: most frequent units, affine excluded.
+
+    DimEval questions draw from frequency-ranked units (Section III-A.4
+    motivates the frequency feature with exactly this use); affine
+    temperature scales are excluded because most tasks need pure factors.
+    """
+    pool = [
+        unit for unit in kb.top_units_by_frequency(size * 2)
+        if not unit.is_affine
+    ]
+    return tuple(pool[:size])
+
+
+def unit_token(unit: UnitRecord) -> str:
+    """The symbolic vocabulary token for a unit."""
+    return f"U:{unit.unit_id}"
+
+
+def scale_token(unit: UnitRecord) -> str:
+    """A coarse log10-magnitude token, memorisable by the substrate."""
+    return f"S:{int(round(math.log10(unit.conversion_value)))}"
+
+
+def render_options(surfaces: Sequence[str]) -> str:
+    """Natural-language option block: ``(A) x (B) y ...``."""
+    return " ".join(
+        f"{letter} {surface}" for letter, surface in zip(OPTION_LETTERS, surfaces)
+    )
+
+
+class TaskGenerator:
+    """Base class: owns the KB, RNG, and the frequent-unit pool."""
+
+    task: Task
+
+    def __init__(self, kb: DimUnitKB, seed: int = 0, pool_size: int = 240):
+        self.kb = kb
+        self.rng = spawn_rng(seed, f"dimeval-{self.task.value}")
+        self.pool = frequent_unit_pool(kb, pool_size)
+        if len(self.pool) < 8:
+            raise ValueError("unit pool too small for option sampling")
+
+    # -- helpers ------------------------------------------------------------
+
+    def sample_unit(self) -> UnitRecord:
+        """One frequency-pool unit, uniformly."""
+        return self.rng.choice(list(self.pool))
+
+    def sample_units(self, count: int) -> list[UnitRecord]:
+        """``count`` distinct pool units."""
+        return self.rng.sample(list(self.pool), count)
+
+    def build_mcq(
+        self,
+        *,
+        prompt_body: str,
+        question: str,
+        option_tokens: Sequence[str],
+        option_surfaces: Sequence[str],
+        correct_position: int,
+        reasoning: str,
+        payload: dict,
+    ) -> DimEvalExample:
+        """Assemble a four-option example.
+
+        ``option_tokens`` feed the symbolic prompt; ``option_surfaces``
+        are the natural-language renderings stored on the example.
+        """
+        if len(option_tokens) != 4 or len(option_surfaces) != 4:
+            raise ValueError("DimEval uses m=4 candidate options")
+        options_block = " ".join(
+            f"{letter} {token}"
+            for letter, token in zip(OPTION_LETTERS, option_tokens)
+        )
+        return DimEvalExample(
+            task=self.task,
+            prompt=f"task: {self.task.value} {prompt_body} options: {options_block}",
+            question=question,
+            options=tuple(option_surfaces),
+            answer_index=correct_position,
+            reasoning=reasoning,
+            option_tokens=tuple(option_tokens),
+            payload=payload,
+        )
+
+    def shuffle_options(self, correct: object, distractors: Sequence[object]) -> tuple[list[object], int]:
+        """Random option order; returns (items, index of the correct one)."""
+        items = [correct, *distractors]
+        self.rng.shuffle(items)
+        return items, items.index(correct)
+
+    def generate(self, count: int) -> list[DimEvalExample]:
+        """``count`` fresh examples."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.generate_one() for _ in range(count)]
+
+    def generate_one(self) -> DimEvalExample:  # pragma: no cover - abstract
+        """One fresh example (implemented per task)."""
+        raise NotImplementedError

@@ -1,0 +1,61 @@
+"""Comparable Analysis (Definition 4).
+
+"Which of the following 4 physical quantities is comparable to the
+physical quantity Millimetre?  (A) m/s (B) Acre (C) Beaufort (D) Light
+Year" -- comparable means *same dimension* (the dimension law).
+"""
+
+from __future__ import annotations
+
+from repro.dimeval.generators.common import TaskGenerator, render_options, unit_token
+from repro.dimeval.schema import DimEvalExample, Task
+
+
+class ComparableAnalysisGenerator(TaskGenerator):
+    task = Task.COMPARABLE_ANALYSIS
+
+    def generate_one(self) -> DimEvalExample:
+        """One comparable-analysis item (Definition 4)."""
+        while True:
+            query = self.sample_unit()
+            comparables = [
+                unit for unit in self.kb.comparable_units(query)
+                if unit in self.pool
+            ]
+            if comparables:
+                break
+        correct = self.rng.choice(comparables)
+        distractors: list = []
+        while len(distractors) < 3:
+            candidate = self.sample_unit()
+            if candidate.dimension == query.dimension:
+                continue
+            if any(candidate.unit_id == d.unit_id for d in distractors):
+                continue
+            distractors.append(candidate)
+        units, position = self.shuffle_options(correct, distractors)
+        surfaces = [unit.symbol for unit in units]
+        dim_steps = " ".join(
+            f"dim {unit_token(unit)} = {unit.dimension.to_formula() or 'D'}"
+            for unit in units
+        )
+        reasoning = (
+            f"dim {unit_token(query)} = {query.dimension.to_formula() or 'D'} "
+            f"{dim_steps}"
+        )
+        return self.build_mcq(
+            prompt_body=f"unit: {unit_token(query)}",
+            question=(
+                f"Which of the following 4 physical quantities is comparable "
+                f"to the physical quantity {query.label_en} ? "
+                f"Options: {render_options(surfaces)}"
+            ),
+            option_tokens=[unit_token(unit) for unit in units],
+            option_surfaces=surfaces,
+            correct_position=position,
+            reasoning=reasoning,
+            payload={
+                "query_unit": query.unit_id,
+                "option_units": tuple(unit.unit_id for unit in units),
+            },
+        )

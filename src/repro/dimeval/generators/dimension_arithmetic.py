@@ -1,0 +1,82 @@
+"""Dimension Arithmetic (Definition 6).
+
+Given a unit expression like "Joule * Meter", pick the unit whose
+dimension equals the expression's dimension (Fig. 5's example answers
+with dim L3MT-2).  Expressions use two or three operands joined by
+``*``/``/`` and are folded by the dimension laws.
+"""
+
+from __future__ import annotations
+
+from repro.dimension import dimension_of_expression
+from repro.dimeval.generators.common import TaskGenerator, render_options, unit_token
+from repro.dimeval.schema import DimEvalExample, Task
+
+
+class DimensionArithmeticGenerator(TaskGenerator):
+    task = Task.DIMENSION_ARITHMETIC
+
+    def generate_one(self) -> DimEvalExample:
+        """One dimension-arithmetic item (Definition 6)."""
+        for _ in range(200):
+            operand_count = self.rng.choice((2, 2, 3))
+            operands = self.sample_units(operand_count)
+            ops = [self.rng.choice(("*", "/")) for _ in operands[1:]]
+            result_dim = dimension_of_expression(
+                [unit.dimension for unit in operands], ops
+            )
+            matches = [
+                unit for unit in self.pool
+                if unit.dimension == result_dim
+            ]
+            if matches:
+                break
+        else:  # pragma: no cover - pool always contains matches in practice
+            raise RuntimeError("failed to build a dimension-arithmetic item")
+        correct = self.rng.choice(matches)
+        distractors: list = []
+        while len(distractors) < 3:
+            candidate = self.sample_unit()
+            if candidate.dimension == result_dim:
+                continue
+            if any(candidate.unit_id == d.unit_id for d in distractors):
+                continue
+            distractors.append(candidate)
+        units, position = self.shuffle_options(correct, distractors)
+        surfaces = [unit.label_en for unit in units]
+        expr_text = " ".join(
+            part
+            for pair in zip([unit.label_en for unit in operands],
+                            ops + [""])
+            for part in pair if part
+        )
+        expr_tokens = " ".join(
+            part
+            for pair in zip([unit_token(unit) for unit in operands],
+                            ops + [""])
+            for part in pair if part
+        )
+        return self.build_mcq(
+            prompt_body=f"expr: {expr_tokens}",
+            question=(
+                f'Which of the following 4 units of quantity represents the '
+                f'equivalent quantity to "{expr_text}"? '
+                f"Options: {render_options(surfaces)}"
+            ),
+            option_tokens=[unit_token(unit) for unit in units],
+            option_surfaces=surfaces,
+            correct_position=position,
+            reasoning=(
+                " ".join(
+                    f"dim {unit_token(unit)} = {unit.dimension.to_formula() or 'D'}"
+                    for unit in operands
+                )
+                + f" dim expr = {result_dim.to_formula() or 'D'}"
+                f" match {unit_token(correct)}"
+            ),
+            payload={
+                "expr_units": tuple(unit.unit_id for unit in operands),
+                "ops": tuple(ops),
+                "option_units": tuple(unit.unit_id for unit in units),
+            },
+        )

@@ -1,0 +1,73 @@
+"""Dimension Prediction (Definition 5).
+
+A context sentence has its quantity replaced by ``[MASK]``; the model
+picks the candidate whose dimension fits the masked slot, with options
+rendered as SI base-unit expressions (Fig. 5: "m2·kg/s2").  Contexts are
+drawn from the same predicate templates the synthetic KG uses, so the
+predicate wording ("年发电量", "annual output") is the signal.
+"""
+
+from __future__ import annotations
+
+from repro.dimeval.generators.common import TaskGenerator, render_options
+from repro.dimeval.schema import DimEvalExample, Task
+from repro.kg.synthesis import DOMAIN_SPECS
+from repro.text.tokenizer import tokenize
+
+
+def _context_templates() -> list[tuple[str, str, str]]:
+    """(sentence with {mask}, predicate, unit id) triples from KG specs."""
+    templates = []
+    for spec in DOMAIN_SPECS:
+        for predicate in spec.quantity_predicates:
+            for unit_id in predicate.unit_ids:
+                for subject in spec.subjects[:4]:
+                    templates.append((
+                        f"{subject}的{predicate.predicate}是{{mask}}。",
+                        predicate.predicate,
+                        unit_id,
+                    ))
+    return templates
+
+
+class DimensionPredictionGenerator(TaskGenerator):
+    task = Task.DIMENSION_PREDICTION
+
+    def __init__(self, kb, seed: int = 0, pool_size: int = 240):
+        super().__init__(kb, seed, pool_size)
+        self._templates = _context_templates()
+
+    def generate_one(self) -> DimEvalExample:
+        """One dimension-prediction item (Definition 5)."""
+        sentence, predicate, unit_id = self.rng.choice(self._templates)
+        gold_unit = self.kb.get(unit_id)
+        gold_dim = gold_unit.dimension
+        distractor_dims = []
+        while len(distractor_dims) < 3:
+            candidate = self.sample_unit().dimension
+            if candidate == gold_dim or candidate in distractor_dims:
+                continue
+            distractor_dims.append(candidate)
+        dims, position = self.shuffle_options(gold_dim, distractor_dims)
+        surfaces = [dim.to_si_expression() for dim in dims]
+        masked = sentence.format(mask="[MASK]")
+        context_tokens = " ".join(tokenize(masked, lowercase=True))
+        return self.build_mcq(
+            prompt_body=f"context: {context_tokens}",
+            question=(
+                f'"{masked}" Which unit is probably in [MASK]? '
+                f"Options: {render_options(surfaces)}"
+            ),
+            option_tokens=[f"DIM:{dim.to_formula() or 'D'}" for dim in dims],
+            option_surfaces=surfaces,
+            correct_position=position,
+            reasoning=(
+                f"predicate {predicate} kind K:{gold_unit.quantity_kind} "
+                f"dim = {gold_dim.to_formula() or 'D'}"
+            ),
+            payload={
+                "predicate": predicate,
+                "gold_unit": unit_id,
+                "option_dims": tuple(dim.to_formula() or "D" for dim in dims),
+            },
+        )

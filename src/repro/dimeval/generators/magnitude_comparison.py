@@ -1,0 +1,60 @@
+"""Magnitude Comparison (Definition 7).
+
+"Which of the following four physical quantities is the largest one?
+(A) 1 cm (B) 1 light year (C) 1 Mile (D) 1 fermi" -- four unit
+quantities of the same dimension; pick the one with the largest
+magnitude.  Following the Fig. 5 example, every option has value 1, so
+the decision is purely about unit scale.
+"""
+
+from __future__ import annotations
+
+from repro.dimeval.generators.common import (
+    TaskGenerator,
+    render_options,
+    scale_token,
+    unit_token,
+)
+from repro.dimeval.schema import DimEvalExample, Task
+
+
+class MagnitudeComparisonGenerator(TaskGenerator):
+    task = Task.MAGNITUDE_COMPARISON
+
+    def generate_one(self) -> DimEvalExample:
+        """One magnitude-comparison item (Definition 7)."""
+        while True:
+            anchor = self.sample_unit()
+            family = [
+                unit for unit in self.kb.units_with_dimension(anchor.dimension)
+                if unit in self.pool and not unit.is_affine
+            ]
+            # Need four units with distinct coarse scales, so the
+            # templated reasoning ("largest S:x") is unambiguous.
+            seen: dict[str, object] = {}
+            for unit in family:
+                seen.setdefault(scale_token(unit), unit)
+            if len(seen) >= 4:
+                break
+        chosen = self.rng.sample(list(seen.values()), 4)
+        largest = max(chosen, key=lambda unit: unit.conversion_value)
+        distractors = [unit for unit in chosen if unit is not largest]
+        units, position = self.shuffle_options(largest, distractors)
+        surfaces = [f"1 {unit.label_en}" for unit in units]
+        reasoning = " ".join(
+            f"scale {unit_token(unit)} = {scale_token(unit)}" for unit in units
+        ) + f" largest {scale_token(largest)}"
+        return self.build_mcq(
+            prompt_body="compare:",
+            question=(
+                "Which of the following four physical quantities is the "
+                f"largest one? Options: {render_options(surfaces)}"
+            ),
+            option_tokens=[unit_token(unit) for unit in units],
+            option_surfaces=surfaces,
+            correct_position=position,
+            reasoning=reasoning,
+            payload={
+                "option_units": tuple(unit.unit_id for unit in units),
+            },
+        )

@@ -1,0 +1,97 @@
+"""Quantity Extraction (Definition 2).
+
+Given a sentence, produce the quantity list with value and unit parts.
+Examples come from the synthetic corpus generator (which carries gold
+annotations); prompts digit-split numeric literals so values can be
+copied at character level by the substrate, and targets serialise as
+``v1 | U:uid1 ; v2 | U:uid2``.
+
+``whole_value_tokens=True`` switches to a bounded value vocabulary:
+values are quantised to small integers and kept as single tokens in both
+prompt and target, reducing value extraction to single-token copying --
+a substrate-scale simplification documented in DESIGN.md §4b.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.corpus.generator import CorpusGenerator, GoldQuantity
+from repro.dimeval.generators.common import TaskGenerator
+from repro.dimeval.schema import DimEvalExample, Task
+from repro.text.tokenizer import tokenize
+
+
+def digit_split(token: str) -> list[str]:
+    """Split numeric literals into characters; keep other tokens whole."""
+    if any(ch.isdigit() for ch in token):
+        return list(token)
+    return [token]
+
+
+def serialize_quantities(
+    pairs: list[tuple[str, str]], whole_values: bool = False
+) -> str:
+    """Target serialisation: ``4 5 0 | U:KiloGM ; 2 . 0 6 | U:M``."""
+    chunks = []
+    for value_text, unit_id in pairs:
+        digits = value_text if whole_values else " ".join(value_text)
+        chunks.append(f"{digits} | U:{unit_id}")
+    return " ; ".join(chunks)
+
+
+class QuantityExtractionGenerator(TaskGenerator):
+    task = Task.QUANTITY_EXTRACTION
+
+    def __init__(self, kb, seed: int = 0, pool_size: int = 240,
+                 whole_value_tokens: bool = False):
+        super().__init__(kb, seed, pool_size)
+        self._corpus = CorpusGenerator(kb, seed=seed + 7919)
+        self._whole_values = whole_value_tokens
+
+    def _quantise(self, sentence):
+        """Rewrite every gold value to a pooled small integer."""
+        text = sentence.text
+        quantities = []
+        for gold in sentence.quantities:
+            new_value = float(self.rng.randint(1, 99))
+            new_text = f"{new_value:g}"
+            text = text.replace(gold.value_text, new_text, 1)
+            quantities.append(GoldQuantity(
+                new_value, gold.unit_id, new_text, gold.unit_text,
+            ))
+        return dataclasses.replace(
+            sentence, text=text, quantities=tuple(quantities)
+        )
+
+    def generate_one(self) -> DimEvalExample:
+        """One quantity-extraction item (Definition 2)."""
+        sentence = self._corpus.quantitative_sentence()
+        if self._whole_values:
+            sentence = self._quantise(sentence)
+            prompt_text = " ".join(tokenize(sentence.text))
+        else:
+            tokens: list[str] = []
+            for token in tokenize(sentence.text):
+                tokens.extend(digit_split(token))
+            prompt_text = " ".join(tokens)
+        gold_pairs = [
+            (gold.value_text, gold.unit_id) for gold in sentence.quantities
+        ]
+        serialisation = serialize_quantities(gold_pairs, self._whole_values)
+        return DimEvalExample(
+            task=self.task,
+            prompt=f"task: {self.task.value} text: {prompt_text}",
+            question=(
+                "Extract every quantity (value and unit) from the text: "
+                f"{sentence.text}"
+            ),
+            options=(),
+            answer_index=-1,
+            reasoning=f"found {len(gold_pairs)} quantities",
+            payload={
+                "text": sentence.text,
+                "gold": tuple(gold_pairs),
+                "target_serialisation": serialisation,
+            },
+        )

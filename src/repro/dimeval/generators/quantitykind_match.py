@@ -1,0 +1,49 @@
+"""QuantityKind Match (Definition 3).
+
+"Which of the following 4 units of quantity is the measurement of
+ElectricCurrent?  (A) Meter (B) Faraday (C) Ampere (D) Siemens"
+"""
+
+from __future__ import annotations
+
+from repro.dimeval.generators.common import TaskGenerator, render_options, unit_token
+from repro.dimeval.schema import DimEvalExample, Task
+
+
+class QuantityKindMatchGenerator(TaskGenerator):
+    task = Task.QUANTITYKIND_MATCH
+
+    def generate_one(self) -> DimEvalExample:
+        """One quantity-kind-match item (Definition 3)."""
+        correct = self.sample_unit()
+        kind = correct.quantity_kind
+        distractors: list = []
+        while len(distractors) < 3:
+            candidate = self.sample_unit()
+            if candidate.quantity_kind == kind:
+                continue
+            if any(candidate.unit_id == d.unit_id for d in distractors):
+                continue
+            if candidate.unit_id == correct.unit_id:
+                continue
+            distractors.append(candidate)
+        units, position = self.shuffle_options(correct, distractors)
+        surfaces = [unit.label_en for unit in units]
+        fact_steps = " ".join(
+            f"{unit_token(unit)} is K:{unit.quantity_kind}" for unit in units
+        )
+        return self.build_mcq(
+            prompt_body=f"kind: K:{kind}",
+            question=(
+                f"Which of the following 4 units of quantity is the "
+                f"measurement of {kind} ? Options: {render_options(surfaces)}"
+            ),
+            option_tokens=[unit_token(unit) for unit in units],
+            option_surfaces=surfaces,
+            correct_position=position,
+            reasoning=f"{fact_steps} match K:{kind}",
+            payload={
+                "kind": kind,
+                "option_units": tuple(unit.unit_id for unit in units),
+            },
+        )

@@ -1,0 +1,85 @@
+"""Unit Conversion (Definition 8).
+
+"In terms of the physical quantity Density, how many milligrams per
+decilitre is equal to 1 kg/m^3?  (A) 10.0 (B) 1000.0 (C) 100.0
+(D) 200.0" -- find beta with ``u1 = beta * u2``.  Pairs are restricted
+to conversions whose factor prints compactly, so the factor vocabulary
+stays bounded for the substrate.
+"""
+
+from __future__ import annotations
+
+from repro.dimeval.generators.common import TaskGenerator, render_options, unit_token
+from repro.dimeval.schema import DimEvalExample, Task
+from repro.units.conversion import conversion_factor
+
+
+def _compact(value: float) -> str | None:
+    """A short, *exact* decimal rendering, or None if the factor is messy.
+
+    Exactness (the text parses back to the same float) keeps the option
+    vocabulary clean and guarantees the gold option equals the true beta.
+    """
+    text = f"{value:g}"
+    if "e" in text or len(text) > 7:
+        return None
+    if float(text) != value:
+        return None
+    return text
+
+
+class UnitConversionGenerator(TaskGenerator):
+    task = Task.UNIT_CONVERSION
+
+    _DISTRACTOR_MULTIPLIERS = (10.0, 0.1, 100.0, 0.01, 2.0, 0.5, 1000.0)
+
+    def generate_one(self) -> DimEvalExample:
+        """One unit-conversion item (Definition 8)."""
+        while True:
+            source = self.sample_unit()
+            comparables = [
+                unit for unit in self.kb.comparable_units(source)
+                if unit in self.pool and not unit.is_affine
+            ]
+            self.rng.shuffle(comparables)
+            target = None
+            factor_text = None
+            for candidate in comparables:
+                beta = conversion_factor(source, candidate)
+                text = _compact(beta)
+                if text is not None and beta != 1.0:
+                    target, factor_text, factor = candidate, text, beta
+                    break
+            if target is not None:
+                break
+        distractor_texts: list[str] = []
+        for multiplier in self._DISTRACTOR_MULTIPLIERS:
+            text = _compact(factor * multiplier)
+            if text is not None and text != factor_text and text not in distractor_texts:
+                distractor_texts.append(text)
+            if len(distractor_texts) == 3:
+                break
+        while len(distractor_texts) < 3:  # extremely rare fallback
+            text = _compact(float(self.rng.randint(2, 9)))
+            if text and text != factor_text and text not in distractor_texts:
+                distractor_texts.append(text)
+        options, position = self.shuffle_options(factor_text, distractor_texts)
+        kind = source.quantity_kind
+        return self.build_mcq(
+            prompt_body=f"from: {unit_token(source)} to: {unit_token(target)}",
+            question=(
+                f"In terms of the physical quantity {kind}, how many "
+                f"{target.label_en} is equal to 1 {source.symbol}? "
+                f"Options: {render_options(options)}"
+            ),
+            option_tokens=list(options),
+            option_surfaces=list(options),
+            correct_position=position,
+            reasoning=f"factor {unit_token(source)} -> {unit_token(target)} = {factor_text}",
+            payload={
+                "source_unit": source.unit_id,
+                "target_unit": target.unit_id,
+                "factor": factor,
+                "option_factors": tuple(options),
+            },
+        )

@@ -1,0 +1,145 @@
+"""DimEval metrics (Section VI-D).
+
+Multiple-choice tasks report Precision (correct / answered) and F1,
+where models may *abstain* (produce no parseable option letter) -- the
+paper observes that LLMs "refrain from providing responses to the
+questions they are unsure about, which results in lower F1-scores".
+Quantity extraction reports F1 over (value, unit) pairs (QE), values
+only (VE) and units only (UE).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+
+_CHOICE = re.compile(r"\(([A-D])\)")
+_SERIAL_CHUNK = re.compile(r"\s*;\s*")
+
+
+def parse_choice(output: str) -> int | None:
+    """Option index from a model completion, or None for abstention.
+
+    The answer is taken from the text after the last ``<sep>`` if one is
+    present (the R <sep> A convention), otherwise from anywhere in the
+    output; the last option letter wins.
+    """
+    if "<sep>" in output:
+        output = output.rsplit("<sep>", 1)[1]
+    letters = _CHOICE.findall(output)
+    if not letters:
+        return None
+    return "ABCD".index(letters[-1])
+
+
+def parse_option_token(output: str, option_tokens: tuple[str, ...]) -> int | None:
+    """Option index from a content-token answer, or None for abstention.
+
+    The answer tail (after the last ``<sep>``) is matched against the
+    example's option tokens; an option letter anywhere in the output is
+    accepted as a fallback.
+    """
+    tail = output.rsplit("<sep>", 1)[1] if "<sep>" in output else output
+    tail = tail.strip()
+    if tail in option_tokens:
+        return option_tokens.index(tail)
+    return parse_choice(output)
+
+
+def parse_extraction(output: str) -> list[tuple[str, str]]:
+    """Parse a ``v | U:uid ; ...`` serialisation back into pairs.
+
+    Digit-split values are re-joined ("8 3 . 2" -> "83.2"); chunks
+    without a unit token are kept with an empty unit id.
+    """
+    if "<sep>" in output:
+        output = output.rsplit("<sep>", 1)[1]
+    pairs: list[tuple[str, str]] = []
+    for chunk in _SERIAL_CHUNK.split(output.strip()):
+        if not chunk:
+            continue
+        value_part, _, unit_part = chunk.partition("|")
+        value = "".join(value_part.split())
+        unit_token = unit_part.strip()
+        unit_id = unit_token[2:] if unit_token.startswith("U:") else ""
+        if value or unit_id:
+            pairs.append((value, unit_id))
+    return pairs
+
+
+@dataclass(frozen=True)
+class MCQScore:
+    """Precision/F1 with abstention accounting for one MCQ task."""
+
+    total: int
+    answered: int
+    correct: int
+
+    @property
+    def precision(self) -> float:
+        return self.correct / self.answered if self.answered else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def score_mcq(predictions: list[int | None], gold: list[int]) -> MCQScore:
+    """Aggregate MCQ predictions into an MCQScore."""
+    if len(predictions) != len(gold):
+        raise ValueError("prediction/gold length mismatch")
+    answered = sum(1 for p in predictions if p is not None)
+    correct = sum(1 for p, g in zip(predictions, gold) if p == g)
+    return MCQScore(total=len(gold), answered=answered, correct=correct)
+
+
+@dataclass(frozen=True)
+class ExtractionScore:
+    """QE / VE / UE F1 for the quantity extraction task."""
+
+    qe_f1: float
+    ve_f1: float
+    ue_f1: float
+
+
+def _multiset_f1(predicted: list, gold: list) -> float:
+    if not predicted and not gold:
+        return 1.0
+    if not predicted or not gold:
+        return 0.0
+    overlap = sum((Counter(predicted) & Counter(gold)).values())
+    precision = overlap / len(predicted)
+    recall = overlap / len(gold)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def score_extraction(
+    predictions: list[list[tuple[str, str]]],
+    gold: list[list[tuple[str, str]]],
+) -> ExtractionScore:
+    """Mean per-sentence F1 for pairs (QE), values (VE) and units (UE)."""
+    if len(predictions) != len(gold):
+        raise ValueError("prediction/gold length mismatch")
+    if not gold:
+        return ExtractionScore(0.0, 0.0, 0.0)
+    qe = ve = ue = 0.0
+    for predicted_pairs, gold_pairs in zip(predictions, gold):
+        qe += _multiset_f1(predicted_pairs, list(gold_pairs))
+        ve += _multiset_f1(
+            [value for value, _ in predicted_pairs],
+            [value for value, _ in gold_pairs],
+        )
+        ue += _multiset_f1(
+            [unit for _, unit in predicted_pairs],
+            [unit for _, unit in gold_pairs],
+        )
+    count = len(gold)
+    return ExtractionScore(qe / count, ve / count, ue / count)

@@ -1,0 +1,103 @@
+"""Example schema and task taxonomy for DimEval."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Task(str, Enum):
+    """The seven DimEval tasks (Definitions 2-8)."""
+
+    QUANTITY_EXTRACTION = "quantity_extraction"
+    QUANTITYKIND_MATCH = "quantitykind_match"
+    COMPARABLE_ANALYSIS = "comparable_analysis"
+    DIMENSION_PREDICTION = "dimension_prediction"
+    DIMENSION_ARITHMETIC = "dimension_arithmetic"
+    MAGNITUDE_COMPARISON = "magnitude_comparison"
+    UNIT_CONVERSION = "unit_conversion"
+
+
+TASKS: tuple[Task, ...] = tuple(Task)
+
+#: The three DimEval categories (Section IV-A).
+TASK_CATEGORIES: dict[str, tuple[Task, ...]] = {
+    "Basic Perception": (
+        Task.QUANTITY_EXTRACTION,
+        Task.QUANTITYKIND_MATCH,
+    ),
+    "Dimension Perception": (
+        Task.COMPARABLE_ANALYSIS,
+        Task.DIMENSION_PREDICTION,
+        Task.DIMENSION_ARITHMETIC,
+    ),
+    "Scale Perception": (
+        Task.MAGNITUDE_COMPARISON,
+        Task.UNIT_CONVERSION,
+    ),
+}
+
+CATEGORY_OF_TASK: dict[Task, str] = {
+    task: category
+    for category, tasks in TASK_CATEGORIES.items()
+    for task in tasks
+}
+
+#: Option letters, shared with the instruction stage.
+OPTION_LETTERS = ("(A)", "(B)", "(C)", "(D)")
+
+
+@dataclass(frozen=True)
+class DimEvalExample:
+    """One benchmark item.
+
+    ``prompt`` is the symbolic encoding consumed by the transformer
+    substrate; ``question`` is the natural-language rendering shown to
+    simulated baselines (and humans); ``reasoning`` is the rule-templated
+    CoT sequence R of Section IV-D, so the full training target is
+    ``reasoning <sep> answer``.
+
+    For multiple-choice tasks ``options`` holds the four surface strings
+    and ``answer_index`` the gold position.  For quantity extraction,
+    ``options`` is empty, ``answer_index`` is ``-1`` and ``payload``
+    carries the gold value/unit pairs.
+    """
+
+    task: Task
+    prompt: str
+    question: str
+    options: tuple[str, ...]
+    answer_index: int
+    reasoning: str
+    option_tokens: tuple[str, ...] = ()
+    payload: dict = field(default_factory=dict)
+
+    @property
+    def is_multiple_choice(self) -> bool:
+        return bool(self.options)
+
+    @property
+    def answer_letter(self) -> str:
+        if not self.is_multiple_choice:
+            raise ValueError("extraction examples have no option letter")
+        return OPTION_LETTERS[self.answer_index]
+
+    @property
+    def answer_text(self) -> str:
+        """The gold answer in the form the model must emit after <sep>.
+
+        For MCQ tasks this is the gold option's *content token* (the
+        unit/dimension/factor itself) rather than a positional letter:
+        substrate-scale models answer by naming the option, and the
+        evaluator maps the token back to its index.
+        """
+        if self.is_multiple_choice:
+            if self.option_tokens:
+                return self.option_tokens[self.answer_index]
+            return self.answer_letter
+        return self.payload["target_serialisation"]
+
+    @property
+    def training_target(self) -> str:
+        """The "<bos> R <sep> A <eos>" body (specials added by trainer)."""
+        return f"{self.reasoning} <sep> {self.answer_text}"

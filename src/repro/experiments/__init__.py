@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(quick=True, seed=0) -> ExperimentResult``;
+``quick`` selects CPU-bench-sized training budgets, ``quick=False`` the
+fuller (still CPU-scale) budgets documented in DESIGN.md.  The runner
+CLI regenerates any experiment: ``python -m repro.experiments table7``.
+"""
+
+from repro.experiments.reporting import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

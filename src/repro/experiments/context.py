@@ -1,0 +1,159 @@
+"""Shared trained-model context for the heavy experiments.
+
+Tables VII/VIII/IX and Figs. 6/7 all need the trained substrate; this
+module trains it once per (quick, seed, digit_tokenization) and caches
+the result for the lifetime of the process, so a full benchmark run
+pays for each training budget once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dimperc import DimPercConfig, DimPercModels, DimPercPipeline
+from repro.core.encoding import mwp_example
+from repro.mwp.augmentation import Augmenter
+from repro.mwp.datasets import (
+    MWPDataset,
+    build_benchmark_suite,
+    build_training_pool,
+)
+from repro.units import default_kb
+from repro.units.kb import DimUnitKB
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Training/evaluation budget for one mode."""
+
+    train_per_task: int
+    eval_per_task: int
+    instruction_examples: int
+    instruction_steps: int
+    dimeval_steps: int
+    pool_size: int
+    d_model: int
+    d_ff: int
+    batch_size: int
+    mwp_train_count: int
+    mwp_eval_count: int
+    mwp_steps: int
+    curve_steps: int
+    curve_checkpoints: int
+
+
+QUICK = ScaleProfile(
+    train_per_task=450, eval_per_task=45,
+    instruction_examples=500, instruction_steps=300,
+    dimeval_steps=2600, pool_size=120,
+    d_model=96, d_ff=192, batch_size=24,
+    mwp_train_count=450, mwp_eval_count=45, mwp_steps=500,
+    curve_steps=300, curve_checkpoints=3,
+)
+
+FULL = ScaleProfile(
+    train_per_task=700, eval_per_task=45,
+    instruction_examples=700, instruction_steps=400,
+    dimeval_steps=6000, pool_size=140,
+    d_model=96, d_ff=192, batch_size=24,
+    mwp_train_count=900, mwp_eval_count=225, mwp_steps=1200,
+    curve_steps=1000, curve_checkpoints=10,
+)
+
+
+def profile_for(quick: bool) -> ScaleProfile:
+    """The budget profile for quick/full mode."""
+    return QUICK if quick else FULL
+
+
+@dataclass
+class TrainedContext:
+    """Everything the heavy experiments share."""
+
+    kb: DimUnitKB
+    profile: ScaleProfile
+    models: DimPercModels
+    mwp_suite: dict[str, MWPDataset]
+    mwp_train_math: MWPDataset
+    mwp_train_ape: MWPDataset
+
+    @property
+    def combined_mwp_pool(self) -> MWPDataset:
+        return MWPDataset(
+            "train-combined",
+            self.mwp_train_math.problems + self.mwp_train_ape.problems,
+        )
+
+
+_CACHE: dict[tuple, TrainedContext] = {}
+
+
+def _mwp_vocab_texts(
+    kb: DimUnitKB, pools: list[MWPDataset], seed: int
+) -> list[str]:
+    """Vocabulary coverage for MWP finetuning, incl. augmented forms."""
+    texts: list[str] = []
+    augmenter = Augmenter(kb, seed=seed)
+    for pool in pools:
+        for problem in pool.problems:
+            example = mwp_example(problem)
+            texts.append(example.prompt)
+            texts.append(example.target)
+        for problem in augmenter.augment_dataset(
+            list(pool.problems), rate=1.0, max_operators=3
+        ):
+            example = mwp_example(problem)
+            texts.append(example.prompt)
+            texts.append(example.target)
+    return texts
+
+
+def get_context(
+    quick: bool = True, seed: int = 0, digit_tokenization: bool = False
+) -> TrainedContext:
+    """The cached trained context for one mode."""
+    key = (quick, seed, digit_tokenization)
+    if key in _CACHE:
+        return _CACHE[key]
+    kb = default_kb()
+    profile = profile_for(quick)
+    # The ET-tokenized context only serves as a base for the Fig. 7 MWP
+    # curves, so its DimEval stage gets a reduced budget.
+    dimeval_steps = (profile.dimeval_steps if not digit_tokenization
+                     else max(profile.dimeval_steps // 2, 1))
+    config = DimPercConfig(
+        seed=seed,
+        d_model=profile.d_model,
+        d_ff=profile.d_ff,
+        pool_size=profile.pool_size,
+        train_per_task=profile.train_per_task,
+        eval_per_task=profile.eval_per_task,
+        instruction_examples=profile.instruction_examples,
+        instruction_steps=profile.instruction_steps,
+        dimeval_steps=dimeval_steps,
+        batch_size=profile.batch_size,
+        digit_tokenization=digit_tokenization,
+    )
+    suite = build_benchmark_suite(kb, seed=seed,
+                                  count=profile.mwp_eval_count)
+    train_math = build_training_pool(kb, "math23k", seed=seed,
+                                     count=profile.mwp_train_count)
+    train_ape = build_training_pool(kb, "ape210k", seed=seed,
+                                    count=profile.mwp_train_count)
+    vocab_texts = _mwp_vocab_texts(kb, [train_math, train_ape], seed)
+    for dataset in suite.values():
+        for problem in dataset.problems:
+            example = mwp_example(problem)
+            vocab_texts.append(example.prompt)
+            vocab_texts.append(example.target)
+    models = DimPercPipeline(kb, config).run(extra_vocab_texts=vocab_texts)
+    context = TrainedContext(
+        kb=kb,
+        profile=profile,
+        models=models,
+        mwp_suite=suite,
+        mwp_train_math=train_math,
+        mwp_train_ape=train_ape,
+    )
+    _CACHE[key] = context
+    return context

@@ -1,0 +1,39 @@
+"""Fig. 3: popular units sorted by the Eq. 1-2 frequency feature."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+from repro.units import default_kb
+from repro.units.frequency import to_display_scale
+
+#: The fifteen (label, score) points read off the paper's Fig. 3.
+PAPER_SERIES = (
+    ("Metre", 100.0), ("Square Metre", 95.99), ("Millimetre", 94.68),
+    ("Kilometre", 92.97), ("Nanometre", 88.57), ("Centimetre", 86.72),
+    ("Inch", 84.93), ("Second", 83.8), ("Micrometre", 83.06),
+    ("Volt", 82.81), ("Gram", 82.33), ("Kilogram", 82.09),
+    ("Hectare", 81.05), ("Hour", 80.89), ("Square kilometre", 80.52),
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate Fig. 3 as an ExperimentResult."""
+    kb = default_kb()
+    result = ExperimentResult(
+        experiment_id="Fig. 3",
+        title="Popular units sorted by frequency feature in DimUnitKB",
+        headers=("Rank", "Unit", "Frequency (measured)", "Frequency (paper)"),
+    )
+    top = kb.top_units_by_frequency(len(PAPER_SERIES))
+    for rank, (unit, (paper_label, paper_score)) in enumerate(
+        zip(top, PAPER_SERIES), start=1
+    ):
+        result.add_row(
+            rank, unit.label_en, to_display_scale(unit.frequency), paper_score
+        )
+        if unit.label_en != paper_label:
+            result.add_note(
+                f"rank {rank}: measured {unit.label_en!r} vs paper "
+                f"{paper_label!r}"
+            )
+    return result

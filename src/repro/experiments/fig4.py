@@ -1,0 +1,34 @@
+"""Fig. 4: top quantity kinds with their top-five units by frequency."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+from repro.units import default_kb
+from repro.units.frequency import to_display_scale
+
+#: How many kinds / units-per-kind the paper's figure shows.
+KIND_COUNT = 14
+UNITS_PER_KIND = 5
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate Fig. 4 as an ExperimentResult."""
+    kb = default_kb()
+    result = ExperimentResult(
+        experiment_id="Fig. 4",
+        title="Top quantity kinds and their top five units",
+        headers=("Kind", "Kind freq", "Top units (freq)"),
+    )
+    for kind, score in kb.top_quantity_kinds(KIND_COUNT, top=UNITS_PER_KIND):
+        units = kb.units_of_kind(kind.name)[:UNITS_PER_KIND]
+        summary = ", ".join(
+            f"{unit.label_en} {to_display_scale(unit.frequency):g}"
+            for unit in units
+        )
+        result.add_row(kind.name, to_display_scale(score), summary)
+    result.add_note(
+        "paper's fourteen kinds: Dimensionless, VolumeFlowRate, Mass, "
+        "ForcePerArea, Length, Volume, Energy, Power, MassDensity, "
+        "MassFlowRate, Time, ElectricCharge, Area, Velocity"
+    )
+    return result

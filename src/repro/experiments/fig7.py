@@ -1,0 +1,71 @@
+"""Fig. 7: accuracy by base model and tokenization strategy.
+
+Four series on Q-Ape210k: {DimPerc, LLaMaIFT} x {with, without equation
+tokenization (ET)}.  The ET arms need their own tokenizer/vocabulary, so
+they train from a separate context with ``digit_tokenization=True``.
+"""
+
+from __future__ import annotations
+
+from repro.core.reasoning import QuantitativeReasoner, ReasoningConfig
+from repro.experiments.context import get_context
+from repro.experiments.reporting import ExperimentResult
+
+
+def _curve(context, checkpoint_base: str, label: str, eval_problems,
+           checkpoint_every: int, seed: int):
+    models = context.models
+    params = (models.dimperc_params if checkpoint_base == "dimperc"
+              else models.llama_ift_params)
+    models.model.load_params(params)
+    reasoner = QuantitativeReasoner(
+        context.kb, models.model, models.tokenizer,
+        ReasoningConfig(seed=seed, steps=context.profile.curve_steps,
+                        augmentation_rate=0.5),
+        name=label,
+    )
+    return reasoner.finetune(
+        context.combined_mwp_pool,
+        rate=0.5,
+        steps=context.profile.curve_steps,
+        eval_problems=eval_problems,
+        checkpoint_every=checkpoint_every,
+        curve_label=label,
+    )
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate Fig. 7 as an ExperimentResult."""
+    plain = get_context(quick=quick, seed=seed, digit_tokenization=False)
+    et = get_context(quick=quick, seed=seed, digit_tokenization=True)
+    profile = plain.profile
+    checkpoint_every = max(profile.curve_steps // profile.curve_checkpoints, 1)
+    result = ExperimentResult(
+        experiment_id="Fig. 7",
+        title="Q-Ape210k accuracy by base model and tokenization strategy",
+        headers=("Series", *(f"step {i * checkpoint_every}"
+                             for i in range(1, profile.curve_checkpoints + 1))),
+    )
+    finals = {}
+    series = (
+        ("DimPerc w/o ET", plain, "dimperc"),
+        ("LLaMaIFT w/o ET", plain, "llama_ift"),
+        ("DimPerc w/ ET", et, "dimperc"),
+        ("LLaMaIFT w/ ET", et, "llama_ift"),
+    )
+    for label, context, base in series:
+        eval_problems = list(context.mwp_suite["Q-Ape210k"].problems)
+        if quick:
+            eval_problems = eval_problems[:30]
+        curve = _curve(context, base, label, eval_problems,
+                       checkpoint_every, seed)
+        result.add_row(label, *(round(100 * a, 2) for a in curve.accuracies))
+        finals[label] = curve.final_accuracy
+    result.add_note(
+        "finals: " + ", ".join(f"{k}: {100 * v:.1f}" for k, v in finals.items())
+    )
+    result.add_note(
+        "paper findings to reproduce: DimPerc > LLaMaIFT (especially "
+        "early), and ET *hurts* at this scale (contradicting GenBERT)"
+    )
+    return result

@@ -1,0 +1,114 @@
+"""Plain-text experiment reports (tables and line series)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: header rows + free-form notes."""
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one table row."""
+        self.rows.append(tuple(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form footnote."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The full plain-text report."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width ASCII table."""
+    rendered = [[_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        return " | ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+    separator = "-+-".join("-" * width for width in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in rendered)
+    return "\n".join(body)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """A horizontal ASCII bar chart (terminal rendering of Fig. 3/4)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if not labels:
+        return "(empty chart)"
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(width * value / peak)), 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def format_series_chart(
+    steps: Sequence[int],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    value_format: str = "{:.0f}",
+) -> str:
+    """A crude ASCII line chart for learning curves (Fig. 6/7).
+
+    Each series is drawn with its own marker; markers overwrite earlier
+    ones on collisions.
+    """
+    if not series:
+        return "(empty chart)"
+    markers = "ox+*#@%&"
+    all_values = [v for values in series.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+    grid = [[" "] * len(steps) for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for column, value in enumerate(values):
+            row = int(round((height - 1) * (value - low) / span))
+            grid[height - 1 - row][column] = marker
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = high - span * row_index / (height - 1 or 1)
+        lines.append(f"{value_format.format(level):>8} | " + "  ".join(row))
+    lines.append(" " * 9 + "+" + "-" * (3 * len(steps)))
+    lines.append(" " * 10 + " ".join(f"{step:>2}" for step in steps))
+    legend = ", ".join(
+        f"{markers[i % len(markers)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(f"   legend: {legend}")
+    return "\n".join(lines)

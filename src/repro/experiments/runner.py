@@ -1,0 +1,70 @@
+"""Experiment registry + CLI: ``python -m repro.experiments.runner table7``."""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+EXPERIMENTS: dict[str, str] = {
+    "table3": "repro.experiments.table3",
+    "table4": "repro.experiments.table4",
+    "fig3": "repro.experiments.fig3",
+    "fig4": "repro.experiments.fig4",
+    "table6": "repro.experiments.table6",
+    "table7": "repro.experiments.table7",
+    "table8": "repro.experiments.table8",
+    "table9": "repro.experiments.table9",
+    "fig6": "repro.experiments.fig6",
+    "fig7": "repro.experiments.fig7",
+}
+
+#: Experiments cheap enough to run by default with ``all``.
+LIGHT = ("table3", "table4", "fig3", "fig4", "table6")
+
+
+def run_experiment(name: str, quick: bool = True, seed: int = 0):
+    """Run one registered experiment by id."""
+    try:
+        module_name = EXPERIMENTS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(module_name)
+    return module.run(quick=quick, seed=seed)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}), 'light', or 'all'",
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="use the fuller training budgets")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    names: list[str] = []
+    for item in args.experiments:
+        if item == "all":
+            names.extend(EXPERIMENTS)
+        elif item == "light":
+            names.extend(LIGHT)
+        else:
+            names.append(item)
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, quick=not args.full, seed=args.seed)
+        print(result.render())
+        print(f"  [{name} took {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Table III: the eight dimension bases and their fundamental quantities."""
+
+from __future__ import annotations
+
+from repro.dimension import BASE_ORDER, BASE_QUANTITIES, BASE_UNIT_SYMBOLS
+from repro.experiments.reporting import ExperimentResult
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table III as an ExperimentResult."""
+    result = ExperimentResult(
+        experiment_id="Table III",
+        title="Symbols of the eight dimensions and fundamental quantities",
+        headers=("Dim.", "Fundamental Quantity", "Basic Unit Symbol"),
+    )
+    for base in BASE_ORDER:
+        result.add_row(base, BASE_QUANTITIES[base], BASE_UNIT_SYMBOLS[base])
+    result.add_note("Static KB metadata; identical to the paper by design.")
+    return result

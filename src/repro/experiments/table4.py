@@ -1,0 +1,46 @@
+"""Table IV: DimUnitKB statistics vs UoM and WolframAlpha."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+from repro.simulated.wolfram import WolframAlphaEngine
+from repro.units import default_kb
+
+#: The UoM row is quoted from the paper (their Table IV); UoM ships no
+#: dimension vectors or frequency data.
+_UOM_ROW = ("UoM", 76, 16, "-", "En", "no")
+
+#: Paper-reported values for the other two rows, for side-by-side
+#: comparison with our measured statistics.
+PAPER_REFERENCE = {
+    "WolframAlpha": (540, 173, 63),
+    "DimUnitDB": (1778, 327, 175),
+}
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table IV as an ExperimentResult."""
+    kb = default_kb()
+    engine = WolframAlphaEngine(kb)
+    result = ExperimentResult(
+        experiment_id="Table IV",
+        title="Statistics of DimUnitDB in comparison to UoM / WolframAlpha",
+        headers=("Resource", "#Units", "#QuantityKind", "#Dim.Vector",
+                 "Lang.", "Freq."),
+    )
+    result.add_row(*_UOM_ROW)
+    for stats in (engine.statistics(), kb.statistics()):
+        result.add_row(
+            stats.resource,
+            stats.num_units,
+            stats.num_quantity_kinds,
+            stats.num_dimension_vectors,
+            "&".join(stats.languages),
+            "yes" if stats.has_frequency else "no",
+        )
+    for name, (units, kinds, dims) in PAPER_REFERENCE.items():
+        result.add_note(
+            f"paper reports {name}: {units} units / {kinds} kinds / "
+            f"{dims} dim vectors"
+        )
+    return result

@@ -1,0 +1,42 @@
+"""Table VI: statistics of the quantitative-reasoning evaluation datasets."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+from repro.mwp import build_benchmark_suite
+from repro.units import default_kb
+
+#: Paper-reported rows: (#units, bucket counts).
+PAPER_REFERENCE = {
+    "N-Math23k": (17, (162, 47, 16, 0)),
+    "N-Ape210k": (18, (139, 55, 27, 4)),
+    "Q-Math23k": (35, (108, 86, 24, 7)),
+    "Q-Ape210k": (52, (99, 68, 39, 19)),
+}
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table VI as an ExperimentResult."""
+    kb = default_kb()
+    count = 100 if quick else 225
+    suite = build_benchmark_suite(kb, seed=seed, count=count)
+    result = ExperimentResult(
+        experiment_id="Table VI",
+        title="Statistics of evaluation datasets on quantitative reasoning",
+        headers=("Dataset", "#Num", "#Units",
+                 "[0,3]", "(3,5]", "(5,8]", "(8,inf)"),
+    )
+    for name, dataset in suite.items():
+        stats = dataset.statistics()
+        result.add_row(
+            stats.name, stats.num_problems, stats.num_units,
+            *stats.operation_buckets,
+        )
+        paper_units, paper_buckets = PAPER_REFERENCE[name]
+        result.add_note(
+            f"paper {name}: 225 problems, {paper_units} units, "
+            f"buckets {paper_buckets}"
+        )
+    if quick:
+        result.add_note(f"quick mode: {count} problems per dataset (paper: 225)")
+    return result

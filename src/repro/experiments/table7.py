@@ -1,0 +1,122 @@
+"""Table VII: DimEval results across models and settings.
+
+Rows:
+- tool-augmented simulated LLMs (GPT-4 / GPT-3.5-Turbo + WolframAlpha),
+- simulated closed/open LLM baselines (calibrated to the paper's table),
+- DimPerc: our *actually trained* transformer substrate.
+
+Simulated rows are averaged over ``seeds`` runs to tame 45-item variance
+and are labelled ``(simulated)``.
+"""
+
+from __future__ import annotations
+
+from repro.dimeval.evaluate import evaluate_model
+from repro.dimeval.schema import Task
+from repro.experiments.context import get_context
+from repro.experiments.reporting import ExperimentResult
+from repro.simulated import (
+    CalibratedLLM,
+    MODEL_PROFILES,
+    ToolAugmentedLLM,
+    WolframAlphaEngine,
+)
+
+_MCQ_TASKS = (
+    Task.QUANTITYKIND_MATCH,
+    Task.COMPARABLE_ANALYSIS,
+    Task.DIMENSION_PREDICTION,
+    Task.DIMENSION_ARITHMETIC,
+    Task.MAGNITUDE_COMPARISON,
+    Task.UNIT_CONVERSION,
+)
+
+_HEADERS = (
+    "Model", "#params",
+    "QE", "VE", "UE",
+    "QK-P", "QK-F1", "CA-P", "CA-F1", "DP-P", "DP-F1",
+    "DA-P", "DA-F1", "MC-P", "MC-F1", "UC-P", "UC-F1",
+)
+
+
+def _mean_results(model_factory, split, seeds: int):
+    """Average TaskResult metrics over several stochastic model seeds."""
+    sums: dict = {}
+    for seed in range(seeds):
+        results = evaluate_model(model_factory(seed), split)
+        for task, result in results.items():
+            bucket = sums.setdefault(task, [])
+            bucket.append(result)
+    return sums
+
+
+def _row_from_results(name, params, sums):
+    extraction_runs = sums.get(Task.QUANTITY_EXTRACTION, [])
+    if extraction_runs and any(r.extraction for r in extraction_runs):
+        def mean(attr):
+            return 100.0 * sum(
+                getattr(r.extraction, attr) for r in extraction_runs
+            ) / len(extraction_runs)
+        qe, ve, ue = mean("qe_f1"), mean("ve_f1"), mean("ue_f1")
+        if qe == ve == ue == 0.0:
+            # No extraction support (e.g. PaLM-2's missing Chinese API).
+            extraction_cells = ("-", "-", "-")
+        else:
+            extraction_cells = (round(qe, 2), round(ve, 2), round(ue, 2))
+    else:
+        extraction_cells = ("-", "-", "-")
+    cells = [name, params, *extraction_cells]
+    for task in _MCQ_TASKS:
+        runs = sums[task]
+        precision = 100.0 * sum(r.mcq.precision for r in runs) / len(runs)
+        f1 = 100.0 * sum(r.mcq.f1 for r in runs) / len(runs)
+        cells.extend((round(precision, 2), round(f1, 2)))
+    return tuple(cells)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table VII as an ExperimentResult."""
+    context = get_context(quick=quick, seed=seed)
+    split = context.models.eval_split
+    engine = WolframAlphaEngine(context.kb)
+    seeds = 3 if quick else 5
+    result = ExperimentResult(
+        experiment_id="Table VII",
+        title="Results (%) of different models and settings on DimEval",
+        headers=_HEADERS,
+    )
+    # -- tool-augmented block ------------------------------------------------
+    for name in ("GPT-4", "GPT-3.5-Turbo"):
+        sums = _mean_results(
+            lambda s, n=name: ToolAugmentedLLM(
+                CalibratedLLM(MODEL_PROFILES[n], seed=seed + s),
+                engine, seed=seed + s,
+            ),
+            split, seeds,
+        )
+        result.add_row(*_row_from_results(
+            f"{name} + Wolfram (simulated)", MODEL_PROFILES[name].params, sums
+        ))
+    # -- plain baselines --------------------------------------------------------
+    for name, profile in MODEL_PROFILES.items():
+        sums = _mean_results(
+            lambda s, n=name: CalibratedLLM(MODEL_PROFILES[n], seed=seed + s),
+            split, seeds,
+        )
+        result.add_row(*_row_from_results(
+            f"{name} (simulated)", profile.params, sums
+        ))
+    # -- DimPerc (real training) --------------------------------------------------
+    dimperc = context.models.as_dimperc()
+    sums = {task: [res] for task, res in evaluate_model(dimperc, split).items()}
+    result.add_row(*_row_from_results("DimPerc (ours, trained)", "toy", sums))
+    result.add_note(
+        "paper DimPerc row: QE 71.53 VE 73.61 UE 82.35 | QK 62.81/62.59 | "
+        "CA 83.03/66.50 | DP 99.11/99.13 | DA 66.33/66.28 | MC 83.93/67.22 | "
+        "UC 95.54/95.39"
+    )
+    result.add_note(
+        "simulated rows reproduce Table VII behaviourally (see DESIGN.md); "
+        "the DimPerc row is a real training run of the numpy substrate"
+    )
+    return result

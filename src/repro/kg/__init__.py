@@ -1,0 +1,23 @@
+"""Knowledge-graph substrate: the CN-DBpedia stand-in.
+
+The paper's Algorithm 2 bootstraps quantitative ``<subject, predicate,
+object>`` triplets out of CN-DBpedia.  Offline we provide:
+
+- :class:`TripleStore` -- an indexed in-memory triple store exposing the
+  ``findTriplets`` operations Algorithm 2 needs,
+- :func:`synthesize_kg` -- a deterministic generator that populates the
+  store with quantity-bearing and distractor triples,
+- :class:`BootstrapRetriever` -- Algorithm 2 itself.
+"""
+
+from repro.kg.store import Triple, TripleStore
+from repro.kg.synthesis import synthesize_kg
+from repro.kg.bootstrap import BootstrapResult, BootstrapRetriever
+
+__all__ = [
+    "BootstrapResult",
+    "BootstrapRetriever",
+    "Triple",
+    "TripleStore",
+    "synthesize_kg",
+]

@@ -1,0 +1,115 @@
+"""Algorithm 2: bootstrapping retrieval of quantitative triplets.
+
+Maintains a growing unit-mention set ``M`` and predicate set ``P``::
+
+    M0 <- surface forms of high-frequency units in DimUnitKB
+    repeat delta times:
+        Step 1: P <- predicates of triples whose object mentions some m in M
+        Step 2: drop p from P when the fraction of its triples whose object
+                parses as a quantity (per DimKS) is below tau
+        Step 3: M <- unit mentions extracted from objects of P's triples
+    return the triples of the surviving predicates
+
+The quantity-ratio test reuses the rule-based DimKS annotator
+(:class:`repro.text.extraction.QuantityExtractor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kg.store import Triple, TripleStore
+from repro.text.extraction import QuantityExtractor
+from repro.units.kb import DimUnitKB
+
+
+@dataclass
+class BootstrapResult:
+    """Output of Algorithm 2 plus its trace for inspection/ablation."""
+
+    triples: tuple[Triple, ...]
+    predicates: frozenset[str]
+    mentions: frozenset[str]
+    iterations: int
+    predicate_history: list[frozenset[str]] = field(default_factory=list)
+
+
+class BootstrapRetriever:
+    """Runs Algorithm 2 against a triple store."""
+
+    def __init__(
+        self,
+        kb: DimUnitKB,
+        extractor: QuantityExtractor | None = None,
+        threshold: float = 0.5,
+        iterations: int = 5,
+        seed_units: int = 40,
+    ):
+        """``threshold`` is the paper's tau; ``iterations`` its delta (=5);
+        ``seed_units`` controls the size of the initial high-frequency
+        mention set M0."""
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must lie in (0, 1]")
+        if iterations < 1:
+            raise ValueError("need at least one bootstrap iteration")
+        self._kb = kb
+        self._extractor = extractor or QuantityExtractor(kb)
+        self._threshold = threshold
+        self._iterations = iterations
+        self._seed_units = seed_units
+
+    def initial_mentions(self) -> set[str]:
+        """M0: surface forms of the KB's most frequent units."""
+        mentions: set[str] = set()
+        for unit in self._kb.top_units_by_frequency(self._seed_units):
+            for form in unit.surface_forms():
+                if len(form) >= 1:
+                    mentions.add(form)
+        return mentions
+
+    def quantity_ratio(self, triples: tuple[Triple, ...]) -> float:
+        """Fraction of triples whose object parses as a grounded quantity."""
+        if not triples:
+            return 0.0
+        grounded = sum(
+            1 for triple in triples
+            if self._extractor.extract_grounded(triple.object)
+        )
+        return grounded / len(triples)
+
+    def run(self, store: TripleStore) -> BootstrapResult:
+        """Execute Algorithm 2 over a triple store."""
+        mentions = self.initial_mentions()
+        predicates: set[str] = set()
+        history: list[frozenset[str]] = []
+        for _ in range(self._iterations):
+            # Step 1: grow the predicate set via object-mention search.
+            predicates = set()
+            for mention in mentions:
+                for triple in store.find_by_object_mention(mention):
+                    predicates.add(triple.predicate)
+            # Step 2: filter predicates by quantity ratio.
+            predicates = {
+                predicate for predicate in predicates
+                if self.quantity_ratio(store.find_by_predicate(predicate))
+                >= self._threshold
+            }
+            history.append(frozenset(predicates))
+            # Step 3: refresh the mention set from surviving predicates.
+            mentions = set()
+            for predicate in predicates:
+                for triple in store.find_by_predicate(predicate):
+                    for quantity in self._extractor.extract_grounded(triple.object):
+                        mentions.add(quantity.unit_text)
+            if not mentions:
+                break
+        triples: list[Triple] = []
+        for predicate in sorted(predicates):
+            triples.extend(store.find_by_predicate(predicate))
+        return BootstrapResult(
+            triples=tuple(triples),
+            predicates=frozenset(predicates),
+            mentions=frozenset(mentions),
+            iterations=self._iterations,
+            predicate_history=history,
+        )

@@ -1,0 +1,75 @@
+"""An indexed in-memory ``<subject, predicate, object>`` triple store.
+
+Supports the two retrieval shapes Algorithm 2 uses:
+
+- ``findTriplets(K, m in object)`` -> :meth:`TripleStore.find_by_object_mention`
+- ``findTriplets(K, p)``           -> :meth:`TripleStore.find_by_predicate`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Triple:
+    subject: str
+    predicate: str
+    object: str
+
+    def __str__(self) -> str:
+        return f"<{self.subject}, {self.predicate}, {self.object}>"
+
+
+class TripleStore:
+    """Append-only triple store with predicate and object-substring access."""
+
+    def __init__(self, triples: Iterable[Triple] = ()):
+        self._triples: list[Triple] = []
+        self._by_predicate: dict[str, list[Triple]] = {}
+        self._by_subject: dict[str, list[Triple]] = {}
+        for triple in triples:
+            self.add(triple)
+
+    def add(self, triple: Triple) -> None:
+        """Append one triple and index it."""
+        self._triples.append(triple)
+        self._by_predicate.setdefault(triple.predicate, []).append(triple)
+        self._by_subject.setdefault(triple.subject, []).append(triple)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def predicates(self) -> tuple[str, ...]:
+        """Every distinct predicate."""
+        return tuple(self._by_predicate)
+
+    def subjects(self) -> tuple[str, ...]:
+        """Every distinct subject."""
+        return tuple(self._by_subject)
+
+    def find_by_predicate(self, predicate: str) -> tuple[Triple, ...]:
+        """``findTriplets(K, p)``: all triples with this predicate."""
+        return tuple(self._by_predicate.get(predicate, ()))
+
+    def find_by_subject(self, subject: str) -> tuple[Triple, ...]:
+        """All triples about one subject."""
+        return tuple(self._by_subject.get(subject, ()))
+
+    def find_by_object_mention(self, mention: str) -> tuple[Triple, ...]:
+        """``findTriplets(K, m in object)``: object contains the mention."""
+        needle = mention.casefold()
+        if not needle:
+            return ()
+        return tuple(
+            triple for triple in self._triples
+            if needle in triple.object.casefold()
+        )
+
+    def tail_entities(self) -> tuple[str, ...]:
+        """All object strings -- the paper's corpus-frequency proxy."""
+        return tuple(triple.object for triple in self._triples)

@@ -1,0 +1,217 @@
+"""Synthetic CN-DBpedia population.
+
+Generates a bilingual knowledge graph of entities with quantity-bearing
+predicates (height, area, battery capacity, annual output, ...) plus
+non-quantitative distractor predicates (capital, brand, model codes),
+including Algorithm 1's motivating trap: device codes like "LPUI-1T"
+whose tail looks like "1 Tesla"/"1 tonne".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kg.store import Triple, TripleStore
+from repro.units.kb import DimUnitKB
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class QuantityPredicate:
+    """A predicate whose objects are quantities of known units."""
+
+    predicate: str
+    unit_ids: tuple[str, ...]
+    low: float
+    high: float
+    decimals: int = 1
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """An entity archetype with its quantity and distractor predicates."""
+
+    name: str
+    subjects: tuple[str, ...]
+    quantity_predicates: tuple[QuantityPredicate, ...]
+    distractors: tuple[tuple[str, tuple[str, ...]], ...] = field(default=())
+
+
+_PERSON_NAMES = tuple(
+    f"{surname}{given}" for surname in ("王", "李", "张", "刘", "陈", "杨")
+    for given in ("伟", "娜", "强", "敏", "军", "芳", "磊", "静")
+)
+_CITY_NAMES = tuple(
+    f"{prefix}{suffix}" for prefix in ("临", "宁", "安", "昌", "衡", "平", "广", "青")
+    for suffix in ("江市", "州市", "阳市", "山市", "河市", "城市")
+)
+_RIVER_NAMES = tuple(
+    f"{name}江" for name in ("明", "清", "沅", "澜", "湘", "赣", "汉", "泯")
+) + tuple(f"{name}河" for name in ("洛", "渭", "汾", "淮", "滹", "沱", "漳", "泗"))
+_DEVICE_NAMES = tuple(
+    f"{brand}-{series}{index}" for brand in ("AX", "Nova", "Titan", "Pulse")
+    for series in ("P", "S", "X") for index in (1, 5, 7, 9)
+)
+_VEHICLE_NAMES = tuple(
+    f"{brand}{model}" for brand in ("风行", "远航", "凌云", "驰骋")
+    for model in ("A3", "C5", "S7", "X1", "G9")
+)
+_STATION_NAMES = tuple(
+    f"{place}水电站" for place in ("塔乌扎", "白河", "龙口", "青峰", "石门",
+                                   "红岩", "金沙", "溪洛")
+)
+_BUILDING_NAMES = tuple(
+    f"{place}大厦" for place in ("环球", "中心", "滨江", "云顶", "天际", "明珠")
+)
+_MATERIAL_NAMES = ("石墨烯", "钛合金", "硼硅玻璃", "碳纤维", "聚乙烯", "陶瓷基板")
+
+_DEVICE_CODES = ("LPUI-1T", "QRX-2G", "HKM-5T", "ZCV-3M", "BNT-8K", "DWL-1G")
+
+DOMAIN_SPECS: tuple[DomainSpec, ...] = (
+    DomainSpec(
+        name="person",
+        subjects=_PERSON_NAMES,
+        quantity_predicates=(
+            QuantityPredicate("身高", ("M", "CentiM"), 1.5, 2.1, 2),
+            QuantityPredicate("体重", ("KiloGM", "JIN-Chinese"), 45.0, 120.0, 1),
+            QuantityPredicate("百米成绩", ("SEC",), 9.6, 15.0, 2),
+        ),
+        distractors=(
+            ("国籍", ("中国", "美国", "法国", "日本")),
+            ("职业", ("运动员", "教师", "工程师", "医生")),
+        ),
+    ),
+    DomainSpec(
+        name="city",
+        subjects=_CITY_NAMES,
+        quantity_predicates=(
+            QuantityPredicate("面积", ("KiloM2", "HA"), 50.0, 20000.0, 1),
+            QuantityPredicate("海拔", ("M",), 2.0, 3500.0, 0),
+            QuantityPredicate("年降水量", ("MilliM",), 50.0, 2200.0, 0),
+        ),
+        distractors=(
+            ("所属省份", ("江南省", "河东省", "岭西省", "塞北省")),
+            ("车牌代码", ("甲A", "乙B", "丙C", "丁D")),
+        ),
+    ),
+    DomainSpec(
+        name="river",
+        subjects=_RIVER_NAMES,
+        quantity_predicates=(
+            QuantityPredicate("长度", ("KiloM", "LI-Chinese"), 40.0, 6300.0, 0),
+            QuantityPredicate("流量", ("M3-PER-SEC",), 10.0, 30000.0, 0),
+            QuantityPredicate("流域面积", ("KiloM2",), 100.0, 1800000.0, 0),
+        ),
+        distractors=(
+            ("发源地", ("昆仑山", "祁连山", "巴颜喀拉山", "秦岭")),
+        ),
+    ),
+    DomainSpec(
+        name="device",
+        subjects=_DEVICE_NAMES,
+        quantity_predicates=(
+            QuantityPredicate("电池容量", ("MilliA-HR",), 2000.0, 6500.0, 0),
+            QuantityPredicate("屏幕尺寸", ("IN",), 5.0, 17.0, 1),
+            QuantityPredicate("重量", ("GM", "KiloGM"), 0.12, 450.0, 1),
+            QuantityPredicate("充电功率", ("W",), 18.0, 240.0, 0),
+        ),
+        distractors=(
+            ("型号", _DEVICE_CODES),
+            ("颜色", ("曜石黑", "冰川白", "远峰蓝")),
+        ),
+    ),
+    DomainSpec(
+        name="vehicle",
+        subjects=_VEHICLE_NAMES,
+        quantity_predicates=(
+            QuantityPredicate("最高时速", ("KiloM-PER-HR",), 150.0, 320.0, 0),
+            QuantityPredicate("整备质量", ("KiloGM", "TONNE"), 1.2, 2600.0, 1),
+            QuantityPredicate("油箱容积", ("L",), 35.0, 90.0, 0),
+        ),
+        distractors=(
+            ("品牌", ("风行", "远航", "凌云", "驰骋")),
+        ),
+    ),
+    DomainSpec(
+        name="power_station",
+        subjects=_STATION_NAMES,
+        quantity_predicates=(
+            QuantityPredicate("装机容量", ("MegaW", "KiloW"), 20.0, 22500.0, 0),
+            QuantityPredicate("年发电量", ("KiloW-HR", "MegaW-HR"), 1e5, 1e9, 0),
+            QuantityPredicate("坝高", ("M",), 40.0, 300.0, 0),
+        ),
+        distractors=(
+            ("所在河流", _RIVER_NAMES[:6]),
+        ),
+    ),
+    DomainSpec(
+        name="building",
+        subjects=_BUILDING_NAMES,
+        quantity_predicates=(
+            QuantityPredicate("高度", ("M",), 80.0, 640.0, 0),
+            QuantityPredicate("建筑面积", ("M2",), 8000.0, 500000.0, 0),
+        ),
+        distractors=(
+            ("用途", ("办公", "住宅", "商业", "酒店")),
+        ),
+    ),
+    DomainSpec(
+        name="material",
+        subjects=_MATERIAL_NAMES,
+        quantity_predicates=(
+            QuantityPredicate("密度", ("GM-PER-CentiM3", "KiloGM-PER-M3"), 0.9, 8.9, 2),
+            QuantityPredicate("熔点", ("DEG-C",), 120.0, 3400.0, 0),
+            QuantityPredicate("导热系数", ("W-PER-M-K",), 0.1, 400.0, 1),
+        ),
+        distractors=(
+            ("类别", ("金属", "高分子", "陶瓷", "复合材料")),
+        ),
+    ),
+)
+
+#: Object formats (Chinese label / symbol / English label), weighted.
+_FORMATS = (("zh", 3), ("symbol", 3), ("en", 1))
+
+
+def _format_quantity(value: float, unit, style: str) -> str:
+    text = f"{value:g}"
+    if style == "zh" and unit.label_zh:
+        return f"{text}{unit.label_zh}"
+    if style == "en":
+        return f"{text} {unit.label_en}"
+    return f"{text} {unit.symbol}" if len(unit.symbol) > 2 else f"{text}{unit.symbol}"
+
+
+def synthesize_kg(
+    kb: DimUnitKB,
+    seed: int = 0,
+    triples_per_predicate: int = 12,
+) -> TripleStore:
+    """Populate a :class:`TripleStore` from :data:`DOMAIN_SPECS`.
+
+    Each quantity predicate yields ``triples_per_predicate`` triples with
+    values drawn from its range and units drawn from its unit list; each
+    distractor predicate yields the same number of non-quantity triples.
+    """
+    rng = spawn_rng(seed, "kg-synthesis")
+    store = TripleStore()
+    styles = [style for style, weight in _FORMATS for _ in range(weight)]
+    for spec in DOMAIN_SPECS:
+        for predicate_spec in spec.quantity_predicates:
+            units = [kb.get(uid) for uid in predicate_spec.unit_ids]
+            for _ in range(triples_per_predicate):
+                subject = rng.choice(spec.subjects)
+                unit = rng.choice(units)
+                value = round(
+                    rng.uniform(predicate_spec.low, predicate_spec.high),
+                    predicate_spec.decimals,
+                )
+                if predicate_spec.decimals == 0:
+                    value = int(value)
+                obj = _format_quantity(value, unit, rng.choice(styles))
+                store.add(Triple(subject, predicate_spec.predicate, obj))
+        for predicate, values in spec.distractors:
+            for _ in range(triples_per_predicate):
+                subject = rng.choice(spec.subjects)
+                store.add(Triple(subject, predicate, rng.choice(values)))
+    return store

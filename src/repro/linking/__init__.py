@@ -1,0 +1,34 @@
+"""Unit linking (paper Section III-B).
+
+Maps free-text unit mentions onto DimUnitKB records by combining three
+probability estimates:
+
+- ``Pr(u)``    -- the unit's frequency prior (Eq. 1-2 scores),
+- ``Pr(u|m)``  -- Levenshtein similarity between mention and surface forms,
+- ``Pr(u|c)``  -- context-keyword cosine similarity under a Word2Vec-style
+  embedding (skip-gram trained on the synthetic corpus, with a
+  deterministic hashed-character-n-gram fallback).
+
+The linked unit is ``argmax_u Pr(u) * Pr(u|m) * Pr(u|c)`` (the paper's
+independence assumption).
+"""
+
+from repro.linking.similarity import levenshtein_distance, mention_similarity
+from repro.linking.embeddings import (
+    HashedEmbeddings,
+    SkipGramEmbeddings,
+    WordEmbeddings,
+    cosine_similarity,
+)
+from repro.linking.linker import LinkCandidate, UnitLinker
+
+__all__ = [
+    "HashedEmbeddings",
+    "LinkCandidate",
+    "SkipGramEmbeddings",
+    "UnitLinker",
+    "WordEmbeddings",
+    "cosine_similarity",
+    "levenshtein_distance",
+    "mention_similarity",
+]

@@ -1,0 +1,183 @@
+"""Word embeddings for the context model ``Pr(u|c)``.
+
+Two interchangeable implementations of the :class:`WordEmbeddings`
+protocol:
+
+- :class:`SkipGramEmbeddings` -- a numpy skip-gram with negative sampling
+  (the Word2Vec analogue the paper cites), trainable on the synthetic
+  corpus.
+- :class:`HashedEmbeddings` -- deterministic character-n-gram hashing;
+  needs no training, covers any token (including unseen Chinese
+  characters), and serves as the default backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+
+def cosine_similarity(left: np.ndarray, right: np.ndarray) -> float:
+    """Cosine similarity, 0.0 when either vector is zero."""
+    left_norm = float(np.linalg.norm(left))
+    right_norm = float(np.linalg.norm(right))
+    if left_norm == 0.0 or right_norm == 0.0:
+        return 0.0
+    return float(np.dot(left, right) / (left_norm * right_norm))
+
+
+class WordEmbeddings(Protocol):
+    """Anything that maps tokens to fixed-size vectors."""
+
+    dimension: int
+
+    """The fixed-size vector for a token."""
+    def vector(self, token: str) -> np.ndarray:
+        """The fixed-size vector for a token."""
+        ...
+
+
+class HashedEmbeddings:
+    """Deterministic char-n-gram hashed vectors (fastText-style, no training).
+
+    Each token's vector is the L2-normalised sum of hash-seeded Gaussian
+    vectors of its character n-grams, so tokens sharing substrings ("速"
+    and "速度", "metre" and "metres") receive correlated vectors.
+    """
+
+    def __init__(self, dimension: int = 64, ngram_range: tuple[int, int] = (1, 3)):
+        if dimension <= 0:
+            raise ValueError("embedding dimension must be positive")
+        low, high = ngram_range
+        if low < 1 or high < low:
+            raise ValueError(f"bad ngram range {ngram_range}")
+        self.dimension = dimension
+        self._ngram_range = ngram_range
+        self._cache: dict[str, np.ndarray] = {}
+
+    def _ngram_vector(self, ngram: str) -> np.ndarray:
+        digest = hashlib.sha256(ngram.encode("utf-8")).digest()
+        seed = int.from_bytes(digest[:8], "big") % (2 ** 32)
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal(self.dimension)
+
+    def vector(self, token: str) -> np.ndarray:
+        """The (cached) hashed n-gram vector for a token."""
+        key = token.casefold()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        padded = f"<{key}>"
+        low, high = self._ngram_range
+        total = np.zeros(self.dimension)
+        for size in range(low, high + 1):
+            for start in range(len(padded) - size + 1):
+                total += self._ngram_vector(padded[start:start + size])
+        norm = float(np.linalg.norm(total))
+        result = total / norm if norm else total
+        self._cache[key] = result
+        return result
+
+
+class SkipGramEmbeddings:
+    """Skip-gram with negative sampling, trained with plain numpy SGD.
+
+    Out-of-vocabulary tokens fall back to a :class:`HashedEmbeddings`
+    backend so the linker never sees a zero vector.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 48,
+        window: int = 3,
+        negatives: int = 4,
+        learning_rate: float = 0.05,
+        min_count: int = 1,
+        seed: int = 13,
+    ):
+        self.dimension = dimension
+        self.window = window
+        self.negatives = negatives
+        self.learning_rate = learning_rate
+        self.min_count = min_count
+        self._rng = np.random.default_rng(seed)
+        self._vocab: dict[str, int] = {}
+        self._input_vectors: np.ndarray | None = None
+        self._output_vectors: np.ndarray | None = None
+        self._fallback = HashedEmbeddings(dimension=dimension)
+
+    @property
+    def vocabulary(self) -> tuple[str, ...]:
+        return tuple(self._vocab)
+
+    def train(self, sentences: Iterable[Sequence[str]], epochs: int = 3) -> float:
+        """Train on tokenised sentences; returns the final mean loss."""
+        corpus = [list(sentence) for sentence in sentences if sentence]
+        if not corpus:
+            raise ValueError("cannot train embeddings on an empty corpus")
+        counts: dict[str, int] = {}
+        for sentence in corpus:
+            for token in sentence:
+                counts[token] = counts.get(token, 0) + 1
+        self._vocab = {
+            token: index
+            for index, (token, count) in enumerate(sorted(counts.items()))
+            if count >= self.min_count
+        }
+        size = len(self._vocab)
+        if size == 0:
+            raise ValueError("min_count filtered out the whole vocabulary")
+        scale = 1.0 / self.dimension
+        self._input_vectors = self._rng.uniform(-scale, scale, (size, self.dimension))
+        self._output_vectors = np.zeros((size, self.dimension))
+        last_loss = 0.0
+        for _ in range(epochs):
+            last_loss = self._train_epoch(corpus)
+        return last_loss
+
+    def _train_epoch(self, corpus: list[list[str]]) -> float:
+        assert self._input_vectors is not None
+        assert self._output_vectors is not None
+        total_loss = 0.0
+        pairs = 0
+        for sentence in corpus:
+            indexed = [self._vocab[t] for t in sentence if t in self._vocab]
+            for position, center in enumerate(indexed):
+                lo = max(0, position - self.window)
+                hi = min(len(indexed), position + self.window + 1)
+                for context_pos in range(lo, hi):
+                    if context_pos == position:
+                        continue
+                    total_loss += self._train_pair(center, indexed[context_pos])
+                    pairs += 1
+        return total_loss / max(pairs, 1)
+
+    def _train_pair(self, center: int, context: int) -> float:
+        assert self._input_vectors is not None
+        assert self._output_vectors is not None
+        center_vec = self._input_vectors[center]
+        negative_ids = self._rng.integers(0, len(self._vocab), self.negatives)
+        targets = np.concatenate(([context], negative_ids))
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        output = self._output_vectors[targets]          # (k+1, d)
+        scores = output @ center_vec                    # (k+1,)
+        probs = 1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30)))
+        gradient = probs - labels                       # (k+1,)
+        grad_center = gradient @ output
+        self._output_vectors[targets] -= (
+            self.learning_rate * gradient[:, None] * center_vec[None, :]
+        )
+        self._input_vectors[center] -= self.learning_rate * grad_center
+        eps = 1e-12
+        loss = -(np.log(probs[0] + eps) + np.sum(np.log(1.0 - probs[1:] + eps)))
+        return float(loss)
+
+    def vector(self, token: str) -> np.ndarray:
+        """The trained vector, or the hashed fallback when OOV."""
+        index = self._vocab.get(token)
+        if index is None or self._input_vectors is None:
+            return self._fallback.vector(token)
+        return self._input_vectors[index]

@@ -1,0 +1,150 @@
+"""The unit linking module (paper Definition 1 and Section III-B).
+
+Pipeline per mention:
+
+1. *Candidate unit generation* -- score every surface form in the KB's
+   naming dictionary with normalised Levenshtein similarity; keep units
+   whose best form exceeds ``similarity_threshold``.
+2. *Context-based coreference resolution* -- ``Pr(u|c)`` is the mean over
+   context tokens of the max cosine similarity against the unit's
+   keywords (paper's formula); ``Pr(u)`` is the KB frequency.
+3. Rank by ``Pr(u) * Pr(u|m) * Pr(u|c)`` descending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linking.embeddings import HashedEmbeddings, WordEmbeddings, cosine_similarity
+from repro.linking.similarity import mention_similarity
+from repro.text.tokenizer import tokenize
+from repro.units.kb import DimUnitKB
+from repro.units.schema import UnitRecord
+
+
+@dataclass(frozen=True)
+class LinkCandidate:
+    """One ranked unit-linking result with its probability components."""
+
+    unit: UnitRecord
+    score: float
+    prior: float           # Pr(u)
+    mention_prob: float    # Pr(u|m)
+    context_prob: float    # Pr(u|c)
+
+
+class UnitLinker:
+    """Link text mentions of units to DimUnitKB records."""
+
+    def __init__(
+        self,
+        kb: DimUnitKB,
+        embeddings: WordEmbeddings | None = None,
+        similarity_threshold: float = 0.5,
+        mention_sharpness: float = 4.0,
+    ):
+        """``mention_sharpness`` exponentiates the normalised Levenshtein
+        similarity inside ``Pr(u|m)`` so near-exact surface matches dominate
+        the frequency prior (with the raw ratio, a popular-but-distant unit
+        can outrank an exact symbol hit)."""
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise ValueError("similarity threshold must lie in [0, 1]")
+        if mention_sharpness <= 0.0:
+            raise ValueError("mention sharpness must be positive")
+        self._kb = kb
+        self._embeddings = embeddings or HashedEmbeddings()
+        self._threshold = similarity_threshold
+        self._sharpness = mention_sharpness
+        # surface form -> unit ids, from the KB's naming dictionary
+        self._naming = kb.naming_dictionary()
+
+    @property
+    def kb(self) -> DimUnitKB:
+        return self._kb
+
+    # -- step 1: candidate generation ---------------------------------------
+
+    def candidates(self, mention: str) -> list[tuple[UnitRecord, float]]:
+        """Units whose best surface form clears the similarity threshold.
+
+        Returns ``(unit, Pr(u|m))`` pairs, best first.  Exact surface hits
+        short-circuit with similarity 1.0.
+        """
+        cleaned = mention.strip()
+        if not cleaned:
+            return []
+        best: dict[str, float] = {}
+        exact = self._kb.find_by_surface(cleaned)
+        for unit in exact:
+            best[unit.unit_id] = 1.0
+        for form, unit_ids in self._naming.items():
+            similarity = mention_similarity(cleaned, form)
+            if similarity < self._threshold:
+                continue
+            for unit_id in unit_ids:
+                if similarity > best.get(unit_id, 0.0):
+                    best[unit_id] = similarity
+        ranked = sorted(best.items(), key=lambda item: (-item[1], item[0]))
+        return [(self._kb.get(unit_id), sim) for unit_id, sim in ranked]
+
+    # -- step 2: context model -------------------------------------------------
+
+    def context_probability(self, context: str, unit: UnitRecord) -> float:
+        """``Pr(u|c)``: mean over context tokens of max keyword cosine.
+
+        Clamped to a small positive floor so a missing context never
+        zeroes out the product ranking.
+        """
+        tokens = [t for t in tokenize(context) if t.isalnum() or _is_cjk_token(t)]
+        keywords = unit.keywords or (unit.label_en,)
+        if not tokens:
+            return _CONTEXT_FLOOR
+        keyword_vectors = [self._embeddings.vector(k) for k in keywords]
+        total = 0.0
+        for token in tokens:
+            token_vector = self._embeddings.vector(token)
+            best = max(
+                cosine_similarity(token_vector, keyword_vector)
+                for keyword_vector in keyword_vectors
+            )
+            total += max(best, 0.0)
+        return max(total / len(tokens), _CONTEXT_FLOOR)
+
+    # -- step 3: ranked linking ---------------------------------------------------
+
+    def link(self, mention: str, context: str = "") -> list[LinkCandidate]:
+        """Rank candidates by ``Pr(u) * Pr(u|m) * Pr(u|c)`` (Definition 1)."""
+        candidates = self.candidates(mention)
+        if candidates and candidates[0][1] == 1.0:
+            # An exact surface match preempts fuzzy candidates: "poundal"
+            # must not lose to the more frequent "pound".  Context and the
+            # prior still rank ties among exact matches ("degree").
+            candidates = [(u, s) for u, s in candidates if s == 1.0]
+        results = []
+        for unit, similarity in candidates:
+            prior = unit.frequency
+            mention_prob = similarity ** self._sharpness
+            context_prob = self.context_probability(context, unit)
+            results.append(
+                LinkCandidate(
+                    unit=unit,
+                    score=prior * mention_prob * context_prob,
+                    prior=prior,
+                    mention_prob=mention_prob,
+                    context_prob=context_prob,
+                )
+            )
+        results.sort(key=lambda c: (-c.score, c.unit.unit_id))
+        return results
+
+    def link_best(self, mention: str, context: str = "") -> UnitRecord | None:
+        """The argmax unit, or ``None`` when no candidate clears the bar."""
+        ranked = self.link(mention, context)
+        return ranked[0].unit if ranked else None
+
+
+_CONTEXT_FLOOR = 1e-3
+
+
+def _is_cjk_token(token: str) -> bool:
+    return len(token) == 1 and "一" <= token <= "鿿"

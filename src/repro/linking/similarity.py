@@ -1,0 +1,45 @@
+"""String similarity for candidate unit generation.
+
+The paper uses Levenshtein distance as ``Pr(u|m)``, "the probability that
+a unit mention refers to a unit entity".  We expose the raw distance and a
+normalised similarity in [0, 1] (1 = exact match).
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Classic dynamic-programming edit distance (insert/delete/substitute)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    # Keep the shorter string in the inner loop for O(min(m,n)) memory.
+    if len(right) < len(left):
+        left, right = right, left
+    previous = list(range(len(left) + 1))
+    for row, right_char in enumerate(right, start=1):
+        current = [row]
+        for col, left_char in enumerate(left, start=1):
+            insert_cost = current[col - 1] + 1
+            delete_cost = previous[col] + 1
+            substitute_cost = previous[col - 1] + (left_char != right_char)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def mention_similarity(mention: str, surface_form: str) -> float:
+    """Normalised Levenshtein similarity used as ``Pr(u|m)``.
+
+    Case-insensitive; 1.0 for an exact match, 0.0 when every character
+    differs.
+    """
+    a = mention.strip().casefold()
+    b = surface_form.strip().casefold()
+    if not a or not b:
+        return 0.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest

@@ -1,0 +1,37 @@
+"""LLM substrate: a from-scratch numpy decoder-only transformer.
+
+The paper finetunes LLaMA-7B on A800 GPUs; offline we train the same
+architecture family at toy scale (see DESIGN.md):
+
+- :mod:`repro.llm.tokenizer` -- vocabulary with the digit/equation
+  tokenization switch the Fig. 7 ablation needs,
+- :mod:`repro.llm.model` -- pre-LN causal transformer with tied softmax
+  and full manual backprop,
+- :mod:`repro.llm.optimizer` -- Adam with gradient clipping,
+- :mod:`repro.llm.trainer` -- seq2seq finetuning on "<bos> R <sep> A
+  <eos>" targets (Eq. 3's next-token NLL, loss masked to the target),
+- :mod:`repro.llm.generation` -- greedy decoding,
+- :mod:`repro.llm.instruct` -- the generic instruction-tuning stage that
+  produces the LLaMA-IFT analogue base model.
+"""
+
+from repro.llm.tokenizer import SPECIALS, Tokenizer
+from repro.llm.model import TransformerConfig, TransformerModel
+from repro.llm.optimizer import Adam
+from repro.llm.trainer import Seq2SeqExample, Seq2SeqTrainer, TrainingLog
+from repro.llm.generation import greedy_decode
+from repro.llm.interface import LanguageModel, TransformerLM
+
+__all__ = [
+    "Adam",
+    "LanguageModel",
+    "SPECIALS",
+    "Seq2SeqExample",
+    "Seq2SeqTrainer",
+    "Tokenizer",
+    "TrainingLog",
+    "TransformerConfig",
+    "TransformerLM",
+    "TransformerModel",
+    "greedy_decode",
+]

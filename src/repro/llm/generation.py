@@ -1,0 +1,35 @@
+"""Greedy decoding for the transformer substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.model import TransformerModel
+from repro.llm.tokenizer import BOS, EOS
+
+
+def greedy_decode(
+    model: TransformerModel,
+    prompt_ids: list[int],
+    max_new_tokens: int = 48,
+) -> list[int]:
+    """Generate token ids after ``prompt_ids <bos>`` until ``<eos>``.
+
+    Returns only the newly generated ids (without the terminating
+    ``<eos>``).  The prompt is truncated on the left if the total
+    sequence would exceed the model's context window.
+    """
+    if max_new_tokens < 1:
+        raise ValueError("max_new_tokens must be positive")
+    window = model.config.max_len
+    ids = list(prompt_ids) + [BOS]
+    generated: list[int] = []
+    for _ in range(max_new_tokens):
+        context = ids[-window:]
+        logits, _ = model.forward(np.asarray([context], dtype=np.int64))
+        next_id = int(np.argmax(logits[0, -1]))
+        if next_id == EOS:
+            break
+        generated.append(next_id)
+        ids.append(next_id)
+    return generated

@@ -1,0 +1,53 @@
+"""Generic instruction finetuning: the LLaMA-IFT analogue.
+
+The paper first finetunes LLaMA-7B "on a generic instruction dataset to
+equip the model with a foundational understanding of the tasks".  Our
+equivalent teaches the toy transformer the *answer format* -- emit a
+short reasoning sequence, ``<sep>``, then an option letter or value --
+using knowledge-free tasks (find-the-token, echo).  The resulting model
+answers in the right shape but has no dimension knowledge, which is
+exactly the Table VIII baseline condition.
+"""
+
+from __future__ import annotations
+
+from repro.llm.trainer import Seq2SeqExample
+from repro.utils.rng import spawn_rng
+
+#: Option-letter tokens shared by every multiple-choice encoding.
+OPTION_LETTERS = ("(A)", "(B)", "(C)", "(D)")
+
+#: Filler vocabulary for knowledge-free instruction tasks.
+_FILLER_WORDS = (
+    "apple", "river", "stone", "cloud", "amber", "delta", "ember", "fjord",
+    "grove", "haven", "inlet", "jetty", "knoll", "lagoon", "mesa", "notch",
+    "orchid", "plume", "quartz", "ridge", "summit", "thicket", "upland",
+    "vale", "willow", "zenith",
+)
+
+
+def instruction_dataset(size: int, seed: int = 0) -> list[Seq2SeqExample]:
+    """Knowledge-free instruction pairs in the shared symbolic format."""
+    if size < 1:
+        raise ValueError("size must be positive")
+    rng = spawn_rng(seed, "instruction-dataset")
+    examples: list[Seq2SeqExample] = []
+    for _ in range(size):
+        kind = rng.random()
+        if kind < 0.6:
+            # find-the-token: teaches option scanning + content answering
+            words = rng.sample(list(_FILLER_WORDS), 4)
+            answer_index = rng.randrange(4)
+            needle = words[answer_index]
+            options = " ".join(
+                f"{letter} {word}" for letter, word in zip(OPTION_LETTERS, words)
+            )
+            prompt = f"task: find target: {needle} options: {options}"
+            target = f"match {needle} <sep> {needle}"
+        else:
+            # echo: teaches free-form value answering
+            word = rng.choice(_FILLER_WORDS)
+            prompt = f"task: echo word: {word}"
+            target = f"repeat {word} <sep> {word}"
+        examples.append(Seq2SeqExample(prompt, target))
+    return examples

@@ -1,0 +1,51 @@
+"""The model-agnostic language-model interface used by evaluators.
+
+Both the trained transformer (:class:`TransformerLM`) and the simulated
+external baselines (:mod:`repro.simulated`) implement
+:class:`LanguageModel`, so DimEval and Q-MWP evaluation loops don't care
+which one they score.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.llm.generation import greedy_decode
+from repro.llm.model import TransformerModel
+from repro.llm.tokenizer import Tokenizer
+
+
+@runtime_checkable
+class LanguageModel(Protocol):
+    """Anything that maps a prompt string to a completion string."""
+
+    name: str
+
+    """Complete a prompt."""
+    def generate(self, prompt: str) -> str:
+        """Complete a prompt."""
+        ...
+
+
+class TransformerLM:
+    """Wraps tokenizer + transformer + greedy decoding as a LanguageModel."""
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        tokenizer: Tokenizer,
+        name: str = "transformer",
+        max_new_tokens: int = 48,
+    ):
+        self.model = model
+        self.tokenizer = tokenizer
+        self.name = name
+        self.max_new_tokens = max_new_tokens
+
+    def generate(self, prompt: str) -> str:
+        """Greedy-decode a completion for a symbolic prompt."""
+        prompt_ids = self.tokenizer.encode(prompt)
+        output_ids = greedy_decode(
+            self.model, prompt_ids, max_new_tokens=self.max_new_tokens
+        )
+        return self.tokenizer.decode(output_ids)

@@ -1,0 +1,294 @@
+"""A decoder-only transformer in pure numpy with manual backprop.
+
+Architecture (the LLaMA family shape at toy scale): learned token +
+position embeddings, pre-LN blocks of causal multi-head attention and a
+GELU MLP, a final LayerNorm, and a softmax head tied to the token
+embedding.  The training objective is the paper's Eq. 3: the next-token
+negative log-likelihood of the target sequence given the input context,
+with loss masked to target positions.
+
+Gradients are derived by hand; ``tests/test_llm_model.py`` checks them
+against finite differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_EPS = 1e-5
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    vocab_size: int
+    d_model: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    d_ff: int = 128
+    max_len: int = 128
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must be divisible by n_heads")
+        if min(self.vocab_size, self.d_model, self.n_layers,
+               self.n_heads, self.d_ff, self.max_len) <= 0:
+            raise ValueError("all transformer dimensions must be positive")
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x ** 3)))
+
+
+def _gelu_grad(x: np.ndarray) -> np.ndarray:
+    c = np.sqrt(2.0 / np.pi)
+    u = c * (x + 0.044715 * x ** 3)
+    t = np.tanh(u)
+    du = c * (1.0 + 3.0 * 0.044715 * x ** 2)
+    return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t ** 2) * du
+
+
+def _layernorm_forward(x, gain, bias):
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + _EPS)
+    xhat = (x - mu) * inv_std
+    return gain * xhat + bias, (xhat, inv_std, gain)
+
+
+def _layernorm_backward(dy, cache):
+    xhat, inv_std, gain = cache
+    dgain = (dy * xhat).sum(axis=tuple(range(dy.ndim - 1)))
+    dbias = dy.sum(axis=tuple(range(dy.ndim - 1)))
+    dxhat = dy * gain
+    mean_dxhat = dxhat.mean(axis=-1, keepdims=True)
+    mean_dxhat_xhat = (dxhat * xhat).mean(axis=-1, keepdims=True)
+    dx = inv_std * (dxhat - mean_dxhat - xhat * mean_dxhat_xhat)
+    return dx, dgain, dbias
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class TransformerModel:
+    """Parameters + forward/backward for the causal transformer."""
+
+    def __init__(self, config: TransformerConfig):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        d, f, v = config.d_model, config.d_ff, config.vocab_size
+        scale = 0.02
+        self.params: dict[str, np.ndarray] = {
+            "tok_emb": rng.normal(0.0, scale, (v, d)),
+            "pos_emb": rng.normal(0.0, scale, (config.max_len, d)),
+            "final_ln_g": np.ones(d),
+            "final_ln_b": np.zeros(d),
+        }
+        for layer in range(config.n_layers):
+            p = f"layer{layer}."
+            self.params[p + "ln1_g"] = np.ones(d)
+            self.params[p + "ln1_b"] = np.zeros(d)
+            self.params[p + "wq"] = rng.normal(0.0, scale, (d, d))
+            self.params[p + "wk"] = rng.normal(0.0, scale, (d, d))
+            self.params[p + "wv"] = rng.normal(0.0, scale, (d, d))
+            self.params[p + "wo"] = rng.normal(0.0, scale, (d, d))
+            self.params[p + "ln2_g"] = np.ones(d)
+            self.params[p + "ln2_b"] = np.zeros(d)
+            self.params[p + "w1"] = rng.normal(0.0, scale, (d, f))
+            self.params[p + "b1"] = np.zeros(f)
+            self.params[p + "w2"] = rng.normal(0.0, scale, (f, d))
+            self.params[p + "b2"] = np.zeros(d)
+
+    # -- forward -----------------------------------------------------------------
+
+    def forward(self, token_ids: np.ndarray) -> tuple[np.ndarray, dict]:
+        """Logits (B, T, V) and the cache needed for backward."""
+        if token_ids.ndim != 2:
+            raise ValueError("token_ids must be (batch, time)")
+        batch, time = token_ids.shape
+        if time > self.config.max_len:
+            raise ValueError(
+                f"sequence length {time} exceeds max_len {self.config.max_len}"
+            )
+        p = self.params
+        x = p["tok_emb"][token_ids] + p["pos_emb"][:time]
+        causal = np.triu(np.full((time, time), -1e9), k=1)
+        cache: dict = {"token_ids": token_ids, "layers": [], "time": time}
+        n_heads = self.config.n_heads
+        d_head = self.config.d_model // n_heads
+        for layer in range(self.config.n_layers):
+            prefix = f"layer{layer}."
+            x_in = x
+            normed1, ln1_cache = _layernorm_forward(
+                x, p[prefix + "ln1_g"], p[prefix + "ln1_b"]
+            )
+            q = normed1 @ p[prefix + "wq"]
+            k = normed1 @ p[prefix + "wk"]
+            v = normed1 @ p[prefix + "wv"]
+
+            def heads(m):
+                return m.reshape(batch, time, n_heads, d_head).transpose(0, 2, 1, 3)
+
+            qh, kh, vh = heads(q), heads(k), heads(v)
+            scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(d_head) + causal
+            attn = _softmax(scores)
+            context = attn @ vh                                # (B,h,T,dh)
+            merged = context.transpose(0, 2, 1, 3).reshape(batch, time, -1)
+            attn_out = merged @ p[prefix + "wo"]
+            x = x_in + attn_out
+
+            x_mid = x
+            normed2, ln2_cache = _layernorm_forward(
+                x, p[prefix + "ln2_g"], p[prefix + "ln2_b"]
+            )
+            hidden_pre = normed2 @ p[prefix + "w1"] + p[prefix + "b1"]
+            hidden = _gelu(hidden_pre)
+            mlp_out = hidden @ p[prefix + "w2"] + p[prefix + "b2"]
+            x = x_mid + mlp_out
+
+            cache["layers"].append({
+                "ln1": ln1_cache, "normed1": normed1,
+                "qh": qh, "kh": kh, "vh": vh, "attn": attn, "merged": merged,
+                "ln2": ln2_cache, "normed2": normed2,
+                "hidden_pre": hidden_pre, "hidden": hidden,
+            })
+        final, final_cache = _layernorm_forward(x, p["final_ln_g"], p["final_ln_b"])
+        cache["final_ln"] = final_cache
+        cache["final"] = final
+        logits = final @ p["tok_emb"].T
+        return logits, cache
+
+    # -- loss -----------------------------------------------------------------------
+
+    def loss_and_grads(
+        self,
+        token_ids: np.ndarray,
+        targets: np.ndarray,
+        loss_mask: np.ndarray,
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """Masked next-token cross entropy (Eq. 3) and parameter grads.
+
+        ``targets[b, t]`` is the label for position ``t`` (already
+        shifted by the caller); positions with ``loss_mask == 0`` are
+        ignored.
+        """
+        logits, cache = self.forward(token_ids)
+        batch, time, vocab = logits.shape
+        probs = _softmax(logits)
+        total = float(loss_mask.sum())
+        if total == 0:
+            raise ValueError("loss mask selects no positions")
+        label_probs = probs[np.arange(batch)[:, None], np.arange(time)[None, :], targets]
+        loss = float(
+            -(np.log(np.clip(label_probs, 1e-12, None)) * loss_mask).sum() / total
+        )
+        dlogits = probs.copy()
+        dlogits[np.arange(batch)[:, None], np.arange(time)[None, :], targets] -= 1.0
+        dlogits *= (loss_mask / total)[..., None]
+        grads = self._backward(dlogits, cache)
+        return loss, grads
+
+    # -- backward --------------------------------------------------------------------
+
+    def _backward(self, dlogits: np.ndarray, cache: dict) -> dict[str, np.ndarray]:
+        p = self.params
+        grads = {name: np.zeros_like(value) for name, value in p.items()}
+        batch, time, _ = dlogits.shape
+        n_heads = self.config.n_heads
+        d_head = self.config.d_model // n_heads
+
+        final = cache["final"]
+        # logits = final @ tok_emb.T
+        grads["tok_emb"] += np.einsum("btv,btd->vd", dlogits, final)
+        dfinal = dlogits @ p["tok_emb"]
+        dx, dg, db = _layernorm_backward(dfinal, cache["final_ln"])
+        grads["final_ln_g"] += dg
+        grads["final_ln_b"] += db
+
+        for layer in reversed(range(self.config.n_layers)):
+            prefix = f"layer{layer}."
+            layer_cache = cache["layers"][layer]
+            # MLP block: x = x_mid + mlp_out
+            dmlp_out = dx
+            grads[prefix + "b2"] += dmlp_out.sum(axis=(0, 1))
+            grads[prefix + "w2"] += np.einsum(
+                "btf,btd->fd", layer_cache["hidden"], dmlp_out
+            )
+            dhidden = dmlp_out @ p[prefix + "w2"].T
+            dhidden_pre = dhidden * _gelu_grad(layer_cache["hidden_pre"])
+            grads[prefix + "b1"] += dhidden_pre.sum(axis=(0, 1))
+            grads[prefix + "w1"] += np.einsum(
+                "btd,btf->df", layer_cache["normed2"], dhidden_pre
+            )
+            dnormed2 = dhidden_pre @ p[prefix + "w1"].T
+            dx_mid, dg2, db2 = _layernorm_backward(dnormed2, layer_cache["ln2"])
+            grads[prefix + "ln2_g"] += dg2
+            grads[prefix + "ln2_b"] += db2
+            dx = dx + dx_mid  # residual
+
+            # Attention block: x = x_in + attn_out
+            dattn_out = dx
+            grads[prefix + "wo"] += np.einsum(
+                "btm,btd->md", layer_cache["merged"], dattn_out
+            )
+            dmerged = dattn_out @ p[prefix + "wo"].T
+            dcontext = dmerged.reshape(batch, time, n_heads, d_head).transpose(0, 2, 1, 3)
+            attn = layer_cache["attn"]
+            vh = layer_cache["vh"]
+            dattn = dcontext @ vh.transpose(0, 1, 3, 2)
+            dvh = attn.transpose(0, 1, 3, 2) @ dcontext
+            # softmax backward
+            dscores = attn * (dattn - (dattn * attn).sum(axis=-1, keepdims=True))
+            dscores /= np.sqrt(d_head)
+            qh, kh = layer_cache["qh"], layer_cache["kh"]
+            dqh = dscores @ kh
+            dkh = dscores.transpose(0, 1, 3, 2) @ qh
+
+            def unheads(m):
+                return m.transpose(0, 2, 1, 3).reshape(batch, time, -1)
+
+            dq, dk, dv = unheads(dqh), unheads(dkh), unheads(dvh)
+            normed1 = layer_cache["normed1"]
+            grads[prefix + "wq"] += np.einsum("btd,bte->de", normed1, dq)
+            grads[prefix + "wk"] += np.einsum("btd,bte->de", normed1, dk)
+            grads[prefix + "wv"] += np.einsum("btd,bte->de", normed1, dv)
+            dnormed1 = (
+                dq @ p[prefix + "wq"].T
+                + dk @ p[prefix + "wk"].T
+                + dv @ p[prefix + "wv"].T
+            )
+            dx_in, dg1, db1 = _layernorm_backward(dnormed1, layer_cache["ln1"])
+            grads[prefix + "ln1_g"] += dg1
+            grads[prefix + "ln1_b"] += db1
+            dx = dx + dx_in  # residual
+
+        # Embeddings.
+        token_ids = cache["token_ids"]
+        np.add.at(grads["tok_emb"], token_ids, dx)
+        grads["pos_emb"][:time] += dx.sum(axis=0)
+        return grads
+
+    # -- parameter utilities ----------------------------------------------------------
+
+    def num_parameters(self) -> int:
+        """Total learnable parameter count."""
+        return sum(value.size for value in self.params.values())
+
+    def copy_params(self) -> dict[str, np.ndarray]:
+        """A deep copy of the parameter dict."""
+        return {name: value.copy() for name, value in self.params.items()}
+
+    def load_params(self, params: dict[str, np.ndarray]) -> None:
+        """Replace parameters (shapes must match)."""
+        if set(params) != set(self.params):
+            raise ValueError("parameter structure mismatch")
+        for name, value in params.items():
+            if value.shape != self.params[name].shape:
+                raise ValueError(f"shape mismatch for {name}")
+            self.params[name] = value.copy()

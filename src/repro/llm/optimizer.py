@@ -1,0 +1,56 @@
+"""Adam optimizer with global-norm gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Standard Adam (Kingma & Ba) over a dict of numpy parameters."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        clip_norm: float | None = 1.0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.clip_norm = clip_norm
+        self._m = {name: np.zeros_like(value) for name, value in params.items()}
+        self._v = {name: np.zeros_like(value) for name, value in params.items()}
+        self._step = 0
+
+    @property
+    def step_count(self) -> int:
+        return self._step
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """Update ``params`` in place from ``grads``."""
+        if set(grads) != set(params):
+            raise ValueError("gradient structure does not match parameters")
+        self._step += 1
+        if self.clip_norm is not None:
+            total = np.sqrt(sum(float((g ** 2).sum()) for g in grads.values()))
+            if total > self.clip_norm:
+                scale = self.clip_norm / (total + 1e-12)
+                grads = {name: g * scale for name, g in grads.items()}
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for name, grad in grads.items():
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            params[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

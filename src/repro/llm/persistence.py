@@ -1,0 +1,85 @@
+"""Checkpoint persistence: save/load the transformer and its tokenizer.
+
+Training the substrate takes minutes on CPU; persisting checkpoints lets
+examples and downstream users reuse trained DimPerc models.  Parameters
+go to ``.npz``; the tokenizer and config to a JSON sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.llm.model import TransformerConfig, TransformerModel
+from repro.llm.tokenizer import SPECIALS, Tokenizer
+
+
+class CheckpointError(ValueError):
+    """Raised for unreadable or inconsistent checkpoints."""
+
+
+def save_checkpoint(
+    model: TransformerModel,
+    tokenizer: Tokenizer,
+    path: str | pathlib.Path,
+) -> None:
+    """Write ``<path>.npz`` (parameters) and ``<path>.json`` (metadata)."""
+    base = pathlib.Path(path)
+    np.savez(base.with_suffix(".npz"), **model.params)
+    config = model.config
+    metadata = {
+        "config": {
+            "vocab_size": config.vocab_size,
+            "d_model": config.d_model,
+            "n_layers": config.n_layers,
+            "n_heads": config.n_heads,
+            "d_ff": config.d_ff,
+            "max_len": config.max_len,
+            "seed": config.seed,
+        },
+        "tokenizer": {
+            "digit_tokenization": tokenizer.digit_tokenization,
+            "tokens": [tokenizer.token(i) for i in range(len(tokenizer))],
+        },
+    }
+    base.with_suffix(".json").write_text(
+        json.dumps(metadata, ensure_ascii=False), encoding="utf-8"
+    )
+
+
+def load_checkpoint(
+    path: str | pathlib.Path,
+) -> tuple[TransformerModel, Tokenizer]:
+    """Read a checkpoint back; validates vocab/parameter consistency."""
+    base = pathlib.Path(path)
+    meta_path = base.with_suffix(".json")
+    params_path = base.with_suffix(".npz")
+    if not meta_path.exists() or not params_path.exists():
+        raise CheckpointError(f"missing checkpoint files at {base}")
+    try:
+        metadata = json.loads(meta_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"bad checkpoint metadata: {exc}") from exc
+    try:
+        config = TransformerConfig(**metadata["config"])
+        tokens = metadata["tokenizer"]["tokens"]
+        digit_tokenization = bool(metadata["tokenizer"]["digit_tokenization"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"bad checkpoint metadata: {exc}") from exc
+    if tokens[:len(SPECIALS)] != list(SPECIALS):
+        raise CheckpointError("tokenizer specials mismatch")
+    if len(tokens) != config.vocab_size:
+        raise CheckpointError("tokenizer/vocab size mismatch")
+    tokenizer = Tokenizer(digit_tokenization=digit_tokenization)
+    for token in tokens[len(SPECIALS):]:
+        tokenizer.encode(token)  # interning grows the vocabulary in order
+    tokenizer.freeze()
+    if len(tokenizer) != config.vocab_size:
+        raise CheckpointError("tokenizer reconstruction size mismatch")
+    model = TransformerModel(config)
+    with np.load(params_path) as archive:
+        params = {name: archive[name] for name in archive.files}
+    model.load_params(params)
+    return model, tokenizer

@@ -1,0 +1,125 @@
+"""Vocabulary and tokenization for the transformer substrate.
+
+Token streams are whitespace-split symbolic tokens (task markers, unit
+ids, dimension formulas, option letters, words) -- the task encoders in
+:mod:`repro.core` render every example in this form.  Numbers receive one
+of two treatments, which is exactly the Fig. 7 ablation:
+
+- ``digit_tokenization=False`` (default): a numeric token like ``450`` is
+  kept whole (out-of-vocabulary numbers map to ``<unk>``);
+- ``digit_tokenization=True`` ("equation tokenization", Section V-B3):
+  numeric/equation tokens are split into single characters, so ``450``
+  becomes ``4 5 0`` and ``N1*3`` becomes ``N 1 * 3``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+#: Special tokens, in fixed id order.
+SPECIALS = ("<pad>", "<bos>", "<eos>", "<sep>", "<unk>", "<mask>")
+PAD, BOS, EOS, SEP, UNK, MASK = range(6)
+
+_NUMERIC = re.compile(r"^[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?$")
+_EQUATIONISH = re.compile(r"^[N\d][\dN+\-*/().%]*$")
+
+
+def is_numeric_token(token: str) -> bool:
+    """True for plain numeric literals."""
+    return bool(_NUMERIC.match(token))
+
+
+def split_for_equation_tokenization(token: str) -> list[str]:
+    """Character-split numeric/equation tokens (the paper's ET strategy)."""
+    if is_numeric_token(token) or _EQUATIONISH.match(token):
+        return list(token)
+    return [token]
+
+
+class Tokenizer:
+    """A fixed vocabulary over whitespace-separated symbolic tokens."""
+
+    def __init__(self, digit_tokenization: bool = False):
+        self.digit_tokenization = digit_tokenization
+        self._token_to_id: dict[str, int] = {
+            token: index for index, token in enumerate(SPECIALS)
+        }
+        self._id_to_token: list[str] = list(SPECIALS)
+        self._frozen = False
+
+    # -- vocabulary ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._id_to_token)
+
+    def freeze(self) -> None:
+        """Stop growing the vocabulary; unseen tokens become ``<unk>``."""
+        self._frozen = True
+
+    def fit(self, texts: Iterable[str]) -> "Tokenizer":
+        """Grow the vocabulary over every token in ``texts``, then freeze."""
+        for text in texts:
+            for token in self._pretokenize(text):
+                self._intern(token)
+        self.freeze()
+        return self
+
+    def _intern(self, token: str) -> int:
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            return UNK
+        index = len(self._id_to_token)
+        self._token_to_id[token] = index
+        self._id_to_token.append(token)
+        return index
+
+    # -- encoding ----------------------------------------------------------------
+
+    def _pretokenize(self, text: str) -> list[str]:
+        raw = text.split()
+        if not self.digit_tokenization:
+            return raw
+        pieces: list[str] = []
+        for token in raw:
+            pieces.extend(split_for_equation_tokenization(token))
+        return pieces
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids for a symbolic string (no specials added)."""
+        return [self._intern(token) for token in self._pretokenize(text)]
+
+    def encode_example(self, prompt: str, target: str) -> tuple[list[int], list[int]]:
+        """Ids for a training pair: prompt and ``target <eos>``.
+
+        The trainer concatenates them as ``prompt <bos>? ...``; by
+        convention the prompt already carries any task markers and the
+        target is the "R <sep> A" sequence of Section IV-D.
+        """
+        prompt_ids = self.encode(prompt)
+        target_ids = self.encode(target) + [EOS]
+        return prompt_ids, target_ids
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Tokens joined with spaces; specials (except ``<sep>``) dropped."""
+        out = []
+        for index in ids:
+            if index in (PAD, BOS, EOS):
+                continue
+            token = self._id_to_token[index] if 0 <= index < len(self._id_to_token) else "<unk>"
+            out.append(token)
+        return " ".join(out)
+
+    def token(self, index: int) -> str:
+        """The token string at a vocabulary index."""
+        return self._id_to_token[index]
+
+    def token_id(self, token: str) -> int:
+        """The id of a token (``<unk>`` if absent)."""
+        return self._token_to_id.get(token, UNK)

@@ -1,0 +1,132 @@
+"""Seq2seq finetuning on "<prompt> <bos> R <sep> A <eos>" sequences.
+
+Implements the paper's training objective (Eq. 3): minimise the
+next-token NLL of the target sequence given the input context.  Loss is
+masked so only target positions contribute (the prompt is conditioning,
+not supervision).  Supports checkpoint callbacks used by the Fig. 6 /
+Fig. 7 learning-curve experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.llm.model import TransformerModel
+from repro.llm.optimizer import Adam
+from repro.llm.tokenizer import BOS, PAD, Tokenizer
+
+
+@dataclass(frozen=True)
+class Seq2SeqExample:
+    """A finetuning pair in symbolic-token string form."""
+
+    prompt: str
+    target: str
+
+
+@dataclass
+class TrainingLog:
+    """Loss trace plus any checkpoint-callback outputs."""
+
+    losses: list[float] = field(default_factory=list)
+    checkpoints: list[tuple[int, object]] = field(default_factory=list)
+
+    def smoothed_loss(self, tail: int = 20) -> float:
+        """Mean of the most recent ``tail`` losses."""
+        recent = self.losses[-tail:]
+        return float(sum(recent) / len(recent)) if recent else float("nan")
+
+
+class Seq2SeqTrainer:
+    """Minibatch trainer over :class:`Seq2SeqExample` datasets."""
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        tokenizer: Tokenizer,
+        learning_rate: float = 3e-3,
+        batch_size: int = 16,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        self.model = model
+        self.tokenizer = tokenizer
+        self.batch_size = batch_size
+        self.optimizer = Adam(model.params, learning_rate=learning_rate)
+        self._rng = np.random.default_rng(seed)
+
+    # -- batching -----------------------------------------------------------
+
+    def _encode(self, example: Seq2SeqExample) -> tuple[list[int], int]:
+        """Full id sequence ``prompt <bos> target <eos>`` and prompt length."""
+        prompt_ids, target_ids = self.tokenizer.encode_example(
+            example.prompt, example.target
+        )
+        sequence = prompt_ids + [BOS] + target_ids
+        window = self.model.config.max_len + 1
+        if len(sequence) > window:
+            # Left-truncate the prompt; the target must stay intact.
+            overflow = len(sequence) - window
+            if overflow >= len(prompt_ids):
+                raise ValueError(
+                    "target sequence alone exceeds the model context window"
+                )
+            prompt_ids = prompt_ids[overflow:]
+            sequence = prompt_ids + [BOS] + target_ids
+        return sequence, len(prompt_ids)
+
+    def _batch_arrays(
+        self, batch: Sequence[Seq2SeqExample]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        encoded = [self._encode(example) for example in batch]
+        longest = max(len(seq) for seq, _ in encoded)
+        inputs = np.full((len(batch), longest - 1), PAD, dtype=np.int64)
+        targets = np.zeros((len(batch), longest - 1), dtype=np.int64)
+        mask = np.zeros((len(batch), longest - 1), dtype=np.float64)
+        for row, (sequence, prompt_len) in enumerate(encoded):
+            arr = np.asarray(sequence, dtype=np.int64)
+            inputs[row, :len(arr) - 1] = arr[:-1]
+            targets[row, :len(arr) - 1] = arr[1:]
+            # Supervise positions predicting the target: those are at
+            # indices >= prompt_len (the <bos> position predicts the first
+            # target token).
+            mask[row, prompt_len:len(arr) - 1] = 1.0
+        return inputs, targets, mask
+
+    # -- training loop -----------------------------------------------------------
+
+    def train(
+        self,
+        dataset: Sequence[Seq2SeqExample],
+        steps: int,
+        checkpoint_every: int | None = None,
+        checkpoint_fn: Callable[[int], object] | None = None,
+        log: TrainingLog | None = None,
+    ) -> TrainingLog:
+        """Run ``steps`` minibatch updates over a shuffled dataset."""
+        if not dataset:
+            raise ValueError("cannot train on an empty dataset")
+        if steps < 1:
+            raise ValueError("steps must be positive")
+        log = log if log is not None else TrainingLog()
+        order = self._rng.permutation(len(dataset))
+        cursor = 0
+        for step in range(1, steps + 1):
+            if cursor + self.batch_size > len(order):
+                order = self._rng.permutation(len(dataset))
+                cursor = 0
+            picks = order[cursor:cursor + self.batch_size]
+            cursor += self.batch_size
+            batch = [dataset[int(i)] for i in picks]
+            inputs, targets, mask = self._batch_arrays(batch)
+            loss, grads = self.model.loss_and_grads(inputs, targets, mask)
+            self.optimizer.step(self.model.params, grads)
+            log.losses.append(loss)
+            if (checkpoint_every and checkpoint_fn
+                    and step % checkpoint_every == 0):
+                log.checkpoints.append((step, checkpoint_fn(step)))
+        return log

@@ -1,0 +1,42 @@
+"""Math word problems: N-MWP generation, Q-MWP augmentation, evaluation.
+
+Implements Section V: synthetic Math23k/Ape210k-style Chinese elementary
+problems (N-MWP), the four quantity-oriented augmentation operators of
+Table V (context/question x format/dimension substitution), the safe
+equation calculator used for accuracy scoring, and the dataset assembly
+with Table VI statistics.
+"""
+
+from repro.mwp.schema import MWPProblem, ProblemQuantity
+from repro.mwp.equation import EquationError, count_operations, evaluate_equation
+from repro.mwp.generator import MWPGenerator
+from repro.mwp.augmentation import (
+    AugmentationError,
+    Augmenter,
+    context_dimension_substitution,
+    context_format_substitution,
+    question_dimension_substitution,
+    question_format_substitution,
+)
+from repro.mwp.datasets import DatasetStatistics, MWPDataset, build_benchmark_suite
+from repro.mwp.metrics import answers_match, score_accuracy
+
+__all__ = [
+    "AugmentationError",
+    "Augmenter",
+    "DatasetStatistics",
+    "EquationError",
+    "MWPDataset",
+    "MWPGenerator",
+    "MWPProblem",
+    "ProblemQuantity",
+    "answers_match",
+    "build_benchmark_suite",
+    "context_dimension_substitution",
+    "context_format_substitution",
+    "count_operations",
+    "evaluate_equation",
+    "question_dimension_substitution",
+    "question_format_substitution",
+    "score_accuracy",
+]

@@ -1,0 +1,281 @@
+"""Quantity-oriented data augmentation (Table V).
+
+Two directions x two substitution modes:
+
+- *Context-based* operators rewrite a quantity inside the problem body
+  while keeping the physical scale invariant, so the answer is
+  unchanged.  Dimension substitution additionally patches the gold
+  equation with the inverse conversion factor (``N1`` -> ``(N1/1000)``),
+  because the surface value changed.
+- *Question-based* operators rewrite the unit the answer must be
+  expressed in.  Format substitution keeps the answer; dimension
+  substitution scales it and multiplies the equation by the conversion
+  factor.
+
+Every operator returns a *new* problem that still satisfies
+``check_consistency()``; problems it cannot apply to raise
+:class:`AugmentationError` (e.g. question-based operators on unitless
+answers, which the rope-segments template documents).
+"""
+
+from __future__ import annotations
+
+import re
+import random
+from typing import Callable
+
+from repro.mwp.schema import MWPProblem, ProblemQuantity
+from repro.units.conversion import conversion_factor
+from repro.units.kb import DimUnitKB
+from repro.units.schema import UnitRecord
+from repro.utils.rng import spawn_rng
+
+
+class AugmentationError(ValueError):
+    """Raised when an operator does not apply to the given problem."""
+
+
+def format_exact(value: float, max_chars: int = 9) -> str | None:
+    """A compact decimal rendering that parses back exactly, else None."""
+    text = f"{value:g}"
+    if "e" in text or "E" in text or len(text) > max_chars:
+        return None
+    if float(text) != value:
+        return None
+    return text
+
+
+def _replace_slot(equation: str, slot: int, replacement: str) -> str:
+    return re.sub(rf"N{slot}(?!\d)", replacement, equation)
+
+
+def _replace_last(text: str, needle: str, replacement: str) -> str:
+    position = text.rfind(needle)
+    if position < 0:
+        raise AugmentationError(f"mention {needle!r} not found in text")
+    return text[:position] + replacement + text[position + len(needle):]
+
+
+def _unit_surface(unit: UnitRecord) -> str:
+    return unit.label_zh or unit.symbol
+
+
+def _alternative_surfaces(unit: UnitRecord, current: str) -> list[str]:
+    return [form for form in unit.surface_forms() if form != current]
+
+
+def _substitutable_units(
+    kb: DimUnitKB, unit: UnitRecord, value: float,
+    require_value_text: bool = True,
+) -> list[tuple[UnitRecord, float, str]]:
+    """Comparable units with an exactly-renderable conversion factor.
+
+    ``require_value_text`` additionally demands that the rescaled value
+    renders compactly -- needed when the value is written back into the
+    problem text (context substitution), but not when only the answer
+    changes (question substitution).
+    """
+    results = []
+    for candidate in kb.comparable_units(unit):
+        if candidate.is_affine or candidate.generated:
+            continue
+        beta = conversion_factor(unit, candidate)
+        beta_text = format_exact(beta)
+        if beta_text is None or beta == 1.0:
+            continue
+        if require_value_text and format_exact(value * beta) is None:
+            continue
+        results.append((candidate, beta, beta_text))
+    return results
+
+
+# -- the four operators -------------------------------------------------------
+
+
+def context_format_substitution(
+    problem: MWPProblem, kb: DimUnitKB, rng: random.Random
+) -> MWPProblem:
+    """Swap a context unit's surface form; value/equation/answer invariant."""
+    unitful = [q for q in problem.quantities if q.unit_id]
+    rng.shuffle(unitful)
+    for quantity in unitful:
+        unit = kb.get(quantity.unit_id)
+        current_unit_text = quantity.surface[len(f"{quantity.value:g}"):]
+        alternatives = _alternative_surfaces(unit, current_unit_text)
+        if not alternatives:
+            continue
+        new_unit_text = rng.choice(alternatives)
+        new_surface = f"{quantity.value:g} {new_unit_text}" \
+            if new_unit_text[0].isascii() else f"{quantity.value:g}{new_unit_text}"
+        text = problem.text.replace(quantity.surface, new_surface, 1)
+        quantities = tuple(
+            q if q.slot != quantity.slot else ProblemQuantity(
+                q.slot, q.value, q.unit_id, new_surface
+            )
+            for q in problem.quantities
+        )
+        return problem.with_updates(
+            text=text,
+            quantities=quantities,
+            augmented_by=problem.augmented_by + ("context-format",),
+        )
+    raise AugmentationError("no context unit with an alternative surface form")
+
+
+def context_dimension_substitution(
+    problem: MWPProblem, kb: DimUnitKB, rng: random.Random
+) -> MWPProblem:
+    """Swap a context unit for a same-dimension unit, rescaling the value.
+
+    The physical quantity is invariant (150千克 -> 150000克), the answer
+    is unchanged, and the equation gains an inverse conversion factor.
+    """
+    unitful = [q for q in problem.quantities if q.unit_id]
+    rng.shuffle(unitful)
+    for quantity in unitful:
+        unit = kb.get(quantity.unit_id)
+        candidates = _substitutable_units(kb, unit, quantity.value)
+        if not candidates:
+            continue
+        new_unit, beta, beta_text = rng.choice(candidates)
+        new_value = quantity.value * beta
+        new_surface = f"{new_value:g}{_unit_surface(new_unit)}"
+        text = problem.text.replace(quantity.surface, new_surface, 1)
+        equation = _replace_slot(
+            problem.equation, quantity.slot, f"(N{quantity.slot}/{beta_text})"
+        )
+        quantities = tuple(
+            q if q.slot != quantity.slot else ProblemQuantity(
+                q.slot, new_value, new_unit.unit_id, new_surface
+            )
+            for q in problem.quantities
+        )
+        return problem.with_updates(
+            text=text,
+            quantities=quantities,
+            equation=equation,
+            conversions_required=problem.conversions_required + 1,
+            augmented_by=problem.augmented_by + ("context-dimension",),
+        )
+    raise AugmentationError("no context unit with a clean same-dimension swap")
+
+
+def question_format_substitution(
+    problem: MWPProblem, kb: DimUnitKB, rng: random.Random
+) -> MWPProblem:
+    """Swap the answer unit's surface form; the answer is unchanged."""
+    if not problem.answer_unit_id or not problem.answer_surface:
+        raise AugmentationError("problem has no answer unit to reformat")
+    unit = kb.get(problem.answer_unit_id)
+    alternatives = _alternative_surfaces(unit, problem.answer_surface)
+    if not alternatives:
+        raise AugmentationError("answer unit has no alternative surface form")
+    new_surface = rng.choice(alternatives)
+    text = _replace_last(problem.text, problem.answer_surface, new_surface)
+    return problem.with_updates(
+        text=text,
+        answer_surface=new_surface,
+        augmented_by=problem.augmented_by + ("question-format",),
+    )
+
+
+def question_dimension_substitution(
+    problem: MWPProblem, kb: DimUnitKB, rng: random.Random
+) -> MWPProblem:
+    """Ask for the answer in a same-dimension unit (450kg -> 0.45t).
+
+    The answer and equation are scaled by the conversion factor.
+    """
+    if not problem.answer_unit_id or not problem.answer_surface:
+        raise AugmentationError("problem has no answer unit to substitute")
+    unit = kb.get(problem.answer_unit_id)
+    candidates = _substitutable_units(
+        kb, unit, problem.answer, require_value_text=False
+    )
+    if not candidates:
+        raise AugmentationError("answer unit has no clean same-dimension swap")
+    new_unit, beta, beta_text = rng.choice(candidates)
+    new_surface = _unit_surface(new_unit)
+    text = _replace_last(problem.text, problem.answer_surface, new_surface)
+    return problem.with_updates(
+        text=text,
+        equation=f"({problem.equation})*{beta_text}",
+        answer=problem.answer * beta,
+        answer_unit_id=new_unit.unit_id,
+        answer_surface=new_surface,
+        conversions_required=problem.conversions_required + 1,
+        augmented_by=problem.augmented_by + ("question-dimension",),
+    )
+
+
+OPERATORS: tuple[Callable, ...] = (
+    context_format_substitution,
+    context_dimension_substitution,
+    question_format_substitution,
+    question_dimension_substitution,
+)
+
+
+class Augmenter:
+    """Applies random applicable operators to build Q-MWP data."""
+
+    def __init__(self, kb: DimUnitKB, seed: int = 0,
+                 operators: tuple[Callable, ...] = OPERATORS):
+        if not operators:
+            raise ValueError("need at least one augmentation operator")
+        self._kb = kb
+        self._rng = spawn_rng(seed, "mwp-augmenter")
+        self._operators = operators
+
+    def augment(self, problem: MWPProblem, max_operators: int = 2) -> MWPProblem:
+        """Apply 1..max_operators random applicable operator instances.
+
+        Operators may repeat (e.g. two different context quantities can
+        both receive a dimension substitution), which is how deeply
+        augmented Ape210k problems reach the (8, inf) operation bucket
+        of Table VI.
+        """
+        wanted = self._rng.randint(1, max(1, max_operators))
+        current = problem
+        applied = 0
+        for _ in range(4 * wanted):
+            if applied == wanted:
+                break
+            operator = self._rng.choice(list(self._operators))
+            try:
+                current = operator(current, self._kb, self._rng)
+                applied += 1
+            except AugmentationError:
+                continue
+        if applied == 0:
+            raise AugmentationError(
+                f"no operator applies to problem {problem.problem_id}"
+            )
+        if not current.check_consistency():
+            raise AssertionError(
+                f"augmentation broke gold consistency for {problem.problem_id}"
+            )
+        return current.with_updates(
+            problem_id=current.problem_id + "-q",
+            dataset=current.dataset.replace("N-", "Q-"),
+        )
+
+    def augment_dataset(
+        self, problems: list[MWPProblem], rate: float = 1.0,
+        max_operators: int = 2,
+    ) -> list[MWPProblem]:
+        """``round(rate * len(problems))`` augmented copies (the paper's
+        augmentation-rate eta from Fig. 6)."""
+        if rate < 0:
+            raise ValueError("augmentation rate must be non-negative")
+        target = round(rate * len(problems))
+        augmented: list[MWPProblem] = []
+        guard = 0
+        while len(augmented) < target and guard < 50 * max(target, 1):
+            guard += 1
+            source = self._rng.choice(problems)
+            try:
+                augmented.append(self.augment(source, max_operators))
+            except AugmentationError:
+                continue
+        return augmented

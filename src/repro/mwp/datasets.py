@@ -1,0 +1,109 @@
+"""Dataset assembly and Table VI statistics.
+
+Builds the four evaluation subsets the paper uses (N-Math23k, N-Ape210k
+and their augmented Q- variants, 225 problems each) plus training pools
+for the supervised models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mwp.augmentation import Augmenter
+from repro.mwp.generator import MWPGenerator
+from repro.mwp.schema import MWPProblem
+from repro.units.kb import DimUnitKB
+
+#: Table VI operation-count buckets.
+OPERATION_BUCKETS: tuple[tuple[float, float], ...] = (
+    (0, 3), (3, 5), (5, 8), (8, float("inf")),
+)
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One Table VI row."""
+
+    name: str
+    num_problems: int
+    num_units: int
+    operation_buckets: tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class MWPDataset:
+    name: str
+    problems: tuple[MWPProblem, ...]
+
+    def __len__(self) -> int:
+        return len(self.problems)
+
+    def statistics(self) -> DatasetStatistics:
+        """The Table VI row for this dataset."""
+        units = {
+            unit_id for problem in self.problems
+            for unit_id in problem.unit_ids
+        }
+        buckets = [0, 0, 0, 0]
+        for problem in self.problems:
+            ops = problem.operations
+            for index, (low, high) in enumerate(OPERATION_BUCKETS):
+                if low < ops <= high or (index == 0 and ops <= high):
+                    buckets[index] += 1
+                    break
+        return DatasetStatistics(
+            name=self.name,
+            num_problems=len(self.problems),
+            num_units=len(units),
+            operation_buckets=tuple(buckets),
+        )
+
+
+def build_eval_dataset(
+    kb: DimUnitKB, family: str, seed: int, count: int = 225
+) -> MWPDataset:
+    """The N- evaluation subset for one family ("math23k"/"ape210k")."""
+    generator = MWPGenerator(kb, family, seed=seed)
+    name = f"N-{'Math23k' if family == 'math23k' else 'Ape210k'}"
+    return MWPDataset(name, tuple(generator.generate(count)))
+
+
+def build_q_dataset(
+    kb: DimUnitKB, base: MWPDataset, seed: int, max_operators: int = 2
+) -> MWPDataset:
+    """The Q- variant: every problem replaced by an augmented copy."""
+    augmenter = Augmenter(kb, seed=seed)
+    problems = []
+    for problem in base.problems:
+        try:
+            problems.append(augmenter.augment(problem, max_operators))
+        except Exception:
+            problems.append(problem.with_updates(
+                dataset=problem.dataset.replace("N-", "Q-")
+            ))
+    return MWPDataset(base.name.replace("N-", "Q-"), tuple(problems))
+
+
+def build_benchmark_suite(
+    kb: DimUnitKB, seed: int = 0, count: int = 225
+) -> dict[str, MWPDataset]:
+    """All four Table VI evaluation datasets."""
+    n_math = build_eval_dataset(kb, "math23k", seed=seed, count=count)
+    n_ape = build_eval_dataset(kb, "ape210k", seed=seed + 1, count=count)
+    q_math = build_q_dataset(kb, n_math, seed=seed + 2)
+    q_ape = build_q_dataset(kb, n_ape, seed=seed + 3, max_operators=3)
+    return {
+        "N-Math23k": n_math,
+        "N-Ape210k": n_ape,
+        "Q-Math23k": q_math,
+        "Q-Ape210k": q_ape,
+    }
+
+
+def build_training_pool(
+    kb: DimUnitKB, family: str, seed: int, count: int
+) -> MWPDataset:
+    """A training pool of N- problems for supervised finetuning."""
+    generator = MWPGenerator(kb, family, seed=seed + 65537)
+    name = f"train-{family}"
+    return MWPDataset(name, tuple(generator.generate(count)))

@@ -1,0 +1,141 @@
+"""A safe arithmetic evaluator for MWP solution equations.
+
+Equations are strings over numbers, slot references ``N1..Nk``, the
+operators ``+ - * / %`` and parentheses (Table I's D and Op sets, plus
+slots).  ``%`` is percent (``20% == 0.2``), matching Chinese elementary
+conventions; a recursive-descent parser avoids ``eval``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+_TOKEN = re.compile(
+    r"\s*(N\d+|\d+(?:\.\d+)?(?:[eE][-+]?\d+)?|[()+\-*/%])"
+)
+
+_OPERATORS = set("+-*/%")
+
+
+class EquationError(ValueError):
+    """Raised for malformed equations or evaluation failures."""
+
+
+def tokenize_equation(equation: str) -> list[str]:
+    """Split an equation string into tokens."""
+    tokens: list[str] = []
+    position = 0
+    while position < len(equation):
+        match = _TOKEN.match(equation, position)
+        if match is None:
+            if equation[position:].strip():
+                raise EquationError(
+                    f"bad token at {position} in {equation!r}"
+                )
+            break
+        tokens.append(match.group(1))
+        position = match.end()
+    if not tokens:
+        raise EquationError("empty equation")
+    return tokens
+
+
+def count_operations(equation: str) -> int:
+    """The number of binary operators (unit-conversion steps included)."""
+    tokens = tokenize_equation(equation)
+    count = 0
+    previous: str | None = None
+    for token in tokens:
+        if token in "+-" and (previous is None or previous in _OPERATORS
+                              or previous == "("):
+            previous = token
+            continue  # unary sign, not an operation
+        if token in _OPERATORS and token != "%":
+            count += 1
+        elif token == "%":
+            count += 1
+        previous = token
+    return count
+
+
+class _Parser:
+    """expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)*
+    factor := ('+'|'-') factor | primary '%'? ; primary := number | slot | '(' expr ')'
+    """
+
+    def __init__(self, tokens: Sequence[str], values: Sequence[float]):
+        self._tokens = list(tokens)
+        self._values = list(values)
+        self._pos = 0
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise EquationError("unexpected end of equation")
+        self._pos += 1
+        return token
+
+    def parse(self) -> float:
+        value = self._expr()
+        if self._peek() is not None:
+            raise EquationError(f"trailing tokens from {self._peek()!r}")
+        return value
+
+    def _expr(self) -> float:
+        value = self._term()
+        while self._peek() in ("+", "-"):
+            op = self._next()
+            rhs = self._term()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _term(self) -> float:
+        value = self._factor()
+        while self._peek() in ("*", "/"):
+            op = self._next()
+            rhs = self._factor()
+            if op == "/":
+                if rhs == 0:
+                    raise EquationError("division by zero")
+                value = value / rhs
+            else:
+                value = value * rhs
+        return value
+
+    def _factor(self) -> float:
+        token = self._peek()
+        if token in ("+", "-"):
+            self._next()
+            inner = self._factor()
+            return inner if token == "+" else -inner
+        value = self._primary()
+        while self._peek() == "%":
+            self._next()
+            value = value / 100.0
+        return value
+
+    def _primary(self) -> float:
+        token = self._next()
+        if token == "(":
+            value = self._expr()
+            if self._next() != ")":
+                raise EquationError("unbalanced parentheses")
+            return value
+        if token.startswith("N"):
+            index = int(token[1:]) - 1
+            if not 0 <= index < len(self._values):
+                raise EquationError(f"unbound slot {token}")
+            return self._values[index]
+        try:
+            return float(token)
+        except ValueError as exc:
+            raise EquationError(f"bad primary {token!r}") from exc
+
+
+def evaluate_equation(equation: str, values: Sequence[float] = ()) -> float:
+    """Evaluate an equation with slot values ``N1..Nk`` bound to ``values``."""
+    return _Parser(tokenize_equation(equation), values).parse()

@@ -1,0 +1,84 @@
+"""Render N-MWP problems from templates."""
+
+from __future__ import annotations
+
+from repro.mwp.equation import evaluate_equation
+from repro.mwp.schema import MWPProblem, ProblemQuantity
+from repro.mwp.templates import MWPTemplate, templates_for
+from repro.units.kb import DimUnitKB
+from repro.utils.rng import spawn_rng
+
+
+class MWPGenerator:
+    """Deterministic sampler of N-MWP problems for one dataset family."""
+
+    def __init__(self, kb: DimUnitKB, dataset: str, seed: int = 0):
+        """``dataset`` is "math23k" or "ape210k" (template families)."""
+        self._kb = kb
+        self._dataset = dataset
+        self._templates = templates_for(dataset)
+        self._rng = spawn_rng(seed, f"mwp-{dataset}")
+        self._counter = 0
+
+    def _unit_surface(self, unit_id: str) -> str:
+        unit = self._kb.get(unit_id)
+        return unit.label_zh or unit.symbol
+
+    def generate_one(self) -> MWPProblem:
+        """One freshly sampled N-MWP problem."""
+        template = self._rng.choice(list(self._templates))
+        frame = self._rng.choice(list(template.frames))
+        for _ in range(100):
+            values = []
+            for spec in template.slots:
+                value = round(self._rng.uniform(spec.low, spec.high),
+                              spec.decimals)
+                if spec.decimals == 0:
+                    value = float(int(value))
+                values.append(value)
+            if all(values[i - 1] > values[j - 1]
+                   for i, j in template.ordering):
+                break
+        else:
+            raise RuntimeError(
+                f"template {template.template_id} ordering unsatisfiable"
+            )
+        quantities = []
+        fills = {}
+        for index, (spec, value) in enumerate(zip(template.slots, values),
+                                              start=1):
+            unit_id = frame.slot_units[index - 1] if spec.unitful else None
+            if unit_id:
+                surface = f"{value:g}{self._unit_surface(unit_id)}"
+            else:
+                surface = f"{value:g}{spec.suffix}"
+            quantities.append(ProblemQuantity(
+                slot=index,
+                value=value,
+                unit_id=unit_id or "",
+                surface=surface,
+            ))
+            fills[f"n{index}"] = surface
+        answer_surface = (
+            self._unit_surface(frame.answer_unit) if frame.answer_unit else ""
+        )
+        fills["ua"] = answer_surface
+        text = template.pattern.format(**fills)
+        answer = evaluate_equation(template.equation, values)
+        self._counter += 1
+        return MWPProblem(
+            problem_id=f"{self._dataset}-{self._counter:05d}",
+            dataset=f"N-{'Math23k' if self._dataset == 'math23k' else 'Ape210k'}",
+            text=text,
+            quantities=tuple(quantities),
+            equation=template.equation,
+            answer=answer,
+            answer_unit_id=frame.answer_unit,
+            answer_surface=answer_surface,
+        )
+
+    def generate(self, count: int) -> list[MWPProblem]:
+        """``count`` fresh problems."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.generate_one() for _ in range(count)]

@@ -1,0 +1,46 @@
+"""MWP accuracy scoring (Section VI-D).
+
+"For models that generate answers, we use their answer accuracy.  For
+equation-generating models, we use a calculator to assess the accuracy
+of their equations."  Both paths land in :func:`answers_match`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mwp.equation import EquationError, evaluate_equation
+from repro.mwp.schema import MWPProblem
+
+
+def answers_match(predicted: float | None, gold: float,
+                  rel_tol: float = 1e-4) -> bool:
+    """Tolerant numeric equality; None never matches."""
+    if predicted is None:
+        return False
+    scale = max(abs(predicted), abs(gold), 1e-12)
+    return abs(predicted - gold) / scale <= rel_tol
+
+
+def equation_answer(problem: MWPProblem, equation: str) -> float | None:
+    """Run the calculator over a predicted equation; None if malformed."""
+    try:
+        return evaluate_equation(equation, problem.slot_values)
+    except EquationError:
+        return None
+
+
+def score_accuracy(
+    predictions: Sequence[float | None],
+    problems: Sequence[MWPProblem],
+) -> float:
+    """Fraction of problems answered correctly (the paper's Accuracy)."""
+    if len(predictions) != len(problems):
+        raise ValueError("prediction/problem length mismatch")
+    if not problems:
+        return 0.0
+    correct = sum(
+        1 for predicted, problem in zip(predictions, problems)
+        if answers_match(predicted, problem.answer)
+    )
+    return correct / len(problems)

@@ -1,0 +1,68 @@
+"""Problem schema for N-MWP / Q-MWP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.mwp.equation import count_operations, evaluate_equation
+
+
+@dataclass(frozen=True)
+class ProblemQuantity:
+    """One unitful number slot in a problem.
+
+    ``slot`` is the 1-based equation slot (``N<slot>``); ``value`` is the
+    surface value as written in the text; ``unit_id`` is the KB unit the
+    text expresses it in (empty for bare numbers/percentages).
+    """
+
+    slot: int
+    value: float
+    unit_id: str
+    surface: str  # how the quantity is written, e.g. "150千克"
+
+
+@dataclass(frozen=True)
+class MWPProblem:
+    """A math word problem with its gold equation.
+
+    The equation is written over surface values ``N1..Nk``; evaluating it
+    with ``slot_values`` yields ``answer`` (an invariant the generator
+    and every augmentation operator must preserve).
+    """
+
+    problem_id: str
+    dataset: str                      # "N-Math23k", "Q-Ape210k", ...
+    text: str
+    quantities: tuple[ProblemQuantity, ...]
+    equation: str
+    answer: float
+    answer_unit_id: str | None
+    answer_surface: str               # unit mention in the question
+    conversions_required: int = 0
+    augmented_by: tuple[str, ...] = field(default=())
+
+    @property
+    def slot_values(self) -> tuple[float, ...]:
+        ordered = sorted(self.quantities, key=lambda q: q.slot)
+        return tuple(q.value for q in ordered)
+
+    @property
+    def unit_ids(self) -> tuple[str, ...]:
+        return tuple(
+            q.unit_id for q in self.quantities if q.unit_id
+        ) + ((self.answer_unit_id,) if self.answer_unit_id else ())
+
+    @property
+    def operations(self) -> int:
+        return count_operations(self.equation)
+
+    def check_consistency(self, rel_tol: float = 1e-6) -> bool:
+        """Does the gold equation actually produce the gold answer?"""
+        value = evaluate_equation(self.equation, self.slot_values)
+        scale = max(abs(value), abs(self.answer), 1e-12)
+        return abs(value - self.answer) / scale <= rel_tol
+
+    def with_updates(self, **changes) -> "MWPProblem":
+        """A copy of this problem with fields replaced."""
+        return replace(self, **changes)

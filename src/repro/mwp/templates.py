@@ -1,0 +1,323 @@
+"""N-MWP problem templates in the Math23k / Ape210k style.
+
+Each template fixes a Chinese elementary-problem pattern, its solution
+equation over slots ``N1..Nk``, and one or more *unit frames*: mutually
+consistent unit assignments for the unitful slots and the answer (the
+equation is only valid over surface values when the units in a frame
+agree, which is exactly the N-MWP property the paper criticises --
+"uniformity in unit representation").  Q-MWP augmentation later breaks
+that uniformity and patches the equation with conversion factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """A number slot: sampling range and whether it carries a unit."""
+
+    low: float
+    high: float
+    decimals: int = 0
+    unitful: bool = True
+    suffix: str = ""          # rendered right after bare values, e.g. "%"
+
+
+@dataclass(frozen=True)
+class UnitFrame:
+    """Consistent unit ids per unitful slot + the answer unit."""
+
+    slot_units: tuple[str | None, ...]
+    answer_unit: str | None
+
+
+@dataclass(frozen=True)
+class MWPTemplate:
+    template_id: str
+    dataset: str              # "math23k" | "ape210k"
+    pattern: str              # {n1}..{nk} quantity slots, {ua} answer unit
+    slots: tuple[SlotSpec, ...]
+    frames: tuple[UnitFrame, ...]
+    equation: str
+    notes: str = ""
+    ordering: tuple[tuple[int, int], ...] = field(default=())
+    # ordering: (i, j) pairs requiring value(Ni) > value(Nj) after sampling
+
+
+TEMPLATES: tuple[MWPTemplate, ...] = (
+    # ---------------- Math23k style: short, 1-3 operations ----------------
+    MWPTemplate(
+        template_id="dilution",
+        dataset="math23k",
+        pattern=("小王要将{n1}含药量{n2}的农药稀释成含药量{n3}的药水。"
+                 "需要加水多少{ua}？"),
+        slots=(
+            SlotSpec(50, 400, 0),
+            SlotSpec(15, 40, 0, unitful=False, suffix="%"),
+            SlotSpec(2, 10, 0, unitful=False, suffix="%"),
+        ),
+        frames=(
+            UnitFrame(("KiloGM", None, None), "KiloGM"),
+            UnitFrame(("GM", None, None), "GM"),
+            UnitFrame(("JIN-Chinese", None, None), "JIN-Chinese"),
+        ),
+        equation="N1*N2/N3-N1",
+        notes="The Table V running example.",
+        ordering=((2, 3),),
+    ),
+    MWPTemplate(
+        template_id="rectangle-width",
+        dataset="math23k",
+        pattern=("一个长方形菜地的长为{n1}，长比宽多{n2}，"
+                 "这块菜地的宽是多少{ua}？"),
+        slots=(
+            SlotSpec(30, 240, 0),
+            SlotSpec(0.2, 0.8, 1, unitful=False),
+        ),
+        frames=(
+            UnitFrame(("M", None), "M"),
+            UnitFrame(("CentiM", None), "CentiM"),
+        ),
+        equation="N1/(1+N2)",
+        notes="The Fig. 2 running example (120 metres, 2/3 longer).",
+    ),
+    MWPTemplate(
+        template_id="distance",
+        dataset="math23k",
+        pattern="一辆汽车以{n1}的速度匀速行驶了{n2}，一共行驶了多少{ua}？",
+        slots=(SlotSpec(40, 110, 0), SlotSpec(2, 9, 0)),
+        frames=(
+            UnitFrame(("KiloM-PER-HR", "HR"), "KiloM"),
+            UnitFrame(("M-PER-SEC", "SEC"), "M"),
+        ),
+        equation="N1*N2",
+    ),
+    MWPTemplate(
+        template_id="garden-area",
+        dataset="math23k",
+        pattern="一块长方形土地长{n1}，宽{n2}，它的面积是多少{ua}？",
+        slots=(SlotSpec(20, 150, 0), SlotSpec(8, 60, 0)),
+        frames=(
+            UnitFrame(("M", "M"), "M2"),
+            UnitFrame(("CentiM", "CentiM"), "CentiM2"),
+        ),
+        equation="N1*N2",
+        ordering=((1, 2),),
+    ),
+    MWPTemplate(
+        template_id="tank-fill",
+        dataset="math23k",
+        pattern="一个水箱的容积是{n1}，水管每分钟注水{n2}，注满水箱需要多少{ua}？",
+        slots=(SlotSpec(120, 900, 0), SlotSpec(10, 60, 0)),
+        frames=(
+            UnitFrame(("L", "L"), "MIN"),
+        ),
+        equation="N1/N2",
+    ),
+    MWPTemplate(
+        template_id="warehouse-remaining",
+        dataset="math23k",
+        pattern="仓库里有{n1}货物，运走了{n2}，仓库里还剩多少{ua}？",
+        slots=(SlotSpec(40, 600, 0), SlotSpec(20, 60, 0, unitful=False, suffix="%")),
+        frames=(
+            UnitFrame(("TONNE", None), "TONNE"),
+            UnitFrame(("KiloGM", None), "KiloGM"),
+        ),
+        equation="N1-N1*N2/100",
+    ),
+    MWPTemplate(
+        template_id="rope-segments",
+        dataset="math23k",
+        pattern="一根绳子长{n1}，剪成每段{n2}的小段，可以剪成多少段？",
+        slots=(SlotSpec(12, 96, 0), SlotSpec(2, 6, 0)),
+        frames=(
+            UnitFrame(("M", "M"), None),
+        ),
+        equation="N1/N2",
+        notes="Unitless answer: question-based augmentation does not apply.",
+        ordering=((1, 2),),
+    ),
+    MWPTemplate(
+        template_id="density",
+        dataset="math23k",
+        pattern="一块金属的质量是{n1}，体积是{n2}，它的密度是多少{ua}？",
+        slots=(SlotSpec(200, 4000, 0), SlotSpec(50, 500, 0)),
+        frames=(
+            UnitFrame(("GM", "CentiM3"), "GM-PER-CentiM3"),
+            UnitFrame(("KiloGM", "M3"), "KiloGM-PER-M3"),
+        ),
+        equation="N1/N2",
+    ),
+    MWPTemplate(
+        template_id="orchard-day",
+        dataset="math23k",
+        pattern=("果园上午摘了{n1}筐苹果，每筐重{n2}；下午摘了{n3}筐，"
+                 "每筐重{n4}。运走{n5}后，还剩下多少{ua}？"),
+        slots=(SlotSpec(10, 40, 0, unitful=False), SlotSpec(10, 25, 0),
+               SlotSpec(10, 40, 0, unitful=False), SlotSpec(10, 25, 0),
+               SlotSpec(50, 200, 0)),
+        frames=(
+            UnitFrame((None, "KiloGM", None, "KiloGM", "KiloGM"), "KiloGM"),
+        ),
+        equation="N1*N2+N3*N4-N5",
+    ),
+    MWPTemplate(
+        template_id="warehouse-two-steps",
+        dataset="math23k",
+        pattern=("仓库里有{n1}化肥，先运走了{n2}，后来又运走{n3}，"
+                 "仓库里还剩多少{ua}？"),
+        slots=(SlotSpec(200, 900, 0),
+               SlotSpec(10, 30, 0, unitful=False, suffix="%"),
+               SlotSpec(20, 80, 0)),
+        frames=(
+            UnitFrame(("TONNE", None, "TONNE"), "TONNE"),
+        ),
+        equation="N1-N1*N2/100-N3",
+    ),
+    MWPTemplate(
+        template_id="two-sales",
+        dataset="math23k",
+        pattern=("商店有{n1}大米，第一天卖出{n2}，第二天卖出{n3}，"
+                 "还剩多少{ua}？"),
+        slots=(SlotSpec(300, 900, 0),
+               SlotSpec(10, 30, 0, unitful=False, suffix="%"),
+               SlotSpec(10, 30, 0, unitful=False, suffix="%")),
+        frames=(
+            UnitFrame(("KiloGM", None, None), "KiloGM"),
+        ),
+        equation="N1-N1*N2/100-N1*N3/100",
+    ),
+    # ---------------- Ape210k style: multi-step, 3-8 operations -------------
+    MWPTemplate(
+        template_id="two-leg-journey",
+        dataset="ape210k",
+        pattern=("小明先以{n1}的速度步行了{n2}，又以{n3}的速度骑车行进了{n4}，"
+                 "他一共前进了多少{ua}？"),
+        slots=(SlotSpec(4, 7, 0), SlotSpec(1, 4, 0),
+               SlotSpec(10, 22, 0), SlotSpec(1, 5, 0)),
+        frames=(
+            UnitFrame(("KiloM-PER-HR", "HR", "KiloM-PER-HR", "HR"), "KiloM"),
+        ),
+        equation="N1*N2+N3*N4",
+    ),
+    MWPTemplate(
+        template_id="average-speed",
+        dataset="ape210k",
+        pattern=("一辆货车上午以{n1}的速度行驶了{n2}，下午以{n3}的速度行驶了{n4}。"
+                 "全天的平均速度是多少{ua}？"),
+        slots=(SlotSpec(40, 70, 0), SlotSpec(2, 5, 0),
+               SlotSpec(50, 90, 0), SlotSpec(2, 5, 0)),
+        frames=(
+            UnitFrame(("KiloM-PER-HR", "HR", "KiloM-PER-HR", "HR"),
+                      "KiloM-PER-HR"),
+        ),
+        equation="(N1*N2+N3*N4)/(N2+N4)",
+    ),
+    MWPTemplate(
+        template_id="mixture-ratio",
+        dataset="ape210k",
+        pattern=("配制药水时先加入{n1}农药和{n2}清水，再补加{n3}清水，"
+                 "最终药量占药水总量的百分之几？"),
+        slots=(SlotSpec(2, 20, 0), SlotSpec(20, 80, 0), SlotSpec(10, 60, 0)),
+        frames=(
+            UnitFrame(("KiloGM", "KiloGM", "KiloGM"), None),
+        ),
+        equation="N1/(N1+N2+N3)*100",
+    ),
+    MWPTemplate(
+        template_id="fuel-budget",
+        dataset="ape210k",
+        pattern=("一辆汽车每行驶{n1}耗油{n2}。按同样的油耗行驶{n3}，"
+                 "一共需要耗油多少{ua}？"),
+        slots=(SlotSpec(80, 120, 0), SlotSpec(6, 11, 0), SlotSpec(200, 900, 0)),
+        frames=(
+            UnitFrame(("KiloM", "L", "KiloM"), "L"),
+        ),
+        equation="N2/N1*N3",
+        ordering=((3, 1),),
+    ),
+    MWPTemplate(
+        template_id="pool-two-pipes",
+        dataset="ape210k",
+        pattern=("水池的容积是{n1}，进水管每小时注水{n2}，出水管每小时排水{n3}。"
+                 "两管齐开，注满水池需要多少{ua}？"),
+        slots=(SlotSpec(60, 480, 0), SlotSpec(20, 60, 0), SlotSpec(5, 18, 0)),
+        frames=(
+            UnitFrame(("M3", "M3", "M3"), "HR"),
+        ),
+        equation="N1/(N2-N3)",
+        ordering=((2, 3),),
+    ),
+    MWPTemplate(
+        template_id="box-volume",
+        dataset="ape210k",
+        pattern="一个长方体水箱长{n1}，宽{n2}，高{n3}，它的容积是多少{ua}？",
+        slots=(SlotSpec(2, 9, 0), SlotSpec(2, 8, 0), SlotSpec(1, 6, 0)),
+        frames=(
+            UnitFrame(("M", "M", "M"), "M3"),
+            UnitFrame(("CentiM", "CentiM", "CentiM"), "CentiM3"),
+        ),
+        equation="N1*N2*N3",
+    ),
+    MWPTemplate(
+        template_id="workshop-output",
+        dataset="ape210k",
+        pattern=("车间上午工作{n1}，每小时生产{n2}个零件；下午工作{n3}，"
+                 "每小时生产{n4}个零件，全天共生产多少个零件？"),
+        slots=(SlotSpec(3, 5, 0), SlotSpec(40, 120, 0),
+               SlotSpec(3, 5, 0), SlotSpec(40, 120, 0)),
+        frames=(
+            UnitFrame(("HR", None, "HR", None), None),
+        ),
+        equation="N1*N2+N3*N4",
+    ),
+    MWPTemplate(
+        template_id="farm-plan",
+        dataset="ape210k",
+        pattern=("农场有{n1}和{n2}两块麦田，平均每公顷产小麦{n3}。收获后先留"
+                 "{n4}作种子，其余装袋，每袋{n5}，一共能装多少袋？"),
+        slots=(SlotSpec(2, 9, 0), SlotSpec(2, 9, 0), SlotSpec(4, 8, 0),
+               SlotSpec(5, 20, 0, unitful=False, suffix="%"),
+               SlotSpec(25, 50, 0)),
+        frames=(
+            UnitFrame(("HA", "HA", "TONNE", None, "KiloGM"), None),
+        ),
+        equation="(N1+N2)*N3*(1-N4/100)*1000/N5",
+        notes="Tonnes to kilograms appears as the explicit 1000 factor.",
+    ),
+    MWPTemplate(
+        template_id="wheat-chain",
+        dataset="ape210k",
+        pattern=("{n1}小麦可以磨出{n2}的面粉，这些面粉做成面包后重量又变为"
+                 "面粉的{n3}。最终能得到面包多少{ua}？"),
+        slots=(SlotSpec(100, 800, 0),
+               SlotSpec(60, 90, 0, unitful=False, suffix="%"),
+               SlotSpec(110, 140, 0, unitful=False, suffix="%")),
+        frames=(
+            UnitFrame(("KiloGM", None, None), "KiloGM"),
+        ),
+        equation="N1*N2/100*N3/100",
+    ),
+    MWPTemplate(
+        template_id="perimeter-cost",
+        dataset="ape210k",
+        pattern=("一块长方形苗圃长{n1}，宽{n2}。沿四周围一圈篱笆，"
+                 "篱笆的总长是多少{ua}？"),
+        slots=(SlotSpec(10, 60, 0), SlotSpec(5, 30, 0)),
+        frames=(
+            UnitFrame(("M", "M"), "M"),
+        ),
+        equation="(N1+N2)*2",
+        ordering=((1, 2),),
+    ),
+)
+
+
+def templates_for(dataset: str) -> tuple[MWPTemplate, ...]:
+    """The template family for one dataset name."""
+    chosen = tuple(t for t in TEMPLATES if t.dataset == dataset)
+    if not chosen:
+        raise ValueError(f"unknown template dataset {dataset!r}")
+    return chosen

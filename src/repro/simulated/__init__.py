@@ -1,0 +1,34 @@
+"""Simulated external models (the offline stand-ins for closed APIs).
+
+Every baseline row of Tables VII/IX that the paper obtained from a
+closed-source or very large model (GPT-4, GPT-3.5-Turbo, InstructGPT,
+PaLM-2, LLaMa-2, OpenChat, Flan-T5, T0++, ChatGLM-2) is reproduced by a
+behaviourally-calibrated stochastic solver: per-task precision and
+answer-rate targets are transcribed from the paper's tables, and errors
+are realistic (wrong-but-plausible options, abstention).  Tool
+augmentation is *mechanistic*: a WolframAlpha stand-in engine with a
+narrower 540-unit catalogue actually performs conversions and dimension
+algebra when its brittle surface-form interface can resolve the units.
+
+All harness output labels these rows ``(simulated)``.
+"""
+
+from repro.simulated.profiles import (
+    MODEL_PROFILES,
+    ModelProfile,
+    TaskBehaviour,
+    answer_rate_from_scores,
+)
+from repro.simulated.llm import CalibratedLLM
+from repro.simulated.wolfram import WolframAlphaEngine
+from repro.simulated.toolchain import ToolAugmentedLLM
+
+__all__ = [
+    "CalibratedLLM",
+    "MODEL_PROFILES",
+    "ModelProfile",
+    "TaskBehaviour",
+    "ToolAugmentedLLM",
+    "WolframAlphaEngine",
+    "answer_rate_from_scores",
+]

@@ -1,0 +1,105 @@
+"""The calibrated stochastic solver behind every simulated baseline row.
+
+For MCQ tasks the solver abstains / answers / errs at the rates implied
+by the profile's (precision, F1) targets; wrong answers pick a plausible
+non-gold option.  For quantity extraction each gold pair is reproduced
+correctly / value-only / unit-only / corrupted at rates implied by the
+(QE, VE, UE) targets.  For MWP the solver solves with its N-MWP accuracy
+degraded by ``conversion_reliability`` per required unit conversion --
+the mechanism that makes Q-MWP harder than N-MWP (the paper's RQ3).
+"""
+
+from __future__ import annotations
+
+from repro.dimeval.schema import DimEvalExample, Task
+from repro.simulated.profiles import ModelProfile, answer_rate_from_scores
+from repro.utils.rng import spawn_rng
+
+
+class CalibratedLLM:
+    """A simulated baseline implementing the evaluator protocols."""
+
+    def __init__(self, profile: ModelProfile, seed: int = 0):
+        self.profile = profile
+        self.name = profile.name
+        self.simulated = True
+        self._rng = spawn_rng(seed, f"calibrated-{profile.name}")
+
+    # -- MCQ protocol ----------------------------------------------------------
+
+    def answer_example(self, example: DimEvalExample) -> int | None:
+        """Answer (or abstain from) one MCQ example."""
+        behaviour = self.profile.tasks.get(example.task)
+        if behaviour is None:
+            return None
+        answer_rate = answer_rate_from_scores(behaviour.precision, behaviour.f1)
+        if self._rng.random() >= answer_rate:
+            return None  # abstain: "LLMs refrain from uncertain responses"
+        if self._rng.random() < behaviour.precision / 100.0:
+            return example.answer_index
+        wrong = [i for i in range(len(example.options)) if i != example.answer_index]
+        return self._rng.choice(wrong)
+
+    # -- extraction protocol ------------------------------------------------------
+
+    def extract_example(self, example: DimEvalExample) -> list[tuple[str, str]]:
+        """Simulated quantity extraction for one example."""
+        if example.task is not Task.QUANTITY_EXTRACTION:
+            raise ValueError("extract_example only handles quantity extraction")
+        behaviour = self.profile.extraction
+        if behaviour is None:
+            return []
+        joint = behaviour.qe / 100.0
+        value_only = max(behaviour.ve / 100.0 - joint, 0.0)
+        unit_only = max(behaviour.ue / 100.0 - joint, 0.0)
+        pairs: list[tuple[str, str]] = []
+        for value_text, unit_id in example.payload["gold"]:
+            roll = self._rng.random()
+            if roll < joint:
+                pairs.append((value_text, unit_id))
+            elif roll < joint + value_only:
+                pairs.append((value_text, self._corrupt_unit(unit_id)))
+            elif roll < joint + value_only + unit_only:
+                pairs.append((self._corrupt_value(value_text), unit_id))
+            else:
+                # miss the quantity entirely (recall error)
+                continue
+        return pairs
+
+    def _corrupt_value(self, value_text: str) -> str:
+        digits = list(value_text)
+        slots = [i for i, ch in enumerate(digits) if ch.isdigit()]
+        if not slots:
+            return value_text + "0"
+        slot = self._rng.choice(slots)
+        digits[slot] = str((int(digits[slot]) + self._rng.randint(1, 9)) % 10)
+        return "".join(digits)
+
+    def _corrupt_unit(self, unit_id: str) -> str:
+        return unit_id + "-WRONG"
+
+    # -- MWP protocol ------------------------------------------------------------------
+
+    def solve_mwp(self, problem, dataset: str) -> float | None:
+        """Return the model's numeric answer for an MWP problem.
+
+        ``problem`` is a :class:`repro.mwp.schema.MWPProblem`; ``dataset``
+        names its family ("N-Math23k", "Q-Ape210k", ...).  The success
+        probability is the profile's base accuracy on the N- variant
+        times ``conversion_reliability`` per unit conversion the problem
+        requires; failures return a plausibly wrong number (a misplaced
+        conversion factor), or None (no parseable answer) occasionally.
+        """
+        base_key = dataset.replace("Q-", "N-")
+        base = self.profile.mwp_accuracy.get(base_key)
+        if base is None:
+            return None
+        probability = base / 100.0
+        probability *= self.profile.conversion_reliability ** problem.conversions_required
+        if self._rng.random() < probability:
+            return problem.answer
+        if self._rng.random() < 0.1:
+            return None
+        # classic failure mode: dropped or inverted conversion factor
+        factor = self._rng.choice((10.0, 100.0, 1000.0, 0.1, 0.01, 0.001, 60.0))
+        return problem.answer * factor

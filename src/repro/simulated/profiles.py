@@ -1,0 +1,157 @@
+"""Calibration targets for simulated baselines, transcribed from the paper.
+
+Table VII provides per-task Precision and F1 (plus QE/VE/UE F1 for
+quantity extraction); Table IX provides N-MWP accuracies and the
+conversion-reliability knob that turns them into Q-MWP behaviour.  The
+answer rate of an abstaining model follows from (P, F1):
+
+    R = F1 * P / (2P - F1)        (recall)
+    answer_rate = R / P
+
+``None`` marks cells the paper leaves blank (e.g. PaLM-2 / Flan-T5 /
+T0++ quantity extraction, which lack Chinese support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dimeval.schema import Task
+
+
+@dataclass(frozen=True)
+class TaskBehaviour:
+    """Target (precision, f1) on one MCQ task, on the paper's 0-100 scale."""
+
+    precision: float
+    f1: float
+
+
+@dataclass(frozen=True)
+class ExtractionBehaviour:
+    """Target (QE, VE, UE) F1 scores, 0-100 scale."""
+
+    qe: float
+    ve: float
+    ue: float
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Everything the stochastic solver needs for one baseline row."""
+
+    name: str
+    params: str
+    extraction: ExtractionBehaviour | None
+    tasks: dict[Task, TaskBehaviour]
+    # Table IX behaviour: N-MWP accuracy per dataset (0-100), and the
+    # per-unit-conversion reliability that degrades Q-MWP performance.
+    mwp_accuracy: dict[str, float]
+    conversion_reliability: float
+    simulated: bool = True
+
+
+def answer_rate_from_scores(precision: float, f1: float) -> float:
+    """Fraction of questions answered, implied by (P, F1); in [0, 1]."""
+    if precision <= 0.0 or f1 <= 0.0:
+        return 0.0
+    recall = f1 * precision / max(2.0 * precision - f1, 1e-9)
+    return min(max(recall / precision, 0.0), 1.0)
+
+
+def _tasks(qk, ca, dp, da, mc, uc) -> dict[Task, TaskBehaviour]:
+    return {
+        Task.QUANTITYKIND_MATCH: TaskBehaviour(*qk),
+        Task.COMPARABLE_ANALYSIS: TaskBehaviour(*ca),
+        Task.DIMENSION_PREDICTION: TaskBehaviour(*dp),
+        Task.DIMENSION_ARITHMETIC: TaskBehaviour(*da),
+        Task.MAGNITUDE_COMPARISON: TaskBehaviour(*mc),
+        Task.UNIT_CONVERSION: TaskBehaviour(*uc),
+    }
+
+
+#: Table VII rows (powerful closed-source + open-source blocks) and the
+#: Table IX N-MWP accuracies.  Q-MWP behaviour is derived mechanically
+#: from ``conversion_reliability`` (see repro.simulated.llm).
+MODEL_PROFILES: dict[str, ModelProfile] = {
+    "GPT-4": ModelProfile(
+        name="GPT-4", params="-",
+        extraction=ExtractionBehaviour(73.91, 80.59, 80.79),
+        tasks=_tasks((66.67, 39.63), (68.89, 55.18), (44.44, 34.40),
+                     (31.11, 14.98), (53.33, 31.37), (64.45, 52.68)),
+        mwp_accuracy={"N-Math23k": 78.22, "N-Ape210k": 65.33},
+        conversion_reliability=0.86,
+    ),
+    "GPT-3.5-Turbo": ModelProfile(
+        name="GPT-3.5-Turbo", params="-",
+        extraction=ExtractionBehaviour(73.48, 78.18, 78.95),
+        tasks=_tasks((46.00, 18.43), (39.91, 24.63), (47.56, 25.05),
+                     (19.50, 7.38), (39.73, 13.71), (41.96, 23.42)),
+        mwp_accuracy={"N-Math23k": 49.33, "N-Ape210k": 39.56},
+        conversion_reliability=0.72,
+    ),
+    "InstructGPT": ModelProfile(
+        name="InstructGPT", params="175B",
+        extraction=ExtractionBehaviour(77.67, 76.57, 80.70),
+        tasks=_tasks((49.50, 32.99), (42.15, 42.42), (54.47, 43.24),
+                     (24.00, 15.70), (37.50, 28.12), (60.71, 59.80)),
+        mwp_accuracy={"N-Math23k": 42.0, "N-Ape210k": 33.0},
+        conversion_reliability=0.70,
+    ),
+    "PaLM-2": ModelProfile(
+        name="PaLM-2", params="540B",
+        extraction=None,  # no Chinese support in the PaLM-2 API (Sec. VI-B)
+        tasks=_tasks((68.89, 47.29), (51.11, 44.67), (53.33, 31.24),
+                     (31.11, 23.11), (17.78, 15.65), (60.00, 38.90)),
+        mwp_accuracy={"N-Math23k": 55.0, "N-Ape210k": 44.0},
+        conversion_reliability=0.75,
+    ),
+    "LLaMa-2-70B": ModelProfile(
+        name="LLaMa-2-70B", params="70B",
+        extraction=ExtractionBehaviour(65.94, 60.45, 71.79),
+        tasks=_tasks((28.89, 27.03), (33.33, 31.93), (42.22, 41.08),
+                     (22.22, 20.41), (31.11, 28.11), (46.67, 33.60)),
+        mwp_accuracy={"N-Math23k": 40.0, "N-Ape210k": 30.0},
+        conversion_reliability=0.68,
+    ),
+    "LLaMa-2-13B": ModelProfile(
+        name="LLaMa-2-13B", params="13B",
+        extraction=ExtractionBehaviour(57.58, 59.09, 58.42),
+        tasks=_tasks((44.44, 39.82), (24.44, 25.92), (51.11, 36.62),
+                     (20.00, 19.92), (13.34, 5.60), (33.33, 21.90)),
+        mwp_accuracy={"N-Math23k": 28.0, "N-Ape210k": 20.0},
+        conversion_reliability=0.62,
+    ),
+    "OpenChat": ModelProfile(
+        name="OpenChat", params="13B",
+        extraction=ExtractionBehaviour(33.07, 39.69, 46.23),
+        tasks=_tasks((37.77, 30.33), (28.89, 22.01), (35.56, 26.75),
+                     (26.67, 20.84), (20.00, 14.17), (28.89, 24.26)),
+        mwp_accuracy={"N-Math23k": 25.0, "N-Ape210k": 17.0},
+        conversion_reliability=0.60,
+    ),
+    "Flan-T5": ModelProfile(
+        name="Flan-T5", params="11B",
+        extraction=None,
+        tasks=_tasks((40.00, 36.00), (37.78, 32.15), (47.11, 39.67),
+                     (17.00, 14.95), (16.07, 15.49), (30.80, 23.27)),
+        mwp_accuracy={"N-Math23k": 18.0, "N-Ape210k": 12.0},
+        conversion_reliability=0.58,
+    ),
+    "T0++": ModelProfile(
+        name="T0++", params="11B",
+        extraction=None,
+        tasks=_tasks((18.76, 17.26), (18.67, 17.26), (41.33, 36.88),
+                     (6.00, 6.99), (15.62, 16.74), (13.39, 17.20)),
+        mwp_accuracy={"N-Math23k": 10.0, "N-Ape210k": 7.0},
+        conversion_reliability=0.55,
+    ),
+    "ChatGLM-2": ModelProfile(
+        name="ChatGLM-2", params="6B",
+        extraction=ExtractionBehaviour(36.30, 35.29, 45.25),
+        tasks=_tasks((44.44, 34.89), (42.22, 32.71), (28.89, 25.15),
+                     (17.78, 14.77), (20.00, 18.45), (24.44, 19.93)),
+        mwp_accuracy={"N-Math23k": 22.0, "N-Ape210k": 15.0},
+        conversion_reliability=0.60,
+    ),
+}

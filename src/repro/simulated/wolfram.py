@@ -1,0 +1,82 @@
+"""The WolframAlpha stand-in: a symbolic unit-math engine.
+
+Real WolframAlpha covers ~540 units / 173 quantity kinds (Table IV) --
+far fewer than DimUnitKB -- and is reached through a brittle text
+interface.  This engine reproduces both properties: it operates on a
+frequency-ranked 540-unit subset of our KB and resolves units by *exact*
+surface form only (no fuzzy linking), so out-of-catalogue or oddly
+written units fail exactly the way the paper's tool-augmented baselines
+do (RQ4).
+"""
+
+from __future__ import annotations
+
+from repro.dimension import DimensionVector, dimension_of_expression
+from repro.units.conversion import conversion_factor
+from repro.units.kb import DimUnitKB
+from repro.units.schema import UnitRecord
+
+#: Table IV: WolframAlpha hosts 540 units.
+WOLFRAM_UNIT_COUNT = 540
+
+
+class ToolQueryError(ValueError):
+    """Raised when the engine cannot resolve a query (coverage/interface)."""
+
+
+class WolframAlphaEngine:
+    """Unit conversion + dimension algebra over a narrower catalogue."""
+
+    def __init__(self, kb: DimUnitKB, unit_count: int = WOLFRAM_UNIT_COUNT):
+        self._kb = kb
+        chosen = kb.top_units_by_frequency(unit_count)
+        self._subset = kb.subset(
+            [unit.unit_id for unit in chosen], resource="WolframAlpha"
+        )
+
+    @property
+    def catalogue(self) -> DimUnitKB:
+        return self._subset
+
+    def statistics(self):
+        """Table IV row for the engine's catalogue."""
+        return self._subset.statistics(resource="WolframAlpha")
+
+    # -- resolution (exact surface forms only) ---------------------------------
+
+    def resolve(self, mention: str) -> UnitRecord:
+        """Exact surface-form lookup in the tool catalogue."""
+        hits = self._subset.find_by_surface(mention)
+        if not hits:
+            raise ToolQueryError(f"WolframAlpha stand-in: unknown unit {mention!r}")
+        return max(hits, key=lambda unit: unit.frequency)
+
+    def covers(self, unit_id: str) -> bool:
+        """True if the catalogue hosts this unit id."""
+        return unit_id in self._subset
+
+    # -- capabilities ------------------------------------------------------------
+
+    def convert(self, value: float, source: str, target: str) -> float:
+        """``value source`` expressed in ``target`` (pure factors only)."""
+        source_unit = self.resolve(source)
+        target_unit = self.resolve(target)
+        return value * conversion_factor(source_unit, target_unit)
+
+    def dimension_of(self, mentions: list[str], ops: list[str]) -> DimensionVector:
+        """Dimension of a unit expression (Definition 6)."""
+        units = [self.resolve(mention) for mention in mentions]
+        return dimension_of_expression([unit.dimension for unit in units], ops)
+
+    def comparable(self, left: str, right: str) -> bool:
+        """Do two mentions share a dimension?"""
+        return self.resolve(left).dimension == self.resolve(right).dimension
+
+    def largest(self, mentions: list[str]) -> int:
+        """Index of the largest '1 <unit>' quantity among mentions."""
+        units = [self.resolve(mention) for mention in mentions]
+        first_dim = units[0].dimension
+        if any(unit.dimension != first_dim for unit in units):
+            raise ToolQueryError("magnitudes of different dimensions")
+        factors = [unit.conversion_value for unit in units]
+        return factors.index(max(factors))

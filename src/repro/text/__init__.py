@@ -1,0 +1,24 @@
+"""Text substrate: tokenisation, numeric literals, quantity extraction."""
+
+from repro.text.tokenizer import tokenize, is_cjk
+from repro.text.numbers import (
+    NUMBER_PATTERN,
+    NumericSpan,
+    find_numbers,
+    parse_number,
+)
+from repro.text.extraction import (
+    ExtractedQuantity,
+    QuantityExtractor,
+)
+
+__all__ = [
+    "ExtractedQuantity",
+    "NUMBER_PATTERN",
+    "NumericSpan",
+    "QuantityExtractor",
+    "find_numbers",
+    "is_cjk",
+    "parse_number",
+    "tokenize",
+]

@@ -1,0 +1,113 @@
+"""Rule-based quantity extraction (the DimKS annotator of Algorithm 1).
+
+Finds numeric literals, then greedily matches the longest KB surface form
+that follows each literal ("9.9m/s" -> value 9.9, unit mention "m/s").
+Mentions that match no surface form can optionally fall back to fuzzy
+linking.  This extractor is deliberately heuristic -- Algorithm 1 cleans
+up its mistakes with a masked-LM filter and manual review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.text.numbers import find_numbers
+from repro.units.kb import DimUnitKB
+from repro.units.schema import UnitRecord
+
+if TYPE_CHECKING:  # avoid a circular import with repro.linking
+    from repro.linking.linker import UnitLinker
+
+#: How far past the numeric literal we look for a unit mention.
+_WINDOW = 40
+
+
+@dataclass(frozen=True)
+class ExtractedQuantity:
+    """One quantity found in text: numeric part + unit part (Definition 2)."""
+
+    value: float
+    value_text: str
+    unit: UnitRecord | None
+    unit_text: str
+    start: int
+    end: int
+
+    @property
+    def quantity_text(self) -> str:
+        return f"{self.value_text} {self.unit_text}".strip()
+
+    @property
+    def is_grounded(self) -> bool:
+        """True when the unit part resolved to a KB record."""
+        return self.unit is not None
+
+
+class QuantityExtractor:
+    """Extract ``(value, unit)`` quantities from bilingual text."""
+
+    def __init__(
+        self,
+        kb: DimUnitKB,
+        linker: UnitLinker | None = None,
+        fuzzy: bool = False,
+    ):
+        self._kb = kb
+        self._linker = linker
+        self._fuzzy = fuzzy
+        forms = kb.naming_dictionary()
+        self._max_form_length = max((len(form) for form in forms), default=0)
+
+    def extract(self, text: str) -> list[ExtractedQuantity]:
+        """All quantities in reading order; bare numbers yield unit=None."""
+        results = []
+        for span in find_numbers(text):
+            window_start = span.end
+            window = text[window_start:window_start + _WINDOW]
+            offset = len(window) - len(window.lstrip())
+            window = window.lstrip()
+            unit, mention, consumed = self._match_unit(window)
+            end = span.end + (offset + consumed if mention else 0)
+            results.append(
+                ExtractedQuantity(
+                    value=span.value,
+                    value_text=span.text,
+                    unit=unit,
+                    unit_text=mention,
+                    start=span.start,
+                    end=end,
+                )
+            )
+        return results
+
+    def extract_grounded(self, text: str) -> list[ExtractedQuantity]:
+        """Only the quantities whose unit resolved against the KB."""
+        return [q for q in self.extract(text) if q.is_grounded]
+
+    def _match_unit(self, window: str) -> tuple[UnitRecord | None, str, int]:
+        """Longest-prefix surface-form match, with optional fuzzy fallback."""
+        limit = min(len(window), self._max_form_length)
+        for length in range(limit, 0, -1):
+            prefix = window[:length]
+            if length < len(window):
+                boundary = window[length]
+                # Don't split latin words/numbers mid-token.
+                if (prefix[-1].isalnum() and boundary.isalnum()
+                        and not _is_cjk(prefix[-1])):
+                    continue
+            candidates = self._kb.find_by_surface(prefix.strip())
+            if candidates:
+                best = max(candidates, key=lambda u: u.frequency)
+                return best, prefix.strip(), length
+        if self._fuzzy and self._linker is not None:
+            first_token = window.split()[0] if window.split() else ""
+            if first_token:
+                best = self._linker.link_best(first_token)
+                if best is not None:
+                    return best, first_token, len(first_token)
+        return None, "", 0
+
+
+def _is_cjk(char: str) -> bool:
+    return "一" <= char <= "鿿"

@@ -1,0 +1,123 @@
+"""Numeric literal detection and parsing for quantity extraction.
+
+Handles plain integers/decimals, thousands separators, scientific
+notation, simple fractions ("2/3"), signed values, and Chinese numerals
+("三十五", "3万") as they appear in the bilingual corpora.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: The core numeric literal regex (latin forms).
+NUMBER_PATTERN = re.compile(
+    r"[-+]?"
+    r"(?:\d{1,3}(?:,\d{3})+|\d+)"     # integer part, optional , separators
+    r"(?:\.\d+)?"                     # decimal part
+    r"(?:[eE][-+]?\d+)?"              # exponent
+    r"(?:/\d+(?:\.\d+)?)?"            # simple fraction tail
+)
+
+_CHINESE_DIGITS = {
+    "零": 0, "一": 1, "二": 2, "两": 2, "三": 3, "四": 4,
+    "五": 5, "六": 6, "七": 7, "八": 8, "九": 9,
+}
+_CHINESE_SMALL_UNITS = {"十": 10, "百": 100, "千": 1000}
+_CHINESE_BIG_UNITS = {"万": 10_000, "亿": 100_000_000}
+_CHINESE_NUMBER_PATTERN = re.compile(
+    r"[零一二两三四五六七八九十百千万亿]+"
+)
+#: Mixed form like "3万" or "1.5亿".
+_MIXED_PATTERN = re.compile(r"\d+(?:\.\d+)?[万亿]")
+
+
+@dataclass(frozen=True)
+class NumericSpan:
+    """A numeric literal located in text."""
+
+    text: str
+    value: float
+    start: int
+    end: int
+
+
+class NumberParseError(ValueError):
+    """Raised when a numeric literal cannot be interpreted."""
+
+
+def parse_number(literal: str) -> float:
+    """Parse a latin, Chinese, or mixed numeral into a float."""
+    stripped = literal.strip()
+    if not stripped:
+        raise NumberParseError("empty numeric literal")
+    mixed = _MIXED_PATTERN.fullmatch(stripped)
+    if mixed:
+        return float(stripped[:-1]) * _CHINESE_BIG_UNITS[stripped[-1]]
+    if _CHINESE_NUMBER_PATTERN.fullmatch(stripped):
+        return float(_parse_chinese(stripped))
+    if "/" in stripped:
+        head, _, tail = stripped.partition("/")
+        try:
+            return float(head.replace(",", "")) / float(tail)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise NumberParseError(f"bad fraction {literal!r}") from exc
+    try:
+        return float(stripped.replace(",", ""))
+    except ValueError as exc:
+        raise NumberParseError(f"bad numeric literal {literal!r}") from exc
+
+
+def _parse_chinese(text: str) -> int:
+    """Parse a pure Chinese numeral (supports 十/百/千/万/亿 structure)."""
+    total = 0
+    section = 0   # value accumulated below the current big unit
+    digit = 0
+    for char in text:
+        if char in _CHINESE_DIGITS:
+            digit = _CHINESE_DIGITS[char]
+        elif char in _CHINESE_SMALL_UNITS:
+            unit = _CHINESE_SMALL_UNITS[char]
+            section += (digit or 1) * unit
+            digit = 0
+        elif char in _CHINESE_BIG_UNITS:
+            unit = _CHINESE_BIG_UNITS[char]
+            total = (total + section + digit) * unit
+            section = 0
+            digit = 0
+        else:
+            raise NumberParseError(f"bad Chinese numeral {text!r}")
+    return total + section + digit
+
+
+def find_numbers(text: str) -> list[NumericSpan]:
+    """Locate every numeric literal (latin, mixed, and Chinese forms)."""
+    spans: list[NumericSpan] = []
+    taken: list[tuple[int, int]] = []
+
+    def add(match: re.Match, value: float) -> None:
+        start, end = match.span()
+        if any(start < e and s < end for s, e in taken):
+            return
+        taken.append((start, end))
+        spans.append(NumericSpan(match.group(), value, start, end))
+
+    for match in _MIXED_PATTERN.finditer(text):
+        add(match, parse_number(match.group()))
+    for match in NUMBER_PATTERN.finditer(text):
+        try:
+            add(match, parse_number(match.group()))
+        except NumberParseError:
+            continue
+    for match in _CHINESE_NUMBER_PATTERN.finditer(text):
+        literal = match.group()
+        # Skip bare unit-characters like the "千" in "千克".
+        if all(ch in _CHINESE_SMALL_UNITS or ch in _CHINESE_BIG_UNITS
+               for ch in literal):
+            continue
+        try:
+            add(match, parse_number(literal))
+        except NumberParseError:
+            continue
+    spans.sort(key=lambda span: span.start)
+    return spans

@@ -1,0 +1,41 @@
+"""A lightweight bilingual word tokenizer.
+
+Latin-script words, numbers and symbol runs become single tokens; CJK
+characters are emitted one per token (the standard character-level
+fallback for Chinese without a segmenter).  This is the tokenizer used by
+the unit-linking context model and the corpus annotator -- the LLM
+substrate has its own subword vocabulary in :mod:`repro.llm.tokenizer`.
+"""
+
+from __future__ import annotations
+
+import re
+
+_CJK_RANGES = (
+    (0x4E00, 0x9FFF),    # CJK Unified Ideographs
+    (0x3400, 0x4DBF),    # Extension A
+    (0xF900, 0xFAFF),    # Compatibility Ideographs
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"[A-Za-z]+(?:'[A-Za-z]+)?"   # latin words (incl. apostrophes)
+    r"|\d+(?:\.\d+)?"             # numbers
+    r"|[一-鿿㐀-䶿豈-﫿]"  # single CJK chars
+    r"|[^\sA-Za-z0-9一-鿿㐀-䶿豈-﫿]"  # symbols
+)
+
+
+def is_cjk(char: str) -> bool:
+    """True if ``char`` is a CJK ideograph."""
+    if len(char) != 1:
+        raise ValueError("is_cjk expects a single character")
+    code = ord(char)
+    return any(low <= code <= high for low, high in _CJK_RANGES)
+
+
+def tokenize(text: str, *, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word / number / CJK-char / symbol tokens."""
+    tokens = _TOKEN_PATTERN.findall(text)
+    if lowercase:
+        tokens = [token.lower() for token in tokens]
+    return tokens

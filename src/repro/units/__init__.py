@@ -1,0 +1,62 @@
+"""DimUnitKB: the dimensional unit knowledge base (paper Section III-A).
+
+Public surface:
+
+- :func:`build_kb` -- construct the full scored knowledge base.
+- :func:`default_kb` -- a process-wide cached instance (building takes a
+  moment; most callers share one immutable KB).
+- :class:`DimUnitKB` / :class:`UnitRecord` / :class:`QuantityKind` --
+  query layer and record schemas.
+- :class:`Quantity` / :class:`DerivedQuantity` -- grounded values with
+  dimension-law-guarded arithmetic.
+- conversion helpers implementing Definition 8.
+"""
+
+from functools import lru_cache
+
+from repro.units.builder import KBBuildError, build_kb
+from repro.units.conversion import (
+    ConversionError,
+    conversion_factor,
+    convert_value,
+    from_si,
+    is_convertible,
+    to_si,
+)
+from repro.units.kb import (
+    DimUnitKB,
+    KBStatistics,
+    UnknownKindError,
+    UnknownUnitError,
+)
+from repro.units.quantity import DerivedQuantity, Quantity
+from repro.units.schema import KindSeed, QuantityKind, UnitRecord, UnitSeed
+
+
+@lru_cache(maxsize=1)
+def default_kb() -> DimUnitKB:
+    """The shared, lazily-built DimUnitKB instance."""
+    return build_kb()
+
+
+__all__ = [
+    "ConversionError",
+    "DerivedQuantity",
+    "DimUnitKB",
+    "KBBuildError",
+    "KBStatistics",
+    "KindSeed",
+    "Quantity",
+    "QuantityKind",
+    "UnitRecord",
+    "UnitSeed",
+    "UnknownKindError",
+    "UnknownUnitError",
+    "build_kb",
+    "conversion_factor",
+    "convert_value",
+    "default_kb",
+    "from_si",
+    "is_convertible",
+    "to_si",
+]

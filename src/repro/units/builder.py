@@ -1,0 +1,340 @@
+"""DimUnitKB construction: seeds -> prefix expansion -> compounds -> scoring.
+
+The pipeline mirrors the paper's Section III-A construction: a curated
+bilingual seed catalogue (the QUDT-plus-manual-curation stand-in) is
+expanded with SI/IEC prefixes and systematic "X per Y" / "X Y" compound
+derivation, then every unit is scored with the Eq. 1-2 frequency model.
+Curated entries always shadow generated ones with the same identifier, so
+the calibrated Fig. 3 / Fig. 4 frequencies survive expansion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.dimension import DimensionVector
+from repro.units import frequency
+from repro.units.data import (
+    BINARY_PREFIXES,
+    SI_PREFIXES,
+    Prefix,
+    iter_seed_units,
+)
+from repro.units.data.compounds import (
+    GRID_DENOMINATORS,
+    GRID_EXCLUSIONS,
+    GRID_NUMERATORS,
+    KIND_REPRESENTATIVES,
+    PRODUCT_FAMILIES,
+    RATIO_FAMILIES,
+)
+from repro.units.data.kinds import BASE_KINDS
+from repro.units.kb import DimUnitKB
+from repro.units.schema import KindSeed, QuantityKind, UnitRecord, UnitSeed
+
+#: Popularity damping applied to generated compound units.
+_COMPOUND_DAMPING = 0.5
+_GRID_DAMPING = 0.35
+
+
+class KBBuildError(ValueError):
+    """Raised when the seed catalogues are internally inconsistent."""
+
+
+class KindRegistry:
+    """Mutable registry of quantity kinds used while building the KB."""
+
+    def __init__(self) -> None:
+        self._kinds: dict[str, QuantityKind] = {}
+
+    def register_seed(self, seed: KindSeed) -> QuantityKind:
+        """Register a curated kind seed."""
+        kind = QuantityKind(
+            name=seed.name,
+            dimension=DimensionVector.parse(seed.dimension),
+            si_symbol=seed.si_symbol,
+            description=seed.description,
+            derived=False,
+        )
+        return self._register(kind)
+
+    def _register(self, kind: QuantityKind) -> QuantityKind:
+        existing = self._kinds.get(kind.name)
+        if existing is not None:
+            if existing.dimension != kind.dimension:
+                raise KBBuildError(
+                    f"kind {kind.name!r} re-registered with a different dimension"
+                )
+            return existing
+        self._kinds[kind.name] = kind
+        return kind
+
+    def get(self, name: str) -> QuantityKind:
+        """The registered kind by name."""
+        try:
+            return self._kinds[name]
+        except KeyError as exc:
+            raise KBBuildError(f"unknown quantity kind {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kinds
+
+    def ensure_ratio_kind(
+        self, numerator: QuantityKind, denominator: QuantityKind
+    ) -> QuantityKind:
+        """Register (if needed) the derived kind ``<Num>Per<Den>``."""
+        name = f"{numerator.name}Per{denominator.name}"
+        if name in self._kinds:
+            return self._kinds[name]
+        derived = QuantityKind(
+            name=name,
+            dimension=numerator.dimension / denominator.dimension,
+            si_symbol=_ratio_symbol(numerator.si_symbol, denominator.si_symbol),
+            description=(
+                f"{numerator.name} per unit {denominator.name} (derived kind)."
+            ),
+            derived=True,
+        )
+        return self._register(derived)
+
+    def all_kinds(self) -> tuple[QuantityKind, ...]:
+        """Every registered kind, in insertion order."""
+        return tuple(self._kinds.values())
+
+
+@dataclass
+class _PendingUnit:
+    """A unit awaiting frequency scoring."""
+
+    seed: UnitSeed
+    dimension: DimensionVector
+    generated: bool
+
+
+def _ratio_symbol(numerator: str, denominator: str) -> str:
+    num = numerator or "1"
+    den = denominator or "1"
+    if "/" in den or "*" in den:
+        den = f"({den})"
+    return f"{num}/{den}"
+
+
+def _prefixed_seed(seed: UnitSeed, prefix: Prefix) -> UnitSeed:
+    """Apply a decimal/binary prefix to a curated seed."""
+    label_en = f"{prefix.name}{seed.en[0].lower()}{seed.en[1:]}"
+    return replace(
+        seed,
+        uid=f"{prefix.name}{seed.uid}",
+        en=label_en,
+        zh=f"{prefix.zh}{seed.zh}" if seed.zh else "",
+        symbol=f"{prefix.symbol}{seed.symbol}",
+        aliases=(f"{prefix.name.lower()}{seed.en.lower()}",),
+        keywords=seed.keywords,
+        description=f"{prefix.factor:g} x {seed.en}.",
+        factor=seed.factor * prefix.factor,
+        popularity=round(seed.popularity * prefix.weight, 6),
+        offset=0.0,
+        prefixable=False,
+        binary_prefixable=False,
+    )
+
+
+def _ratio_seed(num: UnitSeed, den: UnitSeed, kind: str, damping: float) -> UnitSeed:
+    popularity = round(damping * math.sqrt(num.popularity * den.popularity), 6)
+    return UnitSeed(
+        uid=f"{num.uid}-PER-{den.uid}",
+        en=f"{num.en} per {den.en}",
+        zh=f"{num.zh}每{den.zh}" if num.zh and den.zh else "",
+        symbol=f"{num.symbol}/{den.symbol}",
+        aliases=(f"{num.en.lower()} per {den.en.lower()}",),
+        keywords=tuple(dict.fromkeys(num.keywords + den.keywords)),
+        description=f"{num.en} per {den.en} (derived).",
+        kind=kind,
+        factor=num.factor / den.factor,
+        popularity=popularity,
+        system="Derived",
+    )
+
+
+def _product_seed(left: UnitSeed, right: UnitSeed, kind: str, damping: float) -> UnitSeed:
+    popularity = round(damping * math.sqrt(left.popularity * right.popularity), 6)
+    return UnitSeed(
+        uid=f"{left.uid}-{right.uid}",
+        en=f"{left.en} {right.en}",
+        zh=f"{left.zh}{right.zh}" if left.zh and right.zh else "",
+        symbol=f"{left.symbol}*{right.symbol}",
+        aliases=(f"{left.en.lower()} {right.en.lower()}",),
+        keywords=tuple(dict.fromkeys(left.keywords + right.keywords)),
+        description=f"{left.en} times {right.en} (derived).",
+        kind=kind,
+        factor=left.factor * right.factor,
+        popularity=popularity,
+        system="Derived",
+    )
+
+
+class KBBuilder:
+    """Stateful builder; use :func:`build_kb` for the one-call interface."""
+
+    def __init__(self) -> None:
+        self.registry = KindRegistry()
+        self._pending: dict[str, _PendingUnit] = {}
+
+    # -- stages -------------------------------------------------------------
+
+    def load_kinds(self) -> None:
+        """Stage 0: register the curated kinds."""
+        for kind_seed in BASE_KINDS:
+            self.registry.register_seed(kind_seed)
+
+    def load_curated(self) -> None:
+        """Stage 1: load every curated unit seed."""
+        for seed in iter_seed_units():
+            self._add(seed, generated=False)
+
+    def expand_prefixes(self) -> None:
+        """Stage 2: SI/IEC prefix expansion."""
+        curated = [pending.seed for pending in self._pending.values()
+                   if not pending.generated]
+        for seed in curated:
+            if seed.prefixable:
+                for prefix in SI_PREFIXES:
+                    if prefix.factor < 1.0 and not seed.sub_unity_prefixes:
+                        continue
+                    self._add(_prefixed_seed(seed, prefix), generated=True)
+            if seed.binary_prefixable:
+                for prefix in BINARY_PREFIXES:
+                    self._add(_prefixed_seed(seed, prefix), generated=True)
+
+    def expand_ratio_families(self) -> None:
+        """Stage 3: "X per Y" compound derivation."""
+        for family in RATIO_FAMILIES:
+            for num_uid in family.numerators:
+                for den_uid in family.denominators:
+                    num = self._seed_for(num_uid)
+                    den = self._seed_for(den_uid)
+                    if num is None or den is None:
+                        raise KBBuildError(
+                            f"ratio family references unknown unit "
+                            f"{num_uid if num is None else den_uid!r}"
+                        )
+                    kind = family.kind or self.registry.ensure_ratio_kind(
+                        self.registry.get(num.kind), self.registry.get(den.kind)
+                    ).name
+                    self._add(
+                        _ratio_seed(num, den, kind, _COMPOUND_DAMPING),
+                        generated=True,
+                    )
+
+    def expand_product_families(self) -> None:
+        """Stage 4: "X Y" product derivation."""
+        for family in PRODUCT_FAMILIES:
+            for left_uid in family.lefts:
+                for right_uid in family.rights:
+                    left = self._seed_for(left_uid)
+                    right = self._seed_for(right_uid)
+                    if left is None or right is None:
+                        raise KBBuildError(
+                            f"product family references unknown unit "
+                            f"{left_uid if left is None else right_uid!r}"
+                        )
+                    if family.kind is None:
+                        raise KBBuildError("product families need explicit kinds")
+                    self._add(
+                        _product_seed(left, right, family.kind, _COMPOUND_DAMPING),
+                        generated=True,
+                    )
+
+    def expand_kind_grid(self) -> None:
+        """Stage 5: systematic derived-kind grid."""
+        for num_kind_name in GRID_NUMERATORS:
+            for den_kind_name in GRID_DENOMINATORS:
+                if (num_kind_name, den_kind_name) in GRID_EXCLUSIONS:
+                    continue
+                num_kind = self.registry.get(num_kind_name)
+                den_kind = self.registry.get(den_kind_name)
+                kind = self.registry.ensure_ratio_kind(num_kind, den_kind)
+                for num_uid in KIND_REPRESENTATIVES[num_kind_name]:
+                    for den_uid in KIND_REPRESENTATIVES[den_kind_name]:
+                        num = self._seed_for(num_uid)
+                        den = self._seed_for(den_uid)
+                        if num is None or den is None:
+                            raise KBBuildError(
+                                "kind grid references unknown representative"
+                            )
+                        self._add(
+                            _ratio_seed(num, den, kind.name, _GRID_DAMPING),
+                            generated=True,
+                        )
+
+    def finalise(self) -> DimUnitKB:
+        """Score every unit (Eq. 1-2) and freeze the KB."""
+        signals = {
+            uid: frequency.design_signals(uid, pending.seed.popularity)
+            for uid, pending in self._pending.items()
+        }
+        scores = {uid: frequency.score(sig) for uid, sig in signals.items()}
+        freqs = frequency.normalise(scores)
+        records = []
+        for uid, pending in self._pending.items():
+            seed = pending.seed
+            records.append(
+                UnitRecord(
+                    unit_id=uid,
+                    label_en=seed.en,
+                    label_zh=seed.zh,
+                    symbol=seed.symbol,
+                    aliases=seed.aliases,
+                    description=seed.description,
+                    keywords=seed.keywords,
+                    frequency=freqs[uid],
+                    quantity_kinds=(seed.kind,),
+                    dimension=pending.dimension,
+                    conversion_value=seed.factor,
+                    conversion_offset=seed.offset,
+                    system=seed.system,
+                    generated=pending.generated,
+                    raw_signals=signals[uid],
+                )
+            )
+        return DimUnitKB(records, self.registry.all_kinds())
+
+    # -- internals ------------------------------------------------------------
+
+    def _add(self, seed: UnitSeed, generated: bool) -> None:
+        existing = self._pending.get(seed.uid)
+        if existing is not None:
+            if generated:
+                return  # curated entries shadow generated duplicates
+            raise KBBuildError(f"duplicate curated unit id {seed.uid!r}")
+        if seed.kind not in self.registry:
+            raise KBBuildError(
+                f"unit {seed.uid!r} references unknown kind {seed.kind!r}"
+            )
+        if seed.offset != 0.0 and generated:
+            raise KBBuildError("generated units must not be affine")
+        dimension = self.registry.get(seed.kind).dimension
+        self._pending[seed.uid] = _PendingUnit(seed, dimension, generated)
+
+    def _seed_for(self, uid: str) -> UnitSeed | None:
+        pending = self._pending.get(uid)
+        if pending is None:
+            return None
+        if pending.seed.offset != 0.0:
+            raise KBBuildError(
+                f"affine unit {uid!r} cannot participate in compounds"
+            )
+        return pending.seed
+
+
+def build_kb() -> DimUnitKB:
+    """Build the full DimUnitKB (curated + prefixes + compounds, scored)."""
+    builder = KBBuilder()
+    builder.load_kinds()
+    builder.load_curated()
+    builder.expand_prefixes()
+    builder.expand_ratio_families()
+    builder.expand_product_families()
+    builder.expand_kind_grid()
+    return builder.finalise()

@@ -1,0 +1,120 @@
+"""DimUnitKB command-line tool.
+
+    python -m repro.units.cli stats
+    python -m repro.units.cli lookup km/h
+    python -m repro.units.cli convert 2.06 m cm
+    python -m repro.units.cli link "dyne/cm" --context "spring stiffness"
+    python -m repro.units.cli export kb.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.linking import UnitLinker
+from repro.units import convert_value, default_kb
+from repro.units.io import save_kb
+
+
+def _cmd_stats(args) -> int:
+    stats = default_kb().statistics()
+    print(f"units:             {stats.num_units}")
+    print(f"quantity kinds:    {stats.num_quantity_kinds}")
+    print(f"dimension vectors: {stats.num_dimension_vectors}")
+    print(f"languages:         {'&'.join(stats.languages)}")
+    return 0
+
+
+def _cmd_lookup(args) -> int:
+    kb = default_kb()
+    hits = kb.find_by_surface(args.mention)
+    if not hits:
+        linker = UnitLinker(kb)
+        hits = [c.unit for c in linker.link(args.mention)[:3]]
+    if not hits:
+        print(f"no unit found for {args.mention!r}", file=sys.stderr)
+        return 1
+    for unit in hits:
+        print(f"{unit.unit_id}: {unit.label_en} ({unit.label_zh}) "
+              f"[{unit.symbol}] kind={unit.quantity_kind} "
+              f"dim={unit.dimension} x{unit.conversion_value:g}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    kb = default_kb()
+    linker = UnitLinker(kb)
+    source = linker.link_best(args.source)
+    target = linker.link_best(args.target)
+    if source is None or target is None:
+        print("cannot link units", file=sys.stderr)
+        return 1
+    value = convert_value(args.value, source, target)
+    print(f"{args.value:g} {source.symbol} = {value:g} {target.symbol}")
+    return 0
+
+
+def _cmd_link(args) -> int:
+    linker = UnitLinker(default_kb())
+    ranked = linker.link(args.mention, args.context)
+    if not ranked:
+        print("no candidates", file=sys.stderr)
+        return 1
+    for candidate in ranked[:args.top]:
+        print(f"{candidate.unit.unit_id:24s} score={candidate.score:.4f} "
+              f"Pr(u)={candidate.prior:.3f} "
+              f"Pr(u|m)={candidate.mention_prob:.3f} "
+              f"Pr(u|c)={candidate.context_prob:.3f}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    save_kb(default_kb(), args.path)
+    print(f"wrote {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(prog="repro-kb",
+                                     description="DimUnitKB toolbox")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="KB statistics (Table IV row)")
+
+    lookup = sub.add_parser("lookup", help="find units by surface form")
+    lookup.add_argument("mention")
+
+    convert = sub.add_parser("convert", help="convert a value between units")
+    convert.add_argument("value", type=float)
+    convert.add_argument("source")
+    convert.add_argument("target")
+
+    link = sub.add_parser("link", help="rank linking candidates")
+    link.add_argument("mention")
+    link.add_argument("--context", default="")
+    link.add_argument("--top", type=int, default=5)
+
+    export = sub.add_parser("export", help="export the KB as JSON")
+    export.add_argument("path")
+    return parser
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "lookup": _cmd_lookup,
+    "convert": _cmd_convert,
+    "link": _cmd_link,
+    "export": _cmd_export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

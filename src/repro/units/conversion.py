@@ -1,0 +1,58 @@
+"""Unit conversion (paper Definition 8).
+
+Given units ``u1`` and ``u2`` of the same dimension, find ``beta`` with
+``u1 = beta * u2`` -- e.g. "how many milligrams per decilitre equal
+1 kg/m^3" (Fig. 5) has ``beta = 100``.  Affine temperature scales only
+support point-value conversion, not pure factors.
+"""
+
+from __future__ import annotations
+
+from repro.dimension import DimensionLawViolation, require_comparable
+from repro.units.schema import UnitRecord
+
+
+class ConversionError(ValueError):
+    """Raised for affine misuse; incomparable dimensions raise
+    :class:`repro.dimension.DimensionLawViolation` instead."""
+
+
+def conversion_factor(source: UnitRecord, target: UnitRecord) -> float:
+    """The ``beta`` with ``1 source = beta target`` (Definition 8).
+
+    Raises :class:`DimensionLawViolation` when dimensions differ and
+    :class:`ConversionError` when either unit is affine (offset scales
+    have no meaningful pure factor).
+    """
+    require_comparable(source.dimension, target.dimension, operation="convert")
+    if source.is_affine or target.is_affine:
+        raise ConversionError(
+            f"affine units ({source.unit_id} -> {target.unit_id}) have no "
+            "pure conversion factor; use convert_value"
+        )
+    return source.conversion_value / target.conversion_value
+
+
+def to_si(value: float, unit: UnitRecord) -> float:
+    """Express ``value unit`` in the SI-coherent unit of its kind."""
+    return unit.conversion_value * value + unit.conversion_offset
+
+
+def from_si(si_value: float, unit: UnitRecord) -> float:
+    """Express an SI-coherent magnitude in ``unit``."""
+    return (si_value - unit.conversion_offset) / unit.conversion_value
+
+
+def convert_value(value: float, source: UnitRecord, target: UnitRecord) -> float:
+    """Convert a point value between comparable units (affine-safe)."""
+    require_comparable(source.dimension, target.dimension, operation="convert")
+    return from_si(to_si(value, source), target)
+
+
+def is_convertible(source: UnitRecord, target: UnitRecord) -> bool:
+    """True when a point conversion between the units is defined."""
+    try:
+        require_comparable(source.dimension, target.dimension)
+    except DimensionLawViolation:
+        return False
+    return True

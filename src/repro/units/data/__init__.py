@@ -1,0 +1,56 @@
+"""Curated seed catalogues for DimUnitKB.
+
+Each module exports a ``UNITS`` tuple of :class:`repro.units.schema.UnitSeed`
+entries for one domain.  Together these play the role of the QUDT ontology
+dump plus the paper's manual Chinese curation (see DESIGN.md).  The
+:mod:`repro.units.builder` module expands them with SI prefixes and compound
+derivation into the full knowledge base.
+"""
+
+from repro.units.data.kinds import BASE_KINDS
+from repro.units.data.prefixes import BINARY_PREFIXES, SI_PREFIXES, Prefix
+
+
+def iter_seed_units():
+    """Yield every curated :class:`UnitSeed` across all domain catalogues."""
+    from repro.units.data import (
+        amount,
+        angle,
+        area,
+        density,
+        electric,
+        energy,
+        flow,
+        force,
+        frequency_units,
+        information,
+        length,
+        mass,
+        misc,
+        photometry,
+        power,
+        pressure,
+        radioactivity,
+        specialised,
+        temperature,
+        time,
+        velocity,
+        volume,
+    )
+
+    modules = (
+        length, mass, time, area, volume, velocity, force, energy, power,
+        pressure, temperature, electric, photometry, radioactivity, amount,
+        frequency_units, angle, flow, density, information, misc, specialised,
+    )
+    for module in modules:
+        yield from module.UNITS
+
+
+__all__ = [
+    "BASE_KINDS",
+    "BINARY_PREFIXES",
+    "SI_PREFIXES",
+    "Prefix",
+    "iter_seed_units",
+]

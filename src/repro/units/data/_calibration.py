@@ -1,0 +1,19 @@
+"""Frequency-score calibration helper.
+
+The paper's Fig. 3 / Fig. 4 report unit frequency on a 0-100 scale produced
+by Eq. 1-2 with floor ``delta = 0.1`` (the least popular units bottom out at
+exactly 10.0, visible for "Dec"/"ExaByte" in Fig. 4).  Seeds store the raw
+``popularity`` in [0, 1]; :func:`from_score` inverts the Eq. 2 normalisation
+so a curated unit lands on its published figure value once the whole KB is
+scored (assuming the KB's popularity range spans [0, 1], which the
+catalogues guarantee: "Metre" is pinned at 1.0 and "Dec" at 0.0).
+"""
+
+from repro.units.frequency import DELTA
+
+
+def from_score(score: float) -> float:
+    """Popularity that yields ``score`` on the paper's 0-100 scale."""
+    if not 100.0 * DELTA <= score <= 100.0:
+        raise ValueError(f"score {score} outside the [{100 * DELTA}, 100] scale")
+    return round((score / 100.0 - DELTA) / (1.0 - DELTA), 5)

@@ -1,0 +1,76 @@
+"""Amount of substance, concentration, and catalysis units."""
+
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="MOL", en="Mole", zh="摩尔", symbol="mol",
+        aliases=("moles", "摩"),
+        keywords=("amount", "chemistry", "SI base", "物质的量"),
+        description="The SI base unit of amount of substance.",
+        kind="AmountOfSubstance", factor=1.0, popularity=0.48,
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="MOL-PER-M3", en="Mole per Cubic Metre", zh="摩尔每立方米",
+        symbol="mol/m^3",
+        aliases=("moles per cubic metre", "mol/m3"),
+        keywords=("concentration", "chemistry"),
+        description="The SI coherent unit of amount concentration.",
+        kind="Concentration", factor=1.0, popularity=0.08, system="SI",
+    ),
+    UnitSeed(
+        uid="MOL-PER-L", en="Mole per Litre", zh="摩尔每升", symbol="mol/L",
+        aliases=("molar", "M", "moles per litre", "mol/l"),
+        keywords=("concentration", "chemistry", "laboratory", "solution", "浓度"),
+        description="Laboratory concentration unit; 1000 mol/m^3.",
+        kind="Concentration", factor=1e3, popularity=0.35, system="SI",
+    ),
+    UnitSeed(
+        uid="MilliMOL-PER-L", en="Millimole per Litre", zh="毫摩尔每升",
+        symbol="mmol/L",
+        aliases=("millimolar", "mM", "mmol/l"),
+        keywords=("concentration", "blood", "medicine", "glucose", "血糖"),
+        description="Clinical concentration unit; 1 mol/m^3.",
+        kind="Concentration", factor=1.0, popularity=0.25, system="Medical",
+    ),
+    UnitSeed(
+        uid="KiloGM-PER-MOL", en="Kilogram per Mole", zh="千克每摩尔",
+        symbol="kg/mol",
+        aliases=("kilograms per mole",),
+        keywords=("molar mass", "chemistry"),
+        description="The SI coherent unit of molar mass.",
+        kind="MolarMass", factor=1.0, popularity=0.06, system="SI",
+    ),
+    UnitSeed(
+        uid="GM-PER-MOL", en="Gram per Mole", zh="克每摩尔", symbol="g/mol",
+        aliases=("grams per mole",),
+        keywords=("molar mass", "chemistry", "molecule", "摩尔质量"),
+        description="Common molar-mass unit; 0.001 kg/mol.",
+        kind="MolarMass", factor=1e-3, popularity=0.28, system="SI",
+    ),
+    UnitSeed(
+        uid="M3-PER-MOL", en="Cubic Metre per Mole", zh="立方米每摩尔",
+        symbol="m^3/mol",
+        aliases=("m3/mol",),
+        keywords=("molar volume", "chemistry"),
+        description="The SI coherent unit of molar volume.",
+        kind="MolarVolume", factor=1.0, popularity=0.03, system="SI",
+    ),
+    UnitSeed(
+        uid="KAT", en="Katal", zh="开特", symbol="kat",
+        aliases=("katals",),
+        keywords=("catalysis", "enzyme", "biochemistry"),
+        description="The SI coherent unit of catalytic activity; one mole per second.",
+        kind="CatalyticActivity", factor=1.0, popularity=0.03,
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="ENZYME-UNIT", en="Enzyme Unit", zh="酶活力单位", symbol="U",
+        aliases=("enzyme units", "IU"),
+        keywords=("catalysis", "enzyme", "laboratory", "assay"),
+        description="Laboratory enzyme activity unit; one micromole per minute.",
+        kind="CatalyticActivity", factor=1e-6 / 60.0, popularity=0.10,
+        system="Medical",
+    ),
+)

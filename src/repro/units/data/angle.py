@@ -1,0 +1,57 @@
+"""Plane and solid angle units (dimensionless per the KB convention)."""
+
+from math import pi
+
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="RAD-ANGLE", en="Radian", zh="弧度", symbol="rad",
+        aliases=("radians",),
+        keywords=("angle", "mathematics", "trigonometry", "角度"),
+        description="The SI coherent (dimensionless) unit of plane angle.",
+        kind="Angle", factor=1.0, popularity=0.30, system="SI",
+    ),
+    UnitSeed(
+        uid="DEG-ANGLE", en="Degree (angle)", zh="度(角)", symbol="°",
+        aliases=("degrees", "deg", "arc degree"),
+        keywords=("angle", "rotation", "geometry", "navigation"),
+        description="Common angle unit; pi/180 radians.",
+        kind="Angle", factor=pi / 180.0, popularity=0.58, system="SI",
+    ),
+    UnitSeed(
+        uid="ARCMIN", en="Arcminute", zh="角分", symbol="'",
+        aliases=("arc minute", "arcminutes", "minute of arc"),
+        keywords=("angle", "astronomy", "optics"),
+        description="1/60 degree; about 2.9089e-4 radians.",
+        kind="Angle", factor=pi / 10800.0, popularity=0.08, system="SI",
+    ),
+    UnitSeed(
+        uid="ARCSEC", en="Arcsecond", zh="角秒", symbol="''",
+        aliases=("arc second", "arcseconds", "second of arc"),
+        keywords=("angle", "astronomy", "parallax"),
+        description="1/3600 degree; about 4.8481e-6 radians.",
+        kind="Angle", factor=pi / 648000.0, popularity=0.07, system="SI",
+    ),
+    UnitSeed(
+        uid="GRADIAN", en="Gradian", zh="百分度", symbol="gon",
+        aliases=("grad", "gradians", "gons"),
+        keywords=("angle", "surveying"),
+        description="1/400 turn; pi/200 radians.",
+        kind="Angle", factor=pi / 200.0, popularity=0.03, system="Metric",
+    ),
+    UnitSeed(
+        uid="TURN", en="Turn", zh="圈", symbol="tr",
+        aliases=("turns", "revolution", "rev", "cycle"),
+        keywords=("angle", "rotation", "full circle"),
+        description="One full rotation; 2*pi radians.",
+        kind="Angle", factor=2.0 * pi, popularity=0.12, system="SI",
+    ),
+    UnitSeed(
+        uid="SR", en="Steradian", zh="球面度", symbol="sr",
+        aliases=("steradians",),
+        keywords=("solid angle", "radiometry", "physics"),
+        description="The SI coherent (dimensionless) unit of solid angle.",
+        kind="SolidAngle", factor=1.0, popularity=0.05, system="SI",
+    ),
+)

@@ -1,0 +1,109 @@
+"""Area units.
+
+Calibrated: Square Metre 95.99, Hectare 81.05, Square kilometre 80.52,
+Square Centimetre 70.63, Square Millimetre 70.12 (Fig. 3 / Fig. 4).
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="M2", en="Square Metre", zh="平方米", symbol="m^2",
+        aliases=("square meter", "square metres", "square meters", "sq m", "m2", "m²"),
+        keywords=("area", "floor", "housing", "land", "面积"),
+        description="The SI coherent unit of area.",
+        kind="Area", factor=1.0, popularity=from_score(95.99), system="SI",
+    ),
+    UnitSeed(
+        uid="HA", en="Hectare", zh="公顷", symbol="ha",
+        aliases=("hectares",),
+        keywords=("area", "land", "agriculture", "farm"),
+        description="Land area unit; 10000 square metres.",
+        kind="Area", factor=1e4, popularity=from_score(81.05), system="SI",
+    ),
+    UnitSeed(
+        uid="KiloM2", en="Square kilometre", zh="平方千米", symbol="km^2",
+        aliases=("square kilometer", "sq km", "km2", "km²", "平方公里"),
+        keywords=("area", "geography", "city", "country", "region"),
+        description="One million square metres.",
+        kind="Area", factor=1e6, popularity=from_score(80.52), system="SI",
+    ),
+    UnitSeed(
+        uid="CentiM2", en="Square Centimetre", zh="平方厘米", symbol="cm^2",
+        aliases=("square centimeter", "sq cm", "cm2", "cm²"),
+        keywords=("area", "small", "cross-section"),
+        description="One ten-thousandth of a square metre.",
+        kind="Area", factor=1e-4, popularity=from_score(70.63), system="SI",
+    ),
+    UnitSeed(
+        uid="MilliM2", en="Square Millimetre", zh="平方毫米", symbol="mm^2",
+        aliases=("square millimeter", "sq mm", "mm2", "mm²"),
+        keywords=("area", "wire", "cross-section", "engineering"),
+        description="One millionth of a square metre.",
+        kind="Area", factor=1e-6, popularity=from_score(70.12), system="SI",
+    ),
+    UnitSeed(
+        uid="ARE", en="Are", zh="公亩", symbol="a",
+        aliases=("ares",),
+        keywords=("area", "land", "metric"),
+        description="Land area unit; 100 square metres.",
+        kind="Area", factor=100.0, popularity=0.10, system="SI",
+    ),
+    UnitSeed(
+        uid="AC", en="Acre", zh="英亩", symbol="ac",
+        aliases=("acres",),
+        keywords=("area", "land", "imperial", "farm"),
+        description="Imperial land unit; about 4046.873 square metres.",
+        kind="Area", factor=4046.8726098743, popularity=0.45, system="Imperial",
+    ),
+    UnitSeed(
+        uid="IN2", en="Square Inch", zh="平方英寸", symbol="in^2",
+        aliases=("square inches", "sq in", "in2"),
+        keywords=("area", "imperial", "small"),
+        description="Imperial area unit; 6.4516e-4 square metres.",
+        kind="Area", factor=6.4516e-4, popularity=0.25, system="Imperial",
+    ),
+    UnitSeed(
+        uid="FT2", en="Square Foot", zh="平方英尺", symbol="ft^2",
+        aliases=("square feet", "sq ft", "ft2"),
+        keywords=("area", "imperial", "floor", "real estate"),
+        description="Imperial area unit; about 0.0929 square metres.",
+        kind="Area", factor=0.09290304, popularity=0.48, system="Imperial",
+    ),
+    UnitSeed(
+        uid="YD2", en="Square Yard", zh="平方码", symbol="yd^2",
+        aliases=("square yards", "sq yd", "yd2"),
+        keywords=("area", "imperial", "fabric"),
+        description="Imperial area unit; about 0.8361 square metres.",
+        kind="Area", factor=0.83612736, popularity=0.15, system="Imperial",
+    ),
+    UnitSeed(
+        uid="MI2", en="Square Mile", zh="平方英里", symbol="mi^2",
+        aliases=("square miles", "sq mi", "mi2"),
+        keywords=("area", "imperial", "geography"),
+        description="Imperial area unit; about 2.59e6 square metres.",
+        kind="Area", factor=2589988.110336, popularity=0.28, system="Imperial",
+    ),
+    UnitSeed(
+        uid="MU-Chinese", en="Mu", zh="亩", symbol="亩",
+        aliases=("chinese acre", "市亩"),
+        keywords=("area", "chinese", "farmland", "agriculture", "菜地"),
+        description="Traditional Chinese farmland unit; 2000/3 square metres.",
+        kind="Area", factor=2000.0 / 3.0, popularity=0.40, system="Chinese",
+    ),
+    UnitSeed(
+        uid="QING-Chinese", en="Qing", zh="顷", symbol="顷",
+        aliases=("市顷",),
+        keywords=("area", "chinese", "farmland"),
+        description="Traditional Chinese land unit; 100 mu.",
+        kind="Area", factor=200000.0 / 3.0, popularity=0.06, system="Chinese",
+    ),
+    UnitSeed(
+        uid="BARN", en="Barn", zh="靶恩", symbol="b",
+        aliases=("barns",),
+        keywords=("area", "nuclear", "cross-section", "physics"),
+        description="Nuclear cross-section unit; 1e-28 square metres.",
+        kind="Area", factor=1e-28, popularity=0.03, system="Scientific",
+    ),
+)

@@ -1,0 +1,232 @@
+"""Tables driving systematic compound-unit derivation.
+
+The KB builder expands these tables into "X per Y" (ratio) and "X Y"
+(product) units, mirroring how QUDT hosts large families of derived units.
+Referenced uids may be curated seeds or prefix-generated units (prefix
+expansion runs first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RatioFamily:
+    """Generate ``numerator per denominator`` units for a quantity kind.
+
+    ``kind`` of ``None`` means: derive the kind name automatically as
+    ``<NumeratorKind>Per<DenominatorKind>`` from the operand kinds.
+    """
+
+    kind: str | None
+    numerators: tuple[str, ...]
+    denominators: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProductFamily:
+    """Generate ``left right`` product units for a quantity kind."""
+
+    kind: str | None
+    lefts: tuple[str, ...]
+    rights: tuple[str, ...]
+
+
+RATIO_FAMILIES: tuple[RatioFamily, ...] = (
+    RatioFamily(
+        "Velocity",
+        ("M", "KiloM", "CentiM", "MilliM", "MicroM", "NanoM", "FT", "MI",
+         "YD", "NauticalMI", "IN"),
+        ("SEC", "MIN", "HR", "DAY", "YR"),
+    ),
+    RatioFamily(
+        "VolumeFlowRate",
+        ("M3", "L", "MilliL", "CentiM3", "GAL-US", "GAL-IMP", "FT3", "BBL-OIL"),
+        ("SEC", "MIN", "HR", "DAY", "YR"),
+    ),
+    RatioFamily(
+        "MassFlowRate",
+        ("KiloGM", "GM", "TONNE", "LB", "MilliGM", "OZ", "MicroGM"),
+        ("SEC", "MIN", "HR", "DAY", "YR"),
+    ),
+    RatioFamily(
+        "MassDensity",
+        ("KiloGM", "GM", "MilliGM", "MicroGM", "TONNE"),
+        ("M3", "L", "MilliL", "CentiM3", "DeciL"),
+    ),
+    RatioFamily(
+        "Concentration",
+        ("MOL", "MilliMOL", "MicroMOL", "NanoMOL"),
+        ("L", "MilliL", "M3", "DeciL"),
+    ),
+    RatioFamily(
+        "AreaDensity",
+        ("KiloGM", "GM", "MilliGM", "TONNE"),
+        ("M2", "CentiM2", "HA"),
+    ),
+    RatioFamily(
+        "LinearDensity",
+        ("KiloGM", "GM"),
+        ("M", "CentiM", "KiloM"),
+    ),
+    RatioFamily(
+        "SpecificEnergy",
+        ("J", "KiloJ", "MegaJ", "KiloW-HR", "W-HR", "CAL", "KiloCAL", "BTU"),
+        ("KiloGM", "GM", "LB", "TONNE"),
+    ),
+    RatioFamily(
+        "Concentration",
+        ("MOL", "MilliMOL"),
+        ("CentiM3", "FT3"),
+    ),
+    RatioFamily(
+        "MassDensity",
+        ("KiloGM", "GM", "OZ", "LB"),
+        ("GAL-US", "FT3", "IN3"),
+    ),
+    RatioFamily(
+        "HeatFluxDensity",
+        ("W", "KiloW", "MilliW"),
+        ("M2", "CentiM2"),
+    ),
+    RatioFamily(
+        "ElectricFieldStrength",
+        ("V", "KiloV", "MilliV", "MegaV"),
+        ("M", "CentiM", "MilliM"),
+    ),
+    RatioFamily(
+        "Illuminance",
+        ("LM",),
+        ("M2", "CentiM2", "FT2"),
+    ),
+    RatioFamily(
+        "Frequency",
+        ("TURN",),
+        ("SEC", "MIN", "HR"),
+    ),
+    RatioFamily(
+        "Dimensionless",  # data rates live under Dimensionless, per Fig. 4
+        ("BIT", "BYTE", "KiloBIT", "MegaBIT", "GigaBIT", "KiloBYTE",
+         "MegaBYTE", "GigaBYTE", "TeraBYTE"),
+        ("SEC",),
+    ),
+    RatioFamily(
+        "ForcePerLength",
+        ("N", "MilliN", "KiloN"),
+        ("M", "CentiM", "MilliM"),
+    ),
+    RatioFamily(
+        "ForcePerArea",
+        ("N", "KiloN", "MegaN"),
+        ("M2", "MilliM2"),
+    ),
+)
+
+PRODUCT_FAMILIES: tuple[ProductFamily, ...] = (
+    ProductFamily(
+        "Torque",
+        ("N", "KiloN", "MilliN"),
+        ("M", "CentiM", "MilliM"),
+    ),
+    ProductFamily(
+        "Energy",
+        ("W", "KiloW", "MegaW", "GigaW", "TeraW"),
+        ("HR", "SEC"),
+    ),
+    ProductFamily(
+        "ElectricCharge",
+        ("A", "MilliA", "KiloA", "MicroA"),
+        ("SEC", "HR", "MIN"),
+    ),
+)
+
+#: Representative units per kind, used when deriving grid kinds below.
+KIND_REPRESENTATIVES: dict[str, tuple[str, ...]] = {
+    "Length": ("M", "CentiM"),
+    "Mass": ("KiloGM", "GM"),
+    "Time": ("SEC", "HR"),
+    "Area": ("M2",),
+    "Volume": ("M3", "L"),
+    "Energy": ("J", "KiloW-HR"),
+    "Power": ("W", "KiloW"),
+    "Force": ("N",),
+    "ElectricCharge": ("C",),
+    "ElectricPotential": ("V",),
+    "ElectricCurrent": ("A",),
+    "Temperature": ("K",),
+    "AmountOfSubstance": ("MOL",),
+    "Frequency": ("HZ",),
+    "ForcePerArea": ("PA",),
+    "Velocity": ("M-PER-SEC",),
+    "LuminousFlux": ("LM",),
+    "Radioactivity": ("BQ",),
+    "Dimensionless": ("UNITLESS",),
+    "Acceleration": ("M-PER-SEC2",),
+    "Torque": ("N-M",),
+    "MassDensity": ("KiloGM-PER-M3",),
+    "ElectricResistance": ("OHM",),
+    "ElectricCapacitance": ("FARAD",),
+    "Inductance": ("HENRY",),
+    "MagneticFlux": ("WB",),
+    "MagneticFluxDensity": ("TESLA",),
+    "HeatCapacity": ("J-PER-K",),
+    "Momentum": ("KiloGM-M-PER-SEC",),
+    "DynamicViscosity": ("PA-SEC",),
+    "Angle": ("RAD-ANGLE", "DEG-ANGLE"),
+    "Illuminance": ("LUX",),
+    "Luminance": ("CD-PER-M2",),
+    "AbsorbedDose": ("GRAY",),
+    "Concentration": ("MOL-PER-L",),
+    "MolarMass": ("GM-PER-MOL",),
+    "SpecificEnergy": ("J-PER-KiloGM",),
+}
+
+#: Systematic kind grid: ``numerator kind per denominator kind`` -> a new
+#: derived kind named ``<Num>Per<Den>`` with representative units, unless
+#: the pair appears in :data:`GRID_EXCLUSIONS` (because a curated kind
+#: already covers it or the combination is physically vacuous).
+GRID_NUMERATORS: tuple[str, ...] = (
+    "Length", "Mass", "Time", "Area", "Volume", "Energy", "Power", "Force",
+    "ElectricCharge", "ElectricPotential", "ElectricCurrent", "Temperature",
+    "AmountOfSubstance", "Frequency", "ForcePerArea", "Velocity",
+    "LuminousFlux", "Radioactivity",
+    "Acceleration", "Torque", "MassDensity", "ElectricResistance",
+    "ElectricCapacitance", "Inductance", "MagneticFlux",
+    "MagneticFluxDensity", "HeatCapacity", "Momentum", "DynamicViscosity",
+    "Angle", "Illuminance", "Luminance", "AbsorbedDose", "Concentration",
+    "MolarMass", "SpecificEnergy",
+)
+
+GRID_DENOMINATORS: tuple[str, ...] = (
+    "Time", "Length", "Area", "Volume", "Mass", "Temperature",
+    "AmountOfSubstance", "ElectricCurrent",
+)
+
+#: (numerator, denominator) pairs NOT derived by the grid: either a curated
+#: kind already names the concept, or the ratio is degenerate (X per X).
+GRID_EXCLUSIONS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("Length", "Time"),            # Velocity
+        ("Volume", "Time"),            # VolumeFlowRate
+        ("Mass", "Time"),              # MassFlowRate
+        ("Mass", "Volume"),            # MassDensity
+        ("Mass", "Area"),              # AreaDensity
+        ("Mass", "Length"),            # LinearDensity
+        ("Volume", "Mass"),            # SpecificVolume
+        ("Energy", "Mass"),            # SpecificEnergy
+        ("Energy", "Volume"),          # EnergyDensity
+        ("Power", "Area"),             # HeatFluxDensity
+        ("Force", "Area"),             # ForcePerArea
+        ("Force", "Length"),           # ForcePerLength
+        ("AmountOfSubstance", "Volume"),   # Concentration
+        ("AmountOfSubstance", "Time"),     # CatalyticActivity
+        ("Mass", "AmountOfSubstance"),     # MolarMass
+        ("Volume", "AmountOfSubstance"),   # MolarVolume
+        ("ElectricCharge", "Mass"),        # Exposure
+        ("ElectricPotential", "Length"),   # ElectricFieldStrength
+        ("LuminousFlux", "Area"),          # Illuminance
+        ("Velocity", "Time"),              # Acceleration
+    }
+    | {(kind, kind) for kind in GRID_NUMERATORS}
+)

@@ -1,0 +1,121 @@
+"""Mass-density and related concentration units.
+
+Calibrated (Fig. 4, MassDensity column): Gram Per Cubic Centimetre 63.26,
+Gram Per Litre 63.19, Milligram Per Litre 59.02, Microgram Per Litre
+57.77, kilogram per cubic metre 57.52.
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="GM-PER-CentiM3", en="Gram Per Cubic Centimetre", zh="克每立方厘米",
+        symbol="g/cm^3",
+        aliases=("grams per cubic centimetre", "g/cm3", "g/cc"),
+        keywords=("density", "material", "specific gravity", "密度"),
+        description="Common material density unit; 1000 kg/m^3.",
+        kind="MassDensity", factor=1e3, popularity=from_score(63.26),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="GM-PER-L", en="Gram Per Litre", zh="克每升", symbol="g/L",
+        aliases=("grams per litre", "g/l"),
+        keywords=("density", "concentration", "solution", "chemistry"),
+        description="Solution concentration unit; 1 kg/m^3.",
+        kind="MassDensity", factor=1.0, popularity=from_score(63.19),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="MilliGM-PER-L", en="Milligram Per Litre", zh="毫克每升",
+        symbol="mg/L",
+        aliases=("milligrams per litre", "mg/l", "ppm (water)"),
+        keywords=("concentration", "water quality", "pollutant", "环保"),
+        description="Water-quality concentration unit; 0.001 kg/m^3.",
+        kind="MassDensity", factor=1e-3, popularity=from_score(59.02),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="MicroGM-PER-L", en="Microgram Per Litre", zh="微克每升",
+        symbol="ug/L",
+        aliases=("micrograms per litre", "μg/L", "ug/l"),
+        keywords=("concentration", "trace", "water quality"),
+        description="Trace concentration unit; 1e-6 kg/m^3.",
+        kind="MassDensity", factor=1e-6, popularity=from_score(57.77),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="KiloGM-PER-M3", en="kilogram per cubic metre", zh="千克每立方米",
+        symbol="kg/m^3",
+        aliases=("kilograms per cubic metre", "kg/m3"),
+        keywords=("density", "physics", "air", "fluid"),
+        description="The SI coherent unit of mass density.",
+        kind="MassDensity", factor=1.0, popularity=from_score(57.52),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="KiloGM-PER-L", en="Kilogram per Litre", zh="千克每升", symbol="kg/L",
+        aliases=("kilograms per litre", "kg/l"),
+        keywords=("density", "liquid", "fuel"),
+        description="1000 kg/m^3.",
+        kind="MassDensity", factor=1e3, popularity=0.15, system="SI",
+    ),
+    UnitSeed(
+        uid="LB-PER-FT3", en="Pound per Cubic Foot", zh="磅每立方英尺",
+        symbol="lb/ft^3",
+        aliases=("pounds per cubic foot", "lb/ft3", "pcf"),
+        keywords=("density", "imperial", "material"),
+        description="Imperial density unit; about 16.018 kg/m^3.",
+        kind="MassDensity", factor=16.018463373960142, popularity=0.08,
+        system="Imperial",
+    ),
+    UnitSeed(
+        uid="GM-PER-MilliL", en="Gram per Millilitre", zh="克每毫升",
+        symbol="g/mL",
+        aliases=("grams per millilitre", "g/ml"),
+        keywords=("density", "liquid", "laboratory"),
+        description="1000 kg/m^3.",
+        kind="MassDensity", factor=1e3, popularity=0.20, system="SI",
+    ),
+    # -- area / linear density ----------------------------------------------
+    UnitSeed(
+        uid="KiloGM-PER-M2", en="Kilogram per Square Metre", zh="千克每平方米",
+        symbol="kg/m^2",
+        aliases=("kilograms per square metre", "kg/m2"),
+        keywords=("area density", "loading", "construction"),
+        description="The SI coherent unit of area density.",
+        kind="AreaDensity", factor=1.0, popularity=0.10, system="SI",
+    ),
+    UnitSeed(
+        uid="GM-PER-M2", en="Gram per Square Metre", zh="克每平方米",
+        symbol="g/m^2",
+        aliases=("grams per square metre", "gsm", "g/m2"),
+        keywords=("area density", "paper", "fabric", "克重"),
+        description="Paper/fabric weight unit; 0.001 kg/m^2.",
+        kind="AreaDensity", factor=1e-3, popularity=0.18, system="SI",
+    ),
+    UnitSeed(
+        uid="KiloGM-PER-M", en="Kilogram per Metre", zh="千克每米",
+        symbol="kg/m",
+        aliases=("kilograms per metre",),
+        keywords=("linear density", "cable", "rail", "beam"),
+        description="The SI coherent unit of linear density.",
+        kind="LinearDensity", factor=1.0, popularity=0.07, system="SI",
+    ),
+    UnitSeed(
+        uid="DTEX", en="Decitex", zh="分特", symbol="dtex",
+        aliases=("decitexes",),
+        keywords=("linear density", "fiber", "textile", "yarn"),
+        description="Textile fibre unit; 1e-7 kg/m.",
+        kind="LinearDensity", factor=1e-7, popularity=0.05, system="Textile",
+    ),
+    # -- specific volume ------------------------------------------------------
+    UnitSeed(
+        uid="M3-PER-KiloGM", en="Cubic Metre per Kilogram", zh="立方米每千克",
+        symbol="m^3/kg",
+        aliases=("m3/kg",),
+        keywords=("specific volume", "thermodynamics", "steam"),
+        description="The SI coherent unit of specific volume.",
+        kind="SpecificVolume", factor=1.0, popularity=0.03, system="SI",
+    ),
+)

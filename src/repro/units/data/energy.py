@@ -1,0 +1,120 @@
+"""Energy and torque units.
+
+Calibrated: Kilowatthour 64.18, Joule 62.4, Watt Second 58.56, Watthour
+58.37, Megawatt Hour 56.28 (Fig. 4, Energy column).
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="KiloW-HR", en="Kilowatthour", zh="千瓦时", symbol="kWh",
+        aliases=("kilowatt hour", "kilowatt-hour", "kwh", "度", "度电"),
+        keywords=("energy", "electricity", "bill", "household", "电量"),
+        description="Electric energy unit; exactly 3.6e6 joules.",
+        kind="Energy", factor=3.6e6, popularity=from_score(64.18), system="SI",
+    ),
+    UnitSeed(
+        uid="J", en="Joule", zh="焦耳", symbol="J",
+        aliases=("joules", "焦"),
+        keywords=("energy", "work", "physics", "heat", "能量"),
+        description="The SI coherent unit of energy; kg*m^2/s^2.",
+        kind="Energy", factor=1.0, popularity=from_score(62.4),
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="W-SEC", en="Watt Second", zh="瓦秒", symbol="W*s",
+        aliases=("watt-second", "watt seconds", "Ws"),
+        keywords=("energy", "flash", "electronics"),
+        description="One watt for one second; equal to one joule.",
+        kind="Energy", factor=1.0, popularity=from_score(58.56), system="SI",
+    ),
+    UnitSeed(
+        uid="W-HR", en="Watthour", zh="瓦时", symbol="Wh",
+        aliases=("watt hour", "watt-hour"),
+        keywords=("energy", "battery", "capacity"),
+        description="One watt for one hour; 3600 joules.",
+        kind="Energy", factor=3600.0, popularity=from_score(58.37), system="SI",
+    ),
+    UnitSeed(
+        uid="MegaW-HR", en="Megawatt Hour", zh="兆瓦时", symbol="MWh",
+        aliases=("megawatt-hour", "mwh"),
+        keywords=("energy", "grid", "power plant"),
+        description="Utility-scale energy unit; 3.6e9 joules.",
+        kind="Energy", factor=3.6e9, popularity=from_score(56.28), system="SI",
+    ),
+    UnitSeed(
+        uid="CAL", en="Calorie", zh="卡路里", symbol="cal",
+        aliases=("calories", "small calorie", "卡"),
+        keywords=("energy", "food", "heat", "chemistry", "热量"),
+        description="Thermochemical calorie; 4.184 joules.",
+        kind="Energy", factor=4.184, popularity=0.55, system="Metric",
+    ),
+    UnitSeed(
+        uid="KiloCAL", en="Kilocalorie", zh="千卡", symbol="kcal",
+        aliases=("kilocalories", "large calorie", "Cal", "大卡"),
+        keywords=("energy", "food", "diet", "nutrition"),
+        description="Food energy unit; 4184 joules.",
+        kind="Energy", factor=4184.0, popularity=0.52, system="Metric",
+    ),
+    UnitSeed(
+        uid="BTU", en="British Thermal Unit", zh="英热单位", symbol="BTU",
+        aliases=("btus", "Btu"),
+        keywords=("energy", "heating", "hvac", "imperial"),
+        description="Imperial heat unit; about 1055.06 joules.",
+        kind="Energy", factor=1055.05585262, popularity=0.25, system="Imperial",
+    ),
+    UnitSeed(
+        uid="ERG", en="Erg", zh="尔格", symbol="erg",
+        aliases=("ergs",),
+        keywords=("energy", "cgs", "physics", "small"),
+        description="CGS energy unit; exactly 1e-7 joules.",
+        kind="Energy", factor=1e-7, popularity=0.06, system="CGS",
+    ),
+    UnitSeed(
+        uid="EV", en="Electronvolt", zh="电子伏特", symbol="eV",
+        aliases=("electron volt", "electronvolts", "电子伏"),
+        keywords=("energy", "particle", "atomic", "physics"),
+        description="Atomic-scale energy unit; about 1.602177e-19 joules.",
+        kind="Energy", factor=1.602176634e-19, popularity=0.20,
+        prefixable=True, system="Scientific",
+    ),
+    UnitSeed(
+        uid="THERM", en="Therm", zh="撒姆", symbol="thm",
+        aliases=("therms",),
+        keywords=("energy", "natural gas", "billing"),
+        description="Natural-gas billing unit; about 1.0551e8 joules.",
+        kind="Energy", factor=1.05505585262e8, popularity=0.05, system="US",
+    ),
+    UnitSeed(
+        uid="FT-LB", en="Foot-Pound", zh="英尺磅", symbol="ft*lbf",
+        aliases=("foot pounds", "foot-pounds", "ft-lb"),
+        keywords=("energy", "torque", "imperial", "mechanics"),
+        description="Imperial work unit; about 1.3558 joules.",
+        kind="Energy", factor=1.3558179483314004, popularity=0.12,
+        system="Imperial",
+    ),
+    UnitSeed(
+        uid="TON-TNT", en="Ton of TNT", zh="吨TNT当量", symbol="tTNT",
+        aliases=("tonne of tnt", "tons of tnt"),
+        keywords=("energy", "explosion", "yield"),
+        description="Explosive-yield unit; 4.184e9 joules.",
+        kind="Energy", factor=4.184e9, popularity=0.08, system="Scientific",
+    ),
+    # -- torque (same dimension, distinct kind) ------------------------------
+    UnitSeed(
+        uid="N-M", en="Newton Metre", zh="牛顿米", symbol="N*m",
+        aliases=("newton meter", "newton metres", "N·m", "Nm"),
+        keywords=("torque", "moment", "engine", "wrench", "扭矩"),
+        description="The SI coherent unit of torque.",
+        kind="Torque", factor=1.0, popularity=0.35, system="SI",
+    ),
+    UnitSeed(
+        uid="KGF-M", en="Kilogram-Force Metre", zh="千克力米", symbol="kgf*m",
+        aliases=("kilogram force meter", "kgf·m"),
+        keywords=("torque", "engineering", "metric"),
+        description="Gravitational metric torque unit; 9.80665 newton metres.",
+        kind="Torque", factor=9.80665, popularity=0.06, system="Metric",
+    ),
+)

@@ -1,0 +1,141 @@
+"""Volume-flow and mass-flow units.
+
+Calibrated (Fig. 4): VolumeFlowRate -- Cubic Metre per Hour 62.65, Cubic
+Metre per Second 62.14, Cubic Metre Per Minute 61.12, Litre Per Hour
+57.43, Litre Per Second 57.33; MassFlowRate -- Kilogram per Hour 60.7,
+Kilogram per Second 59.18, Gram Per Second 58.13, Gram Per Hour 57.3,
+Gram Per Minute 56.82.
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    # -- volume flow ---------------------------------------------------------
+    UnitSeed(
+        uid="M3-PER-HR", en="Cubic Metre per Hour", zh="立方米每小时",
+        symbol="m^3/h",
+        aliases=("cubic metres per hour", "m3/h"),
+        keywords=("flow", "water", "pump", "pipeline", "流量"),
+        description="Industrial volume flow unit; 1/3600 m^3/s.",
+        kind="VolumeFlowRate", factor=1.0 / 3600.0,
+        popularity=from_score(62.65), system="SI",
+    ),
+    UnitSeed(
+        uid="M3-PER-SEC", en="Cubic Metre per Second", zh="立方米每秒",
+        symbol="m^3/s",
+        aliases=("cubic metres per second", "m3/s", "cumec"),
+        keywords=("flow", "river", "discharge", "hydrology"),
+        description="The SI coherent unit of volume flow rate.",
+        kind="VolumeFlowRate", factor=1.0, popularity=from_score(62.14),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="M3-PER-MIN", en="Cubic Metre Per Minute", zh="立方米每分钟",
+        symbol="m^3/min",
+        aliases=("cubic metres per minute", "m3/min"),
+        keywords=("flow", "ventilation", "compressor"),
+        description="1/60 m^3/s.",
+        kind="VolumeFlowRate", factor=1.0 / 60.0,
+        popularity=from_score(61.12), system="SI",
+    ),
+    UnitSeed(
+        uid="L-PER-HR", en="Litre Per Hour", zh="升每小时", symbol="L/h",
+        aliases=("litres per hour", "l/h"),
+        keywords=("flow", "fuel", "drip", "infusion"),
+        description="1/3.6e6 m^3/s.",
+        kind="VolumeFlowRate", factor=1e-3 / 3600.0,
+        popularity=from_score(57.43), system="SI",
+    ),
+    UnitSeed(
+        uid="L-PER-SEC", en="Litre Per Second", zh="升每秒", symbol="L/s",
+        aliases=("litres per second", "l/s"),
+        keywords=("flow", "water", "pump"),
+        description="0.001 m^3/s.",
+        kind="VolumeFlowRate", factor=1e-3, popularity=from_score(57.33),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="L-PER-MIN", en="Litre Per Minute", zh="升每分钟", symbol="L/min",
+        aliases=("litres per minute", "lpm"),
+        keywords=("flow", "oxygen", "medical", "water"),
+        description="1/60000 m^3/s.",
+        kind="VolumeFlowRate", factor=1e-3 / 60.0, popularity=0.45,
+        system="SI",
+    ),
+    UnitSeed(
+        uid="GAL-PER-MIN", en="Gallon per Minute", zh="加仑每分钟", symbol="gpm",
+        aliases=("gallons per minute", "gal/min"),
+        keywords=("flow", "pump", "us", "well"),
+        description="US volume flow unit; about 6.309e-5 m^3/s.",
+        kind="VolumeFlowRate", factor=3.785411784e-3 / 60.0, popularity=0.18,
+        system="US",
+    ),
+    UnitSeed(
+        uid="FT3-PER-MIN", en="Cubic Foot per Minute", zh="立方英尺每分钟",
+        symbol="cfm",
+        aliases=("cubic feet per minute", "ft3/min"),
+        keywords=("flow", "hvac", "fan", "airflow"),
+        description="HVAC airflow unit; about 4.719e-4 m^3/s.",
+        kind="VolumeFlowRate", factor=0.028316846592 / 60.0, popularity=0.14,
+        system="Imperial",
+    ),
+    # -- mass flow ------------------------------------------------------------
+    UnitSeed(
+        uid="KiloGM-PER-HR", en="Kilogram per Hour", zh="千克每小时",
+        symbol="kg/h",
+        aliases=("kilograms per hour",),
+        keywords=("mass flow", "process", "industry"),
+        description="1/3600 kg/s.",
+        kind="MassFlowRate", factor=1.0 / 3600.0,
+        popularity=from_score(60.7), system="SI",
+    ),
+    UnitSeed(
+        uid="KiloGM-PER-SEC", en="Kilogram per Second", zh="千克每秒",
+        symbol="kg/s",
+        aliases=("kilograms per second",),
+        keywords=("mass flow", "rocket", "engine", "propellant"),
+        description="The SI coherent unit of mass flow rate.",
+        kind="MassFlowRate", factor=1.0, popularity=from_score(59.18),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="GM-PER-SEC", en="Gram Per Second", zh="克每秒", symbol="g/s",
+        aliases=("grams per second",),
+        keywords=("mass flow", "injector", "laboratory"),
+        description="0.001 kg/s.",
+        kind="MassFlowRate", factor=1e-3, popularity=from_score(58.13),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="GM-PER-HR", en="Gram Per Hour", zh="克每小时", symbol="g/h",
+        aliases=("grams per hour",),
+        keywords=("mass flow", "dosing", "laboratory"),
+        description="1/3.6e6 kg/s.",
+        kind="MassFlowRate", factor=1e-3 / 3600.0,
+        popularity=from_score(57.3), system="SI",
+    ),
+    UnitSeed(
+        uid="GM-PER-MIN", en="Gram Per Minute", zh="克每分钟", symbol="g/min",
+        aliases=("grams per minute",),
+        keywords=("mass flow", "dosing", "feed"),
+        description="1/60000 kg/s.",
+        kind="MassFlowRate", factor=1e-3 / 60.0,
+        popularity=from_score(56.82), system="SI",
+    ),
+    UnitSeed(
+        uid="TONNE-PER-HR", en="Tonne per Hour", zh="吨每小时", symbol="t/h",
+        aliases=("tonnes per hour",),
+        keywords=("mass flow", "conveyor", "mining", "bulk"),
+        description="1000/3600 kg/s.",
+        kind="MassFlowRate", factor=1e3 / 3600.0, popularity=0.15, system="SI",
+    ),
+    UnitSeed(
+        uid="LB-PER-HR", en="Pound per Hour", zh="磅每小时", symbol="lb/h",
+        aliases=("pounds per hour",),
+        keywords=("mass flow", "steam", "imperial"),
+        description="Imperial mass flow unit; about 1.26e-4 kg/s.",
+        kind="MassFlowRate", factor=0.45359237 / 3600.0, popularity=0.06,
+        system="Imperial",
+    ),
+)

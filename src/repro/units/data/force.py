@@ -1,0 +1,94 @@
+"""Force units, including the CGS dyne and the poundal from Fig. 1.
+
+The Fig. 1 running example depends on: 1 poundal = 0.138254954376 N and
+1 dyne = 1e-5 N, so 1 poundal = 13825.4954376 dynes (the paper's ChatGPT
+transcript misuses 32.174, the pound-force/poundal ratio; the corrected
+answer uses 13852 ~ 13825).
+"""
+
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="N", en="Newton", zh="牛顿", symbol="N",
+        aliases=("newtons", "牛"),
+        keywords=("force", "physics", "mechanics", "力"),
+        description="The SI coherent unit of force; kg*m/s^2.",
+        kind="Force", factor=1.0, popularity=0.62, prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="DYN", en="Dyne", zh="达因", symbol="dyn",
+        aliases=("dynes",),
+        keywords=("force", "cgs", "physics", "small"),
+        description="CGS force unit; exactly 1e-5 newtons.",
+        kind="Force", factor=1e-5, popularity=0.10, system="CGS",
+    ),
+    UnitSeed(
+        uid="POUNDAL", en="Poundal", zh="磅达", symbol="pdl",
+        aliases=("poundals",),
+        keywords=("force", "imperial", "absolute", "mechanics"),
+        description="Absolute imperial force unit; about 0.138255 newtons.",
+        kind="Force", factor=0.138254954376, popularity=0.03, system="Imperial",
+    ),
+    UnitSeed(
+        uid="LBF", en="Pound-Force", zh="磅力", symbol="lbf",
+        aliases=("pounds force", "pound force"),
+        keywords=("force", "imperial", "thrust", "engineering"),
+        description="Gravitational imperial force unit; about 4.44822 newtons.",
+        kind="Force", factor=4.4482216152605, popularity=0.30, system="Imperial",
+    ),
+    UnitSeed(
+        uid="KGF", en="Kilogram-Force", zh="千克力", symbol="kgf",
+        aliases=("kilopond", "kp", "kilograms force", "公斤力"),
+        keywords=("force", "gravitational", "engineering", "weight"),
+        description="Gravitational metric force unit; exactly 9.80665 newtons.",
+        kind="Force", factor=9.80665, popularity=0.25, system="Metric",
+    ),
+    UnitSeed(
+        uid="KIP", en="Kip", zh="千磅力", symbol="kip",
+        aliases=("kips", "kilopound"),
+        keywords=("force", "structural", "engineering", "us"),
+        description="US structural-engineering force unit; 1000 pounds-force.",
+        kind="Force", factor=4448.2216152605, popularity=0.05, system="US",
+    ),
+    UnitSeed(
+        uid="OZF", en="Ounce-Force", zh="盎司力", symbol="ozf",
+        aliases=("ounces force",),
+        keywords=("force", "small", "imperial"),
+        description="1/16 pound-force; about 0.278 newtons.",
+        kind="Force", factor=0.27801385095378125, popularity=0.02,
+        system="Imperial",
+    ),
+    UnitSeed(
+        uid="TONF-METRIC", en="Tonne-Force", zh="吨力", symbol="tf",
+        aliases=("metric ton force", "tonnes force"),
+        keywords=("force", "heavy", "crane", "engineering"),
+        description="Gravitational force of one tonne; 9806.65 newtons.",
+        kind="Force", factor=9806.65, popularity=0.08, system="Metric",
+    ),
+    # -- force per length (the Fig. 1 spring-stiffness kind) ----------------
+    UnitSeed(
+        uid="N-PER-M", en="Newton Per Metre", zh="牛顿每米", symbol="N/m",
+        aliases=("newtons per metre", "newton per meter"),
+        keywords=("stiffness", "spring", "surface tension", "刚度", "劲度"),
+        description="The SI coherent unit of spring stiffness and surface tension.",
+        kind="ForcePerLength", factor=1.0, popularity=0.28, system="SI",
+    ),
+    UnitSeed(
+        uid="DYN-PER-CentiM", en="Dyne Per Centimetre", zh="达因每厘米",
+        symbol="dyn/cm",
+        aliases=("dynes per centimetre", "dyne per centimeter", "dyne/cm"),
+        keywords=("surface tension", "stiffness", "cgs", "spring"),
+        description="CGS surface-tension/stiffness unit; 0.001 N/m "
+                    "(the Fig. 2 schema's running example).",
+        kind="ForcePerLength", factor=1e-3, popularity=0.04, system="CGS",
+    ),
+    UnitSeed(
+        uid="N-PER-CentiM", en="Newton Per Centimetre", zh="牛顿每厘米",
+        symbol="N/cm",
+        aliases=("newtons per centimetre",),
+        keywords=("stiffness", "spring", "engineering"),
+        description="100 newtons per metre.",
+        kind="ForcePerLength", factor=100.0, popularity=0.06, system="SI",
+    ),
+)

@@ -1,0 +1,46 @@
+"""Frequency and angular-velocity units."""
+
+from math import pi
+
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="HZ", en="Hertz", zh="赫兹", symbol="Hz",
+        aliases=("hertz", "赫", "cycles per second", "cps"),
+        keywords=("frequency", "signal", "radio", "cpu", "频率"),
+        description="The SI coherent unit of frequency; one cycle per second.",
+        kind="Frequency", factor=1.0, popularity=0.65,
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="REV-PER-MIN", en="Revolution per Minute", zh="转每分钟",
+        symbol="rpm",
+        aliases=("revolutions per minute", "rev/min", "转速"),
+        keywords=("frequency", "engine", "motor", "rotation", "转速"),
+        description="Rotational speed unit; 1/60 hertz.",
+        kind="Frequency", factor=1.0 / 60.0, popularity=0.40, system="SI",
+    ),
+    UnitSeed(
+        uid="BEAT-PER-MIN", en="Beat per Minute", zh="次每分钟", symbol="bpm",
+        aliases=("beats per minute", "heartbeats per minute", "心率"),
+        keywords=("frequency", "heart", "music", "tempo", "心跳"),
+        description="Heart-rate and musical tempo unit; 1/60 hertz.",
+        kind="Frequency", factor=1.0 / 60.0, popularity=0.35, system="Medical",
+    ),
+    UnitSeed(
+        uid="RAD-PER-SEC", en="Radian per Second", zh="弧度每秒", symbol="rad/s",
+        aliases=("radians per second",),
+        keywords=("angular velocity", "rotation", "physics", "角速度"),
+        description="The SI coherent unit of angular velocity.",
+        kind="AngularVelocity", factor=1.0, popularity=0.15, system="SI",
+    ),
+    UnitSeed(
+        uid="DEG-PER-SEC", en="Degree per Second", zh="度每秒", symbol="°/s",
+        aliases=("degrees per second", "deg/s"),
+        keywords=("angular velocity", "servo", "camera"),
+        description="Angular velocity unit; pi/180 radians per second.",
+        kind="AngularVelocity", factor=pi / 180.0, popularity=0.08,
+        system="SI",
+    ),
+)

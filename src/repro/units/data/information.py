@@ -1,0 +1,82 @@
+"""Information units and data rates.
+
+Following Fig. 4 of the paper, DimUnitKB files information units and data
+rates under the ``Dimensionless`` quantity kind (their "dimension" is the
+D marker).  Conversion factors are expressed in bits.
+
+Calibrated: Kilobyte per Second 33.91; Dec, ExaByte, ExbiByte and GibiByte
+all sit on the 10.0 popularity floor (Fig. 4, Dimensionless column).
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="BIT", en="Bit", zh="比特", symbol="bit",
+        aliases=("bits", "b", "位"),
+        keywords=("information", "data", "binary", "computing", "数据"),
+        description="The basic unit of information.",
+        kind="Dimensionless", factor=1.0, popularity=0.55,
+        prefixable=True, binary_prefixable=True, sub_unity_prefixes=False,
+        system="IEC",
+    ),
+    UnitSeed(
+        uid="BYTE", en="Byte", zh="字节", symbol="B",
+        aliases=("bytes", "octet"),
+        keywords=("information", "storage", "file", "memory", "存储"),
+        description="Eight bits.",
+        kind="Dimensionless", factor=8.0, popularity=0.62,
+        prefixable=True, binary_prefixable=True, sub_unity_prefixes=False,
+        system="IEC",
+    ),
+    UnitSeed(
+        uid="KiloBYTE-PER-SEC", en="Kilobyte per Second", zh="千字节每秒",
+        symbol="kB/s",
+        aliases=("kilobytes per second", "KB/s", "kbps (bytes)"),
+        keywords=("data rate", "bandwidth", "download", "network", "网速"),
+        description="Data transfer rate; 8000 bits per second.",
+        kind="Dimensionless", factor=8e3, popularity=from_score(33.91),
+        system="IEC",
+    ),
+    UnitSeed(
+        uid="MegaBIT-PER-SEC", en="Megabit per Second", zh="兆比特每秒",
+        symbol="Mbit/s",
+        aliases=("megabits per second", "Mbps"),
+        keywords=("data rate", "bandwidth", "internet", "broadband"),
+        description="Network bandwidth unit; 1e6 bits per second.",
+        kind="Dimensionless", factor=1e6, popularity=0.30, system="IEC",
+    ),
+    UnitSeed(
+        uid="DEC-SCALE", en="Dec", zh="十倍程", symbol="dec",
+        aliases=("decs",),
+        keywords=("scale", "logarithmic", "frequency analysis"),
+        description="Logarithmic decade interval (a factor-of-ten step).",
+        kind="Dimensionless", factor=1.0, popularity=from_score(10.0),
+        system="Scientific",
+    ),
+    UnitSeed(
+        uid="ExaBYTE", en="ExaByte", zh="艾字节", symbol="EB",
+        aliases=("exabytes",),
+        keywords=("information", "storage", "huge", "datacenter"),
+        description="1e18 bytes.",
+        kind="Dimensionless", factor=8e18, popularity=from_score(10.0),
+        system="IEC",
+    ),
+    UnitSeed(
+        uid="ExbiBYTE", en="ExbiByte", zh="艾(二进制)字节", symbol="EiB",
+        aliases=("exbibytes",),
+        keywords=("information", "storage", "binary prefix"),
+        description="2^60 bytes.",
+        kind="Dimensionless", factor=8.0 * 2.0 ** 60,
+        popularity=from_score(10.0), system="IEC",
+    ),
+    UnitSeed(
+        uid="GibiBYTE", en="GibiByte", zh="吉(二进制)字节", symbol="GiB",
+        aliases=("gibibytes",),
+        keywords=("information", "memory", "binary prefix"),
+        description="2^30 bytes.",
+        kind="Dimensionless", factor=8.0 * 2.0 ** 30,
+        popularity=from_score(10.0), system="IEC",
+    ),
+)

@@ -1,0 +1,94 @@
+"""Curated quantity kinds: named dimensions with their SI-coherent units.
+
+Kind names follow the paper's usage (Fig. 4 / Fig. 5): ``ForcePerArea`` for
+pressure-like units, ``VolumeFlowRate``, ``MassDensity``, etc.  The
+``Dimensionless`` kind hosts counts, ratios, angles-as-stored-by-DimUnitKB
+distractors, and -- following Fig. 4 -- information units and data rates.
+"""
+
+from repro.units.schema import KindSeed
+
+BASE_KINDS: tuple[KindSeed, ...] = (
+    KindSeed("Dimensionless", "D", "", "Pure numbers, ratios, counts and scales."),
+    # -- the seven SI base kinds (Table III) -------------------------------
+    KindSeed("Length", "L", "m", "Spatial extent in one dimension."),
+    KindSeed("Mass", "M", "kg", "Amount of matter."),
+    KindSeed("Time", "T", "s", "Duration of events."),
+    KindSeed("ElectricCurrent", "E", "A", "Rate of flow of electric charge."),
+    KindSeed("Temperature", "H", "K", "Thermodynamic temperature."),
+    KindSeed("AmountOfSubstance", "A", "mol", "Number of elementary entities."),
+    KindSeed("LuminousIntensity", "I", "cd", "Luminous power per solid angle."),
+    # -- geometry -----------------------------------------------------------
+    KindSeed("Area", "L2", "m2", "Two-dimensional spatial extent."),
+    KindSeed("Volume", "L3", "m3", "Three-dimensional spatial extent."),
+    KindSeed("Angle", "D", "rad", "Plane angle (dimensionless ratio)."),
+    KindSeed("SolidAngle", "D", "sr", "Solid angle (dimensionless ratio)."),
+    KindSeed("Wavenumber", "L-1", "1/m", "Spatial frequency."),
+    # -- kinematics ----------------------------------------------------------
+    KindSeed("Velocity", "LT-1", "m/s", "Rate of change of position."),
+    KindSeed("Acceleration", "LT-2", "m/s2", "Rate of change of velocity."),
+    KindSeed("Frequency", "T-1", "Hz", "Cycles per unit time."),
+    KindSeed("AngularVelocity", "T-1", "rad/s", "Angle swept per unit time."),
+    KindSeed("Momentum", "LMT-1", "kg*m/s", "Mass times velocity."),
+    KindSeed("AngularMomentum", "L2MT-1", "kg*m2/s", "Moment of momentum."),
+    # -- mechanics -----------------------------------------------------------
+    KindSeed("Force", "LMT-2", "N", "Interaction changing motion (ma)."),
+    KindSeed("Energy", "L2MT-2", "J", "Capacity to do work."),
+    KindSeed("Power", "L2MT-3", "W", "Energy transferred per unit time."),
+    KindSeed("ForcePerArea", "L-1MT-2", "Pa", "Pressure and stress."),
+    KindSeed("ForcePerLength", "MT-2", "N/m", "Surface tension, spring stiffness."),
+    KindSeed("Torque", "L2MT-2", "N*m", "Moment of force."),
+    KindSeed("DynamicViscosity", "L-1MT-1", "Pa*s", "Resistance to shear flow."),
+    KindSeed("KinematicViscosity", "L2T-1", "m2/s", "Viscosity over density."),
+    # -- flow and density ------------------------------------------------------
+    KindSeed("VolumeFlowRate", "L3T-1", "m3/s", "Volume transported per unit time."),
+    KindSeed("MassFlowRate", "MT-1", "kg/s", "Mass transported per unit time."),
+    KindSeed("MassDensity", "L-3M", "kg/m3", "Mass per unit volume."),
+    KindSeed("AreaDensity", "L-2M", "kg/m2", "Mass per unit area."),
+    KindSeed("LinearDensity", "L-1M", "kg/m", "Mass per unit length."),
+    KindSeed("SpecificVolume", "L3M-1", "m3/kg", "Volume per unit mass."),
+    # -- electromagnetism -----------------------------------------------------
+    KindSeed("ElectricCharge", "ET", "C", "Time-integrated current."),
+    KindSeed("ElectricPotential", "L2MT-3E-1", "V", "Energy per unit charge."),
+    KindSeed("ElectricResistance", "L2MT-3E-2", "Ohm", "Opposition to current."),
+    KindSeed("ElectricConductance", "L-2M-1T3E2", "S", "Inverse of resistance."),
+    KindSeed("ElectricCapacitance", "L-2M-1T4E2", "F", "Charge stored per volt."),
+    KindSeed("Inductance", "L2MT-2E-2", "H", "Flux linkage per ampere."),
+    KindSeed("MagneticFlux", "L2MT-2E-1", "Wb", "Surface-integrated B field."),
+    KindSeed("MagneticFluxDensity", "MT-2E-1", "T", "Magnetic field strength B."),
+    KindSeed("MagneticFieldStrength", "L-1E", "A/m", "Magnetising field H."),
+    KindSeed("ElectricFieldStrength", "LMT-3E-1", "V/m", "Force per unit charge."),
+    # -- photometry ------------------------------------------------------------
+    KindSeed("LuminousFlux", "I", "lm", "Perceived light power."),
+    KindSeed("Illuminance", "L-2I", "lx", "Luminous flux per unit area."),
+    KindSeed("Luminance", "L-2I", "cd/m2", "Luminous intensity per unit area."),
+    # -- radiation ---------------------------------------------------------------
+    KindSeed("Radioactivity", "T-1", "Bq", "Nuclear decays per unit time."),
+    KindSeed("AbsorbedDose", "L2T-2", "Gy", "Radiation energy per unit mass."),
+    KindSeed("DoseEquivalent", "L2T-2", "Sv", "Biologically weighted dose."),
+    KindSeed("Exposure", "M-1TE", "C/kg", "Ionising charge per unit mass."),
+    # -- chemistry ------------------------------------------------------------
+    KindSeed("Concentration", "AL-3", "mol/m3", "Amount of substance per volume."),
+    KindSeed("MolarMass", "MA-1", "kg/mol", "Mass per amount of substance."),
+    KindSeed("MolarVolume", "L3A-1", "m3/mol", "Volume per amount of substance."),
+    KindSeed("CatalyticActivity", "AT-1", "kat", "Catalysed conversion rate."),
+    # -- thermodynamics ----------------------------------------------------------
+    KindSeed("HeatCapacity", "L2MT-2H-1", "J/K", "Energy per unit temperature."),
+    KindSeed("SpecificHeatCapacity", "L2T-2H-1", "J/(kg*K)",
+             "Energy per unit mass per unit temperature."),
+    KindSeed("ThermalConductivity", "LMT-3H-1", "W/(m*K)",
+             "Heat flow per unit gradient."),
+    KindSeed("SpecificEnergy", "L2T-2", "J/kg", "Energy per unit mass."),
+    KindSeed("EnergyDensity", "L-1MT-2", "J/m3", "Energy per unit volume."),
+    KindSeed("HeatFluxDensity", "MT-3", "W/m2", "Power per unit area."),
+    # -- specialised domains -----------------------------------------------------
+    KindSeed("FuelConsumption", "L2", "m3/m",
+             "Fuel volume per unit distance (litres per 100 km style)."),
+    KindSeed("FuelEconomy", "L-2", "m/m3",
+             "Distance per unit fuel volume (miles per gallon style)."),
+)
+
+
+def base_kind_names() -> frozenset[str]:
+    """The curated kind names as a frozenset."""
+    return frozenset(kind.name for kind in BASE_KINDS)

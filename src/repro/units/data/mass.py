@@ -1,0 +1,154 @@
+"""Mass units: metric, imperial, traditional Chinese, scientific.
+
+Calibrated: Gram 82.33, Kilogram 82.09, Tonne 80.23, Milligram 75.88,
+Microgram 68.91 (Fig. 4, Mass column).
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="GM", en="Gram", zh="克", symbol="g",
+        aliases=("grams", "gramme", "公克"),
+        keywords=("mass", "weight", "cooking", "small", "质量", "重量"),
+        description="One thousandth of a kilogram; the prefixable metric mass unit.",
+        kind="Mass", factor=1e-3, popularity=from_score(82.33),
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="KiloGM", en="Kilogram", zh="千克", symbol="kg",
+        aliases=("kilograms", "kilogramme", "kilo", "公斤"),
+        keywords=("mass", "weight", "body", "SI base", "质量"),
+        description="The SI base unit of mass.",
+        kind="Mass", factor=1.0, popularity=from_score(82.09), system="SI",
+    ),
+    UnitSeed(
+        uid="TONNE", en="Tonne", zh="吨", symbol="t",
+        aliases=("metric ton", "tonnes", "tons", "ton", "公吨"),
+        keywords=("mass", "heavy", "cargo", "freight", "industry"),
+        description="Metric ton; exactly 1000 kg.",
+        kind="Mass", factor=1e3, popularity=from_score(80.23), system="SI",
+    ),
+    UnitSeed(
+        uid="MilliGM", en="Milligram", zh="毫克", symbol="mg",
+        aliases=("milligrams", "milligramme"),
+        keywords=("mass", "medicine", "dose", "nutrition"),
+        description="One millionth of a kilogram.",
+        kind="Mass", factor=1e-6, popularity=from_score(75.88), system="SI",
+    ),
+    UnitSeed(
+        uid="MicroGM", en="Microgram", zh="微克", symbol="ug",
+        aliases=("micrograms", "mcg", "μg"),
+        keywords=("mass", "medicine", "trace", "vitamin"),
+        description="One billionth of a kilogram.",
+        kind="Mass", factor=1e-9, popularity=from_score(68.91), system="SI",
+    ),
+    UnitSeed(
+        uid="LB", en="Pound", zh="磅", symbol="lb",
+        aliases=("pounds", "lbs", "pound mass"),
+        keywords=("mass", "imperial", "body weight", "grocery"),
+        description="Imperial mass unit; exactly 0.45359237 kg.",
+        kind="Mass", factor=0.45359237, popularity=0.64, system="Imperial",
+    ),
+    UnitSeed(
+        uid="OZ", en="Ounce", zh="盎司", symbol="oz",
+        aliases=("ounces", "avoirdupois ounce"),
+        keywords=("mass", "imperial", "cooking", "precious"),
+        description="Imperial mass unit; 1/16 pound, about 28.3495 g.",
+        kind="Mass", factor=0.028349523125, popularity=0.52, system="Imperial",
+    ),
+    UnitSeed(
+        uid="STONE", en="Stone", zh="英石", symbol="st",
+        aliases=("stones",),
+        keywords=("mass", "imperial", "body weight", "british"),
+        description="British body-weight unit; 14 pounds, 6.35029318 kg.",
+        kind="Mass", factor=6.35029318, popularity=0.18, system="Imperial",
+    ),
+    UnitSeed(
+        uid="CARAT", en="Carat", zh="克拉", symbol="ct",
+        aliases=("carats", "metric carat"),
+        keywords=("mass", "gem", "diamond", "jewellery"),
+        description="Gemstone mass unit; exactly 0.2 g.",
+        kind="Mass", factor=2e-4, popularity=0.35, system="Trade",
+    ),
+    UnitSeed(
+        uid="GRAIN", en="Grain", zh="格令", symbol="gr",
+        aliases=("grains",),
+        keywords=("mass", "ballistics", "pharmacy", "historic"),
+        description="Tiny imperial mass unit; 64.79891 mg.",
+        kind="Mass", factor=6.479891e-5, popularity=0.08, system="Imperial",
+    ),
+    UnitSeed(
+        uid="SLUG", en="Slug", zh="斯勒格", symbol="slug",
+        aliases=("slugs",),
+        keywords=("mass", "engineering", "imperial", "dynamics"),
+        description="Imperial engineering mass unit; about 14.5939 kg.",
+        kind="Mass", factor=14.59390294, popularity=0.05, system="Imperial",
+    ),
+    UnitSeed(
+        uid="TON-SHORT", en="Short Ton", zh="短吨", symbol="tn",
+        aliases=("us ton", "short tons"),
+        keywords=("mass", "us", "freight"),
+        description="US ton; 2000 pounds, 907.18474 kg.",
+        kind="Mass", factor=907.18474, popularity=0.20, system="Imperial",
+    ),
+    UnitSeed(
+        uid="TON-LONG", en="Long Ton", zh="长吨", symbol="l.t.",
+        aliases=("imperial ton", "long tons"),
+        keywords=("mass", "british", "shipping"),
+        description="British ton; 2240 pounds, 1016.0469088 kg.",
+        kind="Mass", factor=1016.0469088, popularity=0.10, system="Imperial",
+    ),
+    UnitSeed(
+        uid="AMU", en="Atomic Mass Unit", zh="原子质量单位", symbol="u",
+        aliases=("dalton", "Da", "amu"),
+        keywords=("mass", "atomic", "chemistry", "molecule"),
+        description="Atomic-scale mass unit; about 1.66054e-27 kg.",
+        kind="Mass", factor=1.6605390666e-27, popularity=0.16,
+        system="Scientific",
+    ),
+    UnitSeed(
+        uid="QUINTAL", en="Quintal", zh="公担", symbol="q",
+        aliases=("quintals", "centner"),
+        keywords=("mass", "agriculture", "harvest"),
+        description="Agricultural mass unit; 100 kg.",
+        kind="Mass", factor=100.0, popularity=0.10, system="Metric",
+    ),
+    UnitSeed(
+        uid="OZ-TROY", en="Troy Ounce", zh="金衡盎司", symbol="oz t",
+        aliases=("troy ounces", "ozt"),
+        keywords=("mass", "gold", "silver", "bullion"),
+        description="Precious-metal mass unit; 31.1034768 g.",
+        kind="Mass", factor=0.0311034768, popularity=0.22, system="Trade",
+    ),
+    # -- traditional Chinese units ------------------------------------------
+    UnitSeed(
+        uid="JIN-Chinese", en="Jin", zh="斤", symbol="斤",
+        aliases=("catty", "市斤"),
+        keywords=("mass", "chinese", "market", "grocery", "重量"),
+        description="Traditional Chinese market mass unit; 500 g.",
+        kind="Mass", factor=0.5, popularity=0.55, system="Chinese",
+    ),
+    UnitSeed(
+        uid="LIANG-Chinese", en="Liang", zh="两", symbol="两",
+        aliases=("tael", "市两"),
+        keywords=("mass", "chinese", "market", "medicine"),
+        description="Traditional Chinese mass unit; 50 g (1/10 jin).",
+        kind="Mass", factor=0.05, popularity=0.35, system="Chinese",
+    ),
+    UnitSeed(
+        uid="QIAN-Chinese", en="Qian", zh="钱", symbol="钱",
+        aliases=("mace", "市钱"),
+        keywords=("mass", "chinese", "medicine", "herb"),
+        description="Traditional Chinese mass unit; 5 g (1/10 liang).",
+        kind="Mass", factor=0.005, popularity=0.15, system="Chinese",
+    ),
+    UnitSeed(
+        uid="DAN-Chinese", en="Dan", zh="担", symbol="担",
+        aliases=("picul", "市担"),
+        keywords=("mass", "chinese", "agriculture", "load"),
+        description="Traditional Chinese load unit; 50 kg (100 jin).",
+        kind="Mass", factor=50.0, popularity=0.12, system="Chinese",
+    ),
+)

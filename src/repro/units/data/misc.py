@@ -1,0 +1,199 @@
+"""Miscellaneous units: dimensionless scales, viscosity, optics, thermal.
+
+Includes the Fig. 5 distractor units "Beaufort" (wind scale) and
+"Diopter" (the unit-linking section's "degree" ambiguity example).
+"""
+
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    # -- dimensionless scales -------------------------------------------------
+    UnitSeed(
+        uid="UNITLESS", en="Unitless Count", zh="个", symbol="count",
+        aliases=("counts", "items", "个数", "只", "件"),
+        keywords=("count", "number", "quantity", "数量"),
+        description="A bare count of items.",
+        kind="Dimensionless", factor=1.0, popularity=0.50, system="SI",
+    ),
+    UnitSeed(
+        uid="PERCENT", en="Percent", zh="百分比", symbol="%",
+        aliases=("per cent", "percentage", "百分之"),
+        keywords=("ratio", "fraction", "statistics", "比例"),
+        description="One part in one hundred.",
+        kind="Dimensionless", factor=0.01, popularity=0.68, system="SI",
+    ),
+    UnitSeed(
+        uid="PERMILLE", en="Per Mille", zh="千分比", symbol="‰",
+        aliases=("per mil", "permil", "千分之"),
+        keywords=("ratio", "fraction", "alcohol", "salinity"),
+        description="One part in one thousand.",
+        kind="Dimensionless", factor=0.001, popularity=0.15, system="SI",
+    ),
+    UnitSeed(
+        uid="PPM", en="Parts per Million", zh="百万分比", symbol="ppm",
+        aliases=("parts-per-million",),
+        keywords=("ratio", "trace", "pollution", "chemistry"),
+        description="One part in one million.",
+        kind="Dimensionless", factor=1e-6, popularity=0.25, system="SI",
+    ),
+    UnitSeed(
+        uid="PPB", en="Parts per Billion", zh="十亿分比", symbol="ppb",
+        aliases=("parts-per-billion",),
+        keywords=("ratio", "trace", "contamination"),
+        description="One part in one billion.",
+        kind="Dimensionless", factor=1e-9, popularity=0.10, system="SI",
+    ),
+    UnitSeed(
+        uid="DOZEN", en="Dozen", zh="打", symbol="doz",
+        aliases=("dozens",),
+        keywords=("count", "eggs", "grouping"),
+        description="Twelve items.",
+        kind="Dimensionless", factor=12.0, popularity=0.20, system="Trade",
+    ),
+    UnitSeed(
+        uid="GROSS", en="Gross", zh="罗", symbol="gro",
+        aliases=("grosses",),
+        keywords=("count", "wholesale", "trade"),
+        description="A dozen dozen; 144 items.",
+        kind="Dimensionless", factor=144.0, popularity=0.04, system="Trade",
+    ),
+    UnitSeed(
+        uid="DECIBEL", en="Decibel", zh="分贝", symbol="dB",
+        aliases=("decibels",),
+        keywords=("sound", "logarithmic", "noise", "signal", "噪音"),
+        description="Logarithmic ratio unit used for sound and signals.",
+        kind="Dimensionless", factor=1.0, popularity=0.48, system="SI",
+    ),
+    UnitSeed(
+        uid="BEAUFORT", en="Beaufort", zh="蒲福风级", symbol="Bft",
+        aliases=("beaufort scale", "beaufort number", "风级"),
+        keywords=("wind", "weather", "scale", "marine", "风力"),
+        description="Empirical wind-force scale from 0 (calm) to 12 (hurricane).",
+        kind="Dimensionless", factor=1.0, popularity=0.12, system="Marine",
+    ),
+    UnitSeed(
+        uid="PH-SCALE", en="pH", zh="酸碱度", symbol="pH",
+        aliases=("ph value", "酸碱值"),
+        keywords=("acidity", "chemistry", "logarithmic", "water"),
+        description="Logarithmic hydrogen-ion activity scale.",
+        kind="Dimensionless", factor=1.0, popularity=0.35, system="Scientific",
+    ),
+    UnitSeed(
+        uid="KARAT", en="Karat", zh="开(金)", symbol="kt",
+        aliases=("karats", "carat (purity)"),
+        keywords=("purity", "gold", "fraction", "jewellery"),
+        description="Gold purity in 24ths.",
+        kind="Dimensionless", factor=1.0 / 24.0, popularity=0.12, system="Trade",
+    ),
+    # -- viscosity ---------------------------------------------------------------
+    UnitSeed(
+        uid="PA-SEC", en="Pascal Second", zh="帕斯卡秒", symbol="Pa*s",
+        aliases=("pascal-second", "Pa·s"),
+        keywords=("viscosity", "fluid", "rheology", "粘度"),
+        description="The SI coherent unit of dynamic viscosity.",
+        kind="DynamicViscosity", factor=1.0, popularity=0.08, system="SI",
+    ),
+    UnitSeed(
+        uid="POISE", en="Poise", zh="泊", symbol="P",
+        aliases=("poises", "centipoise base"),
+        keywords=("viscosity", "cgs", "fluid"),
+        description="CGS dynamic viscosity unit; 0.1 pascal second.",
+        kind="DynamicViscosity", factor=0.1, popularity=0.05, system="CGS",
+    ),
+    UnitSeed(
+        uid="M2-PER-SEC", en="Square Metre per Second", zh="平方米每秒",
+        symbol="m^2/s",
+        aliases=("m2/s",),
+        keywords=("kinematic viscosity", "diffusivity", "fluid"),
+        description="The SI coherent unit of kinematic viscosity.",
+        kind="KinematicViscosity", factor=1.0, popularity=0.04, system="SI",
+    ),
+    UnitSeed(
+        uid="STOKES", en="Stokes", zh="斯托克斯", symbol="St",
+        aliases=("stoke",),
+        keywords=("kinematic viscosity", "cgs", "oil"),
+        description="CGS kinematic viscosity unit; 1e-4 m^2/s.",
+        kind="KinematicViscosity", factor=1e-4, popularity=0.03, system="CGS",
+    ),
+    # -- optics ----------------------------------------------------------------
+    UnitSeed(
+        uid="DIOPTER", en="Diopter", zh="屈光度", symbol="D",
+        aliases=("dioptre", "diopters", "degree", "度(眼镜)"),
+        keywords=("optics", "lens", "eyeglasses", "vision", "眼镜"),
+        description="Optical power unit; one reciprocal metre.",
+        kind="Wavenumber", factor=1.0, popularity=0.15, system="Medical",
+    ),
+    UnitSeed(
+        uid="PER-M", en="Reciprocal Metre", zh="每米", symbol="1/m",
+        aliases=("per metre", "inverse metre", "m^-1"),
+        keywords=("wavenumber", "spectroscopy", "optics"),
+        description="The SI coherent unit of wavenumber and optical power.",
+        kind="Wavenumber", factor=1.0, popularity=0.05, system="SI",
+    ),
+    # -- thermal -----------------------------------------------------------------
+    UnitSeed(
+        uid="J-PER-K", en="Joule per Kelvin", zh="焦耳每开尔文", symbol="J/K",
+        aliases=("joules per kelvin",),
+        keywords=("heat capacity", "entropy", "thermodynamics"),
+        description="The SI coherent unit of heat capacity and entropy.",
+        kind="HeatCapacity", factor=1.0, popularity=0.05, system="SI",
+    ),
+    UnitSeed(
+        uid="J-PER-KiloGM-K", en="Joule per Kilogram Kelvin",
+        zh="焦耳每千克开尔文", symbol="J/(kg*K)",
+        aliases=("joules per kilogram kelvin", "J/(kg·K)"),
+        keywords=("specific heat", "material", "thermodynamics", "比热容"),
+        description="The SI coherent unit of specific heat capacity.",
+        kind="SpecificHeatCapacity", factor=1.0, popularity=0.08, system="SI",
+    ),
+    UnitSeed(
+        uid="W-PER-M-K", en="Watt per Metre Kelvin", zh="瓦特每米开尔文",
+        symbol="W/(m*K)",
+        aliases=("watts per metre kelvin", "W/(m·K)"),
+        keywords=("thermal conductivity", "insulation", "material", "导热"),
+        description="The SI coherent unit of thermal conductivity.",
+        kind="ThermalConductivity", factor=1.0, popularity=0.07, system="SI",
+    ),
+    UnitSeed(
+        uid="J-PER-KiloGM", en="Joule per Kilogram", zh="焦耳每千克",
+        symbol="J/kg",
+        aliases=("joules per kilogram",),
+        keywords=("specific energy", "fuel", "battery", "能量密度"),
+        description="The SI coherent unit of specific energy.",
+        kind="SpecificEnergy", factor=1.0, popularity=0.06, system="SI",
+    ),
+    UnitSeed(
+        uid="J-PER-M3", en="Joule per Cubic Metre", zh="焦耳每立方米",
+        symbol="J/m^3",
+        aliases=("joules per cubic metre", "J/m3"),
+        keywords=("energy density", "field", "storage"),
+        description="The SI coherent unit of energy density.",
+        kind="EnergyDensity", factor=1.0, popularity=0.03, system="SI",
+    ),
+    # -- momentum ----------------------------------------------------------------
+    UnitSeed(
+        uid="KiloGM-M-PER-SEC", en="Kilogram Metre per Second",
+        zh="千克米每秒", symbol="kg*m/s",
+        aliases=("kilogram metres per second", "kg·m/s"),
+        keywords=("momentum", "mechanics", "collision", "动量"),
+        description="The SI coherent unit of momentum.",
+        kind="Momentum", factor=1.0, popularity=0.06, system="SI",
+    ),
+    UnitSeed(
+        uid="KiloGM-M2-PER-SEC", en="Kilogram Square Metre per Second",
+        zh="千克平方米每秒", symbol="kg*m^2/s",
+        aliases=("kg·m²/s",),
+        keywords=("angular momentum", "mechanics", "spin"),
+        description="The SI coherent unit of angular momentum.",
+        kind="AngularMomentum", factor=1.0, popularity=0.03, system="SI",
+    ),
+    # -- exposure ----------------------------------------------------------------
+    UnitSeed(
+        uid="C-PER-KiloGM", en="Coulomb per Kilogram", zh="库仑每千克",
+        symbol="C/kg",
+        aliases=("coulombs per kilogram",),
+        keywords=("exposure", "radiation", "x-ray"),
+        description="The SI coherent unit of ionising radiation exposure.",
+        kind="Exposure", factor=1.0, popularity=0.02, system="SI",
+    ),
+)

@@ -1,0 +1,51 @@
+"""Photometric units."""
+
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="CD", en="Candela", zh="坎德拉", symbol="cd",
+        aliases=("candelas", "坎"),
+        keywords=("luminous intensity", "light", "SI base", "发光强度"),
+        description="The SI base unit of luminous intensity.",
+        kind="LuminousIntensity", factor=1.0, popularity=0.25,
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="LM", en="Lumen", zh="流明", symbol="lm",
+        aliases=("lumens",),
+        keywords=("luminous flux", "bulb", "lamp", "brightness", "光通量"),
+        description="The SI coherent unit of luminous flux.",
+        kind="LuminousFlux", factor=1.0, popularity=0.38, system="SI",
+    ),
+    UnitSeed(
+        uid="LUX", en="Lux", zh="勒克斯", symbol="lx",
+        aliases=("luxes", "勒"),
+        keywords=("illuminance", "lighting", "workspace", "照度"),
+        description="The SI coherent unit of illuminance; one lumen per square metre.",
+        kind="Illuminance", factor=1.0, popularity=0.30, system="SI",
+    ),
+    UnitSeed(
+        uid="CD-PER-M2", en="Candela per Square Metre", zh="坎德拉每平方米",
+        symbol="cd/m^2",
+        aliases=("nit", "nits", "cd/m2"),
+        keywords=("luminance", "display", "screen", "brightness", "亮度"),
+        description="The SI coherent unit of luminance (screen brightness).",
+        kind="Luminance", factor=1.0, popularity=0.20, system="SI",
+    ),
+    UnitSeed(
+        uid="PHOT", en="Phot", zh="辐透", symbol="ph",
+        aliases=("phots",),
+        keywords=("illuminance", "cgs"),
+        description="CGS illuminance unit; 10000 lux.",
+        kind="Illuminance", factor=1e4, popularity=0.02, system="CGS",
+    ),
+    UnitSeed(
+        uid="FOOTCANDLE", en="Footcandle", zh="英尺烛光", symbol="fc",
+        aliases=("foot-candle", "footcandles"),
+        keywords=("illuminance", "photography", "us", "stage"),
+        description="US illuminance unit; about 10.764 lux.",
+        kind="Illuminance", factor=10.76391041671, popularity=0.05,
+        system="US",
+    ),
+)

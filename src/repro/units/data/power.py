@@ -1,0 +1,95 @@
+"""Power units.
+
+Calibrated: Watt 78.58, Kilowatt 74.42, MegaW 68.06, Horsepower (metric)
+57.25, Microwatt 54.76 (Fig. 4, Power column).
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="W", en="Watt", zh="瓦特", symbol="W",
+        aliases=("watts", "瓦"),
+        keywords=("power", "electricity", "appliance", "功率"),
+        description="The SI coherent unit of power; one joule per second.",
+        kind="Power", factor=1.0, popularity=from_score(78.58),
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="KiloW", en="Kilowatt", zh="千瓦", symbol="kW",
+        aliases=("kilowatts", "kw"),
+        keywords=("power", "motor", "electricity", "ev"),
+        description="1000 watts.",
+        kind="Power", factor=1e3, popularity=from_score(74.42), system="SI",
+    ),
+    UnitSeed(
+        uid="MegaW", en="MegaW", zh="兆瓦", symbol="MW",
+        aliases=("megawatt", "megawatts", "mw"),
+        keywords=("power", "power plant", "grid", "turbine"),
+        description="One million watts.",
+        kind="Power", factor=1e6, popularity=from_score(68.06), system="SI",
+    ),
+    UnitSeed(
+        uid="HP-Metric", en="Horsepower (metric)", zh="公制马力", symbol="PS",
+        aliases=("metric horsepower", "马力", "ps"),
+        keywords=("power", "engine", "car", "motor"),
+        description="Metric horsepower; exactly 735.49875 watts.",
+        kind="Power", factor=735.49875, popularity=from_score(57.25),
+        system="Metric",
+    ),
+    UnitSeed(
+        uid="MicroW", en="Microwatt", zh="微瓦", symbol="uW",
+        aliases=("microwatts", "μW"),
+        keywords=("power", "sensor", "low power", "electronics"),
+        description="One millionth of a watt.",
+        kind="Power", factor=1e-6, popularity=from_score(54.76), system="SI",
+    ),
+    UnitSeed(
+        uid="HP-Mechanical", en="Horsepower (mechanical)", zh="英制马力",
+        symbol="hp",
+        aliases=("mechanical horsepower", "imperial horsepower", "bhp"),
+        keywords=("power", "engine", "imperial", "car"),
+        description="Mechanical horsepower; about 745.70 watts.",
+        kind="Power", factor=745.69987158227022, popularity=0.42,
+        system="Imperial",
+    ),
+    UnitSeed(
+        uid="BTU-PER-HR", en="BTU per Hour", zh="英热单位每小时", symbol="BTU/h",
+        aliases=("btu per hour", "btuh"),
+        keywords=("power", "hvac", "cooling", "heating"),
+        description="HVAC power unit; about 0.2931 watts.",
+        kind="Power", factor=0.29307107017222, popularity=0.12, system="Imperial",
+    ),
+    UnitSeed(
+        uid="ERG-PER-SEC", en="Erg per Second", zh="尔格每秒", symbol="erg/s",
+        aliases=("ergs per second",),
+        keywords=("power", "cgs", "astrophysics"),
+        description="CGS power unit; 1e-7 watts.",
+        kind="Power", factor=1e-7, popularity=0.02, system="CGS",
+    ),
+    UnitSeed(
+        uid="TON-REFRIG", en="Ton of Refrigeration", zh="冷吨", symbol="TR",
+        aliases=("refrigeration ton", "tons of refrigeration"),
+        keywords=("power", "cooling", "hvac", "air conditioning"),
+        description="Cooling capacity unit; about 3516.85 watts.",
+        kind="Power", factor=3516.8528420667, popularity=0.06, system="US",
+    ),
+    # -- heat flux density ---------------------------------------------------
+    UnitSeed(
+        uid="W-PER-M2", en="Watt per Square Metre", zh="瓦特每平方米",
+        symbol="W/m^2",
+        aliases=("watts per square metre", "W/m2"),
+        keywords=("irradiance", "solar", "heat flux", "insolation"),
+        description="The SI coherent unit of heat flux density and irradiance.",
+        kind="HeatFluxDensity", factor=1.0, popularity=0.22, system="SI",
+    ),
+    UnitSeed(
+        uid="W-PER-CentiM2", en="Watt per Square Centimetre", zh="瓦特每平方厘米",
+        symbol="W/cm^2",
+        aliases=("watts per square centimetre",),
+        keywords=("heat flux", "laser", "intensity"),
+        description="10000 watts per square metre.",
+        kind="HeatFluxDensity", factor=1e4, popularity=0.05, system="SI",
+    ),
+)

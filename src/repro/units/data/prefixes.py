@@ -1,0 +1,53 @@
+"""SI decimal prefixes and IEC binary prefixes used by the KB builder.
+
+``weight`` scales the parent unit's popularity when a prefixed unit is
+*generated* (curated entries such as "Millimetre" keep their calibrated
+scores and shadow the generated ones).  Weights reflect everyday usage:
+kilo/milli/centi are common, yocto/yotta are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Prefix:
+    name: str
+    zh: str
+    symbol: str
+    factor: float
+    weight: float
+
+
+SI_PREFIXES: tuple[Prefix, ...] = (
+    Prefix("Yotta", "尧", "Y", 1e24, 0.05),
+    Prefix("Zetta", "泽", "Z", 1e21, 0.05),
+    Prefix("Exa", "艾", "E", 1e18, 0.08),
+    Prefix("Peta", "拍", "P", 1e15, 0.10),
+    Prefix("Tera", "太", "T", 1e12, 0.25),
+    Prefix("Giga", "吉", "G", 1e9, 0.45),
+    Prefix("Mega", "兆", "M", 1e6, 0.60),
+    Prefix("Kilo", "千", "k", 1e3, 0.85),
+    Prefix("Hecto", "百", "h", 1e2, 0.30),
+    Prefix("Deca", "十", "da", 1e1, 0.12),
+    Prefix("Deci", "分", "d", 1e-1, 0.25),
+    Prefix("Centi", "厘", "c", 1e-2, 0.70),
+    Prefix("Milli", "毫", "m", 1e-3, 0.85),
+    Prefix("Micro", "微", "u", 1e-6, 0.60),
+    Prefix("Nano", "纳", "n", 1e-9, 0.50),
+    Prefix("Pico", "皮", "p", 1e-12, 0.30),
+    Prefix("Femto", "飞", "f", 1e-15, 0.12),
+    Prefix("Atto", "阿", "a", 1e-18, 0.08),
+    Prefix("Zepto", "仄", "z", 1e-21, 0.05),
+    Prefix("Yocto", "幺", "y", 1e-24, 0.05),
+)
+
+BINARY_PREFIXES: tuple[Prefix, ...] = (
+    Prefix("Kibi", "千(二进制)", "Ki", 2.0 ** 10, 0.30),
+    Prefix("Mebi", "兆(二进制)", "Mi", 2.0 ** 20, 0.28),
+    Prefix("Gibi", "吉(二进制)", "Gi", 2.0 ** 30, 0.0),
+    Prefix("Tebi", "太(二进制)", "Ti", 2.0 ** 40, 0.15),
+    Prefix("Pebi", "拍(二进制)", "Pi", 2.0 ** 50, 0.08),
+    Prefix("Exbi", "艾(二进制)", "Ei", 2.0 ** 60, 0.0),
+)

@@ -1,0 +1,97 @@
+"""Pressure (ForcePerArea) units.
+
+Calibrated: Bar 62.46, Pascal 50.79, Millibar 50.32, Torr 49.51, Newton
+Per Square Centimetre 49.34 (Fig. 4, ForcePerArea column).
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="BAR", en="Bar", zh="巴", symbol="bar",
+        aliases=("bars",),
+        keywords=("pressure", "weather", "tyre", "diving", "气压"),
+        description="Metric pressure unit; exactly 1e5 pascals.",
+        kind="ForcePerArea", factor=1e5, popularity=from_score(62.46),
+        system="Metric",
+    ),
+    UnitSeed(
+        uid="PA", en="Pascal", zh="帕斯卡", symbol="Pa",
+        aliases=("pascals", "帕"),
+        keywords=("pressure", "stress", "physics", "压强"),
+        description="The SI coherent unit of pressure; one newton per square metre.",
+        kind="ForcePerArea", factor=1.0, popularity=from_score(50.79),
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="MilliBAR", en="Millibar", zh="毫巴", symbol="mbar",
+        aliases=("millibars", "mb"),
+        keywords=("pressure", "meteorology", "weather"),
+        description="One thousandth of a bar; 100 pascals.",
+        kind="ForcePerArea", factor=100.0, popularity=from_score(50.32),
+        system="Metric",
+    ),
+    UnitSeed(
+        uid="TORR", en="Torr", zh="托", symbol="Torr",
+        aliases=("torrs",),
+        keywords=("pressure", "vacuum", "laboratory"),
+        description="Vacuum pressure unit; 101325/760 pascals.",
+        kind="ForcePerArea", factor=101325.0 / 760.0,
+        popularity=from_score(49.51), system="Scientific",
+    ),
+    UnitSeed(
+        uid="N-PER-CentiM2", en="Newton Per Square Centimetre", zh="牛顿每平方厘米",
+        symbol="N/cm^2",
+        aliases=("newtons per square centimetre", "N/cm2"),
+        keywords=("pressure", "stress", "engineering"),
+        description="10000 pascals.",
+        kind="ForcePerArea", factor=1e4, popularity=from_score(49.34),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="ATM", en="Standard Atmosphere", zh="标准大气压", symbol="atm",
+        aliases=("atmosphere", "atmospheres"),
+        keywords=("pressure", "weather", "chemistry", "reference"),
+        description="Reference atmospheric pressure; exactly 101325 pascals.",
+        kind="ForcePerArea", factor=101325.0, popularity=0.40, system="Metric",
+    ),
+    UnitSeed(
+        uid="PSI", en="Pound per Square Inch", zh="磅每平方英寸", symbol="psi",
+        aliases=("pounds per square inch", "lbf/in2"),
+        keywords=("pressure", "tyre", "imperial", "hydraulics"),
+        description="Imperial pressure unit; about 6894.76 pascals.",
+        kind="ForcePerArea", factor=6894.757293168361, popularity=0.42,
+        system="Imperial",
+    ),
+    UnitSeed(
+        uid="MilliM-HG", en="Millimetre of Mercury", zh="毫米汞柱", symbol="mmHg",
+        aliases=("millimetres of mercury", "mm Hg"),
+        keywords=("pressure", "blood pressure", "medicine", "血压"),
+        description="Medical pressure unit; about 133.322 pascals.",
+        kind="ForcePerArea", factor=133.322387415, popularity=0.38,
+        system="Medical",
+    ),
+    UnitSeed(
+        uid="IN-HG", en="Inch of Mercury", zh="英寸汞柱", symbol="inHg",
+        aliases=("inches of mercury",),
+        keywords=("pressure", "aviation", "barometer", "us"),
+        description="US barometric unit; about 3386.39 pascals.",
+        kind="ForcePerArea", factor=3386.389, popularity=0.10, system="US",
+    ),
+    UnitSeed(
+        uid="KGF-PER-CentiM2", en="Kilogram-Force per Square Centimetre",
+        zh="千克力每平方厘米", symbol="kgf/cm^2",
+        aliases=("kilogram force per square centimetre", "kg/cm2", "at"),
+        keywords=("pressure", "technical", "boiler", "engineering"),
+        description="Technical atmosphere; exactly 98066.5 pascals.",
+        kind="ForcePerArea", factor=98066.5, popularity=0.12, system="Metric",
+    ),
+    UnitSeed(
+        uid="HectoPA", en="Hectopascal", zh="百帕", symbol="hPa",
+        aliases=("hectopascals",),
+        keywords=("pressure", "meteorology", "weather", "forecast"),
+        description="Meteorological pressure unit; 100 pascals.",
+        kind="ForcePerArea", factor=100.0, popularity=0.35, system="SI",
+    ),
+)

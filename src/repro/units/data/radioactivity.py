@@ -1,0 +1,58 @@
+"""Radiation and radioactivity units."""
+
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="BQ", en="Becquerel", zh="贝克勒尔", symbol="Bq",
+        aliases=("becquerels", "贝克"),
+        keywords=("radioactivity", "decay", "nuclear", "放射性"),
+        description="The SI coherent unit of radioactivity; one decay per second.",
+        kind="Radioactivity", factor=1.0, popularity=0.15,
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="CI-RADIO", en="Curie", zh="居里", symbol="Ci",
+        aliases=("curies",),
+        keywords=("radioactivity", "historic", "nuclear"),
+        description="Historic radioactivity unit; exactly 3.7e10 becquerels.",
+        kind="Radioactivity", factor=3.7e10, popularity=0.08, system="Scientific",
+    ),
+    UnitSeed(
+        uid="GRAY", en="Gray", zh="戈瑞", symbol="Gy",
+        aliases=("grays",),
+        keywords=("absorbed dose", "radiotherapy", "radiation", "剂量"),
+        description="The SI coherent unit of absorbed dose; one joule per kilogram.",
+        kind="AbsorbedDose", factor=1.0, popularity=0.10,
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="RAD-DOSE", en="Rad", zh="拉德", symbol="rad",
+        aliases=("rads",),
+        keywords=("absorbed dose", "historic"),
+        description="Historic absorbed-dose unit; 0.01 gray.",
+        kind="AbsorbedDose", factor=0.01, popularity=0.04, system="Scientific",
+    ),
+    UnitSeed(
+        uid="SV", en="Sievert", zh="希沃特", symbol="Sv",
+        aliases=("sieverts", "希"),
+        keywords=("dose equivalent", "radiation protection", "safety"),
+        description="The SI coherent unit of dose equivalent.",
+        kind="DoseEquivalent", factor=1.0, popularity=0.14,
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="REM", en="Rem", zh="雷姆", symbol="rem",
+        aliases=("rems",),
+        keywords=("dose equivalent", "historic", "us"),
+        description="Historic dose-equivalent unit; 0.01 sievert.",
+        kind="DoseEquivalent", factor=0.01, popularity=0.05, system="Scientific",
+    ),
+    UnitSeed(
+        uid="ROENTGEN", en="Roentgen", zh="伦琴", symbol="R",
+        aliases=("roentgens", "röntgen"),
+        keywords=("exposure", "x-ray", "historic"),
+        description="Historic exposure unit; 2.58e-4 coulombs per kilogram.",
+        kind="Exposure", factor=2.58e-4, popularity=0.04, system="Scientific",
+    ),
+)

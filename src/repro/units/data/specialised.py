@@ -1,0 +1,106 @@
+"""Specialised domain units: transport, acoustics, computing, trade.
+
+These broaden DimUnitKB's long tail with physically interesting
+dimensions -- fuel consumption is an *area* (m^3/m = L2), fuel economy
+an inverse area -- plus the empirical scales (sone, Richter) real
+corpora mention.
+"""
+
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    # -- transport ------------------------------------------------------------
+    UnitSeed(
+        uid="L-PER-100KiloM", en="Litre per 100 Kilometres", zh="升每百公里",
+        symbol="L/100km",
+        aliases=("litres per 100 km", "l/100km", "百公里油耗"),
+        keywords=("fuel", "consumption", "car", "economy", "油耗"),
+        description="European fuel-consumption unit; 1e-8 cubic metres per metre.",
+        kind="FuelConsumption", factor=1e-8, popularity=0.32, system="Metric",
+    ),
+    UnitSeed(
+        uid="MI-PER-GAL", en="Mile per Gallon", zh="英里每加仑", symbol="mpg",
+        aliases=("miles per gallon", "mi/gal"),
+        keywords=("fuel", "economy", "car", "us"),
+        description="US fuel-economy unit; about 425143.7 metres per cubic metre.",
+        kind="FuelEconomy", factor=1609.344 / 3.785411784e-3,
+        popularity=0.30, system="US",
+    ),
+    UnitSeed(
+        uid="KiloM-PER-L", en="Kilometre per Litre", zh="千米每升",
+        symbol="km/L",
+        aliases=("kilometres per litre", "km/l"),
+        keywords=("fuel", "economy", "car", "asia"),
+        description="Metric fuel-economy unit; 1e6 metres per cubic metre.",
+        kind="FuelEconomy", factor=1e6, popularity=0.18, system="Metric",
+    ),
+    UnitSeed(
+        uid="TEU", en="Twenty-foot Equivalent Unit", zh="标准箱", symbol="TEU",
+        aliases=("teus", "twenty foot equivalent"),
+        keywords=("shipping", "container", "port", "cargo", "集装箱"),
+        description="Container-shipping capacity count.",
+        kind="Dimensionless", factor=1.0, popularity=0.14, system="Trade",
+    ),
+    # -- acoustics --------------------------------------------------------------
+    UnitSeed(
+        uid="SONE", en="Sone", zh="宋", symbol="sone",
+        aliases=("sones",),
+        keywords=("loudness", "acoustics", "perception", "响度"),
+        description="Perceived-loudness scale unit (dimensionless).",
+        kind="Dimensionless", factor=1.0, popularity=0.04, system="Scientific",
+    ),
+    UnitSeed(
+        uid="PHON", en="Phon", zh="方", symbol="phon",
+        aliases=("phons",),
+        keywords=("loudness", "acoustics", "level"),
+        description="Loudness-level scale unit (dimensionless).",
+        kind="Dimensionless", factor=1.0, popularity=0.03, system="Scientific",
+    ),
+    UnitSeed(
+        uid="RICHTER", en="Richter Magnitude", zh="里氏震级", symbol="ML",
+        aliases=("richter scale", "richter", "震级"),
+        keywords=("earthquake", "seismology", "magnitude", "地震"),
+        description="Logarithmic earthquake-magnitude scale.",
+        kind="Dimensionless", factor=1.0, popularity=0.22, system="Scientific",
+    ),
+    # -- computing / print -------------------------------------------------------
+    UnitSeed(
+        uid="BAUD", en="Baud", zh="波特", symbol="Bd",
+        aliases=("bauds", "symbols per second"),
+        keywords=("signalling", "modem", "serial", "telecom"),
+        description="Symbol-rate unit; one symbol per second.",
+        kind="Frequency", factor=1.0, popularity=0.06, system="IEC",
+    ),
+    UnitSeed(
+        uid="DOT-PER-IN", en="Dot per Inch", zh="点每英寸", symbol="dpi",
+        aliases=("dots per inch",),
+        keywords=("printing", "resolution", "scanner", "分辨率"),
+        description="Print/scan resolution; about 39.37 dots per metre.",
+        kind="Wavenumber", factor=1.0 / 0.0254, popularity=0.20,
+        system="Typography",
+    ),
+    UnitSeed(
+        uid="PIXEL-PER-IN", en="Pixel per Inch", zh="像素每英寸", symbol="ppi",
+        aliases=("pixels per inch",),
+        keywords=("display", "screen", "resolution", "像素"),
+        description="Display resolution; about 39.37 pixels per metre.",
+        kind="Wavenumber", factor=1.0 / 0.0254, popularity=0.16,
+        system="Typography",
+    ),
+    # -- medicine / lab -------------------------------------------------------------
+    UnitSeed(
+        uid="DROP-MED", en="Drop", zh="滴", symbol="gtt",
+        aliases=("drops", "gutta"),
+        keywords=("medicine", "infusion", "dose", "输液"),
+        description="Medical drop; 0.05 millilitres by convention.",
+        kind="Volume", factor=5e-8, popularity=0.10, system="Medical",
+    ),
+    UnitSeed(
+        uid="BREATH-PER-MIN", en="Breath per Minute", zh="次每分钟(呼吸)",
+        symbol="brpm",
+        aliases=("breaths per minute", "呼吸频率"),
+        keywords=("respiration", "medicine", "vital sign", "呼吸"),
+        description="Respiratory-rate unit; 1/60 hertz.",
+        kind="Frequency", factor=1.0 / 60.0, popularity=0.08, system="Medical",
+    ),
+)

@@ -1,0 +1,38 @@
+"""Temperature units (affine scales carry a conversion offset)."""
+
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="K", en="Kelvin", zh="开尔文", symbol="K",
+        aliases=("kelvins", "开"),
+        keywords=("temperature", "absolute", "physics", "SI base", "温度"),
+        description="The SI base unit of thermodynamic temperature.",
+        kind="Temperature", factor=1.0, popularity=0.45,
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="DEG-C", en="Degree Celsius", zh="摄氏度", symbol="°C",
+        aliases=("degrees celsius", "celsius", "centigrade", "degC", "degree", "degrees", "摄氏"),
+        keywords=("temperature", "weather", "everyday", "气温"),
+        description="Celsius scale; kelvin shifted by 273.15.",
+        kind="Temperature", factor=1.0, offset=273.15, popularity=0.78,
+        system="SI",
+    ),
+    UnitSeed(
+        uid="DEG-F", en="Degree Fahrenheit", zh="华氏度", symbol="°F",
+        aliases=("degrees fahrenheit", "fahrenheit", "degF", "degree", "华氏"),
+        keywords=("temperature", "weather", "us"),
+        description="Fahrenheit scale; 5/9 kelvin per degree, offset 459.67.",
+        kind="Temperature", factor=5.0 / 9.0, offset=273.15 - 32.0 * 5.0 / 9.0,
+        popularity=0.50, system="Imperial",
+    ),
+    UnitSeed(
+        uid="DEG-R", en="Degree Rankine", zh="兰氏度", symbol="°R",
+        aliases=("degrees rankine", "rankine"),
+        keywords=("temperature", "absolute", "imperial", "engineering"),
+        description="Absolute Fahrenheit-step scale; 5/9 kelvin per degree.",
+        kind="Temperature", factor=5.0 / 9.0, popularity=0.04,
+        system="Imperial",
+    ),
+)

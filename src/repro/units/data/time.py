@@ -1,0 +1,117 @@
+"""Time units.
+
+Calibrated: Second 83.8, Hour 80.89, Minute 79.65, millisecond 77.76,
+microsecond 73.6 (Fig. 4, Time column).
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="SEC", en="Second", zh="秒", symbol="s",
+        aliases=("seconds", "sec", "secs"),
+        keywords=("time", "duration", "SI base", "时间"),
+        description="The SI base unit of time.",
+        kind="Time", factor=1.0, popularity=from_score(83.8),
+        prefixable=True, system="SI",
+    ),
+    UnitSeed(
+        uid="HR", en="Hour", zh="小时", symbol="h",
+        aliases=("hours", "hr", "hrs", "钟头"),
+        keywords=("time", "clock", "schedule", "work"),
+        description="3600 seconds.",
+        kind="Time", factor=3600.0, popularity=from_score(80.89), system="SI",
+    ),
+    UnitSeed(
+        uid="MIN", en="Minute", zh="分钟", symbol="min",
+        aliases=("minutes", "mins"),
+        keywords=("time", "clock", "short"),
+        description="60 seconds.",
+        kind="Time", factor=60.0, popularity=from_score(79.65), system="SI",
+    ),
+    UnitSeed(
+        uid="MilliSEC", en="Millisecond", zh="毫秒", symbol="ms",
+        aliases=("milliseconds", "msec"),
+        keywords=("time", "latency", "computing", "fast"),
+        description="One thousandth of a second.",
+        kind="Time", factor=1e-3, popularity=from_score(77.76), system="SI",
+    ),
+    UnitSeed(
+        uid="MicroSEC", en="Microsecond", zh="微秒", symbol="us",
+        aliases=("microseconds", "μs", "usec"),
+        keywords=("time", "electronics", "signal", "fast"),
+        description="One millionth of a second.",
+        kind="Time", factor=1e-6, popularity=from_score(73.6), system="SI",
+    ),
+    UnitSeed(
+        uid="DAY", en="Day", zh="天", symbol="d",
+        aliases=("days", "日"),
+        keywords=("time", "calendar", "daily"),
+        description="86400 seconds.",
+        kind="Time", factor=86400.0, popularity=0.76, system="SI",
+    ),
+    UnitSeed(
+        uid="WK", en="Week", zh="周", symbol="wk",
+        aliases=("weeks", "星期", "礼拜"),
+        keywords=("time", "calendar", "schedule"),
+        description="Seven days; 604800 seconds.",
+        kind="Time", factor=604800.0, popularity=0.60, system="SI",
+    ),
+    UnitSeed(
+        uid="MO", en="Month", zh="月", symbol="mo",
+        aliases=("months", "个月"),
+        keywords=("time", "calendar", "billing"),
+        description="Mean Gregorian month; about 2.6298e6 seconds.",
+        kind="Time", factor=2629800.0, popularity=0.62, system="SI",
+    ),
+    UnitSeed(
+        uid="YR", en="Year", zh="年", symbol="yr",
+        aliases=("years", "annum", "a"),
+        keywords=("time", "calendar", "age", "anniversary"),
+        description="Julian year; exactly 31557600 seconds.",
+        kind="Time", factor=31557600.0, popularity=0.72, system="SI",
+    ),
+    UnitSeed(
+        uid="DECADE", en="Decade", zh="十年", symbol="dec",
+        aliases=("decades",),
+        keywords=("time", "history", "era"),
+        description="Ten Julian years.",
+        kind="Time", factor=315576000.0, popularity=0.18, system="SI",
+    ),
+    UnitSeed(
+        uid="CENTURY", en="Century", zh="世纪", symbol="c.",
+        aliases=("centuries",),
+        keywords=("time", "history", "era"),
+        description="One hundred Julian years.",
+        kind="Time", factor=3155760000.0, popularity=0.20, system="SI",
+    ),
+    UnitSeed(
+        uid="MILLENNIUM", en="Millennium", zh="千年", symbol="ka",
+        aliases=("millennia",),
+        keywords=("time", "history", "geology"),
+        description="One thousand Julian years.",
+        kind="Time", factor=31557600000.0, popularity=0.08, system="SI",
+    ),
+    UnitSeed(
+        uid="FORTNIGHT", en="Fortnight", zh="两周", symbol="fn",
+        aliases=("fortnights",),
+        keywords=("time", "british", "schedule"),
+        description="Fourteen days; 1209600 seconds.",
+        kind="Time", factor=1209600.0, popularity=0.06, system="Imperial",
+    ),
+    UnitSeed(
+        uid="SHAKE", en="Shake", zh="抖", symbol="shake",
+        aliases=("shakes",),
+        keywords=("time", "nuclear", "physics"),
+        description="Nuclear physics time unit; 10 nanoseconds.",
+        kind="Time", factor=1e-8, popularity=0.02, system="Scientific",
+    ),
+    UnitSeed(
+        uid="DAY-Sidereal", en="Sidereal Day", zh="恒星日", symbol="d (sid.)",
+        aliases=("sidereal days",),
+        keywords=("time", "astronomy", "rotation"),
+        description="Earth's rotation period relative to stars; about 86164.1 s.",
+        kind="Time", factor=86164.0905, popularity=0.04, system="Astronomy",
+    ),
+)

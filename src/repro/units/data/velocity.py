@@ -1,0 +1,117 @@
+"""Velocity and acceleration units.
+
+Calibrated velocity scores: Metre per Second 73.77, Kilometre per Hour
+72.27, Knot 69.05, Kilometre per Second 66.36, Metre per Hour 66.12
+(Fig. 4, Velocity column).
+"""
+
+from repro.units.data._calibration import from_score
+from repro.units.schema import UnitSeed
+
+UNITS: tuple[UnitSeed, ...] = (
+    UnitSeed(
+        uid="M-PER-SEC", en="Metre per Second", zh="米每秒", symbol="m/s",
+        aliases=("meter per second", "metres per second", "meters per second", "mps"),
+        keywords=("velocity", "speed", "physics", "速度"),
+        description="The SI coherent unit of velocity.",
+        kind="Velocity", factor=1.0, popularity=from_score(73.77), system="SI",
+    ),
+    UnitSeed(
+        uid="KiloM-PER-HR", en="Kilometre per Hour", zh="千米每小时", symbol="km/h",
+        aliases=("kilometer per hour", "kph", "公里每小时", "kmh"),
+        keywords=("velocity", "speed", "traffic", "car", "车速"),
+        description="Road-traffic speed unit; 1/3.6 m/s.",
+        kind="Velocity", factor=1.0 / 3.6, popularity=from_score(72.27),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="KN", en="Knot", zh="节", symbol="kn",
+        aliases=("knots", "kt"),
+        keywords=("velocity", "marine", "wind", "aviation", "船速"),
+        description="One nautical mile per hour; about 0.5144 m/s.",
+        kind="Velocity", factor=1852.0 / 3600.0, popularity=from_score(69.05),
+        system="Marine",
+    ),
+    UnitSeed(
+        uid="KiloM-PER-SEC", en="Kilometre per Second", zh="千米每秒", symbol="km/s",
+        aliases=("kilometer per second",),
+        keywords=("velocity", "orbital", "astronomy", "rocket"),
+        description="1000 metres per second.",
+        kind="Velocity", factor=1e3, popularity=from_score(66.36), system="SI",
+    ),
+    UnitSeed(
+        uid="M-PER-HR", en="Metre per Hour", zh="米每小时", symbol="m/h",
+        aliases=("meter per hour", "metres per hour"),
+        keywords=("velocity", "slow", "drilling", "glacier"),
+        description="Slow-process speed unit; 1/3600 m/s.",
+        kind="Velocity", factor=1.0 / 3600.0, popularity=from_score(66.12),
+        system="SI",
+    ),
+    UnitSeed(
+        uid="MI-PER-HR", en="Mile per Hour", zh="英里每小时", symbol="mph",
+        aliases=("miles per hour", "mi/h"),
+        keywords=("velocity", "traffic", "us", "car"),
+        description="Imperial road speed unit; 0.44704 m/s.",
+        kind="Velocity", factor=0.44704, popularity=0.60, system="Imperial",
+    ),
+    UnitSeed(
+        uid="FT-PER-SEC", en="Foot per Second", zh="英尺每秒", symbol="ft/s",
+        aliases=("feet per second", "fps"),
+        keywords=("velocity", "ballistics", "imperial"),
+        description="Imperial speed unit; 0.3048 m/s.",
+        kind="Velocity", factor=0.3048, popularity=0.18, system="Imperial",
+    ),
+    UnitSeed(
+        uid="CentiM-PER-SEC", en="Centimetre per Second", zh="厘米每秒", symbol="cm/s",
+        aliases=("centimeter per second",),
+        keywords=("velocity", "laboratory", "flow"),
+        description="0.01 metres per second.",
+        kind="Velocity", factor=1e-2, popularity=0.20, system="SI",
+    ),
+    UnitSeed(
+        uid="MACH", en="Mach", zh="马赫", symbol="Ma",
+        aliases=("mach number",),
+        keywords=("velocity", "supersonic", "aircraft", "jet"),
+        description="Speed of sound in standard air; about 340.3 m/s.",
+        kind="Velocity", factor=340.3, popularity=0.30, system="Aviation",
+    ),
+    UnitSeed(
+        uid="C-LIGHT", en="Speed of Light", zh="光速", symbol="c",
+        aliases=("lightspeed",),
+        keywords=("velocity", "relativity", "physics", "constant"),
+        description="The speed of light in vacuum; 299792458 m/s.",
+        kind="Velocity", factor=2.99792458e8, popularity=0.25,
+        system="Scientific",
+    ),
+    # -- acceleration ---------------------------------------------------------
+    UnitSeed(
+        uid="M-PER-SEC2", en="Metre per Second Squared", zh="米每二次方秒",
+        symbol="m/s^2",
+        aliases=("meter per second squared", "m/s2", "m/s²"),
+        keywords=("acceleration", "physics", "gravity", "加速度"),
+        description="The SI coherent unit of acceleration.",
+        kind="Acceleration", factor=1.0, popularity=0.55, system="SI",
+    ),
+    UnitSeed(
+        uid="GAL-CGS", en="Gal", zh="伽", symbol="Gal",
+        aliases=("galileo", "gals"),
+        keywords=("acceleration", "gravimetry", "geophysics"),
+        description="CGS acceleration unit; 0.01 m/s^2.",
+        kind="Acceleration", factor=1e-2, popularity=0.05, system="CGS",
+    ),
+    UnitSeed(
+        uid="G-STANDARD", en="Standard Gravity", zh="标准重力加速度", symbol="g0",
+        aliases=("g-force", "gee"),
+        keywords=("acceleration", "gravity", "rocket", "pilot"),
+        description="Standard gravitational acceleration; 9.80665 m/s^2.",
+        kind="Acceleration", factor=9.80665, popularity=0.32, system="SI",
+    ),
+    UnitSeed(
+        uid="FT-PER-SEC2", en="Foot per Second Squared", zh="英尺每二次方秒",
+        symbol="ft/s^2",
+        aliases=("feet per second squared", "ft/s2"),
+        keywords=("acceleration", "imperial", "engineering"),
+        description="Imperial acceleration unit; 0.3048 m/s^2.",
+        kind="Acceleration", factor=0.3048, popularity=0.08, system="Imperial",
+    ),
+)

@@ -1,0 +1,113 @@
+"""Unit frequency scoring (paper Section III-A.4, Eq. 1-2).
+
+The paper blends three raw signals per unit -- Google-Trends popularity
+(GT), human commonality scores (HS), and corpus frequency approximated by
+CN-DBpedia tail entities (CF)::
+
+    Score(u) = sum_j alpha_j * log(Freq_j(u))                       (Eq. 1)
+    Freq(u)  = (1 - delta) * (Score - min) / (max - min) + delta    (Eq. 2)
+
+with ``alpha = (0.3, 0.3, 0.4)`` and ``delta = 0.1``.
+
+Offline we cannot query Google Trends, so the raw signals are *designed*:
+each seed carries a ``popularity`` in [0, 1] and the three channels are
+derived from it with zero-sum deterministic per-channel deviations, which
+makes Eq. 1 recover the designed popularity exactly while still exercising
+the full three-channel pipeline.  The CF channel can alternatively be
+recomputed from the synthetic knowledge graph (see
+:func:`corpus_frequency_from_counts`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, Mapping
+
+#: Channel weights (alpha_GT, alpha_HS, alpha_CF) from the paper.
+ALPHA_GT = 0.3
+ALPHA_HS = 0.3
+ALPHA_CF = 0.4
+
+#: Normalisation floor delta from the paper.
+DELTA = 0.1
+
+#: Spread of the deterministic per-channel deviations.
+_CHANNEL_JITTER = 0.15
+
+
+def _deterministic_jitter(unit_id: str, channel: str) -> float:
+    """A reproducible value in [-1, 1] derived from the unit id."""
+    digest = hashlib.sha256(f"{unit_id}:{channel}".encode("utf-8")).digest()
+    raw = int.from_bytes(digest[:8], "big") / float(2 ** 64)
+    return 2.0 * raw - 1.0
+
+
+def design_signals(unit_id: str, popularity: float) -> tuple[float, float, float]:
+    """Derive (GT, HS, CF) raw signals whose Eq. 1 score equals ``popularity``.
+
+    The GT and HS channels receive independent deterministic deviations;
+    the CF deviation is chosen so the alpha-weighted sum of deviations is
+    zero, hence ``Score = popularity`` exactly.
+    """
+    deviation_gt = _CHANNEL_JITTER * _deterministic_jitter(unit_id, "GT")
+    deviation_hs = _CHANNEL_JITTER * _deterministic_jitter(unit_id, "HS")
+    deviation_cf = -(ALPHA_GT * deviation_gt + ALPHA_HS * deviation_hs) / ALPHA_CF
+    return (
+        math.exp(popularity + deviation_gt),
+        math.exp(popularity + deviation_hs),
+        math.exp(popularity + deviation_cf),
+    )
+
+
+def score(signals: tuple[float, float, float]) -> float:
+    """Eq. 1: the alpha-weighted sum of log signals."""
+    freq_gt, freq_hs, freq_cf = signals
+    if min(signals) <= 0.0:
+        raise ValueError("raw frequency signals must be positive")
+    return (
+        ALPHA_GT * math.log(freq_gt)
+        + ALPHA_HS * math.log(freq_hs)
+        + ALPHA_CF * math.log(freq_cf)
+    )
+
+
+def normalise(scores: Mapping[str, float], delta: float = DELTA) -> dict[str, float]:
+    """Eq. 2: min-max normalise scores into [delta, 1].
+
+    Returns a new mapping ``unit_id -> Freq(u)``.  If all scores are equal
+    the result is ``delta`` for every unit (degenerate but well-defined).
+    """
+    if not scores:
+        return {}
+    low = min(scores.values())
+    high = max(scores.values())
+    span = high - low
+    if span == 0.0:
+        return {unit_id: delta for unit_id in scores}
+    return {
+        unit_id: (1.0 - delta) * (value - low) / span + delta
+        for unit_id, value in scores.items()
+    }
+
+
+def corpus_frequency_from_counts(
+    counts: Mapping[str, int],
+    unit_ids: Iterable[str],
+    smoothing: float = 1.0,
+) -> dict[str, float]:
+    """Rebuild the CF channel from observed mention counts.
+
+    ``counts`` maps unit ids to the number of times the unit occurred in
+    tail entities of the (synthetic) knowledge graph; unobserved units get
+    the ``smoothing`` pseudo-count so Eq. 1's logarithm stays finite.
+    """
+    return {
+        unit_id: counts.get(unit_id, 0) + smoothing
+        for unit_id in unit_ids
+    }
+
+
+def to_display_scale(freq: float) -> float:
+    """The 0-100 scale used by Fig. 3 / Fig. 4 (two decimal places)."""
+    return round(100.0 * freq, 2)

@@ -1,0 +1,128 @@
+"""KB serialization: export/import DimUnitKB as JSON.
+
+An open-source release of DimUnitKB ships as data, not code; this module
+round-trips the built KB through a stable JSON schema so downstream
+users can consume it without Python (and so tests can pin the schema).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.dimension import DimensionVector
+from repro.units.kb import DimUnitKB
+from repro.units.schema import QuantityKind, UnitRecord
+
+#: Schema version written into every export.
+SCHEMA_VERSION = 1
+
+
+class KBSerializationError(ValueError):
+    """Raised for malformed KB JSON documents."""
+
+
+def unit_to_dict(record: UnitRecord) -> dict[str, Any]:
+    """One unit record as a JSON-compatible dict (Table II fields)."""
+    return {
+        "UnitID": record.unit_id,
+        "Label_en": record.label_en,
+        "Label_zh": record.label_zh,
+        "Symbol": record.symbol,
+        "Alias": list(record.aliases),
+        "Description": record.description,
+        "Keywords": list(record.keywords),
+        "Frequency": record.frequency,
+        "QuantityKind": list(record.quantity_kinds),
+        "DimensionVec": record.dimension_vec,
+        "ConversionVal": record.conversion_value,
+        "ConversionOffset": record.conversion_offset,
+        "System": record.system,
+        "Generated": record.generated,
+    }
+
+
+def unit_from_dict(data: dict[str, Any]) -> UnitRecord:
+    """Rebuild a unit record from its JSON dict."""
+    try:
+        return UnitRecord(
+            unit_id=data["UnitID"],
+            label_en=data["Label_en"],
+            label_zh=data.get("Label_zh", ""),
+            symbol=data["Symbol"],
+            aliases=tuple(data.get("Alias", ())),
+            description=data.get("Description", ""),
+            keywords=tuple(data.get("Keywords", ())),
+            frequency=float(data["Frequency"]),
+            quantity_kinds=tuple(data["QuantityKind"]),
+            dimension=DimensionVector.parse(data["DimensionVec"]),
+            conversion_value=float(data["ConversionVal"]),
+            conversion_offset=float(data.get("ConversionOffset", 0.0)),
+            system=data.get("System", "SI"),
+            generated=bool(data.get("Generated", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise KBSerializationError(f"bad unit record: {exc}") from exc
+
+
+def kind_to_dict(kind: QuantityKind) -> dict[str, Any]:
+    """One quantity kind as a JSON-compatible dict."""
+    return {
+        "Name": kind.name,
+        "DimensionVec": kind.dimension.to_vector_string(),
+        "SISymbol": kind.si_symbol,
+        "Description": kind.description,
+        "Derived": kind.derived,
+    }
+
+
+def kind_from_dict(data: dict[str, Any]) -> QuantityKind:
+    """Rebuild a quantity kind from its JSON dict."""
+    try:
+        return QuantityKind(
+            name=data["Name"],
+            dimension=DimensionVector.parse(data["DimensionVec"]),
+            si_symbol=data.get("SISymbol", ""),
+            description=data.get("Description", ""),
+            derived=bool(data.get("Derived", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise KBSerializationError(f"bad kind record: {exc}") from exc
+
+
+def kb_to_dict(kb: DimUnitKB) -> dict[str, Any]:
+    """The whole KB as a JSON-compatible document."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kinds": [kind_to_dict(kind) for kind in kb.kinds()],
+        "units": [unit_to_dict(record) for record in kb],
+    }
+
+
+def kb_from_dict(data: dict[str, Any]) -> DimUnitKB:
+    """Rebuild a KB from its JSON document."""
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise KBSerializationError(
+            f"unsupported schema version {data.get('schema_version')!r}"
+        )
+    kinds = [kind_from_dict(entry) for entry in data.get("kinds", ())]
+    units = [unit_from_dict(entry) for entry in data.get("units", ())]
+    return DimUnitKB(units, kinds)
+
+
+def save_kb(kb: DimUnitKB, path: str | pathlib.Path) -> None:
+    """Write the KB to a JSON file."""
+    payload = kb_to_dict(kb)
+    pathlib.Path(path).write_text(
+        json.dumps(payload, ensure_ascii=False, indent=1), encoding="utf-8"
+    )
+
+
+def load_kb(path: str | pathlib.Path) -> DimUnitKB:
+    """Read a KB JSON file back into a :class:`DimUnitKB`."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise KBSerializationError(f"invalid KB JSON: {exc}") from exc
+    return kb_from_dict(payload)

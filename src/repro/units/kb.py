@@ -1,0 +1,211 @@
+"""The DimUnitKB query layer.
+
+An immutable, fully-indexed view over the built unit records: lookup by
+id / symbol / surface form, grouping by quantity kind and by dimension
+vector, frequency-ranked listings (Fig. 3), kind-level frequency
+aggregation (Fig. 4), and the Table IV statistics summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.dimension import DimensionVector
+from repro.units.schema import QuantityKind, UnitRecord
+
+
+class UnknownUnitError(KeyError):
+    """Raised when a unit id is not present in the KB."""
+
+
+class UnknownKindError(KeyError):
+    """Raised when a quantity kind name is not present in the KB."""
+
+
+@dataclass(frozen=True)
+class KBStatistics:
+    """The Table IV row for a unit resource."""
+
+    resource: str
+    num_units: int
+    num_quantity_kinds: int
+    num_dimension_vectors: int
+    languages: tuple[str, ...]
+    has_frequency: bool
+
+
+class DimUnitKB:
+    """Immutable dimensional unit knowledge base (paper Section III-A)."""
+
+    def __init__(
+        self,
+        records: Iterable[UnitRecord],
+        kinds: Iterable[QuantityKind],
+    ) -> None:
+        self._records: dict[str, UnitRecord] = {}
+        for record in records:
+            if record.unit_id in self._records:
+                raise ValueError(f"duplicate unit id {record.unit_id!r}")
+            self._records[record.unit_id] = record
+        self._kinds: dict[str, QuantityKind] = {
+            kind.name: kind for kind in kinds
+        }
+        self._by_kind: dict[str, list[UnitRecord]] = {}
+        self._by_dimension: dict[DimensionVector, list[UnitRecord]] = {}
+        self._by_surface: dict[str, list[UnitRecord]] = {}
+        for record in self._records.values():
+            for kind_name in record.quantity_kinds:
+                if kind_name not in self._kinds:
+                    raise ValueError(
+                        f"unit {record.unit_id!r} references unknown kind "
+                        f"{kind_name!r}"
+                    )
+                self._by_kind.setdefault(kind_name, []).append(record)
+            self._by_dimension.setdefault(record.dimension, []).append(record)
+            for form in record.surface_forms():
+                self._by_surface.setdefault(form.casefold(), []).append(record)
+        for bucket in self._by_kind.values():
+            bucket.sort(key=lambda r: (-r.frequency, r.unit_id))
+        for bucket in self._by_dimension.values():
+            bucket.sort(key=lambda r: (-r.frequency, r.unit_id))
+
+    # -- basic access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, unit_id: str) -> bool:
+        return unit_id in self._records
+
+    def __iter__(self) -> Iterator[UnitRecord]:
+        return iter(self._records.values())
+
+    def get(self, unit_id: str) -> UnitRecord:
+        """The unit record for an id (UnknownUnitError if absent)."""
+        try:
+            return self._records[unit_id]
+        except KeyError as exc:
+            raise UnknownUnitError(unit_id) from exc
+
+    def unit_ids(self) -> tuple[str, ...]:
+        """Every unit id, in insertion order."""
+        return tuple(self._records)
+
+    # -- kinds --------------------------------------------------------------------
+
+    def kind(self, name: str) -> QuantityKind:
+        """The quantity kind by name (UnknownKindError if absent)."""
+        try:
+            return self._kinds[name]
+        except KeyError as exc:
+            raise UnknownKindError(name) from exc
+
+    def kinds(self) -> tuple[QuantityKind, ...]:
+        """Every registered quantity kind."""
+        return tuple(self._kinds.values())
+
+    def kind_names(self) -> tuple[str, ...]:
+        """Every kind name, in registration order."""
+        return tuple(self._kinds)
+
+    def units_of_kind(self, kind_name: str) -> tuple[UnitRecord, ...]:
+        """Units of a kind, most frequent first."""
+        if kind_name not in self._kinds:
+            raise UnknownKindError(kind_name)
+        return tuple(self._by_kind.get(kind_name, ()))
+
+    # -- dimensions ------------------------------------------------------------------
+
+    def units_with_dimension(
+        self, dimension: DimensionVector
+    ) -> tuple[UnitRecord, ...]:
+        """Units sharing a dimension vector, most frequent first."""
+        return tuple(self._by_dimension.get(dimension, ()))
+
+    def comparable_units(self, unit: UnitRecord) -> tuple[UnitRecord, ...]:
+        """Units comparable to ``unit`` (same dimension, excluding itself)."""
+        return tuple(
+            record
+            for record in self._by_dimension.get(unit.dimension, ())
+            if record.unit_id != unit.unit_id
+        )
+
+    def dimension_vectors(self) -> tuple[DimensionVector, ...]:
+        """Every distinct dimension vector present."""
+        return tuple(self._by_dimension)
+
+    # -- surface forms ------------------------------------------------------------------
+
+    def find_by_surface(self, text: str) -> tuple[UnitRecord, ...]:
+        """Exact (case-insensitive) surface-form lookup."""
+        return tuple(self._by_surface.get(text.strip().casefold(), ()))
+
+    def naming_dictionary(self) -> dict[str, tuple[str, ...]]:
+        """surface form -> unit ids; the linker's candidate index."""
+        return {
+            form: tuple(record.unit_id for record in records)
+            for form, records in self._by_surface.items()
+        }
+
+    # -- frequency views (Fig. 3 / Fig. 4) -------------------------------------------
+
+    def top_units_by_frequency(
+        self, count: int, *, curated_only: bool = False
+    ) -> tuple[UnitRecord, ...]:
+        """The ``count`` most frequent units (Fig. 3)."""
+        records = (
+            record for record in self._records.values()
+            if not (curated_only and record.generated)
+        )
+        ranked = sorted(records, key=lambda r: (-r.frequency, r.unit_id))
+        return tuple(ranked[:count])
+
+    def kind_frequency(self, kind_name: str, top: int = 5) -> float:
+        """Fig. 4 aggregation: mean frequency of the kind's top-``top`` units."""
+        units = self.units_of_kind(kind_name)
+        if not units:
+            return 0.0
+        head = units[:top]
+        return sum(unit.frequency for unit in head) / len(head)
+
+    def top_quantity_kinds(
+        self, count: int, top: int = 5
+    ) -> tuple[tuple[QuantityKind, float], ...]:
+        """Kinds ranked by :meth:`kind_frequency`, with their scores."""
+        scored = [
+            (kind, self.kind_frequency(kind.name, top))
+            for kind in self._kinds.values()
+            if self._by_kind.get(kind.name)
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0].name))
+        return tuple(scored[:count])
+
+    # -- statistics (Table IV) ------------------------------------------------------
+
+    def statistics(self, resource: str = "DimUnitDB") -> KBStatistics:
+        """The Table IV statistics row for this KB."""
+        populated_kinds = sum(
+            1 for name in self._kinds if self._by_kind.get(name)
+        )
+        languages = ("En", "Zh") if any(
+            record.label_zh for record in self._records.values()
+        ) else ("En",)
+        return KBStatistics(
+            resource=resource,
+            num_units=len(self._records),
+            num_quantity_kinds=populated_kinds,
+            num_dimension_vectors=len(self._by_dimension),
+            languages=languages,
+            has_frequency=True,
+        )
+
+    # -- derived views -----------------------------------------------------------------
+
+    def subset(self, unit_ids: Iterable[str], resource: str = "subset") -> "DimUnitKB":
+        """A new KB restricted to ``unit_ids`` (used for the WolframAlpha
+        stand-in's narrower coverage)."""
+        chosen = [self.get(uid) for uid in unit_ids]
+        kind_names = {kind for record in chosen for kind in record.quantity_kinds}
+        kinds = [self._kinds[name] for name in kind_names]
+        return DimUnitKB(chosen, kinds)

@@ -1,0 +1,163 @@
+"""Grounded quantities: value + unit (paper Table I, ``q = 2 gill/h``).
+
+:class:`Quantity` enforces the dimension laws on add/sub/compare (this is
+what catches the Fig. 1 "unit trap") and supports multiplication and
+division, which produce :class:`DerivedQuantity` values carrying an SI
+magnitude and a dimension vector that can then be expressed in any
+comparable unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.dimension import DimensionVector, require_comparable
+from repro.units.conversion import ConversionError, convert_value, from_si, to_si
+from repro.units.schema import UnitRecord
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class DerivedQuantity:
+    """An SI-coherent magnitude with a dimension but no named unit yet."""
+
+    si_value: float
+    dimension: DimensionVector
+
+    def in_unit(self, unit: UnitRecord) -> "Quantity":
+        """Express this magnitude in a concrete comparable unit."""
+        require_comparable(self.dimension, unit.dimension, operation="express")
+        if unit.is_affine:
+            raise ConversionError(
+                "derived quantities cannot be expressed in affine units"
+            )
+        return Quantity(from_si(self.si_value, unit), unit)
+
+    def __mul__(self, other: "DerivedQuantity | Quantity | Number"):
+        other = _as_derived(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return DerivedQuantity(
+            self.si_value * other.si_value, self.dimension * other.dimension
+        )
+
+    def __rmul__(self, other: Number):
+        return self.__mul__(other)
+
+    def __truediv__(self, other: "DerivedQuantity | Quantity | Number"):
+        other = _as_derived(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return DerivedQuantity(
+            self.si_value / other.si_value, self.dimension / other.dimension
+        )
+
+    def __str__(self) -> str:
+        return f"{self.si_value:g} [{self.dimension.to_si_expression()}]"
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """A grounded value: numerical part + unit part (paper Section I)."""
+
+    value: float
+    unit: UnitRecord
+
+    @property
+    def dimension(self) -> DimensionVector:
+        return self.unit.dimension
+
+    @property
+    def si_value(self) -> float:
+        """The magnitude in the SI-coherent unit of this quantity's kind."""
+        return to_si(self.value, self.unit)
+
+    def to(self, unit: UnitRecord) -> "Quantity":
+        """Convert to a comparable unit (raises DimensionLawViolation else)."""
+        return Quantity(convert_value(self.value, self.unit, unit), unit)
+
+    def as_derived(self) -> DerivedQuantity:
+        """This quantity as an SI magnitude + dimension."""
+        if self.unit.is_affine:
+            raise ConversionError(
+                f"affine unit {self.unit.unit_id} cannot enter derived algebra"
+            )
+        return DerivedQuantity(self.si_value, self.dimension)
+
+    # -- dimension-law-guarded arithmetic --------------------------------------
+
+    def __add__(self, other: "Quantity") -> "Quantity":
+        if not isinstance(other, Quantity):
+            return NotImplemented
+        require_comparable(self.dimension, other.dimension, operation="add")
+        return Quantity(self.value + other.to(self.unit).value, self.unit)
+
+    def __sub__(self, other: "Quantity") -> "Quantity":
+        if not isinstance(other, Quantity):
+            return NotImplemented
+        require_comparable(self.dimension, other.dimension, operation="subtract")
+        return Quantity(self.value - other.to(self.unit).value, self.unit)
+
+    def __mul__(self, other: "Quantity | DerivedQuantity | Number"):
+        if isinstance(other, (int, float)):
+            return Quantity(self.value * other, self.unit)
+        derived = _as_derived(other)
+        if derived is NotImplemented:
+            return NotImplemented
+        return self.as_derived() * derived
+
+    def __rmul__(self, other: Number):
+        if isinstance(other, (int, float)):
+            return Quantity(self.value * other, self.unit)
+        return NotImplemented
+
+    def __truediv__(self, other: "Quantity | DerivedQuantity | Number"):
+        if isinstance(other, (int, float)):
+            return Quantity(self.value / other, self.unit)
+        derived = _as_derived(other)
+        if derived is NotImplemented:
+            return NotImplemented
+        return self.as_derived() / derived
+
+    # -- dimension-law-guarded comparison ----------------------------------------
+
+    def _compare_key(self, other: "Quantity") -> tuple[float, float]:
+        require_comparable(self.dimension, other.dimension, operation="compare")
+        return self.si_value, other.si_value
+
+    def __lt__(self, other: "Quantity") -> bool:
+        mine, theirs = self._compare_key(other)
+        return mine < theirs
+
+    def __le__(self, other: "Quantity") -> bool:
+        mine, theirs = self._compare_key(other)
+        return mine <= theirs
+
+    def __gt__(self, other: "Quantity") -> bool:
+        mine, theirs = self._compare_key(other)
+        return mine > theirs
+
+    def __ge__(self, other: "Quantity") -> bool:
+        mine, theirs = self._compare_key(other)
+        return mine >= theirs
+
+    def approx_equals(self, other: "Quantity", rel_tol: float = 1e-9) -> bool:
+        """Value equality across comparable units."""
+        mine, theirs = self._compare_key(other)
+        scale = max(abs(mine), abs(theirs), 1e-300)
+        return abs(mine - theirs) / scale <= rel_tol
+
+    def __str__(self) -> str:
+        return f"{self.value:g} {self.unit.symbol}"
+
+
+def _as_derived(value: "Quantity | DerivedQuantity | Number"):
+    if isinstance(value, DerivedQuantity):
+        return value
+    if isinstance(value, Quantity):
+        return value.as_derived()
+    if isinstance(value, (int, float)):
+        return DerivedQuantity(float(value), DimensionVector.dimensionless())
+    return NotImplemented

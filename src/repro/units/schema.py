@@ -1,0 +1,127 @@
+"""Schemas for DimUnitKB records (paper Table II).
+
+Two layers are defined here:
+
+- :class:`UnitSeed` / :class:`KindSeed` -- the compact, hand-curated source
+  format used by the catalogue modules in :mod:`repro.units.data`.  These
+  play the role of the QUDT ontology dump the paper started from.
+- :class:`UnitRecord` -- the full KB record with every Table II feature
+  (identifier, bilingual labels, symbol, aliases, description, keywords,
+  frequency, quantity kind, dimension vector, conversion value), produced
+  by :mod:`repro.units.builder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dimension import DimensionVector
+
+
+@dataclass(frozen=True)
+class KindSeed:
+    """A curated quantity kind: a named dimension with an SI-coherent unit."""
+
+    name: str
+    dimension: str  # dimensional formula, e.g. "LMT-2"
+    si_symbol: str  # symbol of the coherent SI unit, e.g. "N"
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class UnitSeed:
+    """A curated unit entry, the hand-written source for one KB record.
+
+    ``factor`` converts one of this unit into the SI-coherent unit of its
+    quantity kind (``1 unit = factor * si_unit``); ``offset`` covers affine
+    scales (``kelvin = factor * value + offset``, used by Celsius and
+    Fahrenheit).  ``popularity`` in [0, 1] is the designed raw frequency
+    signal from which Eq. 1-2 scores are derived (see DESIGN.md for the
+    Google-Trends/human-score/corpus-frequency substitution).
+    """
+
+    uid: str
+    en: str
+    symbol: str
+    kind: str
+    factor: float
+    zh: str = ""
+    aliases: tuple[str, ...] = ()
+    keywords: tuple[str, ...] = ()
+    description: str = ""
+    popularity: float = 0.25
+    offset: float = 0.0
+    prefixable: bool = False
+    binary_prefixable: bool = False
+    sub_unity_prefixes: bool = True   # False for counting units (no "millibyte")
+    system: str = "SI"
+
+    def __post_init__(self) -> None:
+        if not self.uid:
+            raise ValueError("unit seed needs a uid")
+        if self.factor <= 0 and self.offset == 0.0:
+            raise ValueError(f"{self.uid}: conversion factor must be positive")
+        if not 0.0 <= self.popularity <= 1.0:
+            raise ValueError(f"{self.uid}: popularity must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class QuantityKind:
+    """A registered quantity kind with its resolved dimension vector."""
+
+    name: str
+    dimension: DimensionVector
+    si_symbol: str
+    description: str = ""
+    derived: bool = False
+
+
+@dataclass(frozen=True)
+class UnitRecord:
+    """A complete DimUnitKB record (Table II schema).
+
+    ``conversion_value`` and ``conversion_offset`` define the affine map to
+    the SI-coherent unit of the record's quantity kind:
+
+        value_in_si = conversion_value * value + conversion_offset
+    """
+
+    unit_id: str
+    label_en: str
+    label_zh: str
+    symbol: str
+    aliases: tuple[str, ...]
+    description: str
+    keywords: tuple[str, ...]
+    frequency: float
+    quantity_kinds: tuple[str, ...]
+    dimension: DimensionVector
+    conversion_value: float
+    conversion_offset: float = 0.0
+    system: str = "SI"
+    generated: bool = False
+    raw_signals: tuple[float, float, float] = field(default=(1.0, 1.0, 1.0))
+
+    @property
+    def quantity_kind(self) -> str:
+        """The primary quantity kind (first of ``quantity_kinds``)."""
+        return self.quantity_kinds[0]
+
+    @property
+    def dimension_vec(self) -> str:
+        """The Table II ``DimensionVec`` string, e.g. ``A0E0L0I0M1H0T-2D0``."""
+        return self.dimension.to_vector_string()
+
+    @property
+    def is_affine(self) -> bool:
+        """True for offset scales (Celsius/Fahrenheit); they only support
+        point conversions, not products or quotients."""
+        return self.conversion_offset != 0.0
+
+    def surface_forms(self) -> tuple[str, ...]:
+        """Every text form that may refer to this unit, most canonical first."""
+        forms: list[str] = []
+        for candidate in (self.label_en, self.symbol, self.label_zh, *self.aliases):
+            if candidate and candidate not in forms:
+                forms.append(candidate)
+        return tuple(forms)

@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG handling and text formatting."""
+
+from repro.utils.rng import make_rng, spawn_rng
+
+__all__ = ["make_rng", "spawn_rng"]

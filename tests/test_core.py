@@ -1,0 +1,184 @@
+"""Tests for the core framework: DimKS, encodings, pipeline wiring."""
+
+import pytest
+
+from repro.core import DimKS, mwp_prompt, mwp_target
+from repro.core.dimperc import (
+    DimPercConfig,
+    DimPercPipeline,
+    category_scores,
+    dimeval_training_examples,
+    evaluate_checkpoint,
+)
+from repro.core.encoding import equation_from_output, mwp_example
+from repro.core.reasoning import QuantitativeReasoner, ReasoningConfig
+from repro.dimension import DimensionVector
+from repro.dimeval import Task
+from repro.mwp import MWPGenerator
+from repro.mwp.datasets import MWPDataset
+from repro.units import default_kb
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+@pytest.fixture(scope="module")
+def dimks(kb):
+    return DimKS(kb)
+
+
+@pytest.fixture(scope="module")
+def problems(kb):
+    return MWPGenerator(kb, "math23k", seed=2).generate(12)
+
+
+class TestDimKS:
+    def test_link_and_convert(self, dimks):
+        assert dimks.link_best("km").unit_id == "KiloM"
+        assert dimks.convert(2.0, "km", "m") == pytest.approx(2000.0)
+        assert dimks.conversion_factor("h", "min") == pytest.approx(60.0)
+
+    def test_quantity_construction(self, dimks):
+        quantity = dimks.quantity(2.06, "meters")
+        assert quantity.si_value == pytest.approx(2.06)
+
+    def test_unknown_mention_raises(self, dimks):
+        with pytest.raises(KeyError):
+            dimks.convert(1.0, "zzzzqqqqxxxx", "m")
+        with pytest.raises(KeyError):
+            dimks.quantity(1.0, "zzzzqqqqxxxx")
+
+    def test_extract(self, dimks):
+        quantities = dimks.extract("the pipe is 3.5 m long")
+        assert quantities[0].unit.unit_id == "M"
+
+    def test_dimension_of_mentions(self, dimks):
+        dim = dimks.dimension_of_mentions(["J", "m"], ["*"])
+        assert dim == DimensionVector(L=3, M=1, T=-2)
+
+    def test_fig1_unit_trap_detected(self, dimks):
+        # dim(poundal)/dim(dyn/cm) = L; asking for square feet is a trap.
+        expected = dimks.dimension_of_mentions(["poundal", "dyn/cm"], ["/"])
+        report = dimks.check_unit_trap(expected, "square feet")
+        assert report.is_trap
+        assert any(unit.unit_id == "FT" for unit in report.correct_units)
+        assert "dimension" in report.explanation
+
+    def test_fig1_correct_unit_accepted(self, dimks):
+        expected = dimks.dimension_of_mentions(["poundal", "dyn/cm"], ["/"])
+        report = dimks.check_unit_trap(expected, "feet")
+        assert not report.is_trap
+        assert "matches" in report.explanation
+
+
+class TestMWPEncoding:
+    def test_prompt_slots_numbers(self, problems):
+        for problem in problems:
+            prompt = mwp_prompt(problem)
+            assert prompt.startswith("task: mwp text:")
+            for quantity in problem.quantities:
+                assert f"N{quantity.slot}" in prompt
+
+    def test_prompt_keeps_unit_signal(self, kb, problems):
+        problem = next(p for p in problems
+                       if any(q.unit_id for q in p.quantities))
+        prompt = mwp_prompt(problem)
+        unitful = next(q for q in problem.quantities if q.unit_id)
+        unit = kb.get(unitful.unit_id)
+        surface = unit.label_zh or unit.symbol
+        assert all(char in prompt for char in surface)
+
+    def test_target_has_equation_and_answer(self, problems):
+        for problem in problems:
+            target = mwp_target(problem)
+            equation_part, answer_part = target.split("<sep>")
+            assert equation_part.strip()
+            assert answer_part.strip()
+
+    def test_equation_round_trip(self, problems):
+        from repro.mwp.equation import evaluate_equation
+        for problem in problems:
+            target = mwp_target(problem)
+            equation = equation_from_output(target)
+            value = evaluate_equation(equation, problem.slot_values)
+            assert value == pytest.approx(problem.answer)
+
+    def test_example_structure(self, problems):
+        example = mwp_example(problems[0])
+        assert example.prompt.startswith("task: mwp")
+        assert "<sep>" in example.target
+
+
+def tiny_pipeline_config():
+    return DimPercConfig(
+        train_per_task=12, eval_per_task=6, instruction_examples=30,
+        instruction_steps=8, dimeval_steps=12, pool_size=60,
+        d_model=32, d_ff=64, max_len=160, batch_size=8,
+    )
+
+
+class TestDimPercPipeline:
+    @pytest.fixture(scope="class")
+    def models(self, kb):
+        return DimPercPipeline(kb, tiny_pipeline_config()).run()
+
+    def test_two_checkpoints_differ(self, models):
+        assert any(
+            (models.llama_ift_params[k] != models.dimperc_params[k]).any()
+            for k in models.llama_ift_params
+        )
+
+    def test_checkpoint_switching(self, models):
+        lm = models.as_dimperc()
+        assert lm.name == "DimPerc"
+        base = models.as_llama_ift()
+        assert base.name == "LLaMaIFT"
+
+    def test_evaluation_runs_over_all_tasks(self, models):
+        results = evaluate_checkpoint(models, "dimperc")
+        assert set(results) == set(Task)
+
+    def test_category_scores_structure(self, models):
+        results = evaluate_checkpoint(models, "llama_ift")
+        cats = category_scores(results)
+        assert set(cats) == {
+            "Basic Perception", "Dimension Perception", "Scale Perception",
+        }
+        for precision, f1 in cats.values():
+            assert 0.0 <= precision <= 1.0
+            assert 0.0 <= f1 <= 1.0
+
+    def test_training_examples_mirror_split(self, models):
+        examples = dimeval_training_examples(models.train_split)
+        assert len(examples) == len(models.train_split)
+
+
+class TestQuantitativeReasoner:
+    def test_finetune_and_solve_smoke(self, kb, problems):
+        models = DimPercPipeline(kb, tiny_pipeline_config()).run(
+            extra_vocab_texts=[mwp_example(p).prompt for p in problems]
+            + [mwp_example(p).target for p in problems],
+        )
+        models.model.load_params(models.dimperc_params)
+        reasoner = QuantitativeReasoner(
+            kb, models.model, models.tokenizer,
+            ReasoningConfig(steps=10, batch_size=4, augmentation_rate=0.5),
+        )
+        pool = MWPDataset("train", tuple(problems))
+        curve = reasoner.finetune(pool, eval_problems=list(problems[:4]))
+        assert curve.steps  # recorded a final accuracy point
+        prediction = reasoner.solve(problems[0])
+        assert prediction is None or isinstance(prediction, float)
+
+    def test_training_mix_size(self, kb, problems):
+        models = DimPercPipeline(kb, tiny_pipeline_config()).run()
+        reasoner = QuantitativeReasoner(
+            kb, models.model, models.tokenizer,
+            ReasoningConfig(augmentation_rate=1.0),
+        )
+        pool = MWPDataset("train", tuple(problems))
+        examples, mixed = reasoner.build_training_examples(pool)
+        assert len(mixed) == 2 * len(problems)
+        assert len(examples) == len(mixed)

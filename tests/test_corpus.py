@@ -1,0 +1,126 @@
+"""Tests for the corpus generator, masked-slot filter, and Algorithm 1."""
+
+import pytest
+
+from repro.corpus import CorpusGenerator, MaskedSlotModel, SemiAutomatedAnnotator
+from repro.corpus.masked_lm import SlotExample
+from repro.units import default_kb
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+@pytest.fixture(scope="module")
+def generator(kb):
+    return CorpusGenerator(kb, seed=11)
+
+
+class TestCorpusGenerator:
+    def test_deterministic(self, kb):
+        a = CorpusGenerator(kb, seed=4).generate(50)
+        b = CorpusGenerator(kb, seed=4).generate(50)
+        assert [s.text for s in a] == [s.text for s in b]
+
+    def test_quantitative_sentences_carry_gold(self, generator):
+        sentence = generator.quantitative_sentence()
+        assert sentence.is_quantitative
+        for gold in sentence.quantities:
+            assert gold.value_text in sentence.text
+            assert gold.unit_text in sentence.text
+
+    def test_trap_sentences_have_no_gold(self, generator):
+        trap = generator.trap_sentence()
+        assert trap.is_trap
+        assert not trap.is_quantitative
+
+    def test_mixture_fractions(self, kb):
+        corpus = CorpusGenerator(kb, seed=2).generate(
+            400, trap_fraction=0.25, plain_fraction=0.25
+        )
+        traps = sum(1 for s in corpus if s.domain == "trap")
+        plains = sum(1 for s in corpus if s.domain == "plain")
+        assert 0.15 < traps / 400 < 0.35
+        assert 0.15 < plains / 400 < 0.35
+
+    def test_negative_count_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(-1)
+
+    def test_gold_units_exist_in_kb(self, kb, generator):
+        for _ in range(30):
+            sentence = generator.quantitative_sentence()
+            for gold in sentence.quantities:
+                assert gold.unit_id in kb.unit_ids()
+
+
+class TestMaskedSlotModel:
+    def build(self):
+        model = MaskedSlotModel(window=2)
+        examples = [
+            SlotExample("重量是 5 千克", "5", True),
+            SlotExample("高度达到 30 米", "30", True),
+            SlotExample("速度超过 90 km/h", "90", True),
+            SlotExample("电池容量 4000 毫安时", "4000", True),
+            SlotExample("订单号 123456 已发货", "123456", False),
+            SlotExample("工牌编号 8872 失效", "8872", False),
+            SlotExample("设备 LPUI-1T 已登记", "1", False),
+            SlotExample("型号 QRX-2G 正常", "2", False),
+        ]
+        model.train(examples)
+        return model
+
+    def test_positive_context(self):
+        model = self.build()
+        assert model.predicts_quantity("桥的高度达到 55 米", "55")
+
+    def test_negative_context(self):
+        model = self.build()
+        assert not model.predicts_quantity("订单号 777777 已发货", "777777")
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            MaskedSlotModel().predicts_quantity("x", "1")
+
+    def test_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            MaskedSlotModel().train([SlotExample("a 1 b", "1", True)])
+
+    def test_needs_examples(self):
+        with pytest.raises(ValueError):
+            MaskedSlotModel().train([])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MaskedSlotModel(window=0)
+
+
+class TestAlgorithm1:
+    @pytest.fixture(scope="class")
+    def report(self, kb):
+        background = CorpusGenerator(kb, seed=99).generate(400)
+        corpus = CorpusGenerator(kb, seed=3).generate(250)
+        annotator = SemiAutomatedAnnotator(kb)
+        annotator.train_filter(background)
+        return annotator.annotate(corpus)
+
+    def test_filter_improves_precision(self, report):
+        assert report.accuracy_after_filter >= report.accuracy_before_filter
+
+    def test_accuracy_in_paper_ballpark(self, report):
+        # Paper: "Our approach achieves an annotation accuracy of 82%."
+        assert 0.70 <= report.pre_review_accuracy <= 1.0
+
+    def test_filter_reduces_annotations(self, report):
+        assert report.step2_annotations <= report.step1_annotations
+
+    def test_review_outputs_only_correct(self, report):
+        # After oracle review every surviving annotation is gold-consistent.
+        assert report.dataset
+        assert report.reviewed_corrections >= 0
+
+    def test_requires_trained_filter(self, kb):
+        annotator = SemiAutomatedAnnotator(kb)
+        with pytest.raises(RuntimeError):
+            annotator.annotate([])

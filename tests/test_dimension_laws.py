@@ -1,0 +1,91 @@
+"""Tests for the dimension-law helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dimension import (
+    DimensionError,
+    DimensionLawViolation,
+    DimensionVector,
+    are_comparable,
+    dimension_of_expression,
+    require_comparable,
+)
+
+LENGTH = DimensionVector(L=1)
+MASS = DimensionVector(M=1)
+TIME = DimensionVector(T=1)
+FORCE = DimensionVector(L=1, M=1, T=-2)
+ENERGY = DimensionVector(L=2, M=1, T=-2)
+
+
+def vectors():
+    return st.builds(
+        DimensionVector.from_exponent_tuple,
+        st.tuples(*[st.integers(-3, 3) for _ in range(7)]),
+    )
+
+
+class TestComparability:
+    def test_same_dimension_comparable(self):
+        assert are_comparable(LENGTH, LENGTH)
+
+    def test_different_dimension_incomparable(self):
+        assert not are_comparable(LENGTH, MASS)
+
+    def test_require_comparable_passes(self):
+        require_comparable(LENGTH, LENGTH)
+
+    def test_require_comparable_raises_with_context(self):
+        with pytest.raises(DimensionLawViolation) as excinfo:
+            require_comparable(LENGTH, MASS, operation="add")
+        assert "add" in str(excinfo.value)
+        assert excinfo.value.left == LENGTH
+        assert excinfo.value.right == MASS
+
+    @given(vectors())
+    def test_reflexive(self, vec):
+        assert are_comparable(vec, vec)
+
+    @given(vectors(), vectors())
+    def test_symmetric(self, a, b):
+        assert are_comparable(a, b) == are_comparable(b, a)
+
+
+class TestDimensionArithmetic:
+    def test_joule_times_metre_example(self):
+        # Fig. 5 Dimension Arithmetic: "Joule * Meter" has dim L3MT-2.
+        result = dimension_of_expression([ENERGY, LENGTH], ["*"])
+        assert result == DimensionVector(L=3, M=1, T=-2)
+
+    def test_division_chain_left_to_right(self):
+        # L / T / T = LT-2 (acceleration)
+        result = dimension_of_expression([LENGTH, TIME, TIME], ["/", "/"])
+        assert result == DimensionVector(L=1, T=-2)
+
+    def test_unicode_operators(self):
+        assert dimension_of_expression([LENGTH, TIME], ["×"]) == LENGTH * TIME
+        assert dimension_of_expression([LENGTH, TIME], ["÷"]) == LENGTH / TIME
+
+    def test_single_operand(self):
+        assert dimension_of_expression([FORCE], []) == FORCE
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(DimensionError):
+            dimension_of_expression([], [])
+
+    def test_operator_count_mismatch(self):
+        with pytest.raises(DimensionError):
+            dimension_of_expression([LENGTH, TIME], [])
+
+    def test_unknown_operator(self):
+        with pytest.raises(DimensionError):
+            dimension_of_expression([LENGTH, TIME], ["+"])
+
+    @given(st.lists(vectors(), min_size=1, max_size=5), st.data())
+    def test_expression_matches_manual_fold(self, dims, data):
+        ops = [data.draw(st.sampled_from(["*", "/"])) for _ in dims[1:]]
+        expected = dims[0]
+        for op, operand in zip(ops, dims[1:]):
+            expected = expected * operand if op == "*" else expected / operand
+        assert dimension_of_expression(dims, ops) == expected

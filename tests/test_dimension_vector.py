@@ -1,0 +1,234 @@
+"""Unit and property tests for repro.dimension.vector."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dimension import (
+    BASE_ORDER,
+    BASE_QUANTITIES,
+    BASE_UNIT_SYMBOLS,
+    DIMENSIONLESS,
+    DimensionError,
+    DimensionVector,
+)
+
+FORCE = DimensionVector(L=1, M=1, T=-2)
+VELOCITY = DimensionVector(L=1, T=-1)
+ENERGY = DimensionVector(L=2, M=1, T=-2)
+
+
+def exponents():
+    return st.integers(min_value=-4, max_value=4)
+
+
+def vectors():
+    return st.builds(
+        DimensionVector.from_exponent_tuple,
+        st.tuples(*[exponents() for _ in range(7)]),
+    )
+
+
+class TestConstruction:
+    def test_default_is_dimensionless(self):
+        assert DimensionVector().is_dimensionless
+
+    def test_kwargs_constructor(self):
+        assert FORCE.exponent("L") == 1
+        assert FORCE.exponent("M") == 1
+        assert FORCE.exponent("T") == -2
+        assert FORCE.exponent("A") == 0
+
+    def test_mapping_constructor_matches_kwargs(self):
+        assert DimensionVector({"L": 1, "T": -1}) == VELOCITY
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionVector(Q=1)
+
+    def test_fractional_exponent_accepted(self):
+        noise = DimensionVector(T=Fraction(-1, 2))
+        assert noise.exponent("T") == Fraction(-1, 2)
+
+    def test_float_exponent_coerced_when_rational(self):
+        assert DimensionVector(L=2.0) == DimensionVector(L=2)
+
+    def test_from_exponent_tuple_round_trip(self):
+        rebuilt = DimensionVector.from_exponent_tuple(FORCE.physical_exponents)
+        assert rebuilt == FORCE
+
+    def test_from_exponent_tuple_wrong_length(self):
+        with pytest.raises(DimensionError):
+            DimensionVector.from_exponent_tuple([1, 2, 3])
+
+    def test_d_marker_ignored_in_constructor(self):
+        assert DimensionVector(D=1) == DIMENSIONLESS
+
+
+class TestParsing:
+    def test_parse_kb_vector_form(self):
+        parsed = DimensionVector.parse("A0E0L0I0M1H0T-2D0")
+        assert parsed == DimensionVector(M=1, T=-2)
+
+    def test_parse_vector_form_dyne_per_cm_example(self):
+        # The Fig. 2 running example for dyne per centimetre.
+        assert DimensionVector.parse("A0E0L0I0M1H0T-2D0").to_formula() == "MT-2"
+
+    def test_parse_compact_formula(self):
+        assert DimensionVector.parse("LMT-2") == FORCE
+
+    def test_parse_spaced_caret_formula(self):
+        assert DimensionVector.parse("L M T^-2") == FORCE
+
+    def test_parse_unicode_superscripts(self):
+        assert DimensionVector.parse("LMT⁻²") == FORCE
+
+    def test_parse_dot_separated(self):
+        assert DimensionVector.parse("L·M·T^-2") == FORCE
+
+    def test_parse_dimensionless_aliases(self):
+        for text in ("D", "D1", "1", "-", ""):
+            assert DimensionVector.parse(text).is_dimensionless
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionVector.parse("not a dimension")
+
+    def test_parse_duplicate_base_in_vector_form_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionVector.parse("A0A0L1I0M0H0T0D0")
+
+    def test_parse_repeated_base_in_formula_accumulates(self):
+        assert DimensionVector.parse("L L") == DimensionVector(L=2)
+
+    def test_parse_non_string_rejected(self):
+        with pytest.raises(DimensionError):
+            DimensionVector.parse(42)  # type: ignore[arg-type]
+
+    @given(vectors())
+    def test_vector_string_round_trip(self, vec):
+        assert DimensionVector.parse(vec.to_vector_string()) == vec
+
+    @given(vectors())
+    def test_formula_round_trip(self, vec):
+        assert DimensionVector.parse(vec.to_formula()) == vec
+
+
+class TestAlgebra:
+    def test_force_times_length_is_energy(self):
+        length = DimensionVector(L=1)
+        assert FORCE * length == ENERGY
+
+    def test_energy_div_length_is_force(self):
+        assert ENERGY / DimensionVector(L=1) == FORCE
+
+    def test_fig1_unit_trap_algebra(self):
+        # dim(poundal)/dim(dyne per cm) = LMT-2 / MT-2 = L  (feet, not ft^2)
+        poundal = DimensionVector(L=1, M=1, T=-2)
+        dyne_per_cm = DimensionVector(M=1, T=-2)
+        assert poundal / dyne_per_cm == DimensionVector(L=1)
+
+    def test_power(self):
+        assert DimensionVector(L=1) ** 2 == DimensionVector(L=2)
+        assert DimensionVector(L=2) ** Fraction(1, 2) == DimensionVector(L=1)
+
+    def test_inverse(self):
+        assert VELOCITY.inverse() == DimensionVector(L=-1, T=1)
+
+    def test_mul_rejects_non_vector(self):
+        with pytest.raises(TypeError):
+            FORCE * 3  # type: ignore[operator]
+
+    @given(vectors(), vectors())
+    def test_mul_commutative(self, a, b):
+        assert a * b == b * a
+
+    @given(vectors(), vectors(), vectors())
+    def test_mul_associative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(vectors())
+    def test_identity_element(self, a):
+        assert a * DIMENSIONLESS == a
+        assert a / DIMENSIONLESS == a
+
+    @given(vectors())
+    def test_self_division_is_dimensionless(self, a):
+        assert (a / a).is_dimensionless
+
+    @given(vectors(), vectors())
+    def test_division_inverts_multiplication(self, a, b):
+        assert (a * b) / b == a
+
+    @given(vectors(), exponents())
+    def test_power_distributes_over_exponents(self, a, n):
+        expected = DIMENSIONLESS
+        if n >= 0:
+            for _ in range(n):
+                expected = expected * a
+        else:
+            for _ in range(-n):
+                expected = expected / a
+        assert a ** n == expected
+
+
+class TestRendering:
+    def test_vector_string_dimensionless_sets_d1(self):
+        assert DIMENSIONLESS.to_vector_string() == "A0E0L0I0M0H0T0D1"
+
+    def test_vector_string_force(self):
+        assert FORCE.to_vector_string() == "A0E0L1I0M1H0T-2D0"
+
+    def test_formula_orders_like_paper(self):
+        # dim(q) = L M H E T A I ordering
+        mixed = DimensionVector(T=-1, L=2, M=1)
+        assert mixed.to_formula() == "L2MT-1"
+
+    def test_formula_dimensionless(self):
+        assert DIMENSIONLESS.to_formula() == "D"
+
+    def test_si_expression_energy(self):
+        assert ENERGY.to_si_expression() == "m2*kg/s2"
+
+    def test_si_expression_pure_inverse(self):
+        assert DimensionVector(T=-1).to_si_expression() == "1/s"
+
+    def test_si_expression_dimensionless(self):
+        assert DIMENSIONLESS.to_si_expression() == "1"
+
+    def test_repr_and_str(self):
+        assert "LMT-2" in repr(FORCE)
+        assert str(FORCE) == "LMT-2"
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        assert DimensionVector(L=1) == DimensionVector(L=1)
+        assert hash(DimensionVector(L=1)) == hash(DimensionVector(L=1))
+        assert DimensionVector(L=1) != DimensionVector(M=1)
+
+    def test_equality_against_other_types(self):
+        assert FORCE != "LMT-2"
+
+    @given(vectors())
+    def test_hash_consistency(self, a):
+        assert hash(a) == hash(DimensionVector.from_exponent_tuple(a.physical_exponents))
+
+    def test_usable_as_dict_key(self):
+        index = {FORCE: "force", ENERGY: "energy"}
+        assert index[DimensionVector(L=1, M=1, T=-2)] == "force"
+
+
+class TestTableIIIMetadata:
+    def test_eight_bases(self):
+        assert len(BASE_ORDER) == 8
+        assert BASE_ORDER == ("A", "E", "L", "I", "M", "H", "T", "D")
+
+    def test_fundamental_quantities(self):
+        assert BASE_QUANTITIES["L"] == "Length"
+        assert BASE_QUANTITIES["H"] == "Thermodynamic Temperature"
+
+    def test_basic_unit_symbols(self):
+        assert BASE_UNIT_SYMBOLS["M"] == "kg"
+        assert BASE_UNIT_SYMBOLS["D"] == "-"

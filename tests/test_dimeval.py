@@ -1,0 +1,230 @@
+"""Tests for DimEval generators, metrics, and the evaluation loop."""
+
+import pytest
+
+from repro.dimension import DimensionVector, dimension_of_expression
+from repro.dimeval import (
+    CATEGORY_OF_TASK,
+    DimEvalBenchmark,
+    Task,
+    TASKS,
+    evaluate_model,
+    parse_choice,
+    parse_extraction,
+    score_extraction,
+    score_mcq,
+)
+from repro.dimeval.evaluate import evaluate_task
+from repro.units import default_kb
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+@pytest.fixture(scope="module")
+def split(kb):
+    return DimEvalBenchmark(kb, seed=5, train_per_task=0,
+                            eval_per_task=12).eval_split()
+
+
+class TestTaxonomy:
+    def test_seven_tasks(self):
+        assert len(TASKS) == 7
+
+    def test_three_categories(self):
+        assert len(set(CATEGORY_OF_TASK.values())) == 3
+        assert CATEGORY_OF_TASK[Task.UNIT_CONVERSION] == "Scale Perception"
+        assert CATEGORY_OF_TASK[Task.COMPARABLE_ANALYSIS] == "Dimension Perception"
+        assert CATEGORY_OF_TASK[Task.QUANTITY_EXTRACTION] == "Basic Perception"
+
+
+class TestGeneratedExamples:
+    def test_all_tasks_present(self, split):
+        assert set(split.examples) == set(TASKS)
+        assert len(split) == 12 * 7
+
+    def test_mcq_well_formed(self, kb, split):
+        for task, examples in split.examples.items():
+            if task is Task.QUANTITY_EXTRACTION:
+                continue
+            for example in examples:
+                assert len(example.options) == 4
+                assert 0 <= example.answer_index < 4
+                assert example.answer_letter in {"(A)", "(B)", "(C)", "(D)"}
+                assert "<sep>" in example.training_target
+                assert example.prompt.startswith(f"task: {task.value}")
+
+    def test_quantitykind_match_correctness(self, kb, split):
+        for example in split.task_examples(Task.QUANTITYKIND_MATCH):
+            units = [kb.get(uid) for uid in example.payload["option_units"]]
+            kind = example.payload["kind"]
+            matching = [u for u in units if u.quantity_kind == kind]
+            assert len(matching) == 1
+            assert units.index(matching[0]) == example.answer_index
+
+    def test_comparable_correctness(self, kb, split):
+        for example in split.task_examples(Task.COMPARABLE_ANALYSIS):
+            query = kb.get(example.payload["query_unit"])
+            units = [kb.get(uid) for uid in example.payload["option_units"]]
+            same_dim = [u for u in units if u.dimension == query.dimension]
+            assert len(same_dim) == 1
+            assert units.index(same_dim[0]) == example.answer_index
+
+    def test_dimension_prediction_correctness(self, kb, split):
+        for example in split.task_examples(Task.DIMENSION_PREDICTION):
+            gold_unit = kb.get(example.payload["gold_unit"])
+            gold_formula = gold_unit.dimension.to_formula() or "D"
+            option_dims = example.payload["option_dims"]
+            assert option_dims[example.answer_index] == gold_formula
+            assert "[MASK]" in example.question
+
+    def test_dimension_arithmetic_correctness(self, kb, split):
+        for example in split.task_examples(Task.DIMENSION_ARITHMETIC):
+            dims = [kb.get(uid).dimension for uid in example.payload["expr_units"]]
+            result = dimension_of_expression(dims, list(example.payload["ops"]))
+            options = [kb.get(uid) for uid in example.payload["option_units"]]
+            winners = [u for u in options if u.dimension == result]
+            assert len(winners) == 1
+            assert options.index(winners[0]) == example.answer_index
+
+    def test_magnitude_comparison_correctness(self, kb, split):
+        for example in split.task_examples(Task.MAGNITUDE_COMPARISON):
+            units = [kb.get(uid) for uid in example.payload["option_units"]]
+            dims = {unit.dimension for unit in units}
+            assert len(dims) == 1  # all comparable
+            largest = max(units, key=lambda u: u.conversion_value)
+            assert units.index(largest) == example.answer_index
+
+    def test_unit_conversion_correctness(self, kb, split):
+        for example in split.task_examples(Task.UNIT_CONVERSION):
+            source = kb.get(example.payload["source_unit"])
+            target = kb.get(example.payload["target_unit"])
+            expected = source.conversion_value / target.conversion_value
+            chosen = float(example.options[example.answer_index])
+            assert chosen == pytest.approx(expected, rel=1e-6)
+
+    def test_extraction_serialisation_matches_gold(self, split):
+        for example in split.task_examples(Task.QUANTITY_EXTRACTION):
+            parsed = parse_extraction(example.payload["target_serialisation"])
+            assert parsed == [tuple(pair) for pair in example.payload["gold"]]
+
+    def test_extraction_whole_value_mode(self, kb):
+        bench = DimEvalBenchmark(kb, seed=4, eval_per_task=6,
+                                 extraction_whole_values=True)
+        for example in bench.eval_split().task_examples(Task.QUANTITY_EXTRACTION):
+            for value_text, unit_id in example.payload["gold"]:
+                # single-token pooled values, present verbatim in the prompt
+                assert value_text in example.prompt.split()
+                assert float(value_text) == int(float(value_text))
+            parsed = parse_extraction(example.payload["target_serialisation"])
+            assert parsed == [tuple(p) for p in example.payload["gold"]]
+
+    def test_deterministic_generation(self, kb):
+        a = DimEvalBenchmark(kb, seed=9, eval_per_task=4).eval_split()
+        b = DimEvalBenchmark(kb, seed=9, eval_per_task=4).eval_split()
+        assert [e.prompt for e in a.all_examples()] == [
+            e.prompt for e in b.all_examples()
+        ]
+
+    def test_train_eval_streams_differ(self, kb):
+        bench = DimEvalBenchmark(kb, seed=9, train_per_task=4, eval_per_task=4)
+        train = bench.train_split().all_examples()
+        evaluation = bench.eval_split().all_examples()
+        assert [e.prompt for e in train] != [e.prompt for e in evaluation]
+
+
+class TestParsing:
+    def test_parse_choice_after_sep(self):
+        assert parse_choice("dim stuff <sep> (B)") == 1
+
+    def test_parse_choice_last_letter_wins(self):
+        assert parse_choice("(A) no wait (C)") == 2
+
+    def test_parse_choice_abstain(self):
+        assert parse_choice("I am not sure") is None
+        assert parse_choice("") is None
+
+    def test_parse_extraction_round_trip(self):
+        text = "4 5 0 | U:KiloGM ; 2 . 0 6 | U:M"
+        assert parse_extraction(text) == [("450", "KiloGM"), ("2.06", "M")]
+
+    def test_parse_extraction_tolerates_junk(self):
+        assert parse_extraction("") == []
+        assert parse_extraction("nothing here") == [("nothinghere", "")]
+
+
+class TestScoring:
+    def test_mcq_precision_ignores_abstentions(self):
+        score = score_mcq([0, None, 1, None], [0, 0, 0, 0])
+        assert score.answered == 2
+        assert score.precision == 0.5
+        assert score.recall == 0.25
+
+    def test_mcq_f1(self):
+        score = score_mcq([0, 0], [0, 1])
+        assert score.f1 == pytest.approx(0.5)
+
+    def test_mcq_empty_answers(self):
+        score = score_mcq([None, None], [0, 1])
+        assert score.precision == 0.0
+        assert score.f1 == 0.0
+
+    def test_mcq_length_mismatch(self):
+        with pytest.raises(ValueError):
+            score_mcq([0], [0, 1])
+
+    def test_extraction_perfect(self):
+        gold = [[("1", "M"), ("2", "SEC")]]
+        score = score_extraction(gold, gold)
+        assert score.qe_f1 == 1.0
+        assert score.ve_f1 == 1.0
+        assert score.ue_f1 == 1.0
+
+    def test_extraction_unit_errors_only_hit_ue_and_qe(self):
+        gold = [[("1", "M")]]
+        predicted = [[("1", "SEC")]]
+        score = score_extraction(predicted, gold)
+        assert score.ve_f1 == 1.0
+        assert score.ue_f1 == 0.0
+        assert score.qe_f1 == 0.0
+
+    def test_extraction_empty_prediction(self):
+        score = score_extraction([[]], [[("1", "M")]])
+        assert score.qe_f1 == 0.0
+
+
+class PerfectOracle:
+    """Answers every example from its payload -- used to test the loop."""
+
+    name = "oracle"
+
+    def answer_example(self, example):
+        return example.answer_index
+
+    def extract_example(self, example):
+        return [tuple(pair) for pair in example.payload["gold"]]
+
+
+class TestEvaluationLoop:
+    def test_oracle_scores_perfectly(self, split):
+        results = evaluate_model(PerfectOracle(), split)
+        for task, result in results.items():
+            if task is Task.QUANTITY_EXTRACTION:
+                assert result.extraction.qe_f1 == 1.0
+            else:
+                assert result.precision == 1.0
+                assert result.f1 == 1.0
+
+    def test_empty_examples_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_task(PerfectOracle(), [])
+
+    def test_mixed_tasks_rejected(self, split):
+        mixed = [
+            split.task_examples(Task.UNIT_CONVERSION)[0],
+            split.task_examples(Task.COMPARABLE_ANALYSIS)[0],
+        ]
+        with pytest.raises(ValueError):
+            evaluate_task(PerfectOracle(), mixed)

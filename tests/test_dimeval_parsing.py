@@ -1,0 +1,42 @@
+"""Extra tests for answer parsing: content tokens, letters, abstention."""
+
+import pytest
+
+from repro.dimeval.metrics import parse_choice, parse_option_token
+
+OPTIONS = ("U:M", "U:SEC", "U:KiloGM", "U:HZ")
+
+
+class TestParseOptionToken:
+    def test_exact_token_after_sep(self):
+        assert parse_option_token("dim stuff <sep> U:SEC", OPTIONS) == 1
+
+    def test_token_with_whitespace(self):
+        assert parse_option_token("r <sep>   U:HZ  ", OPTIONS) == 3
+
+    def test_unknown_token_falls_back_to_letter(self):
+        assert parse_option_token("reason <sep> (C)", OPTIONS) == 2
+
+    def test_unknown_token_without_letter_abstains(self):
+        assert parse_option_token("reason <sep> U:WAT", OPTIONS) is None
+
+    def test_empty_output_abstains(self):
+        assert parse_option_token("", OPTIONS) is None
+
+    def test_no_sep_whole_output_matched(self):
+        assert parse_option_token("U:M", OPTIONS) == 0
+
+    def test_multi_token_tail_abstains(self):
+        # A rambling tail that merely mentions an option is not an answer.
+        assert parse_option_token("x <sep> maybe U:M or U:SEC", OPTIONS) is None
+
+
+class TestParseChoiceEdgeCases:
+    def test_letter_inside_reasoning_ignored_when_sep_present(self):
+        assert parse_choice("(A) looks right <sep> (B)") == 1
+
+    def test_lowercase_not_matched(self):
+        assert parse_choice("(a)") is None
+
+    def test_out_of_range_letter(self):
+        assert parse_choice("(E)") is None

@@ -1,0 +1,129 @@
+"""Tests for lightweight KB expansion (the paper's future-work feature)."""
+
+import pytest
+
+from repro.core.expansion import (
+    ExpansionError,
+    KnowledgeAugmentedLM,
+    extend_kb,
+    knowledge_block,
+)
+from repro.dimension import DimensionVector
+from repro.units import default_kb
+from repro.units.schema import KindSeed, UnitSeed
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+NEW_UNIT = UnitSeed(
+    uid="SMOOT", en="Smoot", zh="斯穆特", symbol="smoot",
+    aliases=("smoots",),
+    keywords=("length", "bridge", "mit"),
+    description="Humorous length unit; about 1.7018 m.",
+    kind="Length", factor=1.7018, popularity=0.05, system="Historic",
+)
+
+NEW_KIND = KindSeed(
+    "JerkMagnitude", "LT-3", "m/s3", "Rate of change of acceleration.",
+)
+
+NEW_KIND_UNIT = UnitSeed(
+    uid="M-PER-SEC3", en="Metre per Second Cubed", zh="米每三次方秒",
+    symbol="m/s^3", kind="JerkMagnitude", factor=1.0, popularity=0.02,
+)
+
+
+class TestExtendKB:
+    def test_adds_unit_with_existing_kind(self, kb):
+        extended = extend_kb(kb, [NEW_UNIT])
+        assert "SMOOT" in extended
+        record = extended.get("SMOOT")
+        assert record.dimension == DimensionVector(L=1)
+        assert len(extended) == len(kb) + 1
+
+    def test_original_kb_untouched(self, kb):
+        extend_kb(kb, [NEW_UNIT])
+        assert "SMOOT" not in kb
+
+    def test_existing_frequencies_preserved(self, kb):
+        extended = extend_kb(kb, [NEW_UNIT])
+        assert extended.get("M").frequency == kb.get("M").frequency
+
+    def test_new_unit_frequency_in_range(self, kb):
+        extended = extend_kb(kb, [NEW_UNIT])
+        assert 0.1 <= extended.get("SMOOT").frequency <= 1.0
+
+    def test_adds_new_kind(self, kb):
+        extended = extend_kb(kb, [NEW_KIND_UNIT], [NEW_KIND])
+        assert extended.kind("JerkMagnitude").dimension == DimensionVector(L=1, T=-3)
+        assert extended.get("M-PER-SEC3").quantity_kind == "JerkMagnitude"
+
+    def test_new_unit_is_linkable_and_convertible(self, kb):
+        from repro.linking import UnitLinker
+        from repro.units import conversion_factor
+        extended = extend_kb(kb, [NEW_UNIT])
+        linker = UnitLinker(extended)
+        assert linker.link_best("smoot").unit_id == "SMOOT"
+        beta = conversion_factor(extended.get("SMOOT"), extended.get("M"))
+        assert beta == pytest.approx(1.7018)
+
+    def test_duplicate_unit_rejected(self, kb):
+        with pytest.raises(ExpansionError):
+            extend_kb(kb, [UnitSeed(uid="M", en="Metre", symbol="m",
+                                    kind="Length", factor=1.0)])
+
+    def test_duplicate_kind_rejected(self, kb):
+        with pytest.raises(ExpansionError):
+            extend_kb(kb, [], [KindSeed("Length", "L", "m")])
+
+    def test_unknown_kind_rejected(self, kb):
+        bad = UnitSeed(uid="XX", en="X", symbol="x",
+                       kind="NoSuchKind", factor=1.0)
+        with pytest.raises(ExpansionError):
+            extend_kb(kb, [bad])
+
+
+class TestKnowledgeBlock:
+    def test_renders_training_idiom(self, kb):
+        block = knowledge_block(kb, ["KiloM"])
+        assert "U:KiloM is K:Length" in block
+        assert "dim U:KiloM = L" in block
+        assert "scale U:KiloM = S:3" in block
+
+    def test_extended_unit_renders(self, kb):
+        extended = extend_kb(kb, [NEW_UNIT])
+        block = knowledge_block(extended, ["SMOOT"])
+        assert "U:SMOOT is K:Length" in block
+
+
+class _EchoLM:
+    name = "echo"
+
+    def __init__(self):
+        self.last_prompt = ""
+
+    def generate(self, prompt: str) -> str:
+        self.last_prompt = prompt
+        return "ok <sep> (A)"
+
+
+class TestKnowledgeAugmentedLM:
+    def test_prompt_gets_facts_prefix(self, kb):
+        echo = _EchoLM()
+        wrapper = KnowledgeAugmentedLM(echo, kb)
+        wrapper.generate("task: comparable_analysis unit: U:KiloM options: "
+                         "(A) U:MI (B) U:SEC (C) U:KiloGM (D) U:HZ")
+        assert echo.last_prompt.startswith("facts:")
+        assert "dim U:MI = L" in echo.last_prompt
+
+    def test_unknown_units_skipped(self, kb):
+        echo = _EchoLM()
+        wrapper = KnowledgeAugmentedLM(echo, kb)
+        wrapper.generate("task: x options: (A) U:NOT-REAL")
+        assert echo.last_prompt == "task: x options: (A) U:NOT-REAL"
+
+    def test_name_extended(self, kb):
+        assert "DimKS retrieval" in KnowledgeAugmentedLM(_EchoLM(), kb).name

@@ -1,0 +1,78 @@
+"""Smoke tests for the heavy experiments at a micro training budget.
+
+These verify wiring (data flow, row structure, checkpoint switching) in
+seconds; result *quality* is the benchmarks' job.
+"""
+
+import pytest
+
+import repro.experiments.context as context_module
+from repro.experiments import fig6, fig7, table7, table8, table9
+from repro.experiments.context import ScaleProfile
+
+
+MICRO = ScaleProfile(
+    train_per_task=8, eval_per_task=5, instruction_examples=30,
+    instruction_steps=6, dimeval_steps=10, pool_size=60,
+    d_model=32, d_ff=64, batch_size=8,
+    mwp_train_count=12, mwp_eval_count=6, mwp_steps=8,
+    curve_steps=6, curve_checkpoints=2,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def micro_profile():
+    original_quick = context_module.QUICK
+    original_cache = dict(context_module._CACHE)
+    context_module.QUICK = MICRO
+    context_module._CACHE.clear()
+    yield
+    context_module.QUICK = original_quick
+    context_module._CACHE.clear()
+    context_module._CACHE.update(original_cache)
+
+
+class TestHeavyExperimentWiring:
+    def test_table7_rows(self):
+        result = table7.run(quick=True, seed=1)
+        names = [row[0] for row in result.rows]
+        assert "DimPerc (ours, trained)" in names
+        assert len(result.rows) == 13  # 2 tool + 10 baselines + DimPerc
+        # every MCQ cell within [0, 100]
+        for row in result.rows:
+            for cell in row[5:]:
+                assert 0.0 <= cell <= 100.0
+
+    def test_table8_rows(self):
+        result = table8.run(quick=True, seed=1)
+        assert [row[0] for row in result.rows] == ["LLaMaIFT", "DimPerc"]
+
+    def test_table9_rows(self):
+        result = table9.run(quick=True, seed=1)
+        assert len(result.rows) == 7
+        for row in result.rows:
+            for cell in row[1:]:
+                assert 0.0 <= cell <= 100.0
+
+    def test_fig6_series(self):
+        result = fig6.run(quick=True, seed=1)
+        assert [row[0] for row in result.rows] == [0.1, 0.5, 2.0]
+        # one accuracy column per checkpoint
+        assert all(len(row) == 1 + MICRO.curve_checkpoints
+                   for row in result.rows)
+
+    def test_fig7_series(self):
+        result = fig7.run(quick=True, seed=1)
+        assert len(result.rows) == 4
+
+    def test_context_cache_reused(self):
+        first = context_module.get_context(quick=True, seed=1)
+        second = context_module.get_context(quick=True, seed=1)
+        assert first is second
+
+    def test_et_context_distinct(self):
+        plain = context_module.get_context(quick=True, seed=1)
+        et = context_module.get_context(quick=True, seed=1,
+                                        digit_tokenization=True)
+        assert plain is not et
+        assert et.models.tokenizer.digit_tokenization

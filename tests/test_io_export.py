@@ -1,0 +1,152 @@
+"""Tests for KB JSON serialization, DimEval JSONL export, CLI, charts."""
+
+import json
+
+import pytest
+
+from repro.dimeval import DimEvalBenchmark, Task
+from repro.dimeval.export import (
+    DatasetExportError,
+    example_from_dict,
+    example_to_dict,
+    load_examples,
+    save_examples,
+)
+from repro.experiments.reporting import format_bar_chart, format_series_chart
+from repro.units import default_kb
+from repro.units.cli import main as kb_cli
+from repro.units.io import (
+    KBSerializationError,
+    kb_from_dict,
+    kb_to_dict,
+    load_kb,
+    save_kb,
+    unit_from_dict,
+    unit_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+class TestKBSerialization:
+    def test_unit_round_trip(self, kb):
+        record = kb.get("DYN-PER-CentiM")
+        rebuilt = unit_from_dict(unit_to_dict(record))
+        assert rebuilt.unit_id == record.unit_id
+        assert rebuilt.dimension == record.dimension
+        assert rebuilt.conversion_value == record.conversion_value
+
+    def test_full_kb_round_trip(self, kb, tmp_path):
+        path = tmp_path / "kb.json"
+        save_kb(kb, path)
+        loaded = load_kb(path)
+        assert len(loaded) == len(kb)
+        assert set(loaded.kind_names()) == set(kb.kind_names())
+        metre = loaded.get("M")
+        assert metre.label_zh == "米"
+        assert metre.frequency == pytest.approx(kb.get("M").frequency)
+
+    def test_schema_version_checked(self, kb):
+        payload = kb_to_dict(kb)
+        payload["schema_version"] = 999
+        with pytest.raises(KBSerializationError):
+            kb_from_dict(payload)
+
+    def test_malformed_unit_rejected(self):
+        with pytest.raises(KBSerializationError):
+            unit_from_dict({"UnitID": "X"})
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(KBSerializationError):
+            load_kb(path)
+
+
+class TestDimEvalExport:
+    @pytest.fixture(scope="class")
+    def examples(self, kb):
+        split = DimEvalBenchmark(kb, seed=3, eval_per_task=3).eval_split()
+        return split.all_examples()
+
+    def test_round_trip(self, examples, tmp_path):
+        path = tmp_path / "dimeval.jsonl"
+        written = save_examples(examples, path)
+        assert written == len(examples)
+        loaded = load_examples(path)
+        assert len(loaded) == len(examples)
+        for original, restored in zip(examples, loaded):
+            assert restored.task is original.task
+            assert restored.prompt == original.prompt
+            assert restored.answer_index == original.answer_index
+            assert restored.training_target == original.training_target
+
+    def test_payload_tuples_restored(self, examples, tmp_path):
+        mcq = next(e for e in examples if e.task is Task.COMPARABLE_ANALYSIS)
+        restored = example_from_dict(example_to_dict(mcq))
+        assert isinstance(restored.payload["option_units"], tuple)
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{broken\n", encoding="utf-8")
+        with pytest.raises(DatasetExportError):
+            load_examples(path)
+
+    def test_blank_lines_skipped(self, examples, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        body = json.dumps(example_to_dict(examples[0]), ensure_ascii=False)
+        path.write_text(f"\n{body}\n\n", encoding="utf-8")
+        assert len(load_examples(path)) == 1
+
+
+class TestKBCli:
+    def test_stats(self, capsys):
+        assert kb_cli(["stats"]) == 0
+        assert "units:" in capsys.readouterr().out
+
+    def test_lookup(self, capsys):
+        assert kb_cli(["lookup", "km/h"]) == 0
+        assert "KiloM-PER-HR" in capsys.readouterr().out
+
+    def test_convert(self, capsys):
+        assert kb_cli(["convert", "2.06", "m", "cm"]) == 0
+        assert "206" in capsys.readouterr().out
+
+    def test_link(self, capsys):
+        assert kb_cli(["link", "dyne/cm", "--context", "spring"]) == 0
+        assert "DYN-PER-CentiM" in capsys.readouterr().out
+
+    def test_export(self, tmp_path, capsys):
+        path = tmp_path / "kb.json"
+        assert kb_cli(["export", str(path)]) == 0
+        assert path.exists()
+
+    def test_lookup_miss(self, capsys):
+        assert kb_cli(["lookup", "zzzzqqqqxxxx"]) == 1
+
+
+class TestCharts:
+    def test_bar_chart(self):
+        chart = format_bar_chart(["a", "bb"], [10.0, 5.0])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_bar_chart_mismatch(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_series_chart(self):
+        chart = format_series_chart(
+            [100, 200, 300],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+        )
+        assert "legend" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_empty_charts(self):
+        assert format_bar_chart([], []) == "(empty chart)"
+        assert format_series_chart([], {}) == "(empty chart)"

@@ -1,0 +1,120 @@
+"""Tests for the triple store, KG synthesis, and Algorithm 2."""
+
+import pytest
+
+from repro.kg import BootstrapRetriever, Triple, TripleStore, synthesize_kg
+from repro.units import default_kb
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+@pytest.fixture(scope="module")
+def store(kb):
+    return synthesize_kg(kb, seed=7)
+
+
+class TestTripleStore:
+    def test_add_and_len(self):
+        ts = TripleStore()
+        ts.add(Triple("a", "height", "2 m"))
+        assert len(ts) == 1
+
+    def test_find_by_predicate(self):
+        ts = TripleStore([
+            Triple("a", "height", "2 m"),
+            Triple("b", "height", "3 m"),
+            Triple("a", "capital", "X"),
+        ])
+        assert len(ts.find_by_predicate("height")) == 2
+        assert ts.find_by_predicate("missing") == ()
+
+    def test_find_by_object_mention(self):
+        ts = TripleStore([Triple("a", "height", "2.06 meters")])
+        assert ts.find_by_object_mention("meters")
+        assert ts.find_by_object_mention("METERS")  # case-insensitive
+        assert ts.find_by_object_mention("feet") == ()
+        assert ts.find_by_object_mention("") == ()
+
+    def test_find_by_subject(self):
+        ts = TripleStore([Triple("LeBron", "height", "2.06 m")])
+        assert ts.find_by_subject("LeBron")[0].object == "2.06 m"
+
+    def test_tail_entities(self):
+        ts = TripleStore([Triple("a", "p", "obj1"), Triple("b", "q", "obj2")])
+        assert ts.tail_entities() == ("obj1", "obj2")
+
+    def test_iteration_and_str(self):
+        triple = Triple("s", "p", "o")
+        assert list(TripleStore([triple])) == [triple]
+        assert str(triple) == "<s, p, o>"
+
+
+class TestSynthesis:
+    def test_deterministic(self, kb):
+        a = synthesize_kg(kb, seed=5)
+        b = synthesize_kg(kb, seed=5)
+        assert [str(t) for t in a] == [str(t) for t in b]
+
+    def test_seed_changes_content(self, kb):
+        a = synthesize_kg(kb, seed=5)
+        b = synthesize_kg(kb, seed=6)
+        assert [str(t) for t in a] != [str(t) for t in b]
+
+    def test_has_quantity_and_distractor_predicates(self, store):
+        predicates = set(store.predicates())
+        assert "身高" in predicates
+        assert "年发电量" in predicates
+        assert "型号" in predicates          # Algorithm 1's trap source
+        assert "国籍" in predicates
+
+    def test_triples_per_predicate(self, kb):
+        ts = synthesize_kg(kb, seed=1, triples_per_predicate=4)
+        for predicate in ts.predicates():
+            assert len(ts.find_by_predicate(predicate)) == 4
+
+
+class TestBootstrap:
+    def test_recovers_quantity_predicates(self, kb, store):
+        result = BootstrapRetriever(kb).run(store)
+        expected = {"身高", "体重", "面积", "长度", "流量", "电池容量",
+                    "最高时速", "年发电量", "高度", "密度"}
+        assert expected <= result.predicates
+
+    def test_drops_pure_text_predicates(self, kb, store):
+        result = BootstrapRetriever(kb).run(store)
+        for predicate in ("国籍", "职业", "颜色", "品牌", "用途", "发源地"):
+            assert predicate not in result.predicates
+
+    def test_triples_come_from_kept_predicates(self, kb, store):
+        result = BootstrapRetriever(kb).run(store)
+        assert result.triples
+        assert {t.predicate for t in result.triples} == set(result.predicates)
+
+    def test_history_tracks_iterations(self, kb, store):
+        result = BootstrapRetriever(kb, iterations=3).run(store)
+        assert len(result.predicate_history) <= 3
+
+    def test_threshold_one_is_strictest(self, kb, store):
+        loose = BootstrapRetriever(kb, threshold=0.3).run(store)
+        strict = BootstrapRetriever(kb, threshold=1.0).run(store)
+        assert strict.predicates <= loose.predicates
+
+    def test_quantity_ratio(self, kb):
+        retriever = BootstrapRetriever(kb)
+        quantitative = (
+            Triple("a", "p", "2.06米"),
+            Triple("b", "p", "188 cm"),
+        )
+        textual = (Triple("a", "q", "中国"),)
+        assert retriever.quantity_ratio(quantitative) == 1.0
+        assert retriever.quantity_ratio(textual) == 0.0
+        assert retriever.quantity_ratio(()) == 0.0
+
+    def test_invalid_params(self, kb):
+        with pytest.raises(ValueError):
+            BootstrapRetriever(kb, threshold=0.0)
+        with pytest.raises(ValueError):
+            BootstrapRetriever(kb, iterations=0)

@@ -1,0 +1,205 @@
+"""Tests for Levenshtein similarity, embeddings, and the unit linker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.linking import (
+    HashedEmbeddings,
+    SkipGramEmbeddings,
+    UnitLinker,
+    cosine_similarity,
+    levenshtein_distance,
+    mention_similarity,
+)
+from repro.units import default_kb
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+@pytest.fixture(scope="module")
+def linker(kb):
+    return UnitLinker(kb)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("metre", "metre") == 0
+
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("meter", "metre") == 2
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=60)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=60)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+
+class TestMentionSimilarity:
+    def test_exact_match_is_one(self):
+        assert mention_similarity("km/h", "km/h") == 1.0
+
+    def test_case_insensitive(self):
+        assert mention_similarity("KM/H", "km/h") == 1.0
+
+    def test_empty_is_zero(self):
+        assert mention_similarity("", "metre") == 0.0
+        assert mention_similarity("metre", "") == 0.0
+
+    def test_range(self):
+        value = mention_similarity("meters", "metre")
+        assert 0.0 < value < 1.0
+
+
+class TestHashedEmbeddings:
+    def test_deterministic(self):
+        emb = HashedEmbeddings()
+        assert np.allclose(emb.vector("speed"), emb.vector("speed"))
+
+    def test_unit_norm(self):
+        emb = HashedEmbeddings()
+        assert np.linalg.norm(emb.vector("velocity")) == pytest.approx(1.0)
+
+    def test_shared_substring_correlates(self):
+        emb = HashedEmbeddings()
+        related = cosine_similarity(emb.vector("metre"), emb.vector("metres"))
+        unrelated = cosine_similarity(emb.vector("metre"), emb.vector("voltage"))
+        assert related > unrelated
+
+    def test_cjk_substring_correlates(self):
+        emb = HashedEmbeddings()
+        related = cosine_similarity(emb.vector("速"), emb.vector("速度"))
+        unrelated = cosine_similarity(emb.vector("速"), emb.vector("重量"))
+        assert related > unrelated
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HashedEmbeddings(dimension=0)
+        with pytest.raises(ValueError):
+            HashedEmbeddings(ngram_range=(3, 1))
+
+
+class TestCosine:
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_parallel(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, 2 * v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+
+class TestSkipGram:
+    def make_corpus(self):
+        # Two topical clusters: length-talk and mass-talk.
+        return [
+            ["the", "road", "is", "five", "km", "long"],
+            ["the", "bridge", "is", "two", "km", "long"],
+            ["the", "rope", "is", "three", "metres", "long"],
+            ["the", "bag", "weighs", "two", "kg", "heavy"],
+            ["the", "box", "weighs", "five", "kg", "heavy"],
+            ["the", "crate", "weighs", "nine", "tonnes", "heavy"],
+        ] * 20
+
+    def test_training_reduces_loss(self):
+        model = SkipGramEmbeddings(dimension=16, seed=7)
+        first = model.train(self.make_corpus(), epochs=1)
+        final = model.train(self.make_corpus(), epochs=5)
+        assert final < first
+
+    def test_topical_similarity(self):
+        model = SkipGramEmbeddings(dimension=16, seed=7)
+        model.train(self.make_corpus(), epochs=8)
+        km_long = cosine_similarity(model.vector("km"), model.vector("long"))
+        km_heavy = cosine_similarity(model.vector("km"), model.vector("heavy"))
+        assert km_long > km_heavy
+
+    def test_oov_falls_back_to_hash(self):
+        model = SkipGramEmbeddings(dimension=16)
+        model.train([["a", "b"]], epochs=1)
+        vec = model.vector("never-seen-token")
+        assert vec.shape == (16,)
+        assert np.linalg.norm(vec) > 0
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            SkipGramEmbeddings().train([], epochs=1)
+
+
+class TestUnitLinker:
+    def test_exact_symbol(self, linker):
+        assert linker.link_best("km").unit_id == "KiloM"
+
+    def test_exact_chinese(self, linker):
+        assert linker.link_best("千克").unit_id == "KiloGM"
+
+    def test_fig1_dyne_per_cm(self, linker):
+        best = linker.link_best(
+            "dyne/cm", "The stiffness of a spring is 3000 dyne/cm"
+        )
+        assert best.unit_id == "DYN-PER-CentiM"
+
+    def test_typo_tolerated(self, linker):
+        assert linker.link_best("kilometre").unit_id == "KiloM"
+        assert linker.link_best("kilomete").unit_id == "KiloM"
+
+    def test_context_disambiguates_degree(self, linker):
+        warm = linker.link(
+            "degree", "the temperature outside is thirty degree in summer"
+        )
+        assert warm[0].unit.unit_id in {"DEG-C", "DEG-F"}
+        optics = linker.link(
+            "degree", "the optometrist measured eyeglasses lens power degree"
+        )
+        optic_ids = [c.unit.unit_id for c in optics[:4]]
+        assert "DIOPTER" in optic_ids
+
+    def test_no_candidates_for_garbage(self, linker):
+        assert linker.link_best("zzzzqqqq") is None
+        assert linker.link_best("") is None
+
+    def test_candidates_sorted_by_similarity(self, linker):
+        ranked = linker.candidates("metre")
+        sims = [sim for _, sim in ranked]
+        assert sims == sorted(sims, reverse=True)
+        assert ranked[0][0].unit_id == "M"
+
+    def test_link_scores_sorted(self, linker):
+        ranked = linker.link("m", "the pole is two m tall")
+        scores = [c.score for c in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_is_product_of_components(self, linker):
+        for candidate in linker.link("km/h", "driving speed")[:5]:
+            assert candidate.score == pytest.approx(
+                candidate.prior * candidate.mention_prob * candidate.context_prob
+            )
+
+    def test_invalid_thresholds(self, kb):
+        with pytest.raises(ValueError):
+            UnitLinker(kb, similarity_threshold=1.5)
+        with pytest.raises(ValueError):
+            UnitLinker(kb, mention_sharpness=0.0)
+
+    def test_context_probability_floor(self, linker, kb):
+        assert linker.context_probability("", kb.get("M")) > 0.0

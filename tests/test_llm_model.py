@@ -1,0 +1,119 @@
+"""Tests for the numpy transformer: shapes, gradcheck, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.llm import TransformerConfig, TransformerModel
+
+
+def tiny_model(**overrides):
+    config = dict(vocab_size=11, d_model=8, n_layers=2, n_heads=2,
+                  d_ff=16, max_len=12, seed=3)
+    config.update(overrides)
+    return TransformerModel(TransformerConfig(**config))
+
+
+class TestConfig:
+    def test_head_divisibility(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(vocab_size=10, d_model=10, n_heads=3)
+
+    def test_positive_dims(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(vocab_size=0)
+
+
+class TestForward:
+    def test_logit_shape(self):
+        model = tiny_model()
+        ids = np.array([[1, 2, 3, 4], [5, 6, 7, 8]])
+        logits, _ = model.forward(ids)
+        assert logits.shape == (2, 4, 11)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            tiny_model().forward(np.array([1, 2, 3]))
+
+    def test_rejects_overlong(self):
+        model = tiny_model(max_len=4)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((1, 5), dtype=np.int64))
+
+    def test_deterministic(self):
+        a = tiny_model().forward(np.array([[1, 2, 3]]))[0]
+        b = tiny_model().forward(np.array([[1, 2, 3]]))[0]
+        assert np.allclose(a, b)
+
+    def test_causality(self):
+        """Changing a future token must not affect earlier logits."""
+        model = tiny_model()
+        base = model.forward(np.array([[1, 2, 3, 4]]))[0]
+        perturbed = model.forward(np.array([[1, 2, 3, 9]]))[0]
+        assert np.allclose(base[0, :3], perturbed[0, :3])
+        assert not np.allclose(base[0, 3], perturbed[0, 3])
+
+    def test_param_count(self):
+        model = tiny_model()
+        assert model.num_parameters() == sum(
+            value.size for value in model.params.values()
+        )
+
+
+class TestGradients:
+    def test_gradcheck_against_finite_differences(self):
+        model = tiny_model(n_layers=1, d_model=6, n_heads=2, d_ff=10,
+                           vocab_size=7, max_len=6)
+        ids = np.array([[1, 2, 3, 4]])
+        targets = np.array([[2, 3, 4, 5]])
+        mask = np.array([[0.0, 1.0, 1.0, 1.0]])
+        _, grads = model.loss_and_grads(ids, targets, mask)
+        rng = np.random.default_rng(0)
+        eps = 1e-5
+        for name in ("tok_emb", "pos_emb", "layer0.wq", "layer0.wo",
+                     "layer0.w1", "layer0.b2", "layer0.ln1_g", "final_ln_b"):
+            param = model.params[name]
+            flat_indices = rng.choice(param.size, size=min(4, param.size),
+                                      replace=False)
+            for flat in flat_indices:
+                index = np.unravel_index(flat, param.shape)
+                original = param[index]
+                param[index] = original + eps
+                plus, _ = model.loss_and_grads(ids, targets, mask)
+                param[index] = original - eps
+                minus, _ = model.loss_and_grads(ids, targets, mask)
+                param[index] = original
+                numeric = (plus - minus) / (2 * eps)
+                analytic = grads[name][index]
+                assert numeric == pytest.approx(analytic, rel=2e-3, abs=1e-6), (
+                    f"gradient mismatch for {name}{index}"
+                )
+
+    def test_mask_zeroes_prompt_positions(self):
+        model = tiny_model()
+        ids = np.array([[1, 2, 3, 4]])
+        targets = np.array([[2, 3, 4, 5]])
+        full_mask = np.ones((1, 4))
+        tail_mask = np.array([[0.0, 0.0, 0.0, 1.0]])
+        loss_full, _ = model.loss_and_grads(ids, targets, full_mask)
+        loss_tail, _ = model.loss_and_grads(ids, targets, tail_mask)
+        assert loss_full != pytest.approx(loss_tail)
+
+    def test_empty_mask_rejected(self):
+        model = tiny_model()
+        ids = np.array([[1, 2]])
+        with pytest.raises(ValueError):
+            model.loss_and_grads(ids, ids, np.zeros((1, 2)))
+
+
+class TestParamUtils:
+    def test_copy_and_load_round_trip(self):
+        model = tiny_model()
+        snapshot = model.copy_params()
+        model.params["tok_emb"][0, 0] += 1.0
+        model.load_params(snapshot)
+        assert model.params["tok_emb"][0, 0] == snapshot["tok_emb"][0, 0]
+
+    def test_load_rejects_mismatch(self):
+        model = tiny_model()
+        with pytest.raises(ValueError):
+            model.load_params({"tok_emb": np.zeros((2, 2))})

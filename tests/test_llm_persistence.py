@@ -1,0 +1,83 @@
+"""Tests for transformer checkpoint save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    Seq2SeqExample,
+    Seq2SeqTrainer,
+    Tokenizer,
+    TransformerConfig,
+    TransformerLM,
+    TransformerModel,
+)
+from repro.llm.persistence import CheckpointError, load_checkpoint, save_checkpoint
+
+
+def trained_setup():
+    examples = [Seq2SeqExample(f"say {w}", w) for w in ("red", "blue", "gold")]
+    tok = Tokenizer().fit(
+        [e.prompt for e in examples] + [e.target for e in examples]
+    )
+    model = TransformerModel(TransformerConfig(
+        vocab_size=tok.vocab_size, d_model=16, n_layers=1, n_heads=2,
+        d_ff=32, max_len=12, seed=5,
+    ))
+    Seq2SeqTrainer(model, tok, batch_size=3).train(examples, steps=60)
+    return model, tok
+
+
+class TestCheckpointRoundTrip:
+    def test_params_preserved(self, tmp_path):
+        model, tok = trained_setup()
+        save_checkpoint(model, tok, tmp_path / "ckpt")
+        loaded_model, loaded_tok = load_checkpoint(tmp_path / "ckpt")
+        for name, value in model.params.items():
+            assert np.allclose(loaded_model.params[name], value), name
+
+    def test_generation_identical(self, tmp_path):
+        model, tok = trained_setup()
+        save_checkpoint(model, tok, tmp_path / "ckpt")
+        loaded_model, loaded_tok = load_checkpoint(tmp_path / "ckpt")
+        original = TransformerLM(model, tok).generate("say red")
+        restored = TransformerLM(loaded_model, loaded_tok).generate("say red")
+        assert original == restored
+
+    def test_tokenizer_flags_preserved(self, tmp_path):
+        tok = Tokenizer(digit_tokenization=True).fit(["1 2 3"])
+        model = TransformerModel(TransformerConfig(
+            vocab_size=tok.vocab_size, d_model=8, n_layers=1, n_heads=2,
+            d_ff=16, max_len=8,
+        ))
+        save_checkpoint(model, tok, tmp_path / "et")
+        _, loaded_tok = load_checkpoint(tmp_path / "et")
+        assert loaded_tok.digit_tokenization
+
+    def test_unknown_token_behaviour_preserved(self, tmp_path):
+        model, tok = trained_setup()
+        save_checkpoint(model, tok, tmp_path / "ckpt")
+        _, loaded_tok = load_checkpoint(tmp_path / "ckpt")
+        assert loaded_tok.encode("never-seen") == tok.encode("never-seen")
+
+
+class TestCheckpointErrors:
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "absent")
+
+    def test_corrupt_metadata(self, tmp_path):
+        model, tok = trained_setup()
+        save_checkpoint(model, tok, tmp_path / "ckpt")
+        (tmp_path / "ckpt.json").write_text("{broken", encoding="utf-8")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_vocab_mismatch_detected(self, tmp_path):
+        import json
+        model, tok = trained_setup()
+        save_checkpoint(model, tok, tmp_path / "ckpt")
+        meta = json.loads((tmp_path / "ckpt.json").read_text())
+        meta["tokenizer"]["tokens"].append("extra")
+        (tmp_path / "ckpt.json").write_text(json.dumps(meta))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "ckpt")

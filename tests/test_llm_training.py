@@ -1,0 +1,181 @@
+"""Tests for tokenizer, optimizer, trainer, generation, and instruction stage."""
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    Adam,
+    Seq2SeqExample,
+    Seq2SeqTrainer,
+    Tokenizer,
+    TransformerConfig,
+    TransformerLM,
+    TransformerModel,
+    greedy_decode,
+)
+from repro.llm.instruct import instruction_dataset
+from repro.llm.tokenizer import EOS, UNK, is_numeric_token, split_for_equation_tokenization
+
+
+class TestTokenizer:
+    def test_fit_and_encode(self):
+        tok = Tokenizer().fit(["a b c", "c d"])
+        ids = tok.encode("a b c d")
+        assert len(ids) == 4
+        assert len(set(ids)) == 4
+
+    def test_unknown_after_freeze(self):
+        tok = Tokenizer().fit(["a b"])
+        assert tok.encode("zzz") == [UNK]
+
+    def test_decode_round_trip(self):
+        tok = Tokenizer().fit(["dim ( M ) = L <sep> (A)"])
+        text = "dim ( M ) = L <sep> (A)"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_decode_drops_structural_specials(self):
+        tok = Tokenizer().fit(["x"])
+        ids = tok.encode("x") + [EOS]
+        assert tok.decode(ids) == "x"
+
+    def test_digit_tokenization_splits_numbers(self):
+        tok = Tokenizer(digit_tokenization=True).fit(["4 5 0"])
+        assert len(tok.encode("450")) == 3
+
+    def test_whole_number_mode_keeps_numbers(self):
+        tok = Tokenizer().fit(["450"])
+        assert len(tok.encode("450")) == 1
+
+    def test_equation_splitting(self):
+        assert split_for_equation_tokenization("N1*3") == ["N", "1", "*", "3"]
+        assert split_for_equation_tokenization("word") == ["word"]
+
+    def test_is_numeric_token(self):
+        assert is_numeric_token("3.5")
+        assert is_numeric_token("-2e3")
+        assert not is_numeric_token("N1")
+
+    def test_encode_example_appends_eos(self):
+        tok = Tokenizer().fit(["q", "a"])
+        _, target = tok.encode_example("q", "a")
+        assert target[-1] == EOS
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        params = {"x": np.array([5.0])}
+        opt = Adam(params, learning_rate=0.1)
+        for _ in range(200):
+            grads = {"x": 2.0 * params["x"]}
+            opt.step(params, grads)
+        assert abs(params["x"][0]) < 0.05
+
+    def test_clipping_bounds_update(self):
+        params = {"x": np.array([0.0])}
+        opt = Adam(params, learning_rate=0.1, clip_norm=1.0)
+        opt.step(params, {"x": np.array([1e9])})
+        assert abs(params["x"][0]) <= 0.2
+
+    def test_structure_mismatch(self):
+        params = {"x": np.array([0.0])}
+        opt = Adam(params)
+        with pytest.raises(ValueError):
+            opt.step(params, {"y": np.array([1.0])})
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam({"x": np.zeros(1)}, learning_rate=0.0)
+
+
+def build_copy_setup():
+    """A tiny copy task the model must overfit: 'say X' -> 'X'."""
+    words = ["red", "blue", "green", "gold", "grey", "pink"]
+    examples = [Seq2SeqExample(f"say {w}", w) for w in words]
+    tok = Tokenizer().fit([e.prompt for e in examples] + [e.target for e in examples])
+    model = TransformerModel(TransformerConfig(
+        vocab_size=tok.vocab_size, d_model=32, n_layers=2, n_heads=2,
+        d_ff=64, max_len=16, seed=1,
+    ))
+    return examples, tok, model
+
+
+class TestTrainerEndToEnd:
+    def test_overfits_copy_task(self):
+        examples, tok, model = build_copy_setup()
+        trainer = Seq2SeqTrainer(model, tok, learning_rate=3e-3, batch_size=6, seed=0)
+        log = trainer.train(examples, steps=220)
+        assert log.losses[0] > log.smoothed_loss()
+        assert log.smoothed_loss() < 0.1
+        lm = TransformerLM(model, tok)
+        correct = sum(1 for e in examples if lm.generate(e.prompt) == e.target)
+        assert correct == len(examples)
+
+    def test_loss_history_recorded(self):
+        examples, tok, model = build_copy_setup()
+        trainer = Seq2SeqTrainer(model, tok, batch_size=3)
+        log = trainer.train(examples, steps=5)
+        assert len(log.losses) == 5
+
+    def test_checkpoint_callback(self):
+        examples, tok, model = build_copy_setup()
+        trainer = Seq2SeqTrainer(model, tok, batch_size=3)
+        log = trainer.train(
+            examples, steps=10, checkpoint_every=5,
+            checkpoint_fn=lambda step: step * 10,
+        )
+        assert log.checkpoints == [(5, 50), (10, 100)]
+
+    def test_empty_dataset_rejected(self):
+        examples, tok, model = build_copy_setup()
+        trainer = Seq2SeqTrainer(model, tok)
+        with pytest.raises(ValueError):
+            trainer.train([], steps=1)
+
+    def test_overlong_target_rejected(self):
+        examples, tok, model = build_copy_setup()
+        trainer = Seq2SeqTrainer(model, tok)
+        huge = Seq2SeqExample("p", " ".join(["red"] * 64))
+        with pytest.raises(ValueError):
+            trainer.train([huge], steps=1)
+
+    def test_long_prompt_left_truncated(self):
+        examples, tok, model = build_copy_setup()
+        trainer = Seq2SeqTrainer(model, tok, batch_size=1)
+        long_prompt = Seq2SeqExample(" ".join(["say"] * 40) + " red", "red")
+        log = trainer.train([long_prompt], steps=1)
+        assert len(log.losses) == 1
+
+
+class TestGeneration:
+    def test_stops_at_eos_or_budget(self):
+        examples, tok, model = build_copy_setup()
+        ids = greedy_decode(model, tok.encode("say red"), max_new_tokens=5)
+        assert len(ids) <= 5
+
+    def test_invalid_budget(self):
+        examples, tok, model = build_copy_setup()
+        with pytest.raises(ValueError):
+            greedy_decode(model, [1], max_new_tokens=0)
+
+
+class TestInstructionDataset:
+    def test_size_and_determinism(self):
+        a = instruction_dataset(20, seed=1)
+        b = instruction_dataset(20, seed=1)
+        assert len(a) == 20
+        assert a == b
+
+    def test_format(self):
+        for example in instruction_dataset(30, seed=2):
+            assert "<sep>" in example.target
+            assert example.prompt.startswith("task:")
+
+    def test_option_answers_reference_prompt(self):
+        for example in instruction_dataset(50, seed=3):
+            if "options:" in example.prompt:
+                answer = example.target.split("<sep>")[-1].strip()
+                assert answer in example.prompt  # content-token answer
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            instruction_dataset(0)

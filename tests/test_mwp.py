@@ -1,0 +1,246 @@
+"""Tests for the MWP subsystem: equations, generation, augmentation, stats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mwp import (
+    AugmentationError,
+    Augmenter,
+    MWPGenerator,
+    answers_match,
+    build_benchmark_suite,
+    context_dimension_substitution,
+    context_format_substitution,
+    count_operations,
+    evaluate_equation,
+    question_dimension_substitution,
+    question_format_substitution,
+    score_accuracy,
+)
+from repro.mwp.equation import EquationError
+from repro.mwp.metrics import equation_answer
+from repro.units import default_kb
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+@pytest.fixture(scope="module")
+def problems(kb):
+    return MWPGenerator(kb, "math23k", seed=1).generate(60)
+
+
+class TestEquationEvaluator:
+    def test_basic_arithmetic(self):
+        assert evaluate_equation("1+2*3") == 7.0
+        assert evaluate_equation("(1+2)*3") == 9.0
+        assert evaluate_equation("10/4") == 2.5
+
+    def test_slots(self):
+        assert evaluate_equation("N1*N2/N3-N1", [150, 20, 5]) == 450.0
+
+    def test_percent(self):
+        assert evaluate_equation("50%") == 0.5
+        assert evaluate_equation("200*15%") == 30.0
+
+    def test_unary_minus(self):
+        assert evaluate_equation("-3+5") == 2.0
+        assert evaluate_equation("2*(-3)") == -6.0
+
+    def test_division_by_zero(self):
+        with pytest.raises(EquationError):
+            evaluate_equation("1/0")
+
+    def test_unbound_slot(self):
+        with pytest.raises(EquationError):
+            evaluate_equation("N5", [1.0])
+
+    def test_malformed(self):
+        for bad in ("", "1+", "(1+2", "abc", "1 2"):
+            with pytest.raises(EquationError):
+                evaluate_equation(bad)
+
+    def test_count_operations(self):
+        assert count_operations("N1*N2") == 1
+        assert count_operations("N1*N2/N3-N1") == 3
+        assert count_operations("(N1*N2+N3*N4)/(N2+N4)") == 5
+        assert count_operations("-N1+N2") == 1  # unary sign not counted
+
+    @given(st.floats(1, 100), st.floats(1, 100), st.floats(1, 100))
+    def test_matches_python_arithmetic(self, a, b, c):
+        expected = a * b / c - a
+        assert evaluate_equation("N1*N2/N3-N1", [a, b, c]) == pytest.approx(expected)
+
+
+class TestGenerator:
+    def test_consistency_invariant(self, problems):
+        for problem in problems:
+            assert problem.check_consistency(), problem.problem_id
+
+    def test_deterministic(self, kb):
+        a = MWPGenerator(kb, "math23k", seed=3).generate(10)
+        b = MWPGenerator(kb, "math23k", seed=3).generate(10)
+        assert [p.text for p in a] == [p.text for p in b]
+
+    def test_dataset_tag(self, kb):
+        problem = MWPGenerator(kb, "ape210k", seed=0).generate_one()
+        assert problem.dataset == "N-Ape210k"
+
+    def test_quantity_surfaces_in_text(self, problems):
+        for problem in problems:
+            for quantity in problem.quantities:
+                assert quantity.surface in problem.text
+
+    def test_unknown_family_rejected(self, kb):
+        with pytest.raises(ValueError):
+            MWPGenerator(kb, "gsm8k", seed=0)
+
+    def test_ordering_constraints_respected(self, kb):
+        for problem in MWPGenerator(kb, "math23k", seed=7).generate(80):
+            if "含药量" in problem.text:  # dilution: N2 > N3
+                values = problem.slot_values
+                assert values[1] > values[2]
+
+
+class TestAugmentationOperators:
+    def pick(self, problems, predicate):
+        for problem in problems:
+            if predicate(problem):
+                return problem
+        pytest.skip("no suitable problem generated")
+
+    def test_context_format_preserves_everything(self, kb, problems):
+        problem = self.pick(problems, lambda p: any(q.unit_id for q in p.quantities))
+        augmented = context_format_substitution(problem, kb, make_rng(0))
+        assert augmented.answer == problem.answer
+        assert augmented.equation == problem.equation
+        assert augmented.text != problem.text
+        assert augmented.check_consistency()
+
+    def test_context_dimension_rescales_value(self, kb, problems):
+        problem = self.pick(problems, lambda p: any(q.unit_id for q in p.quantities))
+        augmented = context_dimension_substitution(problem, kb, make_rng(1))
+        assert augmented.answer == problem.answer          # scale invariant
+        assert augmented.equation != problem.equation      # conversion added
+        assert augmented.conversions_required == problem.conversions_required + 1
+        assert augmented.check_consistency()
+
+    def test_question_format_keeps_answer(self, kb, problems):
+        problem = self.pick(problems, lambda p: p.answer_unit_id)
+        augmented = question_format_substitution(problem, kb, make_rng(2))
+        assert augmented.answer == problem.answer
+        assert augmented.equation == problem.equation
+        assert augmented.answer_surface != problem.answer_surface
+
+    def test_question_dimension_scales_answer(self, kb, problems):
+        problem = self.pick(problems, lambda p: p.answer_unit_id)
+        augmented = question_dimension_substitution(problem, kb, make_rng(3))
+        assert augmented.answer != problem.answer
+        assert augmented.answer_unit_id != problem.answer_unit_id
+        assert augmented.check_consistency()
+
+    def test_table5_dilution_semantics(self, kb):
+        # 150 kg at 20% diluted to 5% -> add 450 kg of water; asking in
+        # tonnes must give 0.45.
+        problem = None
+        for candidate in MWPGenerator(kb, "math23k", seed=11).generate(200):
+            if "含药量" in candidate.text:
+                problem = candidate
+                break
+        assert problem is not None
+        values = problem.slot_values
+        expected = values[0] * values[1] / values[2] - values[0]
+        assert problem.answer == pytest.approx(expected)
+        rng = make_rng(5)
+        for _ in range(40):
+            augmented = question_dimension_substitution(problem, kb, rng)
+            ratio = augmented.answer / problem.answer
+            assert augmented.check_consistency()
+            assert ratio != 1.0
+
+    def test_question_ops_rejected_without_answer_unit(self, kb, problems):
+        problem = self.pick(problems, lambda p: p.answer_unit_id is None)
+        with pytest.raises(AugmentationError):
+            question_format_substitution(problem, kb, make_rng(0))
+        with pytest.raises(AugmentationError):
+            question_dimension_substitution(problem, kb, make_rng(0))
+
+
+class TestAugmenter:
+    def test_augment_marks_dataset(self, kb, problems):
+        augmenter = Augmenter(kb, seed=4)
+        augmented = augmenter.augment(problems[0])
+        assert augmented.dataset.startswith("Q-")
+        assert augmented.problem_id.endswith("-q")
+        assert augmented.augmented_by
+
+    def test_augment_dataset_rate(self, kb, problems):
+        augmenter = Augmenter(kb, seed=4)
+        half = augmenter.augment_dataset(problems, rate=0.5)
+        assert len(half) == len(problems) // 2
+        double = augmenter.augment_dataset(problems, rate=2.0)
+        assert len(double) == 2 * len(problems)
+
+    def test_negative_rate_rejected(self, kb, problems):
+        with pytest.raises(ValueError):
+            Augmenter(kb).augment_dataset(problems, rate=-1)
+
+    def test_all_augmented_consistent(self, kb, problems):
+        augmenter = Augmenter(kb, seed=6)
+        for problem in augmenter.augment_dataset(problems, rate=1.0):
+            assert problem.check_consistency(), problem.problem_id
+
+
+class TestBenchmarkSuite:
+    @pytest.fixture(scope="class")
+    def suite(self, kb):
+        return build_benchmark_suite(kb, seed=0, count=60)
+
+    def test_four_datasets(self, suite):
+        assert set(suite) == {"N-Math23k", "N-Ape210k", "Q-Math23k", "Q-Ape210k"}
+
+    def test_sizes(self, suite):
+        for dataset in suite.values():
+            assert len(dataset) == 60
+
+    def test_q_sets_use_more_units(self, suite):
+        assert (suite["Q-Math23k"].statistics().num_units
+                > suite["N-Math23k"].statistics().num_units)
+
+    def test_q_sets_need_more_operations(self, suite):
+        def weight(stats):
+            low, mid, high, extreme = stats.operation_buckets
+            return mid + 2 * high + 3 * extreme
+        assert (weight(suite["Q-Ape210k"].statistics())
+                > weight(suite["N-Ape210k"].statistics()))
+
+    def test_statistics_counts_sum(self, suite):
+        for dataset in suite.values():
+            stats = dataset.statistics()
+            assert sum(stats.operation_buckets) == stats.num_problems
+
+
+class TestMetrics:
+    def test_answers_match_tolerance(self):
+        assert answers_match(449.99999, 450.0)
+        assert not answers_match(451.0, 450.0)
+        assert not answers_match(None, 450.0)
+
+    def test_score_accuracy(self, problems):
+        gold = [p.answer for p in problems]
+        assert score_accuracy(gold, problems) == 1.0
+        assert score_accuracy([None] * len(problems), problems) == 0.0
+
+    def test_score_length_mismatch(self, problems):
+        with pytest.raises(ValueError):
+            score_accuracy([1.0], problems)
+
+    def test_equation_answer_calculator(self, problems):
+        problem = problems[0]
+        assert equation_answer(problem, problem.equation) == pytest.approx(
+            problem.answer
+        )
+        assert equation_answer(problem, "N1+") is None

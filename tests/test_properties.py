@@ -1,0 +1,90 @@
+"""Cross-module property-based tests on core invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mwp import MWPGenerator, evaluate_equation
+from repro.mwp.augmentation import (
+    OPERATORS,
+    AugmentationError,
+    format_exact,
+)
+from repro.units import Quantity, convert_value, default_kb
+from repro.utils.rng import make_rng, spawn_rng
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+# A fixed, pool of convertible (non-affine) units for value round trips.
+_CONVERTIBLE_PAIRS = (
+    ("M", "KiloM"), ("GM", "LB"), ("SEC", "HR"), ("L", "GAL-US"),
+    ("J", "CAL"), ("W", "HP-Metric"), ("PA", "PSI"), ("M2", "AC"),
+)
+
+
+class TestConversionProperties:
+    @given(st.floats(-1e9, 1e9, allow_nan=False),
+           st.sampled_from(_CONVERTIBLE_PAIRS))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_round_trip(self, value, pair):
+        kb = default_kb()
+        a, b = kb.get(pair[0]), kb.get(pair[1])
+        there = convert_value(value, a, b)
+        back = convert_value(there, b, a)
+        assert back == pytest.approx(value, rel=1e-9, abs=1e-6)
+
+    @given(st.floats(0.1, 1e6, allow_nan=False),
+           st.floats(0.1, 1e6, allow_nan=False),
+           st.sampled_from(_CONVERTIBLE_PAIRS))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_comparison_antisymmetry(self, x, y, pair):
+        kb = default_kb()
+        a, b = kb.get(pair[0]), kb.get(pair[1])
+        qa, qb = Quantity(x, a), Quantity(y, b)
+        assert (qa < qb) == (qb > qa)
+        assert not (qa < qb and qa > qb)
+
+
+class TestAugmentationProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_every_applicable_operator_preserves_consistency(self, seed):
+        kb = default_kb()
+        problem = MWPGenerator(kb, "math23k", seed=seed % 50).generate_one()
+        rng = make_rng(seed)
+        for operator in OPERATORS:
+            try:
+                augmented = operator(problem, kb, rng)
+            except AugmentationError:
+                continue
+            assert augmented.check_consistency(), (
+                operator.__name__, augmented.equation
+            )
+            assert evaluate_equation(
+                augmented.equation, augmented.slot_values
+            ) == pytest.approx(augmented.answer, rel=1e-6)
+
+    @given(st.floats(1e-6, 1e6, allow_nan=False))
+    @settings(max_examples=60)
+    def test_format_exact_is_exact(self, value):
+        text = format_exact(value)
+        if text is not None:
+            assert float(text) == value
+
+
+class TestRngProperties:
+    @given(st.integers(), st.text(min_size=1, max_size=10))
+    @settings(max_examples=30)
+    def test_spawn_rng_deterministic(self, seed, name):
+        a = spawn_rng(seed, name).random()
+        b = spawn_rng(seed, name).random()
+        assert a == b
+
+    def test_spawn_rng_independent_streams(self):
+        a = spawn_rng(0, "alpha").random()
+        b = spawn_rng(0, "beta").random()
+        assert a != b

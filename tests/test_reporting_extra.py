@@ -1,0 +1,64 @@
+"""Edge-case tests for report formatting (cheap, no training)."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    ExperimentResult,
+    format_bar_chart,
+    format_series_chart,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_ragged_rows_tolerated(self):
+        # Rows longer than headers must not crash the renderer.
+        text = format_table(("a",), [(1, 2, 3)])
+        assert "1" in text
+
+    def test_unicode_width_stability(self):
+        text = format_table(("单位", "值"), [("千克", 1.0), ("米", 2.0)])
+        assert "千克" in text and "1.00" in text
+
+    def test_float_formatting_two_decimals(self):
+        assert "3.14" in format_table(("x",), [(3.14159,)])
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestSeriesChart:
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = format_series_chart([1, 2], {"flat": [5.0, 5.0]})
+        assert "legend" in chart
+
+    def test_single_point(self):
+        chart = format_series_chart([100], {"one": [42.0]})
+        assert "42" in chart
+
+    def test_many_series_cycle_markers(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(10)}
+        chart = format_series_chart([1, 2], series)
+        assert "legend" in chart
+
+
+class TestBarChart:
+    def test_zero_values(self):
+        chart = format_bar_chart(["z"], [0.0])
+        assert "z" in chart
+
+    def test_unit_suffix(self):
+        chart = format_bar_chart(["a"], [10.0], unit="%")
+        assert "10%" in chart
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        result = ExperimentResult("X", "demo", ("col",))
+        result.add_row("value")
+        result.add_note("first")
+        result.add_note("second")
+        rendered = result.render()
+        assert rendered.index("first") < rendered.index("second")
+        assert "value" in rendered

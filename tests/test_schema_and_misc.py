@@ -1,0 +1,120 @@
+"""Coverage for schema helpers and small utilities across packages."""
+
+import pytest
+
+from repro.dimension import DimensionVector
+from repro.dimeval.schema import DimEvalExample, Task
+from repro.llm.tokenizer import SPECIALS
+from repro.units import default_kb
+from repro.units.schema import UnitRecord, UnitSeed
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+class TestUnitSeedValidation:
+    def base_kwargs(self):
+        return dict(uid="X", en="X unit", symbol="x", kind="Length", factor=1.0)
+
+    def test_empty_uid_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["uid"] = ""
+        with pytest.raises(ValueError):
+            UnitSeed(**kwargs)
+
+    def test_nonpositive_factor_rejected(self):
+        kwargs = self.base_kwargs()
+        kwargs["factor"] = 0.0
+        with pytest.raises(ValueError):
+            UnitSeed(**kwargs)
+
+    def test_popularity_bounds(self):
+        kwargs = self.base_kwargs()
+        kwargs["popularity"] = 1.5
+        with pytest.raises(ValueError):
+            UnitSeed(**kwargs)
+
+
+class TestUnitRecordHelpers:
+    def make_record(self, **overrides):
+        fields = dict(
+            unit_id="X", label_en="X unit", label_zh="某单位", symbol="x",
+            aliases=("ex", "x unit"), description="", keywords=(),
+            frequency=0.5, quantity_kinds=("Length",),
+            dimension=DimensionVector(L=1), conversion_value=1.0,
+        )
+        fields.update(overrides)
+        return UnitRecord(**fields)
+
+    def test_primary_kind(self):
+        record = self.make_record(quantity_kinds=("Length", "Other"))
+        assert record.quantity_kind == "Length"
+
+    def test_surface_forms_order_and_dedupe(self):
+        record = self.make_record(aliases=("x", "ex", "X unit"))
+        forms = record.surface_forms()
+        assert forms[0] == "X unit"      # canonical label first
+        assert forms.count("x") == 1     # symbol deduplicated vs alias
+
+    def test_affine_flag(self):
+        assert self.make_record(conversion_offset=1.0).is_affine
+        assert not self.make_record().is_affine
+
+
+class TestDimEvalSchemaHelpers:
+    def make_example(self, **overrides):
+        fields = dict(
+            task=Task.UNIT_CONVERSION,
+            prompt="task: unit_conversion ...",
+            question="how many?",
+            options=("1", "10", "100", "1000"),
+            answer_index=2,
+            reasoning="factor = 100",
+            option_tokens=("1", "10", "100", "1000"),
+        )
+        fields.update(overrides)
+        return DimEvalExample(**fields)
+
+    def test_answer_letter(self):
+        assert self.make_example().answer_letter == "(C)"
+
+    def test_answer_text_prefers_content_token(self):
+        assert self.make_example().answer_text == "100"
+
+    def test_answer_text_falls_back_to_letter(self):
+        example = self.make_example(option_tokens=())
+        assert example.answer_text == "(C)"
+
+    def test_training_target_structure(self):
+        target = self.make_example().training_target
+        assert target == "factor = 100 <sep> 100"
+
+    def test_extraction_example_has_no_letter(self):
+        example = self.make_example(
+            task=Task.QUANTITY_EXTRACTION, options=(), option_tokens=(),
+            answer_index=-1,
+            payload={"target_serialisation": "4 5 | U:M"},
+        )
+        assert not example.is_multiple_choice
+        assert example.answer_text == "4 5 | U:M"
+        with pytest.raises(ValueError):
+            _ = example.answer_letter
+
+
+class TestTokenizerSpecials:
+    def test_special_order_is_stable(self):
+        # The trainer and decoder rely on these exact positions.
+        assert SPECIALS == ("<pad>", "<bos>", "<eos>", "<sep>", "<unk>", "<mask>")
+
+
+class TestKBSubsetEdgeCases:
+    def test_empty_subset(self, kb):
+        subset = kb.subset([])
+        assert len(subset) == 0
+        assert subset.kinds() == ()
+
+    def test_subset_unknown_unit_raises(self, kb):
+        with pytest.raises(KeyError):
+            kb.subset(["NOT-A-UNIT"])

@@ -1,0 +1,150 @@
+"""Tests for simulated baselines: profiles, calibrated solver, tool chain."""
+
+import pytest
+
+from repro.dimeval import DimEvalBenchmark, Task, evaluate_model
+from repro.simulated import (
+    CalibratedLLM,
+    MODEL_PROFILES,
+    ToolAugmentedLLM,
+    WolframAlphaEngine,
+    answer_rate_from_scores,
+)
+from repro.simulated.wolfram import ToolQueryError
+from repro.units import default_kb
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+@pytest.fixture(scope="module")
+def split(kb):
+    return DimEvalBenchmark(kb, seed=21, eval_per_task=40).eval_split()
+
+
+@pytest.fixture(scope="module")
+def engine(kb):
+    return WolframAlphaEngine(kb)
+
+
+class TestProfiles:
+    def test_all_paper_models_present(self):
+        expected = {"GPT-4", "GPT-3.5-Turbo", "InstructGPT", "PaLM-2",
+                    "LLaMa-2-70B", "LLaMa-2-13B", "OpenChat", "Flan-T5",
+                    "T0++", "ChatGLM-2"}
+        assert expected == set(MODEL_PROFILES)
+
+    def test_profiles_marked_simulated(self):
+        assert all(p.simulated for p in MODEL_PROFILES.values())
+
+    def test_six_mcq_tasks_per_profile(self):
+        for profile in MODEL_PROFILES.values():
+            assert len(profile.tasks) == 6
+
+    def test_answer_rate_bounds(self):
+        assert answer_rate_from_scores(66.67, 39.63) == pytest.approx(0.423, abs=0.01)
+        assert answer_rate_from_scores(0.0, 0.0) == 0.0
+        assert 0.0 <= answer_rate_from_scores(50.0, 66.0) <= 1.0
+
+    def test_no_chinese_extraction_for_palm(self):
+        assert MODEL_PROFILES["PaLM-2"].extraction is None
+
+
+class TestCalibratedLLM:
+    def test_precision_tracks_target(self, split):
+        profile = MODEL_PROFILES["GPT-4"]
+        # average over several seeds to tame 40-item variance
+        totals = {"answered": 0, "correct": 0}
+        for seed in range(6):
+            model = CalibratedLLM(profile, seed=seed)
+            result = evaluate_model(model, split)[Task.UNIT_CONVERSION]
+            totals["answered"] += result.mcq.answered
+            totals["correct"] += result.mcq.correct
+        precision = 100.0 * totals["correct"] / totals["answered"]
+        target = profile.tasks[Task.UNIT_CONVERSION].precision
+        assert precision == pytest.approx(target, abs=12.0)
+
+    def test_abstention_happens(self, split):
+        model = CalibratedLLM(MODEL_PROFILES["GPT-4"], seed=0)
+        examples = split.task_examples(Task.DIMENSION_ARITHMETIC)
+        answers = [model.answer_example(ex) for ex in examples]
+        assert any(a is None for a in answers)
+
+    def test_extraction_respects_missing_support(self, split):
+        model = CalibratedLLM(MODEL_PROFILES["PaLM-2"], seed=0)
+        example = split.task_examples(Task.QUANTITY_EXTRACTION)[0]
+        assert model.extract_example(example) == []
+
+    def test_extraction_type_guard(self, split):
+        model = CalibratedLLM(MODEL_PROFILES["GPT-4"], seed=0)
+        with pytest.raises(ValueError):
+            model.extract_example(split.task_examples(Task.UNIT_CONVERSION)[0])
+
+    def test_deterministic_given_seed(self, split):
+        examples = split.task_examples(Task.COMPARABLE_ANALYSIS)
+        a = [CalibratedLLM(MODEL_PROFILES["GPT-4"], seed=5).answer_example(e)
+             for e in examples]
+        b = [CalibratedLLM(MODEL_PROFILES["GPT-4"], seed=5).answer_example(e)
+             for e in examples]
+        assert a == b
+
+
+class TestWolframEngine:
+    def test_catalogue_size_matches_table4(self, engine):
+        assert engine.statistics().num_units == 540
+
+    def test_convert(self, engine):
+        assert engine.convert(1.0, "km", "m") == pytest.approx(1000.0)
+
+    def test_unknown_unit_raises(self, engine):
+        with pytest.raises(ToolQueryError):
+            engine.resolve("no-such-unit-zzz")
+
+    def test_narrower_than_kb(self, kb, engine):
+        assert engine.statistics().num_units < kb.statistics().num_units
+
+    def test_comparable(self, engine):
+        assert engine.comparable("km", "m")
+        assert not engine.comparable("km", "kg")
+
+    def test_largest(self, engine):
+        assert engine.largest(["cm", "km", "mm"]) == 1
+
+    def test_largest_mixed_dimensions_rejected(self, engine):
+        with pytest.raises(ToolQueryError):
+            engine.largest(["cm", "kg"])
+
+    def test_dimension_of(self, engine):
+        dim = engine.dimension_of(["J", "m"], ["*"])
+        assert dim.to_formula() == "L3MT-2"
+
+
+class TestToolAugmentation:
+    def test_tool_helps_scale_tasks(self, split, engine):
+        base_correct = tool_correct = 0
+        for seed in range(4):
+            base = CalibratedLLM(MODEL_PROFILES["GPT-3.5-Turbo"], seed=seed)
+            tool = ToolAugmentedLLM(
+                CalibratedLLM(MODEL_PROFILES["GPT-3.5-Turbo"], seed=seed),
+                engine, seed=seed,
+            )
+            base_correct += evaluate_model(base, split)[
+                Task.UNIT_CONVERSION].mcq.correct
+            tool_correct += evaluate_model(tool, split)[
+                Task.UNIT_CONVERSION].mcq.correct
+        assert tool_correct > base_correct
+
+    def test_tool_name(self, engine):
+        tool = ToolAugmentedLLM(
+            CalibratedLLM(MODEL_PROFILES["GPT-4"], seed=0), engine
+        )
+        assert tool.name == "GPT-4 + WolframAlpha"
+
+    def test_tool_does_not_help_dimension_prediction(self, split, engine):
+        tool = ToolAugmentedLLM(
+            CalibratedLLM(MODEL_PROFILES["GPT-4"], seed=1), engine, seed=1
+        )
+        example = split.task_examples(Task.DIMENSION_PREDICTION)[0]
+        assert tool._try_tool(example) is None

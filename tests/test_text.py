@@ -1,0 +1,162 @@
+"""Tests for the text substrate: tokenizer, numbers, extraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text import (
+    QuantityExtractor,
+    find_numbers,
+    is_cjk,
+    parse_number,
+    tokenize,
+)
+from repro.text.numbers import NumberParseError
+from repro.units import default_kb
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return QuantityExtractor(default_kb())
+
+
+class TestTokenizer:
+    def test_latin_words(self):
+        assert tokenize("The speed is high") == ["the", "speed", "is", "high"]
+
+    def test_numbers_kept_whole(self):
+        assert "9.9" in tokenize("speed of 9.9 m/s")
+
+    def test_cjk_split_per_char(self):
+        assert tokenize("速度很快") == ["速", "度", "很", "快"]
+
+    def test_mixed_text(self):
+        tokens = tokenize("船的速度是9.9m/s")
+        assert "9.9" in tokens
+        assert "m" in tokens
+        assert "速" in tokens
+
+    def test_no_lowercase(self):
+        assert tokenize("KM", lowercase=False) == ["KM"]
+
+    def test_is_cjk(self):
+        assert is_cjk("米")
+        assert not is_cjk("m")
+        with pytest.raises(ValueError):
+            is_cjk("ab")
+
+
+class TestParseNumber:
+    def test_integers_and_decimals(self):
+        assert parse_number("42") == 42.0
+        assert parse_number("3.14") == pytest.approx(3.14)
+
+    def test_thousands_separators(self):
+        assert parse_number("1,234,567") == 1234567.0
+
+    def test_scientific(self):
+        assert parse_number("2.5e3") == 2500.0
+        assert parse_number("-1E-2") == pytest.approx(-0.01)
+
+    def test_fractions(self):
+        assert parse_number("2/3") == pytest.approx(2.0 / 3.0)
+
+    def test_chinese_numerals(self):
+        assert parse_number("三十五") == 35.0
+        assert parse_number("一百二十") == 120.0
+        assert parse_number("两千") == 2000.0
+        assert parse_number("一万三千") == 13000.0
+        assert parse_number("十") == 10.0
+
+    def test_mixed_numerals(self):
+        assert parse_number("3万") == 30000.0
+        assert parse_number("1.5亿") == 150000000.0
+
+    def test_bad_input(self):
+        with pytest.raises(NumberParseError):
+            parse_number("")
+        with pytest.raises(NumberParseError):
+            parse_number("abc")
+        with pytest.raises(NumberParseError):
+            parse_number("1/0")
+
+    @given(st.floats(min_value=-1e9, max_value=1e9,
+                     allow_nan=False, allow_infinity=False))
+    def test_round_trip_floats(self, value):
+        assert parse_number(repr(value)) == pytest.approx(value)
+
+
+class TestFindNumbers:
+    def test_positions(self):
+        spans = find_numbers("a 12 b 3.5 c")
+        assert [s.value for s in spans] == [12.0, 3.5]
+        assert spans[0].start == 2
+        assert spans[0].end == 4
+
+    def test_chinese_spans(self):
+        spans = find_numbers("长一百二十米")
+        assert any(s.value == 120.0 for s in spans)
+
+    def test_mixed_spans(self):
+        spans = find_numbers("人口3万人")
+        assert any(s.value == 30000.0 for s in spans)
+
+    def test_bare_unit_chars_not_numbers(self):
+        # "千" inside "千克" (kilogram) must not parse as the number 1000.
+        spans = find_numbers("重量是5千克")
+        assert [s.value for s in spans] == [5.0]
+
+    def test_no_numbers(self):
+        assert find_numbers("no digits here") == []
+
+    def test_spans_ordered(self):
+        spans = find_numbers("7 then 9 then 11")
+        starts = [s.start for s in spans]
+        assert starts == sorted(starts)
+
+
+class TestQuantityExtraction:
+    def test_intro_example(self, extractor):
+        text = ("LeBron James's height is 2.06 meters and "
+                "Stephen Curry's height is 188 cm.")
+        grounded = extractor.extract_grounded(text)
+        assert [(q.value, q.unit.unit_id) for q in grounded] == [
+            (2.06, "M"), (188.0, "CentiM"),
+        ]
+
+    def test_fig5_basic_perception_example(self, extractor):
+        text = ("The island is approximately 1.3 kilometres long and "
+                "550 metres wide, lying 11.7 kilometres from the coast.")
+        grounded = extractor.extract_grounded(text)
+        assert [q.value for q in grounded] == [1.3, 550.0, 11.7]
+        assert [q.unit.unit_id for q in grounded] == ["KiloM", "M", "KiloM"]
+        assert [q.unit_text for q in grounded] == [
+            "kilometres", "metres", "kilometres",
+        ]
+
+    def test_chinese_quantities(self, extractor):
+        grounded = extractor.extract_grounded("某人的速度是9.9m/s，船重3000千克")
+        assert [(q.value, q.unit.unit_id) for q in grounded] == [
+            (9.9, "M-PER-SEC"), (3000.0, "KiloGM"),
+        ]
+
+    def test_compound_symbol_attached(self, extractor):
+        grounded = extractor.extract_grounded("the density is 2.7g/cm^3 here")
+        assert grounded[0].unit.unit_id == "GM-PER-CentiM3"
+
+    def test_bare_number_not_grounded(self, extractor):
+        results = extractor.extract("there are 12 of them")
+        assert len(results) == 1
+        assert not results[0].is_grounded
+
+    def test_device_code_not_a_quantity(self, extractor):
+        # Algorithm 1's motivating false positive: "LPUI-1T" device code.
+        results = extractor.extract("the LPUI-1T device")
+        grounded = [r for r in results if r.is_grounded]
+        # The heuristic may or may not fire; what matters is that the span
+        # never claims a unit beyond the "T" mention.
+        for q in grounded:
+            assert q.unit_text in {"T", "t"}
+
+    def test_quantity_text(self, extractor):
+        grounded = extractor.extract_grounded("a rope of 5 metres")
+        assert grounded[0].quantity_text == "5 metres"

@@ -1,0 +1,150 @@
+"""Tests for unit conversion (Definition 8) and quantity arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dimension import DimensionLawViolation, DimensionVector
+from repro.units import (
+    ConversionError,
+    Quantity,
+    conversion_factor,
+    convert_value,
+    default_kb,
+    is_convertible,
+)
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+class TestConversionFactor:
+    def test_foot_to_metre(self, kb):
+        assert conversion_factor(kb.get("FT"), kb.get("M")) == pytest.approx(0.3048)
+
+    def test_fig5_unit_conversion_example(self, kb):
+        # "how many milligrams per decilitre is equal to 1 kg/m^3" -> 100.
+        kg_m3 = kb.get("KiloGM-PER-M3")
+        mg_dl = kb.get("MilliGM-PER-DeciL")
+        assert conversion_factor(kg_m3, mg_dl) == pytest.approx(100.0)
+
+    def test_poundal_to_dyne_fig1(self, kb):
+        # 1 poundal = 13825.5 dynes (the paper rounds to 13852 in Fig. 1's
+        # corrected derivation; the exact NIST factor is 13825.4954376).
+        beta = conversion_factor(kb.get("POUNDAL"), kb.get("DYN"))
+        assert beta == pytest.approx(13825.4954376)
+
+    def test_identity(self, kb):
+        assert conversion_factor(kb.get("M"), kb.get("M")) == 1.0
+
+    def test_incomparable_rejected(self, kb):
+        with pytest.raises(DimensionLawViolation):
+            conversion_factor(kb.get("M"), kb.get("KiloGM"))
+
+    def test_affine_rejected(self, kb):
+        with pytest.raises(ConversionError):
+            conversion_factor(kb.get("DEG-C"), kb.get("K"))
+
+    def test_round_trip_inverse(self, kb):
+        forward = conversion_factor(kb.get("MI"), kb.get("KiloM"))
+        backward = conversion_factor(kb.get("KiloM"), kb.get("MI"))
+        assert forward * backward == pytest.approx(1.0)
+
+
+class TestConvertValue:
+    def test_lebron_height_example(self, kb):
+        # Intro example: 2.06 metres vs 188 cm must be comparable.
+        assert convert_value(2.06, kb.get("M"), kb.get("CentiM")) == pytest.approx(206.0)
+
+    def test_celsius_to_kelvin(self, kb):
+        assert convert_value(25.0, kb.get("DEG-C"), kb.get("K")) == pytest.approx(298.15)
+
+    def test_fahrenheit_to_celsius(self, kb):
+        assert convert_value(212.0, kb.get("DEG-F"), kb.get("DEG-C")) == pytest.approx(100.0)
+
+    def test_kelvin_to_fahrenheit_round_trip(self, kb):
+        out = convert_value(300.0, kb.get("K"), kb.get("DEG-F"))
+        back = convert_value(out, kb.get("DEG-F"), kb.get("K"))
+        assert back == pytest.approx(300.0)
+
+    def test_is_convertible(self, kb):
+        assert is_convertible(kb.get("M"), kb.get("LY"))
+        assert not is_convertible(kb.get("M"), kb.get("SEC"))
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_round_trip_any_value(self, value):
+        kb = default_kb()
+        mid = convert_value(value, kb.get("HR"), kb.get("MilliSEC"))
+        back = convert_value(mid, kb.get("MilliSEC"), kb.get("HR"))
+        assert back == pytest.approx(value, abs=1e-6)
+
+
+class TestQuantityArithmetic:
+    def test_addition_converts_to_left_unit(self, kb):
+        total = Quantity(1.0, kb.get("M")) + Quantity(50.0, kb.get("CentiM"))
+        assert total.unit.unit_id == "M"
+        assert total.value == pytest.approx(1.5)
+
+    def test_subtraction(self, kb):
+        diff = Quantity(1.0, kb.get("HR")) - Quantity(30.0, kb.get("MIN"))
+        assert diff.value == pytest.approx(0.5)
+
+    def test_add_incomparable_raises(self, kb):
+        with pytest.raises(DimensionLawViolation):
+            Quantity(1.0, kb.get("M")) + Quantity(1.0, kb.get("SEC"))
+
+    def test_comparison_across_units(self, kb):
+        lebron = Quantity(2.06, kb.get("M"))
+        curry = Quantity(188.0, kb.get("CentiM"))
+        assert lebron > curry
+
+    def test_compare_incomparable_raises(self, kb):
+        with pytest.raises(DimensionLawViolation):
+            Quantity(1.0, kb.get("M")) < Quantity(1.0, kb.get("KiloGM"))
+
+    def test_scalar_multiplication(self, kb):
+        doubled = Quantity(3.0, kb.get("M")) * 2
+        assert doubled.value == 6.0
+        assert doubled.unit.unit_id == "M"
+        assert (2 * Quantity(3.0, kb.get("M"))).value == 6.0
+
+    def test_division_produces_derived(self, kb):
+        speed = Quantity(100.0, kb.get("M")) / Quantity(10.0, kb.get("SEC"))
+        assert speed.dimension == DimensionVector(L=1, T=-1)
+        expressed = speed.in_unit(kb.get("M-PER-SEC"))
+        assert expressed.value == pytest.approx(10.0)
+
+    def test_fig1_unit_trap_full(self, kb):
+        # 0.1 poundal / 3000 dyn/cm -> 0.0151 feet (paper's corrected answer)
+        weight = Quantity(0.1, kb.get("POUNDAL"))
+        stiffness = Quantity(3000.0, kb.get("DYN-PER-CentiM"))
+        stretch = weight / stiffness
+        assert stretch.dimension == DimensionVector(L=1)
+        feet = stretch.in_unit(kb.get("FT"))
+        assert feet.value == pytest.approx(0.0151, rel=1e-2)
+        # Expressing it in square feet must violate the dimension law.
+        with pytest.raises(DimensionLawViolation):
+            stretch.in_unit(kb.get("FT2"))
+
+    def test_derived_times_quantity(self, kb):
+        area = Quantity(2.0, kb.get("M")) * Quantity(3.0, kb.get("M"))
+        assert area.dimension == DimensionVector(L=2)
+        assert area.in_unit(kb.get("M2")).value == pytest.approx(6.0)
+
+    def test_derived_in_incompatible_unit_raises(self, kb):
+        area = Quantity(2.0, kb.get("M")) * Quantity(3.0, kb.get("M"))
+        with pytest.raises(DimensionLawViolation):
+            area.in_unit(kb.get("M3"))
+
+    def test_affine_blocked_from_algebra(self, kb):
+        with pytest.raises(ConversionError):
+            Quantity(20.0, kb.get("DEG-C")) * Quantity(2.0, kb.get("SEC"))
+
+    def test_approx_equals_across_units(self, kb):
+        assert Quantity(1.0, kb.get("KiloM")).approx_equals(
+            Quantity(1000.0, kb.get("M"))
+        )
+
+    def test_str_formats(self, kb):
+        assert str(Quantity(2.5, kb.get("M"))) == "2.5 m"

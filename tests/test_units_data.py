@@ -1,0 +1,131 @@
+"""Sanity tests over the curated seed catalogues and expansion rules."""
+
+import math
+
+import pytest
+
+from repro.units import default_kb
+from repro.units.data import BASE_KINDS, SI_PREFIXES, iter_seed_units
+from repro.units.data.kinds import base_kind_names
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+class TestSeedCatalogues:
+    def test_unique_uids(self):
+        uids = [seed.uid for seed in iter_seed_units()]
+        assert len(uids) == len(set(uids))
+
+    def test_every_seed_kind_registered(self):
+        kinds = base_kind_names()
+        for seed in iter_seed_units():
+            assert seed.kind in kinds, seed.uid
+
+    def test_catalogue_scale(self):
+        seeds = list(iter_seed_units())
+        assert len(seeds) >= 250          # curated breadth before expansion
+
+    def test_popularity_bounds(self):
+        for seed in iter_seed_units():
+            assert 0.0 <= seed.popularity <= 1.0, seed.uid
+
+    def test_prefixable_seeds_have_simple_symbols(self):
+        # Prefix concatenation must produce sane symbols (km, mg, ms...).
+        for seed in iter_seed_units():
+            if seed.prefixable:
+                assert " " not in seed.symbol, seed.uid
+
+    def test_chinese_coverage(self):
+        chinese = [s for s in iter_seed_units() if s.system == "Chinese"]
+        assert len(chinese) >= 8          # the paper's manual Zh additions
+
+    def test_affine_units_not_prefix_compounded(self):
+        for seed in iter_seed_units():
+            if seed.offset != 0.0:
+                assert not seed.prefixable, seed.uid
+
+
+class TestKnownConversionFactors:
+    """Spot-check conversion values against NIST-exact constants."""
+
+    CASES = (
+        ("IN", 0.0254), ("FT", 0.3048), ("MI", 1609.344),
+        ("NauticalMI", 1852.0), ("LB", 0.45359237),
+        ("OZ", 0.028349523125), ("GAL-US", 3.785411784e-3),
+        ("ATM", 101325.0), ("PSI", 6894.757293168361),
+        ("CAL", 4.184), ("BTU", 1055.05585262),
+        ("HP-Metric", 735.49875), ("KGF", 9.80665),
+        ("POUNDAL", 0.138254954376), ("DYN", 1e-5),
+        ("ERG", 1e-7), ("AC", 4046.8726098743),
+        ("KN", 1852.0 / 3600.0), ("JIN-Chinese", 0.5),
+        ("MU-Chinese", 2000.0 / 3.0), ("LI-Chinese", 500.0),
+    )
+
+    @pytest.mark.parametrize("uid,factor", CASES)
+    def test_factor(self, kb, uid, factor):
+        assert kb.get(uid).conversion_value == pytest.approx(factor, rel=1e-12)
+
+
+class TestExpansionRules:
+    def test_twenty_si_prefixes(self):
+        assert len(SI_PREFIXES) == 20
+        factors = [prefix.factor for prefix in SI_PREFIXES]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_prefixed_factor_composition(self, kb):
+        metre = kb.get("M")
+        for prefix_uid, expected in (("TeraM", 1e12), ("PicoM", 1e-12)):
+            unit = kb.get(prefix_uid)
+            assert unit.conversion_value == pytest.approx(
+                expected * metre.conversion_value
+            )
+            assert unit.generated
+
+    def test_curated_shadows_generated(self, kb):
+        # Millimetre is curated (calibrated score), not generated.
+        assert not kb.get("MilliM").generated
+        assert kb.get("MilliM").frequency == pytest.approx(
+            (94.68 / 100.0), abs=0.001
+        )
+
+    def test_no_sub_unity_information_prefixes(self, kb):
+        for uid in ("MilliBYTE", "CentiBIT", "DeciBYTE", "MicroBIT"):
+            assert uid not in kb
+
+    def test_binary_prefixes_exist(self, kb):
+        assert "KibiBYTE" in kb
+        assert kb.get("KibiBYTE").conversion_value == pytest.approx(8.0 * 1024)
+
+    def test_compound_factor_composition(self, kb):
+        kmh = kb.get("KiloM-PER-HR")
+        assert kmh.conversion_value == pytest.approx(1000.0 / 3600.0)
+
+    def test_derived_kind_dimensions(self, kb):
+        # Builder naming is <Numerator>Per<Denominator> with the
+        # denominator appended last, so split at the final "Per".
+        for kind in kb.kinds():
+            if kind.derived and "Per" in kind.name:
+                numerator, _, denominator = kind.name.rpartition("Per")
+                if numerator in kb.kind_names() and denominator in kb.kind_names():
+                    expected = (kb.kind(numerator).dimension
+                                / kb.kind(denominator).dimension)
+                    assert kind.dimension == expected, kind.name
+
+    def test_scale_spans_many_orders_of_magnitude(self, kb):
+        lengths = kb.units_of_kind("Length")
+        factors = [unit.conversion_value for unit in lengths]
+        assert math.log10(max(factors) / min(factors)) > 25  # fermi..parsec
+
+
+class TestBaseKinds:
+    def test_kind_count(self):
+        assert len(BASE_KINDS) >= 55
+
+    def test_si_symbols_unique_where_present(self):
+        symbols = [k.si_symbol for k in BASE_KINDS if k.si_symbol]
+        # A few kinds legitimately share dimension/symbol (Torque vs Energy
+        # use different symbols; Radioactivity vs Frequency differ).
+        assert len(symbols) == len(BASE_KINDS) - 1  # only Dimensionless empty

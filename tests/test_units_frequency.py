@@ -1,0 +1,109 @@
+"""Tests for the Eq. 1-2 frequency scoring model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import frequency
+from repro.units.data._calibration import from_score
+
+
+class TestDesignSignals:
+    def test_signals_positive(self):
+        assert min(frequency.design_signals("M", 0.5)) > 0
+
+    def test_score_recovers_popularity(self):
+        for popularity in (0.0, 0.25, 0.5, 1.0):
+            signals = frequency.design_signals("SEC", popularity)
+            assert frequency.score(signals) == pytest.approx(popularity)
+
+    def test_deterministic(self):
+        assert frequency.design_signals("M", 0.7) == frequency.design_signals("M", 0.7)
+
+    def test_channels_differ_across_units(self):
+        # The per-channel jitter must depend on the unit id.
+        a = frequency.design_signals("M", 0.5)
+        b = frequency.design_signals("SEC", 0.5)
+        assert a != b
+
+    @given(st.text(min_size=1, max_size=20),
+           st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_score_identity_property(self, uid, popularity):
+        signals = frequency.design_signals(uid, popularity)
+        assert frequency.score(signals) == pytest.approx(popularity, abs=1e-9)
+
+
+class TestScore:
+    def test_weighted_log_blend(self):
+        signals = (math.e, math.e ** 2, math.e ** 3)
+        expected = 0.3 * 1 + 0.3 * 2 + 0.4 * 3
+        assert frequency.score(signals) == pytest.approx(expected)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            frequency.score((1.0, 0.0, 1.0))
+
+
+class TestNormalise:
+    def test_range(self):
+        scores = {"a": 0.0, "b": 0.5, "c": 1.0}
+        out = frequency.normalise(scores)
+        assert out["a"] == pytest.approx(0.1)
+        assert out["b"] == pytest.approx(0.55)
+        assert out["c"] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert frequency.normalise({}) == {}
+
+    def test_degenerate_all_equal(self):
+        out = frequency.normalise({"a": 3.0, "b": 3.0})
+        assert out == {"a": frequency.DELTA, "b": frequency.DELTA}
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=5),
+                           st.floats(-10, 10, allow_nan=False),
+                           min_size=2))
+    def test_bounds_property(self, scores):
+        out = frequency.normalise(scores)
+        for value in out.values():
+            assert frequency.DELTA - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_monotone(self):
+        scores = {"a": 1.0, "b": 2.0, "c": 3.0}
+        out = frequency.normalise(scores)
+        assert out["a"] < out["b"] < out["c"]
+
+
+class TestCalibration:
+    def test_from_score_inverts_normalisation(self):
+        # A popularity from_score(t) must land on t once normalised over a
+        # population spanning [0, 1].
+        target = 84.93
+        pop = from_score(target)
+        scores = {"unit": pop, "floor": 0.0, "ceil": 1.0}
+        out = frequency.normalise(scores)
+        assert frequency.to_display_scale(out["unit"]) == pytest.approx(target, abs=0.01)
+
+    def test_floor_maps_to_ten(self):
+        assert from_score(10.0) == 0.0
+
+    def test_ceiling_maps_to_one(self):
+        assert from_score(100.0) == 1.0
+
+    def test_out_of_scale_rejected(self):
+        with pytest.raises(ValueError):
+            from_score(5.0)
+        with pytest.raises(ValueError):
+            from_score(101.0)
+
+
+class TestCorpusFrequencyChannel:
+    def test_smoothing_applied(self):
+        out = frequency.corpus_frequency_from_counts({"M": 10}, ["M", "SEC"])
+        assert out["M"] == 11.0
+        assert out["SEC"] == 1.0
+
+    def test_usable_in_score(self):
+        counts = frequency.corpus_frequency_from_counts({"M": 5}, ["M"])
+        signals = (1.0, 1.0, counts["M"])
+        assert frequency.score(signals) == pytest.approx(0.4 * math.log(6.0))

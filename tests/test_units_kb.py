@@ -1,0 +1,219 @@
+"""Tests for DimUnitKB construction and the query layer."""
+
+import pytest
+
+from repro.dimension import DimensionVector
+from repro.units import (
+    UnknownKindError,
+    UnknownUnitError,
+    default_kb,
+)
+from repro.units.frequency import to_display_scale
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+class TestBuildOutput:
+    def test_scale_matches_paper_ballpark(self, kb):
+        # Table IV: DimUnitKB has 1778 units / 327 kinds / 175 dim vectors.
+        stats = kb.statistics()
+        assert stats.num_units > 1000
+        assert stats.num_quantity_kinds > 250
+        assert stats.num_dimension_vectors > 100
+
+    def test_bilingual(self, kb):
+        stats = kb.statistics()
+        assert stats.languages == ("En", "Zh")
+        assert stats.has_frequency
+
+    def test_unit_ids_unique_and_resolvable(self, kb):
+        ids = kb.unit_ids()
+        assert len(ids) == len(set(ids))
+        for unit_id in ids[:50]:
+            assert kb.get(unit_id).unit_id == unit_id
+
+    def test_unknown_unit_raises(self, kb):
+        with pytest.raises(UnknownUnitError):
+            kb.get("NO-SUCH-UNIT")
+
+    def test_unknown_kind_raises(self, kb):
+        with pytest.raises(UnknownKindError):
+            kb.kind("NoSuchKind")
+        with pytest.raises(UnknownKindError):
+            kb.units_of_kind("NoSuchKind")
+
+    def test_every_unit_kind_registered(self, kb):
+        kind_names = set(kb.kind_names())
+        for record in kb:
+            assert set(record.quantity_kinds) <= kind_names
+
+    def test_every_unit_dimension_matches_kind(self, kb):
+        for record in kb:
+            kind = kb.kind(record.quantity_kind)
+            assert record.dimension == kind.dimension, record.unit_id
+
+    def test_frequencies_in_range(self, kb):
+        for record in kb:
+            assert 0.1 <= record.frequency <= 1.0, record.unit_id
+
+    def test_conversion_values_positive(self, kb):
+        for record in kb:
+            assert record.conversion_value > 0, record.unit_id
+
+    def test_generated_units_marked(self, kb):
+        generated = [r for r in kb if r.generated]
+        curated = [r for r in kb if not r.generated]
+        assert len(generated) > 500
+        assert len(curated) > 250
+
+
+class TestSchemaFeatures:
+    def test_dimension_vec_string_of_dyne_per_cm(self, kb):
+        # Fig. 2 running example.
+        record = kb.get("DYN-PER-CentiM")
+        assert record.dimension_vec == "A0E0L0I0M1H0T-2D0"
+        assert record.quantity_kind == "ForcePerLength"
+        assert record.conversion_value == pytest.approx(0.001)
+
+    def test_bilingual_labels(self, kb):
+        metre = kb.get("M")
+        assert metre.label_en == "Metre"
+        assert metre.label_zh == "米"
+
+    def test_surface_forms_deduplicated(self, kb):
+        for record in list(kb)[:100]:
+            forms = record.surface_forms()
+            assert len(forms) == len(set(forms))
+            assert record.label_en in forms
+
+    def test_affine_flag(self, kb):
+        assert kb.get("DEG-C").is_affine
+        assert not kb.get("K").is_affine
+
+
+class TestKindQueries:
+    def test_units_of_kind_sorted_by_frequency(self, kb):
+        units = kb.units_of_kind("Length")
+        freqs = [unit.frequency for unit in units]
+        assert freqs == sorted(freqs, reverse=True)
+        assert units[0].label_en == "Metre"
+
+    def test_velocity_top_units_match_fig4(self, kb):
+        top = [u.label_en for u in kb.units_of_kind("Velocity")[:5]]
+        assert top == [
+            "Metre per Second",
+            "Kilometre per Hour",
+            "Knot",
+            "Kilometre per Second",
+            "Metre per Hour",
+        ]
+
+    def test_mass_top_units_match_fig4(self, kb):
+        top = [u.label_en for u in kb.units_of_kind("Mass")[:5]]
+        assert top == ["Gram", "Kilogram", "Tonne", "Milligram", "Microgram"]
+
+    def test_derived_grid_kind_exists(self, kb):
+        kind = kb.kind("EnergyPerArea")
+        assert kind.derived
+        assert kind.dimension == DimensionVector(M=1, T=-2)
+        assert kb.units_of_kind("EnergyPerArea")
+
+
+class TestDimensionQueries:
+    def test_units_with_dimension_share_it(self, kb):
+        force_dim = DimensionVector(L=1, M=1, T=-2)
+        units = kb.units_with_dimension(force_dim)
+        assert units
+        assert all(unit.dimension == force_dim for unit in units)
+        labels = {unit.label_en for unit in units}
+        assert {"Newton", "Dyne", "Poundal"} <= labels
+
+    def test_comparable_units_excludes_self(self, kb):
+        metre = kb.get("M")
+        comparables = kb.comparable_units(metre)
+        assert metre not in comparables
+        assert all(unit.dimension == metre.dimension for unit in comparables)
+        assert any(unit.label_en == "Light Year" for unit in comparables)
+
+    def test_unknown_dimension_gives_empty(self, kb):
+        odd = DimensionVector(L=7, M=-5)
+        assert kb.units_with_dimension(odd) == ()
+
+
+class TestFrequencyViews:
+    def test_fig3_top15_exact(self, kb):
+        # The calibrated Fig. 3 listing, on the 0-100 display scale.
+        expected = [
+            ("Metre", 100.0),
+            ("Square Metre", 95.99),
+            ("Millimetre", 94.68),
+            ("Kilometre", 92.97),
+            ("Nanometre", 88.57),
+            ("Centimetre", 86.72),
+            ("Inch", 84.93),
+            ("Second", 83.8),
+            ("Micrometre", 83.06),
+            ("Volt", 82.81),
+            ("Gram", 82.33),
+            ("Kilogram", 82.09),
+            ("Hectare", 81.05),
+            ("Hour", 80.89),
+            ("Square kilometre", 80.52),
+        ]
+        top = kb.top_units_by_frequency(15)
+        got = [(u.label_en, to_display_scale(u.frequency)) for u in top]
+        assert got == expected
+
+    def test_kind_frequency_is_top5_mean(self, kb):
+        units = kb.units_of_kind("Time")[:5]
+        expected = sum(u.frequency for u in units) / 5
+        assert kb.kind_frequency("Time") == pytest.approx(expected)
+
+    def test_top_quantity_kinds_ranked(self, kb):
+        ranked = kb.top_quantity_kinds(14)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        names = [kind.name for kind, _ in ranked]
+        assert names[0] == "Length"
+        # Fig. 4's fourteen kinds should mostly appear in our top list.
+        fig4 = {
+            "Dimensionless", "VolumeFlowRate", "Mass", "ForcePerArea",
+            "Length", "Volume", "Energy", "Power", "MassDensity",
+            "MassFlowRate", "Time", "ElectricCharge", "Area", "Velocity",
+        }
+        assert len(fig4 & set(kb.top_quantity_kinds(20)[i][0].name
+                              for i in range(20))) >= 10
+
+
+class TestSurfaceLookup:
+    def test_find_by_symbol(self, kb):
+        hits = kb.find_by_surface("km/h")
+        assert any(unit.unit_id == "KiloM-PER-HR" for unit in hits)
+
+    def test_find_by_chinese_label(self, kb):
+        hits = kb.find_by_surface("千克")
+        assert any(unit.unit_id == "KiloGM" for unit in hits)
+
+    def test_find_is_case_insensitive(self, kb):
+        assert kb.find_by_surface("METRE") == kb.find_by_surface("metre")
+
+    def test_naming_dictionary_covers_all_units(self, kb):
+        naming = kb.naming_dictionary()
+        covered = {uid for uids in naming.values() for uid in uids}
+        assert covered == set(kb.unit_ids())
+
+
+class TestSubset:
+    def test_subset_restricts(self, kb):
+        sub = kb.subset(["M", "KiloM", "SEC"])
+        assert len(sub) == 3
+        assert "M" in sub
+        assert "GM" not in sub
+
+    def test_subset_keeps_kinds_consistent(self, kb):
+        sub = kb.subset(["M", "SEC"])
+        assert sub.get("M").quantity_kind == "Length"
+        assert {k.name for k in sub.kinds()} == {"Length", "Time"}
