@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Benchmark: sequential seed evaluation loop vs the batched engine.
+
+Builds a full seven-task DimEval split and scores a deterministic,
+latency-bound model (a stand-in for an API-backed LLM: each ``generate``
+call pays a fixed round-trip delay) two ways:
+
+1. the seed's sequential loop -- one ``generate`` per example, in order;
+2. :class:`repro.engine.EvaluationEngine` with a worker pool
+   (``BatchRunner`` fan-out), which must produce *identical*
+   ``TaskResult`` scores while overlapping the round trips.
+
+Emits a JSON record so future PRs can track the trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --out bench_engine.json
+
+Exits non-zero if the engine's scores diverge from the sequential loop
+or (when ``--min-speedup`` is given) the speedup target is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.dimeval.benchmark import DimEvalBenchmark
+from repro.dimeval.evaluate import TaskResult
+from repro.dimeval.metrics import (
+    parse_extraction,
+    parse_option_token,
+    score_extraction,
+    score_mcq,
+)
+from repro.dimeval.schema import Task
+from repro.engine import EngineConfig, EvaluationEngine
+from repro.units import default_kb
+
+
+class SimulatedAPIClient:
+    """Deterministic oracle whose every call pays a network-ish delay."""
+
+    def __init__(self, split, latency: float):
+        self.name = "simulated-api-client"
+        self.latency = latency
+        self._answers = {}
+        for example in split.all_examples():
+            if example.task is Task.QUANTITY_EXTRACTION:
+                completion = "R <sep> " + example.payload["target_serialisation"]
+            else:
+                completion = "R <sep> " + example.answer_letter
+            self._answers[example.prompt] = completion
+
+    def generate(self, prompt: str) -> str:
+        time.sleep(self.latency)
+        return self._answers[prompt]
+
+
+def sequential_evaluate(model, split) -> dict[Task, TaskResult]:
+    """The seed's pre-engine loop: one generate() per example, in order."""
+    results: dict[Task, TaskResult] = {}
+    for task, examples in split.examples.items():
+        if task is Task.QUANTITY_EXTRACTION:
+            predictions = [
+                parse_extraction(model.generate(ex.prompt)) for ex in examples
+            ]
+            gold = [list(ex.payload["gold"]) for ex in examples]
+            results[task] = TaskResult(
+                task=task, extraction=score_extraction(predictions, gold)
+            )
+        else:
+            choices = [
+                parse_option_token(model.generate(ex.prompt), ex.option_tokens)
+                for ex in examples
+            ]
+            gold_indices = [ex.answer_index for ex in examples]
+            results[task] = TaskResult(task=task, mcq=score_mcq(choices, gold_indices))
+    return results
+
+
+def _score_record(results: dict[Task, TaskResult]) -> dict:
+    record = {}
+    for task, result in results.items():
+        if result.mcq is not None:
+            record[task.value] = {
+                "precision": result.mcq.precision, "f1": result.mcq.f1,
+            }
+        else:
+            record[task.value] = {
+                "qe_f1": result.extraction.qe_f1,
+                "ve_f1": result.extraction.ve_f1,
+                "ue_f1": result.extraction.ue_f1,
+            }
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--eval-per-task", type=int, default=24,
+                        help="DimEval examples per task (7 tasks total)")
+    parser.add_argument("--latency-ms", type=float, default=3.0,
+                        help="simulated per-call model latency")
+    parser.add_argument("--workers", type=int, default=6,
+                        help="engine worker-pool width")
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless engine speedup reaches this factor")
+    parser.add_argument("--out", default=None,
+                        help="path for the JSON record (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    kb = default_kb()
+    split = DimEvalBenchmark(
+        kb, seed=args.seed, train_per_task=0,
+        eval_per_task=args.eval_per_task,
+    ).eval_split()
+    latency = args.latency_ms / 1000.0
+
+    model = SimulatedAPIClient(split, latency)
+    started = time.perf_counter()
+    baseline = sequential_evaluate(model, split)
+    sequential_s = time.perf_counter() - started
+
+    engine = EvaluationEngine(EngineConfig(
+        max_workers=args.workers, batch_size=args.batch_size,
+        completion_cache_size=0,  # time real generation, not the memo
+    ))
+    model = SimulatedAPIClient(split, latency)
+    started = time.perf_counter()
+    batched = engine.evaluate_model(model, split)
+    engine_s = time.perf_counter() - started
+
+    identical = baseline == batched
+    speedup = sequential_s / engine_s if engine_s else float("inf")
+    record = {
+        "benchmark": "bench_engine",
+        "examples": len(split),
+        "tasks": len(split.examples),
+        "latency_ms": args.latency_ms,
+        "workers": args.workers,
+        "batch_size": args.batch_size,
+        "sequential_s": round(sequential_s, 4),
+        "engine_s": round(engine_s, 4),
+        "speedup": round(speedup, 2),
+        "scores_identical": identical,
+        "scores": _score_record(batched),
+    }
+    print(json.dumps(record, indent=2))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+
+    if not identical:
+        print("FAIL: engine scores differ from the sequential loop",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below target "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

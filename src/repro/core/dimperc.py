@@ -10,13 +10,13 @@ Produces two checkpoints of the transformer substrate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.dimeval.benchmark import DimEvalBenchmark, DimEvalSplit
-from repro.dimeval.evaluate import TaskResult, evaluate_model
-from repro.dimeval.schema import DimEvalExample, Task
+from repro.dimeval.evaluate import TaskResult
+from repro.dimeval.schema import Task
 from repro.llm.instruct import instruction_dataset
 from repro.llm.interface import TransformerLM
 from repro.llm.model import TransformerConfig, TransformerModel
@@ -81,13 +81,15 @@ class DimPercModels:
         """The instruction-tuned base checkpoint as a LanguageModel."""
         self.model.load_params(self.llama_ift_params)
         return TransformerLM(self.model, self.tokenizer, name=name,
-                             max_new_tokens=64)
+                             max_new_tokens=64,
+                             cache_key=f"{name}@{id(self.llama_ift_params):x}")
 
     def as_dimperc(self, name: str = "DimPerc") -> TransformerLM:
         """The DimEval-finetuned checkpoint as a LanguageModel."""
         self.model.load_params(self.dimperc_params)
         return TransformerLM(self.model, self.tokenizer, name=name,
-                             max_new_tokens=64)
+                             max_new_tokens=64,
+                             cache_key=f"{name}@{id(self.dimperc_params):x}")
 
 
 def dimeval_training_examples(
@@ -198,11 +200,18 @@ class DimPercPipeline:
 
 
 def evaluate_checkpoint(
-    models: DimPercModels, which: str = "dimperc"
+    models: DimPercModels, which: str = "dimperc", engine=None
 ) -> dict[Task, TaskResult]:
-    """Score one checkpoint over the eval split."""
+    """Score one checkpoint over the eval split.
+
+    ``engine`` is an optional :class:`repro.engine.EvaluationEngine`;
+    the process-wide default engine is used otherwise.
+    """
+    from repro.engine import get_default_engine
+
     lm = models.as_dimperc() if which == "dimperc" else models.as_llama_ift()
-    return evaluate_model(lm, models.eval_split)
+    engine = engine or get_default_engine()
+    return engine.evaluate_model(lm, models.eval_split)
 
 
 def category_scores(

@@ -23,7 +23,6 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-from repro.dimension import DimensionVector
 from repro.units import frequency
 from repro.units.builder import KindRegistry
 from repro.units.data.kinds import BASE_KINDS

@@ -9,10 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.encoding import equation_from_output, mwp_example, mwp_prompt
-from repro.llm.generation import greedy_decode
+from repro.llm.generation import greedy_decode, greedy_decode_batch
 from repro.llm.model import TransformerModel
 from repro.llm.tokenizer import Tokenizer
 from repro.llm.trainer import Seq2SeqTrainer
@@ -139,7 +137,26 @@ class QuantitativeReasoner:
         """Table IX protocol shared with the simulated baselines."""
         return self.solve(problem)
 
-    def evaluate(self, problems: list[MWPProblem]) -> float:
-        """Answer accuracy over a list of problems."""
-        predictions = [self.solve(problem) for problem in problems]
+    def evaluate(self, problems: list[MWPProblem], batch_size: int = 32) -> float:
+        """Answer accuracy over a list of problems.
+
+        Decodes in batches of ``batch_size`` through
+        :func:`repro.llm.generation.greedy_decode_batch`; predictions are
+        token-identical to per-problem :meth:`solve`.
+        """
+        predictions: list[float | None] = []
+        for start in range(0, len(problems), batch_size):
+            chunk = problems[start:start + batch_size]
+            prompt_ids = [
+                self.tokenizer.encode(mwp_prompt(problem)) for problem in chunk
+            ]
+            outputs = greedy_decode_batch(
+                self.model, prompt_ids,
+                max_new_tokens=self.config.max_new_tokens,
+            )
+            for problem, output_ids in zip(chunk, outputs):
+                output = self.tokenizer.decode(output_ids)
+                predictions.append(
+                    equation_answer(problem, equation_from_output(output))
+                )
         return score_accuracy(predictions, problems)

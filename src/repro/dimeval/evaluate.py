@@ -1,26 +1,26 @@
-"""Model-agnostic DimEval evaluation loop.
+"""Model-agnostic DimEval evaluation entry points.
 
 Scores anything implementing either interface:
 
 - ``generate(prompt: str) -> str`` (the transformer substrate) -- the
-  symbolic prompt is used and the completion parsed;
+  symbolic prompt is used and the completion parsed; models may also
+  expose ``generate_batch(prompts) -> list[str]`` for bulk inference;
 - ``answer_example(example) -> int | None`` and/or
   ``extract_example(example) -> list[(value, unit_id)]`` (the simulated
   baselines) -- structured access without string parsing.
+
+Since the engine refactor these functions are thin wrappers over the
+process-wide :class:`repro.engine.EvaluationEngine`
+(:func:`repro.engine.get_default_engine`), which adds batching, worker
+fan-out and caching while producing identical scores.  Construct an
+engine directly for per-call configuration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dimeval.metrics import (
-    ExtractionScore,
-    MCQScore,
-    parse_extraction,
-    parse_option_token,
-    score_extraction,
-    score_mcq,
-)
+from repro.dimeval.metrics import ExtractionScore, MCQScore
 from repro.dimeval.schema import DimEvalExample, Task
 
 
@@ -45,41 +45,15 @@ class TaskResult:
         return self.mcq.f1
 
 
-def _predict_choice(model, example: DimEvalExample) -> int | None:
-    answer_fn = getattr(model, "answer_example", None)
-    if answer_fn is not None:
-        return answer_fn(example)
-    return parse_option_token(
-        model.generate(example.prompt), example.option_tokens
-    )
-
-
-def _predict_extraction(model, example: DimEvalExample) -> list[tuple[str, str]]:
-    extract_fn = getattr(model, "extract_example", None)
-    if extract_fn is not None:
-        return extract_fn(example)
-    return parse_extraction(model.generate(example.prompt))
-
-
 def evaluate_task(model, examples: list[DimEvalExample]) -> TaskResult:
     """Score one model over one task's examples."""
-    if not examples:
-        raise ValueError("cannot evaluate an empty example list")
-    task = examples[0].task
-    if any(example.task is not task for example in examples):
-        raise ValueError("mixed tasks in one evaluation batch")
-    if task is Task.QUANTITY_EXTRACTION:
-        predictions = [_predict_extraction(model, ex) for ex in examples]
-        gold = [list(ex.payload["gold"]) for ex in examples]
-        return TaskResult(task=task, extraction=score_extraction(predictions, gold))
-    predictions = [_predict_choice(model, ex) for ex in examples]
-    gold = [ex.answer_index for ex in examples]
-    return TaskResult(task=task, mcq=score_mcq(predictions, gold))
+    from repro.engine import get_default_engine
+
+    return get_default_engine().evaluate_task(model, examples)
 
 
 def evaluate_model(model, split) -> dict[Task, TaskResult]:
     """Evaluate a model over every task in a :class:`DimEvalSplit`."""
-    return {
-        task: evaluate_task(model, examples)
-        for task, examples in split.examples.items()
-    }
+    from repro.engine import get_default_engine
+
+    return get_default_engine().evaluate_model(model, split)

@@ -1,0 +1,46 @@
+"""repro.engine: the batched, cached, parallel evaluation engine.
+
+Every DimEval score in the repo flows through one of these objects:
+
+- :class:`EngineConfig` -- batch size, worker-pool width, cache sizes,
+  progress callback;
+- :class:`BatchRunner` -- prompts -> completions with ``generate_batch``
+  chunking, thread fan-out over plain ``generate``, deterministic result
+  ordering and a prompt -> completion memo;
+- :class:`EvaluationEngine` -- full task/split scoring on top of the
+  runner, plus an LRU :class:`ConversionCache` for unit math;
+- :func:`get_default_engine` / :func:`set_default_engine` -- the
+  process-wide engine that ``repro.dimeval.evaluate_model`` and the
+  experiment harness delegate to (the CLI's ``--workers`` /
+  ``--batch-size`` flags reconfigure it).
+
+Quickstart::
+
+    from repro.engine import EngineConfig, EvaluationEngine
+
+    engine = EvaluationEngine(EngineConfig(max_workers=4, batch_size=32))
+    results = engine.evaluate_model(model, split)   # {Task: TaskResult}
+"""
+
+from repro.engine.cache import CacheStats, ConversionCache, LRUCache
+from repro.engine.config import EngineConfig, ProgressCallback
+from repro.engine.evaluator import (
+    EvaluationEngine,
+    default_conversion_cache,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.engine.runner import BatchRunner
+
+__all__ = [
+    "BatchRunner",
+    "CacheStats",
+    "ConversionCache",
+    "EngineConfig",
+    "EvaluationEngine",
+    "LRUCache",
+    "ProgressCallback",
+    "default_conversion_cache",
+    "get_default_engine",
+    "set_default_engine",
+]

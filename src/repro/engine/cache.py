@@ -1,0 +1,164 @@
+"""Caching layer of the evaluation engine.
+
+Three pieces:
+
+- :class:`LRUCache` -- a small, thread-safe LRU map with hit/miss
+  statistics (the worker pool in :mod:`repro.engine.runner` reads and
+  writes it concurrently);
+- :class:`ConversionCache` -- memoized unit conversion keyed on
+  ``(source_id, target_id)``.  Successful lookups cache the affine
+  ``value_in_target = scale * value + shift`` transform, so both
+  :meth:`~ConversionCache.factor` and :meth:`~ConversionCache.convert`
+  are O(1) after the first pair query.  Failures are *never* cached:
+  affine misuse re-raises :class:`~repro.units.conversion.ConversionError`
+  and incomparable dimensions re-raise
+  :class:`~repro.dimension.DimensionLawViolation` on every call, exactly
+  like the uncached :mod:`repro.units.conversion` functions.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.units.conversion import ConversionError, conversion_factor
+from repro.units.schema import UnitRecord
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters snapshot for one cache."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A bounded, thread-safe least-recently-used mapping.
+
+    ``maxsize`` of 0 disables the cache entirely: every ``get`` misses
+    and ``put`` is a no-op, which lets callers keep one code path.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 0:
+            raise ValueError("maxsize must be non-negative")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    _MISSING = object()
+
+    def get(self, key, default=None):
+        """The cached value (marking it recently used), or ``default``."""
+        with self._lock:
+            value = self._data.get(key, self._MISSING)
+            if value is self._MISSING:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        """Insert/refresh a key, evicting the least recently used."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> CacheStats:
+        """A point-in-time snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+
+class ConversionCache:
+    """LRU-cached unit conversion keyed on ``(source_id, target_id)``.
+
+    The cached entry is the ``(scale, shift)`` of the affine map to the
+    target unit; ``factor`` additionally demands ``shift == 0`` (pure
+    factors are undefined for offset scales, paper Definition 8).
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        self._cache = LRUCache(maxsize)
+
+    def _transform(self, source: UnitRecord, target: UnitRecord) -> tuple[float, float]:
+        key = (source.unit_id, target.unit_id)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        # Reuse conversion_factor for its dimension-law check; affine
+        # units fall back to composing the two affine maps directly.
+        if source.is_affine or target.is_affine:
+            from repro.dimension import require_comparable
+
+            require_comparable(source.dimension, target.dimension,
+                               operation="convert")
+            scale = source.conversion_value / target.conversion_value
+            shift = (
+                (source.conversion_offset - target.conversion_offset)
+                / target.conversion_value
+            )
+        else:
+            scale = conversion_factor(source, target)
+            shift = 0.0
+        self._cache.put(key, (scale, shift))
+        return scale, shift
+
+    def factor(self, source: UnitRecord, target: UnitRecord) -> float:
+        """Cached :func:`repro.units.conversion.conversion_factor`."""
+        scale, shift = self._transform(source, target)
+        if shift != 0.0 or source.is_affine or target.is_affine:
+            raise ConversionError(
+                f"affine units ({source.unit_id} -> {target.unit_id}) have no "
+                "pure conversion factor; use convert_value"
+            )
+        return scale
+
+    def convert(self, value: float, source: UnitRecord, target: UnitRecord) -> float:
+        """Cached :func:`repro.units.conversion.convert_value`."""
+        scale, shift = self._transform(source, target)
+        return scale * value + shift
+
+    def stats(self) -> CacheStats:
+        """Hit/miss statistics of the underlying LRU."""
+        return self._cache.stats()
+
+    def clear(self) -> None:
+        """Forget every cached unit pair."""
+        self._cache.clear()

@@ -1,0 +1,47 @@
+"""Configuration for the batched evaluation engine.
+
+One frozen dataclass controls every knob future scaling PRs will care
+about: batch size for ``generate_batch`` chunking, worker-pool width for
+the ``generate()`` fan-out fallback, the sizes of the engine's caches,
+and an optional progress callback for long evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Called as ``progress(completed, total)`` after every finished prompt.
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs for :class:`repro.engine.EvaluationEngine`.
+
+    ``max_workers`` of 0 or 1 keeps generation sequential in the calling
+    thread (exactly the seed evaluation loop); larger values fan
+    ``generate()`` calls out over a thread pool.  Cache sizes of 0
+    disable the corresponding cache.
+    """
+
+    batch_size: int = 16
+    max_workers: int = 0
+    conversion_cache_size: int = 4096
+    completion_cache_size: int = 2048
+    progress: ProgressCallback | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.max_workers < 0:
+            raise ValueError("max_workers must be non-negative")
+        if self.conversion_cache_size < 0:
+            raise ValueError("conversion_cache_size must be non-negative")
+        if self.completion_cache_size < 0:
+            raise ValueError("completion_cache_size must be non-negative")
+
+    @property
+    def parallel(self) -> bool:
+        """True when the config asks for a worker pool."""
+        return self.max_workers > 1

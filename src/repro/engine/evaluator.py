@@ -1,0 +1,138 @@
+"""The batched DimEval evaluation engine.
+
+:class:`EvaluationEngine` is the single execution path for scoring any
+model on DimEval tasks.  It understands both evaluator protocols:
+
+- structured access (``answer_example`` / ``extract_example``, the
+  simulated baselines): examples are visited strictly in order in the
+  calling thread, because those models consume a seeded RNG stream and
+  reordering would change their answers;
+- prompt completion (``generate`` / ``generate_batch``, the transformer
+  substrate and anything API-shaped): prompts are routed through
+  :class:`~repro.engine.runner.BatchRunner` for batching, worker fan-out
+  and completion memoization.
+
+Scores are bit-identical to the seed's sequential loop in
+:mod:`repro.dimeval.evaluate` -- that module's ``evaluate_task`` /
+``evaluate_model`` are now thin wrappers over a process-wide default
+engine (:func:`get_default_engine`).
+"""
+
+from __future__ import annotations
+
+from repro.dimeval.evaluate import TaskResult
+from repro.dimeval.metrics import (
+    parse_extraction,
+    parse_option_token,
+    score_extraction,
+    score_mcq,
+)
+from repro.dimeval.schema import DimEvalExample, Task
+from repro.engine.cache import ConversionCache, LRUCache
+from repro.engine.config import EngineConfig
+from repro.engine.runner import BatchRunner
+
+
+class EvaluationEngine:
+    """Batched, cached scoring of models over DimEval examples.
+
+    ``conversion_cache`` is the engine's unit-conversion pool; consumers
+    that do unit math (e.g. the Wolfram stand-in) draw on the default
+    engine's pool via :func:`default_conversion_cache`, so hits are
+    shared across the process unless a caller opts into a private one.
+    """
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        self.completion_cache = LRUCache(self.config.completion_cache_size)
+        self.conversion_cache = ConversionCache(self.config.conversion_cache_size)
+        self.runner = BatchRunner(self.config, self.completion_cache)
+
+    # -- task evaluation ------------------------------------------------------
+
+    def evaluate_task(self, model, examples: list[DimEvalExample]) -> TaskResult:
+        """Score one model over one task's examples (seed-parity scores)."""
+        if not examples:
+            raise ValueError("cannot evaluate an empty example list")
+        task = examples[0].task
+        if any(example.task is not task for example in examples):
+            raise ValueError("mixed tasks in one evaluation batch")
+        if task is Task.QUANTITY_EXTRACTION:
+            predictions = self._predict_extractions(model, examples)
+            gold = [list(example.payload["gold"]) for example in examples]
+            return TaskResult(
+                task=task, extraction=score_extraction(predictions, gold)
+            )
+        choices = self._predict_choices(model, examples)
+        gold_indices = [example.answer_index for example in examples]
+        return TaskResult(task=task, mcq=score_mcq(choices, gold_indices))
+
+    def evaluate_model(self, model, split) -> dict[Task, TaskResult]:
+        """Evaluate a model over every task in a DimEvalSplit."""
+        return {
+            task: self.evaluate_task(model, examples)
+            for task, examples in split.examples.items()
+        }
+
+    # -- prediction strategies ---------------------------------------------------
+
+    def _predict_choices(
+        self, model, examples: list[DimEvalExample]
+    ) -> list[int | None]:
+        answer_fn = getattr(model, "answer_example", None)
+        if answer_fn is not None:
+            # Stateful simulated models draw from a seeded RNG stream;
+            # in-order sequential calls keep their behaviour reproducible.
+            return [answer_fn(example) for example in examples]
+        completions = self.runner.generate_all(
+            model, [example.prompt for example in examples]
+        )
+        return [
+            parse_option_token(completion, example.option_tokens)
+            for completion, example in zip(completions, examples)
+        ]
+
+    def _predict_extractions(
+        self, model, examples: list[DimEvalExample]
+    ) -> list[list[tuple[str, str]]]:
+        extract_fn = getattr(model, "extract_example", None)
+        if extract_fn is not None:
+            return [extract_fn(example) for example in examples]
+        completions = self.runner.generate_all(
+            model, [example.prompt for example in examples]
+        )
+        return [parse_extraction(completion) for completion in completions]
+
+
+_DEFAULT_ENGINE: EvaluationEngine | None = None
+
+
+def get_default_engine() -> EvaluationEngine:
+    """The process-wide engine behind the ``repro.dimeval`` wrappers."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = EvaluationEngine()
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(
+    engine: EvaluationEngine | EngineConfig | None,
+) -> EvaluationEngine:
+    """Install (and return) the process-wide default engine.
+
+    Accepts a ready engine, a bare :class:`EngineConfig` (a fresh engine
+    is built around it), or ``None`` to reset to the sequential default.
+    """
+    global _DEFAULT_ENGINE
+    if isinstance(engine, EngineConfig):
+        engine = EvaluationEngine(engine)
+    _DEFAULT_ENGINE = engine
+    return get_default_engine()
+
+
+def default_conversion_cache() -> ConversionCache:
+    """The default engine's process-wide unit-conversion pool.
+
+    Unit records are immutable and keyed by globally unique ids, so one
+    shared ``(source_id, target_id)`` cache can serve every consumer."""
+    return get_default_engine().conversion_cache

@@ -1,0 +1,133 @@
+"""Batched prompt completion with deterministic ordering.
+
+:class:`BatchRunner` turns ``N`` prompts into ``N`` completions as fast
+as the model allows:
+
+- models exposing ``generate_batch(prompts) -> list[str]`` are driven in
+  chunks of ``EngineConfig.batch_size`` (the paper's bulk-inference
+  setting: one forward pass scores many prompts);
+- plain ``generate(prompt) -> str`` models are fanned out over a
+  ``concurrent.futures`` thread pool of ``EngineConfig.max_workers``
+  (bulk evaluation of API-backed models is latency-bound, so threads
+  recover almost the full pool width);
+- either way results come back in input order, duplicate prompts are
+  generated once, and an optional prompt -> completion LRU memo carries
+  completions across calls for repeated evaluation of identical
+  examples.
+
+The memo key includes the model's ``cache_key`` (falling back to its
+``name``); models sharing a key are assumed interchangeable and
+deterministic.  Models whose weights can differ while the display name
+stays fixed -- e.g. the DimPerc checkpoints -- expose a ``cache_key``
+that fingerprints the parameter set, so a same-named model with other
+weights never reads stale completions.  Set ``completion_cache_size=0``
+to opt out entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.cache import LRUCache
+from repro.engine.config import EngineConfig
+
+
+def _chunked(items: list, size: int) -> list[list]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+class BatchRunner:
+    """Execute prompt batches against any LanguageModel-shaped object."""
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        completion_cache: LRUCache | None = None,
+    ):
+        self.config = config or EngineConfig()
+        if completion_cache is None:
+            completion_cache = LRUCache(self.config.completion_cache_size)
+        self.completion_cache = completion_cache
+
+    # -- public API ---------------------------------------------------------
+
+    def generate_all(self, model, prompts: list[str]) -> list[str]:
+        """Complete every prompt, preserving input order exactly."""
+        results: list[str | None] = [None] * len(prompts)
+        model_key = getattr(model, "cache_key", None) or getattr(
+            model, "name", type(model).__name__
+        )
+
+        # Resolve memoized prompts and dedupe the rest (first-seen order).
+        pending: dict[str, list[int]] = {}
+        for index, prompt in enumerate(prompts):
+            cached = self.completion_cache.get((model_key, prompt))
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.setdefault(prompt, []).append(index)
+
+        unique_prompts = list(pending)
+        if unique_prompts:
+            completions = self._generate_unique(model, unique_prompts)
+            for prompt, completion in zip(unique_prompts, completions):
+                self.completion_cache.put((model_key, prompt), completion)
+                for index in pending[prompt]:
+                    results[index] = completion
+        return results  # type: ignore[return-value]
+
+    # -- execution strategies -----------------------------------------------
+
+    def _generate_unique(self, model, prompts: list[str]) -> list[str]:
+        batch_fn = getattr(model, "generate_batch", None)
+        total = len(prompts)
+        progress = self.config.progress
+        done = 0
+        done_lock = threading.Lock()
+
+        def report(count: int) -> None:
+            nonlocal done
+            if progress is None:
+                return
+            with done_lock:
+                done += count
+                progress(done, total)
+
+        if batch_fn is not None:
+            chunks = _chunked(prompts, self.config.batch_size)
+            if self.config.parallel and len(chunks) > 1:
+                workers = min(self.config.max_workers, len(chunks))
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    chunk_results = list(pool.map(batch_fn, chunks))
+            else:
+                chunk_results = [batch_fn(chunk) for chunk in chunks]
+            completions: list[str] = []
+            for chunk, chunk_result in zip(chunks, chunk_results):
+                if len(chunk_result) != len(chunk):
+                    raise ValueError(
+                        "generate_batch returned "
+                        f"{len(chunk_result)} completions for {len(chunk)} prompts"
+                    )
+                completions.extend(chunk_result)
+                report(len(chunk))
+            return completions
+
+        if self.config.parallel and total > 1:
+            workers = min(self.config.max_workers, total)
+
+            def worker(prompt: str) -> str:
+                completion = model.generate(prompt)
+                report(1)
+                return completion
+
+            # pool.map preserves submission order, so results are
+            # deterministic no matter which worker finishes first.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(worker, prompts))
+
+        completions = []
+        for prompt in prompts:
+            completions.append(model.generate(prompt))
+            report(1)
+        return completions

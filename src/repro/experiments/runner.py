@@ -7,6 +7,8 @@ import importlib
 import sys
 import time
 
+from repro.engine import EngineConfig, set_default_engine
+
 EXPERIMENTS: dict[str, str] = {
     "table3": "repro.experiments.table3",
     "table4": "repro.experiments.table4",
@@ -48,7 +50,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="use the fuller training budgets")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="evaluation worker-pool width (0 = sequential)")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="generate_batch chunk size for evaluation")
     args = parser.parse_args(argv)
+    # Every experiment's DimEval scoring routes through the process-wide
+    # evaluation engine; these flags configure it once for the whole run.
+    set_default_engine(EngineConfig(
+        max_workers=args.workers, batch_size=args.batch_size,
+    ))
     names: list[str] = []
     for item in args.experiments:
         if item == "all":

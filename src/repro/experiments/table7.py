@@ -11,8 +11,8 @@ and are labelled ``(simulated)``.
 
 from __future__ import annotations
 
-from repro.dimeval.evaluate import evaluate_model
 from repro.dimeval.schema import Task
+from repro.engine import get_default_engine
 from repro.experiments.context import get_context
 from repro.experiments.reporting import ExperimentResult
 from repro.simulated import (
@@ -39,11 +39,11 @@ _HEADERS = (
 )
 
 
-def _mean_results(model_factory, split, seeds: int):
+def _mean_results(model_factory, split, seeds: int, engine):
     """Average TaskResult metrics over several stochastic model seeds."""
     sums: dict = {}
     for seed in range(seeds):
-        results = evaluate_model(model_factory(seed), split)
+        results = engine.evaluate_model(model_factory(seed), split)
         for task, result in results.items():
             bucket = sums.setdefault(task, [])
             bucket.append(result)
@@ -78,6 +78,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     """Regenerate Table VII as an ExperimentResult."""
     context = get_context(quick=quick, seed=seed)
     split = context.models.eval_split
+    evaluation = get_default_engine()
     engine = WolframAlphaEngine(context.kb)
     seeds = 3 if quick else 5
     result = ExperimentResult(
@@ -92,7 +93,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                 CalibratedLLM(MODEL_PROFILES[n], seed=seed + s),
                 engine, seed=seed + s,
             ),
-            split, seeds,
+            split, seeds, evaluation,
         )
         result.add_row(*_row_from_results(
             f"{name} + Wolfram (simulated)", MODEL_PROFILES[name].params, sums
@@ -101,14 +102,17 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     for name, profile in MODEL_PROFILES.items():
         sums = _mean_results(
             lambda s, n=name: CalibratedLLM(MODEL_PROFILES[n], seed=seed + s),
-            split, seeds,
+            split, seeds, evaluation,
         )
         result.add_row(*_row_from_results(
             f"{name} (simulated)", profile.params, sums
         ))
     # -- DimPerc (real training) --------------------------------------------------
     dimperc = context.models.as_dimperc()
-    sums = {task: [res] for task, res in evaluate_model(dimperc, split).items()}
+    sums = {
+        task: [res]
+        for task, res in evaluation.evaluate_model(dimperc, split).items()
+    }
     result.add_row(*_row_from_results("DimPerc (ours, trained)", "toy", sums))
     result.add_note(
         "paper DimPerc row: QE 71.53 VE 73.61 UE 82.35 | QK 62.81/62.59 | "

@@ -1,4 +1,12 @@
-"""Greedy decoding for the transformer substrate."""
+"""Greedy decoding for the transformer substrate.
+
+:func:`greedy_decode` scores one prompt at a time;
+:func:`greedy_decode_batch` decodes many prompts in lockstep through
+shared batched forward passes -- the causal attention mask makes the
+logits at each sequence's last real position independent of the padding
+to its right, so batched results match the sequential decoder token for
+token while amortising the per-call numpy overhead.
+"""
 
 from __future__ import annotations
 
@@ -32,4 +40,46 @@ def greedy_decode(
             break
         generated.append(next_id)
         ids.append(next_id)
+    return generated
+
+
+def greedy_decode_batch(
+    model: TransformerModel,
+    prompt_ids_batch: list[list[int]],
+    max_new_tokens: int = 48,
+) -> list[list[int]]:
+    """Batched :func:`greedy_decode`: one forward pass serves every
+    still-unfinished sequence per step.
+
+    Returns one generated-id list per prompt, in input order.  Sequences
+    are right-padded to the longest active context; logits are read at
+    each sequence's own final position, so padding never leaks into the
+    argmax.
+    """
+    if max_new_tokens < 1:
+        raise ValueError("max_new_tokens must be positive")
+    if not prompt_ids_batch:
+        return []
+    window = model.config.max_len
+    sequences = [list(prompt_ids) + [BOS] for prompt_ids in prompt_ids_batch]
+    generated: list[list[int]] = [[] for _ in sequences]
+    active = list(range(len(sequences)))
+    for _ in range(max_new_tokens):
+        contexts = [sequences[index][-window:] for index in active]
+        longest = max(len(context) for context in contexts)
+        batch = np.zeros((len(contexts), longest), dtype=np.int64)
+        for row, context in enumerate(contexts):
+            batch[row, :len(context)] = context
+        logits, _ = model.forward(batch)
+        still_active = []
+        for row, index in enumerate(active):
+            next_id = int(np.argmax(logits[row, len(contexts[row]) - 1]))
+            if next_id == EOS:
+                continue
+            generated[index].append(next_id)
+            sequences[index].append(next_id)
+            still_active.append(index)
+        active = still_active
+        if not active:
+            break
     return generated

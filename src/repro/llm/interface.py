@@ -10,18 +10,23 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
-from repro.llm.generation import greedy_decode
+from repro.llm.generation import greedy_decode, greedy_decode_batch
 from repro.llm.model import TransformerModel
 from repro.llm.tokenizer import Tokenizer
 
 
 @runtime_checkable
 class LanguageModel(Protocol):
-    """Anything that maps a prompt string to a completion string."""
+    """Anything that maps a prompt string to a completion string.
+
+    Models may additionally expose ``generate_batch(prompts) ->
+    list[str]`` (same order as the input); the evaluation engine's
+    :class:`repro.engine.BatchRunner` prefers it over per-prompt
+    ``generate`` fan-out when present.
+    """
 
     name: str
 
-    """Complete a prompt."""
     def generate(self, prompt: str) -> str:
         """Complete a prompt."""
         ...
@@ -36,11 +41,16 @@ class TransformerLM:
         tokenizer: Tokenizer,
         name: str = "transformer",
         max_new_tokens: int = 48,
+        cache_key: str | None = None,
     ):
+        """``cache_key`` identifies this model in the evaluation engine's
+        completion memo; pass one that fingerprints the loaded weights
+        when several same-named checkpoints live in one process."""
         self.model = model
         self.tokenizer = tokenizer
         self.name = name
         self.max_new_tokens = max_new_tokens
+        self.cache_key = cache_key or name
 
     def generate(self, prompt: str) -> str:
         """Greedy-decode a completion for a symbolic prompt."""
@@ -49,3 +59,15 @@ class TransformerLM:
             self.model, prompt_ids, max_new_tokens=self.max_new_tokens
         )
         return self.tokenizer.decode(output_ids)
+
+    def generate_batch(self, prompts: list[str]) -> list[str]:
+        """Greedy-decode many prompts through shared forward passes.
+
+        Token-for-token identical to per-prompt :meth:`generate`; the
+        batched decoder just amortises the numpy dispatch overhead.
+        """
+        prompt_ids = [self.tokenizer.encode(prompt) for prompt in prompts]
+        output_ids = greedy_decode_batch(
+            self.model, prompt_ids, max_new_tokens=self.max_new_tokens
+        )
+        return [self.tokenizer.decode(ids) for ids in output_ids]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.mwp.equation import evaluate_equation
 from repro.mwp.schema import MWPProblem, ProblemQuantity
-from repro.mwp.templates import MWPTemplate, templates_for
+from repro.mwp.templates import templates_for
 from repro.units.kb import DimUnitKB
 from repro.utils.rng import spawn_rng
 

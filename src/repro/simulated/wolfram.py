@@ -12,7 +12,7 @@ do (RQ4).
 from __future__ import annotations
 
 from repro.dimension import DimensionVector, dimension_of_expression
-from repro.units.conversion import conversion_factor
+from repro.engine import ConversionCache, default_conversion_cache
 from repro.units.kb import DimUnitKB
 from repro.units.schema import UnitRecord
 
@@ -25,10 +25,23 @@ class ToolQueryError(ValueError):
 
 
 class WolframAlphaEngine:
-    """Unit conversion + dimension algebra over a narrower catalogue."""
+    """Unit conversion + dimension algebra over a narrower catalogue.
 
-    def __init__(self, kb: DimUnitKB, unit_count: int = WOLFRAM_UNIT_COUNT):
+    Conversions go through an LRU :class:`repro.engine.ConversionCache`
+    (tool-augmented evaluation asks for the same unit pairs over and
+    over).  By default every engine instance draws on the process-wide
+    :func:`repro.engine.default_conversion_cache` pool; pass
+    ``conversion_cache`` to isolate one.
+    """
+
+    def __init__(
+        self,
+        kb: DimUnitKB,
+        unit_count: int = WOLFRAM_UNIT_COUNT,
+        conversion_cache: ConversionCache | None = None,
+    ):
         self._kb = kb
+        self._conversions = conversion_cache or default_conversion_cache()
         chosen = kb.top_units_by_frequency(unit_count)
         self._subset = kb.subset(
             [unit.unit_id for unit in chosen], resource="WolframAlpha"
@@ -61,7 +74,7 @@ class WolframAlphaEngine:
         """``value source`` expressed in ``target`` (pure factors only)."""
         source_unit = self.resolve(source)
         target_unit = self.resolve(target)
-        return value * conversion_factor(source_unit, target_unit)
+        return value * self._conversions.factor(source_unit, target_unit)
 
     def dimension_of(self, mentions: list[str], ops: list[str]) -> DimensionVector:
         """Dimension of a unit expression (Definition 6)."""

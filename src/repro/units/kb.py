@@ -54,6 +54,7 @@ class DimUnitKB:
         self._by_kind: dict[str, list[UnitRecord]] = {}
         self._by_dimension: dict[DimensionVector, list[UnitRecord]] = {}
         self._by_surface: dict[str, list[UnitRecord]] = {}
+        self._naming_dictionary: dict[str, tuple[str, ...]] | None = None
         for record in self._records.values():
             for kind_name in record.quantity_kinds:
                 if kind_name not in self._kinds:
@@ -64,7 +65,12 @@ class DimUnitKB:
                 self._by_kind.setdefault(kind_name, []).append(record)
             self._by_dimension.setdefault(record.dimension, []).append(record)
             for form in record.surface_forms():
-                self._by_surface.setdefault(form.casefold(), []).append(record)
+                key = form.strip().casefold()
+                if not key:
+                    continue
+                bucket = self._by_surface.setdefault(key, [])
+                if record not in bucket:
+                    bucket.append(record)
         for bucket in self._by_kind.values():
             bucket.sort(key=lambda r: (-r.frequency, r.unit_id))
         for bucket in self._by_dimension.values():
@@ -138,15 +144,27 @@ class DimUnitKB:
     # -- surface forms ------------------------------------------------------------------
 
     def find_by_surface(self, text: str) -> tuple[UnitRecord, ...]:
-        """Exact (case-insensitive) surface-form lookup."""
+        """Exact (case- and whitespace-insensitive) surface-form lookup.
+
+        Queries and index keys are normalised identically
+        (``strip().casefold()``), so whitespace variants of a surface
+        form resolve consistently with :meth:`naming_dictionary`.
+        """
         return tuple(self._by_surface.get(text.strip().casefold(), ()))
 
     def naming_dictionary(self) -> dict[str, tuple[str, ...]]:
-        """surface form -> unit ids; the linker's candidate index."""
-        return {
-            form: tuple(record.unit_id for record in records)
-            for form, records in self._by_surface.items()
-        }
+        """surface form -> unit ids; the linker's candidate index.
+
+        Built once per KB and memoized (the KB is immutable); treat the
+        returned mapping as read-only.  Keys use the same
+        ``strip().casefold()`` normalisation as :meth:`find_by_surface`.
+        """
+        if self._naming_dictionary is None:
+            self._naming_dictionary = {
+                form: tuple(record.unit_id for record in records)
+                for form, records in self._by_surface.items()
+            }
+        return self._naming_dictionary
 
     # -- frequency views (Fig. 3 / Fig. 4) -------------------------------------------
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dimension import DimensionVector, dimension_of_expression
+from repro.dimension import dimension_of_expression
 from repro.dimeval import (
     CATEGORY_OF_TASK,
     DimEvalBenchmark,

@@ -1,7 +1,5 @@
 """Extra tests for answer parsing: content tokens, letters, abstention."""
 
-import pytest
-
 from repro.dimeval.metrics import parse_choice, parse_option_token
 
 OPTIONS = ("U:M", "U:SEC", "U:KiloGM", "U:HZ")

@@ -1,0 +1,408 @@
+"""Tests for the batched, cached evaluation engine (repro.engine)."""
+
+import threading
+
+import pytest
+
+from repro.dimension import DimensionLawViolation
+from repro.dimeval import DimEvalBenchmark, Task, evaluate_model
+from repro.engine import (
+    BatchRunner,
+    ConversionCache,
+    EngineConfig,
+    EvaluationEngine,
+    LRUCache,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.units import ConversionError, default_kb
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+@pytest.fixture(scope="module")
+def split(kb):
+    return DimEvalBenchmark(kb, seed=11, train_per_task=0,
+                            eval_per_task=10).eval_split()
+
+
+def _generate_oracle(split):
+    """A deterministic generate()-only model answering from payloads."""
+    prompt_map = {ex.prompt: ex for ex in split.all_examples()}
+
+    class GenerateOracle:
+        name = "generate-oracle"
+
+        def __init__(self):
+            self.calls = 0
+            self.lock = threading.Lock()
+
+        def generate(self, prompt):
+            with self.lock:
+                self.calls += 1
+            example = prompt_map[prompt]
+            if example.task is Task.QUANTITY_EXTRACTION:
+                return "R <sep> " + example.payload["target_serialisation"]
+            return "R <sep> " + example.answer_letter
+
+    return GenerateOracle()
+
+
+class TestEngineConfig:
+    def test_defaults_are_sequential(self):
+        config = EngineConfig()
+        assert not config.parallel
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            EngineConfig(max_workers=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(completion_cache_size=-1)
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_zero_size_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_stats(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+
+class TestConversionCache:
+    def test_factor_matches_uncached(self, kb):
+        from repro.units import conversion_factor
+
+        cache = ConversionCache()
+        km = kb.get("KiloM")
+        metre = kb.get("M")
+        expected = conversion_factor(km, metre)
+        assert cache.factor(km, metre) == expected
+        # second call comes from the cache
+        assert cache.factor(km, metre) == expected
+        assert cache.stats().hits >= 1
+
+    def test_convert_affine_matches_uncached(self, kb):
+        from repro.units import convert_value
+
+        cache = ConversionCache()
+        celsius = kb.get("DEG-C")
+        fahrenheit = kb.get("DEG-F")
+        expected = convert_value(100.0, celsius, fahrenheit)
+        assert cache.convert(100.0, celsius, fahrenheit) == pytest.approx(expected)
+        # cached path gives the same answer
+        assert cache.convert(100.0, celsius, fahrenheit) == pytest.approx(expected)
+        assert cache.convert(0.0, celsius, fahrenheit) == pytest.approx(32.0)
+
+    def test_affine_factor_raises_through_cache(self, kb):
+        cache = ConversionCache()
+        celsius = kb.get("DEG-C")
+        fahrenheit = kb.get("DEG-F")
+        # convert() first, so the pair is cached before factor() asks
+        cache.convert(1.0, celsius, fahrenheit)
+        for _ in range(2):
+            with pytest.raises(ConversionError):
+                cache.factor(celsius, fahrenheit)
+
+    def test_affine_to_linear_factor_raises(self, kb):
+        cache = ConversionCache()
+        celsius = kb.get("DEG-C")
+        kelvin = kb.get("K")
+        for _ in range(2):
+            with pytest.raises(ConversionError):
+                cache.factor(celsius, kelvin)
+        # point conversion still works and hits the cache second time
+        assert cache.convert(0.0, celsius, kelvin) == pytest.approx(273.15)
+        assert cache.convert(0.0, celsius, kelvin) == pytest.approx(273.15)
+
+    def test_incomparable_raises_every_time(self, kb):
+        cache = ConversionCache()
+        metre = kb.get("M")
+        second = kb.get("SEC")
+        for _ in range(2):
+            with pytest.raises(DimensionLawViolation):
+                cache.factor(metre, second)
+        with pytest.raises(DimensionLawViolation):
+            cache.convert(1.0, metre, second)
+
+
+class TestBatchRunner:
+    def test_order_is_deterministic_under_workers(self):
+        class Echo:
+            name = "echo"
+
+            def generate(self, prompt):
+                return f"done:{prompt}"
+
+        prompts = [f"p{i}" for i in range(23)]
+        runner = BatchRunner(EngineConfig(max_workers=5,
+                                          completion_cache_size=0))
+        assert runner.generate_all(Echo(), prompts) == [
+            f"done:p{i}" for i in range(23)
+        ]
+
+    def test_prefers_generate_batch(self):
+        class Batched:
+            name = "batched"
+
+            def __init__(self):
+                self.batch_calls = []
+
+            def generate(self, prompt):  # pragma: no cover - must not run
+                raise AssertionError("generate_batch should be preferred")
+
+            def generate_batch(self, prompts):
+                self.batch_calls.append(list(prompts))
+                return [p.upper() for p in prompts]
+
+        model = Batched()
+        runner = BatchRunner(EngineConfig(batch_size=4,
+                                          completion_cache_size=0))
+        prompts = [f"p{i}" for i in range(10)]
+        assert runner.generate_all(model, prompts) == [p.upper() for p in prompts]
+        assert [len(chunk) for chunk in model.batch_calls] == [4, 4, 2]
+
+    def test_generate_batch_length_mismatch_raises(self):
+        class Broken:
+            name = "broken"
+
+            def generate_batch(self, prompts):
+                return ["only-one"]
+
+        runner = BatchRunner(EngineConfig(batch_size=8))
+        with pytest.raises(ValueError):
+            runner.generate_all(Broken(), ["a", "b", "c"])
+
+    def test_duplicate_prompts_generated_once(self):
+        class Counting:
+            name = "counting"
+            calls = 0
+
+            def generate(self, prompt):
+                Counting.calls += 1
+                return prompt[::-1]
+
+        runner = BatchRunner(EngineConfig(max_workers=0))
+        result = runner.generate_all(Counting(), ["ab", "cd", "ab", "ab"])
+        assert result == ["ba", "dc", "ba", "ba"]
+        assert Counting.calls == 2
+
+    def test_memo_carries_across_calls(self):
+        class Counting:
+            name = "counting-2"
+
+            def __init__(self):
+                self.calls = 0
+
+            def generate(self, prompt):
+                self.calls += 1
+                return prompt + "!"
+
+        model = Counting()
+        runner = BatchRunner(EngineConfig())
+        runner.generate_all(model, ["x", "y"])
+        runner.generate_all(model, ["y", "z"])
+        assert model.calls == 3  # "y" was memoized
+
+    def test_cache_key_separates_same_named_models(self):
+        class Checkpoint:
+            name = "DimPerc"
+
+            def __init__(self, cache_key, reply):
+                self.cache_key = cache_key
+                self.reply = reply
+
+            def generate(self, prompt):
+                return self.reply
+
+        runner = BatchRunner(EngineConfig())
+        assert runner.generate_all(Checkpoint("DimPerc@a", "first"), ["p"]) == [
+            "first"
+        ]
+        # same display name, different weights fingerprint: no stale hit
+        assert runner.generate_all(Checkpoint("DimPerc@b", "second"), ["p"]) == [
+            "second"
+        ]
+
+    def test_transformer_lm_cache_key_fingerprints_params(self):
+        from repro.llm.model import TransformerConfig, TransformerModel
+        from repro.llm.tokenizer import Tokenizer
+        from repro.core.dimperc import DimPercModels
+
+        tokenizer = Tokenizer().fit(["a b c"])
+        model = TransformerModel(TransformerConfig(
+            vocab_size=tokenizer.vocab_size, d_model=8, n_layers=1,
+            n_heads=2, d_ff=16, max_len=16, seed=0,
+        ))
+        models = DimPercModels(
+            tokenizer=tokenizer, model=model,
+            llama_ift_params=model.copy_params(),
+            dimperc_params=model.copy_params(),
+            benchmark=None, train_split=None, eval_split=None,
+        )
+        dimperc_key = models.as_dimperc().cache_key
+        ift_key = models.as_llama_ift().cache_key
+        assert dimperc_key != ift_key
+        # stable across calls for the same checkpoint...
+        assert models.as_dimperc().cache_key == dimperc_key
+        # ...and distinct from another models object's checkpoints
+        other = DimPercModels(
+            tokenizer=tokenizer, model=model,
+            llama_ift_params=model.copy_params(),
+            dimperc_params=model.copy_params(),
+            benchmark=None, train_split=None, eval_split=None,
+        )
+        assert other.as_dimperc().cache_key != dimperc_key
+
+    def test_memo_is_per_model_name(self):
+        class Named:
+            def __init__(self, name, reply):
+                self.name = name
+                self.reply = reply
+
+            def generate(self, prompt):
+                return self.reply
+
+        runner = BatchRunner(EngineConfig())
+        assert runner.generate_all(Named("a", "A"), ["p"]) == ["A"]
+        assert runner.generate_all(Named("b", "B"), ["p"]) == ["B"]
+
+    def test_progress_callback_reaches_total(self):
+        seen = []
+
+        class Echo:
+            name = "echo-progress"
+
+            def generate(self, prompt):
+                return prompt
+
+        config = EngineConfig(max_workers=3, completion_cache_size=0,
+                              progress=lambda done, total: seen.append((done, total)))
+        BatchRunner(config).generate_all(Echo(), [f"p{i}" for i in range(7)])
+        assert seen[-1] == (7, 7)
+        assert sorted(done for done, _ in seen) == list(range(1, 8))
+
+
+class TestEvaluationParity:
+    """Batch/parallel evaluation must score exactly like the seed loop."""
+
+    def test_generate_model_parity_all_tasks(self, split):
+        sequential = EvaluationEngine(EngineConfig(max_workers=0,
+                                                   completion_cache_size=0))
+        parallel = EvaluationEngine(EngineConfig(max_workers=4, batch_size=8))
+        a = sequential.evaluate_model(_generate_oracle(split), split)
+        b = parallel.evaluate_model(_generate_oracle(split), split)
+        assert set(a) == set(b) == set(Task)
+        for task in a:
+            assert a[task] == b[task]
+
+    def test_structured_model_parity_with_seed_rng(self, split):
+        from repro.simulated import CalibratedLLM, MODEL_PROFILES
+
+        profile = MODEL_PROFILES["GPT-4"]
+        baseline = evaluate_model(CalibratedLLM(profile, seed=7), split)
+        engine = EvaluationEngine(EngineConfig(max_workers=6))
+        routed = engine.evaluate_model(CalibratedLLM(profile, seed=7), split)
+        assert baseline == routed
+
+    def test_worker_pool_determinism(self, split):
+        results = []
+        for workers in (2, 4, 8):
+            engine = EvaluationEngine(EngineConfig(max_workers=workers))
+            results.append(engine.evaluate_model(_generate_oracle(split), split))
+        assert results[0] == results[1] == results[2]
+
+    def test_completion_cache_hits_on_reevaluation(self, split):
+        engine = EvaluationEngine(EngineConfig(max_workers=2))
+        model = _generate_oracle(split)
+        engine.evaluate_model(model, split)
+        first_calls = model.calls
+        again = engine.evaluate_model(model, split)
+        assert model.calls == first_calls  # fully served from the memo
+        for task, result in again.items():
+            if task is Task.QUANTITY_EXTRACTION:
+                assert result.extraction.qe_f1 == 1.0
+            else:
+                assert result.f1 == 1.0
+
+    def test_transformer_generate_batch_matches_generate(self):
+        from repro.llm.interface import TransformerLM
+        from repro.llm.model import TransformerConfig, TransformerModel
+        from repro.llm.tokenizer import Tokenizer
+
+        texts = [f"task: demo unit U:M value {i} <sep> (A)" for i in range(24)]
+        tokenizer = Tokenizer().fit(texts)
+        model = TransformerModel(TransformerConfig(
+            vocab_size=tokenizer.vocab_size, d_model=32, n_layers=2,
+            n_heads=4, d_ff=64, max_len=48, seed=3,
+        ))
+        lm = TransformerLM(model, tokenizer, max_new_tokens=8)
+        prompts = texts[:9]
+        assert lm.generate_batch(prompts) == [lm.generate(p) for p in prompts]
+
+    def test_evaluate_task_validation(self, split):
+        engine = EvaluationEngine()
+        oracle = _generate_oracle(split)
+        with pytest.raises(ValueError):
+            engine.evaluate_task(oracle, [])
+        mixed = [
+            split.task_examples(Task.UNIT_CONVERSION)[0],
+            split.task_examples(Task.COMPARABLE_ANALYSIS)[0],
+        ]
+        with pytest.raises(ValueError):
+            engine.evaluate_task(oracle, mixed)
+
+
+class TestDefaultEngine:
+    def test_wrappers_route_through_default_engine(self, split):
+        installed = set_default_engine(EngineConfig(max_workers=2))
+        try:
+            assert get_default_engine() is installed
+            results = evaluate_model(_generate_oracle(split), split)
+            assert set(results) == set(Task)
+        finally:
+            set_default_engine(None)
+
+    def test_reset_restores_sequential_default(self):
+        set_default_engine(None)
+        engine = get_default_engine()
+        assert engine.config.max_workers == 0
+
+    def test_default_conversion_cache_is_default_engines_pool(self, kb):
+        from repro.engine import default_conversion_cache
+        from repro.simulated import WolframAlphaEngine
+
+        set_default_engine(None)
+        try:
+            pool = default_conversion_cache()
+            assert pool is get_default_engine().conversion_cache
+            wolfram = WolframAlphaEngine(kb)
+            before = pool.stats().misses
+            assert wolfram.convert(1.0, "km", "m") == pytest.approx(1000.0)
+            assert pool.stats().misses == before + 1
+        finally:
+            set_default_engine(None)

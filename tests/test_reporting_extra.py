@@ -1,7 +1,5 @@
 """Edge-case tests for report formatting (cheap, no training)."""
 
-import pytest
-
 from repro.experiments.reporting import (
     ExperimentResult,
     format_bar_chart,

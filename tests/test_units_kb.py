@@ -205,6 +205,41 @@ class TestSurfaceLookup:
         covered = {uid for uids in naming.values() for uid in uids}
         assert covered == set(kb.unit_ids())
 
+    def test_naming_dictionary_memoized(self, kb):
+        assert kb.naming_dictionary() is kb.naming_dictionary()
+
+    def test_naming_dictionary_keys_match_find_by_surface(self, kb):
+        for form, unit_ids in kb.naming_dictionary().items():
+            hits = tuple(u.unit_id for u in kb.find_by_surface(form))
+            assert hits == unit_ids, form
+
+    def test_whitespace_variants_consistent(self, kb):
+        from repro.units.kb import DimUnitKB
+        from repro.units.schema import UnitRecord
+
+        metre = kb.get("M")
+        padded = UnitRecord(
+            unit_id="PAD-UNIT",
+            label_en="padunit",
+            label_zh="",
+            symbol=" pu ",  # whitespace-padded surface form
+            aliases=("  padded form  ",),
+            description="",
+            keywords=(),
+            frequency=0.5,
+            quantity_kinds=metre.quantity_kinds,
+            dimension=metre.dimension,
+            conversion_value=2.0,
+        )
+        small = DimUnitKB([padded], [kb.kind(metre.quantity_kind)])
+        naming = small.naming_dictionary()
+        # Index keys use the same strip().casefold() as the query path.
+        assert set(naming) == {"padunit", "pu", "padded form"}
+        for query in ("pu", " pu ", "PU", "padded form", " PADDED FORM "):
+            assert [u.unit_id for u in small.find_by_surface(query)] == [
+                "PAD-UNIT"
+            ], query
+
 
 class TestSubset:
     def test_subset_restricts(self, kb):
