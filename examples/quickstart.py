@@ -1,11 +1,11 @@
-"""Quickstart: DimUnitKB, dimension algebra, conversion, unit linking.
+"""Quickstart: DimUnitKB, dimension algebra, conversion, grounding.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.dimension import DimensionVector
+from repro.quantity import grounder_for
 from repro.units import Quantity, conversion_factor, default_kb
-from repro.linking import UnitLinker
 
 
 def main() -> None:
@@ -40,17 +40,26 @@ def main() -> None:
     print(f"2.06 m vs 188 cm -> {taller} is taller\n")
 
     # -- unit linking (Definition 1) ----------------------------------------------
-    linker = UnitLinker(kb)
+    grounder = grounder_for(kb)
     for mention, context in (
         ("dyne/cm", "the stiffness of a spring"),
         ("degree", "the temperature outside in summer"),
         ("千克", "货物的重量是三点五"),
     ):
-        ranked = linker.link(mention, context)[:3]
+        ranked = grounder.link(mention, context)[:3]
         summary = ", ".join(
             f"{c.unit.unit_id} ({c.score:.3f})" for c in ranked
         )
         print(f"link {mention!r} | context {context!r}\n  -> {summary}")
+
+    # -- quantity grounding (Definition 2) ----------------------------------------
+    print()
+    for found in grounder.ground_batch(
+        ["The island is 1.3 kilometres long.", "船的速度是9.9m/s。"]
+    ):
+        for quantity in found:
+            print(f"grounded {quantity.quantity_text!r} "
+                  f"-> {quantity.unit.unit_id}")
 
 
 if __name__ == "__main__":

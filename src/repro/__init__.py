@@ -7,6 +7,7 @@ Top-level convenience surface; see the subpackages for the full API:
 - :mod:`repro.units`     -- DimUnitKB, quantities, conversion
 - :mod:`repro.linking`   -- unit linking (Levenshtein + context)
 - :mod:`repro.text`      -- tokenization, numerals, quantity extraction
+- :mod:`repro.quantity`  -- unified grounding: trie matcher, grounder, pipeline
 - :mod:`repro.corpus`    -- synthetic corpora + Algorithm 1
 - :mod:`repro.kg`        -- triple store + Algorithm 2
 - :mod:`repro.llm`       -- numpy transformer substrate
@@ -19,15 +20,18 @@ Top-level convenience surface; see the subpackages for the full API:
 
 from repro.core import DimKS
 from repro.dimension import DimensionVector
+from repro.quantity import QuantityGrounder, grounder_for
 from repro.units import DimUnitKB, Quantity, build_kb, default_kb
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DimKS",
     "DimUnitKB",
     "DimensionVector",
     "Quantity",
+    "QuantityGrounder",
     "build_kb",
     "default_kb",
+    "grounder_for",
 ]

@@ -11,12 +11,12 @@
 """
 
 from repro.core.dimks import DimKS, UnitTrapReport
+from repro.core.dimperc import DimPercConfig, DimPercModels, DimPercPipeline
 from repro.core.encoding import mwp_prompt, mwp_target
-from repro.core.dimperc import DimPercConfig, DimPercPipeline, DimPercModels
 from repro.core.reasoning import (
+    LearningCurve,
     QuantitativeReasoner,
     ReasoningConfig,
-    LearningCurve,
 )
 
 __all__ = [

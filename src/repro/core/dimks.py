@@ -1,19 +1,20 @@
 """DimKS: the dimensional knowledge system facade (Section III).
 
-Bundles DimUnitKB, the unit linker and the quantity extractor behind the
-operations the rest of the framework needs, including the Fig. 1
-*unit-trap detection*: check whether the unit a question asks for is
-dimensionally consistent with the quantity a computation produces.
+Bundles DimUnitKB and the unified quantity grounder
+(:class:`repro.quantity.QuantityGrounder`) behind the operations the
+rest of the framework needs, including the Fig. 1 *unit-trap detection*:
+check whether the unit a question asks for is dimensionally consistent
+with the quantity a computation produces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dimension import DimensionVector, dimension_of_expression
+from repro.dimension import DimensionVector
 from repro.linking.embeddings import WordEmbeddings
-from repro.linking.linker import LinkCandidate, UnitLinker
-from repro.text.extraction import ExtractedQuantity, QuantityExtractor
+from repro.linking.linker import LinkCandidate
+from repro.quantity.grounder import GroundedQuantity, QuantityGrounder
 from repro.units.conversion import conversion_factor, convert_value
 from repro.units.kb import DimUnitKB
 from repro.units.quantity import Quantity
@@ -55,22 +56,35 @@ class DimKS:
         embeddings: WordEmbeddings | None = None,
     ):
         self.kb = kb
-        self.linker = UnitLinker(kb, embeddings=embeddings)
-        self.extractor = QuantityExtractor(kb, linker=self.linker)
+        self.grounder = QuantityGrounder(kb, embeddings=embeddings)
+
+    @property
+    def linker(self):
+        """The grounder's unit linker (kept for the seed-era surface)."""
+        return self.grounder.linker
+
+    @property
+    def extractor(self):
+        """The grounder's quantity extractor (kept for the seed-era surface)."""
+        return self.grounder.extractor
 
     # -- linking / extraction --------------------------------------------------
 
     def link(self, mention: str, context: str = "") -> list[LinkCandidate]:
         """Ranked linking candidates for a mention (Definition 1)."""
-        return self.linker.link(mention, context)
+        return self.grounder.link(mention, context)
 
     def link_best(self, mention: str, context: str = "") -> UnitRecord | None:
         """The top linking candidate, or None."""
-        return self.linker.link_best(mention, context)
+        return self.grounder.link_best(mention, context)
 
-    def extract(self, text: str) -> list[ExtractedQuantity]:
+    def extract(self, text: str) -> list[GroundedQuantity]:
         """Grounded quantities found in text (Definition 2)."""
-        return self.extractor.extract_grounded(text)
+        return self.grounder.ground(text)
+
+    def extract_batch(self, texts: list[str]) -> list[list[GroundedQuantity]]:
+        """Grounded quantities for many texts at once (batch Definition 2)."""
+        return self.grounder.ground_batch(texts)
 
     # -- quantities ---------------------------------------------------------------
 
@@ -103,13 +117,7 @@ class DimKS:
         self, mentions: list[str], ops: list[str]
     ) -> DimensionVector:
         """Dimension of a unit expression written with text mentions."""
-        units = []
-        for mention in mentions:
-            unit = self.link_best(mention)
-            if unit is None:
-                raise KeyError(f"cannot link unit mention {mention!r}")
-            units.append(unit)
-        return dimension_of_expression([u.dimension for u in units], ops)
+        return self.grounder.dimension_of_mentions(mentions, ops)
 
     def check_unit_trap(
         self,

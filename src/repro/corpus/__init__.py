@@ -7,13 +7,13 @@ semi-automated annotation pipeline (Algorithm 1) be measured exactly
 (the paper reports 82% pre-review annotation accuracy).
 """
 
+from repro.corpus.annotate import AnnotationReport, SemiAutomatedAnnotator
 from repro.corpus.generator import (
     AnnotatedSentence,
     CorpusGenerator,
     GoldQuantity,
 )
 from repro.corpus.masked_lm import MaskedSlotModel
-from repro.corpus.annotate import AnnotationReport, SemiAutomatedAnnotator
 
 __all__ = [
     "AnnotatedSentence",

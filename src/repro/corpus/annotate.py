@@ -1,11 +1,19 @@
 """Algorithm 1: semi-automated corpus annotation.
 
-Step 1 annotates sentences with the rule-based DimKS annotator
-(:class:`QuantityExtractor`); step 2 masks each candidate quantity and
-keeps it only if the PLM stand-in (:class:`MaskedSlotModel`) predicts a
-quantity slot; step 3 is manual review, simulated by an oracle diff
-against the corpus's gold labels (the substitution for human reviewers --
-it measures exactly what review would have fixed).
+Step 1 annotates sentences with the rule-based DimKS annotator; step 2
+masks each candidate quantity and keeps it only if the PLM stand-in
+(:class:`MaskedSlotModel`) predicts a quantity slot; step 3 is manual
+review, simulated by an oracle diff against the corpus's gold labels
+(the substitution for human reviewers -- it measures exactly what review
+would have fixed).
+
+The heavy lifting lives in :class:`repro.quantity.AnnotationPipeline`:
+extraction runs batched through the shared
+:class:`~repro.quantity.QuantityGrounder`, masked-LM verdicts are
+deduplicated and batched through the engine's ``BatchRunner``, and the
+three stages stream over sentence iterators instead of materializing
+intermediate lists.  :class:`SemiAutomatedAnnotator` is the stable
+Algorithm 1 entry point on top of that machinery.
 
 The report records pre-review annotation accuracy, which the paper
 quotes as 82%.
@@ -13,38 +21,24 @@ quotes as 82%.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Iterable
 
-from repro.corpus.generator import AnnotatedSentence, GoldQuantity
+from repro.corpus.generator import AnnotatedSentence
 from repro.corpus.masked_lm import MaskedSlotModel, SlotExample
-from repro.text.extraction import ExtractedQuantity, QuantityExtractor
+from repro.engine.config import EngineConfig
+from repro.quantity.grounder import QuantityGrounder, grounder_for
+from repro.quantity.pipeline import (
+    AnnotationPipeline,
+    AnnotationReport,
+    SentenceAnnotation,
+)
 from repro.units.kb import DimUnitKB
 
-
-@dataclass(frozen=True)
-class SentenceAnnotation:
-    """One sentence with the annotations that survived the pipeline."""
-
-    text: str
-    quantities: tuple[ExtractedQuantity, ...]
-
-
-@dataclass(frozen=True)
-class AnnotationReport:
-    """Output of Algorithm 1 with per-stage quality measurements."""
-
-    dataset: tuple[SentenceAnnotation, ...]
-    step1_annotations: int
-    step2_annotations: int
-    accuracy_before_filter: float
-    accuracy_after_filter: float
-    reviewed_corrections: int
-
-    @property
-    def pre_review_accuracy(self) -> float:
-        """The paper's "annotation accuracy of 82%" corresponds to the
-        post-filter, pre-review precision."""
-        return self.accuracy_after_filter
+__all__ = [
+    "AnnotationReport",
+    "SemiAutomatedAnnotator",
+    "SentenceAnnotation",
+]
 
 
 class SemiAutomatedAnnotator:
@@ -53,12 +47,16 @@ class SemiAutomatedAnnotator:
     def __init__(
         self,
         kb: DimUnitKB,
-        extractor: QuantityExtractor | None = None,
+        grounder: QuantityGrounder | None = None,
         slot_model: MaskedSlotModel | None = None,
+        config: EngineConfig | None = None,
     ):
+        """``grounder`` defaults to the KB's shared grounder; ``config``
+        sets the pipeline's chunk size and masked-LM fan-out width."""
         self._kb = kb
-        self._extractor = extractor or QuantityExtractor(kb)
+        self._grounder = grounder or grounder_for(kb)
         self._slot_model = slot_model
+        self._config = config or EngineConfig()
 
     # -- PLM training -----------------------------------------------------------
 
@@ -67,20 +65,24 @@ class SemiAutomatedAnnotator:
 
         This emulates BERT's pretraining knowledge: positive examples are
         true quantity spans, negatives are extractor hits in trap/plain
-        sentences (device codes, serial numbers).
+        sentences (device codes, serial numbers).  Negatives are screened
+        against the *set* of gold value texts -- two gold quantities
+        sharing a value string must both stay positive, so keying a
+        mapping by value text (which silently collapses duplicates) is
+        not an option.
         """
         examples: list[SlotExample] = []
         for sentence in background:
-            gold_texts = {
-                f"{gold.value_text}": gold for gold in sentence.quantities
+            gold_value_texts = {
+                gold.value_text for gold in sentence.quantities
             }
             for gold in sentence.quantities:
                 examples.append(
                     SlotExample(sentence.text, gold.value_text, True)
                 )
             if not sentence.is_quantitative:
-                for found in self._extractor.extract(sentence.text):
-                    if found.value_text not in gold_texts:
+                for found in self._grounder.extract(sentence.text):
+                    if found.value_text not in gold_value_texts:
                         examples.append(
                             SlotExample(sentence.text, found.value_text, False)
                         )
@@ -91,76 +93,23 @@ class SemiAutomatedAnnotator:
 
     # -- Algorithm 1 ------------------------------------------------------------------
 
-    def annotate(
-        self,
-        corpus: list[AnnotatedSentence],
-    ) -> AnnotationReport:
-        """Run steps 1-3 and measure against the corpus's gold labels."""
+    def pipeline(self) -> AnnotationPipeline:
+        """A fresh streaming pipeline bound to the trained filter."""
         if self._slot_model is None:
             raise RuntimeError(
                 "train_filter must run before annotate (step 2 needs a PLM)"
             )
-        step1: list[tuple[AnnotatedSentence, list[ExtractedQuantity]]] = []
-        for sentence in corpus:
-            found = self._extractor.extract_grounded(sentence.text)
-            if found:  # "if s1 contains numeric entity"
-                step1.append((sentence, found))
-        step1_count = sum(len(found) for _, found in step1)
-        correct_before = sum(
-            sum(1 for q in found if _matches_gold(q, sentence.quantities))
-            for sentence, found in step1
+        return AnnotationPipeline(
+            self._grounder, self._slot_model, config=self._config
         )
 
-        # Step 2: PLM filtering of masked spans.
-        step2: list[tuple[AnnotatedSentence, list[ExtractedQuantity]]] = []
-        for sentence, found in step1:
-            kept = [
-                quantity for quantity in found
-                if self._slot_model.predicts_quantity(
-                    sentence.text, quantity.value_text
-                )
-            ]
-            if kept:
-                step2.append((sentence, kept))
-        step2_count = sum(len(found) for _, found in step2)
-        correct_after = sum(
-            sum(1 for q in found if _matches_gold(q, sentence.quantities))
-            for sentence, found in step2
-        )
+    def annotate(
+        self,
+        corpus: Iterable[AnnotatedSentence],
+    ) -> AnnotationReport:
+        """Run steps 1-3 and measure against the corpus's gold labels.
 
-        # Step 3: manual review (oracle): drop annotations review rejects.
-        dataset: list[SentenceAnnotation] = []
-        corrections = 0
-        for sentence, found in step2:
-            reviewed = tuple(
-                q for q in found if _matches_gold(q, sentence.quantities)
-            )
-            corrections += len(found) - len(reviewed)
-            if reviewed:
-                dataset.append(SentenceAnnotation(sentence.text, reviewed))
-
-        return AnnotationReport(
-            dataset=tuple(dataset),
-            step1_annotations=step1_count,
-            step2_annotations=step2_count,
-            accuracy_before_filter=_safe_ratio(correct_before, step1_count),
-            accuracy_after_filter=_safe_ratio(correct_after, step2_count),
-            reviewed_corrections=corrections,
-        )
-
-
-def _matches_gold(
-    found: ExtractedQuantity, gold: tuple[GoldQuantity, ...]
-) -> bool:
-    """An annotation is correct when value and unit agree with some gold."""
-    if found.unit is None:
-        return False
-    for entry in gold:
-        if (abs(entry.value - found.value) <= 1e-9 * max(1.0, abs(entry.value))
-                and entry.unit_id == found.unit.unit_id):
-            return True
-    return False
-
-
-def _safe_ratio(numerator: int, denominator: int) -> float:
-    return numerator / denominator if denominator else 0.0
+        ``corpus`` may be any iterable -- a list, or a lazy sentence
+        stream; it is consumed exactly once, in chunks.
+        """
+        return self.pipeline().run(corpus)

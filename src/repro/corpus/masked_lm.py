@@ -12,9 +12,22 @@ rationale).
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass
+from typing import Iterable
 
-from repro.text.tokenizer import tokenize
+from repro.text.tokenizer import CJK_RANGES, tokenize
+
+#: Characters no token can span: whitespace, or CJK ideographs (which
+#: tokenize one per character).  Cutting a context window on one of
+#: these keeps local tokenization exactly equal to full-text
+#: tokenization; the class is derived from the tokenizer's own ranges
+#: so the two can never drift apart.
+_SAFE_CUT = re.compile(
+    "[\\s"
+    + "".join(f"{chr(low)}-{chr(high)}" for low, high in CJK_RANGES)
+    + "]"
+)
 
 
 @dataclass(frozen=True)
@@ -37,6 +50,12 @@ class MaskedSlotModel:
         self._token_counts: dict[bool, dict[str, int]] = {True: {}, False: {}}
         self._class_counts: dict[bool, int] = {True: 0, False: 0}
         self._vocabulary: set[str] = set()
+        self._class_token_totals: dict[bool, int] = {True: 0, False: 0}
+        self._prior_log_odds = 0.0
+        self._feature_log_probs: dict[bool, dict[str, float]] = {
+            True: {}, False: {},
+        }
+        self._unseen_log_probs: dict[bool, float] = {True: 0.0, False: 0.0}
         self._trained = False
 
     # -- features ------------------------------------------------------------
@@ -53,6 +72,69 @@ class MaskedSlotModel:
         right = tokenize(after)[:self.window]
         return [f"L:{tok}" for tok in left] + [f"R:{tok}" for tok in right]
 
+    def _context_tokens_local(self, text: str, span_text: str) -> list[str]:
+        """:meth:`_context_tokens` via bounded local tokenization.
+
+        The per-span costs of :meth:`_context_tokens` are two full-text
+        tokenizations; this variant tokenizes only a small neighbourhood
+        on each side of the span.  Neighbourhood edges land on *safe*
+        characters -- whitespace or CJK ideographs, which no token can
+        span -- so the local token streams are exact slices of the
+        full-text ones and the feature strings come out identical.
+        """
+        position = text.find(span_text)
+        if position < 0:
+            return [
+                f"L:{tok}" for tok in tokenize(text)[-self.window:]
+            ]
+        left = self._left_window(text, position)
+        right = self._right_window(text, position + len(span_text))
+        return [f"L:{tok}" for tok in left] + [f"R:{tok}" for tok in right]
+
+    #: First-probe neighbourhood radius; CJK contexts hold ``window``
+    #: tokens in this many characters (one per ideograph), latin
+    #: contexts escalate by doubling.
+    _LOCAL_REACH = 10
+
+    def _left_window(self, text: str, position: int) -> list[str]:
+        """The last ``window`` tokens before ``position``, exactly."""
+        reach = self._LOCAL_REACH
+        window = self.window
+        ceiling = position
+        target = position - reach
+        while target > 0:
+            # The first safe character at or after the target is a
+            # valid cut as long as it still leaves enough tokens.
+            found = _SAFE_CUT.search(text, target, ceiling)
+            if found is None:
+                break
+            cut = found.start()
+            tokens = tokenize(text[cut:position])
+            if len(tokens) >= window:
+                return tokens[-window:]
+            ceiling = cut
+            reach *= 2
+            target = cut - reach
+        return tokenize(text[:position])[-window:]
+
+    def _right_window(self, text: str, after: int) -> list[str]:
+        """The first ``window`` tokens after ``after``, exactly."""
+        reach = self._LOCAL_REACH
+        window = self.window
+        target = after + reach
+        size = len(text)
+        while target < size:
+            found = _SAFE_CUT.search(text, target)
+            if found is None:
+                break
+            cut = found.start()
+            tokens = tokenize(text[after:cut])
+            if len(tokens) >= window:
+                return tokens[:window]
+            reach *= 2
+            target = cut + reach
+        return tokenize(text[after:])[:window]
+
     # -- training ----------------------------------------------------------------
 
     def train(self, examples: list[SlotExample]) -> None:
@@ -68,33 +150,81 @@ class MaskedSlotModel:
             for feature in self._context_tokens(example.text, example.span_text):
                 bucket[feature] = bucket.get(feature, 0) + 1
                 self._vocabulary.add(feature)
-        self._trained = True
-
-    # -- inference ------------------------------------------------------------------
-
-    def quantity_log_odds(self, text: str, span_text: str) -> float:
-        """log P(quantity | context) - log P(not quantity | context)."""
-        if not self._trained:
-            raise RuntimeError("slot model is not trained")
-        features = self._context_tokens(text, span_text)
+        # Counts are fixed once training ends, so every per-feature
+        # Laplace-smoothed log probability (and the class prior term)
+        # can be tabled now; inference then costs two dict probes per
+        # feature instead of re-summing a class's token counts and
+        # calling ``log`` for every feature of every span.
+        self._class_token_totals = {
+            label: sum(counts.values())
+            for label, counts in self._token_counts.items()
+        }
         vocab_size = max(len(self._vocabulary), 1)
         total = sum(self._class_counts.values())
-        log_odds = (
+        self._prior_log_odds = (
             math.log((self._class_counts[True] + self.smoothing)
                      / (total + 2 * self.smoothing))
             - math.log((self._class_counts[False] + self.smoothing)
                        / (total + 2 * self.smoothing))
         )
+        for label in (True, False):
+            class_total = self._class_token_totals[label]
+            denominator = class_total + self.smoothing * vocab_size
+            self._feature_log_probs[label] = {
+                feature: math.log((count + self.smoothing) / denominator)
+                for feature, count in self._token_counts[label].items()
+            }
+            self._unseen_log_probs[label] = math.log(
+                (0 + self.smoothing) / denominator
+            )
+        self._trained = True
+
+    # -- inference ------------------------------------------------------------------
+
+    def quantity_log_odds(self, text: str, span_text: str) -> float:
+        """log P(quantity | context) - log P(not quantity | context).
+
+        Accumulates the tabled per-feature log probabilities in the same
+        order as the direct computation (positive class then negative
+        class, feature by feature), so results are bit-identical to the
+        untabled Naive Bayes.
+        """
+        if not self._trained:
+            raise RuntimeError("slot model is not trained")
+        return self._log_odds(self._context_tokens(text, span_text))
+
+    def _log_odds(self, features: list[str]) -> float:
+        """Tabled log-odds accumulation over extracted features."""
+        positive = self._feature_log_probs[True]
+        negative = self._feature_log_probs[False]
+        unseen_positive = self._unseen_log_probs[True]
+        unseen_negative = self._unseen_log_probs[False]
+        log_odds = self._prior_log_odds
         for feature in features:
-            for label, sign in ((True, 1.0), (False, -1.0)):
-                count = self._token_counts[label].get(feature, 0)
-                class_total = sum(self._token_counts[label].values())
-                prob = (count + self.smoothing) / (
-                    class_total + self.smoothing * vocab_size
-                )
-                log_odds += sign * math.log(prob)
+            log_odds += positive.get(feature, unseen_positive)
+            log_odds -= negative.get(feature, unseen_negative)
         return log_odds
 
     def predicts_quantity(self, text: str, span_text: str) -> bool:
         """Algorithm 1 step-2 verdict for one masked span."""
         return self.quantity_log_odds(text, span_text) >= 0.0
+
+    def predicts_quantity_batch(
+        self, pairs: Iterable[tuple[str, str]]
+    ) -> list[bool]:
+        """Step-2 verdicts for a batch of ``(text, span_text)`` pairs.
+
+        The batched entry point of the streaming annotation pipeline
+        (:mod:`repro.quantity.pipeline`): every span's context window is
+        tokenized locally around the span instead of re-tokenizing the
+        whole sentence twice per span.  Verdicts are returned in input
+        order and identical to per-pair :meth:`predicts_quantity` calls.
+        """
+        if not self._trained:
+            raise RuntimeError("slot model is not trained")
+        log_odds = self._log_odds
+        context = self._context_tokens_local
+        return [
+            log_odds(context(text, span_text)) >= 0.0
+            for text, span_text in pairs
+        ]

@@ -17,6 +17,12 @@ This package provides:
   comparability / additivity rules quoted in Section III-A.3.
 """
 
+from repro.dimension.laws import (
+    DimensionLawViolation,
+    are_comparable,
+    dimension_of_expression,
+    require_comparable,
+)
 from repro.dimension.vector import (
     BASE_ORDER,
     BASE_QUANTITIES,
@@ -24,12 +30,6 @@ from repro.dimension.vector import (
     DIMENSIONLESS,
     DimensionError,
     DimensionVector,
-)
-from repro.dimension.laws import (
-    DimensionLawViolation,
-    are_comparable,
-    require_comparable,
-    dimension_of_expression,
 )
 
 __all__ = [

@@ -13,14 +13,8 @@ question (for the simulated baselines), plus a templated CoT reasoning
 target per Section IV-D.
 """
 
-from repro.dimeval.schema import (
-    CATEGORY_OF_TASK,
-    TASK_CATEGORIES,
-    TASKS,
-    DimEvalExample,
-    Task,
-)
 from repro.dimeval.benchmark import DimEvalBenchmark, DimEvalSplit
+from repro.dimeval.evaluate import TaskResult, evaluate_model
 from repro.dimeval.metrics import (
     ExtractionScore,
     MCQScore,
@@ -29,7 +23,13 @@ from repro.dimeval.metrics import (
     score_extraction,
     score_mcq,
 )
-from repro.dimeval.evaluate import TaskResult, evaluate_model
+from repro.dimeval.schema import (
+    CATEGORY_OF_TASK,
+    TASK_CATEGORIES,
+    TASKS,
+    DimEvalExample,
+    Task,
+)
 
 __all__ = [
     "CATEGORY_OF_TASK",

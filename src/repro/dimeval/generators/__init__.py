@@ -1,12 +1,12 @@
 """Dataset generators, one per DimEval task."""
 
 from repro.dimeval.generators.common import TaskGenerator, frequent_unit_pool
+from repro.dimeval.generators.comparable import ComparableAnalysisGenerator
+from repro.dimeval.generators.dimension_arithmetic import DimensionArithmeticGenerator
+from repro.dimeval.generators.dimension_prediction import DimensionPredictionGenerator
+from repro.dimeval.generators.magnitude_comparison import MagnitudeComparisonGenerator
 from repro.dimeval.generators.quantity_extraction import QuantityExtractionGenerator
 from repro.dimeval.generators.quantitykind_match import QuantityKindMatchGenerator
-from repro.dimeval.generators.comparable import ComparableAnalysisGenerator
-from repro.dimeval.generators.dimension_prediction import DimensionPredictionGenerator
-from repro.dimeval.generators.dimension_arithmetic import DimensionArithmeticGenerator
-from repro.dimeval.generators.magnitude_comparison import MagnitudeComparisonGenerator
 from repro.dimeval.generators.unit_conversion import UnitConversionGenerator
 
 GENERATORS = (

@@ -6,6 +6,12 @@ annotations); prompts digit-split numeric literals so values can be
 copied at character level by the substrate, and targets serialise as
 ``v1 | U:uid1 ; v2 | U:uid2``.
 
+Each example also carries the rule-based machine grounding of its text
+(the KB's shared :class:`~repro.quantity.QuantityGrounder` run over the
+sentence) in ``payload["machine_grounded"]``, so evaluations can compare
+a model not just against gold but against the paper's DimKS annotator
+baseline.
+
 ``whole_value_tokens=True`` switches to a bounded value vocabulary:
 values are quantised to small integers and kept as single tokens in both
 prompt and target, reducing value extraction to single-token copying --
@@ -19,6 +25,7 @@ import dataclasses
 from repro.corpus.generator import CorpusGenerator, GoldQuantity
 from repro.dimeval.generators.common import TaskGenerator
 from repro.dimeval.schema import DimEvalExample, Task
+from repro.quantity.grounder import grounder_for
 from repro.text.tokenizer import tokenize
 
 
@@ -47,6 +54,7 @@ class QuantityExtractionGenerator(TaskGenerator):
                  whole_value_tokens: bool = False):
         super().__init__(kb, seed, pool_size)
         self._corpus = CorpusGenerator(kb, seed=seed + 7919)
+        self._grounder = grounder_for(kb)
         self._whole_values = whole_value_tokens
 
     def _quantise(self, sentence):
@@ -79,6 +87,10 @@ class QuantityExtractionGenerator(TaskGenerator):
             (gold.value_text, gold.unit_id) for gold in sentence.quantities
         ]
         serialisation = serialize_quantities(gold_pairs, self._whole_values)
+        machine_pairs = tuple(
+            (quantity.value_text, quantity.unit.unit_id)
+            for quantity in self._grounder.ground(sentence.text)
+        )
         return DimEvalExample(
             task=self.task,
             prompt=f"task: {self.task.value} text: {prompt_text}",
@@ -92,6 +104,7 @@ class QuantityExtractionGenerator(TaskGenerator):
             payload={
                 "text": sentence.text,
                 "gold": tuple(gold_pairs),
+                "machine_grounded": machine_pairs,
                 "target_serialisation": serialisation,
             },
         )

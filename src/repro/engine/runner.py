@@ -52,17 +52,29 @@ class BatchRunner:
 
     # -- public API ---------------------------------------------------------
 
-    def generate_all(self, model, prompts: list[str]) -> list[str]:
-        """Complete every prompt, preserving input order exactly."""
+    def generate_all(self, model, prompts: list) -> list:
+        """Complete every prompt, preserving input order exactly.
+
+        Prompts are usually strings but only need to be hashable (the
+        dedupe map and the memo key on them); completions are whatever
+        the model returns -- the quantity pipeline's slot-filter adapter
+        sends ``(text, span)`` tuples and gets booleans back.
+        """
         results: list[str | None] = [None] * len(prompts)
-        model_key = getattr(model, "cache_key", None) or getattr(
-            model, "name", type(model).__name__
-        )
+        # A zero-capacity memo never hits, so skip its locked probes
+        # entirely (high-volume callers disable the cache this way).
+        use_cache = self.completion_cache.maxsize > 0
+        model_key = None
+        if use_cache:
+            model_key = getattr(model, "cache_key", None) or getattr(
+                model, "name", type(model).__name__
+            )
 
         # Resolve memoized prompts and dedupe the rest (first-seen order).
         pending: dict[str, list[int]] = {}
         for index, prompt in enumerate(prompts):
-            cached = self.completion_cache.get((model_key, prompt))
+            cached = (self.completion_cache.get((model_key, prompt))
+                      if use_cache else None)
             if cached is not None:
                 results[index] = cached
             else:
@@ -72,7 +84,8 @@ class BatchRunner:
         if unique_prompts:
             completions = self._generate_unique(model, unique_prompts)
             for prompt, completion in zip(unique_prompts, completions):
-                self.completion_cache.put((model_key, prompt), completion)
+                if use_cache:
+                    self.completion_cache.put((model_key, prompt), completion)
                 for index in pending[prompt]:
                     results[index] = completion
         return results  # type: ignore[return-value]

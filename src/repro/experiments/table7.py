@@ -16,8 +16,8 @@ from repro.engine import get_default_engine
 from repro.experiments.context import get_context
 from repro.experiments.reporting import ExperimentResult
 from repro.simulated import (
-    CalibratedLLM,
     MODEL_PROFILES,
+    CalibratedLLM,
     ToolAugmentedLLM,
     WolframAlphaEngine,
 )

@@ -16,8 +16,8 @@ from repro.experiments.reporting import ExperimentResult
 from repro.llm.model import TransformerConfig, TransformerModel
 from repro.mwp.metrics import score_accuracy
 from repro.simulated import (
-    CalibratedLLM,
     MODEL_PROFILES,
+    CalibratedLLM,
     ToolAugmentedLLM,
     WolframAlphaEngine,
 )

@@ -10,9 +10,9 @@ object>`` triplets out of CN-DBpedia.  Offline we provide:
 - :class:`BootstrapRetriever` -- Algorithm 2 itself.
 """
 
+from repro.kg.bootstrap import BootstrapResult, BootstrapRetriever
 from repro.kg.store import Triple, TripleStore
 from repro.kg.synthesis import synthesize_kg
-from repro.kg.bootstrap import BootstrapResult, BootstrapRetriever
 
 __all__ = [
     "BootstrapResult",

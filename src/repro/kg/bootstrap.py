@@ -10,8 +10,8 @@ Maintains a growing unit-mention set ``M`` and predicate set ``P``::
         Step 3: M <- unit mentions extracted from objects of P's triples
     return the triples of the surviving predicates
 
-The quantity-ratio test reuses the rule-based DimKS annotator
-(:class:`repro.text.extraction.QuantityExtractor`).
+The quantity-ratio test reuses the unified grounding path
+(:class:`repro.quantity.QuantityGrounder`).
 """
 
 from __future__ import annotations
@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.kg.store import Triple, TripleStore
-from repro.text.extraction import QuantityExtractor
+from repro.quantity.grounder import QuantityGrounder, grounder_for
 from repro.units.kb import DimUnitKB
 
 
@@ -40,7 +40,7 @@ class BootstrapRetriever:
     def __init__(
         self,
         kb: DimUnitKB,
-        extractor: QuantityExtractor | None = None,
+        grounder: QuantityGrounder | None = None,
         threshold: float = 0.5,
         iterations: int = 5,
         seed_units: int = 40,
@@ -53,7 +53,7 @@ class BootstrapRetriever:
         if iterations < 1:
             raise ValueError("need at least one bootstrap iteration")
         self._kb = kb
-        self._extractor = extractor or QuantityExtractor(kb)
+        self._grounder = grounder or grounder_for(kb)
         self._threshold = threshold
         self._iterations = iterations
         self._seed_units = seed_units
@@ -72,8 +72,10 @@ class BootstrapRetriever:
         if not triples:
             return 0.0
         grounded = sum(
-            1 for triple in triples
-            if self._extractor.extract_grounded(triple.object)
+            1 for result in self._grounder.ground_batch(
+                [triple.object for triple in triples]
+            )
+            if result
         )
         return grounded / len(triples)
 
@@ -98,8 +100,11 @@ class BootstrapRetriever:
             # Step 3: refresh the mention set from surviving predicates.
             mentions = set()
             for predicate in predicates:
-                for triple in store.find_by_predicate(predicate):
-                    for quantity in self._extractor.extract_grounded(triple.object):
+                triples = store.find_by_predicate(predicate)
+                for found in self._grounder.ground_batch(
+                    [triple.object for triple in triples]
+                ):
+                    for quantity in found:
                         mentions.add(quantity.unit_text)
             if not mentions:
                 break

@@ -13,7 +13,6 @@ The linked unit is ``argmax_u Pr(u) * Pr(u|m) * Pr(u|c)`` (the paper's
 independence assumption).
 """
 
-from repro.linking.similarity import levenshtein_distance, mention_similarity
 from repro.linking.embeddings import (
     HashedEmbeddings,
     SkipGramEmbeddings,
@@ -21,6 +20,7 @@ from repro.linking.embeddings import (
     cosine_similarity,
 )
 from repro.linking.linker import LinkCandidate, UnitLinker
+from repro.linking.similarity import levenshtein_distance, mention_similarity
 
 __all__ = [
     "HashedEmbeddings",

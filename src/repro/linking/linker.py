@@ -55,8 +55,11 @@ class UnitLinker:
         self._embeddings = embeddings or HashedEmbeddings()
         self._threshold = similarity_threshold
         self._sharpness = mention_sharpness
-        # surface form -> unit ids, from the KB's naming dictionary
-        self._naming = kb.naming_dictionary()
+        # the compiled surface matcher's length buckets drive candidate
+        # generation: Levenshtein distance is at least the length
+        # difference, so whole length classes that cannot clear the
+        # similarity threshold are skipped without scoring a single form
+        self._matcher = kb.surface_matcher()
 
     @property
     def kb(self) -> DimUnitKB:
@@ -68,7 +71,11 @@ class UnitLinker:
         """Units whose best surface form clears the similarity threshold.
 
         Returns ``(unit, Pr(u|m))`` pairs, best first.  Exact surface hits
-        short-circuit with similarity 1.0.
+        short-circuit with similarity 1.0.  Forms are scored bucket by
+        bucket from the compiled matcher; a bucket whose length ``f``
+        satisfies ``1 - |m - f| / max(m, f) < threshold`` is skipped
+        outright (no form in it can reach the threshold), which prunes
+        most of the naming dictionary for short mentions.
         """
         cleaned = mention.strip()
         if not cleaned:
@@ -77,13 +84,19 @@ class UnitLinker:
         exact = self._kb.find_by_surface(cleaned)
         for unit in exact:
             best[unit.unit_id] = 1.0
-        for form, unit_ids in self._naming.items():
-            similarity = mention_similarity(cleaned, form)
-            if similarity < self._threshold:
+        mention_length = len(cleaned.casefold())
+        for form_length, forms in self._matcher.forms_by_length():
+            longest = max(mention_length, form_length)
+            ceiling = 1.0 - abs(mention_length - form_length) / longest
+            if ceiling < self._threshold:
                 continue
-            for unit_id in unit_ids:
-                if similarity > best.get(unit_id, 0.0):
-                    best[unit_id] = similarity
+            for form, records in forms:
+                similarity = mention_similarity(cleaned, form)
+                if similarity < self._threshold:
+                    continue
+                for record in records:
+                    if similarity > best.get(record.unit_id, 0.0):
+                        best[record.unit_id] = similarity
         ranked = sorted(best.items(), key=lambda item: (-item[1], item[0]))
         return [(self._kb.get(unit_id), sim) for unit_id, sim in ranked]
 

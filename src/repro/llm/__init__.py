@@ -15,12 +15,12 @@ architecture family at toy scale (see DESIGN.md):
   produces the LLaMA-IFT analogue base model.
 """
 
-from repro.llm.tokenizer import SPECIALS, Tokenizer
-from repro.llm.model import TransformerConfig, TransformerModel
-from repro.llm.optimizer import Adam
-from repro.llm.trainer import Seq2SeqExample, Seq2SeqTrainer, TrainingLog
 from repro.llm.generation import greedy_decode
 from repro.llm.interface import LanguageModel, TransformerLM
+from repro.llm.model import TransformerConfig, TransformerModel
+from repro.llm.optimizer import Adam
+from repro.llm.tokenizer import SPECIALS, Tokenizer
+from repro.llm.trainer import Seq2SeqExample, Seq2SeqTrainer, TrainingLog
 
 __all__ = [
     "Adam",

@@ -7,9 +7,6 @@ equation calculator used for accuracy scoring, and the dataset assembly
 with Table VI statistics.
 """
 
-from repro.mwp.schema import MWPProblem, ProblemQuantity
-from repro.mwp.equation import EquationError, count_operations, evaluate_equation
-from repro.mwp.generator import MWPGenerator
 from repro.mwp.augmentation import (
     AugmentationError,
     Augmenter,
@@ -19,7 +16,10 @@ from repro.mwp.augmentation import (
     question_format_substitution,
 )
 from repro.mwp.datasets import DatasetStatistics, MWPDataset, build_benchmark_suite
+from repro.mwp.equation import EquationError, count_operations, evaluate_equation
+from repro.mwp.generator import MWPGenerator
 from repro.mwp.metrics import answers_match, score_accuracy
+from repro.mwp.schema import MWPProblem, ProblemQuantity
 
 __all__ = [
     "AugmentationError",

@@ -20,8 +20,8 @@ answers, which the rope-segments template documents).
 
 from __future__ import annotations
 
-import re
 import random
+import re
 from typing import Callable
 
 from repro.mwp.schema import MWPProblem, ProblemQuantity

@@ -1,0 +1,49 @@
+"""repro.quantity: the unified quantity-grounding subsystem.
+
+One grounding path for the whole repo (paper Definitions 1-2 and
+Algorithm 1), layered on the evaluation engine:
+
+- :class:`SurfaceTrie` -- the compiled surface matcher: a character trie
+  over the KB's naming dictionary, built once per KB and cached on the
+  KB instance, answering longest-match queries in one walk instead of
+  the seed's descending prefix scan;
+- :class:`QuantityGrounder` / :func:`grounder_for` -- the facade that
+  unifies extraction, fuzzy linking and dimension-vector resolution,
+  with ``ground_batch`` for corpus-scale callers;
+- :class:`AnnotationPipeline` -- Algorithm 1 as streaming stages
+  (extract -> masked-LM filter -> oracle review) whose masked-LM
+  verdicts are batched and deduplicated through the engine's
+  :class:`~repro.engine.runner.BatchRunner`.
+
+Import note: the DimEval generators and :mod:`repro.corpus` both import
+back into this package while it may still be initialising, so the
+pipeline defers its :mod:`repro.engine` imports to construction time and
+``grounder`` loads before ``pipeline`` here.
+"""
+
+from repro.quantity.grounder import (
+    GroundedQuantity,
+    QuantityGrounder,
+    grounder_for,
+)
+from repro.quantity.pipeline import (
+    AnnotationPipeline,
+    AnnotationReport,
+    PipelineCounters,
+    SentenceAnnotation,
+    StageCounters,
+)
+from repro.quantity.trie import SurfaceTrie, TrieMatch
+
+__all__ = [
+    "AnnotationPipeline",
+    "AnnotationReport",
+    "GroundedQuantity",
+    "PipelineCounters",
+    "QuantityGrounder",
+    "SentenceAnnotation",
+    "StageCounters",
+    "SurfaceTrie",
+    "TrieMatch",
+    "grounder_for",
+]

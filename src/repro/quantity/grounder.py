@@ -1,0 +1,139 @@
+"""The unified quantity-grounding facade.
+
+Every consumer that needs to turn text into ``(value, unit)`` pairs --
+DimKS, Algorithm 1 annotation, Algorithm 2 bootstrapping, the DimEval
+quantity-extraction task, the units CLI -- used to assemble its own
+``DimUnitKB`` + ``UnitLinker`` + ``QuantityExtractor`` triple.
+:class:`QuantityGrounder` is now the single construction point: one
+object owning the KB, the compiled surface matcher, the fuzzy linker and
+the extractor, with batch APIs for corpus-scale callers.
+
+``grounder_for(kb)`` memoizes one shared grounder per KB instance, so
+repeated callers reuse the compiled trie, the linker's naming index and
+the embedding cache instead of rebuilding them.
+"""
+
+from __future__ import annotations
+
+from repro.dimension import DimensionVector, dimension_of_expression
+from repro.linking.embeddings import WordEmbeddings
+from repro.linking.linker import LinkCandidate, UnitLinker
+from repro.text.extraction import ExtractedQuantity, QuantityExtractor
+from repro.units.kb import DimUnitKB
+from repro.units.schema import UnitRecord
+
+#: The grounding result type.  Grounded quantities *are* extracted
+#: quantities whose unit part resolved against the KB; the alias names
+#: the facade's contract without duplicating the dataclass.
+GroundedQuantity = ExtractedQuantity
+
+
+class QuantityGrounder:
+    """Extraction + fuzzy linking + dimension resolution behind one object.
+
+    The facade owns the three layers the paper's Definitions 1-2 need:
+    the rule-based extractor (backed by the KB's compiled surface trie),
+    the Levenshtein/context unit linker, and the dimension algebra over
+    linked units.  ``fuzzy=True`` lets extraction fall back to the linker
+    for mentions with no exact surface match.
+    """
+
+    def __init__(
+        self,
+        kb: DimUnitKB,
+        *,
+        embeddings: WordEmbeddings | None = None,
+        linker: UnitLinker | None = None,
+        extractor: QuantityExtractor | None = None,
+        fuzzy: bool = False,
+    ):
+        self.kb = kb
+        self.linker = linker or UnitLinker(kb, embeddings=embeddings)
+        self.extractor = extractor or QuantityExtractor(
+            kb, linker=self.linker, fuzzy=fuzzy
+        )
+
+    # -- extraction ---------------------------------------------------------
+
+    def extract(self, text: str) -> list[ExtractedQuantity]:
+        """All quantities in reading order; bare numbers yield unit=None."""
+        return self.extractor.extract(text)
+
+    def ground(self, text: str) -> list[GroundedQuantity]:
+        """Only the quantities whose unit part resolved against the KB."""
+        return self.extractor.extract_grounded(text)
+
+    # -- batch APIs ---------------------------------------------------------
+
+    def extract_batch(self, texts: list[str]) -> list[list[ExtractedQuantity]]:
+        """Per-text extraction results, in input order.
+
+        Duplicate texts are extracted once (corpus batches repeat
+        templated sentences) and the unique remainder goes through the
+        extractor's batched number scan.  Every position gets its own
+        result list -- the elements are shared frozen tuples, but a
+        caller mutating one position's list in place must not corrupt
+        another's.
+        """
+        unique = list(dict.fromkeys(texts))
+        extracted = self.extractor.extract_batch(unique)
+        memo = dict(zip(unique, extracted))
+        return [list(memo[text]) for text in texts]
+
+    def ground_batch(self, texts: list[str]) -> list[list[GroundedQuantity]]:
+        """Per-text grounded quantities, in input order (batch Definition 2)."""
+        return [
+            [quantity for quantity in found if quantity.unit is not None]
+            for found in self.extract_batch(texts)
+        ]
+
+    # -- linking ------------------------------------------------------------
+
+    def link(self, mention: str, context: str = "") -> list[LinkCandidate]:
+        """Ranked linking candidates for a unit mention (Definition 1)."""
+        return self.linker.link(mention, context)
+
+    def link_best(self, mention: str, context: str = "") -> UnitRecord | None:
+        """The argmax linking candidate, or ``None``."""
+        return self.linker.link_best(mention, context)
+
+    # -- dimension resolution -----------------------------------------------
+
+    def dimension_of_mention(
+        self, mention: str, context: str = ""
+    ) -> DimensionVector:
+        """The dimension vector of a linked unit mention.
+
+        Raises ``KeyError`` when the mention cannot be linked.
+        """
+        unit = self.link_best(mention, context)
+        if unit is None:
+            raise KeyError(f"cannot link unit mention {mention!r}")
+        return unit.dimension
+
+    def dimension_of_mentions(
+        self, mentions: list[str], ops: list[str]
+    ) -> DimensionVector:
+        """Dimension of a unit expression written with text mentions."""
+        return dimension_of_expression(
+            [self.dimension_of_mention(mention) for mention in mentions], ops
+        )
+
+
+def grounder_for(kb: DimUnitKB) -> QuantityGrounder:
+    """The shared default grounder for a KB, built once per KB instance.
+
+    Callers that need non-default knobs (fuzzy fallback, trained
+    embeddings) should construct their own :class:`QuantityGrounder`;
+    this cache exists so the common exact-match path shares one compiled
+    trie and linker index per KB.  The memo lives on the KB instance
+    itself (like :meth:`~repro.units.kb.DimUnitKB.surface_matcher`'s
+    trie), so a dropped KB releases its grounder with it -- a side
+    registry keyed by KB would pin every KB for the process lifetime,
+    since the grounder necessarily holds its KB strongly.
+    """
+    grounder = getattr(kb, "_default_grounder", None)
+    if grounder is None or grounder.kb is not kb:
+        grounder = QuantityGrounder(kb)
+        kb._default_grounder = grounder
+    return grounder

@@ -1,0 +1,297 @@
+"""Algorithm 1 as a streaming, batched annotation pipeline.
+
+The seed annotator ran sentence-at-a-time: extract, then one masked-LM
+call per candidate span, materializing every intermediate list.  This
+module decomposes Algorithm 1 into composable stages that consume and
+produce *iterators*:
+
+1. :meth:`AnnotationPipeline.extracted` -- rule-based extraction
+   (Definition 2) over the grounder's batch API, chunk by chunk;
+2. :meth:`AnnotationPipeline.filtered` -- the PLM step: every candidate
+   span in a chunk is masked and judged by the
+   :class:`~repro.corpus.masked_lm.MaskedSlotModel` in one batched,
+   deduplicated pass through the engine's
+   :class:`~repro.engine.runner.BatchRunner` (worker fan-out and the
+   prompt memo come for free);
+3. :meth:`AnnotationPipeline.reviewed` -- manual review, simulated by an
+   oracle diff against the corpus's gold labels.
+
+Per-stage counters update incrementally as the stream advances, so a
+caller can report progress on a corpus that never fits in memory;
+:meth:`AnnotationPipeline.run` folds the counters into the classic
+:class:`AnnotationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
+
+from repro.quantity.grounder import GroundedQuantity, QuantityGrounder
+
+if TYPE_CHECKING:
+    # Type-only: repro.corpus imports this module back, and repro.engine's
+    # package init reaches it through the DimEval generators; both would
+    # cycle if imported at module scope (the engine is pulled in lazily
+    # when the first pipeline is constructed).
+    from repro.corpus.generator import AnnotatedSentence, GoldQuantity
+    from repro.corpus.masked_lm import MaskedSlotModel
+    from repro.engine.config import EngineConfig
+    from repro.engine.runner import BatchRunner
+
+
+
+@dataclass(frozen=True)
+class SentenceAnnotation:
+    """One sentence with the annotations that survived the pipeline."""
+
+    text: str
+    quantities: tuple[GroundedQuantity, ...]
+
+
+@dataclass(frozen=True)
+class AnnotationReport:
+    """Output of Algorithm 1 with per-stage quality measurements."""
+
+    dataset: tuple[SentenceAnnotation, ...]
+    step1_annotations: int
+    step2_annotations: int
+    accuracy_before_filter: float
+    accuracy_after_filter: float
+    reviewed_corrections: int
+
+    @property
+    def pre_review_accuracy(self) -> float:
+        """The paper's "annotation accuracy of 82%" corresponds to the
+        post-filter, pre-review precision."""
+        return self.accuracy_after_filter
+
+
+@dataclass
+class StageCounters:
+    """Live counters for one pipeline stage."""
+
+    sentences: int = 0      #: sentences that left the stage
+    annotations: int = 0    #: candidate annotations that left the stage
+    correct: int = 0        #: of those, gold-consistent ones
+
+
+@dataclass
+class PipelineCounters:
+    """Incrementally updated measurements across all three stages."""
+
+    step1: StageCounters = field(default_factory=StageCounters)
+    step2: StageCounters = field(default_factory=StageCounters)
+    reviewed_corrections: int = 0
+    dataset_sentences: int = 0
+
+
+class _Candidate(NamedTuple):
+    """A sentence mid-pipeline with its surviving candidate annotations."""
+
+    sentence: AnnotatedSentence
+    found: tuple[GroundedQuantity, ...]
+
+
+class _SlotFilterAdapter:
+    """Adapts :class:`MaskedSlotModel` to the BatchRunner model protocol.
+
+    Prompts are ``(sentence text, span text)`` tuples -- the runner only
+    requires prompts to be hashable -- and completions are the boolean
+    step-2 verdicts.  The ``cache_key`` is a process-unique token held
+    *on the model instance*, so a runner's memo never serves verdicts
+    from a differently trained filter: distinct live models get distinct
+    keys, and a key is only reused for the same model object (unlike
+    ``id()``, which CPython recycles after garbage collection).
+    """
+
+    _KEY_COUNTER = count()
+
+    def __init__(self, slot_model: MaskedSlotModel):
+        self._slot_model = slot_model
+        self.name = "masked-slot-filter"
+        key = getattr(slot_model, "_slot_filter_cache_key", None)
+        if key is None:
+            key = f"masked-slot-filter-{next(self._KEY_COUNTER)}"
+            slot_model._slot_filter_cache_key = key
+        self.cache_key = key
+
+    def generate_batch(self, prompts: list[tuple[str, str]]) -> list[bool]:
+        """Batched step-2 verdicts for ``(text, span)`` prompt pairs."""
+        return self._slot_model.predicts_quantity_batch(prompts)
+
+
+def _chunked(items: Iterable, size: int) -> Iterator[list]:
+    """Lazily regroup an iterable into lists of at most ``size``."""
+    chunk: list = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class AnnotationPipeline:
+    """Composable, streaming Algorithm 1 over a sentence iterator.
+
+    Stages may be used individually (each is an iterator transformer) or
+    driven end-to-end by :meth:`run`.  ``config.batch_size`` sets the
+    chunk granularity of every stage; ``config.max_workers`` fans the
+    masked-LM batches out over the runner's thread pool.
+    """
+
+    def __init__(
+        self,
+        grounder: QuantityGrounder,
+        slot_model: MaskedSlotModel,
+        config: EngineConfig | None = None,
+        runner: BatchRunner | None = None,
+    ):
+        from repro.engine.config import EngineConfig as _EngineConfig
+        from repro.engine.runner import BatchRunner as _BatchRunner
+
+        self.grounder = grounder
+        self.slot_model = slot_model
+        self.config = config or _EngineConfig()
+        self.runner = runner or _BatchRunner(self.config)
+        self._adapter = _SlotFilterAdapter(slot_model)
+        self.counters = PipelineCounters()
+
+    # -- stage 1: rule-based extraction -------------------------------------
+
+    def extracted(
+        self, sentences: Iterable[AnnotatedSentence]
+    ) -> Iterator[_Candidate]:
+        """Step 1: grounded extraction, batched through the grounder.
+
+        Yields only sentences containing at least one grounded quantity
+        ("if s1 contains numeric entity"), updating the step-1 counters
+        as each chunk completes.
+        """
+        counters = self.counters.step1
+        # Corpus streams repeat sentences across chunks (templated and
+        # crawled corpora alike); memoize grounding per distinct text,
+        # bounded so an unbounded stream cannot exhaust memory.
+        memo: dict = {}
+        for chunk in _chunked(sentences, self.config.batch_size):
+            if len(memo) > 8192:
+                # Purge before computing the chunk's misses so every
+                # text the loop below reads is guaranteed present.
+                memo.clear()
+            missing = [
+                sentence.text for sentence in chunk
+                if sentence.text not in memo
+            ]
+            if missing:
+                memo.update(
+                    zip(missing, self.grounder.ground_batch(missing))
+                )
+            for sentence in chunk:
+                found = memo[sentence.text]
+                if not found:
+                    continue
+                counters.sentences += 1
+                counters.annotations += len(found)
+                counters.correct += sum(
+                    1 for quantity in found
+                    if _matches_gold(quantity, sentence.quantities)
+                )
+                yield _Candidate(sentence, tuple(found))
+
+    # -- stage 2: PLM filtering ---------------------------------------------
+
+    def filtered(
+        self, candidates: Iterable[_Candidate]
+    ) -> Iterator[_Candidate]:
+        """Step 2: masked-LM filtering of candidate spans, batched.
+
+        All spans of a chunk are judged in one ``BatchRunner`` pass:
+        duplicate ``(text, span)`` pairs collapse to a single model call
+        and verdicts are memoized across chunks and runs.
+        """
+        counters = self.counters.step2
+        for chunk in _chunked(candidates, self.config.batch_size):
+            prompts = [
+                (candidate.sentence.text, quantity.value_text)
+                for candidate in chunk
+                for quantity in candidate.found
+            ]
+            verdicts = iter(self.runner.generate_all(self._adapter, prompts))
+            for candidate in chunk:
+                kept = tuple(
+                    quantity for quantity in candidate.found
+                    if next(verdicts)
+                )
+                if not kept:
+                    continue
+                counters.sentences += 1
+                counters.annotations += len(kept)
+                counters.correct += sum(
+                    1 for quantity in kept
+                    if _matches_gold(quantity, candidate.sentence.quantities)
+                )
+                yield _Candidate(candidate.sentence, kept)
+
+    # -- stage 3: oracle review ---------------------------------------------
+
+    def reviewed(
+        self, candidates: Iterable[_Candidate]
+    ) -> Iterator[SentenceAnnotation]:
+        """Step 3: manual review (oracle): drop annotations review rejects."""
+        for candidate in candidates:
+            surviving = tuple(
+                quantity for quantity in candidate.found
+                if _matches_gold(quantity, candidate.sentence.quantities)
+            )
+            self.counters.reviewed_corrections += (
+                len(candidate.found) - len(surviving)
+            )
+            if surviving:
+                self.counters.dataset_sentences += 1
+                yield SentenceAnnotation(candidate.sentence.text, surviving)
+
+    # -- end-to-end ---------------------------------------------------------
+
+    def stream(
+        self, sentences: Iterable[AnnotatedSentence]
+    ) -> Iterator[SentenceAnnotation]:
+        """The full three-stage stream; counters update as it is consumed."""
+        return self.reviewed(self.filtered(self.extracted(sentences)))
+
+    def run(self, sentences: Iterable[AnnotatedSentence]) -> AnnotationReport:
+        """Drive the stream to completion and fold counters into a report."""
+        self.counters = PipelineCounters()
+        dataset = tuple(self.stream(sentences))
+        counters = self.counters
+        return AnnotationReport(
+            dataset=dataset,
+            step1_annotations=counters.step1.annotations,
+            step2_annotations=counters.step2.annotations,
+            accuracy_before_filter=_safe_ratio(
+                counters.step1.correct, counters.step1.annotations
+            ),
+            accuracy_after_filter=_safe_ratio(
+                counters.step2.correct, counters.step2.annotations
+            ),
+            reviewed_corrections=counters.reviewed_corrections,
+        )
+
+
+def _matches_gold(
+    found: GroundedQuantity, gold: tuple[GoldQuantity, ...]
+) -> bool:
+    """An annotation is correct when value and unit agree with some gold."""
+    if found.unit is None:
+        return False
+    for entry in gold:
+        if (abs(entry.value - found.value) <= 1e-9 * max(1.0, abs(entry.value))
+                and entry.unit_id == found.unit.unit_id):
+            return True
+    return False
+
+
+def _safe_ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else 0.0

@@ -1,0 +1,251 @@
+"""Compiled surface-form matcher: a character trie over the KB index.
+
+The seed extractor resolved each numeric literal's unit mention with a
+descending prefix scan -- up to ``max_form_length`` substring slices,
+each stripped, casefolded and probed against the surface index.  The
+:class:`SurfaceTrie` compiles that index once (per KB, cached on the KB
+instance by :meth:`repro.units.kb.DimUnitKB.surface_matcher`) into a
+dict-of-dicts character trie and answers the same query with a single
+left-to-right walk: longest match wins, exactly as the scan's
+first-hit-from-the-top did.
+
+Semantics are kept identical to the scan it replaces:
+
+- keys are ``strip().casefold()`` normalised, matching walks feed each
+  window character through ``str.casefold`` (a character can fold to
+  several, e.g. the sharp s);
+- trailing whitespace after a matched form is consumed (the scan
+  stripped each candidate prefix before lookup, so ``"m  x"`` matched
+  ``"m"`` with three characters consumed);
+- a match may not end mid-token: when the character after the match is
+  alphanumeric and the match's last character is non-CJK alphanumeric,
+  that length is rejected (the caller's boundary rule, applied here so
+  the walk can report the longest *legal* match).
+
+The module deliberately imports nothing from the rest of the package so
+that :mod:`repro.units.kb` can build tries without an import cycle; the
+record payloads attached to terminal nodes are opaque tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+#: Reserved key under which a node stores its terminal payload.  Surface
+#: forms are non-empty strings of single characters, so ``None`` can
+#: never collide with a child edge.
+_ENTRIES = None
+
+
+class TrieMatch:
+    """One longest-match result: the matched records and window geometry."""
+
+    __slots__ = ("entries", "surface", "consumed")
+
+    def __init__(self, entries: tuple, surface: str, consumed: int):
+        self.entries = entries      #: payloads of the matched surface form
+        self.surface = surface      #: matched text, original case, stripped
+        self.consumed = consumed    #: window chars consumed incl. whitespace
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TrieMatch(surface={self.surface!r}, "
+                f"consumed={self.consumed}, entries={len(self.entries)})")
+
+
+class SurfaceTrie:
+    """A character trie over normalised surface forms.
+
+    Nodes are plain dicts: character -> child node, with the terminal
+    payload tuple stored under the reserved ``None`` key.  Lookup and
+    longest-match walks therefore cost one dict probe per character.
+    """
+
+    def __init__(self, index: Mapping[str, Sequence]):
+        """Compile ``index`` (normalised surface form -> payload sequence).
+
+        Keys must already be ``strip().casefold()`` normalised -- both
+        :meth:`repro.units.kb.DimUnitKB.naming_dictionary` and the KB's
+        internal surface index satisfy this.
+        """
+        root: dict = {}
+        max_length = 0
+        count = 0
+        buckets: dict[int, list[tuple[str, tuple]]] = {}
+        for form, payload in index.items():
+            if not form:
+                continue
+            node = root
+            for char in form:
+                node = node.setdefault(char, {})
+            node[_ENTRIES] = tuple(payload)
+            max_length = max(max_length, len(form))
+            count += 1
+            buckets.setdefault(len(form), []).append((form, tuple(payload)))
+        self._root = root
+        self._max_form_length = max_length
+        self._size = count
+        self._forms_by_length: tuple[tuple[int, tuple[tuple[str, tuple], ...]], ...] = tuple(
+            (length, tuple(forms)) for length, forms in sorted(buckets.items())
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def max_form_length(self) -> int:
+        """Length of the longest compiled surface form."""
+        return self._max_form_length
+
+    def forms_by_length(self) -> tuple[tuple[int, tuple[tuple[str, tuple], ...]], ...]:
+        """``(length, ((form, payloads), ...))`` groups, ascending by length.
+
+        The linker's candidate generation iterates these buckets and skips
+        whole length classes that cannot clear its similarity threshold
+        (Levenshtein distance is bounded below by the length difference).
+        """
+        return self._forms_by_length
+
+    # -- exact lookup -------------------------------------------------------
+
+    def lookup(self, text: str) -> tuple:
+        """Payloads of the exact surface form, after normalisation.
+
+        Equivalent to the KB's dict-based ``find_by_surface``: the query
+        is ``strip().casefold()`` normalised, then walked; a non-terminal
+        or broken walk returns the empty tuple.
+        """
+        node = self._root
+        for char in text.strip().casefold():
+            node = node.get(char)
+            if node is None:
+                return ()
+        return node.get(_ENTRIES, ())
+
+    # -- longest match ------------------------------------------------------
+
+    def longest_match(self, window: str) -> TrieMatch | None:
+        """The longest legal surface form at the head of ``window``.
+
+        Replicates the descending prefix scan exactly: for every prefix
+        length ``L`` up to ``max_form_length`` (counted past any leading
+        whitespace), the candidate key is ``window[:L].strip().casefold()``
+        and the boundary rule rejects lengths that would split a latin
+        word or number; the largest passing ``L`` wins.  Returns ``None``
+        when no prefix matches.
+        """
+        raw = self.longest_match_at(window, 0, len(window))
+        if raw is None:
+            return None
+        entries, surface, consumed = raw
+        return TrieMatch(entries=entries, surface=surface, consumed=consumed)
+
+    def longest_match_at(
+        self, text: str, start: int, width: int
+    ) -> tuple[tuple, str, int] | None:
+        """:meth:`longest_match` over ``text[start:start + width]``, no slice.
+
+        The extractor's hot path: one call per numeric literal, walking
+        the original text in place.  Returns a raw
+        ``(entries, surface, consumed)`` triple (cheaper than a
+        :class:`TrieMatch` at this volume); ``consumed`` counts from
+        ``start`` and includes leading and consumed trailing whitespace,
+        so ``start + consumed`` is the annotation's end offset.
+        """
+        text_length = len(text)
+        window_end = start + width
+        if window_end > text_length:
+            window_end = text_length
+        # Leading whitespace is stripped before matching; it never walks
+        # the trie but does count toward the consumed span.
+        position = start
+        while position < window_end and text[position].isspace():
+            position += 1
+        limit = position + self._max_form_length
+        if limit > window_end:
+            limit = window_end
+        node: dict | None = self._root
+        candidate: dict | None = None   # node of the rstripped prefix
+        nonspace_end = position         # end of the rstripped prefix
+        best_end = 0
+        best_surface_end = 0
+        best_entries: tuple | None = None
+        index = position
+        while index < limit:
+            char = text[index]
+            if char.isspace():
+                if node is not None:
+                    # Internal whitespace may be part of a multi-word
+                    # form ("square metre"); trailing whitespace keeps
+                    # the last non-space node as the match candidate.
+                    node = node.get(char)
+            else:
+                if node is not None:
+                    # Keys are casefolded, so lowercase/CJK input hits
+                    # directly; only case-variant input pays casefold()
+                    # (which may expand to several characters).
+                    stepped = node.get(char)
+                    if stepped is None:
+                        folded = char.casefold()
+                        if folded != char:
+                            stepped = node
+                            for piece in folded:
+                                stepped = stepped.get(piece)
+                                if stepped is None:
+                                    break
+                    node = stepped
+                candidate = node
+                nonspace_end = index + 1
+            if candidate is None:
+                if node is None:
+                    break
+            else:
+                entries = candidate.get(_ENTRIES)
+                if entries is not None:
+                    # The scan's boundary rule, inlined: a match may not
+                    # end between two latin/numeric characters (CJK is
+                    # exempt); a prefix ending in whitespace, or ending
+                    # at the window edge, always passes.
+                    after = index + 1
+                    if (after >= window_end
+                            or not (char.isalnum() and text[after].isalnum()
+                                    and not ("一" <= char <= "鿿"))):
+                        best_end = after
+                        best_surface_end = nonspace_end
+                        best_entries = entries
+            index += 1
+        if best_entries is None:
+            return None
+        # position..best_surface_end is the prefix with its surrounding
+        # whitespace already removed, so no strip() allocation is needed.
+        return (
+            best_entries,
+            text[position:best_surface_end],
+            best_end - start,
+        )
+
+    # -- iteration ----------------------------------------------------------
+
+    def iter_matches(self, text: str) -> Iterator[tuple[int, TrieMatch]]:
+        """Greedy non-overlapping longest matches over ``text``.
+
+        Yields ``(start, match)`` pairs in reading order; positions inside
+        a match are not re-probed.  Not used by quantity extraction
+        (which anchors matches to numeric literals) but handy for
+        KB-coverage analyses and tests.
+        """
+        position = 0
+        size = len(text)
+        while position < size:
+            raw = self.longest_match_at(
+                text, position, self._max_form_length + 1
+            )
+            if raw is None:
+                position += 1
+                continue
+            entries, surface, consumed = raw
+            yield position, TrieMatch(
+                entries=entries, surface=surface, consumed=consumed
+            )
+            position += max(consumed, 1)

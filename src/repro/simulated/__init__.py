@@ -13,15 +13,15 @@ algebra when its brittle surface-form interface can resolve the units.
 All harness output labels these rows ``(simulated)``.
 """
 
+from repro.simulated.llm import CalibratedLLM
 from repro.simulated.profiles import (
     MODEL_PROFILES,
     ModelProfile,
     TaskBehaviour,
     answer_rate_from_scores,
 )
-from repro.simulated.llm import CalibratedLLM
-from repro.simulated.wolfram import WolframAlphaEngine
 from repro.simulated.toolchain import ToolAugmentedLLM
+from repro.simulated.wolfram import WolframAlphaEngine
 
 __all__ = [
     "CalibratedLLM",

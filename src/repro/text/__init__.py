@@ -1,16 +1,17 @@
 """Text substrate: tokenisation, numeric literals, quantity extraction."""
 
-from repro.text.tokenizer import tokenize, is_cjk
-from repro.text.numbers import (
-    NUMBER_PATTERN,
-    NumericSpan,
-    find_numbers,
-    parse_number,
-)
 from repro.text.extraction import (
     ExtractedQuantity,
     QuantityExtractor,
 )
+from repro.text.numbers import (
+    NUMBER_PATTERN,
+    NumericSpan,
+    find_numbers,
+    find_numbers_batch,
+    parse_number,
+)
+from repro.text.tokenizer import is_cjk, tokenize
 
 __all__ = [
     "ExtractedQuantity",
@@ -18,6 +19,7 @@ __all__ = [
     "NumericSpan",
     "QuantityExtractor",
     "find_numbers",
+    "find_numbers_batch",
     "is_cjk",
     "parse_number",
     "tokenize",

@@ -5,14 +5,19 @@ that follows each literal ("9.9m/s" -> value 9.9, unit mention "m/s").
 Mentions that match no surface form can optionally fall back to fuzzy
 linking.  This extractor is deliberately heuristic -- Algorithm 1 cleans
 up its mistakes with a masked-LM filter and manual review.
+
+Surface matching runs on the KB's compiled trie
+(:meth:`repro.units.kb.DimUnitKB.surface_matcher`): one left-to-right
+walk per numeric literal replaces the seed's descending prefix scan
+(up to ``max_form_length`` slice+normalise+probe rounds per literal)
+while matching exactly the same spans.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NamedTuple
 
-from repro.text.numbers import find_numbers
+from repro.text.numbers import NumericSpan, find_numbers, find_numbers_batch
 from repro.units.kb import DimUnitKB
 from repro.units.schema import UnitRecord
 
@@ -23,9 +28,13 @@ if TYPE_CHECKING:  # avoid a circular import with repro.linking
 _WINDOW = 40
 
 
-@dataclass(frozen=True)
-class ExtractedQuantity:
-    """One quantity found in text: numeric part + unit part (Definition 2)."""
+class ExtractedQuantity(NamedTuple):
+    """One quantity found in text: numeric part + unit part (Definition 2).
+
+    A named tuple rather than a dataclass: corpus-scale grounding
+    constructs one per literal, and tuple construction is several times
+    cheaper than frozen-dataclass ``__init__``.
+    """
 
     value: float
     value_text: str
@@ -56,19 +65,47 @@ class QuantityExtractor:
         self._kb = kb
         self._linker = linker
         self._fuzzy = fuzzy
-        forms = kb.naming_dictionary()
-        self._max_form_length = max((len(form) for form in forms), default=0)
+        self._matcher = kb.surface_matcher()
 
     def extract(self, text: str) -> list[ExtractedQuantity]:
         """All quantities in reading order; bare numbers yield unit=None."""
+        return self._assemble(text, find_numbers(text))
+
+    def extract_batch(self, texts: list[str]) -> list[list[ExtractedQuantity]]:
+        """Per-text extraction for a batch, in input order.
+
+        Numeric literals for the whole batch are located in one pass per
+        pattern (:func:`~repro.text.numbers.find_numbers_batch`); results
+        are identical to per-text :meth:`extract` calls.
+        """
+        return [
+            self._assemble(text, spans)
+            for text, spans in zip(texts, find_numbers_batch(texts))
+        ]
+
+    def extract_grounded(self, text: str) -> list[ExtractedQuantity]:
+        """Only the quantities whose unit resolved against the KB."""
+        return [q for q in self.extract(text) if q.is_grounded]
+
+    def _assemble(
+        self, text: str, spans: list[NumericSpan]
+    ) -> list[ExtractedQuantity]:
+        """Pair located numeric literals with their unit mentions."""
+        matcher = self._matcher
         results = []
-        for span in find_numbers(text):
-            window_start = span.end
-            window = text[window_start:window_start + _WINDOW]
-            offset = len(window) - len(window.lstrip())
-            window = window.lstrip()
-            unit, mention, consumed = self._match_unit(window)
-            end = span.end + (offset + consumed if mention else 0)
+        for span in spans:
+            span_end = span.end
+            match = matcher.longest_match_at(text, span_end, _WINDOW)
+            if match is not None:
+                entries, mention, consumed = match
+                unit = (entries[0] if len(entries) == 1
+                        else max(entries, key=_by_frequency))
+                end = span_end + consumed
+            else:
+                unit, mention, consumed = self._fuzzy_match(
+                    text[span_end:span_end + _WINDOW]
+                )
+                end = span_end + consumed if mention else span_end
             results.append(
                 ExtractedQuantity(
                     value=span.value,
@@ -81,32 +118,49 @@ class QuantityExtractor:
             )
         return results
 
-    def extract_grounded(self, text: str) -> list[ExtractedQuantity]:
-        """Only the quantities whose unit resolved against the KB."""
-        return [q for q in self.extract(text) if q.is_grounded]
+    def _fuzzy_match(self, window: str) -> tuple[UnitRecord | None, str, int]:
+        """The linker fallback for windows with no exact surface match.
 
-    def _match_unit(self, window: str) -> tuple[UnitRecord | None, str, int]:
-        """Longest-prefix surface-form match, with optional fuzzy fallback."""
-        limit = min(len(window), self._max_form_length)
-        for length in range(limit, 0, -1):
-            prefix = window[:length]
-            if length < len(window):
-                boundary = window[length]
-                # Don't split latin words/numbers mid-token.
-                if (prefix[-1].isalnum() and boundary.isalnum()
-                        and not _is_cjk(prefix[-1])):
-                    continue
-            candidates = self._kb.find_by_surface(prefix.strip())
-            if candidates:
-                best = max(candidates, key=lambda u: u.frequency)
-                return best, prefix.strip(), length
-        if self._fuzzy and self._linker is not None:
-            first_token = window.split()[0] if window.split() else ""
-            if first_token:
-                best = self._linker.link_best(first_token)
-                if best is not None:
-                    return best, first_token, len(first_token)
-        return None, "", 0
+        ``window`` is the raw text after the literal; the returned
+        consumed count includes its leading whitespace, mirroring the
+        exact-match path.
+        """
+        if not self._fuzzy or self._linker is None:
+            return None, "", 0
+        stripped = window.lstrip()
+        mention = _first_mention(stripped)
+        if not mention:
+            return None, "", 0
+        best = self._linker.link_best(mention)
+        if best is None:
+            return None, "", 0
+        offset = len(window) - len(stripped)
+        return best, mention, offset + len(mention)
+
+
+def _by_frequency(unit: UnitRecord) -> float:
+    """Sort key for picking the most frequent record of a surface form."""
+    return unit.frequency
+
+
+def _first_mention(window: str) -> str:
+    """The leading unit-mention candidate for the fuzzy fallback.
+
+    The first whitespace-delimited token, cut at the first latin/CJK
+    script boundary: Chinese text carries no spaces, so a latin mention
+    directly abutting it ("9.9mtr左右" -> window "mtr左右") must link on
+    "mtr" alone, and a CJK mention followed by latin text likewise stops
+    at the script switch.
+    """
+    parts = window.split(maxsplit=1)
+    if not parts:
+        return ""
+    token = parts[0]
+    head_is_cjk = _is_cjk(token[0])
+    for index, char in enumerate(token):
+        if _is_cjk(char) != head_is_cjk:
+            return token[:index]
+    return token
 
 
 def _is_cjk(char: str) -> bool:

@@ -11,11 +11,16 @@ from __future__ import annotations
 
 import re
 
-_CJK_RANGES = (
+#: The codepoint ranges this tokenizer emits one-character-per-token.
+#: Consumers that reason about token boundaries (the masked-LM batch
+#: feature extractor's safe-cut points) derive their character classes
+#: from this tuple so they can never drift from the tokenizer.
+CJK_RANGES = (
     (0x4E00, 0x9FFF),    # CJK Unified Ideographs
     (0x3400, 0x4DBF),    # Extension A
     (0xF900, 0xFAFF),    # Compatibility Ideographs
 )
+_CJK_RANGES = CJK_RANGES
 
 _TOKEN_PATTERN = re.compile(
     r"[A-Za-z]+(?:'[A-Za-z]+)?"   # latin words (incl. apostrophes)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.linking import UnitLinker
+from repro.quantity.grounder import grounder_for
 from repro.units import convert_value, default_kb
 from repro.units.io import save_kb
 
@@ -30,8 +30,7 @@ def _cmd_lookup(args) -> int:
     kb = default_kb()
     hits = kb.find_by_surface(args.mention)
     if not hits:
-        linker = UnitLinker(kb)
-        hits = [c.unit for c in linker.link(args.mention)[:3]]
+        hits = [c.unit for c in grounder_for(kb).link(args.mention)[:3]]
     if not hits:
         print(f"no unit found for {args.mention!r}", file=sys.stderr)
         return 1
@@ -44,9 +43,9 @@ def _cmd_lookup(args) -> int:
 
 def _cmd_convert(args) -> int:
     kb = default_kb()
-    linker = UnitLinker(kb)
-    source = linker.link_best(args.source)
-    target = linker.link_best(args.target)
+    grounder = grounder_for(kb)
+    source = grounder.link_best(args.source)
+    target = grounder.link_best(args.target)
     if source is None or target is None:
         print("cannot link units", file=sys.stderr)
         return 1
@@ -56,8 +55,7 @@ def _cmd_convert(args) -> int:
 
 
 def _cmd_link(args) -> int:
-    linker = UnitLinker(default_kb())
-    ranked = linker.link(args.mention, args.context)
+    ranked = grounder_for(default_kb()).link(args.mention, args.context)
     if not ranked:
         print("no candidates", file=sys.stderr)
         return 1

@@ -9,10 +9,13 @@ aggregation (Fig. 4), and the Table IV statistics summary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.dimension import DimensionVector
 from repro.units.schema import QuantityKind, UnitRecord
+
+if TYPE_CHECKING:  # deferred: repro.quantity imports back into repro.units
+    from repro.quantity.trie import SurfaceTrie
 
 
 class UnknownUnitError(KeyError):
@@ -55,6 +58,7 @@ class DimUnitKB:
         self._by_dimension: dict[DimensionVector, list[UnitRecord]] = {}
         self._by_surface: dict[str, list[UnitRecord]] = {}
         self._naming_dictionary: dict[str, tuple[str, ...]] | None = None
+        self._surface_matcher: SurfaceTrie | None = None
         for record in self._records.values():
             for kind_name in record.quantity_kinds:
                 if kind_name not in self._kinds:
@@ -149,8 +153,25 @@ class DimUnitKB:
         Queries and index keys are normalised identically
         (``strip().casefold()``), so whitespace variants of a surface
         form resolve consistently with :meth:`naming_dictionary`.
+        Delegates to the compiled :meth:`surface_matcher`.
         """
-        return tuple(self._by_surface.get(text.strip().casefold(), ()))
+        return self.surface_matcher().lookup(text)
+
+    def surface_matcher(self) -> SurfaceTrie:
+        """The compiled surface-form trie, built once per KB instance.
+
+        The trie answers exact lookups and longest-prefix-match queries
+        over every surface form; caching on the immutable KB instance
+        means every extractor, linker and grounder for this KB shares
+        one compiled structure.
+        """
+        if self._surface_matcher is None:
+            # Imported lazily: repro.quantity pulls in modules that
+            # import repro.units back, so a top-level import would cycle.
+            from repro.quantity.trie import SurfaceTrie
+
+            self._surface_matcher = SurfaceTrie(self._by_surface)
+        return self._surface_matcher
 
     def naming_dictionary(self) -> dict[str, tuple[str, ...]]:
         """surface form -> unit ids; the linker's candidate index.

@@ -5,9 +5,9 @@ import pytest
 from repro.dimension import dimension_of_expression
 from repro.dimeval import (
     CATEGORY_OF_TASK,
+    TASKS,
     DimEvalBenchmark,
     Task,
-    TASKS,
     evaluate_model,
     parse_choice,
     parse_extraction,

@@ -7,7 +7,7 @@ from repro.corpus import CorpusGenerator, SemiAutomatedAnnotator
 from repro.dimeval import DimEvalBenchmark, Task, evaluate_model
 from repro.kg import BootstrapRetriever, synthesize_kg
 from repro.mwp import Augmenter, MWPGenerator
-from repro.simulated import CalibratedLLM, MODEL_PROFILES
+from repro.simulated import MODEL_PROFILES, CalibratedLLM
 from repro.units import Quantity, default_kb
 
 

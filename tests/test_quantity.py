@@ -1,0 +1,393 @@
+"""Tests for the unified grounding subsystem (repro.quantity)."""
+
+import pytest
+
+from repro.corpus import CorpusGenerator, SemiAutomatedAnnotator
+from repro.corpus.masked_lm import MaskedSlotModel
+from repro.engine import EngineConfig
+from repro.engine.runner import BatchRunner
+from repro.quantity import (
+    AnnotationPipeline,
+    QuantityGrounder,
+    SurfaceTrie,
+    grounder_for,
+)
+from repro.text.numbers import find_numbers, find_numbers_batch
+from repro.units import default_kb
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return default_kb()
+
+
+@pytest.fixture(scope="module")
+def matcher(kb):
+    return kb.surface_matcher()
+
+
+@pytest.fixture(scope="module")
+def grounder(kb):
+    return grounder_for(kb)
+
+
+def _reference_scan(kb, window):
+    """The seed descending prefix scan, as the trie's ground truth."""
+    naming = kb.naming_dictionary()
+    max_length = max((len(form) for form in naming), default=0)
+    limit = min(len(window), max_length)
+    for length in range(limit, 0, -1):
+        prefix = window[:length]
+        if length < len(window):
+            boundary = window[length]
+            if (prefix[-1].isalnum() and boundary.isalnum()
+                    and not ("一" <= prefix[-1] <= "鿿")):
+                continue
+        unit_ids = naming.get(prefix.strip().casefold())
+        if unit_ids:
+            return unit_ids, prefix.strip(), length
+    return None
+
+
+class TestSurfaceTrie:
+    def test_cached_per_kb_instance(self, kb):
+        assert kb.surface_matcher() is kb.surface_matcher()
+
+    def test_size_and_max_length(self, kb, matcher):
+        naming = kb.naming_dictionary()
+        assert len(matcher) == len(naming)
+        assert matcher.max_form_length == max(len(form) for form in naming)
+
+    def test_exact_lookup_matches_naming_dictionary(self, kb, matcher):
+        for form, unit_ids in list(kb.naming_dictionary().items())[:200]:
+            assert tuple(u.unit_id for u in matcher.lookup(form)) == unit_ids
+
+    def test_lookup_normalises(self, matcher):
+        assert matcher.lookup("  KM ") == matcher.lookup("km")
+        assert matcher.lookup("no-such-unit-xyz") == ()
+
+    def test_find_by_surface_delegates(self, kb):
+        assert kb.find_by_surface(" M/S ") == kb.find_by_surface("m/s")
+        assert kb.find_by_surface("m/s")[0].unit_id == "M-PER-SEC"
+
+    @pytest.mark.parametrize("window", [
+        "m/s，船重", "km/h的速度", "千克，而且", "metres long", "m  x",
+        "kilometres per hour later", "Mm", "μm of film", " m", "",
+        "meters.", "t装置", "9", "平方千米的面积", "m/s^2 acceleration",
+    ])
+    def test_longest_match_equals_descending_scan(self, kb, matcher, window):
+        reference = _reference_scan(kb, window)
+        match = matcher.longest_match(window)
+        if reference is None:
+            assert match is None
+        else:
+            unit_ids, surface, consumed = reference
+            assert tuple(u.unit_id for u in match.entries) == unit_ids
+            assert match.surface == surface
+            assert match.consumed == consumed
+
+    def test_longest_match_prefers_longer_form(self, matcher):
+        # "m/s" must win over its prefix "m".
+        match = matcher.longest_match("m/s and more")
+        assert match.surface == "m/s"
+
+    def test_trailing_whitespace_consumed(self, matcher):
+        match = matcher.longest_match("m  x")
+        assert match.surface == "m"
+        assert match.consumed == 3
+
+    def test_boundary_rule_blocks_mid_token_cut(self, matcher):
+        # "metresque" must not match "metres" (latin run continues).
+        assert matcher.longest_match("metresque") is None
+
+    def test_cjk_boundary_is_open(self, matcher):
+        # CJK abuts latin freely: "米" matches even when text continues.
+        match = matcher.longest_match("米每秒的速度")
+        assert match is not None
+
+    def test_forms_by_length_covers_everything(self, kb, matcher):
+        naming = kb.naming_dictionary()
+        total = sum(len(forms) for _, forms in matcher.forms_by_length())
+        assert total == len(naming)
+        for length, forms in matcher.forms_by_length():
+            for form, entries in forms:
+                assert len(form) == length
+                assert tuple(u.unit_id for u in entries) == naming[form]
+
+    def test_iter_matches_non_overlapping(self, matcher):
+        text = "km then m/s then 千克"
+        positions = list(matcher.iter_matches(text))
+        assert positions
+        previous_end = -1
+        for start, match in positions:
+            assert start >= previous_end
+            previous_end = start + match.consumed
+
+    def test_payloads_are_opaque(self):
+        trie = SurfaceTrie({"ab": (1, 2), "a": (3,), "b c": (4,)})
+        assert trie.lookup("AB") == (1, 2)
+        assert trie.longest_match("a!").entries == (3,)
+        assert trie.longest_match("b c!").entries == (4,)
+
+
+class TestFindNumbersBatch:
+    def test_matches_single_text_scan_on_corpus(self, kb):
+        texts = [
+            s.text for s in CorpusGenerator(kb, seed=17).generate(300)
+        ]
+        assert find_numbers_batch(texts) == [find_numbers(t) for t in texts]
+
+    @pytest.mark.parametrize("text", [
+        "人口3万人", "1.5亿元的投资", "1,234万",   # mixed-literal fallback
+        "重量是5千克", "长一百二十米", "order 123,456 shipped",
+        "2/3 of 1e3", "-5 degrees and +3.2", "一千零一夜", "5.的",
+        "", "no numbers at all", "三3千",
+    ])
+    def test_matches_single_text_scan(self, text):
+        assert find_numbers_batch([text]) == [find_numbers(text)]
+
+    def test_separator_hazard_falls_back(self):
+        weird = "a 5\x00m b"
+        assert find_numbers_batch([weird]) == [find_numbers(weird)]
+
+
+class TestQuantityGrounder:
+    def test_ground_matches_extract_grounded(self, kb, grounder):
+        texts = [s.text for s in CorpusGenerator(kb, seed=5).generate(80)]
+        for text in texts:
+            assert grounder.ground(text) == (
+                grounder.extractor.extract_grounded(text)
+            )
+
+    def test_ground_batch_matches_per_text(self, kb, grounder):
+        texts = [s.text for s in CorpusGenerator(kb, seed=6).generate(120)]
+        assert grounder.ground_batch(texts) == [
+            grounder.ground(text) for text in texts
+        ]
+
+    def test_extract_batch_duplicate_positions_are_independent(self, grounder):
+        texts = ["the rope is 5 metres", "the rope is 5 metres"]
+        first, second = grounder.extract_batch(texts)
+        assert first == second
+        first.clear()  # mutating one position must not affect the other
+        assert second
+
+    def test_linking_surface(self, grounder):
+        assert grounder.link_best("km").unit_id == "KiloM"
+        ranked = grounder.link("degree", "temperature in summer")
+        assert ranked[0].unit.unit_id in {"DEG-C", "DEG-F"}
+
+    def test_dimension_of_mention(self, grounder):
+        assert grounder.dimension_of_mention("km").to_formula() == "L"
+        with pytest.raises(KeyError):
+            grounder.dimension_of_mention("zzzzqqqq")
+
+    def test_dimension_of_mentions_expression(self, grounder):
+        # dim(poundal) / dim(dyn/cm) = L (the Fig. 1 running example)
+        result = grounder.dimension_of_mentions(["poundal", "dyn/cm"], ["/"])
+        assert result.to_formula() == "L"
+
+    def test_grounder_for_caches_per_kb(self, kb):
+        assert grounder_for(kb) is grounder_for(kb)
+        subset = kb.subset(["M", "KiloM", "SEC"])
+        other = grounder_for(subset)
+        assert other is not grounder_for(kb)
+        assert other.kb is subset
+
+    def test_custom_grounder_fuzzy(self, kb):
+        fuzzy = QuantityGrounder(kb, fuzzy=True)
+        found = fuzzy.ground("速度达到9.9mtr左右")
+        assert [(q.value, q.unit.unit_id) for q in found] == [(9.9, "M")]
+
+
+class TestMaskedSlotBatch:
+    @pytest.fixture(scope="class")
+    def trained(self, kb):
+        background = CorpusGenerator(kb, seed=23).generate(300)
+        annotator = SemiAutomatedAnnotator(kb)
+        return annotator.train_filter(background)
+
+    def test_batch_matches_single_calls(self, kb, trained):
+        corpus = CorpusGenerator(kb, seed=29).generate(120)
+        grounder = grounder_for(kb)
+        pairs = [
+            (sentence.text, quantity.value_text)
+            for sentence in corpus
+            for quantity in grounder.ground(sentence.text)
+        ]
+        assert pairs
+        assert trained.predicts_quantity_batch(pairs) == [
+            trained.predicts_quantity(text, span) for text, span in pairs
+        ]
+
+    @pytest.mark.parametrize("text,span", [
+        ("重量是 5 千克", "5"),
+        ("xinwei bo's report said 15 metres", "15"),
+        ("LeBron James's height is 2.06 meters", "2.06"),
+        ("span not present here", "42"),
+        ("速度9.9m/s，船重3000千克", "3000"),
+        ("153 apples", "5"),   # span inside a larger token
+    ])
+    def test_local_context_equals_seed_context(self, trained, text, span):
+        assert trained._context_tokens_local(text, span) == (
+            trained._context_tokens(text, span)
+        )
+
+    def test_batch_requires_training(self):
+        with pytest.raises(RuntimeError):
+            MaskedSlotModel().predicts_quantity_batch([("a 1 b", "1")])
+
+
+class TestAnnotationPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self, kb):
+        background = CorpusGenerator(kb, seed=99).generate(400)
+        corpus = CorpusGenerator(kb, seed=3).generate(250)
+        annotator = SemiAutomatedAnnotator(kb)
+        model = annotator.train_filter(background)
+        return annotator, model, corpus
+
+    def _reference_annotate(self, kb, model, corpus):
+        """Algorithm 1 as three explicit sentence-at-a-time loops."""
+        from repro.quantity.pipeline import _matches_gold
+
+        grounder = grounder_for(kb)
+        step1 = []
+        for sentence in corpus:
+            found = grounder.ground(sentence.text)
+            if found:
+                step1.append((sentence, found))
+        step2 = []
+        for sentence, found in step1:
+            kept = [
+                quantity for quantity in found
+                if model.predicts_quantity(sentence.text, quantity.value_text)
+            ]
+            if kept:
+                step2.append((sentence, kept))
+        dataset = []
+        for sentence, found in step2:
+            reviewed = tuple(
+                q for q in found if _matches_gold(q, sentence.quantities)
+            )
+            if reviewed:
+                dataset.append((sentence.text, reviewed))
+        return step1, step2, dataset
+
+    def test_report_matches_reference_loops(self, kb, setup):
+        annotator, model, corpus = setup
+        report = annotator.annotate(corpus)
+        step1, step2, dataset = self._reference_annotate(kb, model, corpus)
+        assert report.step1_annotations == sum(len(f) for _, f in step1)
+        assert report.step2_annotations == sum(len(f) for _, f in step2)
+        assert [
+            (entry.text, entry.quantities) for entry in report.dataset
+        ] == dataset
+
+    def test_batch_size_invariant(self, kb, setup):
+        annotator, model, corpus = setup
+        small = SemiAutomatedAnnotator(
+            kb, slot_model=model, config=EngineConfig(batch_size=1)
+        )
+        large = SemiAutomatedAnnotator(
+            kb, slot_model=model, config=EngineConfig(batch_size=128)
+        )
+        assert small.annotate(corpus) == large.annotate(corpus)
+
+    def test_worker_fanout_invariant(self, kb, setup):
+        annotator, model, corpus = setup
+        threaded = SemiAutomatedAnnotator(
+            kb, slot_model=model,
+            config=EngineConfig(batch_size=16, max_workers=4),
+        )
+        assert threaded.annotate(corpus) == annotator.annotate(corpus)
+
+    def test_consumes_an_iterator_lazily(self, kb, setup):
+        annotator, model, corpus = setup
+        consumed = 0
+
+        def stream():
+            nonlocal consumed
+            for sentence in corpus:
+                consumed += 1
+                yield sentence
+
+        report = annotator.annotate(stream())
+        assert consumed == len(corpus)
+        assert report == annotator.annotate(corpus)
+
+    def test_counters_update_incrementally(self, kb, setup):
+        annotator, model, corpus = setup
+        pipeline = annotator.pipeline()
+        stream = pipeline.stream(corpus)
+        next(stream)  # pull a single annotated sentence through
+        partial = pipeline.counters.step1.annotations
+        assert 0 < partial
+        for _ in stream:
+            pass
+        assert pipeline.counters.step1.annotations >= partial
+
+    def test_stage_counts_are_monotonic(self, kb, setup):
+        annotator, model, corpus = setup
+        report = annotator.annotate(corpus)
+        assert report.step2_annotations <= report.step1_annotations
+        assert report.reviewed_corrections >= 0
+
+    def test_empty_corpus(self, kb, setup):
+        annotator, model, _ = setup
+        report = annotator.annotate([])
+        assert report.dataset == ()
+        assert report.step1_annotations == 0
+        assert report.accuracy_after_filter == 0.0
+
+    def test_untrained_annotator_raises(self, kb):
+        with pytest.raises(RuntimeError):
+            SemiAutomatedAnnotator(kb).annotate([])
+
+    def test_pipeline_direct_construction(self, kb, setup):
+        _, model, corpus = setup
+        pipeline = AnnotationPipeline(grounder_for(kb), model)
+        report = pipeline.run(corpus)
+        assert report.step1_annotations == (
+            pipeline.counters.step1.annotations
+        )
+        assert len(report.dataset) == pipeline.counters.dataset_sentences
+
+
+class TestBatchRunnerStructuredPrompts:
+    class CountingModel:
+        """Counts generate_batch calls; completions are tuple echoes."""
+
+        name = "counting"
+
+        def __init__(self):
+            self.calls = 0
+            self.prompts_seen = 0
+
+        def generate_batch(self, prompts):
+            self.calls += 1
+            self.prompts_seen += len(prompts)
+            return [("echo", prompt) for prompt in prompts]
+
+    def test_tuple_prompts_roundtrip_and_dedupe(self):
+        model = self.CountingModel()
+        runner = BatchRunner(EngineConfig(batch_size=8))
+        prompts = [("text a", "5"), ("text b", "7"), ("text a", "5")]
+        results = runner.generate_all(model, prompts)
+        assert results == [("echo", p) for p in prompts]
+        assert model.prompts_seen == 2  # duplicates collapsed
+
+    def test_disabled_cache_skips_memo(self):
+        model = self.CountingModel()
+        runner = BatchRunner(EngineConfig(completion_cache_size=0))
+        runner.generate_all(model, [("t", "1")])
+        runner.generate_all(model, [("t", "1")])
+        assert model.calls == 2  # no cross-call memoization
+        assert len(runner.completion_cache) == 0
+
+    def test_enabled_cache_reuses_completions(self):
+        model = self.CountingModel()
+        runner = BatchRunner(EngineConfig(completion_cache_size=64))
+        runner.generate_all(model, [("t", "1")])
+        runner.generate_all(model, [("t", "1")])
+        assert model.prompts_seen == 1

@@ -4,8 +4,8 @@ import pytest
 
 from repro.dimeval import DimEvalBenchmark, Task, evaluate_model
 from repro.simulated import (
-    CalibratedLLM,
     MODEL_PROFILES,
+    CalibratedLLM,
     ToolAugmentedLLM,
     WolframAlphaEngine,
     answer_rate_from_scores,

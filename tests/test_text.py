@@ -160,3 +160,74 @@ class TestQuantityExtraction:
     def test_quantity_text(self, extractor):
         grounded = extractor.extract_grounded("a rope of 5 metres")
         assert grounded[0].quantity_text == "5 metres"
+
+    def test_extract_batch_matches_per_text(self, extractor):
+        texts = [
+            "LeBron James's height is 2.06 meters",
+            "某人的速度是9.9m/s，船重3000千克",
+            "no numbers here",
+            "人口3万人",
+            "订单号123456已经发货",
+        ]
+        assert extractor.extract_batch(texts) == [
+            extractor.extract(text) for text in texts
+        ]
+
+    def test_longest_match_beats_prefix_form(self, extractor):
+        # Longest-match tie-break: "m/s" must win over its prefix "m",
+        # and "km/h" over "km".
+        grounded = extractor.extract_grounded("wind of 9.9m/s and 60km/h")
+        assert [q.unit.unit_id for q in grounded] == [
+            "M-PER-SEC", "KiloM-PER-HR",
+        ]
+
+    def test_trailing_punctuation_mention(self, extractor):
+        grounded = extractor.extract_grounded("a rope of 5 metres.")
+        assert grounded[0].unit_text == "metres"
+        assert grounded[0].unit.unit_id == "M"
+
+    def test_mid_word_mention_not_split(self, extractor):
+        # The boundary rule: "metresque" must not ground as "metres".
+        results = extractor.extract("a rope of 5 metresque")
+        assert not results[0].is_grounded
+
+    def test_cjk_boundary_allows_abutting_unit(self, extractor):
+        # _is_cjk boundary: a CJK unit mention needs no delimiter before
+        # the next CJK character.
+        grounded = extractor.extract_grounded("船重3000千克的货物")
+        assert [(q.value, q.unit.unit_id) for q in grounded] == [
+            (3000.0, "KiloGM"),
+        ]
+
+    def test_trailing_whitespace_consumed_in_span(self, extractor):
+        grounded = extractor.extract_grounded("5 m  x")
+        assert grounded[0].unit_text == "m"
+        assert grounded[0].end == 5  # trailing blanks belong to the span
+
+
+class TestFuzzyFallback:
+    @pytest.fixture(scope="class")
+    def fuzzy(self):
+        from repro.linking import UnitLinker
+
+        kb = default_kb()
+        return QuantityExtractor(kb, linker=UnitLinker(kb), fuzzy=True)
+
+    def test_fuzzy_mention_abutting_cjk(self, fuzzy):
+        # Regression: a latin mention glued to CJK text must fuzzy-link
+        # on the latin run alone, not on "mtr左右".
+        found = fuzzy.extract("速度达到9.9mtr左右")
+        assert [(q.value, q.unit.unit_id, q.unit_text) for q in found] == [
+            (9.9, "M", "mtr"),
+        ]
+        assert found[0].end == 10  # value + linked mention only
+
+    def test_fuzzy_typo_with_whitespace(self, fuzzy):
+        found = fuzzy.extract("the distance is 42 kilometrs away")
+        assert found[0].unit.unit_id == "KiloM"
+        assert found[0].unit_text == "kilometrs"
+
+    def test_fuzzy_disabled_without_linker(self):
+        plain = QuantityExtractor(default_kb(), fuzzy=True)
+        results = plain.extract("速度达到9.9mtr左右")
+        assert not results[0].is_grounded
