@@ -2,11 +2,30 @@
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.experiments.artifacts import ENV_VAR, default_store, set_default_store
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def artifact_store():
+    """Persist trained contexts across benchmark *processes*.
+
+    The heavy benches (table7/8/9, fig6/7) all share one trained
+    substrate; routing the experiment context through a repo-local
+    artifact store means only the first bench invocation trains -- later
+    processes (and cached CI runs) load the checkpoints instead.
+    ``REPRO_ARTIFACT_DIR`` still takes precedence when set (including
+    its disable values).
+    """
+    if os.environ.get(ENV_VAR) is not None:
+        return default_store()
+    return set_default_store(RESULTS_DIR / "artifacts")
 
 
 @pytest.fixture(scope="session")

@@ -1,11 +1,42 @@
-"""Experiment harness: one module per paper table/figure.
+"""Experiment orchestration: one module per paper table/figure.
 
-Every module exposes ``run(quick=True, seed=0) -> ExperimentResult``;
-``quick`` selects CPU-bench-sized training budgets, ``quick=False`` the
-fuller (still CPU-scale) budgets documented in DESIGN.md.  The runner
-CLI regenerates any experiment: ``python -m repro.experiments table7``.
+Every experiment module exposes ``run(quick=True, seed=0) ->
+ExperimentResult``; ``quick`` selects CPU-bench-sized training budgets,
+``quick=False`` the fuller (still CPU-scale) budgets documented in
+DESIGN.md.  On top of those modules sit:
+
+- :mod:`repro.experiments.spec` -- the declarative registry (id, cost
+  class, required trained contexts, deps);
+- :mod:`repro.experiments.scheduler` -- the parallel runner
+  (``--jobs``), sequential-identical by construction;
+- :mod:`repro.experiments.artifacts` -- the on-disk store that persists
+  trained contexts across processes;
+- :mod:`repro.experiments.manifest` -- structured JSON result export.
+
+The runner CLI regenerates any experiment:
+``python -m repro.experiments.runner table7 --jobs 2 --out results/``.
 """
 
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    default_store,
+    set_default_store,
+)
+from repro.experiments.manifest import write_manifest
 from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.scheduler import ExperimentRecord, run_experiments
+from repro.experiments.spec import SPECS, ExperimentSpec, resolve
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = [
+    "SPECS",
+    "ArtifactStore",
+    "ExperimentRecord",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "default_store",
+    "format_table",
+    "resolve",
+    "run_experiments",
+    "set_default_store",
+    "write_manifest",
+]

@@ -1,0 +1,273 @@
+"""On-disk artifact store for trained experiment contexts.
+
+Training the DimPerc substrate is by far the most expensive step of any
+heavy experiment.  The in-process cache in
+:mod:`repro.experiments.context` only helps within one process; this
+store persists the trained checkpoints through
+:mod:`repro.llm.persistence`, keyed by a content hash of
+``(profile, seed, digit_tokenization)`` plus the full training config,
+so fresh processes (re-runs, benchmarks, CI jobs) load instead of
+re-training while any hyperparameter change invalidates the artifact.
+
+Layout (one directory per trained context)::
+
+    <root>/
+      ctx-plain-seed0-<hash12>/
+        meta.json          # key fields, profile dict, format version
+        llama_ift.npz/.json  # stage-1 checkpoint (repro.llm.persistence)
+        dimperc.npz/.json    # stage-2 checkpoint
+
+Only the trained state is persisted.  Benchmark splits, MWP pools and
+the KB are regenerated deterministically from the same seed on load, so
+a warm context is behaviourally identical to a cold one -- the artifact
+round-trip test asserts byte-identical DimEval scores.
+
+Saves stage the whole directory under a temporary name and move it into
+place with ``os.replace``; loads treat *any* inconsistency (truncated
+file, digest mismatch, stale format, foreign profile) as a miss and
+fall back to re-training.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+import warnings
+
+from repro.core.dimperc import DimPercConfig, DimPercModels
+from repro.dimeval.benchmark import DimEvalBenchmark
+from repro.llm.model import TransformerConfig
+from repro.llm.persistence import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.units.kb import DimUnitKB
+
+#: Bump when the persisted layout or its semantics change.
+FORMAT_VERSION = 1
+
+#: Environment override for the store root; empty/"off"/"0" disables
+#: cross-process persistence entirely.
+ENV_VAR = "REPRO_ARTIFACT_DIR"
+
+_DISABLED = ("", "0", "off", "none", "disabled")
+
+
+def _key_payload(
+    profile, seed: int, digit_tokenization: bool, config: DimPercConfig
+) -> dict:
+    # The full training config is part of the key: hyperparameters not
+    # derived from the profile (learning rate, replay fraction,
+    # oversampling, ...) must also invalidate persisted contexts.
+    return {
+        "format": FORMAT_VERSION,
+        "profile": dataclasses.asdict(profile),
+        "seed": seed,
+        "digit_tokenization": bool(digit_tokenization),
+        "config": dataclasses.asdict(config),
+    }
+
+
+def context_key(
+    profile, seed: int, digit_tokenization: bool, config: DimPercConfig
+) -> str:
+    """Stable content hash identifying one trained context."""
+    payload = json.dumps(
+        _key_payload(profile, seed, digit_tokenization, config),
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """Persist/restore trained :class:`DimPercModels` across processes."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+
+    # -- keys --------------------------------------------------------------------
+
+    def context_dir(
+        self, profile, seed: int, digit_tokenization: bool,
+        config: DimPercConfig,
+    ) -> pathlib.Path:
+        """The directory one trained context lives in."""
+        key = context_key(profile, seed, digit_tokenization, config)
+        mode = "et" if digit_tokenization else "plain"
+        return self.root / f"ctx-{mode}-seed{seed}-{key[:12]}"
+
+    # -- save --------------------------------------------------------------------
+
+    def save_context(
+        self,
+        profile,
+        seed: int,
+        digit_tokenization: bool,
+        config: DimPercConfig,
+        models: DimPercModels,
+    ) -> pathlib.Path | None:
+        """Persist both trained checkpoints; best-effort (warns on I/O
+        failure rather than killing the experiment that just trained).
+
+        An existing directory is replaced: a save only happens after a
+        cold training run, which means any artifact already there was
+        unreadable (corrupt/partial) and must not survive.
+        """
+        target = self.context_dir(profile, seed, digit_tokenization, config)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            staging = pathlib.Path(tempfile.mkdtemp(
+                prefix=f".tmp-{target.name}-", dir=self.root
+            ))
+            try:
+                models.model.load_params(models.llama_ift_params)
+                save_checkpoint(models.model, models.tokenizer,
+                                staging / "llama_ift")
+                models.model.load_params(models.dimperc_params)
+                save_checkpoint(models.model, models.tokenizer,
+                                staging / "dimperc")
+                (staging / "meta.json").write_text(
+                    json.dumps(
+                        _key_payload(profile, seed, digit_tokenization,
+                                     config),
+                        sort_keys=True, indent=2,
+                    ),
+                    encoding="utf-8",
+                )
+                if target.exists():  # stale/corrupt leftover
+                    shutil.rmtree(target, ignore_errors=True)
+                try:
+                    os.replace(staging, target)
+                except OSError:
+                    # A concurrent process won the race; its copy is
+                    # equivalent (content-keyed), keep it.
+                    if not target.exists():
+                        raise
+            finally:
+                if staging.exists():
+                    shutil.rmtree(staging, ignore_errors=True)
+        except OSError as exc:
+            warnings.warn(f"artifact store save failed at {target}: {exc}",
+                          stacklevel=2)
+            return None
+        return target
+
+    # -- load --------------------------------------------------------------------
+
+    def load_context(
+        self,
+        kb: DimUnitKB,
+        config: DimPercConfig,
+        profile,
+        seed: int,
+        digit_tokenization: bool,
+    ) -> DimPercModels | None:
+        """Restore a trained context, or ``None`` on any miss/corruption.
+
+        ``config`` must be the exact :class:`DimPercConfig` the cold
+        path would train with; the benchmark splits are regenerated from
+        it so the warm context scores identically.
+        """
+        directory = self.context_dir(profile, seed, digit_tokenization,
+                                     config)
+        meta_path = directory / "meta.json"
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        expected_meta = json.loads(json.dumps(
+            _key_payload(profile, seed, digit_tokenization, config)
+        ))
+        if meta != expected_meta:
+            return None  # hash-prefix collision or stale format
+        try:
+            llama_model, llama_tok = load_checkpoint(directory / "llama_ift")
+            dimperc_model, tokenizer = load_checkpoint(directory / "dimperc")
+        except CheckpointError:
+            return None
+        same_vocab = (
+            llama_tok.digit_tokenization == tokenizer.digit_tokenization
+            and len(llama_tok) == len(tokenizer)
+            and all(llama_tok.token(i) == tokenizer.token(i)
+                    for i in range(len(tokenizer)))
+        )
+        expected_config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size,
+            d_model=config.d_model,
+            n_layers=config.n_layers,
+            n_heads=config.n_heads,
+            d_ff=config.d_ff,
+            max_len=config.max_len,
+            seed=config.seed,
+        )
+        if (not same_vocab
+                or tokenizer.digit_tokenization != config.digit_tokenization
+                or dimperc_model.config != expected_config
+                or llama_model.config != expected_config):
+            return None
+        benchmark = DimEvalBenchmark(
+            kb, seed=config.seed,
+            train_per_task=config.train_per_task,
+            eval_per_task=config.eval_per_task,
+            pool_size=config.pool_size,
+            extraction_whole_values=config.extraction_whole_values,
+        )
+        return DimPercModels(
+            tokenizer=tokenizer,
+            model=dimperc_model,
+            llama_ift_params=llama_model.params,
+            dimperc_params=dimperc_model.copy_params(),
+            benchmark=benchmark,
+            train_split=benchmark.train_split(),
+            eval_split=benchmark.eval_split(),
+        )
+
+
+_UNSET = object()
+_default_store: ArtifactStore | None | object = _UNSET
+
+
+def default_store() -> ArtifactStore | None:
+    """The process-wide store (``None`` when persistence is disabled).
+
+    Resolution order: an explicit :func:`set_default_store` value, then
+    the ``REPRO_ARTIFACT_DIR`` environment variable (empty or
+    ``off``/``none``/``0`` disables), then ``~/.cache/repro/artifacts``.
+    """
+    global _default_store
+    if _default_store is _UNSET:
+        env = os.environ.get(ENV_VAR)
+        if env is not None and env.strip().lower() in _DISABLED:
+            _default_store = None
+        elif env is not None:
+            _default_store = ArtifactStore(env)
+        else:
+            _default_store = ArtifactStore(
+                pathlib.Path.home() / ".cache" / "repro" / "artifacts"
+            )
+    return _default_store  # type: ignore[return-value]
+
+
+def set_default_store(
+    store: ArtifactStore | str | os.PathLike | None,
+) -> ArtifactStore | None:
+    """Install the process-wide store (a path builds one; ``None``
+    disables persistence).  Returns the installed store."""
+    global _default_store
+    if store is None or isinstance(store, ArtifactStore):
+        _default_store = store
+    else:
+        _default_store = ArtifactStore(store)
+    return _default_store
+
+
+def reset_default_store() -> None:
+    """Forget any cached/explicit store; re-resolve from the environment."""
+    global _default_store
+    _default_store = _UNSET

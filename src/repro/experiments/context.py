@@ -2,16 +2,24 @@
 
 Tables VII/VIII/IX and Figs. 6/7 all need the trained substrate; this
 module trains it once per (quick, seed, digit_tokenization) and caches
-the result for the lifetime of the process, so a full benchmark run
-pays for each training budget once.
+the result at two levels:
+
+- in-process (``_CACHE``), so one run pays for each training budget
+  once;
+- on disk through :mod:`repro.experiments.artifacts`, so *fresh
+  processes* (benchmark re-runs, CI) load the persisted checkpoints
+  instead of re-training.  The warm path regenerates every dataset from
+  the same seeds, so it is behaviourally identical to the cold path.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.core.dimperc import DimPercConfig, DimPercModels, DimPercPipeline
 from repro.core.encoding import mwp_example
+from repro.experiments.artifacts import ArtifactStore, default_store
 from repro.mwp.augmentation import Augmenter
 from repro.mwp.datasets import (
     MWPDataset,
@@ -86,6 +94,10 @@ class TrainedContext:
 
 
 _CACHE: dict[tuple, TrainedContext] = {}
+#: Guards the cache dict itself; training happens under a per-key lock
+#: so cache hits (and other keys' builds) never wait on a cold train.
+_CACHE_LOCK = threading.Lock()
+_KEY_LOCKS: dict[tuple, threading.Lock] = {}
 
 
 def _mwp_vocab_texts(
@@ -108,20 +120,15 @@ def _mwp_vocab_texts(
     return texts
 
 
-def get_context(
-    quick: bool = True, seed: int = 0, digit_tokenization: bool = False
-) -> TrainedContext:
-    """The cached trained context for one mode."""
-    key = (quick, seed, digit_tokenization)
-    if key in _CACHE:
-        return _CACHE[key]
-    kb = default_kb()
-    profile = profile_for(quick)
+def config_for(
+    profile: ScaleProfile, seed: int, digit_tokenization: bool
+) -> DimPercConfig:
+    """The DimPerc training config one profile implies."""
     # The ET-tokenized context only serves as a base for the Fig. 7 MWP
     # curves, so its DimEval stage gets a reduced budget.
     dimeval_steps = (profile.dimeval_steps if not digit_tokenization
                      else max(profile.dimeval_steps // 2, 1))
-    config = DimPercConfig(
+    return DimPercConfig(
         seed=seed,
         d_model=profile.d_model,
         d_ff=profile.d_ff,
@@ -134,26 +141,68 @@ def get_context(
         batch_size=profile.batch_size,
         digit_tokenization=digit_tokenization,
     )
-    suite = build_benchmark_suite(kb, seed=seed,
-                                  count=profile.mwp_eval_count)
-    train_math = build_training_pool(kb, "math23k", seed=seed,
-                                     count=profile.mwp_train_count)
-    train_ape = build_training_pool(kb, "ape210k", seed=seed,
-                                    count=profile.mwp_train_count)
-    vocab_texts = _mwp_vocab_texts(kb, [train_math, train_ape], seed)
-    for dataset in suite.values():
-        for problem in dataset.problems:
-            example = mwp_example(problem)
-            vocab_texts.append(example.prompt)
-            vocab_texts.append(example.target)
-    models = DimPercPipeline(kb, config).run(extra_vocab_texts=vocab_texts)
-    context = TrainedContext(
-        kb=kb,
-        profile=profile,
-        models=models,
-        mwp_suite=suite,
-        mwp_train_math=train_math,
-        mwp_train_ape=train_ape,
-    )
-    _CACHE[key] = context
-    return context
+
+
+def get_context(
+    quick: bool = True,
+    seed: int = 0,
+    digit_tokenization: bool = False,
+    store: ArtifactStore | None = None,
+) -> TrainedContext:
+    """The cached trained context for one mode.
+
+    Resolution order: the in-process cache, then the artifact store's
+    persisted checkpoints (``store`` overrides the process default of
+    :func:`repro.experiments.artifacts.default_store`), then a cold
+    training run whose result is persisted back to the store.
+    """
+    key = (quick, seed, digit_tokenization)
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+        key_lock = _KEY_LOCKS.setdefault(key, threading.Lock())
+    with key_lock:
+        with _CACHE_LOCK:
+            cached = _CACHE.get(key)
+            if cached is not None:
+                return cached
+        kb = default_kb()
+        profile = profile_for(quick)
+        config = config_for(profile, seed, digit_tokenization)
+        suite = build_benchmark_suite(kb, seed=seed,
+                                      count=profile.mwp_eval_count)
+        train_math = build_training_pool(kb, "math23k", seed=seed,
+                                         count=profile.mwp_train_count)
+        train_ape = build_training_pool(kb, "ape210k", seed=seed,
+                                        count=profile.mwp_train_count)
+        store = store if store is not None else default_store()
+        models = None
+        if store is not None:
+            models = store.load_context(
+                kb, config, profile, seed, digit_tokenization
+            )
+        if models is None:
+            vocab_texts = _mwp_vocab_texts(kb, [train_math, train_ape], seed)
+            for dataset in suite.values():
+                for problem in dataset.problems:
+                    example = mwp_example(problem)
+                    vocab_texts.append(example.prompt)
+                    vocab_texts.append(example.target)
+            models = DimPercPipeline(kb, config).run(
+                extra_vocab_texts=vocab_texts
+            )
+            if store is not None:
+                store.save_context(profile, seed, digit_tokenization,
+                                   config, models)
+        context = TrainedContext(
+            kb=kb,
+            profile=profile,
+            models=models,
+            mwp_suite=suite,
+            mwp_train_math=train_math,
+            mwp_train_ape=train_ape,
+        )
+        with _CACHE_LOCK:
+            _CACHE[key] = context
+        return context

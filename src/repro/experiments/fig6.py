@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.reasoning import QuantitativeReasoner, ReasoningConfig
 from repro.experiments.context import get_context
-from repro.experiments.reporting import ExperimentResult
+from repro.experiments.reporting import ExperimentResult, format_series_chart
 
 #: The paper sweeps eta over these six rates (Fig. 6).
 FULL_RATES = (0.1, 0.3, 0.5, 1.0, 2.0, 5.0)
@@ -28,6 +28,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                           for i in range(1, profile.curve_checkpoints + 1))),
     )
     finals = {}
+    curves: dict[str, list[float]] = {}
     for rate in rates:
         context.models.model.load_params(context.models.dimperc_params)
         reasoner = QuantitativeReasoner(
@@ -47,7 +48,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         result.add_row(
             rate, *(round(100 * acc, 2) for acc in curve.accuracies)
         )
+        curves[f"eta={rate}"] = [100 * acc for acc in curve.accuracies]
         finals[rate] = curve.final_accuracy
+    points = len(next(iter(curves.values())))
+    checkpoints = [i * checkpoint_every for i in range(1, points + 1)]
+    result.add_note("terminal rendering:\n"
+                    + format_series_chart(checkpoints, curves, height=8))
     low = min(rates)
     best = max(finals, key=finals.get)
     result.add_note(

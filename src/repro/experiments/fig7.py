@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.core.reasoning import QuantitativeReasoner, ReasoningConfig
 from repro.experiments.context import get_context
-from repro.experiments.reporting import ExperimentResult
+from repro.experiments.reporting import ExperimentResult, format_series_chart
 
 
 def _curve(context, checkpoint_base: str, label: str, eval_problems,
@@ -47,6 +47,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                              for i in range(1, profile.curve_checkpoints + 1))),
     )
     finals = {}
+    curves: dict[str, list[float]] = {}
     series = (
         ("DimPerc w/o ET", plain, "dimperc"),
         ("LLaMaIFT w/o ET", plain, "llama_ift"),
@@ -60,7 +61,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         curve = _curve(context, base, label, eval_problems,
                        checkpoint_every, seed)
         result.add_row(label, *(round(100 * a, 2) for a in curve.accuracies))
+        curves[label] = [100 * a for a in curve.accuracies]
         finals[label] = curve.final_accuracy
+    points = len(next(iter(curves.values())))
+    checkpoints = [i * checkpoint_every for i in range(1, points + 1)]
+    result.add_note("terminal rendering:\n"
+                    + format_series_chart(checkpoints, curves, height=8))
     result.add_note(
         "finals: " + ", ".join(f"{k}: {100 * v:.1f}" for k, v in finals.items())
     )

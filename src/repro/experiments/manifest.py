@@ -1,0 +1,112 @@
+"""Structured JSON export of experiment runs.
+
+``render()`` text stays the human-facing report; this module writes the
+machine-facing counterpart: one ``<id>.json`` per experiment plus a
+``manifest.json`` describing the whole run (timings, seeds, engine
+configuration, git revision), so CI can archive results and future
+tooling can diff them across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+
+from repro.engine import EngineConfig, get_default_engine
+from repro.experiments.scheduler import ExperimentRecord
+
+#: Manifest schema version; bump on breaking layout changes.
+SCHEMA_VERSION = 1
+
+
+def git_revision(cwd: str | pathlib.Path | None = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=str(cwd) if cwd is not None else None,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    revision = proc.stdout.strip()
+    return revision if proc.returncode == 0 and revision else "unknown"
+
+
+def _engine_payload(config: EngineConfig) -> dict:
+    return {
+        "batch_size": config.batch_size,
+        "max_workers": config.max_workers,
+        "conversion_cache_size": config.conversion_cache_size,
+        "completion_cache_size": config.completion_cache_size,
+    }
+
+
+def write_manifest(
+    out_dir: str | pathlib.Path,
+    records: list[ExperimentRecord],
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    engine_config: EngineConfig | None = None,
+    requested: tuple[str, ...] | list[str] | None = None,
+) -> pathlib.Path:
+    """Write per-experiment JSON results plus ``manifest.json``.
+
+    Returns the manifest path.  ``engine_config`` defaults to the
+    process-wide engine's configuration (what actually scored the run).
+    ``requested`` lists every experiment id the run asked for; ids with
+    no record (failed or never started) appear under ``incomplete`` so
+    a partially failed run is distinguishable from a smaller one.
+    """
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    if engine_config is None:
+        engine_config = get_default_engine().config
+    entries = []
+    for record in records:
+        result_file = f"{record.name}.json"
+        payload = record.result.to_dict()
+        payload.update({
+            "name": record.name,
+            "seconds": round(record.seconds, 3),
+            "quick": quick,
+            "seed": seed,
+        })
+        (out / result_file).write_text(
+            json.dumps(payload, ensure_ascii=False, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        entries.append({
+            "name": record.name,
+            "experiment_id": record.result.experiment_id,
+            "title": record.result.title,
+            "seconds": round(record.seconds, 3),
+            "rows": len(record.result.rows),
+            "result_file": result_file,
+        })
+    if requested is None:
+        requested = [record.name for record in records]
+    completed = {record.name for record in records}
+    manifest = {
+        "schema": SCHEMA_VERSION,
+        "created_unix": round(time.time(), 3),
+        "git_revision": git_revision(),
+        "quick": quick,
+        "seed": seed,
+        "jobs": jobs,
+        "engine": _engine_payload(engine_config),
+        "total_seconds": round(sum(r.seconds for r in records), 3),
+        "requested": list(requested),
+        "incomplete": [name for name in requested if name not in completed],
+        "experiments": entries,
+    }
+    path = out / "manifest.json"
+    path.write_text(
+        json.dumps(manifest, ensure_ascii=False, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -24,6 +24,16 @@ class ExperimentResult:
         """Append a free-form footnote."""
         self.notes.append(note)
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable view (for manifests and result diffing)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def render(self) -> str:
         """The full plain-text report."""
         lines = [f"== {self.experiment_id}: {self.title} =="]
@@ -86,10 +96,20 @@ def format_series_chart(
     """A crude ASCII line chart for learning curves (Fig. 6/7).
 
     Each series is drawn with its own marker; markers overwrite earlier
-    ones on collisions.
+    ones on collisions.  Every series must supply exactly one value per
+    step; mismatched lengths raise ``ValueError`` instead of crashing
+    mid-render (too long) or silently drawing a short line (too short).
     """
     if not series:
         return "(empty chart)"
+    if height < 1:
+        raise ValueError("height must be at least 1")
+    for label, values in series.items():
+        if len(values) != len(steps):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(steps)} steps"
+            )
     markers = "ox+*#@%&"
     all_values = [v for values in series.values() for v in values]
     low, high = min(all_values), max(all_values)
@@ -100,12 +120,22 @@ def format_series_chart(
         for column, value in enumerate(values):
             row = int(round((height - 1) * (value - low) / span))
             grid[height - 1 - row][column] = marker
+    # Column pitch adapts to the widest step label so the x-axis stays
+    # aligned with the marker columns for multi-digit steps.
+    pitch = max(3, max(len(str(step)) for step in steps) + 1)
     lines = []
     for row_index, row in enumerate(grid):
-        level = high - span * row_index / (height - 1 or 1)
-        lines.append(f"{value_format.format(level):>8} | " + "  ".join(row))
-    lines.append(" " * 9 + "+" + "-" * (3 * len(steps)))
-    lines.append(" " * 10 + " ".join(f"{step:>2}" for step in steps))
+        if height == 1:
+            # A single row spans the whole value range; label it with the
+            # midpoint rather than dividing by (height - 1) == 0.
+            level = low + span / 2
+        else:
+            level = high - span * row_index / (height - 1)
+        lines.append(f"{value_format.format(level):>8} | "
+                     + (" " * (pitch - 1)).join(row))
+    lines.append(" " * 9 + "+" + "-" * (pitch * len(steps)))
+    lines.append(" " * max(12 - pitch, 0)
+                 + "".join(f"{step:>{pitch}}" for step in steps))
     legend = ", ".join(
         f"{markers[i % len(markers)]}={label}"
         for i, label in enumerate(series)

@@ -1,41 +1,54 @@
-"""Experiment registry + CLI: ``python -m repro.experiments.runner table7``."""
+"""Experiment CLI: ``python -m repro.experiments.runner table7``.
+
+The CLI plans from the :mod:`repro.experiments.spec` registry, dedupes
+requested ids (``runner table7 all`` runs ``table7`` once), runs them
+through the parallel scheduler (``--jobs``), and can export structured
+JSON results alongside the rendered text (``--out``).  Trained contexts
+persist across processes through the artifact store (``--artifact-dir``
+overrides the location, ``--no-artifacts`` disables persistence).
+"""
 
 from __future__ import annotations
 
 import argparse
 import importlib
 import sys
-import time
 
 from repro.engine import EngineConfig, set_default_engine
+from repro.experiments.artifacts import set_default_store
+from repro.experiments.manifest import write_manifest
+from repro.experiments.scheduler import run_experiments
+from repro.experiments.spec import SPECS, get_spec, light_ids, resolve
 
+#: Back-compat view of the registry: experiment id -> module path.
+#: Entries added here at runtime (the pre-registry extension point) are
+#: still honoured by :func:`run_experiment`.
 EXPERIMENTS: dict[str, str] = {
-    "table3": "repro.experiments.table3",
-    "table4": "repro.experiments.table4",
-    "fig3": "repro.experiments.fig3",
-    "fig4": "repro.experiments.fig4",
-    "table6": "repro.experiments.table6",
-    "table7": "repro.experiments.table7",
-    "table8": "repro.experiments.table8",
-    "table9": "repro.experiments.table9",
-    "fig6": "repro.experiments.fig6",
-    "fig7": "repro.experiments.fig7",
+    spec.id: spec.module for spec in SPECS.values()
 }
 
 #: Experiments cheap enough to run by default with ``all``.
-LIGHT = ("table3", "table4", "fig3", "fig4", "table6")
+LIGHT = light_ids()
 
 
 def run_experiment(name: str, quick: bool = True, seed: int = 0):
-    """Run one registered experiment by id."""
+    """Run one registered experiment by id.
+
+    Resolves through the spec registry first, then through any module
+    path registered directly in :data:`EXPERIMENTS`.  Unknown ids raise
+    ``KeyError`` (not ``SystemExit``), so programmatic callers can catch
+    the failure.
+    """
     try:
-        module_name = EXPERIMENTS[name]
+        spec = get_spec(name)
     except KeyError:
-        raise SystemExit(
-            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        module_name = EXPERIMENTS.get(name)
+        if module_name is None:
+            raise
+        return importlib.import_module(module_name).run(
+            quick=quick, seed=seed
         )
-    module = importlib.import_module(module_name)
-    return module.run(quick=quick, seed=seed)
+    return spec.run(quick=quick, seed=seed)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,35 +58,76 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiments", nargs="+",
-        help=f"experiment ids ({', '.join(EXPERIMENTS)}), 'light', or 'all'",
+        help=f"experiment ids ({', '.join(SPECS)}), 'light', or 'all'",
     )
     parser.add_argument("--full", action="store_true",
                         help="use the fuller training budgets")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run up to N independent experiments "
+                             "concurrently (heavy experiments share one "
+                             "trained context and serialize on it)")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="also write per-experiment JSON results and "
+                             "a run manifest (timings, seeds, engine "
+                             "config, git rev) into DIR")
     parser.add_argument("--workers", type=int, default=0,
                         help="evaluation worker-pool width (0 = sequential)")
     parser.add_argument("--batch-size", type=int, default=16,
                         help="generate_batch chunk size for evaluation")
+    parser.add_argument("--artifact-dir", metavar="DIR", default=None,
+                        help="persist trained contexts under DIR "
+                             "(default: $REPRO_ARTIFACT_DIR or "
+                             "~/.cache/repro/artifacts)")
+    parser.add_argument("--no-artifacts", action="store_true",
+                        help="disable cross-process context persistence")
     args = parser.parse_args(argv)
     # Every experiment's DimEval scoring routes through the process-wide
     # evaluation engine; these flags configure it once for the whole run.
-    set_default_engine(EngineConfig(
+    engine_config = EngineConfig(
         max_workers=args.workers, batch_size=args.batch_size,
-    ))
-    names: list[str] = []
-    for item in args.experiments:
-        if item == "all":
-            names.extend(EXPERIMENTS)
-        elif item == "light":
-            names.extend(LIGHT)
-        else:
-            names.append(item)
-    for name in names:
-        started = time.time()
-        result = run_experiment(name, quick=not args.full, seed=args.seed)
-        print(result.render())
-        print(f"  [{name} took {time.time() - started:.1f}s]")
+    )
+    set_default_engine(engine_config)
+    if args.no_artifacts:
+        set_default_store(None)
+    elif args.artifact_dir is not None:
+        set_default_store(args.artifact_dir)
+    try:
+        # Validate the requested ids/jobs up front (usage errors exit 2
+        # without a traceback); experiment-internal failures still
+        # propagate with their full stack.
+        names = resolve(args.experiments)
+        if args.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    delivered = []
+
+    def emit(record) -> None:
+        # Stream each report as soon as it is deliverable in request
+        # order, so a crash late in a long run keeps earlier results.
+        print(record.result.render())
+        print(f"  [{record.name} took {record.seconds:.1f}s]")
         print()
+        delivered.append(record)
+
+    try:
+        run_experiments(
+            names, jobs=args.jobs, quick=not args.full, seed=args.seed,
+            on_record=emit,
+        )
+    finally:
+        # Persist whatever finished even if a later experiment failed:
+        # hours of completed results must not evaporate with the error.
+        if args.out is not None and delivered:
+            manifest_path = write_manifest(
+                args.out, delivered,
+                quick=not args.full, seed=args.seed, jobs=args.jobs,
+                engine_config=engine_config, requested=names,
+            )
+            print(f"wrote {manifest_path}")
     return 0
 
 

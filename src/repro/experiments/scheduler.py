@@ -1,0 +1,167 @@
+"""Parallel experiment scheduler.
+
+Runs a resolved list of experiments over a thread pool (``jobs`` wide)
+while keeping results bit-identical to a sequential run:
+
+- experiments that declare no shared trained context (the light half of
+  the registry) run fully concurrently;
+- experiments that share a trained-context key (the heavy half all
+  declare ``"plain"``; Fig. 7 also ``"et"``) hold that context's lock
+  for their whole run, because they mutate the shared substrate
+  in-place (``model.load_params`` + finetuning);
+- declared ``deps`` are honoured: a dependent waits for its
+  dependencies to finish.
+
+Tasks are submitted in topological (registry) order, so the earliest
+unfinished task is always runnable and the pool cannot deadlock on
+dependency waits.  Results are returned in request order regardless of
+completion order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.spec import get_spec, resolve
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One finished experiment: its id, result, and wall time."""
+
+    name: str
+    result: ExperimentResult
+    seconds: float
+
+
+class _OrderedEmitter:
+    """Streams records to a callback in request order as they complete.
+
+    Out-of-order completions are buffered; each completion flushes the
+    longest ready prefix, so consumers (e.g. the CLI printing reports)
+    see deterministic output without waiting for the whole run.
+    """
+
+    _FAILED = object()
+
+    def __init__(self, callback) -> None:
+        self._callback = callback
+        self._pending: dict[int, object] = {}
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def add(self, index: int, record: ExperimentRecord) -> None:
+        self._put(index, record)
+
+    def skip(self, index: int) -> None:
+        """Mark a failed slot so completions after it still flush."""
+        self._put(index, self._FAILED)
+
+    def _put(self, index: int, item: object) -> None:
+        if self._callback is None:
+            return
+        with self._lock:
+            self._pending[index] = item
+            while self._next in self._pending:
+                ready = self._pending.pop(self._next)
+                self._next += 1
+                if ready is not self._FAILED:
+                    self._callback(ready)
+
+
+class _ContextLocks:
+    """One lock per trained-context key, created on demand."""
+
+    def __init__(self) -> None:
+        self._locks: dict[str, threading.Lock] = {}
+        self._guard = threading.Lock()
+
+    def acquire_all(self, keys: tuple[str, ...]) -> list[threading.Lock]:
+        with self._guard:
+            locks = [self._locks.setdefault(key, threading.Lock())
+                     for key in sorted(set(keys))]
+        for lock in locks:  # sorted key order prevents lock cycles
+            lock.acquire()
+        return locks
+
+
+def run_experiments(
+    names: list[str] | tuple[str, ...],
+    *,
+    jobs: int = 1,
+    quick: bool = True,
+    seed: int = 0,
+    on_record=None,
+) -> list[ExperimentRecord]:
+    """Run experiments (ids or ``all``/``light`` aliases), possibly in
+    parallel, and return per-experiment records in request order.
+
+    ``on_record`` (an ``ExperimentRecord -> None`` callable) is invoked
+    in request order as soon as each record becomes deliverable, so
+    long runs stream finished results instead of buffering everything.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    order = resolve(names)
+    emitter = _OrderedEmitter(on_record)
+    if jobs == 1 or len(order) <= 1:
+        records = []
+        for index, name in enumerate(order):
+            record = _run_one(name, quick, seed)
+            emitter.add(index, record)
+            records.append(record)
+        return records
+    done: dict[str, threading.Event] = {
+        name: threading.Event() for name in order
+    }
+    failed: set[str] = set()
+    context_locks = _ContextLocks()
+
+    def task(index: int, name: str) -> ExperimentRecord:
+        spec = get_spec(name)
+        try:
+            for dep in spec.deps:
+                if dep in done:
+                    done[dep].wait()
+                    # done means finished, not succeeded: a dependent of
+                    # a failed dependency must not run against the state
+                    # that dependency failed to produce.
+                    if dep in failed:
+                        raise RuntimeError(
+                            f"experiment {name!r} skipped: dependency "
+                            f"{dep!r} failed"
+                        )
+            locks = context_locks.acquire_all(spec.contexts)
+            try:
+                record = _run_one(name, quick, seed)
+            finally:
+                for lock in reversed(locks):
+                    lock.release()
+            emitter.add(index, record)
+            return record
+        except BaseException:
+            # Unblock the emitter so experiments that complete after
+            # this failure still stream their results, and record the
+            # failure for this experiment's own dependents.
+            failed.add(name)
+            emitter.skip(index)
+            raise
+        finally:
+            done[name].set()
+
+    with ThreadPoolExecutor(max_workers=min(jobs, len(order))) as pool:
+        futures = [pool.submit(task, index, name)
+                   for index, name in enumerate(order)]
+        return [future.result() for future in futures]
+
+
+def _run_one(name: str, quick: bool, seed: int) -> ExperimentRecord:
+    started = time.perf_counter()
+    result = get_spec(name).run(quick=quick, seed=seed)
+    return ExperimentRecord(
+        name=name, result=result, seconds=time.perf_counter() - started
+    )

@@ -1,0 +1,129 @@
+"""Declarative experiment registry.
+
+Every paper table/figure is described by one :class:`ExperimentSpec`:
+its id, the module implementing ``run(quick, seed)``, a cost class, the
+trained contexts it needs, and (optional) experiment dependencies.  The
+runner, the parallel scheduler, the artifact store and CI all plan from
+this registry instead of hard-coded id lists.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from types import ModuleType
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment.
+
+    ``contexts`` names the trained-context keys the experiment consumes
+    (``"plain"`` / ``"et"`` for ``digit_tokenization`` off/on).  The
+    scheduler serializes experiments that share a context key -- they
+    reuse one mutable trained substrate -- while everything else runs
+    concurrently.  ``deps`` lists experiment ids that must finish first.
+    """
+
+    id: str
+    module: str
+    cost: str = "light"  # "light" | "heavy"
+    contexts: tuple[str, ...] = ()
+    deps: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.cost not in ("light", "heavy"):
+            raise ValueError(f"unknown cost class {self.cost!r}")
+
+    @property
+    def heavy(self) -> bool:
+        return self.cost == "heavy"
+
+    def load(self) -> ModuleType:
+        """Import the implementing module."""
+        return importlib.import_module(self.module)
+
+    def run(self, quick: bool = True, seed: int = 0):
+        """Import and run the experiment."""
+        return self.load().run(quick=quick, seed=seed)
+
+
+def _spec(id: str, cost: str = "light",
+          contexts: tuple[str, ...] = (),
+          deps: tuple[str, ...] = ()) -> ExperimentSpec:
+    return ExperimentSpec(
+        id=id, module=f"repro.experiments.{id}", cost=cost,
+        contexts=contexts, deps=deps,
+    )
+
+
+#: The registry, in canonical (paper) order.
+SPECS: dict[str, ExperimentSpec] = {spec.id: spec for spec in (
+    _spec("table3"),
+    _spec("table4"),
+    _spec("fig3"),
+    _spec("fig4"),
+    _spec("table6"),
+    _spec("table7", cost="heavy", contexts=("plain",)),
+    _spec("table8", cost="heavy", contexts=("plain",)),
+    _spec("table9", cost="heavy", contexts=("plain",)),
+    _spec("fig6", cost="heavy", contexts=("plain",)),
+    _spec("fig7", cost="heavy", contexts=("plain", "et")),
+)}
+
+
+def light_ids() -> tuple[str, ...]:
+    """Experiments cheap enough to run by default with ``light``."""
+    return tuple(spec.id for spec in SPECS.values() if not spec.heavy)
+
+
+def heavy_ids() -> tuple[str, ...]:
+    """Experiments that need the trained substrate."""
+    return tuple(spec.id for spec in SPECS.values() if spec.heavy)
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up one spec; raises ``KeyError`` with the known ids."""
+    try:
+        return SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(SPECS)}"
+        ) from None
+
+
+def resolve(names: list[str] | tuple[str, ...]) -> tuple[str, ...]:
+    """Expand ``all``/``light`` aliases and dedupe, preserving order.
+
+    Dependencies are pulled in ahead of their dependents.  Unknown ids
+    raise ``ValueError`` (programmatic callers aren't killed by a
+    ``SystemExit``).
+    """
+    resolved: list[str] = []
+    seen: set[str] = set()
+
+    def add(name: str, chain: tuple[str, ...] = ()) -> None:
+        if name in seen:
+            return
+        if name in chain:
+            cycle = " -> ".join(chain + (name,))
+            raise ValueError(f"dependency cycle: {cycle}")
+        try:
+            spec = get_spec(name)
+        except KeyError as exc:
+            raise ValueError(exc.args[0]) from None
+        for dep in spec.deps:
+            add(dep, chain + (name,))
+        seen.add(name)
+        resolved.append(name)
+
+    for item in names:
+        if item == "all":
+            for name in SPECS:
+                add(name)
+        elif item == "light":
+            for name in light_ids():
+                add(name)
+        else:
+            add(item)
+    return tuple(resolved)

@@ -1,13 +1,25 @@
 """Checkpoint persistence: save/load the transformer and its tokenizer.
 
 Training the substrate takes minutes on CPU; persisting checkpoints lets
-examples and downstream users reuse trained DimPerc models.  Parameters
-go to ``.npz``; the tokenizer and config to a JSON sidecar.
+examples, the experiment artifact store and downstream users reuse
+trained DimPerc models.  Parameters go to ``<path>.npz``; the tokenizer
+and config to a ``<path>.json`` sidecar.
+
+Sidecar names are built by *appending* the suffix to the checkpoint
+name, so dotted names like ``model.v2`` map to ``model.v2.npz`` /
+``model.v2.json`` instead of silently colliding on ``model.npz``.  Both
+files are written to temporaries and moved into place with
+``os.replace``, so an interrupted save can never leave a truncated or
+mismatched pair behind; the metadata additionally records a digest of
+the parameter arrays that is verified on load.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
 import pathlib
 
 import numpy as np
@@ -20,14 +32,56 @@ class CheckpointError(ValueError):
     """Raised for unreadable or inconsistent checkpoints."""
 
 
+def checkpoint_paths(
+    path: str | pathlib.Path,
+) -> tuple[pathlib.Path, pathlib.Path]:
+    """The ``(.npz, .json)`` sidecar pair for a checkpoint base path.
+
+    Suffixes are appended (never substituted), so checkpoint names may
+    contain dots.
+    """
+    base = pathlib.Path(path)
+    return (base.parent / (base.name + ".npz"),
+            base.parent / (base.name + ".json"))
+
+
+def _params_digest(params: dict[str, np.ndarray]) -> str:
+    """A content hash over parameter names, shapes and bytes."""
+    digest = hashlib.sha256()
+    for name in sorted(params):
+        value = np.ascontiguousarray(params[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.shape).encode("ascii"))
+        digest.update(str(value.dtype).encode("ascii"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+def _replace_into(data: bytes, target: pathlib.Path) -> None:
+    """Atomically install ``data`` at ``target`` (temp + ``os.replace``)."""
+    temp = target.parent / f".{target.name}.tmp-{os.getpid()}"
+    try:
+        temp.write_bytes(data)
+        os.replace(temp, target)
+    finally:
+        temp.unlink(missing_ok=True)
+
+
 def save_checkpoint(
     model: TransformerModel,
     tokenizer: Tokenizer,
     path: str | pathlib.Path,
 ) -> None:
-    """Write ``<path>.npz`` (parameters) and ``<path>.json`` (metadata)."""
-    base = pathlib.Path(path)
-    np.savez(base.with_suffix(".npz"), **model.params)
+    """Write ``<path>.npz`` (parameters) and ``<path>.json`` (metadata).
+
+    Both files are staged as temporaries and atomically replaced, the
+    ``.npz`` first: the metadata sidecar only ever describes a fully
+    written parameter archive, and its embedded digest lets ``load``
+    detect a pair from two different saves.
+    """
+    params_path, meta_path = checkpoint_paths(path)
+    buffer = io.BytesIO()
+    np.savez(buffer, **model.params)
     config = model.config
     metadata = {
         "config": {
@@ -43,9 +97,11 @@ def save_checkpoint(
             "digit_tokenization": tokenizer.digit_tokenization,
             "tokens": [tokenizer.token(i) for i in range(len(tokenizer))],
         },
+        "params_sha256": _params_digest(model.params),
     }
-    base.with_suffix(".json").write_text(
-        json.dumps(metadata, ensure_ascii=False), encoding="utf-8"
+    _replace_into(buffer.getvalue(), params_path)
+    _replace_into(
+        json.dumps(metadata, ensure_ascii=False).encode("utf-8"), meta_path
     )
 
 
@@ -53,11 +109,9 @@ def load_checkpoint(
     path: str | pathlib.Path,
 ) -> tuple[TransformerModel, Tokenizer]:
     """Read a checkpoint back; validates vocab/parameter consistency."""
-    base = pathlib.Path(path)
-    meta_path = base.with_suffix(".json")
-    params_path = base.with_suffix(".npz")
+    params_path, meta_path = checkpoint_paths(path)
     if not meta_path.exists() or not params_path.exists():
-        raise CheckpointError(f"missing checkpoint files at {base}")
+        raise CheckpointError(f"missing checkpoint files at {path}")
     try:
         metadata = json.loads(meta_path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
@@ -79,7 +133,15 @@ def load_checkpoint(
     if len(tokenizer) != config.vocab_size:
         raise CheckpointError("tokenizer reconstruction size mismatch")
     model = TransformerModel(config)
-    with np.load(params_path) as archive:
-        params = {name: archive[name] for name in archive.files}
-    model.load_params(params)
+    try:
+        with np.load(params_path) as archive:
+            params = {name: archive[name] for name in archive.files}
+        model.load_params(params)
+    except CheckpointError:
+        raise
+    except Exception as exc:  # truncated archive, shape drift, ...
+        raise CheckpointError(f"bad checkpoint parameters: {exc}") from exc
+    expected = metadata.get("params_sha256")
+    if expected is not None and _params_digest(params) != expected:
+        raise CheckpointError("parameter digest mismatch (torn checkpoint?)")
     return model, tokenizer

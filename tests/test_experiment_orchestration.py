@@ -1,0 +1,383 @@
+"""Tests for the experiment orchestration subsystem.
+
+Covers the spec registry, id resolution/dedup, the artifact store's
+cold-train -> warm-load round trip (including corruption fallback), the
+parallel scheduler's sequential parity, and JSON manifest export.
+"""
+
+import json
+
+import pytest
+
+import repro.experiments.context as context_module
+from repro.core.dimperc import evaluate_checkpoint
+from repro.experiments import table7
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    context_key,
+    default_store,
+    reset_default_store,
+    set_default_store,
+)
+from repro.experiments.context import ScaleProfile
+from repro.experiments.manifest import write_manifest
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.scheduler import ExperimentRecord, run_experiments
+from repro.experiments.spec import SPECS, get_spec, light_ids, resolve
+
+MICRO = ScaleProfile(
+    train_per_task=8, eval_per_task=5, instruction_examples=30,
+    instruction_steps=6, dimeval_steps=10, pool_size=60,
+    d_model=32, d_ff=64, batch_size=8,
+    mwp_train_count=12, mwp_eval_count=6, mwp_steps=8,
+    curve_steps=6, curve_checkpoints=2,
+)
+
+#: A light, deterministic subset for scheduler parity runs.
+PARITY_SET = ("table3", "table4", "fig3", "fig4")
+
+
+@pytest.fixture
+def micro(monkeypatch, tmp_path):
+    """Micro training budgets + an isolated artifact store."""
+    monkeypatch.setattr(context_module, "QUICK", MICRO)
+    monkeypatch.setattr(context_module, "_CACHE", {})
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestSpecRegistry:
+    def test_heavy_specs_declare_contexts(self):
+        for spec in SPECS.values():
+            if spec.heavy:
+                assert spec.contexts, spec.id
+            else:
+                assert not spec.contexts, spec.id
+
+    def test_fig7_needs_both_contexts(self):
+        assert set(get_spec("fig7").contexts) == {"plain", "et"}
+
+    def test_resolve_dedupes_preserving_order(self):
+        assert resolve(["table7", "light", "table3"]) == (
+            "table7", "table3", "table4", "fig3", "fig4", "table6",
+        )
+
+    def test_resolve_all_is_registry_order(self):
+        assert resolve(["all"]) == tuple(SPECS)
+
+    def test_resolve_unknown_raises_value_error(self):
+        with pytest.raises(ValueError, match="table99"):
+            resolve(["table99"])
+
+    def test_light_ids_are_light(self):
+        assert all(not SPECS[name].heavy for name in light_ids())
+
+    def test_bad_cost_class_rejected(self):
+        from repro.experiments.spec import ExperimentSpec
+        with pytest.raises(ValueError):
+            ExperimentSpec(id="x", module="m", cost="enormous")
+
+    def _synthetic_specs(self, monkeypatch, deps_of_a=()):
+        import repro.experiments.spec as spec_module
+        module = "repro.experiments.table3"
+        specs = {
+            "a": spec_module.ExperimentSpec(
+                id="a", module=module, deps=tuple(deps_of_a)),
+            "b": spec_module.ExperimentSpec(id="b", module=module,
+                                            deps=("a",)),
+            "c": spec_module.ExperimentSpec(id="c", module=module,
+                                            deps=("b",)),
+        }
+        monkeypatch.setattr(spec_module, "SPECS", specs)
+        return spec_module
+
+    def test_resolve_pulls_deps_ahead_of_dependents(self, monkeypatch):
+        spec_module = self._synthetic_specs(monkeypatch)
+        assert spec_module.resolve(["c"]) == ("a", "b", "c")
+        assert spec_module.resolve(["c", "a"]) == ("a", "b", "c")
+
+    def test_resolve_detects_dependency_cycles(self, monkeypatch):
+        spec_module = self._synthetic_specs(monkeypatch, deps_of_a=("c",))
+        with pytest.raises(ValueError, match="cycle"):
+            spec_module.resolve(["c"])
+
+    def test_scheduler_honours_deps_in_parallel(self, monkeypatch):
+        self._synthetic_specs(monkeypatch)
+        streamed = []
+        records = run_experiments(
+            ("c",), jobs=3, on_record=lambda r: streamed.append(r.name)
+        )
+        assert [r.name for r in records] == ["a", "b", "c"]
+        assert streamed == ["a", "b", "c"]
+
+    def test_dependents_of_failed_dependency_do_not_run(self, monkeypatch):
+        spec_module = self._synthetic_specs(monkeypatch)
+        real_run = spec_module.ExperimentSpec.run
+        ran = []
+
+        def fake_run(self, quick=True, seed=0):
+            ran.append(self.id)
+            if self.id == "a":
+                raise RuntimeError("boom")
+            return real_run(self, quick=quick, seed=seed)
+
+        monkeypatch.setattr(spec_module.ExperimentSpec, "run", fake_run)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_experiments(("c",), jobs=3)
+        assert ran == ["a"]  # b and c are skipped, not run
+
+
+class TestArtifactStore:
+    def test_cold_warm_round_trip_identical_scores(self, micro, monkeypatch):
+        cold = context_module.get_context(quick=True, seed=3, store=micro)
+        cold_scores = evaluate_checkpoint(cold.models, "dimperc")
+        cold_rows = table7.run(quick=True, seed=3).rows
+        # Simulate a fresh process: empty in-process cache, and training
+        # is forbidden -- the store must serve the context.
+        context_module._CACHE.clear()
+        monkeypatch.setattr(
+            context_module.DimPercPipeline, "run",
+            lambda *a, **k: pytest.fail("re-trained despite warm store"),
+        )
+        monkeypatch.setattr(
+            context_module, "default_store", lambda: micro
+        )
+        warm = context_module.get_context(quick=True, seed=3)
+        assert warm.models.tokenizer.vocab_size == \
+            cold.models.tokenizer.vocab_size
+        assert evaluate_checkpoint(warm.models, "dimperc") == cold_scores
+        assert table7.run(quick=True, seed=3).rows == cold_rows
+
+    def test_corrupt_artifact_falls_back_to_training(self, micro, monkeypatch):
+        context_module.get_context(quick=True, seed=3, store=micro)
+        for npz in micro.root.rglob("dimperc.npz"):
+            npz.write_bytes(b"not an npz archive")
+        context_module._CACHE.clear()
+        calls = []
+        original = context_module.DimPercPipeline.run
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(context_module.DimPercPipeline, "run", counting)
+        context_module.get_context(quick=True, seed=3, store=micro)
+        assert calls == [1]
+        # The retrain heals the store: the next fresh process loads warm.
+        context_module._CACHE.clear()
+        monkeypatch.setattr(
+            context_module.DimPercPipeline, "run",
+            lambda *a, **k: pytest.fail("store was not healed"),
+        )
+        context_module.get_context(quick=True, seed=3, store=micro)
+
+    def test_partial_artifact_is_a_miss(self, micro):
+        context_module.get_context(quick=True, seed=3, store=micro)
+        for meta in micro.root.rglob("llama_ift.json"):
+            meta.unlink()
+        kb = context_module.default_kb()
+        config = context_module.config_for(MICRO, 3, False)
+        assert micro.load_context(kb, config, MICRO, 3, False) is None
+
+    def test_key_distinguishes_profiles_modes_and_config(self):
+        import dataclasses
+
+        def key(profile, seed, et, **config_overrides):
+            config = dataclasses.replace(
+                context_module.config_for(profile, seed, et),
+                **config_overrides,
+            )
+            return context_key(profile, seed, et, config)
+
+        base = key(MICRO, 0, False)
+        assert key(MICRO, 1, False) != base
+        assert key(MICRO, 0, True) != base
+        assert key(
+            dataclasses.replace(MICRO, dimeval_steps=11), 0, False
+        ) != base
+        # Hyperparameters not derived from the profile must invalidate
+        # persisted contexts too.
+        assert key(MICRO, 0, False, learning_rate=1e-3) != base
+        assert key(MICRO, 0, False, instruction_replay=0.25) != base
+
+    def test_default_store_env_override(self, monkeypatch, tmp_path):
+        reset_default_store()
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "env-store"))
+        try:
+            store = default_store()
+            assert store is not None
+            assert store.root == tmp_path / "env-store"
+            monkeypatch.setenv("REPRO_ARTIFACT_DIR", "off")
+            reset_default_store()
+            assert default_store() is None
+        finally:
+            reset_default_store()
+
+    def test_set_default_store_accepts_paths(self, tmp_path):
+        try:
+            store = set_default_store(tmp_path / "explicit")
+            assert isinstance(store, ArtifactStore)
+            assert set_default_store(None) is None
+        finally:
+            reset_default_store()
+
+
+class TestScheduler:
+    def test_parallel_matches_sequential(self):
+        sequential = run_experiments(PARITY_SET, jobs=1)
+        parallel = run_experiments(PARITY_SET, jobs=4)
+        assert [r.name for r in sequential] == list(PARITY_SET)
+        assert [r.name for r in parallel] == list(PARITY_SET)
+        assert ([r.result.to_dict() for r in sequential]
+                == [r.result.to_dict() for r in parallel])
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_experiments(("table3",), jobs=0)
+
+    def test_duplicate_request_runs_once(self):
+        records = run_experiments(("table3", "table3"), jobs=2)
+        assert [r.name for r in records] == ["table3"]
+
+    def test_records_carry_perf_timings(self):
+        (record,) = run_experiments(("table3",))
+        assert record.seconds >= 0.0
+        assert record.result.experiment_id == "Table III"
+
+    def test_failure_does_not_block_later_results(self, monkeypatch):
+        import repro.experiments.spec as spec_module
+        module = "repro.experiments.table3"
+        specs = {
+            name: spec_module.ExperimentSpec(id=name, module=module)
+            for name in ("a", "b", "c")
+        }
+        monkeypatch.setattr(spec_module, "SPECS", specs)
+        real_run = spec_module.ExperimentSpec.run
+
+        def fake_run(self, quick=True, seed=0):
+            if self.id == "a":
+                raise RuntimeError("boom")
+            return real_run(self, quick=quick, seed=seed)
+
+        monkeypatch.setattr(spec_module.ExperimentSpec, "run", fake_run)
+        streamed = []
+        with pytest.raises(RuntimeError, match="boom"):
+            run_experiments(
+                ("a", "b", "c"), jobs=3,
+                on_record=lambda r: streamed.append(r.name),
+            )
+        # The failed slot is skipped; completed experiments still stream.
+        assert streamed == ["b", "c"]
+
+    def test_on_record_streams_in_request_order(self):
+        streamed = []
+        records = run_experiments(
+            PARITY_SET, jobs=4, on_record=lambda r: streamed.append(r.name)
+        )
+        assert streamed == list(PARITY_SET)
+        assert [r.name for r in records] == list(PARITY_SET)
+
+    def test_legacy_experiments_dict_registration_still_works(
+        self, monkeypatch
+    ):
+        # Pre-registry extension point: mutating runner.EXPERIMENTS.
+        import repro.experiments.runner as runner_module
+        monkeypatch.setitem(
+            runner_module.EXPERIMENTS, "mytable", "repro.experiments.table3"
+        )
+        result = runner_module.run_experiment("mytable")
+        assert result.experiment_id == "Table III"
+
+    def test_concurrent_get_context_hits_do_not_block_on_cold_train(
+        self, micro, monkeypatch
+    ):
+        import threading
+        context_module.get_context(quick=True, seed=3, store=micro)
+        started = threading.Event()
+        release = threading.Event()
+        original = context_module.DimPercPipeline.run
+
+        def slow_run(self, *args, **kwargs):
+            started.set()
+            assert release.wait(timeout=30)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(context_module.DimPercPipeline, "run", slow_run)
+        # Cold-train a *different* key in the background...
+        cold = threading.Thread(
+            target=context_module.get_context,
+            kwargs=dict(quick=True, seed=4, store=micro),
+        )
+        cold.start()
+        try:
+            assert started.wait(timeout=30)
+            # ...while a cache hit for the first key returns immediately.
+            hit = context_module.get_context(quick=True, seed=3, store=micro)
+            assert hit is context_module._CACHE[(True, 3, False)]
+        finally:
+            release.set()
+            cold.join(timeout=60)
+        assert not cold.is_alive()
+
+
+class TestManifest:
+    def _records(self):
+        result = ExperimentResult("Table III", "demo", ("a", "b"))
+        result.add_row(1, 2.5)
+        result.add_note("n1")
+        return [ExperimentRecord(name="table3", result=result, seconds=1.25)]
+
+    def test_manifest_and_result_files(self, tmp_path):
+        path = write_manifest(
+            tmp_path / "out", self._records(), quick=True, seed=7, jobs=2,
+        )
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        assert manifest["schema"] == 1
+        assert manifest["seed"] == 7
+        assert manifest["jobs"] == 2
+        assert manifest["requested"] == ["table3"]
+        assert manifest["incomplete"] == []
+        assert manifest["engine"]["batch_size"] >= 1
+        assert len(manifest["git_revision"]) >= 7  # hash or "unknown"
+        (entry,) = manifest["experiments"]
+        assert entry["name"] == "table3"
+        assert entry["seconds"] == 1.25
+        payload = json.loads(
+            (tmp_path / "out" / entry["result_file"]).read_text("utf-8")
+        )
+        assert payload["headers"] == ["a", "b"]
+        assert payload["rows"] == [[1, 2.5]]
+        assert payload["notes"] == ["n1"]
+        assert payload["seed"] == 7
+
+    def test_manifest_records_incomplete_experiments(self, tmp_path):
+        path = write_manifest(
+            tmp_path / "out", self._records(),
+            requested=("table3", "table8"),
+        )
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        assert manifest["requested"] == ["table3", "table8"]
+        assert manifest["incomplete"] == ["table8"]
+        assert [e["name"] for e in manifest["experiments"]] == ["table3"]
+
+    def test_runner_cli_writes_manifest(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+        code = main([
+            "table3", "table3", "--jobs", "2",
+            "--out", str(tmp_path / "cli"), "--no-artifacts",
+        ])
+        try:
+            assert code == 0
+            out = capsys.readouterr().out
+            # deduped: the table renders exactly once
+            assert out.count("== Table III") == 1
+            manifest = json.loads(
+                (tmp_path / "cli" / "manifest.json").read_text("utf-8")
+            )
+            assert [e["name"] for e in manifest["experiments"]] == ["table3"]
+        finally:
+            reset_default_store()
+
+    def test_runner_cli_unknown_id_exits_2(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

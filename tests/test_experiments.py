@@ -63,5 +63,6 @@ class TestLightExperiments:
         assert result.experiment_id == "Table III"
 
     def test_runner_unknown_experiment(self):
-        with pytest.raises(SystemExit):
+        # KeyError (not SystemExit): programmatic callers aren't killed.
+        with pytest.raises(KeyError, match="table99"):
             run_experiment("table99")

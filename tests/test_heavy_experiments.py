@@ -6,6 +6,7 @@ seconds; result *quality* is the benchmarks' job.
 
 import pytest
 
+import repro.experiments.artifacts as artifacts_module
 import repro.experiments.context as context_module
 from repro.experiments import fig6, fig7, table7, table8, table9
 from repro.experiments.context import ScaleProfile
@@ -21,12 +22,18 @@ MICRO = ScaleProfile(
 
 
 @pytest.fixture(scope="module", autouse=True)
-def micro_profile():
+def micro_profile(tmp_path_factory):
     original_quick = context_module.QUICK
     original_cache = dict(context_module._CACHE)
     context_module.QUICK = MICRO
     context_module._CACHE.clear()
+    # Persist trained contexts into a test-scoped store: the save path
+    # gets exercised, and nothing leaks into the user-level cache.
+    artifacts_module.set_default_store(
+        tmp_path_factory.mktemp("artifact-store")
+    )
     yield
+    artifacts_module.reset_default_store()
     context_module.QUICK = original_quick
     context_module._CACHE.clear()
     context_module._CACHE.update(original_cache)

@@ -60,6 +60,29 @@ class TestCheckpointRoundTrip:
         assert loaded_tok.encode("never-seen") == tok.encode("never-seen")
 
 
+class TestSidecarPaths:
+    def test_dotted_checkpoint_names_do_not_collide(self, tmp_path):
+        # Regression: Path.with_suffix mangled "model.v2" -> "model.npz",
+        # so differently named checkpoints silently overwrote each other.
+        model, tok = trained_setup()
+        save_checkpoint(model, tok, tmp_path / "model.v2")
+        save_checkpoint(model, tok, tmp_path / "model.v3")
+        assert (tmp_path / "model.v2.npz").exists()
+        assert (tmp_path / "model.v2.json").exists()
+        assert (tmp_path / "model.v3.npz").exists()
+        loaded_model, _ = load_checkpoint(tmp_path / "model.v2")
+        for name, value in model.params.items():
+            assert np.allclose(loaded_model.params[name], value), name
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        model, tok = trained_setup()
+        save_checkpoint(model, tok, tmp_path / "ckpt")
+        save_checkpoint(model, tok, tmp_path / "ckpt")  # overwrite in place
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name not in ("ckpt.npz", "ckpt.json")]
+        assert leftovers == []
+
+
 class TestCheckpointErrors:
     def test_missing_files(self, tmp_path):
         with pytest.raises(CheckpointError):
@@ -81,3 +104,23 @@ class TestCheckpointErrors:
         (tmp_path / "ckpt.json").write_text(json.dumps(meta))
         with pytest.raises(CheckpointError):
             load_checkpoint(tmp_path / "ckpt")
+
+    def test_truncated_params_detected(self, tmp_path):
+        model, tok = trained_setup()
+        save_checkpoint(model, tok, tmp_path / "ckpt")
+        data = (tmp_path / "ckpt.npz").read_bytes()
+        (tmp_path / "ckpt.npz").write_bytes(data[:len(data) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "ckpt")
+
+    def test_mismatched_pair_detected_by_digest(self, tmp_path):
+        # A torn save (params from one save, metadata from another) must
+        # not load silently.
+        model, tok = trained_setup()
+        save_checkpoint(model, tok, tmp_path / "a")
+        for params in (model.params.values()):
+            params += 0.5  # drift the weights
+        save_checkpoint(model, tok, tmp_path / "b")
+        (tmp_path / "a.npz").write_bytes((tmp_path / "b.npz").read_bytes())
+        with pytest.raises(CheckpointError, match="digest"):
+            load_checkpoint(tmp_path / "a")

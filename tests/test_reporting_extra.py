@@ -1,5 +1,7 @@
 """Edge-case tests for report formatting (cheap, no training)."""
 
+import pytest
+
 from repro.experiments.reporting import (
     ExperimentResult,
     format_bar_chart,
@@ -39,6 +41,40 @@ class TestSeriesChart:
         series = {f"s{i}": [float(i), float(i + 1)] for i in range(10)}
         chart = format_series_chart([1, 2], series)
         assert "legend" in chart
+
+    def test_series_longer_than_steps_raises(self):
+        # Regression: used to IndexError mid-render on the extra column.
+        with pytest.raises(ValueError, match="3 values for 2 steps"):
+            format_series_chart([1, 2], {"a": [1.0, 2.0, 3.0]})
+
+    def test_series_shorter_than_steps_raises(self):
+        # Regression: used to silently draw a truncated line.
+        with pytest.raises(ValueError, match="1 values for 2 steps"):
+            format_series_chart([1, 2], {"a": [1.0]})
+
+    def test_height_one_level_axis(self):
+        chart = format_series_chart(
+            [1, 2], {"a": [0.0, 10.0]}, height=1, value_format="{:.1f}"
+        )
+        lines = chart.splitlines()
+        # single row labelled with the span midpoint, both points drawn
+        assert lines[0].strip().startswith("5.0")
+        assert lines[0].count("o") == 2
+
+    def test_non_positive_height_rejected(self):
+        with pytest.raises(ValueError, match="height"):
+            format_series_chart([1], {"a": [1.0]}, height=0)
+
+    def test_axis_labels_align_with_marker_columns(self):
+        # Regression: multi-digit steps (fig6/7 checkpoints) drifted off
+        # their marker columns with the fixed 2-char label width.
+        chart = format_series_chart(
+            [100, 200, 300], {"a": [1.0, 2.0, 3.0]}
+        )
+        lines = chart.splitlines()
+        top_marker_col = lines[0].index("o")  # the max value, step 300
+        label_line = lines[-2]
+        assert label_line[top_marker_col - 2:top_marker_col + 1] == "300"
 
 
 class TestBarChart:
