@@ -1,0 +1,280 @@
+#!/usr/bin/env python
+"""Benchmark: the micro-batched serving stack vs naive per-request serving.
+
+Boots the real HTTP service twice with identical trained state and
+drives both with the same concurrent /solve workload:
+
+- **per-request baseline** -- ``max_batch_size=1`` and no completion
+  memo: every request is handled alone and decodes its own answer,
+  exactly what a naive one-request-one-inference server does;
+- **serving stack** -- dynamic micro-batching feeding the engine's
+  :class:`~repro.engine.BatchRunner`: queued requests coalesce into one
+  batched decode, in-flight duplicate prompts collapse to a single
+  decode, and the completion memo carries repeats across batches.
+
+The workload mirrors what MWP traffic looks like to *this* stack:
+number-slotted prompts (``N1..Nk``) abstract the numerals away, so
+requests that vary numbers over shared problem structures -- the common
+case for templated教辅-style traffic -- land on a bounded hot prompt
+set.  The benchmark therefore sweeps structural templates x numeric
+variants; per-request responses still differ (each carries its own
+quantities and calculator answer), and every response must be
+byte-identical between the two modes: coalescing, dedupe and memoization
+are scheduling/caching changes, never semantic ones.
+
+A secondary record measures the same contrast on unique-structure
+traffic (every prompt distinct, no dedupe/memo help) and on /ground,
+so the speedup's provenance is visible instead of averaged away.
+
+The trained context must come out of the artifact store on the second
+boot without retraining -- a hard failure, not a metric.
+
+Emits a JSON record so future PRs can track the trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+
+Exits non-zero if responses diverge between modes, the warm boot
+retrains, or the template-traffic /solve speedup misses
+``--min-speedup`` (default 3.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import repro.experiments.context as context_module
+from repro.experiments.artifacts import ENV_VAR, set_default_store
+from repro.service import DimensionService, ServiceConfig, build_server
+
+DEFAULT_STORE = pathlib.Path(__file__).parent / "out" / "artifacts-service"
+
+_SUBJECTS = ["商店", "果园", "书店", "农场", "工厂", "学校", "车站", "仓库",
+             "食堂", "花店", "渔村", "矿场"]
+_THINGS = ["橙子", "苹果", "书", "箱子", "零件", "椅子", "包裹", "砖块",
+           "鸡蛋", "玫瑰", "鱼", "矿石"]
+_VERBS = ["卖出了", "运走了", "用掉了", "借出了", "送出了", "搬走了"]
+
+
+def template_workload(requests: int, templates: int) -> list[dict]:
+    """``templates`` problem structures x numeric variants.
+
+    Texts all differ (numbers vary), but number slotting maps each
+    structure to one prompt -- the hot-set shape real templated MWP
+    traffic presents to this stack.
+    """
+    bodies = []
+    for i in range(requests):
+        t = i % templates
+        bodies.append({"text": (
+            f"{_SUBJECTS[t]}有 {20 + i} 个{_THINGS[t]}，"
+            f"{_VERBS[t % 6]} {3 + i % 9} 个，又进货 {1 + i % 7} 个，"
+            f"现在有几个{_THINGS[t]}？"
+        )})
+    return bodies
+
+
+def unique_workload(requests: int) -> list[dict]:
+    """Every request a distinct problem structure (worst case: no
+    in-flight dedupe, no memo hits -- pure coalescing)."""
+    bodies = []
+    for i in range(requests):
+        subject = _SUBJECTS[i % 12]
+        thing = _THINGS[(i // 12) % 12]
+        verb = _VERBS[(i // 144) % 6]
+        bodies.append({"text": (
+            f"{subject}第{i}天有 {20 + i} 个{thing}，{verb} "
+            f"{3 + i % 9} 个，又进货 {1 + i % 7} 个，现在有几个{thing}？"
+        )})
+    return bodies
+
+
+def post(base: str, path: str, body: dict) -> bytes:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        if response.status != 200:
+            raise RuntimeError(f"{path} answered {response.status}")
+        return response.read()
+
+
+class RunningService:
+    """One booted service + HTTP server."""
+
+    def __init__(self, *, batch_size: int, profile: str, seed: int,
+                 completion_cache_size: int = 2048):
+        self.service = DimensionService(ServiceConfig(
+            port=0, max_batch_size=batch_size, max_latency=0.002,
+            profile=profile, seed=seed,
+            completion_cache_size=completion_cache_size,
+        ))
+        self.server = build_server(self.service)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+
+
+def drive(base: str, path: str, bodies: list[dict],
+          clients: int) -> tuple[float, list[bytes]]:
+    """Fire every request from a client pool; (seconds, ordered bodies)."""
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        responses = list(pool.map(lambda body: post(base, path, body),
+                                  bodies))
+    return time.perf_counter() - started, responses
+
+
+def measure(path: str, bodies: list[dict], *, profile: str, seed: int,
+            clients: int, batch_size: int, label: str) -> dict:
+    """Naive-vs-stack throughput for one workload."""
+    record: dict = {"workload": label, "endpoint": path,
+                    "requests": len(bodies), "clients": clients,
+                    "batch_size": batch_size}
+    responses_by_mode = {}
+    modes = {
+        # per-request handling: one item per batch, no completion memo
+        "sequential": dict(batch_size=1, completion_cache_size=0),
+        "batched": dict(batch_size=batch_size),
+    }
+    for mode, knobs in modes.items():
+        running = RunningService(profile=profile, seed=seed, **knobs)
+        try:
+            seconds, responses = drive(running.base, path, bodies, clients)
+        finally:
+            running.close()
+        responses_by_mode[mode] = responses
+        record[mode] = {
+            "seconds": round(seconds, 4),
+            "requests_per_second": round(len(bodies) / seconds, 2),
+        }
+        if mode == "batched":
+            metrics = running.service.metrics
+            batches = metrics.value("batches_total",
+                                    endpoint=path.lstrip("/"))
+            record[mode]["batches"] = int(batches)
+            record[mode]["mean_batch_size"] = round(
+                len(bodies) / batches, 2) if batches else None
+    record["identical_responses"] = (
+        responses_by_mode["sequential"] == responses_by_mode["batched"]
+    )
+    record["speedup"] = round(
+        record["batched"]["requests_per_second"]
+        / record["sequential"]["requests_per_second"], 2
+    )
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=96,
+                        help="requests per workload per mode")
+    parser.add_argument("--templates", type=int, default=12,
+                        help="distinct problem structures in the "
+                             "template workload")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="concurrent client threads")
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail unless template-traffic /solve "
+                             "throughput gains at least this factor "
+                             "(0 disables)")
+    parser.add_argument("--out", metavar="FILE", default=None)
+    args = parser.parse_args(argv)
+
+    # Micro budgets + a repo-local store: the point here is serving
+    # throughput, not model quality, and re-runs must boot warm.
+    if os.environ.get(ENV_VAR) is None:
+        DEFAULT_STORE.mkdir(parents=True, exist_ok=True)
+        set_default_store(DEFAULT_STORE)
+
+    boot_started = time.perf_counter()
+    first = RunningService(batch_size=args.batch_size, profile="micro",
+                           seed=args.seed)
+    first_boot_seconds = time.perf_counter() - boot_started
+    first.close()
+    cold_trained = first.service.warm_loaded is False
+    # A second boot must come straight from the store: the in-process
+    # context cache is cleared, so a warm report means the artifact
+    # store (get_context's on_cold_train hook never fired).
+    context_module._CACHE.clear()
+    boot_started = time.perf_counter()
+    second = RunningService(batch_size=args.batch_size, profile="micro",
+                            seed=args.seed)
+    warm_boot_seconds = time.perf_counter() - boot_started
+    second.close()
+    warm_retrained = second.service.warm_loaded is False
+    print(f"boot 1: {first_boot_seconds:.1f}s "
+          f"({'cold-trained' if cold_trained else 'warm from store'}); "
+          f"boot 2: {warm_boot_seconds:.1f}s "
+          f"({'RETRAINED' if warm_retrained else 'warm from store'})")
+    if warm_retrained:
+        print("FAIL: second boot retrained instead of warm-loading",
+              file=sys.stderr)
+        return 1
+
+    results = [
+        measure("/solve", template_workload(args.requests, args.templates),
+                profile="micro", seed=args.seed, clients=args.clients,
+                batch_size=args.batch_size, label="solve-template-traffic"),
+        measure("/solve", unique_workload(args.requests),
+                profile="micro", seed=args.seed, clients=args.clients,
+                batch_size=args.batch_size, label="solve-unique-structures"),
+        measure("/ground", unique_workload(args.requests),
+                profile="off", seed=args.seed, clients=args.clients,
+                batch_size=args.batch_size, label="ground"),
+    ]
+    record = {
+        "benchmark": "service",
+        "boot": {
+            "first_seconds": round(first_boot_seconds, 2),
+            "first_cold_trained": cold_trained,
+            "warm_seconds": round(warm_boot_seconds, 2),
+            "warm_retrained": warm_retrained,
+        },
+        "workloads": results,
+    }
+    for result in results:
+        print(f"{result['workload']}: per-request "
+              f"{result['sequential']['requests_per_second']:.1f} req/s, "
+              f"serving stack "
+              f"{result['batched']['requests_per_second']:.1f} req/s "
+              f"-> {result['speedup']:.2f}x "
+              f"(identical={result['identical_responses']})")
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+
+    if not all(result["identical_responses"] for result in results):
+        print("FAIL: serving-stack responses diverge from per-request "
+              "handling", file=sys.stderr)
+        return 1
+    gated = results[0]
+    if args.min_speedup and gated["speedup"] < args.min_speedup:
+        print(f"FAIL: {gated['workload']} speedup {gated['speedup']:.2f}x "
+              f"is below the {args.min_speedup:.1f}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

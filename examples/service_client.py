@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Exercise every endpoint of a running repro.service instance.
+
+Boot a server in one terminal::
+
+    PYTHONPATH=src python -m repro.service --port 8080 --profile micro
+
+then run this client against it::
+
+    PYTHONPATH=src python examples/service_client.py --port 8080
+
+The client waits for /healthz, walks every endpoint with realistic
+requests (stdlib urllib only, like any consumer could), and finishes by
+checking that the /metrics counters actually moved.  Exit code 0 means
+every endpoint answered correctly -- CI uses this script as its service
+smoke test.
+
+With ``--profile off`` servers, /solve answers 503; pass ``--no-solve``
+to treat that as expected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def call(base: str, path: str, body: dict | None = None):
+    """(status, parsed body) for one request; never raises on 4xx/5xx."""
+    if body is None:
+        request = urllib.request.Request(base + path)
+    else:
+        request = urllib.request.Request(
+            base + path,
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            raw, status = response.read(), response.status
+    except urllib.error.HTTPError as error:
+        raw, status = error.read(), error.code
+    try:
+        return status, json.loads(raw)
+    except json.JSONDecodeError:
+        return status, raw.decode("utf-8")
+
+
+def wait_for_healthz(base: str, timeout: float) -> dict:
+    """Poll /healthz until the service answers (it may be cold-training)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            status, body = call(base, "/healthz")
+            if status == 200:
+                return body
+        except (urllib.error.URLError, ConnectionError):
+            pass
+        if time.monotonic() > deadline:
+            raise SystemExit(f"service at {base} not healthy "
+                             f"within {timeout:.0f}s")
+        time.sleep(0.5)
+
+
+def check(name: str, condition: bool, detail) -> None:
+    print(f"  [{'ok' if condition else 'FAIL'}] {name}")
+    if not condition:
+        raise SystemExit(f"{name} failed: {detail!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--boot-timeout", type=float, default=1200.0,
+                        help="how long to wait for /healthz (a cold "
+                             "--profile quick boot trains first)")
+    parser.add_argument("--no-solve", action="store_true",
+                        help="expect /solve to answer 503 (model off)")
+    args = parser.parse_args(argv)
+    base = f"http://{args.host}:{args.port}"
+
+    print(f"waiting for {base}/healthz ...")
+    health = wait_for_healthz(base, args.boot_timeout)
+    print(f"service up: profile={health['model']['profile']} "
+          f"warm_loaded={health['model']['warm_loaded']}")
+
+    print("exercising endpoints:")
+    status, body = call(base, "/ground",
+                        {"text": "货车以9.9m/s的速度行驶了3 h"})
+    check("/ground", status == 200
+          and [q["magnitude"] for q in body["quantities"]] == [9.9, 3.0],
+          (status, body))
+
+    status, body = call(base, "/extract", {"text": "买了 3 个苹果和 2 kg 梨"})
+    check("/extract", status == 200 and len(body["quantities"]) == 2,
+          (status, body))
+
+    status, body = call(base, "/convert",
+                        {"value": 2.06, "source": "m", "target": "cm"})
+    check("/convert", status == 200
+          and abs(body["magnitude"] - 206.0) < 1e-9, (status, body))
+
+    status, body = call(base, "/compare", {"quantities": [
+        {"value": 1, "unit": "km"},
+        {"value": 5000, "unit": "m"},
+        {"value": 2, "unit": "mile"},
+    ]})
+    check("/compare", status == 200 and body["largest"] == 1,
+          (status, body))
+
+    status, body = call(base, "/dimension",
+                        {"mentions": ["km", "h"], "ops": ["/"]})
+    check("/dimension", status == 200
+          and body["dimension"]["formula"] == "LT-1", (status, body))
+
+    status, body = call(base, "/solve", {
+        "text": "小明有 3 个苹果，又买了 5 个，现在有几个苹果？"
+    })
+    if args.no_solve:
+        check("/solve (expected 503)", status == 503, (status, body))
+    else:
+        check("/solve", status == 200 and "equation" in body
+              and len(body["quantities"]) == 2, (status, body))
+
+    # domain errors surface as 422, not 500
+    status, body = call(base, "/convert",
+                        {"value": 1, "source": "kg", "target": "m"})
+    check("422 on incomparable units", status == 422, (status, body))
+
+    status, text = call(base, "/metrics")
+    moved = (status == 200
+             and 'repro_service_requests_total{endpoint="/ground",'
+                 'status="200"}' in text
+             and 'endpoint="ground"' in text)
+    check("/metrics counters moved", moved, (status, text[:400]))
+
+    print("all endpoints answered correctly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,23 @@ from repro.text.tokenizer import tokenize
 _SLOT_MARKER = re.compile(r"(?<=\s)(N\d+)(?=\s)")
 
 
+def slotted_prompt(slotted_text: str) -> str:
+    """The MWP prompt for text whose numbers are already ``N<k>`` markers.
+
+    Slot markers must be space-delimited; they are kept whole while the
+    segments between them go through the standard tokenizer.  Shared by
+    :func:`mwp_prompt` (gold problems carry their own slot map) and the
+    serving layer (which slots free text from extraction spans).
+    """
+    tokens: list[str] = []
+    for index, part in enumerate(_SLOT_MARKER.split(f" {slotted_text} ")):
+        if index % 2 == 1:
+            tokens.append(part)  # the N<k> marker itself
+        else:
+            tokens.extend(tokenize(part, lowercase=True))
+    return "task: mwp text: " + " ".join(tokens)
+
+
 def mwp_prompt(problem: MWPProblem) -> str:
     """The symbolic prompt: text tokens with numbers slotted."""
     text = problem.text
@@ -26,14 +43,7 @@ def mwp_prompt(problem: MWPProblem) -> str:
         value_text = f"{quantity.value:g}"
         slotted = quantity.surface.replace(value_text, f" N{quantity.slot} ", 1)
         text = text.replace(quantity.surface, slotted, 1)
-    # Keep slot markers whole: tokenize only the segments between them.
-    tokens: list[str] = []
-    for index, part in enumerate(_SLOT_MARKER.split(f" {text} ")):
-        if index % 2 == 1:
-            tokens.append(part)  # the N<k> marker itself
-        else:
-            tokens.extend(tokenize(part, lowercase=True))
-    return "task: mwp text: " + " ".join(tokens)
+    return slotted_prompt(text)
 
 
 def mwp_target(problem: MWPProblem) -> str:

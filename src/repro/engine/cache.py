@@ -112,6 +112,13 @@ class ConversionCache:
     The cached entry is the ``(scale, shift)`` of the affine map to the
     target unit; ``factor`` additionally demands ``shift == 0`` (pure
     factors are undefined for offset scales, paper Definition 8).
+
+    Concurrency: safe for unsynchronised multi-threaded use (the serving
+    layer hits one shared pool from every handler thread).  All shared
+    state lives in the locked :class:`LRUCache`; two threads missing the
+    same pair concurrently both recompute the identical pure transform
+    and the second ``put`` is a no-op refresh, so no lock is held during
+    the computation itself.
     """
 
     def __init__(self, maxsize: int = 4096):

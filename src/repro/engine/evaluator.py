@@ -20,6 +20,8 @@ engine (:func:`get_default_engine`).
 
 from __future__ import annotations
 
+import threading
+
 from repro.dimeval.evaluate import TaskResult
 from repro.dimeval.metrics import (
     parse_extraction,
@@ -105,14 +107,22 @@ class EvaluationEngine:
 
 
 _DEFAULT_ENGINE: EvaluationEngine | None = None
+#: Guards lazy construction/installation of the process default: two
+#: concurrent first callers (serving threads) must agree on one engine,
+#: or their cache pools silently fork.
+_DEFAULT_ENGINE_LOCK = threading.Lock()
 
 
 def get_default_engine() -> EvaluationEngine:
     """The process-wide engine behind the ``repro.dimeval`` wrappers."""
     global _DEFAULT_ENGINE
-    if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = EvaluationEngine()
-    return _DEFAULT_ENGINE
+    engine = _DEFAULT_ENGINE
+    if engine is None:
+        with _DEFAULT_ENGINE_LOCK:
+            engine = _DEFAULT_ENGINE
+            if engine is None:
+                engine = _DEFAULT_ENGINE = EvaluationEngine()
+    return engine
 
 
 def set_default_engine(
@@ -126,7 +136,8 @@ def set_default_engine(
     global _DEFAULT_ENGINE
     if isinstance(engine, EngineConfig):
         engine = EvaluationEngine(engine)
-    _DEFAULT_ENGINE = engine
+    with _DEFAULT_ENGINE_LOCK:
+        _DEFAULT_ENGINE = engine
     return get_default_engine()
 
 

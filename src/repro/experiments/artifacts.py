@@ -31,12 +31,14 @@ fall back to re-training.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 import os
 import pathlib
 import shutil
 import tempfile
+import time
 import warnings
 
 from repro.core.dimperc import DimPercConfig, DimPercModels
@@ -58,15 +60,51 @@ ENV_VAR = "REPRO_ARTIFACT_DIR"
 
 _DISABLED = ("", "0", "off", "none", "disabled")
 
+#: Packages whose code shapes the trained artifact: the substrate and
+#: its training loop (llm), the pipeline orchestrating it (core), every
+#: dataset generator the seeds flow through (dimeval, kg, mwp, corpus),
+#: and the KB + text layers those generators read.  Edits anywhere else
+#: (experiments reporting, the service, benchmarks) cannot change the
+#: checkpoint bytes and must not invalidate warm stores.
+_TRAINING_PACKAGES = (
+    "core", "corpus", "dimension", "dimeval", "kg", "linking",
+    "llm", "mwp", "quantity", "text", "units", "utils",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """A stable hash of every training-relevant source file.
+
+    Folded into the context key so a local store invalidates on code
+    changes the same way the CI cache already does via ``hashFiles`` --
+    without it, editing the trainer silently serves checkpoints trained
+    by the old code.  Cached per process: training code cannot change
+    under a running interpreter's feet.
+    """
+    import repro
+
+    root = pathlib.Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for package in _TRAINING_PACKAGES:
+        for path in sorted((root / package).rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()
+
 
 def _key_payload(
     profile, seed: int, digit_tokenization: bool, config: DimPercConfig
 ) -> dict:
     # The full training config is part of the key: hyperparameters not
     # derived from the profile (learning rate, replay fraction,
-    # oversampling, ...) must also invalidate persisted contexts.
+    # oversampling, ...) must also invalidate persisted contexts, and
+    # the code fingerprint invalidates them on training-code edits.
     return {
         "format": FORMAT_VERSION,
+        "code": code_fingerprint(),
         "profile": dataclasses.asdict(profile),
         "seed": seed,
         "digit_tokenization": bool(digit_tokenization),
@@ -218,6 +256,12 @@ class ArtifactStore:
             pool_size=config.pool_size,
             extraction_whole_values=config.extraction_whole_values,
         )
+        try:
+            # Refresh recency so `prune`'s LRU eviction spares contexts
+            # that long-lived service hosts actually warm-load from.
+            os.utime(meta_path)
+        except OSError:
+            pass
         return DimPercModels(
             tokenizer=tokenizer,
             model=dimperc_model,
@@ -227,6 +271,126 @@ class ArtifactStore:
             train_split=benchmark.train_split(),
             eval_split=benchmark.eval_split(),
         )
+
+
+    # -- garbage collection -------------------------------------------------------
+
+    def entries(self) -> list["StoreEntry"]:
+        """Every persisted context, least recently used first.
+
+        Recency is the ``meta.json`` mtime: saves write it and warm
+        loads touch it, so the ordering is a true LRU.  Directories
+        without a readable ``meta.json`` (interrupted saves, foreign
+        junk) sort oldest by their directory mtime, making them the
+        first candidates for eviction.
+        """
+        found = []
+        if not self.root.is_dir():
+            return []
+        for directory in self.root.iterdir():
+            if not directory.is_dir() or not directory.name.startswith("ctx-"):
+                continue
+            meta = directory / "meta.json"
+            try:
+                used_at = meta.stat().st_mtime
+            except OSError:
+                try:
+                    used_at = directory.stat().st_mtime
+                except OSError:
+                    continue  # vanished under us
+            size = 0
+            for path in directory.rglob("*"):
+                try:
+                    if path.is_file():
+                        size += path.stat().st_size
+                except OSError:
+                    pass
+            found.append(StoreEntry(path=directory, size_bytes=size,
+                                    used_at=used_at))
+        found.sort(key=lambda entry: (entry.used_at, entry.path.name))
+        return found
+
+    def prune(
+        self,
+        max_age_days: float | None = None,
+        max_total_bytes: int | None = None,
+        dry_run: bool = False,
+        now: float | None = None,
+    ) -> "PruneReport":
+        """Evict stale/oversized contexts; returns what was (or would be)
+        removed.
+
+        Two independent policies compose:
+
+        - ``max_age_days`` drops every context not used for that long;
+        - ``max_total_bytes`` then drops least-recently-used contexts
+          until the store fits the budget.
+
+        Stale ``.tmp-*`` staging directories (crashed saves) older than
+        one hour are always swept.  ``dry_run`` reports without
+        deleting.
+        """
+        now = time.time() if now is None else now
+        entries = self.entries()
+        victims: list[StoreEntry] = []
+        survivors: list[StoreEntry] = []
+        for entry in entries:
+            age_days = (now - entry.used_at) / 86400.0
+            if max_age_days is not None and age_days > max_age_days:
+                victims.append(entry)
+            else:
+                survivors.append(entry)
+        if max_total_bytes is not None:
+            total = sum(entry.size_bytes for entry in survivors)
+            for entry in list(survivors):  # LRU-first order
+                if total <= max_total_bytes:
+                    break
+                survivors.remove(entry)
+                victims.append(entry)
+                total -= entry.size_bytes
+        staging = [
+            path for path in (self.root.glob(".tmp-*")
+                              if self.root.is_dir() else ())
+            if path.is_dir() and now - path.stat().st_mtime > 3600
+        ]
+        if not dry_run:
+            for entry in victims:
+                shutil.rmtree(entry.path, ignore_errors=True)
+            for path in staging:
+                shutil.rmtree(path, ignore_errors=True)
+        return PruneReport(
+            removed=tuple(victims),
+            kept=tuple(survivors),
+            staging_swept=tuple(staging),
+            dry_run=dry_run,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """One persisted context directory: where, how big, last used."""
+
+    path: pathlib.Path
+    size_bytes: int
+    used_at: float
+
+
+@dataclasses.dataclass(frozen=True)
+class PruneReport:
+    """What :meth:`ArtifactStore.prune` removed and kept."""
+
+    removed: tuple[StoreEntry, ...]
+    kept: tuple[StoreEntry, ...]
+    staging_swept: tuple[pathlib.Path, ...]
+    dry_run: bool
+
+    @property
+    def removed_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.removed)
+
+    @property
+    def kept_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.kept)
 
 
 _UNSET = object()
@@ -271,3 +435,104 @@ def reset_default_store() -> None:
     """Forget any cached/explicit store; re-resolve from the environment."""
     global _default_store
     _default_store = _UNSET
+
+
+# -- CLI: ``python -m repro.experiments.artifacts`` ---------------------------
+
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def parse_size(text: str) -> int:
+    """``"500M"``/``"2G"``/plain byte counts -> bytes."""
+    cleaned = text.strip().lower().removesuffix("b")
+    if cleaned and cleaned[-1] in _SIZE_SUFFIXES:
+        return int(float(cleaned[:-1]) * _SIZE_SUFFIXES[cleaned[-1]])
+    return int(cleaned)
+
+
+def _format_size(size: int | float) -> str:
+    for suffix, scale in (("G", 1 << 30), ("M", 1 << 20), ("K", 1 << 10)):
+        if size >= scale:
+            return f"{size / scale:.1f}{suffix}"
+    return f"{int(size)}B"
+
+
+def _resolve_cli_store(root: str | None) -> ArtifactStore | None:
+    return ArtifactStore(root) if root else default_store()
+
+
+def _cmd_list(args) -> int:
+    store = _resolve_cli_store(args.store)
+    if store is None:
+        print("artifact store disabled (REPRO_ARTIFACT_DIR)", flush=True)
+        return 1
+    entries = store.entries()
+    now = time.time()
+    print(f"store: {store.root} ({len(entries)} contexts, "
+          f"{_format_size(sum(e.size_bytes for e in entries))})")
+    for entry in entries:
+        age_days = (now - entry.used_at) / 86400.0
+        print(f"  {entry.path.name:40s} {_format_size(entry.size_bytes):>8s} "
+              f"last used {age_days:6.1f}d ago")
+    return 0
+
+
+def _cmd_prune(args) -> int:
+    store = _resolve_cli_store(args.store)
+    if store is None:
+        print("artifact store disabled (REPRO_ARTIFACT_DIR)", flush=True)
+        return 1
+    if args.max_age_days is None and args.max_bytes is None:
+        print("error: prune needs --max-age-days and/or --max-bytes",
+              flush=True)
+        return 2
+    report = store.prune(
+        max_age_days=args.max_age_days,
+        max_total_bytes=(parse_size(args.max_bytes)
+                         if args.max_bytes is not None else None),
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if report.dry_run else "removed"
+    print(f"{verb} {len(report.removed)} context(s) "
+          f"({_format_size(report.removed_bytes)}), kept "
+          f"{len(report.kept)} ({_format_size(report.kept_bytes)})")
+    for entry in report.removed:
+        print(f"  - {entry.path.name} ({_format_size(entry.size_bytes)})")
+    if report.staging_swept:
+        print(f"{verb} {len(report.staging_swept)} stale staging dir(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-artifacts",
+        description="Inspect and garbage-collect the trained-context "
+                    "artifact store.",
+    )
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="store root (default: $REPRO_ARTIFACT_DIR or "
+                             "~/.cache/repro/artifacts)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list persisted contexts, LRU first")
+    prune = sub.add_parser(
+        "prune",
+        help="evict stale contexts by age and/or store size budget",
+    )
+    prune.add_argument("--max-age-days", type=float, default=None,
+                       help="drop contexts not used for this many days")
+    prune.add_argument("--max-bytes", default=None,
+                       help="store size budget; LRU contexts are dropped "
+                            "until it fits (suffixes K/M/G/T accepted)")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report without deleting")
+    args = parser.parse_args(argv)
+    return {"list": _cmd_list, "prune": _cmd_prune}[args.command](args)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.dimperc import DimPercConfig, DimPercModels, DimPercPipeline
 from repro.core.encoding import mwp_example
@@ -67,6 +68,34 @@ FULL = ScaleProfile(
     mwp_train_count=900, mwp_eval_count=225, mwp_steps=1200,
     curve_steps=1000, curve_checkpoints=10,
 )
+
+#: Seconds-scale budget for wiring tests, CI service smoke boots and
+#: benchmark scaffolding: enough training for the plumbing to be real
+#: (two checkpoints, working decode), no pretence of result quality.
+MICRO = ScaleProfile(
+    train_per_task=8, eval_per_task=5, instruction_examples=30,
+    instruction_steps=6, dimeval_steps=10, pool_size=60,
+    d_model=32, d_ff=64, batch_size=8,
+    mwp_train_count=12, mwp_eval_count=6, mwp_steps=8,
+    curve_steps=6, curve_checkpoints=2,
+)
+
+#: Profile names CLI surfaces accept (the service's ``--profile``).
+PROFILE_NAMES = ("micro", "quick", "full")
+
+
+def profile_named(name: str) -> ScaleProfile:
+    """The profile a CLI name refers to.
+
+    Resolved through module globals at call time, so tests that swap
+    ``context.QUICK`` for a smaller budget are honoured here too.
+    """
+    try:
+        return {"micro": MICRO, "quick": QUICK, "full": FULL}[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {name!r} (expected one of {PROFILE_NAMES})"
+        ) from None
 
 
 def profile_for(quick: bool) -> ScaleProfile:
@@ -148,6 +177,8 @@ def get_context(
     seed: int = 0,
     digit_tokenization: bool = False,
     store: ArtifactStore | None = None,
+    profile: ScaleProfile | None = None,
+    on_cold_train: Callable[[], None] | None = None,
 ) -> TrainedContext:
     """The cached trained context for one mode.
 
@@ -155,8 +186,17 @@ def get_context(
     persisted checkpoints (``store`` overrides the process default of
     :func:`repro.experiments.artifacts.default_store`), then a cold
     training run whose result is persisted back to the store.
+
+    ``profile`` overrides the quick/full budget entirely (the serving
+    layer warm-loads named profiles; tests pass micro budgets); the
+    cache is keyed on the resolved profile, so distinct budgets never
+    alias.  ``on_cold_train`` is invoked right before a cold training
+    run starts -- callers that must know the context's provenance (the
+    service's warm-boot report, the serving benchmark) observe it here
+    instead of instrumenting the trainer.
     """
-    key = (quick, seed, digit_tokenization)
+    profile = profile if profile is not None else profile_for(quick)
+    key = (profile, seed, digit_tokenization)
     with _CACHE_LOCK:
         cached = _CACHE.get(key)
         if cached is not None:
@@ -168,7 +208,6 @@ def get_context(
             if cached is not None:
                 return cached
         kb = default_kb()
-        profile = profile_for(quick)
         config = config_for(profile, seed, digit_tokenization)
         suite = build_benchmark_suite(kb, seed=seed,
                                       count=profile.mwp_eval_count)
@@ -183,6 +222,8 @@ def get_context(
                 kb, config, profile, seed, digit_tokenization
             )
         if models is None:
+            if on_cold_train is not None:
+                on_cold_train()
             vocab_texts = _mwp_vocab_texts(kb, [train_math, train_ape], seed)
             for dataset in suite.values():
                 for problem in dataset.problems:

@@ -15,6 +15,8 @@ the embedding cache instead of rebuilding them.
 
 from __future__ import annotations
 
+import threading
+
 from repro.dimension import DimensionVector, dimension_of_expression
 from repro.linking.embeddings import WordEmbeddings
 from repro.linking.linker import LinkCandidate, UnitLinker
@@ -120,6 +122,12 @@ class QuantityGrounder:
         )
 
 
+#: Guards first-call construction of a KB's default grounder: concurrent
+#: serving threads must share one compiled trie/linker index, not race
+#: two into existence and key the process on whichever write lands last.
+_GROUNDER_LOCK = threading.Lock()
+
+
 def grounder_for(kb: DimUnitKB) -> QuantityGrounder:
     """The shared default grounder for a KB, built once per KB instance.
 
@@ -134,6 +142,9 @@ def grounder_for(kb: DimUnitKB) -> QuantityGrounder:
     """
     grounder = getattr(kb, "_default_grounder", None)
     if grounder is None or grounder.kb is not kb:
-        grounder = QuantityGrounder(kb)
-        kb._default_grounder = grounder
+        with _GROUNDER_LOCK:
+            grounder = getattr(kb, "_default_grounder", None)
+            if grounder is None or grounder.kb is not kb:
+                grounder = QuantityGrounder(kb)
+                kb._default_grounder = grounder
     return grounder

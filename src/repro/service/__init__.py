@@ -1,0 +1,55 @@
+"""repro.service: the online serving layer over the whole scenario surface.
+
+Everything PRs 1-3 built runs offline (engine batches, experiment
+scheduler, annotation pipeline); this package turns the same hot paths
+into JSON endpoints behind a stdlib-only threaded HTTP server with
+dynamic micro-batching::
+
+    python -m repro.service --port 8080 --profile quick
+
+    POST /ground     {"text": "货车以9.9m/s行驶了3 h"}
+    POST /extract    {"text": "..."}                    # ungrounded too
+    POST /convert    {"value": 2.06, "source": "m", "target": "cm"}
+    POST /compare    {"quantities": [{"value": 1, "unit": "km"}, ...]}
+    POST /dimension  {"mentions": ["km", "h"], "ops": ["/"]}
+    POST /solve      {"text": "..."}                    # trained MWP decode
+    GET  /healthz
+    GET  /metrics                                       # Prometheus text
+
+Concurrent requests queue per endpoint and are coalesced into the
+repo's batched backends (``ground_batch``, ``extract_batch``, the
+engine's :class:`~repro.engine.BatchRunner`) under a max-latency /
+max-batch-size policy -- single-request latency stays near-interactive
+while throughput rides the batch APIs.  Trained model contexts
+warm-load from the experiment artifact store at startup instead of
+retraining.
+"""
+
+from repro.service.app import (
+    ENDPOINTS,
+    DimensionService,
+    ServiceConfig,
+    ServiceUnavailable,
+)
+from repro.service.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
+from repro.service.http import ServiceServer, build_server
+from repro.service.metrics import MetricsRegistry
+from repro.service.schemas import BadRequest, UnprocessableRequest
+from repro.service.solver import MWPSolver, SolveResult
+
+__all__ = [
+    "ENDPOINTS",
+    "BadRequest",
+    "BatcherClosed",
+    "BatcherSaturated",
+    "DimensionService",
+    "MWPSolver",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "SolveResult",
+    "UnprocessableRequest",
+    "build_server",
+]

@@ -1,0 +1,101 @@
+"""Boot the serving layer: ``python -m repro.service``.
+
+    python -m repro.service --port 8080                  # KB endpoints
+    python -m repro.service --profile quick              # + /solve, warm
+    python -m repro.service --profile micro --port 0     # smoke boots
+
+``--profile`` names a trained-context budget from
+:mod:`repro.experiments.context`; the context warm-loads from the
+artifact store when present and cold-trains (then persists) otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.experiments.context import PROFILE_NAMES
+from repro.service.app import DimensionService, ServiceConfig
+from repro.service.http import ServiceRequestHandler, build_server
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Serve quantity grounding, unit conversion and "
+                    "dimension perception over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--profile", default="off",
+                        choices=("off", *PROFILE_NAMES),
+                        help="trained-context budget backing /solve "
+                             "('off' serves KB endpoints only)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--batch-size", type=int, default=32,
+                        help="micro-batch flush size")
+    parser.add_argument("--max-latency-ms", type=float, default=2.0,
+                        help="micro-batch max wait after the first "
+                             "queued request")
+    parser.add_argument("--queue-size", type=int, default=1024,
+                        help="bounded per-endpoint queue (429 beyond it)")
+    parser.add_argument("--artifact-dir", default="",
+                        help="artifact-store override for warm loading")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each request to stderr")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.batch_size,
+        max_latency=args.max_latency_ms / 1000.0,
+        max_queue=args.queue_size,
+        profile=args.profile,
+        seed=args.seed,
+        artifact_dir=args.artifact_dir,
+    )
+    ServiceRequestHandler.log_requests = args.verbose
+    print(f"loading service (profile={args.profile}) ...", flush=True)
+    service = DimensionService(config)
+    server = build_server(service)
+    host, port = server.server_address[:2]
+    if service.warm_loaded is not None:
+        boot = "warm-loaded from artifact store" if service.warm_loaded \
+            else "cold-trained (persisted for next boot)"
+        print(f"trained context: {boot}", flush=True)
+    print(f"serving on http://{host}:{port} "
+          f"(batch<= {config.max_batch_size}, "
+          f"latency<= {config.max_latency * 1000:g}ms)", flush=True)
+
+    stop = threading.Event()
+
+    def request_stop(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, request_stop)
+    signal.signal(signal.SIGTERM, request_stop)
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+    try:
+        while serve_thread.is_alive() and not stop.wait(timeout=0.2):
+            pass
+    finally:
+        print("draining in-flight requests ...", flush=True)
+        server.shutdown()
+        server.server_close()
+        serve_thread.join(timeout=10)
+    print("bye", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,397 @@
+"""The serving application: state, endpoint handlers, micro-batch wiring.
+
+:class:`DimensionService` owns every long-lived object a request needs --
+the shared KB + grounder, the evaluation engine (completion memo +
+conversion cache), the optional warm-loaded trained context -- and maps
+each endpoint to a handler.  The transport layer
+(:mod:`repro.service.http`) stays dumb: it parses JSON, calls
+``service.dispatch`` and writes the status/body pair back.
+
+Batching strategy per endpoint:
+
+- ``/ground``, ``/extract`` and ``/solve`` queue through a
+  :class:`~repro.service.batcher.MicroBatcher` each: their backends have
+  true batch APIs (``ground_batch``/``extract_batch`` and the engine's
+  :class:`~repro.engine.BatchRunner`) whose throughput rides batch size.
+- ``/convert``, ``/compare`` and ``/dimension`` answer inline: their
+  backends are O(1) after the shared
+  :class:`~repro.engine.ConversionCache` warms, so queueing would add
+  latency and no throughput.
+
+Trained-model state warm-loads from the PR 3 artifact store at startup
+(:func:`repro.experiments.context.get_context`): a host that has trained
+the requested profile before -- or restored a CI cache -- boots in
+seconds instead of re-training, and ``/healthz`` reports which way it
+went.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from repro.dimension import DimensionError, DimensionLawViolation
+from repro.engine import EngineConfig, EvaluationEngine
+from repro.experiments.artifacts import set_default_store
+from repro.experiments.context import get_context, profile_named
+from repro.quantity.grounder import QuantityGrounder, grounder_for
+from repro.service.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
+from repro.service.metrics import MetricsRegistry
+from repro.service.schemas import (
+    BadRequest,
+    UnprocessableRequest,
+    encode_dimension,
+    encode_quantity,
+    encode_unit,
+    optional,
+    require,
+    require_string_list,
+    require_text,
+)
+from repro.service.solver import MWPSolver
+from repro.units import default_kb
+from repro.units.conversion import ConversionError
+from repro.units.schema import UnitRecord
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every serving knob in one frozen object."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: Micro-batch window: flush at this many queued requests ...
+    max_batch_size: int = 32
+    #: ... or this many seconds after the first queued request.
+    max_latency: float = 0.002
+    #: Bounded per-endpoint queue; beyond it requests get 429.
+    max_queue: int = 1024
+    #: Trained-context profile for /solve: "micro", "quick", "full",
+    #: or "off" (KB-backed endpoints only; /solve answers 503).
+    profile: str = "off"
+    seed: int = 0
+    #: Artifact-store override ("" keeps the process default).
+    artifact_dir: str = ""
+    #: Engine knobs for the completion memo / conversion cache.
+    engine_batch_size: int = 32
+    completion_cache_size: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.profile != "off":
+            profile_named(self.profile)  # validate eagerly
+
+
+class ServiceUnavailable(RuntimeError):
+    """An endpoint whose backend is not loaded (HTTP 503)."""
+
+
+#: Routes and their methods, the single source the HTTP layer reads.
+ENDPOINTS: dict[str, str] = {
+    "/healthz": "GET",
+    "/metrics": "GET",
+    "/ground": "POST",
+    "/extract": "POST",
+    "/convert": "POST",
+    "/compare": "POST",
+    "/dimension": "POST",
+    "/solve": "POST",
+}
+
+
+class DimensionService:
+    """All serving state plus the endpoint dispatch table."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.started_at = time.time()
+        self.metrics = MetricsRegistry()
+        self._describe_metrics()
+        self.kb = default_kb()
+        self.grounder: QuantityGrounder = grounder_for(self.kb)
+        self.engine = EvaluationEngine(EngineConfig(
+            batch_size=self.config.engine_batch_size,
+            completion_cache_size=self.config.completion_cache_size,
+        ))
+        self.solver: MWPSolver | None = None
+        self.warm_loaded: bool | None = None
+        if self.config.profile != "off":
+            self._load_solver()
+        self._batchers: dict[str, MicroBatcher] = {}
+        self._ground_batcher = self._make_batcher(
+            "ground", self.grounder.ground_batch
+        )
+        self._extract_batcher = self._make_batcher(
+            "extract", self.grounder.extract_batch
+        )
+        if self.solver is not None:
+            self._solve_batcher = self._make_batcher(
+                "solve", self.solver.solve_batch
+            )
+        else:
+            self._solve_batcher = None
+
+    # -- construction helpers ------------------------------------------------
+
+    def _make_batcher(self, name: str, fn) -> MicroBatcher:
+        batcher = MicroBatcher(
+            fn,
+            max_batch_size=self.config.max_batch_size,
+            max_latency=self.config.max_latency,
+            max_queue=self.config.max_queue,
+            name=name,
+            on_batch=self._record_batch,
+        )
+        self._batchers[name] = batcher
+        return batcher
+
+    def _record_batch(self, name: str, size: int) -> None:
+        self.metrics.inc("batches_total", endpoint=name)
+        self.metrics.inc("batched_requests_total", size, endpoint=name)
+
+    def _load_solver(self) -> None:
+        """Warm-load the trained context and wire the MWP solver.
+
+        ``get_context`` resolves store-first: when the artifact store
+        already holds this (profile, seed) context the boot takes
+        seconds; otherwise it cold-trains once and persists, so the
+        *next* boot is warm.
+        """
+        if self.config.artifact_dir:
+            set_default_store(self.config.artifact_dir)
+        profile = profile_named(self.config.profile)
+        cold_trains: list[bool] = []
+        context = get_context(
+            seed=self.config.seed, profile=profile,
+            on_cold_train=lambda: cold_trains.append(True),
+        )
+        self.warm_loaded = not cold_trains
+        lm = context.models.as_dimperc(
+            name=f"DimPerc-{self.config.profile}"
+        )
+        self.solver = MWPSolver(self.grounder, lm, self.engine.runner)
+
+    def _describe_metrics(self) -> None:
+        m = self.metrics
+        m.describe("requests_total",
+                   "Requests handled, labelled by endpoint and status.")
+        m.describe("batches_total",
+                   "Micro-batches executed per batched endpoint.")
+        m.describe("batched_requests_total",
+                   "Requests served through micro-batches (sum of batch "
+                   "sizes); divide by batches_total for mean batch size.")
+        m.describe("request_seconds_total",
+                   "Wall-clock seconds spent handling requests.")
+        m.describe("queue_depth",
+                   "Queued-but-unbatched requests per batched endpoint.")
+
+    # -- dispatch -------------------------------------------------------------
+
+    def dispatch(self, path: str, payload: dict | None) -> tuple[int, dict | str]:
+        """Route one parsed request; returns (status, body).
+
+        ``body`` is a dict (JSON-encoded by the transport) except for
+        ``/metrics``, which returns the Prometheus text exposition.
+        """
+        endpoint = path.rstrip("/") or "/"
+        handler = {
+            "/healthz": self.handle_healthz,
+            "/metrics": self.handle_metrics,
+            "/ground": self.handle_ground,
+            "/extract": self.handle_extract,
+            "/convert": self.handle_convert,
+            "/compare": self.handle_compare,
+            "/dimension": self.handle_dimension,
+            "/solve": self.handle_solve,
+        }.get(endpoint)
+        if handler is None:
+            return 404, {"error": f"unknown endpoint {path!r}",
+                         "endpoints": sorted(ENDPOINTS)}
+        started = time.perf_counter()
+        try:
+            body = handler(payload if payload is not None else {})
+            status = 200
+        except BadRequest as exc:
+            status, body = 400, {"error": str(exc)}
+        except UnprocessableRequest as exc:
+            status, body = 422, {"error": str(exc)}
+        except BatcherSaturated as exc:
+            status, body = 429, {"error": str(exc)}
+        except (BatcherClosed, ServiceUnavailable) as exc:
+            status, body = 503, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 -- a backend bug must
+            # still answer (and count): batch-fn errors fan out through
+            # futures and would otherwise drop the socket with no
+            # response and no requests_total sample.
+            status, body = 500, {
+                "error": f"internal error: {type(exc).__name__}: {exc}"
+            }
+        self.metrics.inc("requests_total",
+                         endpoint=endpoint, status=str(status))
+        self.metrics.inc("request_seconds_total",
+                         time.perf_counter() - started, endpoint=endpoint)
+        return status, body
+
+    # -- endpoint handlers ----------------------------------------------------
+
+    def handle_healthz(self, payload: dict) -> dict:
+        """Liveness/readiness: model state, KB size, batching knobs."""
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "endpoints": sorted(ENDPOINTS),
+            "kb_units": self.kb.statistics().num_units,
+            "model": {
+                "profile": self.config.profile,
+                "loaded": self.solver is not None,
+                "warm_loaded": self.warm_loaded,
+            },
+            "batching": {
+                "max_batch_size": self.config.max_batch_size,
+                "max_latency_seconds": self.config.max_latency,
+                "max_queue": self.config.max_queue,
+            },
+        }
+
+    def handle_metrics(self, payload: dict) -> str:
+        """The Prometheus text exposition (queue depths sampled now)."""
+        for name, batcher in self._batchers.items():
+            self.metrics.set_gauge("queue_depth", batcher.pending(),
+                                   endpoint=name)
+        stats = self.engine.conversion_cache.stats()
+        self.metrics.set_gauge("conversion_cache_hits", stats.hits)
+        self.metrics.set_gauge("conversion_cache_misses", stats.misses)
+        return self.metrics.render()
+
+    def handle_ground(self, payload: dict) -> dict:
+        """Grounded quantities of one text (micro-batched Definition 2)."""
+        text = require_text(payload)
+        quantities = self._ground_batcher(text)
+        return {"text": text,
+                "quantities": [encode_quantity(q) for q in quantities]}
+
+    def handle_extract(self, payload: dict) -> dict:
+        """Every extracted quantity, bare numbers included (micro-batched)."""
+        text = require_text(payload)
+        quantities = self._extract_batcher(text)
+        return {"text": text,
+                "quantities": [encode_quantity(q) for q in quantities]}
+
+    def handle_convert(self, payload: dict) -> dict:
+        """Affine-safe unit conversion through the shared cache pool."""
+        value = require(payload, "value", float)
+        source = self._link_unit(require_text(payload, "source"), "source")
+        target = self._link_unit(require_text(payload, "target"), "target")
+        try:
+            converted = self.engine.conversion_cache.convert(
+                float(value), source, target
+            )
+        except (DimensionLawViolation, ConversionError) as exc:
+            raise UnprocessableRequest(str(exc)) from exc
+        return {
+            "magnitude": converted,
+            "unit": target.symbol,
+            "source": encode_unit(source),
+            "target": encode_unit(target),
+        }
+
+    def handle_compare(self, payload: dict) -> dict:
+        """Rank comparable quantities by SI magnitude (422 otherwise)."""
+        items = require(payload, "quantities", list)
+        if len(items) < 2:
+            raise BadRequest("field 'quantities' needs at least two entries")
+        values, units = [], []
+        for index, item in enumerate(items):
+            values.append(float(require(item, "value", float)))
+            units.append(self._link_unit(
+                require_text(item, "unit"), f"quantities[{index}].unit"
+            ))
+        first = units[0].dimension
+        for unit in units[1:]:
+            if unit.dimension != first:
+                raise UnprocessableRequest(
+                    f"magnitudes of different dimensions are not "
+                    f"comparable: {units[0].symbol} vs {unit.symbol}"
+                )
+        si_values = [
+            unit.conversion_value * value + unit.conversion_offset
+            for value, unit in zip(values, units)
+        ]
+        ranking = sorted(range(len(si_values)),
+                         key=lambda i: si_values[i], reverse=True)
+        return {
+            "largest": ranking[0],
+            "smallest": ranking[-1],
+            "ranking": ranking,
+            "si_values": si_values,
+            "dimension": encode_dimension(first),
+        }
+
+    def handle_dimension(self, payload: dict) -> dict:
+        """Dimension vector of a mention or a ``mentions``/``ops`` expression."""
+        if "mention" in payload:
+            mentions = [require_text(payload, "mention")]
+            ops: list[str] = []
+        else:
+            mentions = require_string_list(payload, "mentions")
+            ops = optional(payload, "ops", list, [])
+            if len(ops) != max(len(mentions) - 1, 0):
+                raise BadRequest(
+                    "field 'ops' must hold one operator per mention pair "
+                    f"({len(mentions) - 1} expected, got {len(ops)})"
+                )
+            if not all(op in ("*", "/") for op in ops):
+                raise BadRequest("field 'ops' entries must be '*' or '/'")
+        context = optional(payload, "context", str, "")
+        try:
+            dimension = self.grounder.dimension_of_mentions(mentions, ops) \
+                if ops or len(mentions) > 1 else \
+                self.grounder.dimension_of_mention(mentions[0], context)
+        except KeyError as exc:
+            raise UnprocessableRequest(
+                exc.args[0] if exc.args else str(exc)
+            ) from exc
+        except DimensionError as exc:
+            raise UnprocessableRequest(str(exc)) from exc
+        return {
+            "mentions": mentions,
+            "ops": ops,
+            "dimension": encode_dimension(dimension),
+        }
+
+    def handle_solve(self, payload: dict) -> dict:
+        """Ground + decode + calculate one MWP (503 without a model)."""
+        if self._solve_batcher is None or self.solver is None:
+            raise ServiceUnavailable(
+                "no trained model loaded (boot with --profile "
+                "micro/quick/full to enable /solve)"
+            )
+        text = require_text(payload)
+        prepared = self.solver.prepare(text)
+        result = self._solve_batcher(prepared)
+        return {"text": text, **result.to_wire()}
+
+    # -- helpers --------------------------------------------------------------
+
+    def _link_unit(self, mention: str, field: str) -> UnitRecord:
+        unit = self.grounder.link_best(mention)
+        if unit is None:
+            raise UnprocessableRequest(
+                f"cannot link unit mention {mention!r} (field {field!r})"
+            )
+        return unit
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful shutdown: drain every batcher's queue, then stop."""
+        for batcher in self._batchers.values():
+            batcher.close()
+
+
+def encode_body(body: dict | str) -> tuple[bytes, str]:
+    """Serialize a handler body: (payload bytes, content type)."""
+    if isinstance(body, str):
+        return body.encode("utf-8"), "text/plain; version=0.0.4; charset=utf-8"
+    data = json.dumps(body, ensure_ascii=False, sort_keys=True)
+    return data.encode("utf-8"), "application/json; charset=utf-8"

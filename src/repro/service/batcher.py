@@ -1,0 +1,182 @@
+"""Dynamic micro-batching for the serving layer.
+
+Online traffic arrives one request at a time, but every hot path in this
+repo is batched: ``QuantityGrounder.ground_batch`` amortises the number
+scan across texts, and ``greedy_decode_batch`` (via the engine's
+:class:`~repro.engine.BatchRunner`) serves many MWP decodes from shared
+forward passes.  :class:`MicroBatcher` bridges the two worlds: concurrent
+requests queue per endpoint, a single worker thread coalesces them into
+one batch call under a max-latency / max-batch-size policy, and each
+caller gets its own result back through a future.
+
+The policy is the classic dynamic-batching trade-off:
+
+- the worker wakes as soon as one item is queued and then waits at most
+  ``max_latency`` seconds for companions, so an idle service answers a
+  lone request almost immediately;
+- a full window (``max_batch_size`` items) flushes early, so a saturated
+  service never waits on the clock;
+- the queue is bounded (``max_queue``): beyond it ``submit`` raises
+  :class:`BatcherSaturated`, which the HTTP layer maps to 429 --
+  backpressure instead of unbounded memory growth.
+
+Because exactly one worker thread executes the batch function, backends
+that are not thread-safe (the numpy transformer mutates activation
+buffers in place) are safe behind a batcher without any extra locking.
+Batch/sequential parity is the backend's contract: every batch API used
+by the service returns element-wise identical results to its
+one-at-a-time equivalent, so responses are byte-identical whatever the
+coalescing pattern (the service test suite asserts this).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+
+class BatcherSaturated(RuntimeError):
+    """The bounded request queue is full (HTTP layer answers 429)."""
+
+
+class BatcherClosed(RuntimeError):
+    """The batcher no longer accepts work (service is shutting down)."""
+
+
+class MicroBatcher:
+    """Coalesce concurrent single-item submissions into batch calls.
+
+    ``fn`` receives a list of queued items (oldest first, at most
+    ``max_batch_size``) and must return one result per item, in order.
+    ``max_batch_size=1`` degenerates to strictly sequential per-request
+    handling -- the benchmark's baseline mode.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[list], Sequence],
+        *,
+        max_batch_size: int = 32,
+        max_latency: float = 0.002,
+        max_queue: int = 1024,
+        name: str = "batch",
+        on_batch: Callable[[str, int], None] | None = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_latency < 0:
+            raise ValueError("max_latency must be non-negative")
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.fn = fn
+        self.max_batch_size = max_batch_size
+        self.max_latency = max_latency
+        self.max_queue = max_queue
+        self.name = name
+        self._on_batch = on_batch
+        self._queue: deque[tuple[object, Future]] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"micro-batcher-{name}", daemon=True
+        )
+        self._thread.start()
+
+    # -- producer side ------------------------------------------------------
+
+    def submit(self, item) -> Future:
+        """Queue one item; the future resolves to its batch result."""
+        future: Future = Future()
+        with self._wake:
+            if self._closed:
+                raise BatcherClosed(f"batcher {self.name!r} is closed")
+            if len(self._queue) >= self.max_queue:
+                raise BatcherSaturated(
+                    f"batcher {self.name!r} queue full "
+                    f"({self.max_queue} pending)"
+                )
+            self._queue.append((item, future))
+            self._wake.notify()
+        return future
+
+    def __call__(self, item):
+        """Submit and wait: the synchronous convenience used by handlers."""
+        return self.submit(item).result()
+
+    # -- shutdown -----------------------------------------------------------
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting work, drain everything queued, join the worker.
+
+        In-flight and already-queued requests still complete (graceful
+        shutdown); only *new* submissions fail with
+        :class:`BatcherClosed`.
+        """
+        with self._wake:
+            if self._closed:
+                self._wake.notify()
+            self._closed = True
+            self._wake.notify()
+        self._thread.join(timeout=timeout)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def pending(self) -> int:
+        """Number of queued-but-unbatched items (for /metrics)."""
+        with self._lock:
+            return len(self._queue)
+
+    # -- worker side --------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            items = [item for item, _ in batch]
+            try:
+                results = self.fn(items)
+                if len(results) != len(items):
+                    raise RuntimeError(
+                        f"batch fn returned {len(results)} results for "
+                        f"{len(items)} items"
+                    )
+            except BaseException as exc:  # noqa: BLE001 -- fan the error out
+                for _, future in batch:
+                    future.set_exception(exc)
+                continue
+            if self._on_batch is not None:
+                self._on_batch(self.name, len(items))
+            for (_, future), result in zip(batch, results):
+                future.set_result(result)
+
+    def _collect(self) -> list[tuple[object, Future]] | None:
+        """Block for work, apply the latency window, pop one batch.
+
+        Returns ``None`` exactly once: when the batcher is closed *and*
+        the queue is fully drained.
+        """
+        with self._wake:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._wake.wait()
+            deadline = time.monotonic() + self.max_latency
+            while (len(self._queue) < self.max_batch_size
+                   and not self._closed):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._wake.wait(timeout=remaining)
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), self.max_batch_size))
+            ]
+        return batch

@@ -1,0 +1,139 @@
+"""The stdlib HTTP transport for :class:`~repro.service.app.DimensionService`.
+
+One :class:`ThreadingHTTPServer` thread per connection parses JSON,
+delegates to ``service.dispatch`` and writes the (status, body) pair
+back.  Handler threads block on micro-batch futures, so the thread pool
+is where concurrent requests wait while the single batch worker drains
+the queue -- exactly the shape dynamic batching wants.
+
+The server owns graceful shutdown ordering: ``shutdown()`` first stops
+accepting connections, then drains every batcher queue
+(``service.close()``), so in-flight requests complete instead of dying
+with the socket.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.app import ENDPOINTS, DimensionService, encode_body
+
+#: Cap request bodies well above any sane problem text; beyond it we
+#: refuse early instead of buffering unbounded input per thread.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Route GET/POST requests into the service dispatch table."""
+
+    #: Quiet by default; the CLI flips this on with ``--verbose``.
+    log_requests = False
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def service(self) -> DimensionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.log_requests:
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, body, close: bool = False) -> None:
+        payload, content_type = encode_body(body)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        if close:
+            # announces it to the client and sets self.close_connection
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _refuse(self, status: int, body: dict) -> None:
+        """Answer an early error *before* the body was consumed.
+
+        Unread body bytes would be parsed as the next request line on a
+        keep-alive connection (a 405'd POST desyncs every later request
+        on that socket), so these responses always close the connection.
+        """
+        self._respond(status, body, close=True)
+
+    def _check_method(self, method: str) -> bool:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        expected = ENDPOINTS.get(path)
+        if expected is not None and expected != method:
+            self._refuse(405, {
+                "error": f"{path} expects {expected}, got {method}"
+            })
+            return False
+        return True
+
+    # -- verbs --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 -- http.server naming
+        """Serve the GET endpoints (/healthz, /metrics)."""
+        if not self._check_method("GET"):
+            return
+        path = self.path.split("?", 1)[0]
+        status, body = self.service.dispatch(path, None)
+        self._respond(status, body)
+
+    def do_POST(self) -> None:  # noqa: N802 -- http.server naming
+        """Parse a JSON body and dispatch a POST endpoint."""
+        if not self._check_method("POST"):
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._refuse(411, {"error": "invalid Content-Length"})
+            return
+        if length < 0:
+            # rfile.read(-N) would block on EOF that never comes on a
+            # keep-alive socket, pinning this handler thread forever.
+            self._refuse(400, {"error": "negative Content-Length"})
+            return
+        if length > MAX_BODY_BYTES:
+            self._refuse(413, {
+                "error": f"request body exceeds {MAX_BODY_BYTES} bytes"
+            })
+            return
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._respond(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        if not isinstance(payload, dict):
+            self._respond(400, {"error": "request body must be a JSON object"})
+            return
+        path = self.path.split("?", 1)[0]
+        status, body = self.service.dispatch(path, payload)
+        self._respond(status, body)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the service and drains on stop."""
+
+    daemon_threads = True
+    #: http.server's default accept backlog of 5 resets connections the
+    #: moment a client pool bursts; size it for real concurrent load.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], service: DimensionService):
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+    def shutdown(self) -> None:
+        """Stop the accept loop, then drain the micro-batch queues."""
+        super().shutdown()
+        self.service.close()
+
+
+def build_server(service: DimensionService) -> ServiceServer:
+    """Bind the configured host/port (port 0 picks a free one)."""
+    return ServiceServer(
+        (service.config.host, service.config.port), service
+    )

@@ -1,0 +1,97 @@
+"""Thread-safe service counters with a Prometheus text rendering.
+
+A deliberately small registry: labelled monotonic counters plus
+point-in-time gauges, enough for ``/metrics`` to answer the questions an
+operator actually asks of this service (request rates per endpoint and
+status, micro-batch coalescing efficiency, request latency totals)
+without pulling in a client library the container doesn't have.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+#: Prefix every exported sample so scrapes can't collide with other jobs.
+_NAMESPACE = "repro_service"
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+class MetricsRegistry:
+    """Labelled counters/gauges behind one lock, rendered on demand."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[tuple[tuple[str, str], ...], float]] = (
+            defaultdict(dict)
+        )
+        self._gauges: dict[str, dict[tuple[tuple[str, str], ...], float]] = (
+            defaultdict(dict)
+        )
+        self._help: dict[str, str] = {}
+
+    # -- write side ---------------------------------------------------------
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a HELP line to a metric name."""
+        with self._lock:
+            self._help[name] = help_text
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` to a labelled counter (created at 0)."""
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            series = self._counters[name]
+            series[key] = series.get(key, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a labelled gauge to ``value``."""
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            self._gauges[name][key] = value
+
+    # -- read side ----------------------------------------------------------
+
+    def value(self, name: str, **labels: str) -> float:
+        """Current value of one counter/gauge series (0.0 if unset)."""
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            if name in self._counters and key in self._counters[name]:
+                return self._counters[name][key]
+            return self._gauges.get(name, {}).get(key, 0.0)
+
+    def snapshot(self) -> dict:
+        """Every series as nested plain dicts (the JSON rendering)."""
+        with self._lock:
+            out: dict = {}
+            for kind in (self._counters, self._gauges):
+                for name, series in kind.items():
+                    rendered = out.setdefault(f"{_NAMESPACE}_{name}", {})
+                    for labels, value in series.items():
+                        label_key = _render_labels(labels) or "total"
+                        rendered[label_key] = value
+            return out
+
+    def render(self) -> str:
+        """The Prometheus text-format exposition."""
+        lines: list[str] = []
+        with self._lock:
+            names = sorted(set(self._counters) | set(self._gauges))
+            for name in names:
+                full = f"{_NAMESPACE}_{name}"
+                if name in self._help:
+                    lines.append(f"# HELP {full} {self._help[name]}")
+                kind = "counter" if name in self._counters else "gauge"
+                lines.append(f"# TYPE {full} {kind}")
+                series = {**self._gauges.get(name, {}),
+                          **self._counters.get(name, {})}
+                for labels in sorted(series):
+                    value = series[labels]
+                    lines.append(f"{full}{_render_labels(labels)} {value:g}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,119 @@
+"""The /solve backend: free text -> slots -> trained decode -> answer.
+
+Offline MWP evaluation starts from gold problems whose slot map is part
+of the dataset.  A serving request is just text, so the solver grounds
+the problem itself: the shared :class:`~repro.quantity.QuantityGrounder`
+locates every numeric literal (and its unit, when one follows), the
+literals become equation slots ``N1..Nk`` in reading order, and the
+slotted prompt goes through the *same* tokenisation as training
+(:func:`repro.core.encoding.slotted_prompt`).  Decoding rides the
+evaluation engine's :class:`~repro.engine.BatchRunner` -- micro-batched
+requests share forward passes via ``generate_batch`` and repeat prompts
+hit the completion memo -- and the predicted equation is executed with
+the repo's safe calculator over the extracted slot values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.encoding import equation_from_output, slotted_prompt
+from repro.engine.runner import BatchRunner
+from repro.llm.interface import TransformerLM
+from repro.mwp.equation import EquationError, evaluate_equation
+from repro.quantity.grounder import QuantityGrounder
+from repro.service.schemas import UnprocessableRequest, encode_quantity
+from repro.text.extraction import ExtractedQuantity
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """One solved problem: the decoded equation and its evaluation."""
+
+    equation: str
+    answer: float | None
+    quantities: tuple[ExtractedQuantity, ...]
+    prompt: str
+
+    def to_wire(self) -> dict:
+        """The JSON-shaped response body for this result."""
+        return {
+            "equation": self.equation,
+            "answer": self.answer,
+            "quantities": [encode_quantity(q) for q in self.quantities],
+            "prompt": self.prompt,
+        }
+
+
+def slot_text(text: str, quantities: list[ExtractedQuantity]) -> str:
+    """Replace each numeric literal with its space-delimited slot marker.
+
+    Unit mentions stay in place (they are the signal dimension-aware
+    augmentation trains on); only the value span ``[start, start +
+    len(value_text))`` is substituted, exactly where extraction found it.
+    """
+    pieces: list[str] = []
+    cursor = 0
+    for slot, quantity in enumerate(quantities, start=1):
+        value_end = quantity.start + len(quantity.value_text)
+        pieces.append(text[cursor:quantity.start])
+        pieces.append(f" N{slot} ")
+        cursor = value_end
+    pieces.append(text[cursor:])
+    return "".join(pieces)
+
+
+class MWPSolver:
+    """Ground + decode + calculate for a batch of problem texts."""
+
+    def __init__(
+        self,
+        grounder: QuantityGrounder,
+        lm: TransformerLM,
+        runner: BatchRunner,
+    ):
+        self.grounder = grounder
+        self.lm = lm
+        self.runner = runner
+
+    def prepare(self, text: str) -> tuple[str, tuple[ExtractedQuantity, ...]]:
+        """The slotted prompt and the slot quantities for one text.
+
+        Called in the submitting thread, *before* the request enters the
+        micro-batch queue: a problem with no extractable quantities
+        fails alone (422) instead of poisoning its batch companions.
+        """
+        quantities = tuple(self.grounder.extract(text))
+        if not quantities:
+            raise UnprocessableRequest(
+                "no numeric quantities found in problem text"
+            )
+        return slotted_prompt(slot_text(text, list(quantities))), quantities
+
+    def solve_batch(
+        self, prepared: list[tuple[str, tuple[ExtractedQuantity, ...]]]
+    ) -> list[SolveResult]:
+        """Solve prepared (prompt, quantities) pairs through one batched
+        runner call; the single batch-worker thread is the only place the
+        shared transformer runs, so no model locking is needed."""
+        outputs = self.runner.generate_all(
+            self.lm, [prompt for prompt, _ in prepared]
+        )
+        results = []
+        for (prompt, quantities), output in zip(prepared, outputs):
+            equation = equation_from_output(output)
+            try:
+                answer = evaluate_equation(
+                    equation, [quantity.value for quantity in quantities]
+                )
+            except EquationError:
+                answer = None
+            results.append(SolveResult(
+                equation=equation, answer=answer,
+                quantities=quantities, prompt=prompt,
+            ))
+        return results
+
+    def solve_texts(self, texts: list[str]) -> list[SolveResult]:
+        """Prepare + solve in one call (tests and offline callers)."""
+        return self.solve_batch([self.prepare(text) for text in texts])

@@ -8,6 +8,7 @@ aggregation (Fig. 4), and the Table IV statistics summary.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -59,6 +60,10 @@ class DimUnitKB:
         self._by_surface: dict[str, list[UnitRecord]] = {}
         self._naming_dictionary: dict[str, tuple[str, ...]] | None = None
         self._surface_matcher: SurfaceTrie | None = None
+        # Guards first-call builds of the two lazy memos above: the KB
+        # is immutable, so concurrent readers only ever race the build
+        # itself, and one lock makes that a single shared structure.
+        self._memo_lock = threading.Lock()
         for record in self._records.values():
             for kind_name in record.quantity_kinds:
                 if kind_name not in self._kinds:
@@ -170,7 +175,9 @@ class DimUnitKB:
             # import repro.units back, so a top-level import would cycle.
             from repro.quantity.trie import SurfaceTrie
 
-            self._surface_matcher = SurfaceTrie(self._by_surface)
+            with self._memo_lock:
+                if self._surface_matcher is None:
+                    self._surface_matcher = SurfaceTrie(self._by_surface)
         return self._surface_matcher
 
     def naming_dictionary(self) -> dict[str, tuple[str, ...]]:
@@ -181,10 +188,12 @@ class DimUnitKB:
         ``strip().casefold()`` normalisation as :meth:`find_by_surface`.
         """
         if self._naming_dictionary is None:
-            self._naming_dictionary = {
-                form: tuple(record.unit_id for record in records)
-                for form, records in self._by_surface.items()
-            }
+            with self._memo_lock:
+                if self._naming_dictionary is None:
+                    self._naming_dictionary = {
+                        form: tuple(record.unit_id for record in records)
+                        for form, records in self._by_surface.items()
+                    }
         return self._naming_dictionary
 
     # -- frequency views (Fig. 3 / Fig. 4) -------------------------------------------

@@ -19,19 +19,11 @@ from repro.experiments.artifacts import (
     reset_default_store,
     set_default_store,
 )
-from repro.experiments.context import ScaleProfile
+from repro.experiments.context import MICRO
 from repro.experiments.manifest import write_manifest
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.scheduler import ExperimentRecord, run_experiments
 from repro.experiments.spec import SPECS, get_spec, light_ids, resolve
-
-MICRO = ScaleProfile(
-    train_per_task=8, eval_per_task=5, instruction_examples=30,
-    instruction_steps=6, dimeval_steps=10, pool_size=60,
-    d_model=32, d_ff=64, batch_size=8,
-    mwp_train_count=12, mwp_eval_count=6, mwp_steps=8,
-    curve_steps=6, curve_checkpoints=2,
-)
 
 #: A light, deterministic subset for scheduler parity runs.
 PARITY_SET = ("table3", "table4", "fig3", "fig4")
@@ -220,6 +212,130 @@ class TestArtifactStore:
         finally:
             reset_default_store()
 
+    def test_code_fingerprint_is_part_of_the_key(self, monkeypatch):
+        import repro.experiments.artifacts as artifacts_module
+
+        config = context_module.config_for(MICRO, 0, False)
+        base = context_key(MICRO, 0, False, config)
+        monkeypatch.setattr(artifacts_module, "code_fingerprint",
+                            lambda: "an edited trainer")
+        assert context_key(MICRO, 0, False, config) != base
+
+    def test_code_change_invalidates_persisted_context(
+        self, micro, monkeypatch
+    ):
+        import repro.experiments.artifacts as artifacts_module
+
+        context_module.get_context(quick=True, seed=3, store=micro)
+        kb = context_module.default_kb()
+        config = context_module.config_for(MICRO, 3, False)
+        assert micro.load_context(kb, config, MICRO, 3, False) is not None
+        # The same store after a training-code edit: a clean miss (the
+        # old checkpoints were trained by different code), not a stale
+        # hit and not an error.
+        monkeypatch.setattr(artifacts_module, "code_fingerprint",
+                            lambda: "an edited trainer")
+        assert micro.load_context(kb, config, MICRO, 3, False) is None
+
+
+class TestArtifactPrune:
+    def _fake_context(self, root, name: str, *, age_days: float,
+                      size: int = 1000) -> None:
+        directory = root / f"ctx-plain-seed0-{name}"
+        directory.mkdir(parents=True)
+        (directory / "meta.json").write_text("{}", encoding="utf-8")
+        (directory / "dimperc.npz").write_bytes(b"x" * size)
+        import os
+        import time as time_module
+        stamp = time_module.time() - age_days * 86400
+        os.utime(directory / "meta.json", (stamp, stamp))
+
+    def test_entries_sort_least_recently_used_first(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._fake_context(tmp_path, "aaa", age_days=1)
+        self._fake_context(tmp_path, "bbb", age_days=30)
+        self._fake_context(tmp_path, "ccc", age_days=5)
+        names = [entry.path.name for entry in store.entries()]
+        assert [n.rsplit("-", 1)[1] for n in names] == ["bbb", "ccc", "aaa"]
+
+    def test_prune_by_age(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._fake_context(tmp_path, "old", age_days=30)
+        self._fake_context(tmp_path, "new", age_days=1)
+        report = store.prune(max_age_days=7)
+        assert [e.path.name for e in report.removed] \
+            == ["ctx-plain-seed0-old"]
+        assert not (tmp_path / "ctx-plain-seed0-old").exists()
+        assert (tmp_path / "ctx-plain-seed0-new").exists()
+
+    def test_prune_by_size_budget_evicts_lru_first(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._fake_context(tmp_path, "old", age_days=20, size=600)
+        self._fake_context(tmp_path, "mid", age_days=10, size=600)
+        self._fake_context(tmp_path, "new", age_days=1, size=600)
+        report = store.prune(max_total_bytes=1300)
+        assert [e.path.name for e in report.removed] \
+            == ["ctx-plain-seed0-old"]
+        assert report.kept_bytes <= 1300
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._fake_context(tmp_path, "old", age_days=30)
+        report = store.prune(max_age_days=7, dry_run=True)
+        assert report.dry_run and len(report.removed) == 1
+        assert (tmp_path / "ctx-plain-seed0-old").exists()
+
+    def test_prune_sweeps_stale_staging_dirs(self, tmp_path):
+        import os
+        import time as time_module
+
+        store = ArtifactStore(tmp_path)
+        staging = tmp_path / ".tmp-ctx-plain-seed0-crashed"
+        staging.mkdir(parents=True)
+        stamp = time_module.time() - 7200
+        os.utime(staging, (stamp, stamp))
+        report = store.prune(max_age_days=9999)
+        assert report.staging_swept == (staging,)
+        assert not staging.exists()
+
+    def test_loads_refresh_recency(self, micro):
+        context_module.get_context(quick=True, seed=3, store=micro)
+        (entry,) = micro.entries()
+        import os
+        stamp = entry.used_at - 40 * 86400
+        os.utime(entry.path / "meta.json", (stamp, stamp))
+        kb = context_module.default_kb()
+        config = context_module.config_for(MICRO, 3, False)
+        assert micro.load_context(kb, config, MICRO, 3, False) is not None
+        (refreshed,) = micro.entries()
+        # the warm load touched meta.json: the context is MRU again
+        assert refreshed.used_at > stamp + 86400
+
+    def test_parse_size_suffixes(self):
+        from repro.experiments.artifacts import parse_size
+
+        assert parse_size("1024") == 1024
+        assert parse_size("2K") == 2048
+        assert parse_size("1.5M") == int(1.5 * (1 << 20))
+        assert parse_size("2GB") == 2 << 30
+
+    def test_cli_list_and_prune(self, tmp_path, capsys):
+        from repro.experiments.artifacts import main
+
+        self._fake_context(tmp_path, "old", age_days=30)
+        self._fake_context(tmp_path, "new", age_days=1)
+        assert main(["--store", str(tmp_path), "list"]) == 0
+        assert "2 contexts" in capsys.readouterr().out
+        assert main(["--store", str(tmp_path), "prune",
+                     "--max-age-days", "7", "--dry-run"]) == 0
+        assert "would remove 1 context" in capsys.readouterr().out
+        assert main(["--store", str(tmp_path), "prune",
+                     "--max-age-days", "7"]) == 0
+        assert "removed 1 context" in capsys.readouterr().out
+        assert not (tmp_path / "ctx-plain-seed0-old").exists()
+        # prune without a policy is a usage error
+        assert main(["--store", str(tmp_path), "prune"]) == 2
+
 
 class TestScheduler:
     def test_parallel_matches_sequential(self):
@@ -312,7 +428,7 @@ class TestScheduler:
             assert started.wait(timeout=30)
             # ...while a cache hit for the first key returns immediately.
             hit = context_module.get_context(quick=True, seed=3, store=micro)
-            assert hit is context_module._CACHE[(True, 3, False)]
+            assert hit is context_module._CACHE[(MICRO, 3, False)]
         finally:
             release.set()
             cold.join(timeout=60)

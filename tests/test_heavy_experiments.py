@@ -9,16 +9,7 @@ import pytest
 import repro.experiments.artifacts as artifacts_module
 import repro.experiments.context as context_module
 from repro.experiments import fig6, fig7, table7, table8, table9
-from repro.experiments.context import ScaleProfile
-
-
-MICRO = ScaleProfile(
-    train_per_task=8, eval_per_task=5, instruction_examples=30,
-    instruction_steps=6, dimeval_steps=10, pool_size=60,
-    d_model=32, d_ff=64, batch_size=8,
-    mwp_train_count=12, mwp_eval_count=6, mwp_steps=8,
-    curve_steps=6, curve_checkpoints=2,
-)
+from repro.experiments.context import MICRO
 
 
 @pytest.fixture(scope="module", autouse=True)

@@ -1,0 +1,645 @@
+"""Tests for the online serving layer (repro.service).
+
+Covers the dynamic micro-batcher's policy corners (parity, latency
+flush, backpressure, graceful drain), every endpoint end-to-end over a
+real HTTP socket, thread-safety of the shared caches the service leans
+on, and the trained-context warm boot from the artifact store.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.experiments.artifacts as artifacts_module
+import repro.experiments.context as context_module
+from repro.engine import (
+    ConversionCache,
+    LRUCache,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.experiments.context import MICRO
+from repro.quantity.grounder import grounder_for
+from repro.service import (
+    BatcherClosed,
+    BatcherSaturated,
+    DimensionService,
+    MicroBatcher,
+    ServiceConfig,
+    build_server,
+)
+from repro.units import default_kb
+
+
+# -- HTTP plumbing -----------------------------------------------------------
+
+
+class Client:
+    """A tiny urllib client bound to one test server."""
+
+    def __init__(self, server):
+        host, port = server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+
+    def request(self, path: str, body: dict | None = None):
+        """(status, parsed json | text) for one request."""
+        if body is None:
+            req = urllib.request.Request(self.base + path)
+        else:
+            req = urllib.request.Request(
+                self.base + path,
+                data=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as response:
+                raw = response.read()
+                status = response.status
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            status = error.code
+        try:
+            return status, json.loads(raw)
+        except json.JSONDecodeError:
+            return status, raw.decode("utf-8")
+
+    def raw_post(self, path: str, data: bytes):
+        req = urllib.request.Request(self.base + path, data=data)
+        try:
+            with urllib.request.urlopen(req, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+
+def serve(service: DimensionService):
+    """Start a server thread for a service; returns (server, client)."""
+    server = build_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, Client(server)
+
+
+@pytest.fixture(scope="module")
+def kb_service():
+    """One KB-only service (no trained model) shared by endpoint tests."""
+    service = DimensionService(ServiceConfig(port=0))
+    server, client = serve(service)
+    yield service, client
+    server.shutdown()
+    server.server_close()
+
+
+# -- the micro-batcher --------------------------------------------------------
+
+
+class TestMicroBatcher:
+    def test_results_match_inputs_in_order(self):
+        batcher = MicroBatcher(lambda items: [i * 2 for i in items],
+                               max_batch_size=4, max_latency=0.005)
+        try:
+            futures = [batcher.submit(i) for i in range(20)]
+            assert [f.result(timeout=5) for f in futures] \
+                == [i * 2 for i in range(20)]
+        finally:
+            batcher.close()
+
+    def test_batch_and_sequential_handling_are_identical(self):
+        inputs = list(range(50))
+        outcomes = {}
+        for size in (1, 16):
+            batcher = MicroBatcher(lambda items: [i * i for i in items],
+                                   max_batch_size=size, max_latency=0.002)
+            try:
+                futures = [batcher.submit(i) for i in inputs]
+                outcomes[size] = [f.result(timeout=5) for f in futures]
+            finally:
+                batcher.close()
+        assert outcomes[1] == outcomes[16]
+
+    def test_single_request_flushes_at_max_latency(self):
+        batcher = MicroBatcher(lambda items: items,
+                               max_batch_size=64, max_latency=0.02)
+        try:
+            started = time.perf_counter()
+            assert batcher.submit("x").result(timeout=5) == "x"
+            elapsed = time.perf_counter() - started
+            # One lone request must not wait for a full batch; it is
+            # released by the latency clock (+ generous scheduling slack).
+            assert elapsed < 1.0
+        finally:
+            batcher.close()
+
+    def test_requests_coalesce_while_worker_is_busy(self):
+        release = threading.Event()
+        sizes = []
+
+        def record(items):
+            sizes.append(len(items))
+            release.wait(timeout=10)
+            return items
+
+        batcher = MicroBatcher(record, max_batch_size=32, max_latency=0.001)
+        try:
+            first = batcher.submit(0)
+            while not sizes:  # worker holds batch #1
+                time.sleep(0.001)
+            later = [batcher.submit(i) for i in range(1, 9)]
+            release.set()
+            assert first.result(timeout=5) == 0
+            assert [f.result(timeout=5) for f in later] == list(range(1, 9))
+            # everything queued while the worker was busy became one batch
+            assert sizes == [1, 8]
+        finally:
+            batcher.close()
+
+    def test_full_queue_raises_saturated(self):
+        release = threading.Event()
+        batcher = MicroBatcher(
+            lambda items: (release.wait(timeout=10), items)[1],
+            max_batch_size=1, max_latency=0.0, max_queue=2,
+        )
+        try:
+            first = batcher.submit("busy")  # worker picks this up
+            while batcher.pending():
+                time.sleep(0.001)
+            queued = [batcher.submit(i) for i in range(2)]  # fills queue
+            with pytest.raises(BatcherSaturated):
+                batcher.submit("overflow")
+            release.set()
+            first.result(timeout=5)
+            for future in queued:
+                future.result(timeout=5)
+        finally:
+            batcher.close()
+
+    def test_close_drains_queued_requests(self):
+        slow = threading.Event()
+
+        def fn(items):
+            slow.wait(timeout=10)
+            return [i + 100 for i in items]
+
+        batcher = MicroBatcher(fn, max_batch_size=2, max_latency=0.0)
+        futures = [batcher.submit(i) for i in range(7)]
+        closer = threading.Thread(target=batcher.close)
+        closer.start()
+        slow.set()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+        # graceful shutdown: everything already queued still completed
+        assert [f.result(timeout=1) for f in futures] \
+            == [i + 100 for i in range(7)]
+        with pytest.raises(BatcherClosed):
+            batcher.submit("late")
+
+    def test_batch_error_fans_out_and_worker_survives(self):
+        def fn(items):
+            if "bad" in items:
+                raise ValueError("poisoned batch")
+            return items
+
+        batcher = MicroBatcher(fn, max_batch_size=1, max_latency=0.0)
+        try:
+            with pytest.raises(ValueError, match="poisoned"):
+                batcher.submit("bad").result(timeout=5)
+            assert batcher.submit("good").result(timeout=5) == "good"
+        finally:
+            batcher.close()
+
+    def test_length_mismatch_is_an_error(self):
+        batcher = MicroBatcher(lambda items: [], max_batch_size=1,
+                               max_latency=0.0)
+        try:
+            with pytest.raises(RuntimeError, match="0 results"):
+                batcher.submit("x").result(timeout=5)
+        finally:
+            batcher.close()
+
+
+# -- KB-backed endpoints over HTTP -------------------------------------------
+
+
+class TestEndpoints:
+    def test_healthz(self, kb_service):
+        _, client = kb_service
+        status, body = client.request("/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["model"] == {"profile": "off", "loaded": False,
+                                 "warm_loaded": None}
+        assert "/solve" in body["endpoints"]
+        assert body["kb_units"] > 1000
+
+    def test_ground(self, kb_service):
+        _, client = kb_service
+        status, body = client.request(
+            "/ground", {"text": "货车以9.9m/s的速度行驶了3 h"}
+        )
+        assert status == 200
+        magnitudes = [q["magnitude"] for q in body["quantities"]]
+        assert magnitudes == [9.9, 3.0]
+        hour = body["quantities"][1]
+        assert hour["unit"] == "h"
+        assert hour["record"]["si_factor"] == 3600.0
+        assert hour["record"]["dimension"]["formula"] == "T"
+
+    def test_extract_keeps_bare_numbers(self, kb_service):
+        _, client = kb_service
+        status, body = client.request(
+            "/extract", {"text": "花了 25 元买了 3 个苹果"}
+        )
+        assert status == 200
+        assert any(not q["grounded"] for q in body["quantities"])
+
+    def test_convert(self, kb_service):
+        _, client = kb_service
+        status, body = client.request(
+            "/convert", {"value": 2.06, "source": "m", "target": "cm"}
+        )
+        assert status == 200
+        assert body["magnitude"] == pytest.approx(206.0)
+        assert body["unit"] == "cm"
+        assert body["source"]["id"] == "M"
+
+    def test_convert_affine(self, kb_service):
+        _, client = kb_service
+        status, body = client.request(
+            "/convert",
+            {"value": 100, "source": "摄氏度", "target": "K"},
+        )
+        assert status == 200
+        assert body["magnitude"] == pytest.approx(373.15)
+
+    def test_convert_incomparable_is_422(self, kb_service):
+        _, client = kb_service
+        status, body = client.request(
+            "/convert", {"value": 1, "source": "kg", "target": "m"}
+        )
+        assert status == 422
+        assert "dimension" in body["error"]
+
+    def test_compare(self, kb_service):
+        _, client = kb_service
+        status, body = client.request("/compare", {"quantities": [
+            {"value": 1, "unit": "km"},
+            {"value": 5000, "unit": "m"},
+            {"value": 2, "unit": "mile"},
+        ]})
+        assert status == 200
+        assert body["largest"] == 1
+        assert body["ranking"][0] == 1
+        assert body["dimension"]["formula"] == "L"
+
+    def test_compare_mixed_dimensions_is_422(self, kb_service):
+        _, client = kb_service
+        status, _ = client.request("/compare", {"quantities": [
+            {"value": 1, "unit": "km"}, {"value": 1, "unit": "kg"},
+        ]})
+        assert status == 422
+
+    def test_dimension_expression(self, kb_service):
+        _, client = kb_service
+        status, body = client.request(
+            "/dimension", {"mentions": ["km", "h"], "ops": ["/"]}
+        )
+        assert status == 200
+        assert body["dimension"]["formula"] == "LT-1"
+        assert body["dimension"]["si"] == "m/s"
+
+    def test_dimension_single_mention(self, kb_service):
+        _, client = kb_service
+        status, body = client.request("/dimension", {"mention": "N"})
+        assert status == 200
+        assert body["dimension"]["formula"] == "LMT-2"
+
+    def test_dimension_unlinkable_is_422(self, kb_service):
+        _, client = kb_service
+        status, _ = client.request(
+            "/dimension", {"mention": "zzzzqqqq"}
+        )
+        assert status == 422
+
+    def test_solve_unavailable_without_model(self, kb_service):
+        _, client = kb_service
+        status, body = client.request("/solve", {"text": "3 个苹果"})
+        assert status == 503
+        assert "--profile" in body["error"]
+
+    def test_missing_field_is_400(self, kb_service):
+        _, client = kb_service
+        status, body = client.request("/ground", {})
+        assert status == 400
+        assert "text" in body["error"]
+
+    def test_invalid_json_is_400(self, kb_service):
+        _, client = kb_service
+        status, body = client.raw_post("/ground", b"{not json")
+        assert status == 400
+        assert "invalid JSON" in body["error"]
+
+    def test_unknown_route_is_404(self, kb_service):
+        _, client = kb_service
+        status, body = client.request("/nope", {})
+        assert status == 404
+        assert "/ground" in body["endpoints"]
+
+    def test_wrong_method_is_405(self, kb_service):
+        _, client = kb_service
+        status, _ = client.request("/ground")  # GET on a POST route
+        assert status == 405
+
+    def test_negative_content_length_is_400_not_a_hang(self, kb_service):
+        """A negative Content-Length must not block the handler thread
+        on rfile.read(-N) waiting for an EOF that never comes."""
+        import http.client
+
+        _, client = kb_service
+        host, port = client.base.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=5)
+        try:
+            conn.putrequest("POST", "/ground", skip_host=False)
+            conn.putheader("Content-Length", "-1")
+            conn.endheaders()
+            response = conn.getresponse()  # raises on the old hang
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_early_errors_close_the_connection(self, kb_service):
+        """405 answers before the body is read; the connection must be
+        closed, or the unread body desyncs the next keep-alive request."""
+        import http.client
+
+        _, client = kb_service
+        host, port = client.base.removeprefix("http://").split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=5)
+        try:
+            body = json.dumps({"text": "abc"}).encode("utf-8")
+            conn.request("POST", "/healthz", body=body)
+            response = conn.getresponse()
+            assert response.status == 405
+            assert response.headers.get("Connection") == "close"
+            response.read()
+        finally:
+            conn.close()
+
+    def test_backend_error_is_a_500_and_counted(self, monkeypatch):
+        """Batch-fn exceptions fan out through futures; dispatch must
+        turn them into a 500 body and still count the request."""
+        service = DimensionService(ServiceConfig(port=0))
+        try:
+            # patch the batcher's fn (the grounder instance is shared
+            # process-wide; its bound method was captured at wiring)
+            monkeypatch.setattr(
+                service._ground_batcher, "fn",
+                lambda texts: 1 / 0,
+            )
+            status, body = service.dispatch("/ground", {"text": "1 km"})
+            assert status == 500
+            assert "ZeroDivisionError" in body["error"]
+            assert service.metrics.value(
+                "requests_total", endpoint="/ground", status="500"
+            ) == 1
+        finally:
+            service.close()
+
+    def test_metrics_counters_move(self, kb_service):
+        service, client = kb_service
+        before = service.metrics.value(
+            "requests_total", endpoint="/ground", status="200"
+        )
+        client.request("/ground", {"text": "1 km"})
+        status, text = client.request("/metrics")
+        assert status == 200
+        assert "# TYPE repro_service_requests_total counter" in text
+        after = service.metrics.value(
+            "requests_total", endpoint="/ground", status="200"
+        )
+        assert after == before + 1
+        assert service.metrics.value(
+            "batches_total", endpoint="ground"
+        ) >= 1
+
+    def test_concurrent_load_is_coalesced_and_identical(self):
+        """Same traffic, batch=1 vs batch=32: byte-identical bodies."""
+        texts = [
+            f"货车以{9 + i}.5m/s的速度行驶了{i} h，油箱剩{i * 3}升"
+            for i in range(24)
+        ]
+
+        def collect(size):
+            service = DimensionService(ServiceConfig(
+                port=0, max_batch_size=size, max_latency=0.005,
+            ))
+            server, client = serve(service)
+            try:
+                with ThreadPoolExecutor(max_workers=12) as pool:
+                    bodies = list(pool.map(
+                        lambda t: client.request("/ground", {"text": t}),
+                        texts,
+                    ))
+                return service, bodies
+            finally:
+                server.shutdown()
+                server.server_close()
+
+        _, sequential = collect(1)
+        batched_service, batched = collect(32)
+        assert batched == sequential
+        batches = batched_service.metrics.value(
+            "batches_total", endpoint="ground"
+        )
+        served = batched_service.metrics.value(
+            "batched_requests_total", endpoint="ground"
+        )
+        assert served == len(texts)
+        # the whole point: fewer batch calls than requests
+        assert batches < len(texts)
+
+
+# -- shared-cache thread safety ----------------------------------------------
+
+
+class TestConcurrencySafety:
+    def test_lru_cache_survives_a_hammering_pool(self):
+        cache = LRUCache(64)
+        ops_per_thread = 2000
+
+        def hammer(worker: int):
+            for i in range(ops_per_thread):
+                key = (worker * 7 + i) % 96
+                if cache.get(key) is None:
+                    cache.put(key, key * 2)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        stats = cache.stats()
+        # no lost updates: every get was counted exactly once
+        assert stats.hits + stats.misses == 8 * ops_per_thread
+        assert len(cache) <= 64
+
+    def test_conversion_cache_concurrent_converts_agree(self):
+        kb = default_kb()
+        cache = ConversionCache(maxsize=128)
+        metre, centi = kb.get("M"), kb.get("CentiM")
+        kilo, hour = kb.get("KiloM"), kb.get("HR")
+        pairs = [(metre, centi), (kilo, metre), (hour, kb.get("SEC"))]
+        results = []
+
+        def convert_all(_):
+            out = []
+            for source, target in pairs:
+                out.append(cache.convert(3.5, source, target))
+            return out
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(convert_all, range(32)))
+        assert all(row == results[0] for row in results)
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 32 * len(pairs)
+
+    def test_default_engine_is_a_single_instance_under_races(self):
+        set_default_engine(None)
+        try:
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                engines = list(pool.map(
+                    lambda _: get_default_engine(), range(64)
+                ))
+            assert len({id(engine) for engine in engines}) == 1
+        finally:
+            set_default_engine(None)
+
+    def test_grounder_for_is_a_single_instance_under_races(self):
+        kb = default_kb()
+        if hasattr(kb, "_default_grounder"):
+            del kb._default_grounder
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            grounders = list(pool.map(lambda _: grounder_for(kb), range(64)))
+        assert len({id(grounder) for grounder in grounders}) == 1
+
+    def test_service_handles_parallel_mixed_traffic(self, kb_service):
+        _, client = kb_service
+
+        def one_round(i):
+            return (
+                client.request("/ground", {"text": f"{i} km 和 {i * 2} m"}),
+                client.request("/convert",
+                               {"value": i, "source": "km", "target": "m"}),
+                client.request("/compare", {"quantities": [
+                    {"value": i, "unit": "km"}, {"value": i, "unit": "m"},
+                ]}),
+            )
+
+        with ThreadPoolExecutor(max_workers=10) as pool:
+            rounds = list(pool.map(one_round, range(1, 41)))
+        for i, (ground, convert, compare) in enumerate(rounds, start=1):
+            assert ground[0] == convert[0] == compare[0] == 200
+            assert convert[1]["magnitude"] == pytest.approx(i * 1000.0)
+            assert compare[1]["largest"] == 0
+
+
+# -- trained-model serving (micro budget) ------------------------------------
+
+
+@pytest.fixture(scope="module")
+def micro_store(tmp_path_factory):
+    """Isolated artifact store + micro budgets for /solve tests."""
+    original_cache = dict(context_module._CACHE)
+    context_module._CACHE.clear()
+    store_root = tmp_path_factory.mktemp("service-artifacts")
+    artifacts_module.set_default_store(store_root)
+    yield store_root
+    artifacts_module.reset_default_store()
+    context_module._CACHE.clear()
+    context_module._CACHE.update(original_cache)
+
+
+class TestSolveServing:
+    @pytest.fixture(scope="class")
+    def solve_service(self, micro_store):
+        service = DimensionService(ServiceConfig(
+            port=0, profile="micro", seed=11,
+            artifact_dir=str(micro_store),
+        ))
+        server, client = serve(service)
+        yield service, client
+        server.shutdown()
+        server.server_close()
+
+    def test_first_boot_cold_trains_and_persists(self, solve_service,
+                                                 micro_store):
+        service, _ = solve_service
+        assert service.warm_loaded is False
+        assert list(micro_store.glob("ctx-*"))
+
+    def test_solve_decodes_an_equation(self, solve_service):
+        _, client = solve_service
+        status, body = client.request(
+            "/solve",
+            {"text": "小明有 3 个苹果，又买了 5 个，现在有几个苹果？"},
+        )
+        assert status == 200
+        assert set(body) == {"text", "equation", "answer",
+                             "quantities", "prompt"}
+        assert [q["magnitude"] for q in body["quantities"]] == [3.0, 5.0]
+        assert body["prompt"].startswith("task: mwp text:")
+        assert " N1 " in body["prompt"] and " N2 " in body["prompt"]
+
+    def test_solve_without_numbers_is_422(self, solve_service):
+        _, client = solve_service
+        status, body = client.request("/solve", {"text": "苹果和梨"})
+        assert status == 422
+        assert "quantities" in body["error"]
+
+    def test_batched_solves_match_sequential_exactly(self, solve_service):
+        service, client = solve_service
+        texts = [
+            f"书架上有 {i} 本书，拿走了 {i // 2} 本，还剩几本？"
+            for i in range(2, 14)
+        ]
+        expected = [
+            result.to_wire()
+            for result in service.solver.solve_texts(texts)
+        ]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(
+                lambda t: client.request("/solve", {"text": t}), texts
+            ))
+        assert [status for status, _ in responses] == [200] * len(texts)
+        got = [{k: v for k, v in body.items() if k != "text"}
+               for _, body in responses]
+        assert got == json.loads(json.dumps(expected))
+
+    def test_second_boot_is_warm_without_retraining(self, solve_service,
+                                                    micro_store):
+        """The acceptance path: a fresh service (fresh in-process cache)
+        boots from the persisted artifact without touching training."""
+        from repro.core.dimperc import DimPercPipeline
+
+        context_module._CACHE.clear()
+        original_run = DimPercPipeline.run
+
+        def forbidden_run(*args, **kwargs):
+            pytest.fail("warm boot must not retrain")
+
+        DimPercPipeline.run = forbidden_run
+        try:
+            warm = DimensionService(ServiceConfig(
+                port=0, profile="micro", seed=11,
+                artifact_dir=str(micro_store),
+            ))
+        finally:
+            DimPercPipeline.run = original_run
+        try:
+            assert warm.warm_loaded is True
+            assert warm.solver is not None
+        finally:
+            warm.close()
