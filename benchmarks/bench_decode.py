@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Benchmark: KV-cached incremental decoding vs full-forward greedy decode.
+
+Decodes identical workloads through both paths of the transformer
+substrate:
+
+- **full-forward baseline** -- the pre-cache decoder
+  (:func:`repro.llm.generation.greedy_decode_batch_full_forward`):
+  every generated token re-runs the whole forward pass, re-attending
+  the entire context and projecting logits at every position;
+- **KV-cached** -- :func:`repro.llm.generation.greedy_decode_batch`:
+  one prefill fills per-layer key/value buffers, then each token costs
+  one-token attention against the cache plus a single-position
+  vocabulary matvec.
+
+The model is shaped like the MICRO serving profile (the context the
+service's ``/solve`` decodes under: ``d_model`` / ``d_ff`` from
+``repro.experiments.context.MICRO``, ``max_len`` / depth / heads from
+``DimPercConfig``) with random weights -- decode *cost* does not depend
+on what the weights say, and EOS is disabled so every row generates its
+full budget.  Generated ids must be identical between the two paths for
+every cell; the sweep covers prompt lengths x batch sizes, and the gate
+is the single-stream cell at the profile's context length.
+
+Emits a JSON record so future PRs can track the trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_decode.py --out BENCH_decode.json
+
+Exits non-zero if any cell's ids diverge or the gated single-stream
+speedup misses ``--min-speedup`` (default 3.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.dimperc import DimPercConfig
+from repro.experiments.context import MICRO
+from repro.llm.generation import (
+    DecodeStats,
+    greedy_decode_batch,
+    greedy_decode_batch_full_forward,
+)
+from repro.llm.model import TransformerConfig, TransformerModel
+
+#: Vocabulary size in the ballpark of a trained micro tokenizer.
+VOCAB_SIZE = 320
+
+
+def micro_model(seed: int) -> TransformerModel:
+    """A random-weight model with the MICRO serving profile's shape."""
+    base = DimPercConfig()
+    return TransformerModel(TransformerConfig(
+        vocab_size=VOCAB_SIZE,
+        d_model=MICRO.d_model,
+        n_layers=base.n_layers,
+        n_heads=base.n_heads,
+        d_ff=MICRO.d_ff,
+        max_len=base.max_len,
+        seed=seed,
+    ))
+
+
+def make_prompts(batch: int, prompt_len: int, seed: int) -> list[list[int]]:
+    rng = np.random.default_rng(seed)
+    return [
+        list(map(int, rng.integers(6, VOCAB_SIZE, size=prompt_len)))
+        for _ in range(batch)
+    ]
+
+
+def best_of(fn, repeats: int) -> tuple[float, object]:
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def measure_cell(
+    model: TransformerModel,
+    prompt_len: int,
+    batch: int,
+    max_new_tokens: int,
+    repeats: int,
+    seed: int,
+) -> dict:
+    """Full-forward vs KV-cached decode of one workload cell."""
+    prompts = make_prompts(batch, prompt_len, seed)
+    full_seconds, full_ids = best_of(
+        lambda: greedy_decode_batch_full_forward(
+            model, prompts, max_new_tokens, eos_id=-1
+        ),
+        repeats,
+    )
+    stats = DecodeStats()
+    kv_seconds, kv_ids = best_of(
+        lambda: greedy_decode_batch(
+            model, prompts, max_new_tokens, eos_id=-1, stats=stats
+        ),
+        repeats,
+    )
+    tokens = sum(len(ids) for ids in kv_ids)
+    cell = {
+        "prompt_len": prompt_len,
+        "batch": batch,
+        "max_new_tokens": max_new_tokens,
+        "tokens": tokens,
+        "identical_ids": kv_ids == full_ids,
+        "full_forward": {
+            "seconds": round(full_seconds, 4),
+            "tokens_per_second": round(tokens / full_seconds, 1),
+            "step_ms": round(1000.0 * full_seconds / max_new_tokens, 3),
+        },
+        "kv_cached": {
+            "seconds": round(kv_seconds, 4),
+            "tokens_per_second": round(tokens / kv_seconds, 1),
+            # Prefill excluded: the steady-state per-token latency
+            # (stats accumulate over every repeat, so this is the mean).
+            "step_ms": round(
+                1000.0 * stats.step_seconds / (stats.steps or 1), 3
+            ),
+        },
+        "speedup": round(full_seconds / kv_seconds, 2),
+    }
+    return cell
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--prompt-lens", type=int, nargs="+",
+                        default=[16, 64, 111],
+                        help="prompt lengths to sweep (111 + <bos> + 48 "
+                             "new tokens exactly fills the 160 window)")
+    parser.add_argument("--batches", type=int, nargs="+", default=[1, 8, 32])
+    parser.add_argument("--max-new-tokens", type=int, default=48)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best wall-clock of this many runs")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail unless the single-stream longest-prompt "
+                             "cell gains at least this factor (0 disables)")
+    parser.add_argument("--out", metavar="FILE", default=None)
+    args = parser.parse_args(argv)
+
+    model = micro_model(args.seed)
+    grid = []
+    for prompt_len in args.prompt_lens:
+        for batch in args.batches:
+            cell = measure_cell(model, prompt_len, batch,
+                                args.max_new_tokens, args.repeats, args.seed)
+            grid.append(cell)
+            print(f"prompt={prompt_len:>4} batch={batch:>3}: "
+                  f"full {cell['full_forward']['tokens_per_second']:>8.1f} tok/s "
+                  f"({cell['full_forward']['step_ms']:.2f} ms/step), "
+                  f"kv {cell['kv_cached']['tokens_per_second']:>8.1f} tok/s "
+                  f"({cell['kv_cached']['step_ms']:.2f} ms/step) "
+                  f"-> {cell['speedup']:.2f}x "
+                  f"(identical={cell['identical_ids']})")
+
+    # Gate: single-stream decode at the profile's context length -- the
+    # cold-prompt serving case micro-batching cannot help.  With a
+    # custom --batches list that skips 1, the smallest batch stands in
+    # (still the least-batchable cell measured).
+    gate_batch = min(args.batches)
+    gated = max(
+        (cell for cell in grid if cell["batch"] == gate_batch),
+        key=lambda cell: cell["prompt_len"],
+    )
+    record = {
+        "benchmark": "decode",
+        "model": {
+            "profile_shape": "micro",
+            "vocab_size": VOCAB_SIZE,
+            "d_model": MICRO.d_model,
+            "d_ff": MICRO.d_ff,
+            "n_layers": DimPercConfig().n_layers,
+            "n_heads": DimPercConfig().n_heads,
+            "max_len": DimPercConfig().max_len,
+        },
+        "max_new_tokens": args.max_new_tokens,
+        "repeats": args.repeats,
+        "grid": grid,
+        "gate": {
+            "cell": {"prompt_len": gated["prompt_len"], "batch": gate_batch},
+            "speedup": gated["speedup"],
+            "min_speedup": args.min_speedup,
+        },
+    }
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(record, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+
+    if not all(cell["identical_ids"] for cell in grid):
+        print("FAIL: KV-cached ids diverge from the full-forward decoder",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and gated["speedup"] < args.min_speedup:
+        print(f"FAIL: batch-{gate_batch} speedup {gated['speedup']:.2f}x at "
+              f"prompt length {gated['prompt_len']} is below the "
+              f"{args.min_speedup:.1f}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

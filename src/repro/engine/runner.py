@@ -5,7 +5,9 @@ as the model allows:
 
 - models exposing ``generate_batch(prompts) -> list[str]`` are driven in
   chunks of ``EngineConfig.batch_size`` (the paper's bulk-inference
-  setting: one forward pass scores many prompts);
+  setting: one forward pass scores many prompts; for the transformer
+  substrate each chunk decodes through one shared KV-cached
+  prefill + per-token steps, see :mod:`repro.llm.generation`);
 - plain ``generate(prompt) -> str`` models are fanned out over a
   ``concurrent.futures`` thread pool of ``EngineConfig.max_workers``
   (bulk evaluation of API-backed models is latency-bound, so threads

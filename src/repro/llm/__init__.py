@@ -10,20 +10,29 @@ architecture family at toy scale (see DESIGN.md):
 - :mod:`repro.llm.optimizer` -- Adam with gradient clipping,
 - :mod:`repro.llm.trainer` -- seq2seq finetuning on "<bos> R <sep> A
   <eos>" targets (Eq. 3's next-token NLL, loss masked to the target),
-- :mod:`repro.llm.generation` -- greedy decoding,
+- :mod:`repro.llm.generation` -- KV-cached greedy decoding (plus the
+  full-forward reference decoders),
 - :mod:`repro.llm.instruct` -- the generic instruction-tuning stage that
   produces the LLaMA-IFT analogue base model.
 """
 
-from repro.llm.generation import greedy_decode
+from repro.llm.generation import (
+    DecodeStats,
+    greedy_decode,
+    greedy_decode_batch,
+    greedy_decode_batch_full_forward,
+    greedy_decode_full_forward,
+)
 from repro.llm.interface import LanguageModel, TransformerLM
-from repro.llm.model import TransformerConfig, TransformerModel
+from repro.llm.model import KVCache, TransformerConfig, TransformerModel
 from repro.llm.optimizer import Adam
 from repro.llm.tokenizer import SPECIALS, Tokenizer
 from repro.llm.trainer import Seq2SeqExample, Seq2SeqTrainer, TrainingLog
 
 __all__ = [
     "Adam",
+    "DecodeStats",
+    "KVCache",
     "LanguageModel",
     "SPECIALS",
     "Seq2SeqExample",
@@ -34,4 +43,7 @@ __all__ = [
     "TransformerLM",
     "TransformerModel",
     "greedy_decode",
+    "greedy_decode_batch",
+    "greedy_decode_batch_full_forward",
+    "greedy_decode_full_forward",
 ]

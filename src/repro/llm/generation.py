@@ -1,14 +1,33 @@
 """Greedy decoding for the transformer substrate.
 
-:func:`greedy_decode` scores one prompt at a time;
-:func:`greedy_decode_batch` decodes many prompts in lockstep through
-shared batched forward passes -- the causal attention mask makes the
-logits at each sequence's last real position independent of the padding
-to its right, so batched results match the sequential decoder token for
-token while amortising the per-call numpy overhead.
+Decoding is KV-cached by default: one :meth:`~repro.llm.model.
+TransformerModel.infer_prefill` pass over the prompt fills per-layer
+key/value buffers, then every generated token costs a single
+:meth:`~repro.llm.model.TransformerModel.infer_step` -- one-token
+attention against the cached keys/values plus one vocabulary matvec --
+instead of re-running the full forward over the whole context.  Work
+per step is O(context) instead of O(context^2), and serving throughput
+scales with generated tokens rather than sequence length squared.
+
+:func:`greedy_decode` scores one prompt; :func:`greedy_decode_batch`
+decodes many prompts in lockstep, sharing prefill and step passes.
+Ragged prompt lengths are handled with per-row fill cursors, finished
+rows are compacted out of the KV buffers, and rows that outgrow the
+model's ``max_len`` window fall back to the sliding-window full-forward
+path (a slid context re-positions every token, so cached entries are
+unusable by construction; the fallback is the documented re-prefill
+cost at the window edge).
+
+Outputs are token-for-token identical to the pre-cache full-forward
+decoder, which survives as :func:`greedy_decode_full_forward` /
+:func:`greedy_decode_batch_full_forward` -- the reference for the
+parity tests and the baseline in ``benchmarks/bench_decode.py``.
 """
 
 from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -16,45 +35,209 @@ from repro.llm.model import TransformerModel
 from repro.llm.tokenizer import BOS, EOS
 
 
+@dataclass
+class DecodeStats:
+    """Counters one decode call accumulates (callers may reuse one
+    object across calls; fields only ever increase).
+
+    ``steps``/``step_seconds`` cover incremental ``infer_step`` and
+    window-fallback passes alike, so ``step_seconds / steps`` is the
+    honest mean per-step decode latency the service exports.
+    """
+
+    prompts: int = 0
+    #: Generated ids (the terminating ``<eos>`` is not counted).
+    tokens: int = 0
+    prefills: int = 0
+    prefill_seconds: float = 0.0
+    #: Post-prefill decode steps (one per generation round, however
+    #: many rows it advanced).
+    steps: int = 0
+    step_seconds: float = 0.0
+
+
+def _pad_rows(rows: list[list[int]]) -> np.ndarray:
+    """Right-pad integer rows into one (B, longest) array."""
+    longest = max(len(row) for row in rows)
+    batch = np.zeros((len(rows), longest), dtype=np.int64)
+    for index, row in enumerate(rows):
+        batch[index, :len(row)] = row
+    return batch
+
+
 def greedy_decode(
     model: TransformerModel,
     prompt_ids: list[int],
     max_new_tokens: int = 48,
+    *,
+    use_kv_cache: bool = True,
+    eos_id: int = EOS,
+    stats: DecodeStats | None = None,
 ) -> list[int]:
     """Generate token ids after ``prompt_ids <bos>`` until ``<eos>``.
 
     Returns only the newly generated ids (without the terminating
     ``<eos>``).  The prompt is truncated on the left if the total
-    sequence would exceed the model's context window.
+    sequence would exceed the model's context window.  ``eos_id`` can
+    be repointed (or set to an impossible id to disable termination --
+    the decode benchmark does this for fixed-length workloads).
     """
-    if max_new_tokens < 1:
-        raise ValueError("max_new_tokens must be positive")
-    window = model.config.max_len
-    ids = list(prompt_ids) + [BOS]
-    generated: list[int] = []
-    for _ in range(max_new_tokens):
-        context = ids[-window:]
-        logits, _ = model.forward(np.asarray([context], dtype=np.int64))
-        next_id = int(np.argmax(logits[0, -1]))
-        if next_id == EOS:
-            break
-        generated.append(next_id)
-        ids.append(next_id)
-    return generated
+    if use_kv_cache:
+        return greedy_decode_batch(
+            model, [prompt_ids], max_new_tokens,
+            eos_id=eos_id, stats=stats,
+        )[0]
+    return greedy_decode_full_forward(
+        model, prompt_ids, max_new_tokens, eos_id=eos_id, stats=stats
+    )
 
 
 def greedy_decode_batch(
     model: TransformerModel,
     prompt_ids_batch: list[list[int]],
     max_new_tokens: int = 48,
+    *,
+    use_kv_cache: bool = True,
+    eos_id: int = EOS,
+    stats: DecodeStats | None = None,
 ) -> list[list[int]]:
-    """Batched :func:`greedy_decode`: one forward pass serves every
-    still-unfinished sequence per step.
+    """Batched :func:`greedy_decode`: KV-cached prefill + per-token steps.
 
-    Returns one generated-id list per prompt, in input order.  Sequences
-    are right-padded to the longest active context; logits are read at
-    each sequence's own final position, so padding never leaks into the
-    argmax.
+    Returns one generated-id list per prompt, in input order.  Rows may
+    have ragged prompt lengths (per-row prefill cursors keep padding
+    out of attention); rows that emit ``eos_id`` retire and are
+    compacted out of the KV buffers; rows whose context reaches the
+    ``max_len`` window migrate to the full-forward sliding-window path.
+    Token-for-token identical to
+    :func:`greedy_decode_batch_full_forward`.
+    """
+    if max_new_tokens < 1:
+        raise ValueError("max_new_tokens must be positive")
+    if not prompt_ids_batch:
+        return []
+    if not use_kv_cache:
+        return greedy_decode_batch_full_forward(
+            model, prompt_ids_batch, max_new_tokens,
+            eos_id=eos_id, stats=stats,
+        )
+    window = model.config.max_len
+    sequences = [list(prompt_ids) + [BOS] for prompt_ids in prompt_ids_batch]
+    generated: list[list[int]] = [[] for _ in sequences]
+    if stats is not None:
+        stats.prompts += len(sequences)
+
+    # Prefill over each row's last-window context.  The buffers only
+    # need to reach the furthest position any row can ever write.
+    contexts = [sequence[-window:] for sequence in sequences]
+    lengths = np.array([len(context) for context in contexts], dtype=np.int64)
+    capacity = min(window, int(lengths.max()) + max_new_tokens)
+    tick = _time.perf_counter()
+    kv_logits, cache = model.infer_prefill(
+        _pad_rows(contexts), lengths, capacity=capacity
+    )
+    if stats is not None:
+        stats.prefills += 1
+        stats.prefill_seconds += _time.perf_counter() - tick
+
+    kv_rows = list(range(len(sequences)))   # cache row -> sequence index
+    overflow: list[int] = []                # rows on the window fallback
+    of_logits: np.ndarray | None = None
+
+    for step in range(max_new_tokens):
+        # Consume this round's logits: pick each active row's token,
+        # retire EOS rows, and flag rows whose cache just filled up.
+        keep: list[int] = []
+        fresh_overflow: list[int] = []
+        for position, index in enumerate(kv_rows):
+            next_id = int(np.argmax(kv_logits[position]))
+            if next_id == eos_id:
+                continue
+            generated[index].append(next_id)
+            sequences[index].append(next_id)
+            if cache.lengths[position] < cache.capacity:
+                keep.append(position)
+            else:
+                # No free slot for the appended token: from here the
+                # context slides, which re-positions every cached
+                # token, so this row re-prefills per step instead.
+                fresh_overflow.append(index)
+        survivors: list[int] = []
+        if of_logits is not None:
+            for position, index in enumerate(overflow):
+                next_id = int(np.argmax(of_logits[position]))
+                if next_id == eos_id:
+                    continue
+                generated[index].append(next_id)
+                sequences[index].append(next_id)
+                survivors.append(index)
+        overflow = survivors + fresh_overflow
+        if step + 1 >= max_new_tokens:
+            break
+        if len(keep) != len(kv_rows):
+            kv_rows = [kv_rows[position] for position in keep]
+            cache = cache.select(keep)
+        if not kv_rows and not overflow:
+            break
+
+        tick = _time.perf_counter()
+        if kv_rows:
+            next_ids = np.array(
+                [sequences[index][-1] for index in kv_rows], dtype=np.int64
+            )
+            kv_logits = model.infer_step(next_ids, cache)
+        else:
+            kv_logits = np.empty((0, 0))
+        if overflow:
+            of_contexts = [sequences[index][-window:] for index in overflow]
+            of_lengths = np.array(
+                [len(context) for context in of_contexts], dtype=np.int64
+            )
+            of_logits = model.infer_window(_pad_rows(of_contexts), of_lengths)
+        else:
+            of_logits = None
+        if stats is not None:
+            stats.steps += 1
+            stats.step_seconds += _time.perf_counter() - tick
+    if stats is not None:
+        stats.tokens += sum(len(ids) for ids in generated)
+    return generated
+
+
+# -- full-forward reference decoders ------------------------------------------
+
+
+def greedy_decode_full_forward(
+    model: TransformerModel,
+    prompt_ids: list[int],
+    max_new_tokens: int = 48,
+    *,
+    eos_id: int = EOS,
+    stats: DecodeStats | None = None,
+) -> list[int]:
+    """The pre-KV-cache decoder: one full forward pass per token.
+
+    Kept as the parity reference and benchmark baseline; every step
+    re-attends the whole context and projects logits at every position
+    (``stats`` counts those passes as steps -- there is no prefill).
+    """
+    return greedy_decode_batch_full_forward(
+        model, [prompt_ids], max_new_tokens, eos_id=eos_id, stats=stats
+    )[0]
+
+
+def greedy_decode_batch_full_forward(
+    model: TransformerModel,
+    prompt_ids_batch: list[list[int]],
+    max_new_tokens: int = 48,
+    *,
+    eos_id: int = EOS,
+    stats: DecodeStats | None = None,
+) -> list[list[int]]:
+    """The pre-KV-cache batched decoder: full forward passes in lockstep.
+
+    Sequences are right-padded to the longest active context; logits
+    are read at each sequence's own final position, so padding never
+    leaks into the argmax.
     """
     if max_new_tokens < 1:
         raise ValueError("max_new_tokens must be positive")
@@ -63,18 +246,20 @@ def greedy_decode_batch(
     window = model.config.max_len
     sequences = [list(prompt_ids) + [BOS] for prompt_ids in prompt_ids_batch]
     generated: list[list[int]] = [[] for _ in sequences]
+    if stats is not None:
+        stats.prompts += len(sequences)
     active = list(range(len(sequences)))
     for _ in range(max_new_tokens):
         contexts = [sequences[index][-window:] for index in active]
-        longest = max(len(context) for context in contexts)
-        batch = np.zeros((len(contexts), longest), dtype=np.int64)
-        for row, context in enumerate(contexts):
-            batch[row, :len(context)] = context
-        logits, _ = model.forward(batch)
+        tick = _time.perf_counter()
+        logits, _ = model.forward(_pad_rows(contexts), need_cache=False)
+        if stats is not None:
+            stats.steps += 1
+            stats.step_seconds += _time.perf_counter() - tick
         still_active = []
         for row, index in enumerate(active):
             next_id = int(np.argmax(logits[row, len(contexts[row]) - 1]))
-            if next_id == EOS:
+            if next_id == eos_id:
                 continue
             generated[index].append(next_id)
             sequences[index].append(next_id)
@@ -82,4 +267,6 @@ def greedy_decode_batch(
         active = still_active
         if not active:
             break
+    if stats is not None:
+        stats.tokens += sum(len(ids) for ids in generated)
     return generated

@@ -9,6 +9,19 @@ with loss masked to target positions.
 
 Gradients are derived by hand; ``tests/test_llm_model.py`` checks them
 against finite differences.
+
+Two forward paths share the parameters:
+
+- :meth:`TransformerModel.forward` scores every position and (by
+  default) records the activations backprop needs -- the training path.
+- :meth:`TransformerModel.infer_prefill` /
+  :meth:`TransformerModel.infer_step` are the inference path: prefill
+  runs one full pass over the prompt while filling per-layer key/value
+  buffers (a :class:`KVCache`), and each subsequent step attends a
+  single query token against the cached keys/values -- no ``(T, T)``
+  score matrix, no causal-mask allocation, and the tied vocabulary
+  projection only ever runs at the last position.  Greedy decoding in
+  :mod:`repro.llm.generation` rides this pair.
 """
 
 from __future__ import annotations
@@ -18,6 +31,10 @@ from dataclasses import dataclass
 import numpy as np
 
 _EPS = 1e-5
+#: Additive attention-mask value; large enough that masked scores
+#: underflow to exactly 0.0 after the shifted softmax, which is what
+#: keeps the cached-decode and full-forward paths bit-identical.
+_MASK = -1e9
 
 
 @dataclass(frozen=True)
@@ -76,6 +93,53 @@ def _softmax(x: np.ndarray) -> np.ndarray:
     return exp / exp.sum(axis=-1, keepdims=True)
 
 
+class KVCache:
+    """Per-layer key/value buffers for incremental decoding.
+
+    ``keys[layer]`` / ``values[layer]`` are preallocated
+    ``(batch, n_heads, capacity, d_head)`` buffers; ``lengths[b]`` is
+    row ``b``'s fill cursor -- positions ``>= lengths[b]`` are
+    unwritten (or stale prefill padding) and must never be attended.
+    :meth:`TransformerModel.infer_step` writes each new token at the
+    cursor and advances it.
+    """
+
+    __slots__ = ("keys", "values", "lengths")
+
+    def __init__(
+        self,
+        keys: list[np.ndarray],
+        values: list[np.ndarray],
+        lengths: np.ndarray,
+    ):
+        self.keys = keys
+        self.values = values
+        self.lengths = lengths
+
+    @property
+    def batch_size(self) -> int:
+        """Rows currently held (shrinks as finished rows compact out)."""
+        return int(self.lengths.shape[0])
+
+    @property
+    def capacity(self) -> int:
+        """Positions each row's buffer can hold."""
+        return int(self.keys[0].shape[2])
+
+    def select(self, rows: list[int] | np.ndarray) -> "KVCache":
+        """A compacted cache holding only ``rows``, in the given order.
+
+        Greedy decoding retires finished sequences this way, so the
+        remaining rows keep paying for their own batch size only.
+        """
+        index = np.asarray(rows, dtype=np.int64)
+        return KVCache(
+            [layer[index] for layer in self.keys],
+            [layer[index] for layer in self.values],
+            self.lengths[index].copy(),
+        )
+
+
 class TransformerModel:
     """Parameters + forward/backward for the causal transformer."""
 
@@ -104,11 +168,38 @@ class TransformerModel:
             self.params[p + "b1"] = np.zeros(f)
             self.params[p + "w2"] = rng.normal(0.0, scale, (f, d))
             self.params[p + "b2"] = np.zeros(d)
+        #: One immutable (max_len, max_len) additive causal mask, built
+        #: lazily; every shorter length is a top-left view into it, so
+        #: forward passes stop allocating a fresh ``triu`` per call.
+        self._causal_mask_full: np.ndarray | None = None
 
     # -- forward -----------------------------------------------------------------
 
-    def forward(self, token_ids: np.ndarray) -> tuple[np.ndarray, dict]:
-        """Logits (B, T, V) and the cache needed for backward."""
+    def _causal_mask(self, time: int) -> np.ndarray:
+        """The additive causal mask for ``time`` query/key positions.
+
+        Memoized as a single full-window matrix: the ``(time, time)``
+        top-left block of a ``triu`` mask is itself the ``triu`` mask
+        for ``time``, so one allocation serves every sequence length.
+        """
+        full = self._causal_mask_full
+        if full is None or full.shape[0] < time:
+            size = max(self.config.max_len, time)
+            full = np.triu(np.full((size, size), _MASK), k=1)
+            full.setflags(write=False)
+            self._causal_mask_full = full
+        return full[:time, :time]
+
+    def forward(
+        self, token_ids: np.ndarray, need_cache: bool = True
+    ) -> tuple[np.ndarray, dict | None]:
+        """Logits (B, T, V) and the cache needed for backward.
+
+        Inference callers pass ``need_cache=False`` to skip recording
+        the per-layer activations (qh/kh/vh/attn/hidden) that only
+        gradient computation reads; the second return value is then
+        ``None``.
+        """
         if token_ids.ndim != 2:
             raise ValueError("token_ids must be (batch, time)")
         batch, time = token_ids.shape
@@ -116,10 +207,34 @@ class TransformerModel:
             raise ValueError(
                 f"sequence length {time} exceeds max_len {self.config.max_len}"
             )
+        cache: dict | None = None
+        if need_cache:
+            cache = {"token_ids": token_ids, "layers": [], "time": time}
+        final = self._embed_and_blocks(
+            token_ids, self._causal_mask(time), cache=cache
+        )
+        logits = final @ self.params["tok_emb"].T
+        return logits, cache
+
+    def _embed_and_blocks(
+        self,
+        token_ids: np.ndarray,
+        causal: np.ndarray,
+        sink: KVCache | None = None,
+        cache: dict | None = None,
+    ) -> np.ndarray:
+        """Embeddings + every transformer block, in one place.
+
+        The single full-pass implementation every multi-position path
+        shares: training (``cache`` records the activations backward
+        reads, including the final-LayerNorm state), KV prefill
+        (``sink`` receives each layer's per-head keys/values), and the
+        plain no-record inference pass (both ``None``).  Returns the
+        final-LayerNorm hidden states ``(B, T, d_model)``.
+        """
+        batch, time = token_ids.shape
         p = self.params
         x = p["tok_emb"][token_ids] + p["pos_emb"][:time]
-        causal = np.triu(np.full((time, time), -1e9), k=1)
-        cache: dict = {"token_ids": token_ids, "layers": [], "time": time}
         n_heads = self.config.n_heads
         d_head = self.config.d_model // n_heads
         for layer in range(self.config.n_layers):
@@ -136,6 +251,9 @@ class TransformerModel:
                 return m.reshape(batch, time, n_heads, d_head).transpose(0, 2, 1, 3)
 
             qh, kh, vh = heads(q), heads(k), heads(v)
+            if sink is not None:
+                sink.keys[layer][:, :, :time] = kh
+                sink.values[layer][:, :, :time] = vh
             scores = qh @ kh.transpose(0, 1, 3, 2) / np.sqrt(d_head) + causal
             attn = _softmax(scores)
             context = attn @ vh                                # (B,h,T,dh)
@@ -152,17 +270,183 @@ class TransformerModel:
             mlp_out = hidden @ p[prefix + "w2"] + p[prefix + "b2"]
             x = x_mid + mlp_out
 
-            cache["layers"].append({
-                "ln1": ln1_cache, "normed1": normed1,
-                "qh": qh, "kh": kh, "vh": vh, "attn": attn, "merged": merged,
-                "ln2": ln2_cache, "normed2": normed2,
-                "hidden_pre": hidden_pre, "hidden": hidden,
-            })
+            if cache is not None:
+                cache["layers"].append({
+                    "ln1": ln1_cache, "normed1": normed1,
+                    "qh": qh, "kh": kh, "vh": vh, "attn": attn, "merged": merged,
+                    "ln2": ln2_cache, "normed2": normed2,
+                    "hidden_pre": hidden_pre, "hidden": hidden,
+                })
         final, final_cache = _layernorm_forward(x, p["final_ln_g"], p["final_ln_b"])
-        cache["final_ln"] = final_cache
-        cache["final"] = final
-        logits = final @ p["tok_emb"].T
-        return logits, cache
+        if cache is not None:
+            cache["final_ln"] = final_cache
+            cache["final"] = final
+        return final
+
+    # -- inference (KV-cached incremental decoding) -------------------------------
+
+    @staticmethod
+    def _check_lengths(lengths, batch: int, time: int) -> np.ndarray:
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.shape != (batch,):
+            raise ValueError("lengths must hold one entry per batch row")
+        if np.any(lengths < 1) or np.any(lengths > time):
+            raise ValueError("per-row lengths must lie in [1, time]")
+        return lengths
+
+    def infer_window(
+        self, token_ids: np.ndarray, lengths: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Last-position logits ``(B, V)`` for right-padded prompts.
+
+        A full forward pass whose vocabulary projection runs only at
+        each row's final real position (``lengths[b] - 1``) -- the
+        sliding-window fallback for sequences past ``max_len``, where a
+        shifted context invalidates cached positions anyway.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 2:
+            raise ValueError("token_ids must be (batch, time)")
+        batch, time = token_ids.shape
+        if time > self.config.max_len:
+            raise ValueError(
+                f"sequence length {time} exceeds max_len {self.config.max_len}"
+            )
+        if lengths is None:
+            lengths = np.full(batch, time, dtype=np.int64)
+        else:
+            lengths = self._check_lengths(lengths, batch, time)
+        final = self._embed_and_blocks(token_ids, self._causal_mask(time))
+        last = final[np.arange(batch), lengths - 1]
+        return last @ self.params["tok_emb"].T
+
+    def infer_prefill(
+        self,
+        token_ids: np.ndarray,
+        lengths: np.ndarray | None = None,
+        capacity: int | None = None,
+    ) -> tuple[np.ndarray, KVCache]:
+        """Prompt pass: last-position logits ``(B, V)`` plus a filled
+        :class:`KVCache`.
+
+        ``token_ids`` is a right-padded ``(B, T)`` batch;
+        ``lengths[b]`` gives row ``b``'s real prompt length (default:
+        every row spans ``T``).  Keys/values are recorded for all ``T``
+        positions -- entries past a row's length hold padding garbage,
+        which :meth:`infer_step` masks via the fill cursor, never
+        attends, and overwrites as the row grows.  ``capacity`` bounds
+        the preallocated buffers (default ``max_len``); callers that
+        know their decode budget pass a tighter bound.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 2:
+            raise ValueError("token_ids must be (batch, time)")
+        batch, time = token_ids.shape
+        if time < 1:
+            raise ValueError("cannot prefill an empty sequence")
+        if time > self.config.max_len:
+            raise ValueError(
+                f"sequence length {time} exceeds max_len {self.config.max_len}"
+            )
+        if lengths is None:
+            lengths = np.full(batch, time, dtype=np.int64)
+        else:
+            lengths = self._check_lengths(lengths, batch, time).copy()
+        if capacity is None:
+            capacity = self.config.max_len
+        if not time <= capacity <= self.config.max_len:
+            raise ValueError("capacity must lie in [time, max_len]")
+        n_heads = self.config.n_heads
+        d_head = self.config.d_model // n_heads
+        shape = (batch, n_heads, capacity, d_head)
+        # Zero-filled, not np.empty: unwritten slots multiply an
+        # exactly-zero attention weight in infer_step, and 0 * 0 == 0
+        # -- whereas reused memory could hold NaN/inf bit patterns,
+        # which poison the product even at weight zero.
+        cache = KVCache(
+            keys=[np.zeros(shape) for _ in range(self.config.n_layers)],
+            values=[np.zeros(shape) for _ in range(self.config.n_layers)],
+            lengths=lengths,
+        )
+        final = self._embed_and_blocks(
+            token_ids, self._causal_mask(time), sink=cache
+        )
+        last = final[np.arange(batch), lengths - 1]
+        return last @ self.params["tok_emb"].T, cache
+
+    def infer_step(
+        self, next_ids: np.ndarray, kv_cache: KVCache
+    ) -> np.ndarray:
+        """One incremental decode step: logits ``(B, V)`` for the token
+        after ``next_ids``.
+
+        Writes each row's new key/value at its fill cursor, attends the
+        single query token against cached positions ``<= cursor`` (a
+        per-row validity mask replaces the ``(T, T)`` causal matrix),
+        and advances the cursors.  Cost per step is one-token attention
+        plus one vocabulary matvec -- independent of how long the
+        sequence already is.
+        """
+        next_ids = np.asarray(next_ids, dtype=np.int64)
+        if next_ids.ndim != 1:
+            raise ValueError("next_ids must be (batch,)")
+        batch = kv_cache.batch_size
+        if next_ids.shape[0] != batch:
+            raise ValueError(
+                f"next_ids holds {next_ids.shape[0]} rows for a "
+                f"batch-{batch} cache"
+            )
+        lengths = kv_cache.lengths
+        if np.any(lengths >= kv_cache.capacity):
+            raise ValueError(
+                "KV cache is full for at least one row; re-prefill over "
+                "a slid window instead of stepping"
+            )
+        p = self.params
+        n_heads = self.config.n_heads
+        d_head = self.config.d_model // n_heads
+        rows = np.arange(batch)
+        upto = int(lengths.max()) + 1
+        # Position j is attendable for row b once its token is written:
+        # j <= cursor.  Ragged rows see their own prefix only.
+        valid = np.arange(upto)[None, :] <= lengths[:, None]
+        x = p["tok_emb"][next_ids] + p["pos_emb"][lengths]     # (B, d)
+        for layer in range(self.config.n_layers):
+            prefix = f"layer{layer}."
+            x_in = x
+            normed1, _ = _layernorm_forward(
+                x, p[prefix + "ln1_g"], p[prefix + "ln1_b"]
+            )
+            q = normed1 @ p[prefix + "wq"]
+            k = normed1 @ p[prefix + "wk"]
+            v = normed1 @ p[prefix + "wv"]
+            qh = q.reshape(batch, n_heads, d_head)
+            kh = k.reshape(batch, n_heads, d_head)
+            vh = v.reshape(batch, n_heads, d_head)
+            keys = kv_cache.keys[layer]
+            values = kv_cache.values[layer]
+            keys[rows, :, lengths] = kh
+            values[rows, :, lengths] = vh
+            scores = np.einsum(
+                "bhd,bhjd->bhj", qh, keys[:, :, :upto]
+            ) / np.sqrt(d_head)
+            # np.where (not an additive mask) so stale buffer contents
+            # can never leak, whatever value they hold.
+            scores = np.where(valid[:, None, :], scores, _MASK)
+            attn = _softmax(scores)
+            context = np.einsum("bhj,bhjd->bhd", attn, values[:, :, :upto])
+            merged = context.reshape(batch, -1)
+            x = x_in + merged @ p[prefix + "wo"]
+
+            x_mid = x
+            normed2, _ = _layernorm_forward(
+                x, p[prefix + "ln2_g"], p[prefix + "ln2_b"]
+            )
+            hidden = _gelu(normed2 @ p[prefix + "w1"] + p[prefix + "b1"])
+            x = x_mid + hidden @ p[prefix + "w2"] + p[prefix + "b2"]
+        final, _ = _layernorm_forward(x, p["final_ln_g"], p["final_ln_b"])
+        kv_cache.lengths = lengths + 1
+        return final @ p["tok_emb"].T
 
     # -- loss -----------------------------------------------------------------------
 

@@ -149,6 +149,17 @@ class DimensionService:
         self.metrics.inc("batches_total", endpoint=name)
         self.metrics.inc("batched_requests_total", size, endpoint=name)
 
+    def _record_decode(self, stats) -> None:
+        """Fold one decode call's :class:`~repro.llm.DecodeStats` into
+        the registry -- the serving win of KV-cached decoding shows up
+        as tokens per step-second, not just in offline benchmarks."""
+        m = self.metrics
+        m.inc("solve_decode_tokens_total", stats.tokens)
+        m.inc("solve_decode_steps_total", stats.steps)
+        m.inc("solve_decode_step_seconds_total", stats.step_seconds)
+        m.inc("solve_decode_prefills_total", stats.prefills)
+        m.inc("solve_decode_prefill_seconds_total", stats.prefill_seconds)
+
     def _load_solver(self) -> None:
         """Warm-load the trained context and wire the MWP solver.
 
@@ -169,6 +180,9 @@ class DimensionService:
         lm = context.models.as_dimperc(
             name=f"DimPerc-{self.config.profile}"
         )
+        # Every /solve decode reports its token/step/latency counters
+        # here (called from the single solve batch-worker thread).
+        lm.decode_observer = self._record_decode
         self.solver = MWPSolver(self.grounder, lm, self.engine.runner)
 
     def _describe_metrics(self) -> None:
@@ -184,6 +198,17 @@ class DimensionService:
                    "Wall-clock seconds spent handling requests.")
         m.describe("queue_depth",
                    "Queued-but-unbatched requests per batched endpoint.")
+        m.describe("solve_decode_tokens_total",
+                   "Tokens generated by /solve decodes (EOS excluded).")
+        m.describe("solve_decode_steps_total",
+                   "Incremental decode steps run by /solve.")
+        m.describe("solve_decode_step_seconds_total",
+                   "Seconds spent in decode steps; divide by "
+                   "solve_decode_steps_total for mean per-step latency.")
+        m.describe("solve_decode_prefills_total",
+                   "KV-cache prefill passes run by /solve.")
+        m.describe("solve_decode_prefill_seconds_total",
+                   "Seconds spent in KV-cache prefill passes.")
 
     # -- dispatch -------------------------------------------------------------
 

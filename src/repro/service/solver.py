@@ -8,9 +8,13 @@ literals become equation slots ``N1..Nk`` in reading order, and the
 slotted prompt goes through the *same* tokenisation as training
 (:func:`repro.core.encoding.slotted_prompt`).  Decoding rides the
 evaluation engine's :class:`~repro.engine.BatchRunner` -- micro-batched
-requests share forward passes via ``generate_batch`` and repeat prompts
-hit the completion memo -- and the predicted equation is executed with
-the repo's safe calculator over the extracted slot values.
+requests share KV-cached prefill/step passes via ``generate_batch``
+(each generated token costs one-token attention against the cached
+keys/values, not a full forward) and repeat prompts hit the completion
+memo -- and the predicted equation is executed with the repo's safe
+calculator over the extracted slot values.  The wrapped
+:class:`~repro.llm.TransformerLM`'s ``decode_observer`` feeds the
+service's ``solve_decode_*`` metrics.
 """
 
 from __future__ import annotations

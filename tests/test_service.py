@@ -618,6 +618,26 @@ class TestSolveServing:
                for _, body in responses]
         assert got == json.loads(json.dumps(expected))
 
+    def test_solve_exports_decode_metrics(self, solve_service):
+        """Every /solve decode feeds the solve_decode_* counters, so
+        per-step decode latency is observable at /metrics."""
+        service, client = solve_service
+        status, _ = client.request(
+            "/solve", {"text": "农场有 7 只鸡，又买了 2 只，现在有几只？"}
+        )
+        assert status == 200
+        metrics = service.metrics
+        tokens = metrics.value("solve_decode_tokens_total")
+        steps = metrics.value("solve_decode_steps_total")
+        assert tokens > 0
+        assert steps > 0
+        assert metrics.value("solve_decode_prefills_total") > 0
+        assert metrics.value("solve_decode_step_seconds_total") > 0.0
+        assert metrics.value("solve_decode_prefill_seconds_total") > 0.0
+        rendered = client.request("/metrics")[1]
+        assert "repro_service_solve_decode_tokens_total" in rendered
+        assert "repro_service_solve_decode_step_seconds_total" in rendered
+
     def test_second_boot_is_warm_without_retraining(self, solve_service,
                                                     micro_store):
         """The acceptance path: a fresh service (fresh in-process cache)
