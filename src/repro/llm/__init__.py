@@ -17,6 +17,7 @@ architecture family at toy scale (see DESIGN.md):
 """
 
 from repro.llm.generation import (
+    DecodeSession,
     DecodeStats,
     greedy_decode,
     greedy_decode_batch,
@@ -31,6 +32,7 @@ from repro.llm.trainer import Seq2SeqExample, Seq2SeqTrainer, TrainingLog
 
 __all__ = [
     "Adam",
+    "DecodeSession",
     "DecodeStats",
     "KVCache",
     "LanguageModel",

@@ -9,8 +9,15 @@ instead of re-running the full forward over the whole context.  Work
 per step is O(context) instead of O(context^2), and serving throughput
 scales with generated tokens rather than sequence length squared.
 
+The decode loop itself lives in :class:`DecodeSession`, a *resumable*
+step-level API: ``admit()`` prefills new rows into the live KV buffers
+at any step boundary (so a serving scheduler can slot newly arrived
+requests into rows freed by early EOS), ``step()`` advances every
+in-flight row by one token and returns the rows that just finished.
 :func:`greedy_decode` scores one prompt; :func:`greedy_decode_batch`
-decodes many prompts in lockstep, sharing prefill and step passes.
+decodes many prompts in lockstep -- both are thin run-to-completion
+drivers over one session, so the batch decoder and the continuous
+scheduler in :mod:`repro.service.scheduler` share the exact same loop.
 Ragged prompt lengths are handled with per-row fill cursors, finished
 rows are compacted out of the KV buffers, and rows that outgrow the
 model's ``max_len`` window fall back to the sliding-window full-forward
@@ -27,11 +34,11 @@ parity tests and the baseline in ``benchmarks/bench_decode.py``.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.llm.model import TransformerModel
+from repro.llm.model import KVCache, TransformerModel
 from repro.llm.tokenizer import BOS, EOS
 
 
@@ -63,6 +70,225 @@ def _pad_rows(rows: list[list[int]]) -> np.ndarray:
     for index, row in enumerate(rows):
         batch[index, :len(row)] = row
     return batch
+
+
+@dataclass
+class _SessionRow:
+    """One in-flight generation: its token history and budget."""
+
+    #: Full token history: ``prompt + [<bos>] + generated so far``.
+    sequence: list[int]
+    #: Generated ids so far (never includes the terminating ``<eos>``).
+    generated: list[int] = field(default_factory=list)
+    #: Tokens this row may still emit before retiring on budget.
+    remaining: int = 0
+
+
+class DecodeSession:
+    """Resumable, step-level greedy decoding over a live KV cache.
+
+    Where :func:`greedy_decode_batch` runs a fixed batch to completion,
+    a session exposes the decode loop itself so a scheduler can
+    interleave admission with generation (continuous batching):
+
+    - :meth:`admit` prefills a batch of new prompts
+      (:meth:`~repro.llm.model.TransformerModel.infer_prefill`) and
+      concatenates the fresh rows onto the in-flight KV buffers
+      (:meth:`~repro.llm.model.KVCache.concat`); it returns one opaque
+      slot id per prompt.  Admission is legal at any step boundary --
+      freshly admitted rows decode their first token on the next
+      :meth:`step` alongside rows already deep into generation.
+    - :meth:`step` advances every in-flight row by one token: it argmaxes
+      each row's pending logits, retires rows that emitted ``eos_id`` or
+      exhausted their budget (compacting them out of the KV buffers via
+      :meth:`~repro.llm.model.KVCache.select`), runs one shared
+      :meth:`~repro.llm.model.TransformerModel.infer_step` for the
+      survivors, and returns ``[(slot, generated_ids), ...]`` for the
+      rows that just finished -- so a scheduler can answer them
+      immediately instead of holding them until the whole batch drains.
+
+    Rows whose context reaches the model's ``max_len`` window migrate to
+    the documented re-prefill fallback
+    (:meth:`~repro.llm.model.TransformerModel.infer_window` over the
+    slid window, one full pass per step) and keep stepping in lockstep
+    with the cached rows.
+
+    Per-row outputs are token-for-token identical to a solo
+    :func:`greedy_decode` of the same prompt, whatever the admission
+    interleaving: greedy decoding is deterministic per row, and the
+    kernel paths compute each row independently of its batch companions
+    (the parity suite asserts this down to staggered admission).
+    ``capacity`` bounds every row's KV buffer (default: the model's full
+    window); all admissions share it so fresh rows can concatenate onto
+    the live cache.
+    """
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        *,
+        eos_id: int = EOS,
+        capacity: int | None = None,
+        stats: DecodeStats | None = None,
+    ):
+        self.model = model
+        self.eos_id = eos_id
+        self.stats = stats
+        self._window = model.config.max_len
+        self.capacity = self._window if capacity is None else capacity
+        if not 1 <= self.capacity <= self._window:
+            raise ValueError("capacity must lie in [1, max_len]")
+        self._rows: dict[int, _SessionRow] = {}
+        self._next_slot = 0
+        self._cache: KVCache | None = None
+        self._kv_slots: list[int] = []          # cache row -> slot id
+        self._kv_logits: np.ndarray | None = None
+        self._overflow: list[int] = []          # slots on window fallback
+        self._of_logits: np.ndarray | None = None
+
+    @property
+    def active(self) -> int:
+        """Rows currently in flight (admitted, not yet retired)."""
+        return len(self._rows)
+
+    @property
+    def active_slots(self) -> list[int]:
+        """Slot ids currently in flight, in admission order."""
+        return sorted(self._rows)
+
+    def admit(
+        self,
+        prompt_ids_batch: list[list[int]],
+        max_new_tokens: int = 48,
+    ) -> list[int]:
+        """Prefill new prompts into the live cache; one slot id each.
+
+        Each prompt decodes exactly as :func:`greedy_decode` would solo:
+        ``<bos>`` is appended, the context is left-truncated to the
+        model window, and generation stops at ``eos_id`` or after
+        ``max_new_tokens`` tokens.  All prompts of one call share a
+        single ragged prefill pass.
+        """
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be positive")
+        if not prompt_ids_batch:
+            return []
+        slots: list[int] = []
+        contexts: list[list[int]] = []
+        for prompt_ids in prompt_ids_batch:
+            slot = self._next_slot
+            self._next_slot += 1
+            sequence = list(prompt_ids) + [BOS]
+            self._rows[slot] = _SessionRow(
+                sequence=sequence, remaining=max_new_tokens
+            )
+            slots.append(slot)
+            contexts.append(sequence[-self._window:])
+        lengths = np.array([len(context) for context in contexts],
+                           dtype=np.int64)
+        tick = _time.perf_counter()
+        logits, fresh = self.model.infer_prefill(
+            _pad_rows(contexts), lengths, capacity=self.capacity
+        )
+        if self.stats is not None:
+            self.stats.prompts += len(slots)
+            self.stats.prefills += 1
+            self.stats.prefill_seconds += _time.perf_counter() - tick
+        if self._cache is None or not self._kv_slots:
+            self._cache = fresh
+            self._kv_slots = slots
+            self._kv_logits = logits
+        else:
+            self._cache = self._cache.concat(fresh)
+            self._kv_slots = self._kv_slots + slots
+            self._kv_logits = np.concatenate([self._kv_logits, logits])
+        return slots
+
+    def step(self) -> list[tuple[int, list[int]]]:
+        """Advance every in-flight row one token; return finished rows.
+
+        One call = one generation round: consume each row's pending
+        logits (appending the argmax token or retiring the row on
+        ``eos_id``/budget), compact retired rows out of the KV buffers,
+        then run one shared ``infer_step`` (plus one ``infer_window``
+        pass for fallback rows) to ready the next round's logits.
+        Returns ``[(slot, generated_ids), ...]`` for rows that finished
+        this round, in retirement order; with nothing in flight it
+        returns ``[]``.
+        """
+        finished: list[int] = []
+        keep: list[int] = []
+        fresh_overflow: list[int] = []
+        if self._kv_slots:
+            for position, slot in enumerate(self._kv_slots):
+                row = self._rows[slot]
+                next_id = int(np.argmax(self._kv_logits[position]))
+                if next_id == self.eos_id:
+                    finished.append(slot)
+                    continue
+                row.generated.append(next_id)
+                row.sequence.append(next_id)
+                row.remaining -= 1
+                if row.remaining <= 0:
+                    finished.append(slot)
+                elif self._cache.lengths[position] < self._cache.capacity:
+                    keep.append(position)
+                else:
+                    # No free slot for the appended token: from here the
+                    # context slides, which re-positions every cached
+                    # token, so this row re-prefills per step instead.
+                    fresh_overflow.append(slot)
+        survivors: list[int] = []
+        if self._overflow:
+            for position, slot in enumerate(self._overflow):
+                row = self._rows[slot]
+                next_id = int(np.argmax(self._of_logits[position]))
+                if next_id == self.eos_id:
+                    finished.append(slot)
+                    continue
+                row.generated.append(next_id)
+                row.sequence.append(next_id)
+                row.remaining -= 1
+                if row.remaining <= 0:
+                    finished.append(slot)
+                else:
+                    survivors.append(slot)
+        self._overflow = survivors + fresh_overflow
+        if len(keep) != len(self._kv_slots):
+            self._kv_slots = [self._kv_slots[position] for position in keep]
+            self._cache = self._cache.select(keep) if keep else None
+        self._kv_logits = None
+        self._of_logits = None
+
+        tick = _time.perf_counter()
+        advanced = False
+        if self._kv_slots:
+            next_ids = np.array(
+                [self._rows[slot].sequence[-1] for slot in self._kv_slots],
+                dtype=np.int64,
+            )
+            self._kv_logits = self.model.infer_step(next_ids, self._cache)
+            advanced = True
+        if self._overflow:
+            contexts = [self._rows[slot].sequence[-self._window:]
+                        for slot in self._overflow]
+            lengths = np.array([len(context) for context in contexts],
+                               dtype=np.int64)
+            self._of_logits = self.model.infer_window(
+                _pad_rows(contexts), lengths
+            )
+            advanced = True
+        if advanced and self.stats is not None:
+            self.stats.steps += 1
+            self.stats.step_seconds += _time.perf_counter() - tick
+
+        retired: list[tuple[int, list[int]]] = []
+        for slot in finished:
+            row = self._rows.pop(slot)
+            if self.stats is not None:
+                self.stats.tokens += len(row.generated)
+            retired.append((slot, row.generated))
+        return retired
 
 
 def greedy_decode(
@@ -103,11 +329,13 @@ def greedy_decode_batch(
 ) -> list[list[int]]:
     """Batched :func:`greedy_decode`: KV-cached prefill + per-token steps.
 
-    Returns one generated-id list per prompt, in input order.  Rows may
-    have ragged prompt lengths (per-row prefill cursors keep padding
-    out of attention); rows that emit ``eos_id`` retire and are
-    compacted out of the KV buffers; rows whose context reaches the
-    ``max_len`` window migrate to the full-forward sliding-window path.
+    Returns one generated-id list per prompt, in input order.  A thin
+    run-to-completion driver over :class:`DecodeSession` -- admit every
+    prompt up front, step until the last row retires -- so rows may have
+    ragged prompt lengths (per-row prefill cursors keep padding out of
+    attention), rows that emit ``eos_id`` retire and are compacted out
+    of the KV buffers, and rows whose context reaches the ``max_len``
+    window migrate to the full-forward sliding-window path.
     Token-for-token identical to
     :func:`greedy_decode_batch_full_forward`.
     """
@@ -120,86 +348,20 @@ def greedy_decode_batch(
             model, prompt_ids_batch, max_new_tokens,
             eos_id=eos_id, stats=stats,
         )
+    # The buffers only need to reach the furthest position any row can
+    # ever write: longest in-window context plus the decode budget.
     window = model.config.max_len
-    sequences = [list(prompt_ids) + [BOS] for prompt_ids in prompt_ids_batch]
-    generated: list[list[int]] = [[] for _ in sequences]
-    if stats is not None:
-        stats.prompts += len(sequences)
-
-    # Prefill over each row's last-window context.  The buffers only
-    # need to reach the furthest position any row can ever write.
-    contexts = [sequence[-window:] for sequence in sequences]
-    lengths = np.array([len(context) for context in contexts], dtype=np.int64)
-    capacity = min(window, int(lengths.max()) + max_new_tokens)
-    tick = _time.perf_counter()
-    kv_logits, cache = model.infer_prefill(
-        _pad_rows(contexts), lengths, capacity=capacity
+    longest = max(min(len(p) + 1, window) for p in prompt_ids_batch)
+    session = DecodeSession(
+        model, eos_id=eos_id, stats=stats,
+        capacity=min(window, longest + max_new_tokens),
     )
-    if stats is not None:
-        stats.prefills += 1
-        stats.prefill_seconds += _time.perf_counter() - tick
-
-    kv_rows = list(range(len(sequences)))   # cache row -> sequence index
-    overflow: list[int] = []                # rows on the window fallback
-    of_logits: np.ndarray | None = None
-
-    for step in range(max_new_tokens):
-        # Consume this round's logits: pick each active row's token,
-        # retire EOS rows, and flag rows whose cache just filled up.
-        keep: list[int] = []
-        fresh_overflow: list[int] = []
-        for position, index in enumerate(kv_rows):
-            next_id = int(np.argmax(kv_logits[position]))
-            if next_id == eos_id:
-                continue
-            generated[index].append(next_id)
-            sequences[index].append(next_id)
-            if cache.lengths[position] < cache.capacity:
-                keep.append(position)
-            else:
-                # No free slot for the appended token: from here the
-                # context slides, which re-positions every cached
-                # token, so this row re-prefills per step instead.
-                fresh_overflow.append(index)
-        survivors: list[int] = []
-        if of_logits is not None:
-            for position, index in enumerate(overflow):
-                next_id = int(np.argmax(of_logits[position]))
-                if next_id == eos_id:
-                    continue
-                generated[index].append(next_id)
-                sequences[index].append(next_id)
-                survivors.append(index)
-        overflow = survivors + fresh_overflow
-        if step + 1 >= max_new_tokens:
-            break
-        if len(keep) != len(kv_rows):
-            kv_rows = [kv_rows[position] for position in keep]
-            cache = cache.select(keep)
-        if not kv_rows and not overflow:
-            break
-
-        tick = _time.perf_counter()
-        if kv_rows:
-            next_ids = np.array(
-                [sequences[index][-1] for index in kv_rows], dtype=np.int64
-            )
-            kv_logits = model.infer_step(next_ids, cache)
-        else:
-            kv_logits = np.empty((0, 0))
-        if overflow:
-            of_contexts = [sequences[index][-window:] for index in overflow]
-            of_lengths = np.array(
-                [len(context) for context in of_contexts], dtype=np.int64
-            )
-            of_logits = model.infer_window(_pad_rows(of_contexts), of_lengths)
-        else:
-            of_logits = None
-        if stats is not None:
-            stats.steps += 1
-            stats.step_seconds += _time.perf_counter() - tick
-    if stats is not None:
-        stats.tokens += sum(len(ids) for ids in generated)
+    slots = session.admit(prompt_ids_batch, max_new_tokens)
+    order = {slot: index for index, slot in enumerate(slots)}
+    generated: list[list[int]] = [[] for _ in slots]
+    while session.active:
+        for slot, ids in session.step():
+            generated[order[slot]] = ids
     return generated
 
 

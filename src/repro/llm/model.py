@@ -96,12 +96,28 @@ def _softmax(x: np.ndarray) -> np.ndarray:
 class KVCache:
     """Per-layer key/value buffers for incremental decoding.
 
-    ``keys[layer]`` / ``values[layer]`` are preallocated
-    ``(batch, n_heads, capacity, d_head)`` buffers; ``lengths[b]`` is
-    row ``b``'s fill cursor -- positions ``>= lengths[b]`` are
-    unwritten (or stale prefill padding) and must never be attended.
-    :meth:`TransformerModel.infer_step` writes each new token at the
-    cursor and advances it.
+    **Shapes.** ``keys[layer]`` / ``values[layer]`` are preallocated
+    ``(batch, n_heads, capacity, d_head)`` float buffers, one pair per
+    transformer layer; ``lengths`` is an ``(batch,)`` int64 array.
+
+    **Cursor semantics.** ``lengths[b]`` is row ``b``'s *fill cursor*:
+    positions ``< lengths[b]`` hold the keys/values of tokens already
+    in row ``b``'s context, positions ``>= lengths[b]`` are unwritten
+    zeros (or stale prefill padding) and must never be attended.
+    :meth:`TransformerModel.infer_step` writes each new token's K/V at
+    the cursor, masks attention per row to ``<= cursor``, then
+    advances the cursor by one.  Cursors are per row, so a cache can
+    hold ragged contexts -- freshly prefilled rows next to rows deep
+    into generation.
+
+    **Row lifecycle.** :meth:`select` compacts finished rows out (the
+    survivors keep paying only for their own batch size);
+    :meth:`concat` appends freshly prefilled rows onto a live cache
+    (how continuous batching admits requests mid-decode).  A row whose
+    cursor reaches ``capacity`` has no slot for another token: the
+    caller must migrate it to the re-prefill sliding-window fallback
+    (:meth:`TransformerModel.infer_window`), because a slid context
+    re-positions every token and invalidates the cached entries anyway.
     """
 
     __slots__ = ("keys", "values", "lengths")
@@ -137,6 +153,39 @@ class KVCache:
             [layer[index] for layer in self.keys],
             [layer[index] for layer in self.values],
             self.lengths[index].copy(),
+        )
+
+    def concat(self, other: "KVCache") -> "KVCache":
+        """A cache holding this cache's rows followed by ``other``'s.
+
+        The row-insertion primitive continuous batching needs: a live
+        decode admits newly arrived requests by prefilling them into
+        their own small cache (:meth:`TransformerModel.infer_prefill`
+        with ``capacity`` equal to this cache's) and concatenating the
+        fresh rows onto the in-flight buffers; combined with
+        :meth:`select` compaction of finished rows, the cache's row set
+        tracks exactly the requests currently decoding.  Both caches
+        must come from the same model and share ``capacity`` -- per-row
+        fill cursors may differ freely (that is the point: old rows are
+        mid-generation, new rows just finished prefill).
+        """
+        if len(self.keys) != len(other.keys):
+            raise ValueError(
+                f"cannot concat caches with {len(self.keys)} and "
+                f"{len(other.keys)} layers"
+            )
+        if self.keys[0].shape[1:] != other.keys[0].shape[1:]:
+            raise ValueError(
+                "cannot concat caches with mismatched per-row shapes "
+                f"{self.keys[0].shape[1:]} vs {other.keys[0].shape[1:]} "
+                "(n_heads, capacity, d_head must agree)"
+            )
+        return KVCache(
+            [np.concatenate([mine, theirs])
+             for mine, theirs in zip(self.keys, other.keys)],
+            [np.concatenate([mine, theirs])
+             for mine, theirs in zip(self.values, other.values)],
+            np.concatenate([self.lengths, other.lengths]),
         )
 
 

@@ -16,13 +16,18 @@ dynamic micro-batching::
     GET  /healthz
     GET  /metrics                                       # Prometheus text
 
-Concurrent requests queue per endpoint and are coalesced into the
-repo's batched backends (``ground_batch``, ``extract_batch``, the
-engine's :class:`~repro.engine.BatchRunner`) under a max-latency /
-max-batch-size policy -- single-request latency stays near-interactive
-while throughput rides the batch APIs.  Trained model contexts
-warm-load from the experiment artifact store at startup instead of
-retraining.
+Concurrent ``/ground``/``/extract`` requests queue per endpoint and are
+coalesced into the repo's batched backends (``ground_batch``,
+``extract_batch``) under a max-latency / max-batch-size policy --
+single-request latency stays near-interactive while throughput rides
+the batch APIs.  ``/solve`` decodes through a continuous-batching
+scheduler (:class:`~repro.service.scheduler.ContinuousBatcher`):
+requests prefill into live KV-cache rows as rows free up, each response
+returns the step its row finishes, and a bounded in-flight budget turns
+overload into 429s.  Trained model contexts warm-load from the
+experiment artifact store at startup instead of retraining.  See
+``docs/SERVING.md`` for the operator runbook and ``docs/METRICS.md``
+for every exported ``/metrics`` series.
 """
 
 from repro.service.app import (
@@ -34,6 +39,7 @@ from repro.service.app import (
 from repro.service.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
 from repro.service.http import ServiceServer, build_server
 from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import ContinuousBatcher
 from repro.service.schemas import BadRequest, UnprocessableRequest
 from repro.service.solver import MWPSolver, SolveResult
 
@@ -42,6 +48,7 @@ __all__ = [
     "BadRequest",
     "BatcherClosed",
     "BatcherSaturated",
+    "ContinuousBatcher",
     "DimensionService",
     "MWPSolver",
     "MetricsRegistry",

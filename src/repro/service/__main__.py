@@ -43,6 +43,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "queued request")
     parser.add_argument("--queue-size", type=int, default=1024,
                         help="bounded per-endpoint queue (429 beyond it)")
+    parser.add_argument("--solve-scheduler", default="continuous",
+                        choices=("continuous", "batch"),
+                        help="/solve decode scheduling: continuous "
+                             "(step-level admit/retire) or batch "
+                             "(run-to-completion micro-batches)")
+    parser.add_argument("--max-inflight-rows", type=int, default=32,
+                        help="continuous scheduler: KV rows decoding "
+                             "at once")
     parser.add_argument("--artifact-dir", default="",
                         help="artifact-store override for warm loading")
     parser.add_argument("--verbose", action="store_true",
@@ -62,6 +70,8 @@ def main(argv: list[str] | None = None) -> int:
         profile=args.profile,
         seed=args.seed,
         artifact_dir=args.artifact_dir,
+        solve_scheduler=args.solve_scheduler,
+        max_inflight_rows=args.max_inflight_rows,
     )
     ServiceRequestHandler.log_requests = args.verbose
     print(f"loading service (profile={args.profile}) ...", flush=True)
@@ -74,7 +84,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"trained context: {boot}", flush=True)
     print(f"serving on http://{host}:{port} "
           f"(batch<= {config.max_batch_size}, "
-          f"latency<= {config.max_latency * 1000:g}ms)", flush=True)
+          f"latency<= {config.max_latency * 1000:g}ms, "
+          f"solve={config.solve_scheduler})", flush=True)
 
     stop = threading.Event()
 

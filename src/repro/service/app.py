@@ -9,10 +9,16 @@ each endpoint to a handler.  The transport layer
 
 Batching strategy per endpoint:
 
-- ``/ground``, ``/extract`` and ``/solve`` queue through a
+- ``/solve`` defaults to the continuous decode scheduler
+  (:class:`~repro.service.scheduler.ContinuousBatcher`): requests are
+  prefilled into live KV rows as rows free up and each answer returns
+  the step its row finishes.  ``solve_scheduler="batch"`` keeps the
+  run-to-completion micro-batched path instead.
+- ``/ground`` and ``/extract`` queue through a
   :class:`~repro.service.batcher.MicroBatcher` each: their backends have
-  true batch APIs (``ground_batch``/``extract_batch`` and the engine's
-  :class:`~repro.engine.BatchRunner`) whose throughput rides batch size.
+  true batch APIs (``ground_batch``/``extract_batch``) whose throughput
+  rides batch size and whose per-item cost is uniform, so
+  run-to-completion loses nothing.
 - ``/convert``, ``/compare`` and ``/dimension`` answer inline: their
   backends are O(1) after the shared
   :class:`~repro.engine.ConversionCache` warms, so queueing would add
@@ -38,6 +44,7 @@ from repro.experiments.context import get_context, profile_named
 from repro.quantity.grounder import QuantityGrounder, grounder_for
 from repro.service.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
 from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import ContinuousBatcher
 from repro.service.schemas import (
     BadRequest,
     UnprocessableRequest,
@@ -76,10 +83,24 @@ class ServiceConfig:
     #: Engine knobs for the completion memo / conversion cache.
     engine_batch_size: int = 32
     completion_cache_size: int = 2048
+    #: /solve decode scheduling: "continuous" admits requests into KV
+    #: rows mid-flight and retires rows the step they finish; "batch"
+    #: keeps the run-to-completion micro-batched path.
+    solve_scheduler: str = "continuous"
+    #: Continuous-scheduler budget: live KV rows decoding at once.
+    #: Queued requests wait for a free row; beyond max_queue they 429.
+    max_inflight_rows: int = 32
 
     def __post_init__(self) -> None:
         if self.profile != "off":
             profile_named(self.profile)  # validate eagerly
+        if self.solve_scheduler not in ("continuous", "batch"):
+            raise ValueError(
+                f"solve_scheduler must be 'continuous' or 'batch', "
+                f"got {self.solve_scheduler!r}"
+            )
+        if self.max_inflight_rows < 1:
+            raise ValueError("max_inflight_rows must be at least 1")
 
 
 class ServiceUnavailable(RuntimeError):
@@ -117,19 +138,31 @@ class DimensionService:
         self.warm_loaded: bool | None = None
         if self.config.profile != "off":
             self._load_solver()
-        self._batchers: dict[str, MicroBatcher] = {}
+        self._batchers: dict[str, MicroBatcher | ContinuousBatcher] = {}
         self._ground_batcher = self._make_batcher(
             "ground", self.grounder.ground_batch
         )
         self._extract_batcher = self._make_batcher(
             "extract", self.grounder.extract_batch
         )
+        self._solve_batcher: MicroBatcher | ContinuousBatcher | None = None
         if self.solver is not None:
-            self._solve_batcher = self._make_batcher(
-                "solve", self.solver.solve_batch
-            )
-        else:
-            self._solve_batcher = None
+            if self.config.solve_scheduler == "continuous":
+                self._solve_batcher = ContinuousBatcher(
+                    self.solver.lm,
+                    finish=self.solver.finish,
+                    max_inflight_rows=self.config.max_inflight_rows,
+                    max_queue=self.config.max_queue,
+                    name="solve",
+                    on_admit=self._record_batch,
+                    on_decode=self._record_decode,
+                    completion_cache=self.engine.runner.completion_cache,
+                )
+                self._batchers["solve"] = self._solve_batcher
+            else:
+                self._solve_batcher = self._make_batcher(
+                    "solve", self.solver.solve_batch
+                )
 
     # -- construction helpers ------------------------------------------------
 
@@ -181,7 +214,9 @@ class DimensionService:
             name=f"DimPerc-{self.config.profile}"
         )
         # Every /solve decode reports its token/step/latency counters
-        # here (called from the single solve batch-worker thread).
+        # here: run-to-completion decodes through the LM observer, the
+        # continuous scheduler through its own on_decode deltas (both
+        # fire from the single solve worker thread).
         lm.decode_observer = self._record_decode
         self.solver = MWPSolver(self.grounder, lm, self.engine.runner)
 
@@ -196,8 +231,18 @@ class DimensionService:
                    "sizes); divide by batches_total for mean batch size.")
         m.describe("request_seconds_total",
                    "Wall-clock seconds spent handling requests.")
+        m.describe("request_seconds",
+                   "Per-endpoint request-latency histogram (seconds); "
+                   "feed the _bucket rates to histogram_quantile for "
+                   "p50/p99.")
         m.describe("queue_depth",
                    "Queued-but-unbatched requests per batched endpoint.")
+        m.describe("solve_queue_depth",
+                   "/solve requests queued awaiting a decode slot "
+                   "(scheduler admission queue; 429 beyond max_queue).")
+        m.describe("solve_inflight_rows",
+                   "Unique prompts decoding in live KV rows right now "
+                   "(continuous scheduler; bounded by max_inflight_rows).")
         m.describe("solve_decode_tokens_total",
                    "Tokens generated by /solve decodes (EOS excluded).")
         m.describe("solve_decode_steps_total",
@@ -209,6 +254,10 @@ class DimensionService:
                    "KV-cache prefill passes run by /solve.")
         m.describe("solve_decode_prefill_seconds_total",
                    "Seconds spent in KV-cache prefill passes.")
+        m.describe("conversion_cache_hits",
+                   "Unit-conversion cache hits since boot.")
+        m.describe("conversion_cache_misses",
+                   "Unit-conversion cache misses since boot.")
 
     # -- dispatch -------------------------------------------------------------
 
@@ -251,10 +300,11 @@ class DimensionService:
             status, body = 500, {
                 "error": f"internal error: {type(exc).__name__}: {exc}"
             }
+        elapsed = time.perf_counter() - started
         self.metrics.inc("requests_total",
                          endpoint=endpoint, status=str(status))
-        self.metrics.inc("request_seconds_total",
-                         time.perf_counter() - started, endpoint=endpoint)
+        self.metrics.inc("request_seconds_total", elapsed, endpoint=endpoint)
+        self.metrics.observe("request_seconds", elapsed, endpoint=endpoint)
         return status, body
 
     # -- endpoint handlers ----------------------------------------------------
@@ -275,6 +325,8 @@ class DimensionService:
                 "max_batch_size": self.config.max_batch_size,
                 "max_latency_seconds": self.config.max_latency,
                 "max_queue": self.config.max_queue,
+                "solve_scheduler": self.config.solve_scheduler,
+                "max_inflight_rows": self.config.max_inflight_rows,
             },
         }
 
@@ -283,6 +335,11 @@ class DimensionService:
         for name, batcher in self._batchers.items():
             self.metrics.set_gauge("queue_depth", batcher.pending(),
                                    endpoint=name)
+        if isinstance(self._solve_batcher, ContinuousBatcher):
+            self.metrics.set_gauge("solve_queue_depth",
+                                   self._solve_batcher.pending())
+            self.metrics.set_gauge("solve_inflight_rows",
+                                   self._solve_batcher.inflight_rows())
         stats = self.engine.conversion_cache.stats()
         self.metrics.set_gauge("conversion_cache_hits", stats.hits)
         self.metrics.set_gauge("conversion_cache_misses", stats.misses)

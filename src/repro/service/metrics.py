@@ -1,19 +1,37 @@
 """Thread-safe service counters with a Prometheus text rendering.
 
-A deliberately small registry: labelled monotonic counters plus
-point-in-time gauges, enough for ``/metrics`` to answer the questions an
-operator actually asks of this service (request rates per endpoint and
-status, micro-batch coalescing efficiency, request latency totals)
-without pulling in a client library the container doesn't have.
+A deliberately small registry: labelled monotonic counters,
+point-in-time gauges and cumulative histograms, enough for ``/metrics``
+to answer the questions an operator actually asks of this service
+(request rates per endpoint and status, micro-batch coalescing
+efficiency, request-latency percentiles) without pulling in a client
+library the container doesn't have.  ``docs/METRICS.md`` is the
+reference for every series the service exports; the CI docs check
+fails when an exported name is missing there.
 """
 
 from __future__ import annotations
 
+import bisect
 import threading
 from collections import defaultdict
 
 #: Prefix every exported sample so scrapes can't collide with other jobs.
 _NAMESPACE = "repro_service"
+
+#: Default histogram upper bounds (seconds): request latencies here span
+#: sub-millisecond KB lookups to multi-second saturated /solve decodes.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_le(bound: float) -> str:
+    """Prometheus-style bucket label: trim trailing zeros, keep '+Inf'."""
+    if bound == float("inf"):
+        return "+Inf"
+    return f"{bound:g}"
 
 
 def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
@@ -24,7 +42,7 @@ def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
 
 
 class MetricsRegistry:
-    """Labelled counters/gauges behind one lock, rendered on demand."""
+    """Labelled counters/gauges/histograms behind one lock."""
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -34,6 +52,12 @@ class MetricsRegistry:
         self._gauges: dict[str, dict[tuple[tuple[str, str], ...], float]] = (
             defaultdict(dict)
         )
+        #: name -> labels -> [per-bucket counts..., sum, count]; bucket
+        #: bounds live per name in _bounds (fixed at first observe).
+        self._histograms: dict[
+            str, dict[tuple[tuple[str, str], ...], dict]
+        ] = defaultdict(dict)
+        self._bounds: dict[str, tuple[float, ...]] = {}
         self._help: dict[str, str] = {}
 
     # -- write side ---------------------------------------------------------
@@ -56,7 +80,63 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name][key] = value
 
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> None:
+        """Record ``value`` into a cumulative histogram series.
+
+        Renders as the standard Prometheus histogram triple --
+        ``<name>_bucket{le="..."}`` (cumulative counts), ``<name>_sum``
+        and ``<name>_count`` -- so p50/p99 are derivable downstream
+        (``histogram_quantile`` over the bucket rates).  The bucket
+        bounds are fixed by the first observation of ``name``; later
+        ``buckets`` arguments are ignored, keeping every labelled
+        series of one name comparable.
+        """
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            bounds = self._bounds.setdefault(name, tuple(sorted(buckets)))
+            series = self._histograms[name]
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = {
+                    "buckets": [0] * len(bounds), "sum": 0.0, "count": 0,
+                }
+            index = bisect.bisect_left(bounds, value)
+            if index < len(bounds):
+                hist["buckets"][index] += 1
+            hist["sum"] += value
+            hist["count"] += 1
+
     # -- read side ----------------------------------------------------------
+
+    def histogram(self, name: str, **labels: str) -> dict | None:
+        """One histogram series as ``{bounds, buckets, sum, count}``.
+
+        ``buckets`` holds *cumulative* counts aligned with ``bounds``
+        (the ``le`` upper bounds, ``+Inf`` excluded -- ``count`` is the
+        ``+Inf`` bucket).  ``None`` when the series was never observed.
+        """
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            hist = self._histograms.get(name, {}).get(key)
+            if hist is None:
+                return None
+            cumulative: list[int] = []
+            running = 0
+            for bucket in hist["buckets"]:
+                running += bucket
+                cumulative.append(running)
+            return {
+                "bounds": self._bounds[name],
+                "buckets": cumulative,
+                "sum": hist["sum"],
+                "count": hist["count"],
+            }
 
     def value(self, name: str, **labels: str) -> float:
         """Current value of one counter/gauge series (0.0 if unset)."""
@@ -76,17 +156,50 @@ class MetricsRegistry:
                     for labels, value in series.items():
                         label_key = _render_labels(labels) or "total"
                         rendered[label_key] = value
+            for name, series in self._histograms.items():
+                rendered = out.setdefault(f"{_NAMESPACE}_{name}", {})
+                for labels, hist in series.items():
+                    label_key = _render_labels(labels) or "total"
+                    rendered[label_key] = {
+                        "sum": hist["sum"], "count": hist["count"],
+                    }
             return out
 
     def render(self) -> str:
         """The Prometheus text-format exposition."""
         lines: list[str] = []
         with self._lock:
-            names = sorted(set(self._counters) | set(self._gauges))
+            names = sorted(set(self._counters) | set(self._gauges)
+                           | set(self._histograms))
             for name in names:
                 full = f"{_NAMESPACE}_{name}"
                 if name in self._help:
                     lines.append(f"# HELP {full} {self._help[name]}")
+                if name in self._histograms:
+                    lines.append(f"# TYPE {full} histogram")
+                    bounds = self._bounds[name]
+                    series = self._histograms[name]
+                    for labels in sorted(series):
+                        hist = series[labels]
+                        running = 0
+                        for bound, bucket in zip(bounds, hist["buckets"]):
+                            running += bucket
+                            le = (*labels, ("le", _format_le(bound)))
+                            lines.append(
+                                f"{full}_bucket{_render_labels(le)} "
+                                f"{running}"
+                            )
+                        inf = (*labels, ("le", "+Inf"))
+                        lines.append(
+                            f"{full}_bucket{_render_labels(inf)} "
+                            f"{hist['count']}"
+                        )
+                        rendered = _render_labels(labels)
+                        lines.append(f"{full}_sum{rendered} "
+                                     f"{hist['sum']:g}")
+                        lines.append(f"{full}_count{rendered} "
+                                     f"{hist['count']}")
+                    continue
                 kind = "counter" if name in self._counters else "gauge"
                 lines.append(f"# TYPE {full} {kind}")
                 series = {**self._gauges.get(name, {}),

@@ -6,13 +6,16 @@ the problem itself: the shared :class:`~repro.quantity.QuantityGrounder`
 locates every numeric literal (and its unit, when one follows), the
 literals become equation slots ``N1..Nk`` in reading order, and the
 slotted prompt goes through the *same* tokenisation as training
-(:func:`repro.core.encoding.slotted_prompt`).  Decoding rides the
-evaluation engine's :class:`~repro.engine.BatchRunner` -- micro-batched
-requests share KV-cached prefill/step passes via ``generate_batch``
-(each generated token costs one-token attention against the cached
-keys/values, not a full forward) and repeat prompts hit the completion
-memo -- and the predicted equation is executed with the repo's safe
-calculator over the extracted slot values.  The wrapped
+(:func:`repro.core.encoding.slotted_prompt`).  Decoding depends on the
+configured scheduler: the default continuous scheduler
+(:class:`~repro.service.scheduler.ContinuousBatcher`) prefills each
+prepared prompt into a live KV row and retires it the step it
+finishes, while ``--solve-scheduler batch`` rides the evaluation
+engine's :class:`~repro.engine.BatchRunner` run-to-completion
+(micro-batched requests share KV-cached prefill/step passes via
+``generate_batch``).  Both paths end in :meth:`MWPSolver.finish`: the
+predicted equation is executed with the repo's safe calculator over the
+extracted slot values, and repeat prompts hit the same completion memo.  The wrapped
 :class:`~repro.llm.TransformerLM`'s ``decode_observer`` feeds the
 service's ``solve_decode_*`` metrics.
 """
@@ -94,6 +97,33 @@ class MWPSolver:
             )
         return slotted_prompt(slot_text(text, list(quantities))), quantities
 
+    def finish(
+        self,
+        prepared: tuple[str, tuple[ExtractedQuantity, ...]],
+        output: str,
+    ) -> SolveResult:
+        """Turn one decoded completion into a :class:`SolveResult`.
+
+        The deterministic tail of a solve -- equation extraction plus the
+        safe-calculator evaluation over the request's own slot values --
+        shared by both schedulers: ``solve_batch`` calls it per row after
+        the batched runner decode, and the continuous scheduler calls it
+        per retired KV row (two requests deduplicated onto one decode
+        still evaluate against their own quantities here).
+        """
+        prompt, quantities = prepared
+        equation = equation_from_output(output)
+        try:
+            answer = evaluate_equation(
+                equation, [quantity.value for quantity in quantities]
+            )
+        except EquationError:
+            answer = None
+        return SolveResult(
+            equation=equation, answer=answer,
+            quantities=quantities, prompt=prompt,
+        )
+
     def solve_batch(
         self, prepared: list[tuple[str, tuple[ExtractedQuantity, ...]]]
     ) -> list[SolveResult]:
@@ -103,20 +133,10 @@ class MWPSolver:
         outputs = self.runner.generate_all(
             self.lm, [prompt for prompt, _ in prepared]
         )
-        results = []
-        for (prompt, quantities), output in zip(prepared, outputs):
-            equation = equation_from_output(output)
-            try:
-                answer = evaluate_equation(
-                    equation, [quantity.value for quantity in quantities]
-                )
-            except EquationError:
-                answer = None
-            results.append(SolveResult(
-                equation=equation, answer=answer,
-                quantities=quantities, prompt=prompt,
-            ))
-        return results
+        return [
+            self.finish(item, output)
+            for item, output in zip(prepared, outputs)
+        ]
 
     def solve_texts(self, texts: list[str]) -> list[SolveResult]:
         """Prepare + solve in one call (tests and offline callers)."""

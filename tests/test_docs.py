@@ -1,0 +1,35 @@
+"""Tier-1 wrapper around the docs consistency checker.
+
+Keeps ``docs/`` honest on every test run: no dead relative links or
+anchors in README/docs, and every exported ``/metrics`` series
+documented in ``docs/METRICS.md``. The same checker runs standalone in
+the CI docs job (``python tools/check_docs.py``).
+"""
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_have_no_dead_links_or_anchors():
+    docs = sorted(p for pattern in check_docs.DOC_GLOBS
+                  for p in REPO_ROOT.glob(pattern))
+    assert docs, "README.md / docs/*.md should exist"
+    assert check_docs.check_links(REPO_ROOT, docs) == []
+
+
+def test_every_exported_metric_is_documented():
+    exported = check_docs.exported_metrics(REPO_ROOT)
+    # Guard against the extraction regex rotting silently: the service
+    # exports a known-stable core of series.
+    assert {"requests_total", "request_seconds",
+            "solve_queue_depth", "solve_inflight_rows"} <= exported
+    assert check_docs.check_metrics(REPO_ROOT) == []
+
+
+def test_checker_cli_passes_on_this_repo():
+    assert check_docs.main(["--root", str(REPO_ROOT)]) == 0

@@ -638,6 +638,57 @@ class TestSolveServing:
         assert "repro_service_solve_decode_tokens_total" in rendered
         assert "repro_service_solve_decode_step_seconds_total" in rendered
 
+    def test_scheduler_gauges_and_latency_histogram_exported(
+        self, solve_service
+    ):
+        """The continuous scheduler's observability surface: queue
+        depth, in-flight rows, and a per-endpoint latency histogram
+        from which p50/p99 are derivable."""
+        service, client = solve_service
+        status, health = client.request("/healthz")
+        assert status == 200
+        assert health["batching"]["solve_scheduler"] == "continuous"
+        assert health["batching"]["max_inflight_rows"] == 32
+        client.request(
+            "/solve", {"text": "篮子里有 4 个橙子，又放入 6 个，共几个？"}
+        )
+        rendered = client.request("/metrics")[1]
+        assert "repro_service_solve_queue_depth 0" in rendered
+        assert "repro_service_solve_inflight_rows 0" in rendered
+        assert "# TYPE repro_service_request_seconds histogram" in rendered
+        assert 'repro_service_request_seconds_bucket{endpoint="/solve",' \
+            'le="+Inf"}' in rendered
+        assert 'repro_service_request_seconds_count{endpoint="/solve"}' \
+            in rendered
+        hist = service.metrics.histogram("request_seconds",
+                                         endpoint="/solve")
+        assert hist is not None
+        assert hist["count"] >= 1
+        assert hist["buckets"][-1] <= hist["count"]
+
+    def test_batch_scheduler_serves_identical_answers(self, solve_service,
+                                                      micro_store):
+        """--solve-scheduler batch keeps the run-to-completion path and
+        its responses are byte-identical to the continuous default."""
+        service, client = solve_service
+        texts = [
+            f"停车场有 {i} 辆车，开走了 {max(i - 3, 1)} 辆，还剩几辆？"
+            for i in range(4, 10)
+        ]
+        continuous = [
+            client.request("/solve", {"text": t})[1] for t in texts
+        ]
+        batch = DimensionService(ServiceConfig(
+            port=0, profile="micro", seed=11,
+            artifact_dir=str(micro_store), solve_scheduler="batch",
+        ))
+        try:
+            assert isinstance(batch._solve_batcher, MicroBatcher)
+            got = [batch.dispatch("/solve", {"text": t})[1] for t in texts]
+        finally:
+            batch.close()
+        assert json.loads(json.dumps(got)) == continuous
+
     def test_second_boot_is_warm_without_retraining(self, solve_service,
                                                     micro_store):
         """The acceptance path: a fresh service (fresh in-process cache)

@@ -1,0 +1,143 @@
+"""Documentation consistency checks, run by CI and tier-1.
+
+Two independent checks over ``README.md`` and ``docs/*.md``:
+
+1. **Links** — every relative markdown link must resolve to an existing
+   file, and every ``#fragment`` (on a relative link or a bare
+   ``#anchor``) must match a heading slug in the target document.
+   External (``http(s)://``, ``mailto:``) links are not fetched.
+2. **Metrics coverage** — every metric name the service exports
+   (``inc`` / ``set_gauge`` / ``observe`` / ``describe`` call sites in
+   ``src/repro/service/app.py`` and ``metrics.py``) must be documented
+   in ``docs/METRICS.md``.
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+
+Usage::
+
+    python tools/check_docs.py [--root PATH]
+"""
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+DOC_GLOBS = ("README.md", "docs/*.md")
+METRIC_SOURCES = ("src/repro/service/app.py", "src/repro/service/metrics.py")
+METRICS_DOC = "docs/METRICS.md"
+
+_FENCE = re.compile(r"^(```|~~~)")
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+_EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
+_METRIC_CALL = re.compile(
+    r"\b(?:inc|set_gauge|observe|describe)\(\s*[\"']([a-z0-9_]+)[\"']")
+
+
+def _strip_fences(text: str) -> list[str]:
+    """Markdown lines with fenced code blocks blanked out."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep label
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: pathlib.Path) -> set[str]:
+    anchors: set[str] = set()
+    for line in _strip_fences(path.read_text(encoding="utf-8")):
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_slugify(match.group(2)))
+    return anchors
+
+
+def check_links(root: pathlib.Path, docs: list[pathlib.Path]) -> list[str]:
+    problems = []
+    anchor_cache: dict[pathlib.Path, set[str]] = {}
+    for doc in docs:
+        for lineno, line in enumerate(
+                _strip_fences(doc.read_text(encoding="utf-8")), start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if _EXTERNAL.match(target):
+                    continue
+                where = f"{doc.relative_to(root)}:{lineno}"
+                path_part, _, fragment = target.partition("#")
+                dest = doc if not path_part else (
+                    doc.parent / path_part).resolve()
+                if not dest.is_file():
+                    problems.append(f"{where}: dead link -> {target}")
+                    continue
+                if fragment:
+                    if dest not in anchor_cache:
+                        anchor_cache[dest] = _anchors(dest)
+                    if fragment not in anchor_cache[dest]:
+                        problems.append(
+                            f"{where}: dead anchor -> {target}"
+                            f" (no heading slug '{fragment}')")
+    return problems
+
+
+def exported_metrics(root: pathlib.Path) -> set[str]:
+    names: set[str] = set()
+    for source in METRIC_SOURCES:
+        path = root / source
+        if path.is_file():
+            names.update(_METRIC_CALL.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+def check_metrics(root: pathlib.Path) -> list[str]:
+    doc = root / METRICS_DOC
+    if not doc.is_file():
+        return [f"{METRICS_DOC}: missing (metrics reference is required)"]
+    documented = set(re.findall(r"`([a-z0-9_]+)`", doc.read_text(encoding="utf-8")))
+    problems = []
+    for name in sorted(exported_metrics(root)):
+        if name not in documented:
+            problems.append(
+                f"{METRICS_DOC}: exported metric `{name}` is undocumented")
+    return problems
+
+
+def run(root: pathlib.Path) -> list[str]:
+    docs = sorted(p for pattern in DOC_GLOBS for p in root.glob(pattern))
+    if not docs:
+        return [f"no documents matched {DOC_GLOBS} under {root}"]
+    return check_links(root, docs) + check_metrics(root)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this repo)")
+    args = parser.parse_args(argv)
+    problems = run(args.root.resolve())
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_docs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
