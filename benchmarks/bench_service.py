@@ -39,6 +39,14 @@ including the long-decode family, where continuous trades some tail
 latency for the width that buys its throughput (see
 docs/SERVING.md for the trade and the ``max_inflight_rows`` knob).
 
+A fifth record contrasts one process against a ``--workers N``
+pre-fork fleet (both launched through the real CLI, warm from the same
+store) on decode-heavy unique traffic: byte-identical responses across
+worker counts and a complete cross-worker `/metrics` scrape are hard
+gates everywhere, while the parallel-throughput gate applies only on
+hosts with at least one core per worker (recorded as skipped
+otherwise -- a 1-core box measures fork overhead, not parallelism).
+
 The trained context must come out of the artifact store on the second
 boot without retraining -- a hard failure, not a metric.
 
@@ -54,12 +62,17 @@ retrains, or the template-traffic /solve speedup misses
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import pathlib
+import signal
+import socket
+import subprocess
 import sys
 import threading
 import time
+import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
@@ -325,6 +338,165 @@ def measure_mixed(bodies: list[dict], *, profile: str, seed: int,
     return record
 
 
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@contextlib.contextmanager
+def _service_process(workers: int, *, seed: int, batch_size: int,
+                     store: pathlib.Path, boot_timeout: float = 300.0):
+    """``python -m repro.service --workers N`` as a real subprocess.
+
+    The single-process baseline goes through the same launcher so the
+    fleet comparison measures workers, not in-process-vs-subprocess
+    overhead.  Booting against the bench store keeps every boot warm.
+    """
+    port = _free_port()
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", str(port),
+         "--workers", str(workers), "--profile", "micro",
+         "--seed", str(seed), "--batch-size", str(batch_size),
+         "--artifact-dir", str(store)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, start_new_session=True,
+    )
+    base = f"http://127.0.0.1:{port}"
+    try:
+        deadline = time.monotonic() + boot_timeout
+        while True:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"service exited during boot:\n{proc.stdout.read()}")
+            with contextlib.suppress(OSError, urllib.error.URLError):
+                with urllib.request.urlopen(base + "/healthz",
+                                            timeout=2) as response:
+                    body = json.loads(response.read().decode("utf-8"))
+                alive = body.get("fleet", {}).get("alive", 1)
+                if alive == workers:
+                    break
+            if time.monotonic() > deadline:
+                raise RuntimeError("service never became ready")
+            time.sleep(0.1)
+        yield base
+    finally:
+        with contextlib.suppress(ProcessLookupError, PermissionError):
+            os.killpg(proc.pid, signal.SIGKILL)
+        with contextlib.suppress(Exception):
+            proc.wait(timeout=10)
+        proc.stdout.close()
+
+
+def _scrape_fleet_metrics(base: str, workers: int,
+                          expected_requests: int) -> tuple[dict, list[str]]:
+    """One `/metrics` scrape must carry the whole fleet; returns the
+    recorded summary plus a list of problems (empty when the scrape
+    holds up)."""
+    import re
+    with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+        text = response.read().decode("utf-8")
+    problems = []
+
+    def series(name: str, **labels: str) -> float | None:
+        pattern = re.compile(
+            rf"^repro_service_{name}{{(?P<labels>[^}}]*)}} (?P<value>\S+)$")
+        for line in text.splitlines():
+            match = pattern.match(line)
+            if not match:
+                continue
+            have = dict(re.findall(r'(\w+)="([^"]*)"', match.group("labels")))
+            if all(have.get(key) == val for key, val in labels.items()):
+                return float(match.group("value"))
+        return None
+
+    fleet_total = series("requests_total", endpoint="/solve",
+                         status="200", worker_id="fleet") or 0
+    if fleet_total < expected_requests:
+        problems.append(
+            f"fleet-wide requests_total {fleet_total:.0f} < the "
+            f"{expected_requests} requests sent")
+    decode_ids, request_ids = [], []
+    for worker_id in range(workers):
+        if series("requests_total", endpoint="/solve", status="200",
+                  worker_id=str(worker_id)):
+            request_ids.append(worker_id)
+        if series("solve_decode_tokens_total", worker_id=str(worker_id)):
+            decode_ids.append(worker_id)
+    if len(request_ids) < workers:
+        problems.append(
+            f"only workers {request_ids} show /solve requests in one "
+            f"scrape; expected all {workers}")
+    if len(decode_ids) < workers:
+        problems.append(
+            f"only workers {decode_ids} show decode tokens in one "
+            f"scrape; expected all {workers}")
+    fleet_tokens = series("solve_decode_tokens_total", worker_id="fleet")
+    summary = {
+        "fleet_requests_total": int(fleet_total),
+        "fleet_decode_tokens_total": int(fleet_tokens or 0),
+        "workers_with_requests": request_ids,
+        "workers_with_decodes": decode_ids,
+    }
+    return summary, problems
+
+
+def measure_fleet(bodies: list[dict], *, workers: int, seed: int,
+                  clients: int, batch_size: int,
+                  store: pathlib.Path) -> dict:
+    """One process vs a ``--workers N`` fleet on the same decode-heavy
+    traffic.
+
+    One interpreter is one GIL, so the single-process service cannot
+    use a second core however many threads it runs; the fleet's N
+    processes can.  Both sides launch through the same CLI and warm
+    from the same store.  Responses must be byte-identical whatever the
+    worker count (scheduling across processes is still never allowed
+    to change an answer), and one `/metrics` scrape from the fleet
+    must carry every worker's series plus the fleet totals.
+
+    The throughput gate only applies when the host actually has a core
+    per worker (``host_cpus`` is recorded either way): on a smaller
+    machine the fleet measures fork/IPC overhead, not parallelism, so
+    the record marks the gate skipped rather than failing on hardware
+    the claim was never about.
+    """
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    record: dict = {"workload": "solve-unique-structures-fleet",
+                    "endpoint": "/solve", "requests": len(bodies),
+                    "clients": clients, "workers": workers,
+                    "host_cpus": cores}
+    warmup = short_workload(2 * workers)
+    responses_by_mode = {}
+    for mode, count in (("single", 1), ("fleet", workers)):
+        with _service_process(count, seed=seed, batch_size=batch_size,
+                              store=store) as base:
+            drive(base, "/solve", warmup, clients=min(clients, 4))
+            seconds, responses = drive(base, "/solve", bodies, clients)
+            if mode == "fleet":
+                scrape, problems = _scrape_fleet_metrics(
+                    base, workers, len(bodies) + len(warmup))
+                record["fleet_metrics"] = scrape
+                record["fleet_metrics_problems"] = problems
+        responses_by_mode[mode] = responses
+        record[mode] = {
+            "seconds": round(seconds, 4),
+            "requests_per_second": round(len(bodies) / seconds, 2),
+        }
+    record["identical_responses"] = (
+        responses_by_mode["single"] == responses_by_mode["fleet"])
+    record["throughput_ratio"] = round(
+        record["fleet"]["requests_per_second"]
+        / record["single"]["requests_per_second"], 2)
+    record["gate_applied"] = cores >= workers
+    return record
+
+
 def measure(path: str, bodies: list[dict], *, profile: str, seed: int,
             clients: int, batch_size: int, label: str) -> dict:
     """Naive-vs-stack throughput for one workload."""
@@ -414,6 +586,20 @@ def main(argv: list[str] | None = None) -> int:
                              "run-to-completion holds hostage behind "
                              "long batch-mates) is at most this x "
                              "run-to-completion's (0 disables)")
+    parser.add_argument("--fleet-workers", type=int, default=4,
+                        help="worker count for the pre-fork fleet "
+                             "scenario (0 skips the scenario)")
+    parser.add_argument("--fleet-requests", type=int, default=96,
+                        help="decode-heavy requests driven at the "
+                             "single process and at the fleet")
+    parser.add_argument("--fleet-clients", type=int, default=16,
+                        help="concurrent clients for the fleet scenario")
+    parser.add_argument("--fleet-min-ratio", type=float, default=1.8,
+                        help="fail unless the fleet sustains at least "
+                             "this x the single-process throughput "
+                             "(0 disables; auto-skipped, and recorded "
+                             "as skipped, when the host has fewer "
+                             "cores than workers)")
     parser.add_argument("--out", metavar="FILE", default=None)
     args = parser.parse_args(argv)
 
@@ -466,6 +652,17 @@ def main(argv: list[str] | None = None) -> int:
         max_inflight_rows=args.max_inflight_rows,
         attempts=args.mixed_attempts,
     )
+    fleet = None
+    if args.fleet_workers > 1:
+        env_store = os.environ.get(ENV_VAR)
+        store = (pathlib.Path(env_store)
+                 if env_store not in (None, "off") else DEFAULT_STORE)
+        fleet = measure_fleet(
+            unique_workload(args.fleet_requests),
+            workers=args.fleet_workers, seed=args.seed,
+            clients=args.fleet_clients, batch_size=args.batch_size,
+            store=store,
+        )
     record = {
         "benchmark": "service",
         "boot": {
@@ -476,6 +673,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "workloads": results,
         "continuous_batching": mixed,
+        "fleet": fleet,
     }
     for result in results:
         print(f"{result['workload']}: per-request "
@@ -497,6 +695,14 @@ def main(argv: list[str] | None = None) -> int:
           f"{mixed['short_p99_ratio']:.2f}x short-family p99, "
           f"{mixed['long_p99_ratio']:.2f}x long-family p99 "
           f"(identical={mixed['identical_responses']})")
+    if fleet is not None:
+        print(f"{fleet['workload']}: 1 process "
+              f"{fleet['single']['requests_per_second']:.1f} req/s, "
+              f"{fleet['workers']} workers "
+              f"{fleet['fleet']['requests_per_second']:.1f} req/s -> "
+              f"{fleet['throughput_ratio']:.2f}x on {fleet['host_cpus']} "
+              f"cores (identical={fleet['identical_responses']}, "
+              f"gate {'applied' if fleet['gate_applied'] else 'skipped'})")
     if args.out:
         pathlib.Path(args.out).write_text(
             json.dumps(record, indent=2) + "\n", encoding="utf-8"
@@ -536,6 +742,24 @@ def main(argv: list[str] | None = None) -> int:
               f"{args.mixed_max_short_p99_ratio:.2f}x gate",
               file=sys.stderr)
         return 1
+    if fleet is not None:
+        # Byte parity and scrape completeness hold on any hardware;
+        # only the parallel-speedup gate is core-aware.
+        if not fleet["identical_responses"]:
+            print("FAIL: fleet responses diverge from the single "
+                  "process", file=sys.stderr)
+            return 1
+        if fleet["fleet_metrics_problems"]:
+            for problem in fleet["fleet_metrics_problems"]:
+                print(f"FAIL: fleet metrics scrape: {problem}",
+                      file=sys.stderr)
+            return 1
+        if (args.fleet_min_ratio and fleet["gate_applied"]
+                and fleet["throughput_ratio"] < args.fleet_min_ratio):
+            print(f"FAIL: fleet throughput ratio "
+                  f"{fleet['throughput_ratio']:.2f}x is below the "
+                  f"{args.fleet_min_ratio:.2f}x gate", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -133,9 +133,13 @@ def main(argv: list[str] | None = None) -> int:
     check("422 on incomparable units", status == 422, (status, body))
 
     status, text = call(base, "/metrics")
-    moved = (status == 200
-             and 'repro_service_requests_total{endpoint="/ground",'
-                 'status="200"}' in text
+    # Match labels, not an exact line: under --workers N every series
+    # also carries a worker_id label.
+    ground_counted = any(
+        line.startswith("repro_service_requests_total{")
+        and 'endpoint="/ground"' in line and 'status="200"' in line
+        for line in text.splitlines() if isinstance(text, str))
+    moved = (status == 200 and ground_counted
              and 'endpoint="ground"' in text)
     check("/metrics counters moved", moved, (status, text[:400]))
 

@@ -227,7 +227,11 @@ class ArtifactStore:
         try:
             llama_model, llama_tok = load_checkpoint(directory / "llama_ift")
             dimperc_model, tokenizer = load_checkpoint(directory / "dimperc")
-        except CheckpointError:
+        except (CheckpointError, OSError):
+            # OSError: a concurrent ``prune`` can evict this directory
+            # between the meta read above and the checkpoint loads; the
+            # booting worker retries as a cold-train miss instead of
+            # surfacing FileNotFoundError.
             return None
         same_vocab = (
             llama_tok.digit_tokenization == tokenizer.digit_tokenization

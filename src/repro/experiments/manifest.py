@@ -53,6 +53,7 @@ def write_manifest(
     jobs: int = 1,
     engine_config: EngineConfig | None = None,
     requested: tuple[str, ...] | list[str] | None = None,
+    shard: str | None = None,
 ) -> pathlib.Path:
     """Write per-experiment JSON results plus ``manifest.json``.
 
@@ -61,6 +62,9 @@ def write_manifest(
     ``requested`` lists every experiment id the run asked for; ids with
     no record (failed or never started) appear under ``incomplete`` so
     a partially failed run is distinguishable from a smaller one.
+    ``shard`` records the runner's ``--shard K/N`` partition (``None``
+    for unsharded runs) so ``tools/merge_shards.py`` can check that the
+    shards it merges cover one consistent partition.
     """
     out = pathlib.Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -100,6 +104,7 @@ def write_manifest(
         "jobs": jobs,
         "engine": _engine_payload(engine_config),
         "total_seconds": round(sum(r.seconds for r in records), 3),
+        "shard": shard,
         "requested": list(requested),
         "incomplete": [name for name in requested if name not in completed],
         "experiments": entries,

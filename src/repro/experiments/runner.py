@@ -18,7 +18,7 @@ from repro.engine import EngineConfig, set_default_engine
 from repro.experiments.artifacts import set_default_store
 from repro.experiments.manifest import write_manifest
 from repro.experiments.scheduler import run_experiments
-from repro.experiments.spec import SPECS, get_spec, light_ids, resolve
+from repro.experiments.spec import SPECS, get_spec, light_ids, resolve, shard
 
 #: Back-compat view of the registry: experiment id -> module path.
 #: Entries added here at runtime (the pre-registry extension point) are
@@ -81,6 +81,14 @@ def main(argv: list[str] | None = None) -> int:
                              "~/.cache/repro/artifacts)")
     parser.add_argument("--no-artifacts", action="store_true",
                         help="disable cross-process context persistence")
+    parser.add_argument("--shard", metavar="K/N", default=None,
+                        help="run shard K of N (1-based): the resolved "
+                             "id set is hash-partitioned so N runner "
+                             "invocations cover it exactly once; "
+                             "cross-shard dependencies run where needed "
+                             "but report only on their home shard, and "
+                             "trained contexts come from the shared "
+                             "artifact store so no shard re-trains")
     args = parser.parse_args(argv)
     # Every experiment's DimEval scoring routes through the process-wide
     # evaluation engine; these flags configure it once for the whole run.
@@ -97,6 +105,17 @@ def main(argv: list[str] | None = None) -> int:
         # without a traceback); experiment-internal failures still
         # propagate with their full stack.
         names = resolve(args.experiments)
+        owned = names
+        if args.shard is not None:
+            index, count = _parse_shard(args.shard)
+            owned, names = shard(names, index, count)
+            pulled = [name for name in names if name not in owned]
+            print(f"shard {index}/{count}: {len(owned)} of "
+                  f"{len(resolve(args.experiments))} experiments "
+                  f"({', '.join(owned) or 'none'})"
+                  + (f"; running {len(pulled)} foreign dependenc"
+                     f"{'y' if len(pulled) == 1 else 'ies'} "
+                     f"({', '.join(pulled)})" if pulled else ""))
         if args.jobs < 1:
             raise ValueError("jobs must be at least 1")
     except ValueError as exc:
@@ -121,14 +140,34 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         # Persist whatever finished even if a later experiment failed:
         # hours of completed results must not evaporate with the error.
-        if args.out is not None and delivered:
+        # A shard's manifest carries only the ids it owns -- foreign
+        # dependencies it executed report on their home shard, so
+        # merged shard manifests have exact row parity with an
+        # unsharded run (tools/merge_shards.py asserts this in CI).
+        reported = [record for record in delivered if record.name in owned]
+        if args.out is not None and (reported or args.shard is not None):
             manifest_path = write_manifest(
-                args.out, delivered,
+                args.out, reported,
                 quick=not args.full, seed=args.seed, jobs=args.jobs,
-                engine_config=engine_config, requested=names,
+                engine_config=engine_config, requested=owned,
+                shard=args.shard,
             )
             print(f"wrote {manifest_path}")
     return 0
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``K/N`` into ``(index, count)``; ``ValueError`` on misuse."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"--shard expects K/N (e.g. 1/2), got {text!r}") from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"--shard expects 1 <= K <= N, got {text!r}")
+    return index, count
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ this registry instead of hard-coded id lists.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 from dataclasses import dataclass, field
 from types import ModuleType
@@ -127,3 +128,46 @@ def resolve(names: list[str] | tuple[str, ...]) -> tuple[str, ...]:
         else:
             add(item)
     return tuple(resolved)
+
+
+def shard_index(name: str, shard_count: int) -> int:
+    """The 1-based home shard of one experiment id.
+
+    A stable content hash (sha256 of the id), not Python's salted
+    ``hash()``: every process, machine and CI matrix job must agree on
+    the partition or shards would overlap/miss.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count + 1
+
+
+def shard(resolved: tuple[str, ...] | list[str], index: int,
+          count: int) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Partition an already-resolved id set for ``--shard index/count``.
+
+    Returns ``(owned, execution)``:
+
+    - ``owned`` -- the ids whose :func:`shard_index` is ``index``; the
+      shard reports (and writes manifest rows for) exactly these, so
+      the union of all shards' manifests equals the unsharded run and
+      shards never double-report;
+    - ``execution`` -- ``resolve(owned)``: the owned ids plus any
+      dependency homed on *another* shard, pulled in ahead of its
+      dependents.  A foreign dependency runs here for its side effects
+      (its trained context comes from the shared artifact store, so no
+      shard re-trains) but its rows belong to its home shard.
+
+    The partition is over the *resolved* set -- after alias expansion
+    and dependency ordering -- so every shard partitions the same
+    universe whatever mix of aliases produced it.
+    """
+    if count < 1:
+        raise ValueError("shard count must be at least 1")
+    if not 1 <= index <= count:
+        raise ValueError(
+            f"shard index must be in 1..{count}, got {index}")
+    owned = tuple(name for name in resolved
+                  if shard_index(name, count) == index)
+    return owned, resolve(owned)

@@ -114,7 +114,9 @@ def load_checkpoint(
         raise CheckpointError(f"missing checkpoint files at {path}")
     try:
         metadata = json.loads(meta_path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
+    except (OSError, json.JSONDecodeError) as exc:
+        # OSError covers the prune race: a concurrent `prune` may delete
+        # the checkpoint between the exists() probe above and this read.
         raise CheckpointError(f"bad checkpoint metadata: {exc}") from exc
     try:
         config = TransformerConfig(**metadata["config"])

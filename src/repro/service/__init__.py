@@ -25,9 +25,16 @@ scheduler (:class:`~repro.service.scheduler.ContinuousBatcher`):
 requests prefill into live KV-cache rows as rows free up, each response
 returns the step its row finishes, and a bounded in-flight budget turns
 overload into 429s.  Trained model contexts warm-load from the
-experiment artifact store at startup instead of retraining.  See
-``docs/SERVING.md`` for the operator runbook and ``docs/METRICS.md``
-for every exported ``/metrics`` series.
+experiment artifact store at startup instead of retraining.
+
+``--workers N`` escapes the single GIL-bound process entirely: a
+pre-fork supervisor (:mod:`repro.service.fleet`) warms the shared
+state once, forks N workers onto the same port via ``SO_REUSEPORT``
+(or a parent fd-passing acceptor), restarts crashed workers with
+backoff, drains gracefully on SIGTERM, and aggregates every worker's
+metrics so one scrape sees the whole fleet.  See ``docs/SERVING.md``
+for the operator runbook and ``docs/METRICS.md`` for every exported
+``/metrics`` series.
 """
 
 from repro.service.app import (
@@ -37,6 +44,7 @@ from repro.service.app import (
     ServiceUnavailable,
 )
 from repro.service.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
+from repro.service.fleet import FleetConfig, FleetContext, FleetSupervisor
 from repro.service.http import ServiceServer, build_server
 from repro.service.metrics import MetricsRegistry
 from repro.service.scheduler import ContinuousBatcher
@@ -50,6 +58,9 @@ __all__ = [
     "BatcherSaturated",
     "ContinuousBatcher",
     "DimensionService",
+    "FleetConfig",
+    "FleetContext",
+    "FleetSupervisor",
     "MWPSolver",
     "MetricsRegistry",
     "MicroBatcher",

@@ -3,10 +3,17 @@
     python -m repro.service --port 8080                  # KB endpoints
     python -m repro.service --profile quick              # + /solve, warm
     python -m repro.service --profile micro --port 0     # smoke boots
+    python -m repro.service --workers 4                  # pre-fork fleet
 
 ``--profile`` names a trained-context budget from
 :mod:`repro.experiments.context`; the context warm-loads from the
 artifact store when present and cold-trains (then persists) otherwise.
+``--workers N`` (N >= 2) boots a pre-fork fleet instead of a single
+process: a supervisor parent warms the shared state once, forks N
+workers onto the same port (``SO_REUSEPORT``, or a parent acceptor via
+``--fleet-socket fdpass``), restarts crashed workers with exponential
+backoff, and propagates SIGTERM as a graceful drain.  See
+``docs/SERVING.md`` for the operator runbook.
 """
 
 from __future__ import annotations
@@ -55,6 +62,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="artifact-store override for warm loading")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
+    fleet = parser.add_argument_group(
+        "fleet", "pre-fork worker pool (active when --workers >= 2)")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="worker processes behind one port "
+                            "(1 = single-process serving)")
+    fleet.add_argument("--fleet-socket", default="auto",
+                       choices=("auto", "reuseport", "fdpass"),
+                       help="port-sharing strategy: kernel SO_REUSEPORT "
+                            "or a parent acceptor passing fds (auto "
+                            "probes the platform)")
+    fleet.add_argument("--backoff-base", type=float, default=0.5,
+                       help="seconds before the first crash respawn "
+                            "(doubles per consecutive crash)")
+    fleet.add_argument("--backoff-max", type=float, default=30.0,
+                       help="respawn backoff ceiling in seconds")
+    fleet.add_argument("--max-restarts", type=int, default=0,
+                       help="give a worker up after this many restarts "
+                            "(0 = never)")
+    fleet.add_argument("--drain-grace", type=float, default=0.5,
+                       help="seconds a draining worker keeps answering "
+                            "503s after its queues empty")
+    fleet.add_argument("--fleet-dir", default="",
+                       help="directory for fleet status + peer sockets "
+                            "(default: a private tempdir)")
     return parser
 
 
@@ -74,6 +105,20 @@ def main(argv: list[str] | None = None) -> int:
         max_inflight_rows=args.max_inflight_rows,
     )
     ServiceRequestHandler.log_requests = args.verbose
+    if args.workers > 1:
+        from repro.service.fleet import FleetConfig, FleetSupervisor
+
+        supervisor = FleetSupervisor(FleetConfig(
+            service=config,
+            workers=args.workers,
+            socket_mode=args.fleet_socket,
+            backoff_base=args.backoff_base,
+            backoff_max=args.backoff_max,
+            max_restarts=args.max_restarts,
+            drain_grace=args.drain_grace,
+            fleet_dir=args.fleet_dir,
+        ))
+        return supervisor.run()
     print(f"loading service (profile={args.profile}) ...", flush=True)
     service = DimensionService(config)
     server = build_server(service)

@@ -121,10 +121,18 @@ ENDPOINTS: dict[str, str] = {
 
 
 class DimensionService:
-    """All serving state plus the endpoint dispatch table."""
+    """All serving state plus the endpoint dispatch table.
 
-    def __init__(self, config: ServiceConfig | None = None):
+    ``fleet`` (a :class:`repro.service.fleet.FleetContext`) is set when
+    this service is one worker of a pre-fork fleet: ``/metrics`` then
+    answers with the fleet-wide aggregation (every worker's registry
+    merged over the unix-socket peer mesh, ``worker_id``-labelled) and
+    ``/healthz`` carries the per-worker liveness block.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, fleet=None):
         self.config = config or ServiceConfig()
+        self.fleet = fleet
         self.started_at = time.time()
         self.metrics = MetricsRegistry()
         self._describe_metrics()
@@ -310,7 +318,18 @@ class DimensionService:
     # -- endpoint handlers ----------------------------------------------------
 
     def handle_healthz(self, payload: dict) -> dict:
-        """Liveness/readiness: model state, KB size, batching knobs."""
+        """Liveness/readiness: model state, KB size, batching knobs.
+
+        Fleet mode adds a ``fleet`` block: per-worker warm/cold and
+        pid (queried live over the peer mesh) plus the supervisor's
+        alive/restart bookkeeping.
+        """
+        body = self._healthz_body()
+        if self.fleet is not None:
+            body["fleet"] = self.fleet.health_block(self)
+        return body
+
+    def _healthz_body(self) -> dict:
         return {
             "status": "ok",
             "uptime_seconds": time.time() - self.started_at,
@@ -330,8 +349,13 @@ class DimensionService:
             },
         }
 
-    def handle_metrics(self, payload: dict) -> str:
-        """The Prometheus text exposition (queue depths sampled now)."""
+    def sample_gauges(self) -> None:
+        """Refresh every point-in-time gauge from live state.
+
+        Called before any registry read that leaves the process -- the
+        local ``/metrics`` rendering and the fleet peer protocol's
+        ``dump_state`` both want queue depths as of *now*.
+        """
         for name, batcher in self._batchers.items():
             self.metrics.set_gauge("queue_depth", batcher.pending(),
                                    endpoint=name)
@@ -343,6 +367,18 @@ class DimensionService:
         stats = self.engine.conversion_cache.stats()
         self.metrics.set_gauge("conversion_cache_hits", stats.hits)
         self.metrics.set_gauge("conversion_cache_misses", stats.misses)
+
+    def handle_metrics(self, payload: dict) -> str:
+        """The Prometheus text exposition (queue depths sampled now).
+
+        In fleet mode any worker answers with the merged fleet view:
+        its own registry plus every peer's, per-worker series labelled
+        ``worker_id=<n>`` and summed totals labelled
+        ``worker_id="fleet"``.
+        """
+        self.sample_gauges()
+        if self.fleet is not None:
+            return self.fleet.render_metrics(self)
         return self.metrics.render()
 
     def handle_ground(self, payload: dict) -> dict:
@@ -464,6 +500,18 @@ class DimensionService:
         return unit
 
     # -- lifecycle ------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Refuse new work everywhere while queued work keeps running.
+
+        Every batcher flips to :class:`BatcherClosed` (the dispatch
+        table answers 503) without waiting for its queue -- the fleet's
+        SIGTERM ordering guarantee: the whole worker stops admitting
+        *before* anything exits.  Follow with :meth:`close` to wait the
+        queues out.
+        """
+        for batcher in self._batchers.values():
+            batcher.drain()
 
     def close(self) -> None:
         """Graceful shutdown: drain every batcher's queue, then stop."""

@@ -109,6 +109,20 @@ class MicroBatcher:
 
     # -- shutdown -----------------------------------------------------------
 
+    def drain(self) -> None:
+        """Stop admission without waiting for the queue to empty.
+
+        New submissions fail with :class:`BatcherClosed` (the HTTP
+        layer answers 503) while queued and in-flight work keeps
+        running to completion.  The fleet's SIGTERM path calls this on
+        every batcher *first* -- so the whole worker refuses new work
+        before any request is abandoned -- and then :meth:`close` to
+        wait out the queue.
+        """
+        with self._wake:
+            self._closed = True
+            self._wake.notify()
+
     def close(self, timeout: float | None = 10.0) -> None:
         """Stop accepting work, drain everything queued, join the worker.
 
@@ -116,11 +130,7 @@ class MicroBatcher:
         shutdown); only *new* submissions fail with
         :class:`BatcherClosed`.
         """
-        with self._wake:
-            if self._closed:
-                self._wake.notify()
-            self._closed = True
-            self._wake.notify()
+        self.drain()
         self._thread.join(timeout=timeout)
 
     @property

@@ -15,6 +15,7 @@ with the socket.
 from __future__ import annotations
 
 import json
+import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service.app import ENDPOINTS, DimensionService, encode_body
@@ -122,9 +123,38 @@ class ServiceServer(ThreadingHTTPServer):
     #: moment a client pool bursts; size it for real concurrent load.
     request_queue_size = 128
 
-    def __init__(self, address: tuple[str, int], service: DimensionService):
-        super().__init__(address, ServiceRequestHandler)
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: DimensionService,
+        *,
+        reuse_port: bool = False,
+        bind_and_activate: bool = True,
+    ):
+        """``reuse_port`` sets ``SO_REUSEPORT`` before binding so every
+        fleet worker can bind the same port and let the kernel spread
+        accepted connections across them (``socketserver`` only grew
+        ``allow_reuse_port`` in 3.11, so the option is applied manually
+        in :meth:`server_bind` for 3.10 compatibility).
+
+        ``bind_and_activate=False`` builds a server that never listens:
+        the fd-passing fleet mode feeds it accepted connections through
+        :meth:`~socketserver.BaseServer.process_request` instead.
+        """
+        self.reuse_port = reuse_port
+        super().__init__(address, ServiceRequestHandler, bind_and_activate)
+        if not bind_and_activate:
+            # HTTPServer.server_bind normally fills these in.
+            self.server_name = address[0] or "localhost"
+            self.server_port = address[1]
         self.service = service
+
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not supported on this platform")
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
     def shutdown(self) -> None:
         """Stop the accept loop, then drain the micro-batch queues."""

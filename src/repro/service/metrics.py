@@ -165,6 +165,91 @@ class MetricsRegistry:
                     }
             return out
 
+    def dump_state(self) -> dict:
+        """Every raw series as a JSON-able structure for fleet merges.
+
+        Unlike :meth:`snapshot` (a human-facing rendering), this
+        preserves enough structure -- label tuples, per-bucket
+        (non-cumulative) histogram counts, bounds, HELP text -- for
+        :meth:`absorb` on another process's registry to reconstruct and
+        sum the series exactly.  Labels ship as ``[[key, value], ...]``
+        pairs because JSON has no tuples.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    name: [[[list(pair) for pair in labels], value]
+                           for labels, value in series.items()]
+                    for name, series in self._counters.items()
+                },
+                "gauges": {
+                    name: [[[list(pair) for pair in labels], value]
+                           for labels, value in series.items()]
+                    for name, series in self._gauges.items()
+                },
+                "histograms": {
+                    name: {
+                        "bounds": list(self._bounds[name]),
+                        "series": [
+                            [[list(pair) for pair in labels],
+                             list(hist["buckets"]), hist["sum"],
+                             hist["count"]]
+                            for labels, hist in series.items()
+                        ],
+                    }
+                    for name, series in self._histograms.items()
+                },
+                "help": dict(self._help),
+            }
+
+    def absorb(self, state: dict, **extra_labels: str) -> None:
+        """Merge a :meth:`dump_state` payload into this registry.
+
+        ``extra_labels`` are appended to every absorbed series -- the
+        fleet aggregator absorbs each worker's dump once with
+        ``worker_id=<n>`` (per-worker series) and once with
+        ``worker_id="fleet"`` (summed totals).  Counters and gauges
+        add; histograms merge bucket-wise when the bounds agree (they
+        always do inside one fleet -- every worker runs the same code)
+        and fall back to sum/count-only otherwise.  HELP text is kept
+        from the first description seen.
+        """
+        def _key(raw_labels) -> tuple[tuple[str, str], ...]:
+            merged = {str(k): str(v) for k, v in raw_labels}
+            merged.update(extra_labels)
+            return tuple(sorted(merged.items()))
+
+        with self._lock:
+            for name, text in state.get("help", {}).items():
+                self._help.setdefault(name, text)
+            for name, series in state.get("counters", {}).items():
+                target = self._counters[name]
+                for raw_labels, value in series:
+                    key = _key(raw_labels)
+                    target[key] = target.get(key, 0.0) + value
+            for name, series in state.get("gauges", {}).items():
+                target = self._gauges[name]
+                for raw_labels, value in series:
+                    key = _key(raw_labels)
+                    target[key] = target.get(key, 0.0) + value
+            for name, payload in state.get("histograms", {}).items():
+                bounds = tuple(payload["bounds"])
+                known = self._bounds.setdefault(name, bounds)
+                target = self._histograms[name]
+                for raw_labels, buckets, total, count in payload["series"]:
+                    key = _key(raw_labels)
+                    hist = target.get(key)
+                    if hist is None:
+                        hist = target[key] = {
+                            "buckets": [0] * len(known),
+                            "sum": 0.0, "count": 0,
+                        }
+                    if known == bounds:
+                        for index, bucket in enumerate(buckets):
+                            hist["buckets"][index] += bucket
+                    hist["sum"] += total
+                    hist["count"] += count
+
     def render(self) -> str:
         """The Prometheus text-format exposition."""
         lines: list[str] = []

@@ -210,6 +210,19 @@ class ContinuousBatcher:
 
     # -- shutdown -----------------------------------------------------------
 
+    def drain(self) -> None:
+        """Stop admission without waiting for in-flight rows.
+
+        New submissions fail with :class:`BatcherClosed` (503 at the
+        HTTP layer) while queued and in-flight decodes keep stepping to
+        completion.  The fleet's SIGTERM path drains every batcher
+        before any worker exits; :meth:`close` then joins once the
+        rows retire.
+        """
+        with self._wake:
+            self._closed = True
+            self._wake.notify()
+
     def close(self, timeout: float | None = 10.0) -> None:
         """Stop accepting work, drain queue + in-flight rows, join.
 
@@ -217,9 +230,7 @@ class ContinuousBatcher:
         shutdown); only *new* submissions fail with
         :class:`BatcherClosed`.
         """
-        with self._wake:
-            self._closed = True
-            self._wake.notify()
+        self.drain()
         self._thread.join(timeout=timeout)
         self._resolutions.put(None)
         self._resolver.join(timeout=timeout)

@@ -86,7 +86,10 @@ def normalise(scores: Mapping[str, float], delta: float = DELTA) -> dict[str, fl
     if span == 0.0:
         return {unit_id: delta for unit_id in scores}
     return {
-        unit_id: (1.0 - delta) * (value - low) / span + delta
+        # Divide before scaling: (value-low)/span is exactly in [0, 1]
+        # even for denormal spans, where scaling first can round a
+        # product back up and push the result past 1.
+        unit_id: (1.0 - delta) * ((value - low) / span) + delta
         for unit_id, value in scores.items()
     }
 

@@ -23,13 +23,46 @@ def test_docs_have_no_dead_links_or_anchors():
 
 
 def test_every_exported_metric_is_documented():
-    exported = check_docs.exported_metrics(REPO_ROOT)
+    emitted, described = check_docs.exported_metrics(REPO_ROOT)
     # Guard against the extraction regex rotting silently: the service
     # exports a known-stable core of series.
     assert {"requests_total", "request_seconds",
-            "solve_queue_depth", "solve_inflight_rows"} <= exported
+            "solve_queue_depth", "solve_inflight_rows"} <= emitted
+    # every emitted series must carry a describe() (# HELP) call
+    assert emitted <= described
     assert check_docs.check_metrics(REPO_ROOT) == []
 
 
 def test_checker_cli_passes_on_this_repo():
     assert check_docs.main(["--root", str(REPO_ROOT)]) == 0
+
+
+def _metrics_fixture(tmp_path, source: str) -> pathlib.Path:
+    """A minimal repo tree whose only metric source is ``source``."""
+    (tmp_path / "README.md").write_text("# Demo\n", encoding="utf-8")
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "METRICS.md").write_text(
+        "# Metrics\n\n`ghost_total` is documented here.\n",
+        encoding="utf-8")
+    app = tmp_path / "src" / "repro" / "service" / "app.py"
+    app.parent.mkdir(parents=True)
+    app.write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+def test_emitted_but_undescribed_series_fails(tmp_path):
+    root = _metrics_fixture(
+        tmp_path, 'metrics.inc("ghost_total", endpoint="/x")\n')
+    problems = check_docs.check_metrics(root)
+    assert any("emitted but never describe()d" in p for p in problems)
+    # documented in METRICS.md is not enough -- the HELP line is separate
+    assert not any("undocumented" in p for p in problems)
+
+
+def test_described_and_documented_series_passes(tmp_path):
+    root = _metrics_fixture(
+        tmp_path,
+        'metrics.describe("ghost_total", "Ghosts seen.")\n'
+        'metrics.inc("ghost_total", endpoint="/x")\n')
+    assert check_docs.check_metrics(root) == []

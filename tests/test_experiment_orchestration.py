@@ -237,6 +237,35 @@ class TestArtifactStore:
                             lambda: "an edited trainer")
         assert micro.load_context(kb, config, MICRO, 3, False) is None
 
+    def test_prune_race_during_warm_load_is_a_miss(self, micro, monkeypatch):
+        import shutil
+
+        import repro.experiments.artifacts as artifacts_module
+
+        context_module.get_context(quick=True, seed=3, store=micro)
+        kb = context_module.default_kb()
+        config = context_module.config_for(MICRO, 3, False)
+        (entry,) = micro.entries()
+        real_load = artifacts_module.load_checkpoint
+
+        def racing_load(prefix):
+            # A concurrent `prune` evicts the directory between the
+            # meta.json read and the checkpoint loads.
+            shutil.rmtree(entry.path, ignore_errors=True)
+            return real_load(prefix)
+
+        monkeypatch.setattr(artifacts_module, "load_checkpoint", racing_load)
+        # A miss (cold-train path), not FileNotFoundError out of a boot.
+        assert micro.load_context(kb, config, MICRO, 3, False) is None
+
+    def test_load_checkpoint_wraps_missing_files_in_checkpoint_error(
+        self, tmp_path
+    ):
+        from repro.llm.persistence import CheckpointError, load_checkpoint
+
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "evicted" / "dimperc")
+
 
 class TestArtifactPrune:
     def _fake_context(self, root, name: str, *, age_days: float,
@@ -497,3 +526,166 @@ class TestManifest:
         from repro.experiments.runner import main
         assert main(["table99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+def _load_merge_shards():
+    """Import ``tools/merge_shards.py`` (not an installed package)."""
+    import importlib.util
+    import pathlib
+
+    path = (pathlib.Path(__file__).resolve().parent.parent
+            / "tools" / "merge_shards.py")
+    spec = importlib.util.spec_from_file_location("merge_shards", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSharding:
+    def test_shard_index_stable_and_in_range(self):
+        from repro.experiments.spec import shard_index
+        for name in SPECS:
+            for count in (1, 2, 3, 5):
+                index = shard_index(name, count)
+                assert 1 <= index <= count
+                assert index == shard_index(name, count)
+        # Content-addressed (sha256), not salted hash(): these exact
+        # assignments hold in every process, which is what lets CI
+        # matrix jobs agree on the partition without coordinating.
+        assert shard_index("table3", 2) == 1
+        assert shard_index("table4", 2) == 2
+
+    def test_shard_union_is_exact_partition(self):
+        from repro.experiments.spec import shard
+        full = resolve(["all"])
+        for count in (1, 2, 3, 4):
+            owned_sets = [shard(full, index, count)[0]
+                          for index in range(1, count + 1)]
+            combined = [name for owned in owned_sets for name in owned]
+            assert sorted(combined) == sorted(full)  # complete + disjoint
+            for owned in owned_sets:
+                # each shard keeps the full resolution's relative order
+                members = set(owned)
+                assert tuple(n for n in full if n in members) == owned
+
+    def test_shard_validates_arguments(self):
+        from repro.experiments.spec import shard
+        with pytest.raises(ValueError):
+            shard(("table3",), 0, 2)
+        with pytest.raises(ValueError):
+            shard(("table3",), 3, 2)
+        with pytest.raises(ValueError):
+            shard(("table3",), 1, 0)
+
+    def test_foreign_dependency_executes_but_is_not_owned(self, monkeypatch):
+        import repro.experiments.spec as spec_module
+        module = "repro.experiments.table3"
+        specs = {
+            "a": spec_module.ExperimentSpec(id="a", module=module),
+            "b": spec_module.ExperimentSpec(id="b", module=module,
+                                            deps=("a",)),
+            "c": spec_module.ExperimentSpec(id="c", module=module,
+                                            deps=("b",)),
+        }
+        monkeypatch.setattr(spec_module, "SPECS", specs)
+        full = spec_module.resolve(["c"])
+        # find a shard count that separates c from one of its deps so
+        # the test exercises an actual cross-shard dependency
+        for count in range(2, 10):
+            owner = spec_module.shard_index("c", count)
+            if any(spec_module.shard_index(dep, count) != owner
+                   for dep in ("a", "b")):
+                break
+        else:
+            pytest.fail("sha256 partition never split c from its deps")
+        owned, execution = spec_module.shard(full, owner, count)
+        assert "c" in owned
+        # the dependency chain is pulled into the execution plan ...
+        assert execution == spec_module.resolve(owned)
+        assert {"a", "b"} <= set(execution)
+        # ... but only owned ids report (manifest-row parity on merge)
+        assert set(owned) < set(execution)
+
+    def test_sharded_manifests_merge_to_the_unsharded_run(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.runner import main
+        ids = ["table3", "table4"]  # split 1/2 vs 2/2 by the sha partition
+        try:
+            for out, extra in (("ref", []),
+                               ("s1", ["--shard", "1/2"]),
+                               ("s2", ["--shard", "2/2"])):
+                assert main([*ids, "--out", str(tmp_path / out),
+                             "--no-artifacts", *extra]) == 0
+        finally:
+            reset_default_store()
+        merge_shards = _load_merge_shards()
+        problems = merge_shards.merge(
+            [tmp_path / "s1", tmp_path / "s2"], tuple(ids),
+            tmp_path / "merged", tmp_path / "ref" / "manifest.json",
+        )
+        assert problems == []
+        reference = json.loads(
+            (tmp_path / "ref" / "manifest.json").read_text("utf-8"))
+        merged = json.loads(
+            (tmp_path / "merged" / "manifest.json").read_text("utf-8"))
+        assert ([e["name"] for e in merged["experiments"]]
+                == [e["name"] for e in reference["experiments"]] == ids)
+        assert merged["shards"] == ["1/2", "2/2"]
+        for entry in reference["experiments"]:
+            ref_payload = json.loads(
+                (tmp_path / "ref" / entry["result_file"]).read_text("utf-8"))
+            merged_payload = json.loads(
+                (tmp_path / "merged"
+                 / entry["result_file"]).read_text("utf-8"))
+            ref_payload.pop("seconds")
+            merged_payload.pop("seconds")
+            # wall-clock aside, sharded results are identical rows
+            assert merged_payload == ref_payload
+        # the same merge with a duplicated shard is caught, not averaged
+        problems = merge_shards.merge(
+            [tmp_path / "s1", tmp_path / "s1"], tuple(ids), None, None)
+        assert any("two shards" in p for p in problems)
+        assert any("reported by no shard" in p for p in problems)
+
+    def test_sharded_runs_share_the_artifact_store(
+        self, micro, monkeypatch, tmp_path, capsys
+    ):
+        from repro.experiments.runner import main
+        from repro.experiments.spec import shard_index
+        owner = shard_index("table7", 2)
+        other = 3 - owner
+        try:
+            assert main(["table7", "--shard", f"{owner}/2",
+                         "--artifact-dir", str(micro.root),
+                         "--out", str(tmp_path / "owner")]) == 0
+            # A different shard of the same run: owns nothing, and with
+            # the store already warm it must never touch training.
+            context_module._CACHE.clear()
+            monkeypatch.setattr(
+                context_module.DimPercPipeline, "run",
+                lambda *a, **k: pytest.fail("a non-owning shard trained"),
+            )
+            assert main(["table7", "--shard", f"{other}/2",
+                         "--artifact-dir", str(micro.root),
+                         "--out", str(tmp_path / "other")]) == 0
+            # ... and a later unsharded run warm-loads the shard's work.
+            context_module._CACHE.clear()
+            assert main(["table7", "--artifact-dir", str(micro.root),
+                         "--out", str(tmp_path / "warm")]) == 0
+        finally:
+            reset_default_store()
+        owner_manifest = json.loads(
+            (tmp_path / "owner" / "manifest.json").read_text("utf-8"))
+        other_manifest = json.loads(
+            (tmp_path / "other" / "manifest.json").read_text("utf-8"))
+        warm_manifest = json.loads(
+            (tmp_path / "warm" / "manifest.json").read_text("utf-8"))
+        assert [e["name"] for e in owner_manifest["experiments"]] \
+            == ["table7"]
+        assert owner_manifest["shard"] == f"{owner}/2"
+        assert other_manifest["experiments"] == []
+        assert other_manifest["requested"] == []
+        assert other_manifest["incomplete"] == []
+        assert (owner_manifest["experiments"][0]["rows"]
+                == warm_manifest["experiments"][0]["rows"])

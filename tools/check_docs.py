@@ -7,9 +7,10 @@ Two independent checks over ``README.md`` and ``docs/*.md``:
    ``#anchor``) must match a heading slug in the target document.
    External (``http(s)://``, ``mailto:``) links are not fetched.
 2. **Metrics coverage** — every metric name the service exports
-   (``inc`` / ``set_gauge`` / ``observe`` / ``describe`` call sites in
-   ``src/repro/service/app.py`` and ``metrics.py``) must be documented
-   in ``docs/METRICS.md``.
+   (``inc`` / ``set_gauge`` / ``observe`` call sites in the service
+   sources) must be documented in ``docs/METRICS.md`` **and** carry a
+   registry ``describe()`` call — an emitted series without a HELP
+   line fails the build, not just one missing from the docs.
 
 Exit status 0 when clean; 1 with one line per problem otherwise.
 
@@ -25,15 +26,20 @@ import re
 import sys
 
 DOC_GLOBS = ("README.md", "docs/*.md")
-METRIC_SOURCES = ("src/repro/service/app.py", "src/repro/service/metrics.py")
+METRIC_SOURCES = (
+    "src/repro/service/app.py",
+    "src/repro/service/metrics.py",
+    "src/repro/service/fleet.py",
+)
 METRICS_DOC = "docs/METRICS.md"
 
 _FENCE = re.compile(r"^(```|~~~)")
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
 _EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
-_METRIC_CALL = re.compile(
-    r"\b(?:inc|set_gauge|observe|describe)\(\s*[\"']([a-z0-9_]+)[\"']")
+_METRIC_EMIT = re.compile(
+    r"\b(?:inc|set_gauge|observe)\(\s*[\"']([a-z0-9_]+)[\"']")
+_METRIC_DESCRIBE = re.compile(r"\bdescribe\(\s*[\"']([a-z0-9_]+)[\"']")
 
 
 def _strip_fences(text: str) -> list[str]:
@@ -94,13 +100,22 @@ def check_links(root: pathlib.Path, docs: list[pathlib.Path]) -> list[str]:
     return problems
 
 
-def exported_metrics(root: pathlib.Path) -> set[str]:
-    names: set[str] = set()
+def exported_metrics(root: pathlib.Path) -> tuple[set[str], set[str]]:
+    """``(emitted, described)`` metric names across the service sources.
+
+    Kept separate so an emitted-but-never-described series is its own
+    failure: a name can reach METRICS.md while its exposition still
+    lacks the ``# HELP`` line operators grep for.
+    """
+    emitted: set[str] = set()
+    described: set[str] = set()
     for source in METRIC_SOURCES:
         path = root / source
         if path.is_file():
-            names.update(_METRIC_CALL.findall(path.read_text(encoding="utf-8")))
-    return names
+            text = path.read_text(encoding="utf-8")
+            emitted.update(_METRIC_EMIT.findall(text))
+            described.update(_METRIC_DESCRIBE.findall(text))
+    return emitted, described
 
 
 def check_metrics(root: pathlib.Path) -> list[str]:
@@ -108,11 +123,16 @@ def check_metrics(root: pathlib.Path) -> list[str]:
     if not doc.is_file():
         return [f"{METRICS_DOC}: missing (metrics reference is required)"]
     documented = set(re.findall(r"`([a-z0-9_]+)`", doc.read_text(encoding="utf-8")))
+    emitted, described = exported_metrics(root)
     problems = []
-    for name in sorted(exported_metrics(root)):
+    for name in sorted(emitted | described):
         if name not in documented:
             problems.append(
                 f"{METRICS_DOC}: exported metric `{name}` is undocumented")
+    for name in sorted(emitted - described):
+        problems.append(
+            f"metrics: series `{name}` is emitted but never describe()d "
+            f"(no # HELP line in the exposition)")
     return problems
 
 

@@ -1,0 +1,166 @@
+"""Merge per-shard experiment manifests and diff them against the
+requested spec set.
+
+CI runs ``repro.experiments.runner --shard K/N`` as a matrix; each job
+uploads its ``--out`` directory.  This tool takes those directories,
+checks the shards form one exact partition of the requested ids, and
+writes a merged manifest:
+
+- every requested id must appear in exactly one shard's manifest
+  (duplicates and gaps both fail — a wrong hash partition or a stale
+  artifact shows up here, not in silently-missing rows);
+- ``incomplete`` entries from any shard fail the merge;
+- per-experiment row counts are reported and, with ``--expect-rows``
+  (a manifest from an unsharded reference run), diffed row-for-row.
+
+Usage::
+
+    PYTHONPATH=src python tools/merge_shards.py SHARD_DIR [SHARD_DIR ...]
+        --expect light table8 [--out DIR] [--expect-rows MANIFEST]
+
+Exit status 0 when the shards cover the request exactly; 1 otherwise.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+
+def load_manifest(shard_dir: pathlib.Path) -> dict:
+    path = shard_dir / "manifest.json"
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: bad JSON in {path}: {exc}") from exc
+
+
+def merge(shard_dirs: list[pathlib.Path], expected: tuple[str, ...],
+          out_dir: pathlib.Path | None,
+          expect_rows: pathlib.Path | None) -> list[str]:
+    """Run every check; returns the problem list (empty when clean)."""
+    problems: list[str] = []
+    owners: dict[str, str] = {}
+    entries: dict[str, dict] = {}
+    manifests = []
+    for shard_dir in shard_dirs:
+        manifest = load_manifest(shard_dir)
+        manifests.append((shard_dir, manifest))
+        label = manifest.get("shard") or shard_dir.name
+        for name in manifest.get("incomplete", []):
+            problems.append(f"{shard_dir}: experiment {name!r} incomplete")
+        for entry in manifest.get("experiments", []):
+            name = entry["name"]
+            if name in owners:
+                problems.append(
+                    f"experiment {name!r} reported by two shards "
+                    f"({owners[name]} and {label}) -- not a partition")
+                continue
+            owners[name] = label
+            entries[name] = {**entry, "shard": manifest.get("shard"),
+                             "shard_dir": str(shard_dir)}
+    for name in expected:
+        if name not in entries:
+            problems.append(
+                f"experiment {name!r} requested but reported by no shard")
+    for name in entries:
+        if name not in expected:
+            problems.append(
+                f"experiment {name!r} reported but never requested")
+
+    if expect_rows is not None:
+        reference = json.loads(expect_rows.read_text(encoding="utf-8"))
+        reference_rows = {entry["name"]: entry["rows"]
+                          for entry in reference.get("experiments", [])}
+        for name, entry in sorted(entries.items()):
+            want = reference_rows.get(name)
+            if want is None:
+                problems.append(
+                    f"experiment {name!r}: no reference row count in "
+                    f"{expect_rows}")
+            elif entry["rows"] != want:
+                problems.append(
+                    f"experiment {name!r}: {entry['rows']} rows from "
+                    f"shard {entry['shard']}, reference run has {want}")
+
+    for name, entry in sorted(entries.items()):
+        print(f"  {name}: {entry['rows']} rows "
+              f"(shard {entry['shard'] or 'unsharded'}, "
+              f"{entry['seconds']}s)")
+
+    if out_dir is not None and not problems:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        merged = {
+            "schema": manifests[0][1].get("schema"),
+            "merged_from": [str(d) for d, _ in manifests],
+            "shards": [m.get("shard") for _, m in manifests],
+            "requested": list(expected),
+            "incomplete": [],
+            "experiments": [
+                {key: value for key, value in entries[name].items()
+                 if key != "shard_dir"}
+                for name in expected if name in entries
+            ],
+        }
+        (out_dir / "manifest.json").write_text(
+            json.dumps(merged, ensure_ascii=False, indent=2) + "\n",
+            encoding="utf-8")
+        for name, entry in entries.items():
+            source = pathlib.Path(entry["shard_dir"]) / entry["result_file"]
+            if source.is_file():
+                shutil.copy2(source, out_dir / entry["result_file"])
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("shards", nargs="+", type=pathlib.Path,
+                        metavar="SHARD_DIR",
+                        help="per-shard --out directories (each holds a "
+                             "manifest.json)")
+    parser.add_argument("--expect", nargs="+", default=None,
+                        metavar="ID",
+                        help="the experiment ids the sharded run was asked "
+                             "for ('light'/'all' aliases resolve like the "
+                             "runner's); every id must appear in exactly "
+                             "one shard")
+    parser.add_argument("--expect-rows", type=pathlib.Path, default=None,
+                        metavar="MANIFEST",
+                        help="an unsharded reference manifest.json to diff "
+                             "per-experiment row counts against")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="write the merged manifest + result files here")
+    args = parser.parse_args(argv)
+    if args.expect is not None:
+        sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                               / "src"))
+        from repro.experiments.spec import resolve
+        try:
+            expected = resolve(args.expect)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        expected = tuple(
+            entry["name"]
+            for shard_dir in args.shards
+            for entry in load_manifest(shard_dir).get("experiments", [])
+        )
+    problems = merge(args.shards, expected, args.out, args.expect_rows)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"merge_shards: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"merge_shards: OK ({len(expected)} experiments across "
+          f"{len(args.shards)} shard(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
