@@ -1,0 +1,35 @@
+"""AST-based invariant linter for this repository.
+
+``python -m repro.analysis [paths]`` checks the tree against rules that
+encode invariants past PRs fixed by hand (lock discipline, fork safety,
+atomic writes, metric hygiene, monotonic time, bounded reads).  See
+``docs/ANALYSIS.md`` for the rule catalogue, suppression syntax and the
+baseline workflow.
+
+Deliberately stdlib-only and import-light: this package never imports
+the rest of :mod:`repro`, so the linter runs in minimal CI environments.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    Report,
+    Rule,
+    all_rules,
+    load_baseline,
+    register,
+    run_paths,
+    write_baseline,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Report",
+    "Rule",
+    "all_rules",
+    "load_baseline",
+    "register",
+    "run_paths",
+    "write_baseline",
+]

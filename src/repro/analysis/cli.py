@@ -1,0 +1,128 @@
+"""Command line for the invariant linter: ``python -m repro.analysis``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  The default baseline
+is ``.analysis-baseline.json`` in the working directory when present;
+``--no-baseline`` ignores it, ``--write-baseline`` regenerates it from
+the current findings (the escape hatch for grandfathering a new rule's
+pre-existing hits — shrink the file over time, never grow it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.analysis.core import (
+    all_rules,
+    load_baseline,
+    run_paths,
+    write_baseline,
+)
+
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+DEFAULT_BASELINE = ".analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The linter's argument parser (kept separate for --help tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant linter for this repository.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or directories to analyse "
+             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help=f"baseline JSON of grandfathered findings "
+             f"(default: {DEFAULT_BASELINE} if it exists)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0")
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in all_rules().items():
+            print(f"{rule_id:20s} {cls.summary}")
+        return 0
+
+    selected = None
+    if args.select:
+        selected = [part.strip() for part in args.select.split(",")
+                    if part.strip()]
+
+    baseline_path = pathlib.Path(args.baseline or DEFAULT_BASELINE)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline \
+            and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: malformed baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        report = run_paths(args.paths, rules=selected, baseline=baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "files": report.files,
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+            "findings": [f.to_dict() for f in report.findings],
+            "stale_baseline": [
+                {"rule": rule, "path": path, "message": message}
+                for rule, path, message in report.stale_baseline
+            ],
+            "rules": {rule_id: cls.summary
+                      for rule_id, cls in all_rules().items()},
+        }
+        print(json.dumps(payload, ensure_ascii=False, indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for rule, path, message in report.stale_baseline:
+            print(f"note: stale baseline entry [{rule}] {path}: {message}")
+        summary = (f"{report.files} file(s), "
+                   f"{len(report.findings)} finding(s), "
+                   f"{report.suppressed} suppressed, "
+                   f"{report.baselined} baselined")
+        print(("FAIL: " if report.findings else "OK: ") + summary)
+
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,353 @@
+"""The invariant linter's chassis: findings, rules, suppressions, baseline.
+
+Every hard bug this repo has shipped and then fixed by hand — the
+double-checked-init races of PR 4, PR 3's torn checkpoint pairs, the
+unbounded ``rfile.read(-1)`` thread pin, PR 7's warm-load prune race —
+was a violation of an invariant nobody had written down as *code*.
+:mod:`repro.analysis` writes them down: each rule is a small AST check
+encoding one invariant, and ``python -m repro.analysis`` fails the build
+when new code violates it.
+
+The moving parts, all stdlib:
+
+- :class:`Finding` — one violation, addressed as ``path:line:col`` with
+  a rule id and message;
+- :class:`Rule` — the plugin base class.  Subclass, set ``id`` and
+  ``summary``, implement :meth:`Rule.check_module` (per-file checks)
+  and/or :meth:`Rule.finalize` (cross-file checks, run after every
+  module is parsed), and decorate with :func:`register`.  A fresh
+  instance is built per run, so rules may keep per-run state;
+- :class:`ModuleInfo` — one parsed source file: path, source lines, AST
+  and the parsed suppression comments;
+- suppressions — ``# repro: allow[rule-id] reason`` on the flagged line
+  (or alone on the line above) waives that rule there.  The reason is
+  mandatory: an allow without one is itself reported
+  (``bad-suppression``);
+- baseline — a committed JSON file of grandfathered findings matched by
+  ``(rule, path, message)`` (line numbers excluded, so unrelated edits
+  don't invalidate entries).  ``--write-baseline`` regenerates it.
+
+:func:`run_paths` ties it together and returns the report the CLI and
+the tier-1 test both consume.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+#: ``# repro: allow[rule-id[,rule-id]] reason`` — the one suppression form.
+_ALLOW = re.compile(
+    r"#\s*repro:\s*allow\[([a-z0-9_,\- ]+)\]\s*(.*?)\s*$"
+)
+
+#: Rule ids must look like CLI-friendly slugs.
+_RULE_ID = re.compile(r"^[a-z][a-z0-9-]+$")
+
+#: Framework-reserved pseudo-rule ids (not in the registry).
+PARSE_ERROR = "parse-error"
+BAD_SUPPRESSION = "bad-suppression"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The human-readable ``path:line:col: [rule] message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: " \
+               f"[{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload for ``--format json``."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+
+class ModuleInfo:
+    """One parsed source file plus its suppression comments."""
+
+    def __init__(self, path: pathlib.Path, display: str, source: str,
+                 tree: ast.Module):
+        self.path = path
+        #: The path string findings carry (as given on the CLI, posix).
+        self.display = display
+        self.source = source
+        self.lines: list[str] = source.splitlines()
+        self.tree = tree
+        #: line -> {rule_id: reason}; rule id ``*`` allows every rule.
+        self.allows: dict[int, dict[str, str]] = {}
+        self._bad_allows: list[int] = []
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _ALLOW.search(line)
+            if not match:
+                continue
+            ids = [part.strip() for part in match.group(1).split(",")]
+            reason = match.group(2).strip()
+            if not reason:
+                self._bad_allows.append(lineno)
+                continue
+            self.allows.setdefault(lineno, {}).update(
+                {rule_id: reason for rule_id in ids if rule_id}
+            )
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-indexed source line, or ``""`` out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def statement_comment(self, node: ast.stmt, marker: re.Pattern) -> \
+            re.Match | None:
+        """First ``marker`` match on any physical line of a statement."""
+        end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        for lineno in range(node.lineno, end + 1):
+            match = marker.search(self.line_text(lineno))
+            if match:
+                return match
+        return None
+
+    def allowed(self, rule_id: str, lineno: int) -> bool:
+        """Whether a finding of ``rule_id`` at ``lineno`` is suppressed.
+
+        The allow comment may sit on the flagged line itself or alone
+        (comment-only line) immediately above it.
+        """
+        for candidate in (lineno, lineno - 1):
+            allows = self.allows.get(candidate)
+            if allows is None:
+                continue
+            if candidate == lineno - 1 and \
+                    not self.line_text(candidate).lstrip().startswith("#"):
+                continue
+            if rule_id in allows or "*" in allows:
+                return True
+        return False
+
+    def framework_findings(self) -> Iterator[Finding]:
+        """Findings the framework itself raises (malformed allows)."""
+        for lineno in self._bad_allows:
+            yield Finding(
+                self.display, lineno, 1, BAD_SUPPRESSION,
+                "allow comment without a reason: write "
+                "'# repro: allow[rule-id] why this is safe'",
+            )
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``id`` (a kebab-case slug, the suppression handle)
+    and ``summary`` (one line, shown by ``--list-rules``), then override
+    :meth:`check_module`, :meth:`finalize`, or both.  Instances live for
+    one run, so accumulating state in ``check_module`` and reporting it
+    from ``finalize`` is the intended pattern for cross-file rules.
+    """
+
+    id: str = ""
+    summary: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Per-file findings; called once per parsed module."""
+        return ()
+
+    def finalize(self, modules: list[ModuleInfo]) -> Iterable[Finding]:
+        """Cross-file findings; called once after every module parsed."""
+        return ()
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a :class:`Rule` subclass to the registry."""
+    if not _RULE_ID.match(cls.id or ""):
+        raise ValueError(f"rule id {cls.id!r} must be a kebab-case slug")
+    if cls.id in (PARSE_ERROR, BAD_SUPPRESSION):
+        raise ValueError(f"rule id {cls.id!r} is reserved")
+    if cls.id in _REGISTRY and _REGISTRY[cls.id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Every registered rule class, loading the bundled rule modules."""
+    import repro.analysis.rules  # noqa: F401 -- registration side effect
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+# -- file collection ---------------------------------------------------------
+
+
+def collect_files(paths: Iterable[str | pathlib.Path]) -> \
+        list[tuple[pathlib.Path, str]]:
+    """``(path, display)`` pairs for every ``.py`` file under ``paths``.
+
+    Directories are walked recursively (``__pycache__`` skipped); the
+    display string keeps the caller's spelling so findings and baseline
+    entries are stable relative paths when the CLI is handed relative
+    paths.
+    """
+    out: list[tuple[pathlib.Path, str]] = []
+    seen: set[pathlib.Path] = set()
+    for raw in paths:
+        base = pathlib.Path(raw)
+        if base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            candidates = [base]
+        for path in candidates:
+            if "__pycache__" in path.parts:
+                continue
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append((path, path.as_posix()))
+    return out
+
+
+def parse_module(path: pathlib.Path, display: str) -> \
+        tuple[ModuleInfo | None, Finding | None]:
+    """Parse one file into a :class:`ModuleInfo`, or a parse finding."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        lineno = getattr(exc, "lineno", None) or 1
+        return None, Finding(display, int(lineno), 1, PARSE_ERROR,
+                             f"cannot analyse: {exc}")
+    return ModuleInfo(path, display, source, tree), None
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+def load_baseline(path: pathlib.Path) -> Counter:
+    """The baseline file as a multiset of ``(rule, path, message)``."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", [])
+    return Counter(
+        (entry["rule"], entry["path"], entry["message"])
+        for entry in entries
+    )
+
+
+def write_baseline(path: pathlib.Path, findings: list[Finding]) -> None:
+    """Persist current findings as the new grandfathered baseline."""
+    payload = {
+        "version": 1,
+        "comment": "Grandfathered repro.analysis findings; shrink, "
+                   "never grow. Regenerate with --write-baseline.",
+        "findings": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, ensure_ascii=False, indent=2) + "\n",
+                    encoding="utf-8")
+
+
+# -- the run -----------------------------------------------------------------
+
+
+@dataclass
+class Report:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files: int = 0
+    #: Baseline entries that matched nothing (stale; informational).
+    stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_paths(
+    paths: Iterable[str | pathlib.Path],
+    *,
+    rules: Iterable[str] | None = None,
+    baseline: Counter | None = None,
+) -> Report:
+    """Analyse every ``.py`` file under ``paths`` with the registered
+    rules (or the ``rules`` id subset) and return the :class:`Report`.
+
+    Suppressed findings are dropped (counted); baseline-matched findings
+    are dropped (counted) with leftover baseline entries reported as
+    stale.  Framework findings (``parse-error``, ``bad-suppression``)
+    are neither suppressible nor baselinable by another rule's allow.
+    """
+    registry = all_rules()
+    if rules is not None:
+        unknown = sorted(set(rules) - set(registry))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+        registry = {rule_id: registry[rule_id] for rule_id in rules}
+    active = [cls() for cls in registry.values()]
+
+    report = Report()
+    modules: list[ModuleInfo] = []
+    by_display: dict[str, ModuleInfo] = {}
+    raw: list[Finding] = []
+    for path, display in collect_files(paths):
+        report.files += 1
+        module, problem = parse_module(path, display)
+        if problem is not None:
+            raw.append(problem)
+            continue
+        modules.append(module)
+        by_display[display] = module
+        raw.extend(module.framework_findings())
+        for rule in active:
+            raw.extend(rule.check_module(module))
+    for rule in active:
+        raw.extend(rule.finalize(modules))
+
+    survivors: list[Finding] = []
+    for finding in sorted(raw):
+        module = by_display.get(finding.path)
+        if (module is not None
+                and finding.rule not in (PARSE_ERROR, BAD_SUPPRESSION)
+                and module.allowed(finding.rule, finding.line)):
+            report.suppressed += 1
+            continue
+        survivors.append(finding)
+
+    if baseline:
+        remaining = Counter(baseline)
+        kept: list[Finding] = []
+        for finding in survivors:
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                report.baselined += 1
+            else:
+                kept.append(finding)
+        survivors = kept
+        report.stale_baseline = sorted(
+            key for key, count in remaining.items() for _ in range(count)
+        )
+
+    report.findings = survivors
+    return report

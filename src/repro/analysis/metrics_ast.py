@@ -1,0 +1,96 @@
+"""AST extraction of metric registry call sites — the single source of
+truth for "which series does this code emit, and with which labels".
+
+Both consumers read the same facts from the same visitor:
+
+- the ``metric-discipline`` rule (every emitted series must carry a
+  ``describe()`` and a consistent label set across call sites);
+- ``tools/check_docs.py`` (every emitted or described series must be
+  documented in ``docs/METRICS.md``).
+
+Keeping extraction here means the docs check and the static rule can
+never disagree about what the code emits.
+
+This module is deliberately import-light (stdlib ``ast`` only) and free
+of intra-package imports: ``check_docs.py`` loads it straight from its
+file path so the CI docs job needs no third-party installs and no
+``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Registry methods that emit a series sample.
+EMIT_METHODS = frozenset({"inc", "set_gauge", "observe"})
+
+#: The registry method attaching a HELP line.
+DESCRIBE_METHOD = "describe"
+
+#: Keyword arguments of emit methods that are parameters, not labels.
+_NON_LABEL_KWARGS = frozenset({"amount", "value", "buckets"})
+
+
+@dataclass(frozen=True)
+class MetricCall:
+    """One ``inc``/``set_gauge``/``observe``/``describe`` call site."""
+
+    name: str                  #: the series name (a string literal)
+    kind: str                  #: the method name
+    labels: tuple[str, ...]    #: sorted label kwarg names ("*" = dynamic)
+    line: int
+    col: int
+
+    @property
+    def is_emit(self) -> bool:
+        return self.kind in EMIT_METHODS
+
+
+def metric_calls(tree: ast.AST) -> Iterator[MetricCall]:
+    """Every statically-named metric call in ``tree``.
+
+    Matches method calls (``<anything>.inc("name", ...)``) whose first
+    positional argument is a string literal; dynamically-named series
+    are invisible to static analysis and are skipped.  Label tuples
+    collect the call's keyword names (minus value/bucket parameters);
+    a ``**kwargs`` splat records the wildcard label ``"*"``.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in EMIT_METHODS and func.attr != DESCRIBE_METHOD:
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant)
+                and isinstance(first.value, str)):
+            continue
+        labels: list[str] = []
+        if func.attr in EMIT_METHODS:
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    labels.append("*")
+                elif keyword.arg not in _NON_LABEL_KWARGS:
+                    labels.append(keyword.arg)
+        yield MetricCall(
+            name=first.value,
+            kind=func.attr,
+            labels=tuple(sorted(labels)),
+            line=node.lineno,
+            col=node.col_offset + 1,
+        )
+
+
+def emitted_and_described(tree: ast.AST) -> tuple[set[str], set[str]]:
+    """``(emitted, described)`` series names in one module."""
+    emitted: set[str] = set()
+    described: set[str] = set()
+    for call in metric_calls(tree):
+        (emitted if call.is_emit else described).add(call.name)
+    return emitted, described

@@ -1,0 +1,13 @@
+"""Bundled rules; importing this package registers every rule.
+
+Adding rule #7: create a module here with a :class:`~repro.analysis.core.Rule`
+subclass decorated ``@register``, import it below, and add its fixture
+trio to ``tests/test_analysis.py``.  See ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.rules import atomic_write      # noqa: F401
+from repro.analysis.rules import bounded_read      # noqa: F401
+from repro.analysis.rules import fork_safety       # noqa: F401
+from repro.analysis.rules import lock_discipline   # noqa: F401
+from repro.analysis.rules import metric_discipline  # noqa: F401
+from repro.analysis.rules import monotonic_time    # noqa: F401

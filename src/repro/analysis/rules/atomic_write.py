@@ -1,0 +1,123 @@
+"""``atomic-write``: persistence-layer files must write via temp +
+``os.replace``, never a bare write to the final path.
+
+PR 3 shipped torn checkpoint pairs — a crash between ``open(path, "w")``
+and ``write`` left a half-written manifest that the loader then parsed.
+The fix (write to a sibling temp file, ``os.replace`` onto the final
+name) is now the repo convention in ``repro/llm/persistence.py`` and
+``repro/experiments/artifacts.py``; this rule keeps those modules (any
+file named ``persistence.py`` or ``artifacts.py``) honest.
+
+A write event is ``open(target, "w"/"a"/"x")``, ``target.write_text``
+or ``target.write_bytes``.  It passes if the target expression names a
+scratch location (``tmp``/``temp``/``staging`` in its spelling) or the
+enclosing function calls ``os.replace`` at or after the write line —
+the publish step that makes the earlier write invisible to readers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+#: Module basenames this rule applies to.
+SCOPED_BASENAMES = ("persistence.py", "artifacts.py")
+
+_SCRATCH_MARKERS = ("tmp", "temp", "staging", "partial")
+_WRITE_MODES = ("w", "a", "x")
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover -- defensive
+        return ""
+
+
+def _open_write_target(node: ast.Call) -> ast.expr | None:
+    """The target of ``open(target, mode)`` when mode writes, else None."""
+    if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+        return None
+    if not node.args:
+        return None
+    mode: ast.expr | None = node.args[1] if len(node.args) > 1 else None
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None  # default "r"
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return None  # dynamic mode: give it the benefit of the doubt
+    if not any(ch in mode.value for ch in _WRITE_MODES):
+        return None
+    return node.args[0]
+
+
+def _pathlib_write_target(node: ast.Call) -> ast.expr | None:
+    """The receiver of ``X.write_text(...)`` / ``X.write_bytes(...)``."""
+    if (isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("write_text", "write_bytes")):
+        return node.func.value
+    return None
+
+
+def _is_replace_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "replace":
+        return True
+    return isinstance(func, ast.Name) and func.id == "replace"
+
+
+@register
+class AtomicWriteRule(Rule):
+    id = "atomic-write"
+    summary = ("persistence modules must publish files via temp + "
+               "os.replace, not bare writes to the final path")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.path.name not in SCOPED_BASENAMES:
+            return
+        funcs: list[tuple[str, list[ast.stmt]]] = [
+            ("<module>",
+             [s for s in module.tree.body
+              if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef))]),
+        ]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                funcs.append((node.name, node.body))
+        for name, body in funcs:
+            yield from self._check_function(module, name, body)
+
+    def _check_function(self, module: ModuleInfo, name: str,
+                        body: list[ast.stmt]) -> Iterator[Finding]:
+        writes: list[tuple[int, int, str]] = []
+        replace_lines: list[int] = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _is_replace_call(node):
+                    replace_lines.append(node.lineno)
+                    continue
+                target = _open_write_target(node)
+                if target is None:
+                    target = _pathlib_write_target(node)
+                if target is None:
+                    continue
+                spelled = _unparse(target)
+                if any(marker in spelled.lower()
+                       for marker in _SCRATCH_MARKERS):
+                    continue
+                writes.append((node.lineno, node.col_offset + 1, spelled))
+        for line, col, spelled in writes:
+            if any(replace_line >= line for replace_line in replace_lines):
+                continue
+            yield Finding(
+                module.display, line, col, self.id,
+                f"{name} writes {spelled or 'a file'} in place; write to "
+                f"a temp sibling and publish with os.replace so readers "
+                f"never see a torn file",
+            )

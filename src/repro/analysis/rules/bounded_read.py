@@ -1,0 +1,75 @@
+"""``bounded-read``: socket-backed reads always pass a non-negative
+bound.
+
+PR 4's fix: ``self.rfile.read()`` (and ``read(-1)``) on an HTTP
+handler's socket file blocks until the peer closes, pinning a server
+thread for as long as a slow client cares to keep the connection open.
+Every read from an ``rfile``-style stream must pass an explicit bound
+(in practice ``Content-Length``, validated non-negative first).
+
+Flagged:
+
+- ``<...>.rfile.read()`` / ``rfile.read()`` with no argument;
+- ``.read(-N)`` / ``.recv(-N)`` with a negative constant bound on any
+  receiver — ``read(-1)`` is spelled "read everything" and has the same
+  unbounded behaviour as no argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+
+def _receiver_mentions_rfile(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "rfile":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "rfile":
+            return True
+    return False
+
+
+def _negative_constant(node: ast.expr) -> bool:
+    if (isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, (int, float))):
+        return True
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and node.value < 0)
+
+
+@register
+class BoundedReadRule(Rule):
+    id = "bounded-read"
+    summary = ("rfile/socket reads must pass a non-negative bound; "
+               "read() and read(-1) block until the peer closes")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "read" and not node.args and not node.keywords:
+                if _receiver_mentions_rfile(func.value):
+                    yield Finding(
+                        module.display, node.lineno, node.col_offset + 1,
+                        self.id,
+                        "unbounded rfile.read(); pass the validated "
+                        "Content-Length so a slow client cannot pin this "
+                        "thread forever",
+                    )
+            elif func.attr in ("read", "recv") and node.args:
+                if _negative_constant(node.args[0]):
+                    yield Finding(
+                        module.display, node.lineno, node.col_offset + 1,
+                        self.id,
+                        f"{func.attr}() with a negative bound reads until "
+                        f"the peer closes — same thread pin as no bound; "
+                        f"pass the actual byte count",
+                    )

@@ -1,0 +1,191 @@
+"""``fork-safety``: no thread construction or lock acquisition on the
+path leading up to ``os.fork()``.
+
+PR 7's fleet supervisor is safe to fork precisely because
+``_preload_shared_state`` is thread-free: a child forked while another
+thread holds a lock inherits that lock *held forever* (the owning
+thread does not exist in the child), and an inherited thread simply
+vanishes mid-operation.  The supervisor documents this invariant in
+prose; this rule enforces it.
+
+Scope and mechanics (all intra-module — cross-module reachability would
+flag lock-acquire-and-release helpers like ``get_context`` that are
+perfectly fork-safe):
+
+- only modules that call ``os.fork``/``os.forkpty`` are analysed;
+- a function *reaches fork* if it calls ``os.fork`` directly or calls a
+  module function that does (transitively, ``self.x()`` and bare-name
+  calls resolved within the module);
+- a function is *hazardous* if it constructs a ``threading.Thread`` /
+  ``threading.Timer``, calls ``.acquire()``, enters a ``with`` block on
+  a lock-looking name (last dotted segment containing ``lock``,
+  ``cond``, ``wake`` or ``sem``), or calls a hazardous module function;
+- inside every fork-reaching function, any hazard sited *before* (by
+  line) the first fork-reaching call is reported.  Hazards after the
+  fork are fine — the parent may thread freely once children exist, and
+  the child branch runs post-fork by definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+_THREAD_FACTORIES = {"Thread", "Timer"}
+_LOCKISH = ("lock", "cond", "wake", "sem")
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` for attribute/name chains, else ``""``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_fork_call(node: ast.Call) -> bool:
+    name = _dotted(node.func)
+    return name in ("os.fork", "os.forkpty", "fork", "forkpty")
+
+
+def _is_thread_factory(node: ast.Call) -> bool:
+    name = _dotted(node.func)
+    return (name.split(".")[-1] in _THREAD_FACTORIES
+            and (name.startswith("threading.")
+                 or "." not in name))
+
+
+def _lockish(expr: ast.expr) -> bool:
+    name = _dotted(expr)
+    if isinstance(expr, ast.Call):
+        name = _dotted(expr.func)
+    last = name.split(".")[-1].lower()
+    return any(marker in last for marker in _LOCKISH)
+
+
+class _FuncFacts:
+    """Per-function call/hazard/fork sites."""
+
+    def __init__(self) -> None:
+        self.calls: list[tuple[str, int]] = []       # (callee key, line)
+        self.hazards: list[tuple[int, int, str]] = []  # (line, col, what)
+        self.fork_lines: list[int] = []
+
+
+def _collect(func_body: list[ast.stmt], class_name: str | None) -> _FuncFacts:
+    facts = _FuncFacts()
+    for stmt in func_body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                if _is_fork_call(node):
+                    facts.fork_lines.append(node.lineno)
+                    continue
+                if _is_thread_factory(node):
+                    facts.hazards.append((
+                        node.lineno, node.col_offset + 1,
+                        "a threading.Thread is constructed"))
+                    continue
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "acquire"):
+                    facts.hazards.append((
+                        node.lineno, node.col_offset + 1,
+                        f"{_dotted(node.func) or 'a lock'} is acquired"))
+                    continue
+                dotted = _dotted(node.func)
+                if dotted.startswith("self.") and class_name:
+                    facts.calls.append(
+                        (f"{class_name}.{dotted[5:]}", node.lineno))
+                elif dotted and "." not in dotted:
+                    facts.calls.append((dotted, node.lineno))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _lockish(item.context_expr):
+                        facts.hazards.append((
+                            node.lineno, node.col_offset + 1,
+                            f"'with {_dotted(item.context_expr)}' "
+                            f"acquires a lock"))
+    return facts
+
+
+@register
+class ForkSafetyRule(Rule):
+    id = "fork-safety"
+    summary = ("no thread construction or lock acquisition before "
+               "os.fork() in forking modules")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        source_has_fork = any(
+            isinstance(node, ast.Call) and _is_fork_call(node)
+            for node in ast.walk(module.tree)
+        )
+        if not source_has_fork:
+            return
+
+        facts: dict[str, _FuncFacts] = {}
+
+        def harvest(body: list[ast.stmt], key: str,
+                    class_name: str | None) -> None:
+            facts[key] = _collect(
+                [stmt for stmt in body
+                 if not isinstance(stmt, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef,
+                                          ast.ClassDef))],
+                class_name)
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    prefix = f"{class_name}." if class_name else ""
+                    facts[f"{prefix}{stmt.name}"] = _collect(
+                        stmt.body, class_name)
+                elif isinstance(stmt, ast.ClassDef):
+                    for inner in stmt.body:
+                        if isinstance(inner, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef)):
+                            facts[f"{stmt.name}.{inner.name}"] = _collect(
+                                inner.body, stmt.name)
+
+        harvest(module.tree.body, "<module>", None)
+
+        # -- transitive closure over the intra-module call graph -------------
+        def closure(seed: set[str]) -> set[str]:
+            marked = set(seed)
+            changed = True
+            while changed:
+                changed = False
+                for key, fact in facts.items():
+                    if key in marked:
+                        continue
+                    if any(callee in marked for callee, _ in fact.calls):
+                        marked.add(key)
+                        changed = True
+            return marked
+
+        forking = closure({key for key, fact in facts.items()
+                           if fact.fork_lines})
+        hazardous = closure({key for key, fact in facts.items()
+                             if fact.hazards})
+
+        for key, fact in facts.items():
+            fork_reach_lines = list(fact.fork_lines)
+            fork_reach_lines.extend(
+                line for callee, line in fact.calls if callee in forking)
+            if not fork_reach_lines:
+                continue
+            first_fork = min(fork_reach_lines)
+            events = list(fact.hazards)
+            events.extend(
+                (line, 1, f"{callee}() starts threads or takes locks")
+                for callee, line in fact.calls if callee in hazardous)
+            for line, col, what in sorted(events):
+                if line < first_fork:
+                    yield Finding(
+                        module.display, line, col, self.id,
+                        f"{what} before os.fork() is reached "
+                        f"(line {first_fork}) in {key}; forked children "
+                        f"inherit held locks and lose running threads",
+                    )

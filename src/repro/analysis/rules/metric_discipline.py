@@ -1,0 +1,72 @@
+"""``metric-discipline``: every emitted series is described, with one
+label set.
+
+The serving stack's observability contract (PR 6/7): a series emitted
+via ``inc``/``set_gauge``/``observe`` must have a ``describe()`` HELP
+line somewhere in the analysed tree, and all of its emit sites must
+agree on the label names — Prometheus clients treat the same name with
+different label sets as distinct, silently-forking time series.
+
+This is the code-level sibling of ``tools/check_docs.py`` (which checks
+that the same series appear in ``docs/METRICS.md``); both read their
+facts from :mod:`repro.analysis.metrics_ast`, so they cannot disagree
+about what the code emits.
+
+Cross-file by necessity — ``fleet.py`` describes series that ``app.py``
+emits — so the work happens in :meth:`finalize`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+from repro.analysis.metrics_ast import MetricCall, metric_calls
+
+
+@register
+class MetricDisciplineRule(Rule):
+    id = "metric-discipline"
+    summary = ("every emitted metric series needs a describe() and a "
+               "consistent label set across emit sites")
+
+    def __init__(self) -> None:
+        #: series -> emit sites as (module display, call)
+        self._emits: dict[str, list[tuple[str, MetricCall]]] = {}
+        self._described: set[str] = set()
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for call in metric_calls(module.tree):
+            if call.is_emit:
+                self._emits.setdefault(call.name, []).append(
+                    (module.display, call))
+            else:
+                self._described.add(call.name)
+        return iter(())
+
+    def finalize(self, modules: list[ModuleInfo]) -> Iterator[Finding]:
+        del modules  # facts were gathered per-module
+        for name, sites in sorted(self._emits.items()):
+            display, first = sites[0]
+            if name not in self._described:
+                yield Finding(
+                    display, first.line, first.col, self.id,
+                    f"series '{name}' is emitted but never described; "
+                    f"add registry.describe('{name}', ...) so /metrics "
+                    f"carries a HELP line",
+                )
+            static_sites = [(d, c) for d, c in sites if "*" not in c.labels]
+            label_sets = {c.labels for _, c in static_sites}
+            if len(label_sets) > 1:
+                canonical = static_sites[0][1].labels
+                for display, call in static_sites[1:]:
+                    if call.labels != canonical:
+                        yield Finding(
+                            display, call.line, call.col, self.id,
+                            f"series '{name}' emitted here with labels "
+                            f"({', '.join(call.labels) or 'none'}) but "
+                            f"with ({', '.join(canonical) or 'none'}) at "
+                            f"{static_sites[0][0]}:"
+                            f"{static_sites[0][1].line}; mixed label sets "
+                            f"fork the series",
+                        )

@@ -1,0 +1,108 @@
+"""``monotonic-time``: durations come from monotonic clocks, not
+``time.time()`` subtraction.
+
+``time.time()`` jumps with NTP slews and DST-adjacent clock steps; a
+negative "uptime" or a skipped timeout is exactly the bug class the
+serving stack cannot debug after the fact.  Durations and deadlines use
+``time.monotonic()`` / ``time.perf_counter()``; wall-clock stays for
+*display* (``started_at`` in health bodies) and for comparison against
+other wall-clock stamps (file mtimes — suppress those sites with an
+allow comment).
+
+Detection is per-function taint: a local name assigned from an
+expression containing ``time.time()`` is tainted, and any subtraction
+with a ``time.time()`` call or tainted name on either side is flagged.
+Attribute stores (``self.started_at``) are deliberately not tracked
+across methods — cross-method taint would need whole-program analysis;
+the in-function form is how every real regression here has looked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+
+def _is_wallclock_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if (isinstance(func, ast.Attribute) and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"):
+        return True  # time.time()
+    return isinstance(func, ast.Name) and func.id == "time"
+
+
+def _contains_wallclock(node: ast.AST) -> bool:
+    return any(_is_wallclock_call(sub) for sub in ast.walk(node))
+
+
+class _FunctionScan(ast.NodeVisitor):
+    def __init__(self, rule_id: str, module: ModuleInfo):
+        self.rule_id = rule_id
+        self.module = module
+        self.tainted: set[str] = set()
+        self.findings: list[Finding] = []
+
+    # nested defs get their own scan via the rule driver
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if _contains_wallclock(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.tainted.add(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if (node.value is not None and _contains_wallclock(node.value)
+                and isinstance(node.target, ast.Name)):
+            self.tainted.add(node.target.id)
+
+    def _wallclock_operand(self, node: ast.expr) -> bool:
+        if _is_wallclock_call(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in self.tainted
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self.generic_visit(node)
+        if not isinstance(node.op, ast.Sub):
+            return
+        if self._wallclock_operand(node.left) or \
+                self._wallclock_operand(node.right):
+            self.findings.append(Finding(
+                self.module.display, node.lineno, node.col_offset + 1,
+                self.rule_id,
+                "duration computed by subtracting time.time() values; "
+                "wall clocks step under NTP — use time.monotonic() or "
+                "time.perf_counter() for intervals",
+            ))
+
+
+@register
+class MonotonicTimeRule(Rule):
+    id = "monotonic-time"
+    summary = ("no time.time() subtraction for durations; use "
+               "time.monotonic()/perf_counter()")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        scopes: list[list[ast.stmt]] = [[
+            stmt for stmt in module.tree.body
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef))
+        ]]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            scan = _FunctionScan(self.id, module)
+            for stmt in body:
+                scan.visit(stmt)
+            yield from scan.findings

@@ -54,8 +54,8 @@ class LRUCache:
         self.maxsize = maxsize
         self._data: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
+        self._hits = 0    # guarded by: self._lock
+        self._misses = 0  # guarded by: self._lock
 
     _MISSING = object()
 

@@ -339,6 +339,7 @@ class ArtifactStore:
         victims: list[StoreEntry] = []
         survivors: list[StoreEntry] = []
         for entry in entries:
+            # repro: allow[monotonic-time] used_at is a file mtime; mtimes are wall-clock
             age_days = (now - entry.used_at) / 86400.0
             if max_age_days is not None and age_days > max_age_days:
                 victims.append(entry)
@@ -355,6 +356,7 @@ class ArtifactStore:
         staging = [
             path for path in (self.root.glob(".tmp-*")
                               if self.root.is_dir() else ())
+            # repro: allow[monotonic-time] st_mtime is wall-clock by definition
             if path.is_dir() and now - path.stat().st_mtime > 3600
         ]
         if not dry_run:
@@ -475,6 +477,7 @@ def _cmd_list(args) -> int:
     print(f"store: {store.root} ({len(entries)} contexts, "
           f"{_format_size(sum(e.size_bytes for e in entries))})")
     for entry in entries:
+        # repro: allow[monotonic-time] used_at is a file mtime; mtimes are wall-clock
         age_days = (now - entry.used_at) / 86400.0
         print(f"  {entry.path.name:40s} {_format_size(entry.size_bytes):>8s} "
               f"last used {age_days:6.1f}d ago")

@@ -122,11 +122,11 @@ class TrainedContext:
         )
 
 
-_CACHE: dict[tuple, TrainedContext] = {}
+_CACHE: dict[tuple, TrainedContext] = {}  # guarded by: _CACHE_LOCK
 #: Guards the cache dict itself; training happens under a per-key lock
 #: so cache hits (and other keys' builds) never wait on a cold train.
 _CACHE_LOCK = threading.Lock()
-_KEY_LOCKS: dict[tuple, threading.Lock] = {}
+_KEY_LOCKS: dict[tuple, threading.Lock] = {}  # guarded by: _CACHE_LOCK
 
 
 def _mwp_vocab_texts(

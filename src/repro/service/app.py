@@ -133,7 +133,8 @@ class DimensionService:
     def __init__(self, config: ServiceConfig | None = None, fleet=None):
         self.config = config or ServiceConfig()
         self.fleet = fleet
-        self.started_at = time.time()
+        self.started_at = time.time()          # wall clock, display only
+        self.started_monotonic = time.monotonic()
         self.metrics = MetricsRegistry()
         self._describe_metrics()
         self.kb = default_kb()
@@ -332,7 +333,8 @@ class DimensionService:
     def _healthz_body(self) -> dict:
         return {
             "status": "ok",
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": time.monotonic() - self.started_monotonic,
+            "started_at": self.started_at,
             "endpoints": sorted(ENDPOINTS),
             "kb_units": self.kb.statistics().num_units,
             "model": {

@@ -77,10 +77,10 @@ class MicroBatcher:
         self.max_queue = max_queue
         self.name = name
         self._on_batch = on_batch
-        self._queue: deque[tuple[object, Future]] = deque()
+        self._queue: deque[tuple[object, Future]] = deque()  # guarded by: self._wake, self._lock
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
-        self._closed = False
+        self._closed = False  # guarded by: self._wake, self._lock
         self._thread = threading.Thread(
             target=self._run, name=f"micro-batcher-{name}", daemon=True
         )

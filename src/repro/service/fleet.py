@@ -212,7 +212,7 @@ class FleetContext:
             "pid": os.getpid(),
             "loaded": service.solver is not None,
             "warm_loaded": service.warm_loaded,
-            "uptime_seconds": time.time() - service.started_at,
+            "uptime_seconds": time.monotonic() - service.started_monotonic,
             "draining": self.draining,
         }
 
@@ -344,7 +344,7 @@ class FleetSupervisor:
         self._streak: dict[int, int] = {}
         self._spawned_at: dict[int, float] = {}
         self._respawn_at: dict[int, float] = {}
-        self._channels: dict[int, socket.socket] = {}
+        self._channels: dict[int, socket.socket] = {}  # guarded by: self._channel_lock
         self._channel_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._stop = False
@@ -422,6 +422,7 @@ class FleetSupervisor:
                 # Shed every parent-side fd this worker must not hold:
                 # siblings' channels (their EOF semantics), the parent
                 # acceptor's listener, and our own channel's parent end.
+                # repro: allow[lock-discipline] post-fork child is single-threaded; the lock owner does not exist here
                 for other in list(self._channels.values()):
                     other.close()
                 if parent_channel is not None:

@@ -48,17 +48,17 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, dict[tuple[tuple[str, str], ...], float]] = (
             defaultdict(dict)
-        )
+        )  # guarded by: self._lock
         self._gauges: dict[str, dict[tuple[tuple[str, str], ...], float]] = (
             defaultdict(dict)
-        )
+        )  # guarded by: self._lock
         #: name -> labels -> [per-bucket counts..., sum, count]; bucket
         #: bounds live per name in _bounds (fixed at first observe).
         self._histograms: dict[
             str, dict[tuple[tuple[str, str], ...], dict]
-        ] = defaultdict(dict)
-        self._bounds: dict[str, tuple[float, ...]] = {}
-        self._help: dict[str, str] = {}
+        ] = defaultdict(dict)  # guarded by: self._lock
+        self._bounds: dict[str, tuple[float, ...]] = {}  # guarded by: self._lock
+        self._help: dict[str, str] = {}  # guarded by: self._lock
 
     # -- write side ---------------------------------------------------------
 

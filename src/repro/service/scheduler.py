@@ -136,10 +136,10 @@ class ContinuousBatcher:
         self._stats = DecodeStats()
         self._reported = DecodeStats()
         self._session = DecodeSession(lm.model, stats=self._stats)
-        self._queue: deque[tuple[object, Future]] = deque()
+        self._queue: deque[tuple[object, Future]] = deque()  # guarded by: self._wake, self._lock
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
-        self._closed = False
+        self._closed = False  # guarded by: self._wake, self._lock
         # Worker-thread state: prompt -> flight, KV slot -> flight.
         self._flights: dict[str, _Flight] = {}
         self._by_slot: dict[int, _Flight] = {}

@@ -58,8 +58,8 @@ class DimUnitKB:
         self._by_kind: dict[str, list[UnitRecord]] = {}
         self._by_dimension: dict[DimensionVector, list[UnitRecord]] = {}
         self._by_surface: dict[str, list[UnitRecord]] = {}
-        self._naming_dictionary: dict[str, tuple[str, ...]] | None = None
-        self._surface_matcher: SurfaceTrie | None = None
+        self._naming_dictionary: dict[str, tuple[str, ...]] | None = None  # guarded by: self._memo_lock
+        self._surface_matcher: SurfaceTrie | None = None  # guarded by: self._memo_lock
         # Guards first-call builds of the two lazy memos above: the KB
         # is immutable, so concurrent readers only ever race the build
         # itself, and one lock makes that a single shared structure.
@@ -170,7 +170,9 @@ class DimUnitKB:
         means every extractor, linker and grounder for this KB shares
         one compiled structure.
         """
-        if self._surface_matcher is None:
+        # repro: allow[lock-discipline] double-checked fast path: one racy read of an atomic reference
+        matcher = self._surface_matcher
+        if matcher is None:
             # Imported lazily: repro.quantity pulls in modules that
             # import repro.units back, so a top-level import would cycle.
             from repro.quantity.trie import SurfaceTrie
@@ -178,7 +180,8 @@ class DimUnitKB:
             with self._memo_lock:
                 if self._surface_matcher is None:
                     self._surface_matcher = SurfaceTrie(self._by_surface)
-        return self._surface_matcher
+                matcher = self._surface_matcher
+        return matcher
 
     def naming_dictionary(self) -> dict[str, tuple[str, ...]]:
         """surface form -> unit ids; the linker's candidate index.
@@ -187,14 +190,17 @@ class DimUnitKB:
         returned mapping as read-only.  Keys use the same
         ``strip().casefold()`` normalisation as :meth:`find_by_surface`.
         """
-        if self._naming_dictionary is None:
+        # repro: allow[lock-discipline] double-checked fast path: one racy read of an atomic reference
+        naming = self._naming_dictionary
+        if naming is None:
             with self._memo_lock:
                 if self._naming_dictionary is None:
                     self._naming_dictionary = {
                         form: tuple(record.unit_id for record in records)
                         for form, records in self._by_surface.items()
                     }
-        return self._naming_dictionary
+                naming = self._naming_dictionary
+        return naming
 
     # -- frequency views (Fig. 3 / Fig. 4) -------------------------------------------
 

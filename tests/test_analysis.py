@@ -1,0 +1,518 @@
+"""Fixture tests for the ``repro.analysis`` invariant linter.
+
+Per rule: one positive (violation caught at the right line), one
+negative (the idiomatic pattern passes), one suppression; plus the
+framework pieces (baseline round-trip, bad suppressions, JSON output)
+and a self-check that the repo's own tree lints clean.
+"""
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis import Finding, load_baseline, run_paths, write_baseline
+from repro.analysis.core import BAD_SUPPRESSION, PARSE_ERROR
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def lint(tmp_path, source: str, rule: str, name: str = "mod.py",
+         **kwargs):
+    """Run one rule over one fixture file; returns the findings."""
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_paths([path], rules=[rule], **kwargs).findings
+
+
+# -- lock-discipline ---------------------------------------------------------
+
+LOCKED_ATTR = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []  # guarded by: self._lock
+
+        def add(self, item):
+            {add_body}
+
+        def size(self):
+            with self._lock:
+                return len(self._items)
+"""
+
+
+def test_lock_discipline_positive(tmp_path):
+    findings = lint(tmp_path, LOCKED_ATTR.format(
+        add_body="self._items.append(item)"), "lock-discipline")
+    assert [f.rule for f in findings] == ["lock-discipline"]
+    assert findings[0].line == 10  # the unguarded append
+    assert "self._items" in findings[0].message
+
+
+def test_lock_discipline_negative(tmp_path):
+    source = LOCKED_ATTR.format(
+        add_body="with self._lock:\n                self._items.append(item)")
+    assert lint(tmp_path, source, "lock-discipline") == []
+
+
+def test_lock_discipline_suppression(tmp_path):
+    source = LOCKED_ATTR.format(
+        add_body="self._items.append(item)"
+                 "  # repro: allow[lock-discipline] single-threaded test rig")
+    report = run_paths(
+        [_write(tmp_path, source)], rules=["lock-discipline"])
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_lock_discipline_condition_alias(tmp_path):
+    # a Condition wrapping the lock is listed as an acceptable guard
+    source = """
+        import threading
+
+        class Q:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._wake = threading.Condition(self._lock)
+                self._queue = []  # guarded by: self._wake, self._lock
+
+            def put(self, item):
+                with self._wake:
+                    self._queue.append(item)
+    """
+    assert lint(tmp_path, source, "lock-discipline") == []
+
+
+def test_lock_discipline_locked_suffix_exempt(tmp_path):
+    source = """
+        import threading
+
+        class Q:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._queue = []  # guarded by: self._lock
+
+            def _drain_locked(self):
+                return list(self._queue)
+    """
+    assert lint(tmp_path, source, "lock-discipline") == []
+
+
+def test_lock_discipline_module_globals(tmp_path):
+    source = """
+        import threading
+
+        _LOCK = threading.Lock()
+        _CACHE = {}  # guarded by: _LOCK
+
+        def get(key):
+            return _CACHE.get(key)
+
+        def put(key, value):
+            with _LOCK:
+                _CACHE[key] = value
+    """
+    findings = lint(tmp_path, source, "lock-discipline")
+    assert [f.line for f in findings] == [8]
+
+
+# -- fork-safety -------------------------------------------------------------
+
+def test_fork_safety_positive(tmp_path):
+    source = """
+        import os
+        import threading
+
+        def serve():
+            threading.Thread(target=print).start()
+            for _ in range(2):
+                os.fork()
+    """
+    findings = lint(tmp_path, source, "fork-safety")
+    assert [f.line for f in findings] == [6]
+    assert "os.fork" in findings[0].message
+
+
+def test_fork_safety_negative_thread_after_fork(tmp_path):
+    source = """
+        import os
+        import threading
+
+        def serve():
+            for _ in range(2):
+                os.fork()
+            threading.Thread(target=print).start()
+    """
+    assert lint(tmp_path, source, "fork-safety") == []
+
+
+def test_fork_safety_transitive_hazard(tmp_path):
+    source = """
+        import os
+        import threading
+
+        def warm():
+            lock = threading.Lock()
+            lock.acquire()
+
+        def serve():
+            warm()
+            os.fork()
+    """
+    findings = lint(tmp_path, source, "fork-safety")
+    assert [f.line for f in findings] == [10]
+    assert "warm()" in findings[0].message
+
+
+def test_fork_safety_suppression(tmp_path):
+    source = """
+        import os
+        import threading
+
+        def serve():
+            # repro: allow[fork-safety] the thread joins before the fork
+            threading.Thread(target=print).start()
+            os.fork()
+    """
+    report = run_paths([_write(tmp_path, source)], rules=["fork-safety"])
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_fork_safety_ignores_forkless_modules(tmp_path):
+    source = """
+        import threading
+
+        def serve():
+            threading.Thread(target=print).start()
+    """
+    assert lint(tmp_path, source, "fork-safety") == []
+
+
+# -- atomic-write ------------------------------------------------------------
+
+def test_atomic_write_positive(tmp_path):
+    source = """
+        def save(path, payload):
+            with open(path, "w") as handle:
+                handle.write(payload)
+    """
+    findings = lint(tmp_path, source, "atomic-write", name="persistence.py")
+    assert [f.line for f in findings] == [3]
+    assert "os.replace" in findings[0].message
+
+
+def test_atomic_write_negative_temp_then_replace(tmp_path):
+    source = """
+        import os
+
+        def save(path, payload):
+            tmp = str(path) + ".tmp"
+            with open(tmp, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+    """
+    assert lint(tmp_path, source, "atomic-write",
+                name="persistence.py") == []
+
+
+def test_atomic_write_pathlib_and_scope(tmp_path):
+    source = """
+        def save(path, payload):
+            path.write_text(payload)
+    """
+    # flagged in a persistence module...
+    assert lint(tmp_path, source, "atomic-write",
+                name="artifacts.py") != []
+    # ...but out of scope elsewhere
+    assert lint(tmp_path, source, "atomic-write", name="misc.py") == []
+
+
+def test_atomic_write_suppression(tmp_path):
+    source = """
+        def save(path, payload):
+            # repro: allow[atomic-write] append-only log, torn tails are tolerated
+            with open(path, "a") as handle:
+                handle.write(payload)
+    """
+    report = run_paths(
+        [_write(tmp_path, source, name="persistence.py")],
+        rules=["atomic-write"])
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+# -- metric-discipline -------------------------------------------------------
+
+def test_metric_discipline_undescribed(tmp_path):
+    source = """
+        def record(metrics):
+            metrics.inc("ghost_total", endpoint="/x")
+    """
+    findings = lint(tmp_path, source, "metric-discipline")
+    assert [f.line for f in findings] == [3]
+    assert "never described" in findings[0].message
+
+
+def test_metric_discipline_label_mismatch(tmp_path):
+    source = """
+        def record(metrics):
+            metrics.describe("ghost_total", "Ghosts.")
+            metrics.inc("ghost_total", endpoint="/x")
+            metrics.inc("ghost_total", worker="1")
+    """
+    findings = lint(tmp_path, source, "metric-discipline")
+    assert [f.line for f in findings] == [5]
+    assert "fork the series" in findings[0].message
+
+
+def test_metric_discipline_negative(tmp_path):
+    source = """
+        def record(metrics):
+            metrics.describe("ghost_total", "Ghosts.")
+            metrics.inc("ghost_total", endpoint="/x")
+            metrics.inc("ghost_total", amount=2.0, endpoint="/y")
+    """
+    assert lint(tmp_path, source, "metric-discipline") == []
+
+
+def test_metric_discipline_cross_file(tmp_path):
+    # describe() in one module covers emits in another
+    emitter = _write(tmp_path, """
+        def record(metrics):
+            metrics.inc("ghost_total", endpoint="/x")
+    """, name="emit.py")
+    describer = _write(tmp_path, """
+        def setup(metrics):
+            metrics.describe("ghost_total", "Ghosts.")
+    """, name="describe.py")
+    assert run_paths([emitter, describer],
+                     rules=["metric-discipline"]).findings == []
+
+
+def test_metric_discipline_suppression(tmp_path):
+    source = """
+        def record(metrics):
+            # repro: allow[metric-discipline] described by the host service at boot
+            metrics.inc("ghost_total", endpoint="/x")
+    """
+    report = run_paths([_write(tmp_path, source)],
+                       rules=["metric-discipline"])
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+# -- monotonic-time ----------------------------------------------------------
+
+def test_monotonic_time_positive_direct(tmp_path):
+    source = """
+        import time
+
+        def uptime(started):
+            return time.time() - started
+    """
+    findings = lint(tmp_path, source, "monotonic-time")
+    assert [f.line for f in findings] == [5]
+    assert "monotonic" in findings[0].message
+
+
+def test_monotonic_time_positive_tainted_local(tmp_path):
+    source = """
+        import time
+
+        def age(stamp):
+            now = time.time()
+            return now - stamp
+    """
+    findings = lint(tmp_path, source, "monotonic-time")
+    assert [f.line for f in findings] == [6]
+
+
+def test_monotonic_time_negative(tmp_path):
+    source = """
+        import time
+
+        def uptime(started_monotonic):
+            return time.monotonic() - started_monotonic
+
+        def stamp():
+            return time.time()
+    """
+    assert lint(tmp_path, source, "monotonic-time") == []
+
+
+def test_monotonic_time_suppression(tmp_path):
+    source = """
+        import time
+
+        def age_of(path):
+            now = time.time()
+            # repro: allow[monotonic-time] st_mtime is wall-clock by definition
+            return now - path.stat().st_mtime
+    """
+    report = run_paths([_write(tmp_path, source)], rules=["monotonic-time"])
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+# -- bounded-read ------------------------------------------------------------
+
+def test_bounded_read_positive_no_arg(tmp_path):
+    source = """
+        def handle(self):
+            return self.rfile.read()
+    """
+    findings = lint(tmp_path, source, "bounded-read")
+    assert [f.line for f in findings] == [3]
+    assert "Content-Length" in findings[0].message
+
+
+def test_bounded_read_positive_negative_bound(tmp_path):
+    source = """
+        def handle(self):
+            return self.rfile.read(-1)
+    """
+    findings = lint(tmp_path, source, "bounded-read")
+    assert [f.line for f in findings] == [3]
+
+
+def test_bounded_read_negative(tmp_path):
+    source = """
+        def handle(self, length):
+            body = self.rfile.read(length)
+            chunk = self.sock.recv(4096)
+            text = open("x").read()
+            return body, chunk, text
+    """
+    assert lint(tmp_path, source, "bounded-read") == []
+
+
+def test_bounded_read_suppression(tmp_path):
+    source = """
+        def drain(self):
+            # repro: allow[bounded-read] trusted in-process pipe, peer closes promptly
+            return self.rfile.read()
+    """
+    report = run_paths([_write(tmp_path, source)], rules=["bounded-read"])
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+# -- framework ---------------------------------------------------------------
+
+def _write(tmp_path, source: str, name: str = "mod.py") -> pathlib.Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def test_baseline_round_trip(tmp_path):
+    path = _write(tmp_path, """
+        import time
+
+        def uptime(started):
+            return time.time() - started
+    """)
+    first = run_paths([path], rules=["monotonic-time"])
+    assert len(first.findings) == 1
+
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, first.findings)
+    baseline = load_baseline(baseline_file)
+
+    second = run_paths([path], rules=["monotonic-time"], baseline=baseline)
+    assert second.findings == []
+    assert second.baselined == 1
+    assert second.stale_baseline == []
+
+    # fix the code: the baseline entry goes stale, reported as such
+    path.write_text(
+        "import time\n\n"
+        "def uptime(started_monotonic):\n"
+        "    return time.monotonic() - started_monotonic\n",
+        encoding="utf-8")
+    third = run_paths([path], rules=["monotonic-time"], baseline=baseline)
+    assert third.findings == []
+    assert third.baselined == 0
+    assert len(third.stale_baseline) == 1
+
+
+def test_allow_without_reason_is_reported(tmp_path):
+    path = _write(tmp_path, """
+        import time
+
+        def uptime(started):
+            return time.time() - started  # repro: allow[monotonic-time]
+    """)
+    report = run_paths([path], rules=["monotonic-time"])
+    rules = sorted(f.rule for f in report.findings)
+    # the reason-less allow is itself a finding AND does not suppress
+    assert rules == [BAD_SUPPRESSION, "monotonic-time"]
+
+
+def test_parse_error_is_a_finding(tmp_path):
+    path = _write(tmp_path, "def broken(:\n")
+    report = run_paths([path])
+    assert [f.rule for f in report.findings] == [PARSE_ERROR]
+
+
+def test_unknown_rule_id_rejected(tmp_path):
+    path = _write(tmp_path, "x = 1\n")
+    try:
+        run_paths([path], rules=["no-such-rule"])
+    except ValueError as exc:
+        assert "no-such-rule" in str(exc)
+    else:
+        raise AssertionError("expected ValueError")
+
+
+def test_finding_render_format():
+    finding = Finding("a/b.py", 3, 7, "lock-discipline", "boom")
+    assert finding.render() == "a/b.py:3:7: [lock-discipline] boom"
+
+
+# -- CLI + self-check --------------------------------------------------------
+
+def _run_cli(args, cwd):
+    env_path = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_repo_tree_lints_clean():
+    """The acceptance gate: the repo's own tree has no findings."""
+    proc = _run_cli(["src", "tools", "benchmarks"], cwd=REPO_ROOT)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_json_format(tmp_path):
+    _write(tmp_path, """
+        import time
+
+        def uptime(started):
+            return time.time() - started
+    """)
+    proc = _run_cli(["mod.py", "--format", "json", "--no-baseline"],
+                    cwd=tmp_path)
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["files"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["monotonic-time"]
+    assert payload["findings"][0]["line"] == 5
+    assert "lock-discipline" in payload["rules"]
+
+
+def test_cli_list_rules():
+    proc = _run_cli(["--list-rules"], cwd=REPO_ROOT)
+    assert proc.returncode == 0
+    for rule_id in ("lock-discipline", "fork-safety", "atomic-write",
+                    "metric-discipline", "monotonic-time", "bounded-read"):
+        assert rule_id in proc.stdout

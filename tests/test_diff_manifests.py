@@ -1,0 +1,115 @@
+"""Tests for ``tools/diff_manifests.py`` (experiment value differ)."""
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import diff_manifests  # noqa: E402
+
+MANIFEST = {
+    "schema": 3,
+    "created_unix": 100.0,
+    "git_revision": "aaaa",
+    "quick": True,
+    "seed": 0,
+    "total_seconds": 2.5,
+    "experiments": [
+        {"name": "table3", "experiment_id": "table3", "title": "Table 3",
+         "seconds": 1.5, "rows": 2, "result_file": "table3.json"},
+    ],
+}
+
+RESULT = {
+    "experiment_id": "table3",
+    "title": "Table 3",
+    "headers": ["method", "accuracy"],
+    "rows": [["baseline", 0.41], ["ours", 0.62]],
+    "notes": ["quick profile"],
+    "name": "table3",
+    "seconds": 1.5,
+    "quick": True,
+    "seed": 0,
+}
+
+
+def _run_dir(tmp_path, name, manifest=MANIFEST, result=RESULT):
+    directory = tmp_path / name
+    directory.mkdir()
+    (directory / "manifest.json").write_text(json.dumps(manifest),
+                                             encoding="utf-8")
+    (directory / "table3.json").write_text(json.dumps(result),
+                                           encoding="utf-8")
+    return directory
+
+
+def _mutated(payload, **changes):
+    copy = json.loads(json.dumps(payload))
+    copy.update(changes)
+    return copy
+
+
+def test_identical_runs_pass(tmp_path):
+    current = _run_dir(tmp_path, "current")
+    reference = _run_dir(tmp_path, "reference")
+    assert diff_manifests.main([str(current), str(reference)]) == 0
+
+
+def test_nondeterministic_fields_are_allowlisted(tmp_path):
+    current = _run_dir(tmp_path, "current")
+    reference = _run_dir(
+        tmp_path, "reference",
+        manifest=_mutated(MANIFEST, created_unix=999.0, git_revision="bbbb",
+                          total_seconds=9.9),
+        result=_mutated(RESULT, seconds=9.9))
+    assert diff_manifests.main([str(current), str(reference)]) == 0
+
+
+def test_row_value_drift_fails(tmp_path, capsys):
+    current = _run_dir(tmp_path, "current")
+    drifted = _mutated(RESULT)
+    drifted["rows"][1][1] = 0.63
+    reference = _run_dir(tmp_path, "reference", result=drifted)
+    assert diff_manifests.main([str(current), str(reference)]) == 1
+    err = capsys.readouterr().err
+    assert "rows[1][1]" in err
+    assert "0.62" in err and "0.63" in err
+
+
+def test_row_count_drift_fails(tmp_path):
+    current = _run_dir(tmp_path, "current")
+    shorter = _mutated(RESULT, rows=[["baseline", 0.41]])
+    reference = _run_dir(tmp_path, "reference", result=shorter)
+    assert diff_manifests.main([str(current), str(reference)]) == 1
+
+
+def test_missing_experiment_in_current_fails(tmp_path):
+    empty = _mutated(MANIFEST, experiments=[])
+    current = _run_dir(tmp_path, "current", manifest=empty)
+    reference = _run_dir(tmp_path, "reference")
+    assert diff_manifests.main([str(current), str(reference)]) == 1
+
+
+def test_new_experiment_in_current_is_only_a_note(tmp_path, capsys):
+    current = _run_dir(tmp_path, "current")
+    empty = _mutated(MANIFEST, experiments=[])
+    reference = _run_dir(tmp_path, "reference", manifest=empty)
+    assert diff_manifests.main([str(current), str(reference)]) == 0
+    assert "no reference" in capsys.readouterr().out
+
+
+def test_extra_allow_flag(tmp_path):
+    current = _run_dir(tmp_path, "current")
+    reference = _run_dir(tmp_path, "reference",
+                         result=_mutated(RESULT, notes=["other profile"]))
+    assert diff_manifests.main([str(current), str(reference)]) == 1
+    assert diff_manifests.main(
+        [str(current), str(reference), "--allow", "notes"]) == 0
+
+
+def test_missing_manifest_is_usage_error(tmp_path):
+    current = _run_dir(tmp_path, "current")
+    assert diff_manifests.main(
+        [str(current), str(tmp_path / "nope")]) == 2

@@ -10,7 +10,10 @@ Two independent checks over ``README.md`` and ``docs/*.md``:
    (``inc`` / ``set_gauge`` / ``observe`` call sites in the service
    sources) must be documented in ``docs/METRICS.md`` **and** carry a
    registry ``describe()`` call — an emitted series without a HELP
-   line fails the build, not just one missing from the docs.
+   line fails the build, not just one missing from the docs.  Call
+   sites come from :mod:`repro.analysis.metrics_ast` — the same
+   visitor the ``metric-discipline`` lint rule uses, so the docs check
+   and the linter can never disagree about what the code emits.
 
 Exit status 0 when clean; 1 with one line per problem otherwise.
 
@@ -21,6 +24,8 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import ast
+import importlib.util
 import pathlib
 import re
 import sys
@@ -37,9 +42,38 @@ _FENCE = re.compile(r"^(```|~~~)")
 _LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
 _EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
-_METRIC_EMIT = re.compile(
-    r"\b(?:inc|set_gauge|observe)\(\s*[\"']([a-z0-9_]+)[\"']")
-_METRIC_DESCRIBE = re.compile(r"\bdescribe\(\s*[\"']([a-z0-9_]+)[\"']")
+
+#: The shared visitor, relative to this script's own repo (not --root:
+#: the extraction logic belongs to the checker, the tree under test
+#: only supplies sources).
+METRICS_AST_PATH = (pathlib.Path(__file__).resolve().parent.parent
+                    / "src" / "repro" / "analysis" / "metrics_ast.py")
+
+_metrics_ast_module = None
+
+
+def _load_metrics_ast():
+    """Load the shared metric-call visitor straight from its file.
+
+    A plain ``import repro.analysis`` would drag in ``repro`` (and its
+    third-party dependencies); loading by path keeps this script
+    runnable in the stdlib-only CI docs job.  ``metrics_ast`` is kept
+    free of intra-package imports for exactly this reason.
+    """
+    global _metrics_ast_module
+    if _metrics_ast_module is not None:
+        return _metrics_ast_module
+    path = METRICS_AST_PATH
+    spec = importlib.util.spec_from_file_location("_repro_metrics_ast", path)
+    if spec is None or spec.loader is None:  # pragma: no cover
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    # dataclass decorators resolve their module via sys.modules, so the
+    # module must be registered before executing its body.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    _metrics_ast_module = module
+    return module
 
 
 def _strip_fences(text: str) -> list[str]:
@@ -107,14 +141,18 @@ def exported_metrics(root: pathlib.Path) -> tuple[set[str], set[str]]:
     failure: a name can reach METRICS.md while its exposition still
     lacks the ``# HELP`` line operators grep for.
     """
+    metrics_ast = _load_metrics_ast()
     emitted: set[str] = set()
     described: set[str] = set()
     for source in METRIC_SOURCES:
         path = root / source
         if path.is_file():
-            text = path.read_text(encoding="utf-8")
-            emitted.update(_METRIC_EMIT.findall(text))
-            described.update(_METRIC_DESCRIBE.findall(text))
+            tree = ast.parse(path.read_text(encoding="utf-8"),
+                             filename=str(path))
+            module_emitted, module_described = \
+                metrics_ast.emitted_and_described(tree)
+            emitted.update(module_emitted)
+            described.update(module_described)
     return emitted, described
 
 

@@ -1,0 +1,159 @@
+"""Diff experiment result *values* between a run and a reference.
+
+``tools/merge_shards.py`` checks that a sharded run covers the request
+and that per-experiment row *counts* match a reference; this tool goes
+the rest of the way and diffs the row **values** — headers, every cell,
+notes — between a current run's output directory and a reference
+artifact (e.g. the previous main-branch run's merged manifest).  Greedy
+decode is deterministic, so any value drift is a real behaviour change,
+not noise.
+
+Expected-nondeterministic fields (timings, wall-clock stamps, git
+revision, shard layout) are allowlisted by *key name* at any nesting
+depth; ``--allow`` extends the list.
+
+Usage::
+
+    python tools/diff_manifests.py CURRENT_DIR REFERENCE_DIR
+        [--allow FIELD ...] [--max-diffs N]
+
+Both directories must hold a ``manifest.json`` plus the per-experiment
+result files it names.  Experiments present in only one side are
+reported unless the reference simply has extras (a shrunk reference is
+suspicious; a grown current run is how new experiments land).
+
+Exit status 0 when the comparable values match; 1 otherwise.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Key names whose values legitimately differ run-to-run.
+DEFAULT_ALLOW = (
+    "seconds",
+    "total_seconds",
+    "created_unix",
+    "git_revision",
+    "jobs",
+    "shard",
+    "shards",
+    "shard_dir",
+    "merged_from",
+)
+
+
+def _load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: bad JSON in {path}: {exc}") from exc
+
+
+def _fmt(value: object) -> str:
+    text = json.dumps(value, ensure_ascii=False, default=str)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def deep_diff(current: object, reference: object, allow: frozenset[str],
+              path: str, out: list[str]) -> None:
+    """Append ``path: current != reference`` lines for every leaf diff."""
+    if isinstance(current, dict) and isinstance(reference, dict):
+        for key in sorted(set(current) | set(reference)):
+            if key in allow:
+                continue
+            where = f"{path}.{key}" if path else key
+            if key not in current:
+                out.append(f"{where}: missing in current run")
+            elif key not in reference:
+                out.append(f"{where}: missing in reference")
+            else:
+                deep_diff(current[key], reference[key], allow, where, out)
+    elif isinstance(current, list) and isinstance(reference, list):
+        if len(current) != len(reference):
+            out.append(f"{path}: {len(current)} item(s) vs "
+                       f"{len(reference)} in reference")
+            return
+        for index, (cur, ref) in enumerate(zip(current, reference)):
+            deep_diff(cur, ref, allow, f"{path}[{index}]", out)
+    elif current != reference:
+        out.append(f"{path}: {_fmt(current)} != {_fmt(reference)} "
+                   f"(reference)")
+
+
+def diff_runs(current_dir: pathlib.Path, reference_dir: pathlib.Path,
+              allow: frozenset[str]) -> list[str]:
+    """Every value difference between the two run directories."""
+    problems: list[str] = []
+    current = _load(current_dir / "manifest.json")
+    reference = _load(reference_dir / "manifest.json")
+
+    cur_entries = {e["name"]: e for e in current.get("experiments", [])}
+    ref_entries = {e["name"]: e for e in reference.get("experiments", [])}
+    for name in sorted(ref_entries.keys() - cur_entries.keys()):
+        problems.append(f"experiment {name!r}: in reference but not in "
+                        f"current run")
+    for name in sorted(cur_entries.keys() - ref_entries.keys()):
+        # New experiments are how the suite grows; note, don't fail.
+        print(f"note: experiment {name!r} has no reference (new?)")
+
+    for name in sorted(cur_entries.keys() & ref_entries.keys()):
+        deep_diff(cur_entries[name], ref_entries[name], allow,
+                  f"manifest.json:{name}", problems)
+        result_file = cur_entries[name].get("result_file", f"{name}.json")
+        cur_path = current_dir / result_file
+        ref_path = reference_dir / result_file
+        if not cur_path.is_file():
+            problems.append(f"{result_file}: named by current manifest "
+                            f"but missing")
+            continue
+        if not ref_path.is_file():
+            problems.append(f"{result_file}: named by reference manifest "
+                            f"but missing")
+            continue
+        deep_diff(_load(cur_path), _load(ref_path), allow,
+                  result_file, problems)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=pathlib.Path, metavar="CURRENT_DIR",
+                        help="this run's manifest directory")
+    parser.add_argument("reference", type=pathlib.Path,
+                        metavar="REFERENCE_DIR",
+                        help="reference manifest directory to diff against")
+    parser.add_argument("--allow", nargs="*", default=[], metavar="FIELD",
+                        help="extra field names to ignore (in addition to "
+                             f"{', '.join(DEFAULT_ALLOW)})")
+    parser.add_argument("--max-diffs", type=int, default=50, metavar="N",
+                        help="stop printing after N differences "
+                             "(default: 50)")
+    args = parser.parse_args(argv)
+    for directory in (args.current, args.reference):
+        if not (directory / "manifest.json").is_file():
+            print(f"error: no manifest.json under {directory}",
+                  file=sys.stderr)
+            return 2
+
+    allow = frozenset(DEFAULT_ALLOW) | frozenset(args.allow)
+    problems = diff_runs(args.current, args.reference, allow)
+    for problem in problems[:args.max_diffs]:
+        print(problem, file=sys.stderr)
+    if len(problems) > args.max_diffs:
+        print(f"... and {len(problems) - args.max_diffs} more",
+              file=sys.stderr)
+    if problems:
+        print(f"diff_manifests: {len(problems)} difference(s)",
+              file=sys.stderr)
+        return 1
+    print("diff_manifests: OK (values match reference)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
