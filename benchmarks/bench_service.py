@@ -39,6 +39,13 @@ including the long-decode family, where continuous trades some tail
 latency for the width that buys its throughput (see
 docs/SERVING.md for the trade and the ``max_inflight_rows`` knob).
 
+A ``tracing`` record measures the end-to-end request-tracing overhead:
+the same decode-heavy /solve traffic with ``trace_sample_rate=1.0``
+versus ``0.0``, gated at ``--trace-min-ratio`` (default 0.95x) of the
+untraced throughput, with the median per-stage latency breakdown
+(parse/queue/admit/prefill/decode/resolve/write) read back from
+``/debug/traces``.
+
 A fifth record contrasts one process against a ``--workers N``
 pre-fork fleet (both launched through the real CLI, warm from the same
 store) on decode-heavy unique traffic: byte-identical responses across
@@ -185,13 +192,15 @@ class RunningService:
     def __init__(self, *, batch_size: int, profile: str, seed: int,
                  completion_cache_size: int = 2048,
                  solve_scheduler: str = "continuous",
-                 max_inflight_rows: int = 32):
+                 max_inflight_rows: int = 32,
+                 trace_sample_rate: float = 1.0):
         self.service = DimensionService(ServiceConfig(
             port=0, max_batch_size=batch_size, max_latency=0.002,
             profile=profile, seed=seed,
             completion_cache_size=completion_cache_size,
             solve_scheduler=solve_scheduler,
             max_inflight_rows=max_inflight_rows,
+            trace_sample_rate=trace_sample_rate,
         ))
         self.server = build_server(self.service)
         self.thread = threading.Thread(
@@ -335,6 +344,80 @@ def measure_mixed(bodies: list[dict], *, profile: str, seed: int,
                        ("short_p99_ms", "short_p99_ratio"),
                        ("long_p99_ms", "long_p99_ratio")):
         record[label] = round(con[key] / rtc[key], 2)
+    return record
+
+
+def _stage_medians(base: str) -> dict:
+    """Median per-stage span duration (ms) from ``/debug/traces``."""
+    with urllib.request.urlopen(base + "/debug/traces?n=200",
+                                timeout=30) as response:
+        body = json.loads(response.read().decode("utf-8"))
+    stages: dict[str, list[float]] = {}
+    for trace in body["traces"]:
+        if trace["endpoint"] != "/solve":
+            continue
+        for span in trace["spans"]:
+            stages.setdefault(span["name"], []).append(span["duration_ms"])
+    return {name: round(percentile(sorted(values), 0.50), 3)
+            for name, values in sorted(stages.items())}
+
+
+def measure_tracing(bodies: list[dict], *, profile: str, seed: int,
+                    clients: int, batch_size: int,
+                    attempts: int = 3) -> dict:
+    """Default-on tracing vs tracing fully off, same /solve traffic.
+
+    Tracing must be cheap enough to leave on: the gate fails the build
+    when the traced service (``trace_sample_rate=1.0``) sustains less
+    than ``--trace-min-ratio`` (default 0.95) of the untraced
+    throughput.  Responses must stay byte-identical -- tracing is
+    observability, never semantics.  The record also keeps the median
+    per-stage latency breakdown read back from ``/debug/traces``, so
+    every benchmark run documents where /solve time actually goes.
+    """
+    record: dict = {"workload": "solve-tracing-overhead",
+                    "endpoint": "/solve", "requests": len(bodies),
+                    "clients": clients, "batch_size": batch_size,
+                    "attempts": attempts}
+    warm = template_workload(4, 4)
+    modes = {"untraced": 0.0, "traced": 1.0}
+    best = None
+    identical = True
+    attempt_ratios: list[float] = []
+    for _ in range(max(1, attempts)):
+        stats_by_mode = {}
+        responses_by_mode = {}
+        stage_p50: dict = {}
+        for mode, rate in modes.items():
+            running = RunningService(batch_size=batch_size, profile=profile,
+                                     seed=seed, trace_sample_rate=rate)
+            try:
+                drive(running.base, "/solve", warm, clients=2)
+                seconds, responses = drive(
+                    running.base, "/solve", bodies, clients
+                )
+                if mode == "traced":
+                    stage_p50 = _stage_medians(running.base)
+            finally:
+                running.close()
+            responses_by_mode[mode] = responses
+            stats_by_mode[mode] = {
+                "seconds": round(seconds, 4),
+                "requests_per_second": round(len(bodies) / seconds, 2),
+            }
+        identical = identical and (
+            responses_by_mode["untraced"] == responses_by_mode["traced"]
+        )
+        ratio = (stats_by_mode["traced"]["requests_per_second"]
+                 / stats_by_mode["untraced"]["requests_per_second"])
+        attempt_ratios.append(round(ratio, 3))
+        if best is None or ratio > best[0]:
+            best = (ratio, stats_by_mode, stage_p50)
+    record.update(best[1])
+    record["stage_p50_ms"] = best[2]
+    record["identical_responses"] = identical
+    record["attempt_throughput_ratios"] = attempt_ratios
+    record["throughput_ratio"] = round(best[0], 3)
     return record
 
 
@@ -586,6 +669,13 @@ def main(argv: list[str] | None = None) -> int:
                              "run-to-completion holds hostage behind "
                              "long batch-mates) is at most this x "
                              "run-to-completion's (0 disables)")
+    parser.add_argument("--trace-attempts", type=int, default=3,
+                        help="tracing-overhead attempts; the best by "
+                             "throughput ratio is recorded")
+    parser.add_argument("--trace-min-ratio", type=float, default=0.95,
+                        help="fail unless the traced service "
+                             "(sample rate 1.0) sustains at least this "
+                             "x the untraced throughput (0 disables)")
     parser.add_argument("--fleet-workers", type=int, default=4,
                         help="worker count for the pre-fork fleet "
                              "scenario (0 skips the scenario)")
@@ -652,6 +742,11 @@ def main(argv: list[str] | None = None) -> int:
         max_inflight_rows=args.max_inflight_rows,
         attempts=args.mixed_attempts,
     )
+    tracing = measure_tracing(
+        unique_workload(args.requests), profile="micro",
+        seed=args.seed, clients=args.clients,
+        batch_size=args.batch_size, attempts=args.trace_attempts,
+    )
     fleet = None
     if args.fleet_workers > 1:
         env_store = os.environ.get(ENV_VAR)
@@ -673,6 +768,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "workloads": results,
         "continuous_batching": mixed,
+        "tracing": tracing,
         "fleet": fleet,
     }
     for result in results:
@@ -695,6 +791,14 @@ def main(argv: list[str] | None = None) -> int:
           f"{mixed['short_p99_ratio']:.2f}x short-family p99, "
           f"{mixed['long_p99_ratio']:.2f}x long-family p99 "
           f"(identical={mixed['identical_responses']})")
+    stage_line = ", ".join(f"{name} {value:.1f}ms" for name, value
+                           in tracing["stage_p50_ms"].items())
+    print(f"{tracing['workload']}: untraced "
+          f"{tracing['untraced']['requests_per_second']:.1f} req/s, "
+          f"traced {tracing['traced']['requests_per_second']:.1f} req/s "
+          f"-> {tracing['throughput_ratio']:.3f}x "
+          f"(identical={tracing['identical_responses']}; "
+          f"stage p50: {stage_line})")
     if fleet is not None:
         print(f"{fleet['workload']}: 1 process "
               f"{fleet['single']['requests_per_second']:.1f} req/s, "
@@ -741,6 +845,16 @@ def main(argv: list[str] | None = None) -> int:
               f"{mixed['short_p99_ratio']:.2f}x is above the "
               f"{args.mixed_max_short_p99_ratio:.2f}x gate",
               file=sys.stderr)
+        return 1
+    if not tracing["identical_responses"]:
+        print("FAIL: traced responses diverge from untraced serving",
+              file=sys.stderr)
+        return 1
+    if (args.trace_min_ratio
+            and tracing["throughput_ratio"] < args.trace_min_ratio):
+        print(f"FAIL: traced throughput ratio "
+              f"{tracing['throughput_ratio']:.3f}x is below the "
+              f"{args.trace_min_ratio:.2f}x gate", file=sys.stderr)
         return 1
     if fleet is not None:
         # Byte parity and scrape completeness hold on any hardware;

@@ -36,7 +36,9 @@ def save_report():
         name = result.experiment_id.lower().replace(" ", "").replace(".", "")
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(result.render() + "\n", encoding="utf-8")
+        # repro: allow[print-discipline] pytest console report, not library output
         print()
+        # repro: allow[print-discipline] pytest console report, not library output
         print(result.render())
 
     return _save

@@ -11,3 +11,4 @@ from repro.analysis.rules import fork_safety       # noqa: F401
 from repro.analysis.rules import lock_discipline   # noqa: F401
 from repro.analysis.rules import metric_discipline  # noqa: F401
 from repro.analysis.rules import monotonic_time    # noqa: F401
+from repro.analysis.rules import print_discipline  # noqa: F401

@@ -1,0 +1,75 @@
+"""``print-discipline``: library code logs through ``repro.obs.log``,
+never bare ``print()`` / ``traceback.print_exc()``.
+
+PR 9's observability pass replaced the serving stack's ad-hoc prints
+(``service/fleet.py`` alone had five, including a bare
+``traceback.print_exc()`` on the worker-boot failure path) with
+single-line structured JSON events from :func:`repro.obs.get_logger` --
+parseable, levelled, and visible to log shippers.  This rule keeps new
+code on that path: a ``print()`` or ``*.print_exc()`` call in library
+code is a finding pointing at ``repro.obs.log``.
+
+CLI surfaces are exempt, because stdout *is* their interface:
+
+- modules named ``__main__.py`` or ``cli.py`` (entry points end to end);
+- code lexically inside a function named ``main`` or ``_cmd_*``
+  (argparse handlers), including nested helpers defined within them --
+  the experiments runner's progress lines and the artifact CLI's
+  listings stay legal without suppressions.
+
+Anything else that genuinely must write to a console (a tools/ script's
+report body, a pytest reporting fixture) carries an explicit
+``# repro: allow[print-discipline] <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+#: Module basenames whose whole body is a CLI entry point.
+EXEMPT_BASENAMES = ("__main__.py", "cli.py")
+
+
+def _is_entry_function(name: str) -> bool:
+    return name == "main" or name.startswith("_cmd_")
+
+
+@register
+class PrintDisciplineRule(Rule):
+    id = "print-discipline"
+    summary = ("library code must log via repro.obs.log, not print() / "
+               "traceback.print_exc()")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.path.name in EXEMPT_BASENAMES:
+            return
+        yield from self._visit(module, module.tree, entry_scope=False)
+
+    def _visit(self, module: ModuleInfo, node: ast.AST,
+               entry_scope: bool) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            scope = entry_scope
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = entry_scope or _is_entry_function(child.name)
+            elif isinstance(child, ast.Call) and not entry_scope:
+                func = child.func
+                if isinstance(func, ast.Name) and func.id == "print":
+                    yield Finding(
+                        module.display, child.lineno,
+                        child.col_offset + 1, self.id,
+                        "print() in library code; emit a structured "
+                        "event via repro.obs.get_logger() instead",
+                    )
+                elif (isinstance(func, ast.Attribute)
+                        and func.attr == "print_exc"):
+                    yield Finding(
+                        module.display, child.lineno,
+                        child.col_offset + 1, self.id,
+                        "traceback.print_exc() in library code; use "
+                        "repro.obs logger .error(..., exc_info=True) "
+                        "instead",
+                    )
+            yield from self._visit(module, child, scope)

@@ -80,16 +80,22 @@ def write_manifest(
             "quick": quick,
             "seed": seed,
         })
+        persist_started = time.perf_counter()
         (out / result_file).write_text(
             json.dumps(payload, ensure_ascii=False, indent=2) + "\n",
             encoding="utf-8",
         )
+        # Per-stage wall breakdown: the scheduler's span timings
+        # (train_wait, eval) plus the result-file write measured here.
+        stages = dict(record.stages)
+        stages["persist"] = round(time.perf_counter() - persist_started, 6)
         entries.append({
             "name": record.name,
             "experiment_id": record.result.experiment_id,
             "title": record.result.title,
             "seconds": round(record.seconds, 3),
             "rows": len(record.result.rows),
+            "stages": stages,
             "result_file": result_file,
         })
     if requested is None:

@@ -128,7 +128,11 @@ def main(argv: list[str] | None = None) -> int:
         # Stream each report as soon as it is deliverable in request
         # order, so a crash late in a long run keeps earlier results.
         print(record.result.render())
-        print(f"  [{record.name} took {record.seconds:.1f}s]")
+        breakdown = "".join(
+            f", {stage} {seconds:.1f}s"
+            for stage, seconds in sorted(record.stages.items())
+        )
+        print(f"  [{record.name} took {record.seconds:.1f}s{breakdown}]")
         print()
         delivered.append(record)
 

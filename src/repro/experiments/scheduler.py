@@ -23,19 +23,27 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.spec import get_spec, resolve
+from repro.obs import Trace
 
 
 @dataclass(frozen=True)
 class ExperimentRecord:
-    """One finished experiment: its id, result, and wall time."""
+    """One finished experiment: its id, result, and wall time.
+
+    ``stages`` breaks ``seconds`` down by lifecycle stage (the same
+    span API the serving stack uses): ``train_wait`` is time blocked on
+    a shared trained-context lock (parallel runs only), ``eval`` the
+    experiment body itself.  The manifest writer adds ``persist``.
+    """
 
     name: str
     result: ExperimentResult
     seconds: float
+    stages: dict[str, float] = field(default_factory=dict)
 
 
 class _OrderedEmitter:
@@ -123,6 +131,7 @@ def run_experiments(
 
     def task(index: int, name: str) -> ExperimentRecord:
         spec = get_spec(name)
+        trace = Trace(endpoint=f"experiment:{name}")
         try:
             for dep in spec.deps:
                 if dep in done:
@@ -135,9 +144,10 @@ def run_experiments(
                             f"experiment {name!r} skipped: dependency "
                             f"{dep!r} failed"
                         )
-            locks = context_locks.acquire_all(spec.contexts)
+            with trace.span("train_wait"):
+                locks = context_locks.acquire_all(spec.contexts)
             try:
-                record = _run_one(name, quick, seed)
+                record = _run_one(name, quick, seed, trace=trace)
             finally:
                 for lock in reversed(locks):
                     lock.release()
@@ -159,9 +169,17 @@ def run_experiments(
         return [future.result() for future in futures]
 
 
-def _run_one(name: str, quick: bool, seed: int) -> ExperimentRecord:
+def _run_one(name: str, quick: bool, seed: int,
+             trace: Trace | None = None) -> ExperimentRecord:
+    if trace is None:
+        trace = Trace(endpoint=f"experiment:{name}")
     started = time.perf_counter()
-    result = get_spec(name).run(quick=quick, seed=seed)
+    with trace.span("eval"):
+        result = get_spec(name).run(quick=quick, seed=seed)
+    elapsed = time.perf_counter() - started
+    trace.finish()
     return ExperimentRecord(
-        name=name, result=result, seconds=time.perf_counter() - started
+        name=name, result=result, seconds=elapsed,
+        stages={stage: round(seconds, 6)
+                for stage, seconds in trace.stage_seconds().items()},
     )

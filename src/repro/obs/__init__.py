@@ -1,0 +1,42 @@
+"""``repro.obs`` -- tracing and structured logging for the serving stack.
+
+Two halves, both stdlib-only:
+
+- :mod:`repro.obs.trace` -- per-request traces (``X-Repro-Trace`` id
+  propagation, context-manager spans, probabilistic sampling, bounded
+  completed-trace ring buffer behind ``/debug/traces``);
+- :mod:`repro.obs.log` -- single-line structured JSON event logging
+  (the replacement for ad-hoc ``print``/``traceback.print_exc`` that
+  the ``print-discipline`` lint rule enforces).
+
+See ``docs/OBSERVABILITY.md`` for the operator view.
+"""
+
+from repro.obs.log import StructuredLogger, get_logger
+from repro.obs.trace import (
+    FORCE_HEADER,
+    TRACE_HEADER,
+    Span,
+    Trace,
+    TraceBuffer,
+    Tracer,
+    current_trace,
+    mint_trace_id,
+    trace_span,
+    use_trace,
+)
+
+__all__ = [
+    "FORCE_HEADER",
+    "TRACE_HEADER",
+    "Span",
+    "StructuredLogger",
+    "Trace",
+    "TraceBuffer",
+    "Tracer",
+    "current_trace",
+    "get_logger",
+    "mint_trace_id",
+    "trace_span",
+    "use_trace",
+]

@@ -1,0 +1,136 @@
+"""Structured event logging: one JSON object per line on stderr.
+
+The serving stack's operator output used to be ad-hoc ``print`` calls
+and ``traceback.print_exc()`` -- unparseable, unlevelled, and invisible
+to log shippers.  :func:`get_logger` returns a
+:class:`StructuredLogger` whose every call emits exactly one line of
+JSON with a fixed envelope::
+
+    {"ts": 1718000000.123, "level": "info", "logger": "repro.obs.fleet",
+     "event": "fleet.serving", "port": 8322, "workers": 2}
+
+- ``event`` is a stable dotted slug (grep ``"event": "fleet.worker_exit"``,
+  not a prose substring);
+- every keyword argument becomes a top-level field (JSON-able values
+  only; offenders are ``repr()``-ed rather than crashing the logger);
+- ``exc_info=True`` attaches the current exception as an ``exc`` field
+  (type, message, traceback text) -- the structured replacement for
+  ``traceback.print_exc()``.
+
+Built on stdlib :mod:`logging`: the ``repro.obs`` root logger gets one
+stderr handler with the JSON formatter (installed once, idempotently),
+child loggers inherit it, and ``propagate`` stops there so application
+root-logger configs cannot double-print events.  The
+``print-discipline`` lint rule points library code here.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+import traceback
+
+#: Every structured logger lives under this root.
+ROOT_LOGGER = "repro.obs"
+
+_CONFIG_LOCK = threading.Lock()
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render one record as a single line of JSON."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "obs_fields", None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, _jsonable(value))
+        if record.exc_info and record.exc_info[0] is not None:
+            exc_type, exc_value, exc_tb = record.exc_info
+            payload["exc"] = {
+                "type": exc_type.__name__,
+                "message": str(exc_value),
+                "traceback": "".join(traceback.format_exception(
+                    exc_type, exc_value, exc_tb)).rstrip(),
+            }
+        return json.dumps(payload, ensure_ascii=False, sort_keys=False)
+
+
+def _jsonable(value):
+    """``value`` if JSON can carry it, else its ``repr``."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+def _configure_root() -> logging.Logger:
+    root = logging.getLogger(ROOT_LOGGER)
+    with _CONFIG_LOCK:
+        if not any(getattr(handler, "_repro_obs", False)
+                   for handler in root.handlers):
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(JsonLineFormatter())
+            handler._repro_obs = True  # idempotency marker
+            root.addHandler(handler)
+            root.setLevel(logging.INFO)
+            root.propagate = False
+    return root
+
+
+class StructuredLogger:
+    """Level methods that take an event slug plus arbitrary fields."""
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def _emit(self, level: int, event: str, exc_info: bool,
+              fields: dict) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        self._logger.log(level, event, exc_info=exc_info,
+                         extra={"obs_fields": fields})
+
+    def debug(self, event: str, *, exc_info: bool = False, **fields) -> None:
+        """One DEBUG-level JSON line for ``event`` with ``fields``."""
+        self._emit(logging.DEBUG, event, exc_info, fields)
+
+    def info(self, event: str, *, exc_info: bool = False, **fields) -> None:
+        """One INFO-level JSON line for ``event`` with ``fields``."""
+        self._emit(logging.INFO, event, exc_info, fields)
+
+    def warning(self, event: str, *, exc_info: bool = False,
+                **fields) -> None:
+        """One WARNING-level JSON line for ``event`` with ``fields``."""
+        self._emit(logging.WARNING, event, exc_info, fields)
+
+    def error(self, event: str, *, exc_info: bool = False, **fields) -> None:
+        """One ERROR-level JSON line for ``event`` with ``fields``."""
+        self._emit(logging.ERROR, event, exc_info, fields)
+
+
+def get_logger(name: str = ROOT_LOGGER) -> StructuredLogger:
+    """A structured logger under the ``repro.obs`` root.
+
+    ``name`` may be a suffix (``"fleet"``) or a full dotted path
+    (``"repro.obs.fleet"``); both land under the one configured root
+    handler, so every event in the process shares the line format.
+    """
+    _configure_root()
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return StructuredLogger(logging.getLogger(name))

@@ -60,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "at once")
     parser.add_argument("--artifact-dir", default="",
                         help="artifact-store override for warm loading")
+    parser.add_argument("--trace-sample-rate", type=float, default=1.0,
+                        help="probability a request is traced into "
+                             "/debug/traces (forced requests always are)")
+    parser.add_argument("--trace-buffer", type=int, default=256,
+                        help="completed traces kept per worker")
+    parser.add_argument("--slow-trace-ms", type=float, default=500.0,
+                        help="sampled traces at least this slow emit a "
+                             "request.slow log event (0 disables)")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
     fleet = parser.add_argument_group(
@@ -103,6 +111,9 @@ def main(argv: list[str] | None = None) -> int:
         artifact_dir=args.artifact_dir,
         solve_scheduler=args.solve_scheduler,
         max_inflight_rows=args.max_inflight_rows,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_buffer_size=args.trace_buffer,
+        slow_trace_ms=args.slow_trace_ms,
     )
     ServiceRequestHandler.log_requests = args.verbose
     if args.workers > 1:

@@ -41,6 +41,7 @@ from repro.dimension import DimensionError, DimensionLawViolation
 from repro.engine import EngineConfig, EvaluationEngine
 from repro.experiments.artifacts import set_default_store
 from repro.experiments.context import get_context, profile_named
+from repro.obs import Trace, Tracer, get_logger, trace_span, use_trace
 from repro.quantity.grounder import QuantityGrounder, grounder_for
 from repro.service.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
 from repro.service.metrics import MetricsRegistry
@@ -90,6 +91,14 @@ class ServiceConfig:
     #: Continuous-scheduler budget: live KV rows decoding at once.
     #: Queued requests wait for a free row; beyond max_queue they 429.
     max_inflight_rows: int = 32
+    #: Probability an un-forced POST request is traced (1.0 = all,
+    #: 0.0 = only ``X-Repro-Trace-Force: 1`` / ``?force=1`` requests).
+    trace_sample_rate: float = 1.0
+    #: Completed traces kept per worker for ``/debug/traces``.
+    trace_buffer_size: int = 256
+    #: Sampled traces at least this slow (milliseconds) are emitted as
+    #: single-line structured JSON log events; 0 disables the emission.
+    slow_trace_ms: float = 500.0
 
     def __post_init__(self) -> None:
         if self.profile != "off":
@@ -101,16 +110,27 @@ class ServiceConfig:
             )
         if self.max_inflight_rows < 1:
             raise ValueError("max_inflight_rows must be at least 1")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")
+        if self.trace_buffer_size < 1:
+            raise ValueError("trace_buffer_size must be at least 1")
+        if self.slow_trace_ms < 0:
+            raise ValueError("slow_trace_ms must be non-negative")
 
 
 class ServiceUnavailable(RuntimeError):
     """An endpoint whose backend is not loaded (HTTP 503)."""
 
 
+class TraceNotFound(KeyError):
+    """``/debug/traces?id=`` missed every buffer (HTTP 404)."""
+
+
 #: Routes and their methods, the single source the HTTP layer reads.
 ENDPOINTS: dict[str, str] = {
     "/healthz": "GET",
     "/metrics": "GET",
+    "/debug/traces": "GET",
     "/ground": "POST",
     "/extract": "POST",
     "/convert": "POST",
@@ -137,6 +157,14 @@ class DimensionService:
         self.started_monotonic = time.monotonic()
         self.metrics = MetricsRegistry()
         self._describe_metrics()
+        self.log = get_logger("service")
+        self.tracer = Tracer(
+            sample_rate=self.config.trace_sample_rate,
+            buffer_size=self.config.trace_buffer_size,
+            slow_seconds=self.config.slow_trace_ms / 1000.0,
+            on_finish=self._record_trace,
+            on_slow=self._log_slow,
+        )
         self.kb = default_kb()
         self.grounder: QuantityGrounder = grounder_for(self.kb)
         self.engine = EvaluationEngine(EngineConfig(
@@ -267,19 +295,86 @@ class DimensionService:
                    "Unit-conversion cache hits since boot.")
         m.describe("conversion_cache_misses",
                    "Unit-conversion cache misses since boot.")
+        m.describe("traces_sampled_total",
+                   "Completed traces that were sampled into the "
+                   "/debug/traces ring buffer, per endpoint.")
+        m.describe("slow_traces_total",
+                   "Sampled traces slower than slow_trace_ms (each one "
+                   "also emits a request.slow structured log event).")
+        m.describe("trace_stage_seconds_total",
+                   "Seconds spent per request lifecycle stage (span "
+                   "durations from sampled traces), labelled by "
+                   "endpoint and stage.")
+        m.describe("trace_stage_samples_total",
+                   "Closed spans folded into trace_stage_seconds_total; "
+                   "divide for the mean stage latency.")
+        m.describe("traces_buffered",
+                   "Completed traces currently held in this worker's "
+                   "ring buffer (bounded by trace_buffer_size).")
+
+    # -- tracing --------------------------------------------------------------
+
+    def open_trace(self, endpoint: str, *, trace_id: str | None = None,
+                   force: bool = False) -> Trace:
+        """Start a request trace (honouring an inbound ``X-Repro-Trace``)."""
+        return self.tracer.open(endpoint, trace_id=trace_id, force=force)
+
+    def finish_trace(self, trace: Trace, status: int | None = None) -> None:
+        """Seal a request trace after the response bytes are written."""
+        self.tracer.finish(trace, status)
+
+    def _record_trace(self, trace: Trace) -> None:
+        """Fold one sampled trace's span durations into ``/metrics``."""
+        self.metrics.inc("traces_sampled_total", endpoint=trace.endpoint)
+        for stage, seconds in trace.stage_seconds().items():
+            self.metrics.inc("trace_stage_seconds_total", seconds,
+                             endpoint=trace.endpoint, stage=stage)
+            self.metrics.inc("trace_stage_samples_total",
+                             endpoint=trace.endpoint, stage=stage)
+
+    def _log_slow(self, trace: Trace) -> None:
+        """One structured log line per slow trace (the p99 debug trail)."""
+        self.metrics.inc("slow_traces_total", endpoint=trace.endpoint)
+        self.log.warning(
+            "request.slow",
+            trace_id=trace.trace_id,
+            endpoint=trace.endpoint,
+            status=trace.status,
+            duration_ms=round((trace.duration or 0.0) * 1000.0, 3),
+            threshold_ms=self.config.slow_trace_ms,
+            stages={name: round(seconds * 1000.0, 3)
+                    for name, seconds in trace.stage_seconds().items()},
+        )
+
+    def _worker_label(self) -> int:
+        return self.fleet.worker_id if self.fleet is not None else 0
+
+    def dump_traces(self) -> list[dict]:
+        """This worker's buffered traces, ``worker_id``-tagged (peer wire)."""
+        worker_id = self._worker_label()
+        traces = self.tracer.buffer.dump()
+        for trace in traces:
+            trace["worker_id"] = worker_id
+        return traces
 
     # -- dispatch -------------------------------------------------------------
 
-    def dispatch(self, path: str, payload: dict | None) -> tuple[int, dict | str]:
+    def dispatch(self, path: str, payload: dict | None,
+                 trace: Trace | None = None) -> tuple[int, dict | str]:
         """Route one parsed request; returns (status, body).
 
         ``body`` is a dict (JSON-encoded by the transport) except for
         ``/metrics``, which returns the Prometheus text exposition.
+        ``trace`` (when the transport opened one) is bound as the
+        current trace for the handler's duration, so spans recorded
+        anywhere down the call stack -- batcher queues, the decode
+        scheduler, the solver -- land on this request's timeline.
         """
         endpoint = path.rstrip("/") or "/"
         handler = {
             "/healthz": self.handle_healthz,
             "/metrics": self.handle_metrics,
+            "/debug/traces": self.handle_debug_traces,
             "/ground": self.handle_ground,
             "/extract": self.handle_extract,
             "/convert": self.handle_convert,
@@ -292,7 +387,8 @@ class DimensionService:
                          "endpoints": sorted(ENDPOINTS)}
         started = time.perf_counter()
         try:
-            body = handler(payload if payload is not None else {})
+            with use_trace(trace):
+                body = handler(payload if payload is not None else {})
             status = 200
         except BadRequest as exc:
             status, body = 400, {"error": str(exc)}
@@ -302,6 +398,10 @@ class DimensionService:
             status, body = 429, {"error": str(exc)}
         except (BatcherClosed, ServiceUnavailable) as exc:
             status, body = 503, {"error": str(exc)}
+        except TraceNotFound as exc:
+            status, body = 404, {
+                "error": exc.args[0] if exc.args else str(exc)
+            }
         except Exception as exc:  # noqa: BLE001 -- a backend bug must
             # still answer (and count): batch-fn errors fan out through
             # futures and would otherwise drop the socket with no
@@ -369,6 +469,7 @@ class DimensionService:
         stats = self.engine.conversion_cache.stats()
         self.metrics.set_gauge("conversion_cache_hits", stats.hits)
         self.metrics.set_gauge("conversion_cache_misses", stats.misses)
+        self.metrics.set_gauge("traces_buffered", len(self.tracer.buffer))
 
     def handle_metrics(self, payload: dict) -> str:
         """The Prometheus text exposition (queue depths sampled now).
@@ -382,6 +483,52 @@ class DimensionService:
         if self.fleet is not None:
             return self.fleet.render_metrics(self)
         return self.metrics.render()
+
+    def handle_debug_traces(self, payload: dict) -> dict:
+        """Completed request traces from the ring buffer(s).
+
+        Query parameters (the transport passes the query string as the
+        payload dict): ``n`` caps the list views (default 20, max 200);
+        ``view=recent`` (default) orders newest-completed first,
+        ``view=slowest`` by total duration; ``id=<trace_id>`` returns
+        that one trace (404 when no buffer holds it).  In fleet mode
+        any worker answers with every worker's buffer merged -- same
+        peer mesh as ``/metrics`` -- and each trace carries the
+        ``worker_id`` that served it.
+        """
+        trace_id = str(payload.get("id", "") or "")
+        view = str(payload.get("view", "recent") or "recent")
+        if view not in ("recent", "slowest"):
+            raise BadRequest(
+                f"query 'view' must be 'recent' or 'slowest', got {view!r}"
+            )
+        try:
+            limit = int(payload.get("n", 20))
+        except (TypeError, ValueError) as exc:
+            raise BadRequest("query 'n' must be an integer") from exc
+        limit = max(1, min(limit, 200))
+        if trace_id:
+            found = self.tracer.buffer.get(trace_id)
+            if found is not None:
+                found["worker_id"] = self._worker_label()
+            elif self.fleet is not None:
+                found = self.fleet.find_trace(trace_id)
+            if found is None:
+                raise TraceNotFound(
+                    f"no buffered trace with id {trace_id!r}"
+                )
+            return {"trace": found}
+        traces = self.dump_traces()
+        if self.fleet is not None:
+            traces.extend(self.fleet.peer_traces())
+        key = "started_unix" if view == "recent" else "duration_ms"
+        traces.sort(key=lambda t: t.get(key, 0.0), reverse=True)
+        return {
+            "view": view,
+            "total_buffered": len(traces),
+            "count": len(traces[:limit]),
+            "traces": traces[:limit],
+        }
 
     def handle_ground(self, payload: dict) -> dict:
         """Grounded quantities of one text (micro-batched Definition 2)."""
@@ -487,7 +634,8 @@ class DimensionService:
                 "micro/quick/full to enable /solve)"
             )
         text = require_text(payload)
-        prepared = self.solver.prepare(text)
+        with trace_span("validate"):
+            prepared = self.solver.prepare(text)
         result = self._solve_batcher(prepared)
         return {"text": text, **result.to_wire()}
 

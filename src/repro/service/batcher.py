@@ -37,6 +37,8 @@ from collections import deque
 from concurrent.futures import Future
 from typing import Callable, Sequence
 
+from repro.obs import Trace, current_trace
+
 
 class BatcherSaturated(RuntimeError):
     """The bounded request queue is full (HTTP layer answers 429)."""
@@ -77,7 +79,10 @@ class MicroBatcher:
         self.max_queue = max_queue
         self.name = name
         self._on_batch = on_batch
-        self._queue: deque[tuple[object, Future]] = deque()  # guarded by: self._wake, self._lock
+        #: (item, caller future, caller trace-or-None) triples; the
+        #: trace handle rides along so queue wait and batch execution
+        #: land as spans on the submitting request's timeline.
+        self._queue: deque[tuple[object, Future, Trace | None]] = deque()  # guarded by: self._wake, self._lock
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._closed = False  # guarded by: self._wake, self._lock
@@ -91,6 +96,9 @@ class MicroBatcher:
     def submit(self, item) -> Future:
         """Queue one item; the future resolves to its batch result."""
         future: Future = Future()
+        trace = current_trace()
+        if trace is not None:
+            trace.begin("queue")
         with self._wake:
             if self._closed:
                 raise BatcherClosed(f"batcher {self.name!r} is closed")
@@ -99,7 +107,7 @@ class MicroBatcher:
                     f"batcher {self.name!r} queue full "
                     f"({self.max_queue} pending)"
                 )
-            self._queue.append((item, future))
+            self._queue.append((item, future, trace))
             self._wake.notify()
         return future
 
@@ -150,7 +158,11 @@ class MicroBatcher:
             batch = self._collect()
             if batch is None:
                 return
-            items = [item for item, _ in batch]
+            items = [item for item, _, _ in batch]
+            for _, _, trace in batch:
+                if trace is not None:
+                    trace.end("queue", batch_size=len(items))
+                    trace.begin("execute")
             try:
                 results = self.fn(items)
                 if len(results) != len(items):
@@ -159,15 +171,20 @@ class MicroBatcher:
                         f"{len(items)} items"
                     )
             except BaseException as exc:  # noqa: BLE001 -- fan the error out
-                for _, future in batch:
+                for _, future, trace in batch:
+                    if trace is not None:
+                        trace.end("execute", error=type(exc).__name__)
                     future.set_exception(exc)
                 continue
             if self._on_batch is not None:
                 self._on_batch(self.name, len(items))
-            for (_, future), result in zip(batch, results):
+            for _, _, trace in batch:
+                if trace is not None:
+                    trace.end("execute", batch_size=len(items))
+            for (_, future, _), result in zip(batch, results):
                 future.set_result(result)
 
-    def _collect(self) -> list[tuple[object, Future]] | None:
+    def _collect(self) -> list[tuple[object, Future, Trace | None]] | None:
         """Block for work, apply the latency window, pop one batch.
 
         Returns ``None`` exactly once: when the batcher is closed *and*

@@ -45,12 +45,16 @@ import sys
 import tempfile
 import threading
 import time
-import traceback
 from dataclasses import dataclass, field
 
+from repro.obs import get_logger
 from repro.service.app import DimensionService, ServiceConfig
 from repro.service.http import ServiceServer
 from repro.service.metrics import MetricsRegistry
+
+#: Structured fleet lifecycle events (replaces the ad-hoc prints the
+#: ``print-discipline`` lint rule now rejects).
+_LOG = get_logger("fleet")
 
 #: Per-peer unix-socket timeout: a wedged worker must not hang a scrape.
 PEER_TIMEOUT = 2.0
@@ -137,7 +141,8 @@ class FleetContext:
     ``/metrics`` to :meth:`render_metrics` and adds
     :meth:`health_block` to ``/healthz``.  Peers talk over per-worker
     unix-domain sockets in ``fleet_dir`` with a one-line-op,
-    JSON-until-EOF protocol (ops: ``metrics``, ``health``).
+    JSON-until-EOF protocol (ops: ``metrics``, ``health``,
+    ``traces``).
     """
 
     def __init__(self, worker_id: int, workers: int, fleet_dir: str,
@@ -196,6 +201,9 @@ class FleetContext:
                               "state": self._service.metrics.dump_state()}
             elif op == "health":
                 body = self.local_health()
+            elif op == "traces":
+                body = {"worker_id": self.worker_id,
+                        "traces": self._service.dump_traces()}
             else:
                 body = {"error": f"unknown op {op!r}"}
             conn.sendall(json.dumps(body).encode("utf-8"))
@@ -282,6 +290,28 @@ class FleetContext:
             merged.inc("fleet_worker_restarts_total", float(count),
                        worker_id=str(worker_id))
         return merged.render()
+
+    def peer_traces(self) -> list[dict]:
+        """Every *other* worker's buffered traces (``worker_id``-tagged).
+
+        Same degradation contract as the metrics aggregation: a peer
+        mid-restart contributes nothing instead of failing the view.
+        """
+        traces: list[dict] = []
+        for worker_id in range(self.workers):
+            if worker_id == self.worker_id:
+                continue
+            response = self._ask_peer(worker_id, "traces")
+            if response and isinstance(response.get("traces"), list):
+                traces.extend(response["traces"])
+        return traces
+
+    def find_trace(self, trace_id: str) -> dict | None:
+        """Search every peer's ring buffer for one trace id."""
+        for trace in self.peer_traces():
+            if trace.get("trace_id") == trace_id:
+                return trace
+        return None
 
     def health_block(self, service: DimensionService) -> dict:
         """The ``/healthz`` fleet block: live peers + supervisor view."""
@@ -403,10 +433,10 @@ class FleetSupervisor:
             get_context(seed=service.seed,
                         profile=profile_named(service.profile),
                         on_cold_train=lambda: cold.append(True))
-            print(f"fleet: context {service.profile!r} "
-                  f"{'cold-trained' if cold else 'warm-loaded'} pre-fork "
-                  f"(shared copy-on-write across {self.config.workers} "
-                  f"workers)")
+            _LOG.info("fleet.preload",
+                      profile=service.profile,
+                      warm_loaded=not cold,
+                      workers=self.config.workers)
 
     def _spawn(self, worker_id: int) -> None:
         parent_channel = child_channel = None
@@ -434,7 +464,8 @@ class FleetSupervisor:
                     self.fleet_dir, self._mode, channel=child_channel,
                 )
             except BaseException:  # noqa: BLE001 -- the child must exit
-                traceback.print_exc()
+                _LOG.error("fleet.worker_boot_failed",
+                           worker_id=worker_id, exc_info=True)
                 code = 70
             finally:
                 sys.stdout.flush()
@@ -480,10 +511,10 @@ class FleetSupervisor:
         self.start()
         for signum in (signal.SIGTERM, signal.SIGINT):
             signal.signal(signum, self._handle_stop_signal)
-        print(f"fleet: serving on http://{self.host}:{self.port} with "
-              f"{self.config.workers} workers ({self._mode}); "
-              f"status in {self.fleet_dir}")
-        sys.stdout.flush()
+        _LOG.info("fleet.serving",
+                  host=self.host, port=self.port,
+                  workers=self.config.workers, socket_mode=self._mode,
+                  fleet_dir=self.fleet_dir)
         last_status = time.monotonic()
         try:
             while not self._stop:
@@ -530,14 +561,16 @@ class FleetSupervisor:
             self._restarts[worker_id] += 1
             if (self.config.max_restarts
                     and self._restarts[worker_id] > self.config.max_restarts):
-                print(f"fleet: worker {worker_id} (pid {pid}) exited "
-                      f"({code}); max restarts exceeded, leaving it down")
+                _LOG.error("fleet.worker_abandoned",
+                           worker_id=worker_id, pid=pid, exit_code=code,
+                           restarts=self._restarts[worker_id],
+                           max_restarts=self.config.max_restarts)
                 continue
             self._respawn_at[worker_id] = time.monotonic() + delay
-            print(f"fleet: worker {worker_id} (pid {pid}) exited ({code}); "
-                  f"respawning in {delay:.2f}s "
-                  f"(restart #{self._restarts[worker_id]})")
-            sys.stdout.flush()
+            _LOG.warning("fleet.worker_exit",
+                         worker_id=worker_id, pid=pid, exit_code=code,
+                         respawn_delay_seconds=round(delay, 2),
+                         restarts=self._restarts[worker_id])
         return changed
 
     def _respawn_due(self) -> bool:
@@ -590,8 +623,9 @@ class FleetSupervisor:
             time.sleep(0.05)
         for worker_id, pid in self._pids.items():
             if pid is not None and self._alive.get(worker_id):
-                print(f"fleet: worker {worker_id} (pid {pid}) ignored "
-                      f"drain; killing")
+                _LOG.warning("fleet.worker_kill",
+                             worker_id=worker_id, pid=pid,
+                             shutdown_timeout=self.config.shutdown_timeout)
                 try:
                     os.kill(pid, signal.SIGKILL)
                 except ProcessLookupError:

@@ -15,14 +15,24 @@ with the socket.
 from __future__ import annotations
 
 import json
+import re
 import socket
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import FORCE_HEADER, TRACE_HEADER, Trace
 from repro.service.app import ENDPOINTS, DimensionService, encode_body
 
 #: Cap request bodies well above any sane problem text; beyond it we
 #: refuse early instead of buffering unbounded input per thread.
 MAX_BODY_BYTES = 1 << 20
+
+#: Inbound trace ids must look like ids; anything else is replaced by a
+#: minted one instead of round-tripping attacker-shaped bytes into logs.
+_TRACE_ID_RE = re.compile(r"^[0-9A-Za-z_-]{1,64}$")
+
+#: Query/header values accepted as "force this trace sampled".
+_TRUTHY = ("1", "true", "yes", "on")
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -42,11 +52,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if self.log_requests:
             super().log_message(format, *args)
 
-    def _respond(self, status: int, body, close: bool = False) -> None:
+    def _respond(self, status: int, body, close: bool = False,
+                 trace: Trace | None = None) -> None:
         payload, content_type = encode_body(body)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        if trace is not None:
+            # echo the id whether minted or inbound, so any client can
+            # follow up with /debug/traces?id=<value>
+            self.send_header(TRACE_HEADER, trace.trace_id)
         if close:
             # announces it to the client and sets self.close_connection
             self.send_header("Connection", "close")
@@ -72,14 +87,44 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return False
         return True
 
+    # -- tracing ------------------------------------------------------------
+
+    @staticmethod
+    def _query(raw: str) -> dict[str, str]:
+        """Query string -> flat dict (last value wins per key)."""
+        return {key: values[-1] for key, values in parse_qs(raw).items()}
+
+    def _open_trace(self, path: str, query: dict[str, str]) -> Trace:
+        """Start this request's trace from the inbound headers/query."""
+        inbound = (self.headers.get(TRACE_HEADER) or "").strip()
+        if not _TRACE_ID_RE.match(inbound):
+            inbound = ""
+        force = (
+            (self.headers.get(FORCE_HEADER) or "").strip().lower() in _TRUTHY
+            or query.get("force", "").strip().lower() in _TRUTHY
+        )
+        return self.service.open_trace(
+            path.rstrip("/") or "/", trace_id=inbound or None, force=force
+        )
+
+    def _finish_response(self, trace: Trace, status: int, body,
+                         close: bool = False) -> None:
+        """Write the response inside the trace's ``write`` span, then seal."""
+        trace.begin("write")
+        try:
+            self._respond(status, body, close=close, trace=trace)
+        finally:
+            self.service.finish_trace(trace, status)
+
     # -- verbs --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 -- http.server naming
-        """Serve the GET endpoints (/healthz, /metrics)."""
+        """Serve the GET endpoints (/healthz, /metrics, /debug/traces)."""
         if not self._check_method("GET"):
             return
-        path = self.path.split("?", 1)[0]
-        status, body = self.service.dispatch(path, None)
+        parts = urlsplit(self.path)
+        query = self._query(parts.query)
+        status, body = self.service.dispatch(parts.path, query or None)
         self._respond(status, body)
 
     def do_POST(self) -> None:  # noqa: N802 -- http.server naming
@@ -101,18 +146,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "error": f"request body exceeds {MAX_BODY_BYTES} bytes"
             })
             return
-        raw = self.rfile.read(length) if length else b""
-        try:
-            payload = json.loads(raw.decode("utf-8")) if raw else {}
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self._respond(400, {"error": f"invalid JSON body: {exc}"})
+        parts = urlsplit(self.path)
+        trace = self._open_trace(parts.path, self._query(parts.query))
+        error: str | None = None
+        with trace.span("parse"):
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                payload, error = None, f"invalid JSON body: {exc}"
+            if error is None and not isinstance(payload, dict):
+                payload, error = None, "request body must be a JSON object"
+        if error is not None:
+            self._finish_response(trace, 400, {"error": error})
             return
-        if not isinstance(payload, dict):
-            self._respond(400, {"error": "request body must be a JSON object"})
-            return
-        path = self.path.split("?", 1)[0]
-        status, body = self.service.dispatch(path, payload)
-        self._respond(status, body)
+        status, body = self.service.dispatch(parts.path, payload, trace)
+        self._finish_response(trace, status, body)
 
 
 class ServiceServer(ThreadingHTTPServer):

@@ -34,10 +34,24 @@ def _format_le(bound: float) -> str:
     return f"{bound:g}"
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Order matters: backslashes first, then quotes and newlines -- a
+    value like ``he said "hi"\\n`` must render as
+    ``he said \\"hi\\"\\n`` or the sample line stops parsing (and a raw
+    newline would smear one sample across two exposition lines).
+    """
+    return (str(value).replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    body = ",".join(f'{key}="{_escape_label_value(value)}"'
+                    for key, value in labels)
     return "{" + body + "}"
 
 

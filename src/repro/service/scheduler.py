@@ -55,18 +55,24 @@ from typing import Callable, Sequence
 
 from repro.llm.generation import DecodeSession, DecodeStats
 from repro.llm.interface import TransformerLM
+from repro.obs import current_trace
 from repro.service.batcher import BatcherClosed, BatcherSaturated
 
 
 class _Flight:
-    """One in-flight unique prompt: its KV row and its waiters."""
+    """One in-flight unique prompt: its KV row and its waiters.
 
-    __slots__ = ("prompt", "waiters", "slot")
+    ``steps`` counts the decode rounds this flight's row has run --
+    retired rows stamp it onto their waiters' trace ``decode`` spans.
+    """
+
+    __slots__ = ("prompt", "waiters", "slot", "steps")
 
     def __init__(self, prompt: str, waiters: list):
         self.prompt = prompt
-        self.waiters = waiters      # [(item, Future), ...]
+        self.waiters = waiters      # [(item, Future, Trace|None), ...]
         self.slot: int | None = None
+        self.steps = 0
 
 
 class ContinuousBatcher:
@@ -136,7 +142,8 @@ class ContinuousBatcher:
         self._stats = DecodeStats()
         self._reported = DecodeStats()
         self._session = DecodeSession(lm.model, stats=self._stats)
-        self._queue: deque[tuple[object, Future]] = deque()  # guarded by: self._wake, self._lock
+        #: (item, caller future, caller trace-or-None) triples.
+        self._queue: deque[tuple[object, Future, object]] = deque()  # guarded by: self._wake, self._lock
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._closed = False  # guarded by: self._wake, self._lock
@@ -169,10 +176,16 @@ class ContinuousBatcher:
         backpressure path, so saturation refuses instead of hanging).
         """
         future: Future = Future()
+        trace = current_trace()
         cached = self._memo_get(item[0])
         if cached is not None:
-            self._resolve(item, future, cached)
+            if trace is not None:
+                trace.begin("queue", cached=True)
+                trace.end("queue")
+            self._resolve(item, future, cached, trace)
             return future
+        if trace is not None:
+            trace.begin("queue")
         with self._wake:
             if self._closed:
                 raise BatcherClosed(f"batcher {self.name!r} is closed")
@@ -181,7 +194,7 @@ class ContinuousBatcher:
                     f"batcher {self.name!r} queue full "
                     f"({self.max_queue} pending)"
                 )
-            self._queue.append((item, future))
+            self._queue.append((item, future, trace))
             self._wake.notify()
         return future
 
@@ -266,6 +279,8 @@ class ContinuousBatcher:
                 except BaseException as exc:  # noqa: BLE001 -- fan out
                     self._fail_all(exc)
                     continue
+                for flight in self._by_slot.values():
+                    flight.steps += 1
                 self._retire(finished)
             self._report_decode()
 
@@ -285,23 +300,43 @@ class ContinuousBatcher:
         """
         memo_hits: list = []
         fresh: dict[str, _Flight] = {}
-        blocked: deque[tuple[object, Future]] = deque()
+        blocked: deque[tuple[object, Future, object]] = deque()
         budget = self.max_inflight_rows - len(self._by_slot)
         while self._queue:
-            item, future = self._queue.popleft()
+            item, future, trace = self._queue.popleft()
             prompt = item[0]
             output = self._memo_get(prompt)
             if output is not None:
-                memo_hits.append((item, future, output))
+                if trace is not None:
+                    trace.end("queue", cached=True)
+                memo_hits.append((item, future, trace, output))
                 continue
-            flight = self._flights.get(prompt) or fresh.get(prompt)
+            flight = self._flights.get(prompt)
             if flight is not None:
-                flight.waiters.append((item, future))
+                # joining a row that is already decoding: no admission
+                # wait of its own, straight into the decode stage
+                if trace is not None:
+                    trace.end("queue")
+                    trace.begin("decode", joined=True)
+                flight.waiters.append((item, future, trace))
+                continue
+            flight = fresh.get(prompt)
+            if flight is not None:
+                if trace is not None:
+                    trace.end("queue")
+                    trace.begin("admit")
+                flight.waiters.append((item, future, trace))
                 continue
             if len(fresh) < budget:
-                fresh[prompt] = _Flight(prompt, [(item, future)])
+                # begin("admit") is idempotent, so a wave deferral that
+                # re-queues this request and re-classifies it next round
+                # keeps the original admission-wait start
+                if trace is not None:
+                    trace.end("queue")
+                    trace.begin("admit")
+                fresh[prompt] = _Flight(prompt, [(item, future, trace)])
             else:
-                blocked.append((item, future))
+                blocked.append((item, future, trace))
         if (fresh and self._by_slot and not self._closed
                 and len(fresh) < self.admit_wave
                 and self._deferred_rounds < self.admit_delay_steps):
@@ -320,19 +355,30 @@ class ContinuousBatcher:
         if not fresh:
             return
         flights = list(fresh.values())
+        for flight in flights:
+            for _, _, trace in flight.waiters:
+                if trace is not None:
+                    trace.end("admit")
+                    trace.begin("prefill", batch=len(flights))
         try:
             encoded = [self.lm.tokenizer.encode(flight.prompt)
                        for flight in flights]
             slots = self._session.admit(encoded, self.lm.max_new_tokens)
         except BaseException as exc:  # noqa: BLE001 -- fan out, survive
             for flight in flights:
-                for _, future in flight.waiters:
+                for _, future, trace in flight.waiters:
+                    if trace is not None:
+                        trace.end("prefill", error=type(exc).__name__)
                     future.set_exception(exc)
             return
         for flight, slot in zip(flights, slots):
             flight.slot = slot
             self._flights[flight.prompt] = flight
             self._by_slot[slot] = flight
+            for _, _, trace in flight.waiters:
+                if trace is not None:
+                    trace.end("prefill")
+                    trace.begin("decode")
         if self._on_admit is not None:
             self._on_admit(self.name, len(flights))
 
@@ -349,12 +395,15 @@ class ContinuousBatcher:
             try:
                 output = self.lm.tokenizer.decode(generated)
             except BaseException as exc:  # noqa: BLE001 -- fan out
-                for _, future in flight.waiters:
+                for _, future, _ in flight.waiters:
                     future.set_exception(exc)
                 continue
             self._memo_put(flight.prompt, output)
-            for item, future in flight.waiters:
-                self._resolutions.put((item, future, output))
+            for item, future, trace in flight.waiters:
+                if trace is not None:
+                    trace.end("decode", tokens=len(generated),
+                              steps=flight.steps)
+                self._resolutions.put((item, future, trace, output))
 
     def _run_resolver(self) -> None:
         """Drain resolution hand-offs until the shutdown sentinel."""
@@ -362,20 +411,27 @@ class ContinuousBatcher:
             handoff = self._resolutions.get()
             if handoff is None:
                 return
-            self._resolve(*handoff)
+            item, future, trace, output = handoff
+            self._resolve(item, future, output, trace)
 
-    def _resolve(self, item, future: Future, output: str) -> None:
+    def _resolve(self, item, future: Future, output: str,
+                 trace=None) -> None:
         """finish() one waiter; its error fails only its own future."""
+        if trace is not None:
+            trace.begin("resolve")
         try:
             future.set_result(self.finish(item, output))
         except BaseException as exc:  # noqa: BLE001 -- per-request error
             future.set_exception(exc)
+        finally:
+            if trace is not None:
+                trace.end("resolve")
 
     def _fail_all(self, exc: BaseException) -> None:
         """A step blew up mid-flight: fail every in-flight waiter and
         restart from an empty session (the worker survives)."""
         for flight in self._by_slot.values():
-            for _, future in flight.waiters:
+            for _, future, _ in flight.waiters:
                 future.set_exception(exc)
         self._flights.clear()
         self._by_slot.clear()

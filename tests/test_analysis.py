@@ -402,6 +402,60 @@ def test_bounded_read_suppression(tmp_path):
     assert report.suppressed == 1
 
 
+# -- print-discipline --------------------------------------------------------
+
+def test_print_discipline_positive(tmp_path):
+    source = """
+        import traceback
+
+        def serve(request):
+            print("handling", request)
+            try:
+                request.run()
+            except Exception:
+                traceback.print_exc()
+    """
+    findings = lint(tmp_path, source, "print-discipline")
+    assert [f.line for f in findings] == [5, 9]
+    assert "repro.obs" in findings[0].message
+    assert "exc_info=True" in findings[1].message
+
+
+def test_print_discipline_negative_entry_points(tmp_path):
+    # main()/_cmd_* functions (nested helpers included), __main__.py
+    # modules and structured logging all pass.
+    source = """
+        from repro.obs import get_logger
+
+        def main():
+            print("progress line")
+            def emit(record):
+                print(record)
+            emit(1)
+
+        def _cmd_list(args):
+            print("listing")
+
+        def serve(request):
+            get_logger("svc").info("request.start", path=request)
+    """
+    assert lint(tmp_path, source, "print-discipline") == []
+    assert lint(tmp_path, "print('usage')\n", "print-discipline",
+                name="__main__.py") == []
+
+
+def test_print_discipline_suppression(tmp_path):
+    source = """
+        def report(rows):
+            # repro: allow[print-discipline] CLI report body, stdout is the interface
+            print(rows)
+    """
+    report = run_paths([_write(tmp_path, source)],
+                       rules=["print-discipline"])
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
 # -- framework ---------------------------------------------------------------
 
 def _write(tmp_path, source: str, name: str = "mod.py") -> pathlib.Path:

@@ -26,11 +26,13 @@ from repro.engine import (
     set_default_engine,
 )
 from repro.experiments.context import MICRO
+from repro.obs import FORCE_HEADER, TRACE_HEADER, mint_trace_id
 from repro.quantity.grounder import grounder_for
 from repro.service import (
     BatcherClosed,
     BatcherSaturated,
     DimensionService,
+    MetricsRegistry,
     MicroBatcher,
     ServiceConfig,
     build_server,
@@ -428,6 +430,29 @@ class TestEndpoints:
             "batches_total", endpoint="ground"
         ) >= 1
 
+    def test_label_values_are_escaped_in_exposition(self):
+        """Backslash, quote and newline in label values must render as
+        ``\\\\``, ``\\"`` and ``\\n`` -- a raw newline would smear one
+        sample across two exposition lines and break scrapers."""
+        registry = MetricsRegistry()
+        registry.inc("requests_total",
+                     endpoint='he said "hi"\nC:\\temp', status="200")
+        rendered = registry.render()
+        [sample] = [line for line in rendered.splitlines()
+                    if line.startswith("repro_service_requests_total{")]
+        assert sample == ('repro_service_requests_total{endpoint='
+                          '"he said \\"hi\\"\\nC:\\\\temp",status="200"} 1')
+
+    def test_label_escaping_order_backslash_first(self):
+        """A pre-escaped-looking value like ``a\\n`` (backslash + n)
+        must come out ``a\\\\n``, not be conflated with a newline."""
+        registry = MetricsRegistry()
+        registry.set_gauge("queue_depth", 2, endpoint="a\\n")
+        rendered = registry.render()
+        assert 'endpoint="a\\\\n"} 2' in rendered
+        # round-trip sanity: the escaped line is still one line
+        assert all("\n" not in line for line in rendered.splitlines())
+
     def test_concurrent_load_is_coalesced_and_identical(self):
         """Same traffic, batch=1 vs batch=32: byte-identical bodies."""
         texts = [
@@ -637,6 +662,56 @@ class TestSolveServing:
         rendered = client.request("/metrics")[1]
         assert "repro_service_solve_decode_tokens_total" in rendered
         assert "repro_service_solve_decode_step_seconds_total" in rendered
+
+    def test_solve_trace_covers_the_whole_lifecycle(self, solve_service):
+        """One forced /solve trace carries the complete span tree --
+        parse, validate, queue, admit, prefill, decode, resolve, write
+        -- with monotonic starts, a non-overlapping queue->decode
+        pipeline, and stage time that accounts for the request."""
+        service, client = solve_service
+        trace_id = mint_trace_id()
+        req = urllib.request.Request(
+            client.base + "/solve",
+            data=json.dumps(
+                {"text": "仓库有 9 箱货，运走了 4 箱，还剩几箱？"}
+            ).encode("utf-8"),
+            headers={"Content-Type": "application/json",
+                     TRACE_HEADER: trace_id, FORCE_HEADER: "1"},
+        )
+        with urllib.request.urlopen(req, timeout=60) as response:
+            assert response.status == 200
+            assert response.headers[TRACE_HEADER] == trace_id
+            response.read()
+        deadline = time.monotonic() + 5
+        while (service.tracer.buffer.get(trace_id) is None
+               and time.monotonic() < deadline):
+            time.sleep(0.005)  # trace seals just after the response
+
+        trace = service.tracer.buffer.get(trace_id)
+        assert trace is not None
+        spans = {span["name"]: span for span in trace["spans"]}
+        assert set(spans) == {"parse", "validate", "queue", "admit",
+                              "prefill", "decode", "resolve", "write"}
+        assert spans["decode"]["attrs"]["tokens"] >= 1
+        assert spans["decode"]["attrs"]["steps"] >= 1
+
+        # starts are monotonic along the lifecycle
+        lifecycle = ["parse", "validate", "queue", "admit",
+                     "prefill", "decode", "resolve", "write"]
+        starts = [spans[name]["start_ms"] for name in lifecycle]
+        assert starts == sorted(starts)
+        # the scheduler pipeline proper never overlaps
+        previous_end = spans["queue"]["start_ms"]
+        for name in ("queue", "admit", "prefill", "decode"):
+            span = spans[name]
+            assert span["start_ms"] >= previous_end - 0.005
+            previous_end = span["start_ms"] + span["duration_ms"]
+        # and the stage timings account for the observed wall latency
+        # (resolve may overlap write by a hair -- the resolver thread
+        # races the handler's seal -- hence the 10% tolerance)
+        accounted = sum(span["duration_ms"] for span in spans.values())
+        assert accounted <= trace["duration_ms"] * 1.10
+        assert accounted >= trace["duration_ms"] * 0.50
 
     def test_scheduler_gauges_and_latency_histogram_exported(
         self, solve_service

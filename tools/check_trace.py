@@ -1,0 +1,174 @@
+"""Assert a live service yields a complete /solve span tree.
+
+CI's service job boots a 2-worker fleet, runs the example client, then
+runs this check: it sends one force-sampled ``/solve`` request with a
+minted ``X-Repro-Trace`` id, fetches that trace back through
+``/debug/traces?id=`` (any worker answers; the peer mesh finds traces
+its siblings served), and asserts the end-to-end tracing contract:
+
+- the response echoes the inbound trace id;
+- the trace carries every lifecycle stage -- ``parse``, ``validate``,
+  ``queue``, ``admit``, ``prefill``, ``decode``, ``resolve``,
+  ``write`` -- with monotonically ordered starts;
+- the scheduler pipeline (``queue`` -> ``admit`` -> ``prefill`` ->
+  ``decode``) never overlaps;
+- stage durations sum to within 10% of the trace's wall latency (no
+  unattributed time, no double counting).
+
+The fetched trace is written to ``--out`` as a JSON artifact so a
+failing build ships the evidence.
+
+Usage::
+
+    python tools/check_trace.py --port 8322 [--out trace-sample.json]
+
+Exit status 0 when the contract holds; 1 otherwise.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+import urllib.error
+import urllib.request
+
+#: The complete /solve lifecycle, in order.
+LIFECYCLE = ("parse", "validate", "queue", "admit",
+             "prefill", "decode", "resolve", "write")
+#: The scheduler pipeline proper: strictly non-overlapping stages.
+PIPELINE = ("queue", "admit", "prefill", "decode")
+#: Overlap/ordering slack (ms): span offsets are rounded to 3 decimal
+#: places of a millisecond, so adjacent stages may disagree by a hair.
+EPSILON_MS = 0.005
+
+DEFAULT_TEXT = "仓库有 9 箱货，运走了 4 箱，还剩几箱？"
+
+
+def _request(port: int, path: str, payload: dict | None = None,
+             headers: dict[str, str] | None = None,
+             timeout: float = 60.0):
+    """(status, parsed body, response headers) for one request."""
+    url = f"http://127.0.0.1:{port}{path}"
+    data = None
+    send = dict(headers or {})
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        send["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=send)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            raw, status = response.read(), response.status
+            got = dict(response.headers)
+    except urllib.error.HTTPError as error:
+        raw, status = error.read(), error.code
+        got = dict(error.headers)
+    return status, json.loads(raw.decode("utf-8")), got
+
+
+def check_trace(trace: dict, problems: list[str]) -> None:
+    """Append a line per violated span-tree invariant."""
+    spans = {span["name"]: span for span in trace.get("spans", [])}
+    missing = [name for name in LIFECYCLE if name not in spans]
+    if missing:
+        problems.append(f"missing stage span(s): {', '.join(missing)}")
+        return
+    starts = [spans[name]["start_ms"] for name in LIFECYCLE]
+    if starts != sorted(starts):
+        problems.append(
+            "stage starts are not monotonic along the lifecycle: "
+            + ", ".join(f"{name}@{spans[name]['start_ms']}ms"
+                        for name in LIFECYCLE)
+        )
+    previous_end = spans[PIPELINE[0]]["start_ms"]
+    for name in PIPELINE:
+        span = spans[name]
+        if span["start_ms"] < previous_end - EPSILON_MS:
+            problems.append(
+                f"stage {name!r} starts at {span['start_ms']}ms, before "
+                f"the previous pipeline stage ended at {previous_end}ms"
+            )
+        previous_end = span["start_ms"] + span["duration_ms"]
+    total = trace.get("duration_ms", 0.0)
+    accounted = sum(span["duration_ms"] for span in spans.values())
+    if total <= 0:
+        problems.append(f"non-positive trace duration: {total}ms")
+    elif abs(accounted - total) > 0.10 * total:
+        problems.append(
+            f"stage durations sum to {accounted:.3f}ms but the trace "
+            f"took {total:.3f}ms (more than 10% unaccounted)"
+        )
+    decode_attrs = spans["decode"].get("attrs", {})
+    if decode_attrs.get("tokens", 0) < 1:
+        problems.append("decode span carries no token count attribute")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, required=True,
+                        help="port of a running service/fleet")
+    parser.add_argument("--text", default=DEFAULT_TEXT,
+                        help="MWP text to solve while tracing")
+    parser.add_argument("--out", default="trace-sample.json",
+                        metavar="FILE",
+                        help="write the fetched trace JSON here "
+                             "(default: trace-sample.json)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="seconds to wait for the trace to appear "
+                             "in /debug/traces (default: 30)")
+    args = parser.parse_args(argv)
+
+    trace_id = os.urandom(8).hex()
+    status, body, headers = _request(
+        args.port, "/solve", {"text": args.text},
+        headers={"X-Repro-Trace": trace_id, "X-Repro-Trace-Force": "1"},
+    )
+    if status != 200:
+        print(f"error: /solve answered {status}: {body}", file=sys.stderr)
+        return 1
+    if headers.get("X-Repro-Trace") != trace_id:
+        print(f"error: response header X-Repro-Trace is "
+              f"{headers.get('X-Repro-Trace')!r}, expected {trace_id!r}",
+              file=sys.stderr)
+        return 1
+
+    # The trace seals just after the response bytes go out, and in a
+    # fleet the answering worker may need a mesh hop to find it.
+    trace = None
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        status, found, _ = _request(
+            args.port, f"/debug/traces?id={trace_id}")
+        if status == 200:
+            trace = found["trace"]
+            break
+        time.sleep(0.1)
+    if trace is None:
+        print(f"error: trace {trace_id!r} never appeared in "
+              f"/debug/traces within {args.timeout}s", file=sys.stderr)
+        return 1
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(trace, ensure_ascii=False, indent=2) + "\n",
+                   encoding="utf-8")
+
+    problems: list[str] = []
+    check_trace(trace, problems)
+    for problem in problems:
+        print(f"check_trace: {problem}", file=sys.stderr)
+    if problems:
+        print(f"check_trace: {len(problems)} problem(s); trace written "
+              f"to {out}", file=sys.stderr)
+        return 1
+    stages = {span["name"]: span["duration_ms"] for span in trace["spans"]}
+    print(f"check_trace: OK (trace {trace_id} from worker "
+          f"{trace.get('worker_id')}: "
+          + ", ".join(f"{name} {stages[name]:.1f}ms" for name in LIFECYCLE)
+          + f"; total {trace['duration_ms']:.1f}ms; written to {out})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

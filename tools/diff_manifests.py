@@ -42,6 +42,7 @@ DEFAULT_ALLOW = (
     "shards",
     "shard_dir",
     "merged_from",
+    "stages",
 )
 
 
@@ -99,6 +100,7 @@ def diff_runs(current_dir: pathlib.Path, reference_dir: pathlib.Path,
                         f"current run")
     for name in sorted(cur_entries.keys() - ref_entries.keys()):
         # New experiments are how the suite grows; note, don't fail.
+        # repro: allow[print-discipline] CLI report body, stdout is the interface
         print(f"note: experiment {name!r} has no reference (new?)")
 
     for name in sorted(cur_entries.keys() & ref_entries.keys()):

@@ -88,6 +88,7 @@ def merge(shard_dirs: list[pathlib.Path], expected: tuple[str, ...],
                     f"shard {entry['shard']}, reference run has {want}")
 
     for name, entry in sorted(entries.items()):
+        # repro: allow[print-discipline] CLI report body, stdout is the interface
         print(f"  {name}: {entry['rows']} rows "
               f"(shard {entry['shard'] or 'unsharded'}, "
               f"{entry['seconds']}s)")
