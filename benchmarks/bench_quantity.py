@@ -124,7 +124,7 @@ def seed_find_numbers(text: str) -> list[SeedNumericSpan]:
         try:
             add(match, parse_number(match.group()))
         except NumberParseError:
-            continue
+            continue  # repro: allow[exception-discipline] candidate span is not a number; skip it
     for match in _CHINESE_NUMBER_PATTERN.finditer(text):
         literal = match.group()
         if all(ch in _CHINESE_UNIT_CHARS for ch in literal):
@@ -132,7 +132,7 @@ def seed_find_numbers(text: str) -> list[SeedNumericSpan]:
         try:
             add(match, parse_number(literal))
         except NumberParseError:
-            continue
+            continue  # repro: allow[exception-discipline] non-numeric chinese literal; skip it
     spans.sort(key=lambda span: span.start)
     return spans
 

@@ -46,6 +46,11 @@ untraced throughput, with the median per-stage latency breakdown
 (parse/queue/admit/prefill/decode/resolve/write) read back from
 ``/debug/traces``.
 
+A ``deadline`` record measures the robustness layer armed but idle:
+the same /solve traffic carrying a generous ``X-Repro-Deadline-Ms``
+header under a fault plan whose sites never fire, versus no header and
+no plan, gated at ``--deadline-min-ratio`` (default 0.95x).
+
 A fifth record contrasts one process against a ``--workers N``
 pre-fork fleet (both launched through the real CLI, warm from the same
 store) on decode-heavy unique traffic: byte-identical responses across
@@ -84,8 +89,14 @@ import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
 import repro.experiments.context as context_module
+from repro import faults
 from repro.experiments.artifacts import ENV_VAR, set_default_store
-from repro.service import DimensionService, ServiceConfig, build_server
+from repro.service import (
+    DEADLINE_HEADER,
+    DimensionService,
+    ServiceConfig,
+    build_server,
+)
 
 DEFAULT_STORE = pathlib.Path(__file__).parent / "out" / "artifacts-service"
 
@@ -174,11 +185,12 @@ def percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[index]
 
 
-def post(base: str, path: str, body: dict) -> bytes:
+def post(base: str, path: str, body: dict,
+         headers: dict | None = None) -> bytes:
     request = urllib.request.Request(
         base + path,
         data=json.dumps(body).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     with urllib.request.urlopen(request, timeout=300) as response:
         if response.status != 200:
@@ -215,13 +227,13 @@ class RunningService:
         self.server.server_close()
 
 
-def drive(base: str, path: str, bodies: list[dict],
-          clients: int) -> tuple[float, list[bytes]]:
+def drive(base: str, path: str, bodies: list[dict], clients: int,
+          headers: dict | None = None) -> tuple[float, list[bytes]]:
     """Fire every request from a client pool; (seconds, ordered bodies)."""
     started = time.perf_counter()
     with ThreadPoolExecutor(max_workers=clients) as pool:
-        responses = list(pool.map(lambda body: post(base, path, body),
-                                  bodies))
+        responses = list(pool.map(
+            lambda body: post(base, path, body, headers), bodies))
     return time.perf_counter() - started, responses
 
 
@@ -415,6 +427,79 @@ def measure_tracing(bodies: list[dict], *, profile: str, seed: int,
             best = (ratio, stats_by_mode, stage_p50)
     record.update(best[1])
     record["stage_p50_ms"] = best[2]
+    record["identical_responses"] = identical
+    record["attempt_throughput_ratios"] = attempt_ratios
+    record["throughput_ratio"] = round(best[0], 3)
+    return record
+
+
+#: Armed in the guarded deadline-benchmark mode: real hot-path sites,
+#: probability 0 -- every request pays the full ``faults.check`` +
+#: deadline-bookkeeping cost without a single injection firing.
+_NEVER_FIRING_PLAN = {
+    "seed": 0,
+    "sites": {
+        "decode.step": {"action": "raise", "probability": 0.0},
+        "solve.resolve": {"action": "raise", "probability": 0.0},
+    },
+}
+
+
+def measure_deadline(bodies: list[dict], *, profile: str, seed: int,
+                     clients: int, batch_size: int,
+                     attempts: int = 3) -> dict:
+    """Deadline + fault machinery armed-but-idle vs fully absent.
+
+    The robustness layer must be cheap enough to leave on: ``guarded``
+    sends a generous ``X-Repro-Deadline-Ms`` on every request (so every
+    stage checks the budget) *and* arms a fault plan whose sites never
+    fire (so every instrumented site pays the lookup), while ``plain``
+    runs with no header and no plan.  Gated at ``--deadline-min-ratio``
+    (default 0.95) of the plain throughput; responses must stay
+    byte-identical -- a budget nobody exceeds and a plan that never
+    fires are scheduling no-ops, never semantic ones.
+    """
+    record: dict = {"workload": "solve-deadline-overhead",
+                    "endpoint": "/solve", "requests": len(bodies),
+                    "clients": clients, "batch_size": batch_size,
+                    "attempts": attempts}
+    warm = template_workload(4, 4)
+    modes = {"plain": None, "guarded": {DEADLINE_HEADER: "600000"}}
+    best = None
+    identical = True
+    attempt_ratios: list[float] = []
+    for _ in range(max(1, attempts)):
+        stats_by_mode = {}
+        responses_by_mode = {}
+        for mode, headers in modes.items():
+            running = RunningService(batch_size=batch_size,
+                                     profile=profile, seed=seed)
+            if mode == "guarded":
+                faults.arm(faults.FaultPlan.from_dict(_NEVER_FIRING_PLAN))
+            try:
+                drive(running.base, "/solve", warm, clients=2,
+                      headers=headers)
+                seconds, responses = drive(
+                    running.base, "/solve", bodies, clients,
+                    headers=headers,
+                )
+            finally:
+                faults.disarm()
+                running.close()
+            responses_by_mode[mode] = responses
+            stats_by_mode[mode] = {
+                "seconds": round(seconds, 4),
+                "requests_per_second": round(len(bodies) / seconds, 2),
+            }
+        identical = identical and (
+            responses_by_mode["plain"] == responses_by_mode["guarded"]
+        )
+        ratio = (stats_by_mode["guarded"]["requests_per_second"]
+                 / stats_by_mode["plain"]["requests_per_second"])
+        attempt_ratios.append(round(ratio, 3))
+        if best is None or ratio > best[0]:
+            best = (ratio, stats_by_mode)
+    record.update(best[1])
     record["identical_responses"] = identical
     record["attempt_throughput_ratios"] = attempt_ratios
     record["throughput_ratio"] = round(best[0], 3)
@@ -676,6 +761,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail unless the traced service "
                              "(sample rate 1.0) sustains at least this "
                              "x the untraced throughput (0 disables)")
+    parser.add_argument("--deadline-attempts", type=int, default=3,
+                        help="deadline-overhead attempts; the best by "
+                             "throughput ratio is recorded")
+    parser.add_argument("--deadline-min-ratio", type=float, default=0.95,
+                        help="fail unless traffic carrying a generous "
+                             "deadline header under an armed-but-idle "
+                             "fault plan sustains at least this x the "
+                             "unguarded throughput (0 disables)")
     parser.add_argument("--fleet-workers", type=int, default=4,
                         help="worker count for the pre-fork fleet "
                              "scenario (0 skips the scenario)")
@@ -747,6 +840,11 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed, clients=args.clients,
         batch_size=args.batch_size, attempts=args.trace_attempts,
     )
+    deadline = measure_deadline(
+        unique_workload(args.requests), profile="micro",
+        seed=args.seed, clients=args.clients,
+        batch_size=args.batch_size, attempts=args.deadline_attempts,
+    )
     fleet = None
     if args.fleet_workers > 1:
         env_store = os.environ.get(ENV_VAR)
@@ -769,6 +867,7 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": results,
         "continuous_batching": mixed,
         "tracing": tracing,
+        "deadline": deadline,
         "fleet": fleet,
     }
     for result in results:
@@ -799,6 +898,11 @@ def main(argv: list[str] | None = None) -> int:
           f"-> {tracing['throughput_ratio']:.3f}x "
           f"(identical={tracing['identical_responses']}; "
           f"stage p50: {stage_line})")
+    print(f"{deadline['workload']}: plain "
+          f"{deadline['plain']['requests_per_second']:.1f} req/s, "
+          f"guarded {deadline['guarded']['requests_per_second']:.1f} "
+          f"req/s -> {deadline['throughput_ratio']:.3f}x "
+          f"(identical={deadline['identical_responses']})")
     if fleet is not None:
         print(f"{fleet['workload']}: 1 process "
               f"{fleet['single']['requests_per_second']:.1f} req/s, "
@@ -855,6 +959,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: traced throughput ratio "
               f"{tracing['throughput_ratio']:.3f}x is below the "
               f"{args.trace_min_ratio:.2f}x gate", file=sys.stderr)
+        return 1
+    if not deadline["identical_responses"]:
+        print("FAIL: responses diverge under a generous deadline and "
+              "an armed-but-idle fault plan", file=sys.stderr)
+        return 1
+    if (args.deadline_min_ratio
+            and deadline["throughput_ratio"] < args.deadline_min_ratio):
+        print(f"FAIL: guarded throughput ratio "
+              f"{deadline['throughput_ratio']:.3f}x is below the "
+              f"{args.deadline_min_ratio:.2f}x gate", file=sys.stderr)
         return 1
     if fleet is not None:
         # Byte parity and scrape completeness hold on any hardware;

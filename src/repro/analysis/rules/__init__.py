@@ -7,6 +7,7 @@ trio to ``tests/test_analysis.py``.  See ``docs/ANALYSIS.md``.
 
 from repro.analysis.rules import atomic_write      # noqa: F401
 from repro.analysis.rules import bounded_read      # noqa: F401
+from repro.analysis.rules import exception_discipline  # noqa: F401
 from repro.analysis.rules import fork_safety       # noqa: F401
 from repro.analysis.rules import lock_discipline   # noqa: F401
 from repro.analysis.rules import metric_discipline  # noqa: F401

@@ -1,0 +1,70 @@
+"""``exception-discipline``: except blocks must not silently swallow.
+
+The resilience pass (PR 10) audited every ``except ...: pass`` in the
+tree while threading fault injection through the serving stack, and the
+pattern split cleanly in two: a handful of sites where dropping the
+exception *is* the contract (unlinking a crashed predecessor's socket,
+``ProcessLookupError`` from a child that already exited), and sites
+that were quietly eating real failures -- a peer answer that never
+arrived, a fleet status file that stopped being writable.  The second
+kind is how a degraded deployment looks healthy until the chaos harness
+says otherwise.
+
+This rule flags any ``except`` handler whose body does nothing at all
+(only ``pass``, ``continue``, or ``...``).  The fix is one of:
+
+- log it: a :func:`repro.obs.get_logger` event with ``exc_info=True``
+  keeps the swallow visible to log shippers at an appropriate level;
+- or declare it: ``# repro: allow[exception-discipline] <reason>`` on
+  the swallowing statement states why dropping the exception is the
+  correct behaviour, and the mandatory reason is reviewed like code.
+
+Handlers that re-raise, return, set state, or degrade to a fallback
+value are untouched -- the rule targets *silence*, not recovery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body does nothing with the exception."""
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis):
+            continue
+        return False
+    return True
+
+
+@register
+class ExceptionDisciplineRule(Rule):
+    id = "exception-discipline"
+    summary = ("except blocks must not silently swallow; log via "
+               "repro.obs or carry an allow with a reason")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _swallows(node):
+                continue
+            # Anchor on the swallowing statement, not the except line,
+            # so the allow comment sits next to the pass/continue it
+            # justifies.
+            anchor = node.body[0] if node.body else node
+            caught = ast.unparse(node.type) if node.type else "everything"
+            yield Finding(
+                module.display, anchor.lineno, anchor.col_offset + 1,
+                self.id,
+                f"except block swallows {caught} silently; log it via "
+                "repro.obs.get_logger() (exc_info=True) or state why "
+                "with '# repro: allow[exception-discipline] reason'",
+            )

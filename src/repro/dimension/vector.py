@@ -149,7 +149,7 @@ class DimensionVector:
             try:
                 return cls._parse_vector_form(stripped)
             except DimensionError:
-                pass  # e.g. "LM-1H-1T-1I-1" is a formula, not a KB vector
+                pass  # repro: allow[exception-discipline] e.g. "LM-1H-1T-1I-1" is a formula, not a KB vector
         return cls._parse_formula_form(stripped)
 
     @classmethod

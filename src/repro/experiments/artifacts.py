@@ -41,6 +41,7 @@ import tempfile
 import time
 import warnings
 
+from repro import faults
 from repro.core.dimperc import DimPercConfig, DimPercModels
 from repro.dimeval.benchmark import DimEvalBenchmark
 from repro.llm.model import TransformerConfig
@@ -216,6 +217,9 @@ class ArtifactStore:
                                      config)
         meta_path = directory / "meta.json"
         try:
+            # fault site: FaultError is an OSError, so an injected read
+            # failure degrades exactly like a real one -- a miss
+            faults.check("artifacts.meta_read")
             meta = json.loads(meta_path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
             return None
@@ -225,6 +229,7 @@ class ArtifactStore:
         if meta != expected_meta:
             return None  # hash-prefix collision or stale format
         try:
+            faults.check("artifacts.checkpoint_read")
             llama_model, llama_tok = load_checkpoint(directory / "llama_ift")
             dimperc_model, tokenizer = load_checkpoint(directory / "dimperc")
         except (CheckpointError, OSError):
@@ -265,7 +270,7 @@ class ArtifactStore:
             # that long-lived service hosts actually warm-load from.
             os.utime(meta_path)
         except OSError:
-            pass
+            pass  # repro: allow[exception-discipline] recency refresh is best-effort
         return DimPercModels(
             tokenizer=tokenizer,
             model=dimperc_model,
@@ -301,14 +306,15 @@ class ArtifactStore:
                 try:
                     used_at = directory.stat().st_mtime
                 except OSError:
-                    continue  # vanished under us
+                    # repro: allow[exception-discipline] entry vanished under us
+                    continue
             size = 0
             for path in directory.rglob("*"):
                 try:
                     if path.is_file():
                         size += path.stat().st_size
                 except OSError:
-                    pass
+                    pass  # repro: allow[exception-discipline] racing delete; size stays approximate
             found.append(StoreEntry(path=directory, size_bytes=size,
                                     used_at=used_at))
         found.sort(key=lambda entry: (entry.used_at, entry.path.name))

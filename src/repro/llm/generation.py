@@ -290,6 +290,40 @@ class DecodeSession:
             retired.append((slot, row.generated))
         return retired
 
+    def cancel(self, slots) -> None:
+        """Drop in-flight rows mid-generation, freeing their KV slots.
+
+        The serving scheduler calls this for rows whose waiters have all
+        expired or disconnected -- the retirement path without the
+        result: cancelled rows are compacted out of the KV buffers and
+        pending logits exactly as EOS retirement compacts finished rows,
+        so surviving rows keep decoding token-for-token identically.
+        Unknown or already-retired slots are ignored.  Legal at any step
+        boundary (the only times the scheduler's worker thread calls in).
+        """
+        doomed = {slot for slot in slots if slot in self._rows}
+        if not doomed:
+            return
+        for slot in doomed:
+            del self._rows[slot]
+        if self._kv_slots:
+            keep = [position for position, slot in enumerate(self._kv_slots)
+                    if slot not in doomed]
+            if len(keep) != len(self._kv_slots):
+                self._kv_slots = [self._kv_slots[position]
+                                  for position in keep]
+                self._cache = self._cache.select(keep) if keep else None
+                if self._kv_logits is not None:
+                    self._kv_logits = self._kv_logits[keep] if keep else None
+        if self._overflow:
+            keep = [position for position, slot in enumerate(self._overflow)
+                    if slot not in doomed]
+            if len(keep) != len(self._overflow):
+                self._overflow = [self._overflow[position]
+                                  for position in keep]
+                if self._of_logits is not None:
+                    self._of_logits = self._of_logits[keep] if keep else None
+
 
 def greedy_decode(
     model: TransformerModel,

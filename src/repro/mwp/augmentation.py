@@ -246,7 +246,7 @@ class Augmenter:
                 current = operator(current, self._kb, self._rng)
                 applied += 1
             except AugmentationError:
-                continue
+                continue  # repro: allow[exception-discipline] operator inapplicable; try another draw
         if applied == 0:
             raise AugmentationError(
                 f"no operator applies to problem {problem.problem_id}"
@@ -277,5 +277,5 @@ class Augmenter:
             try:
                 augmented.append(self.augment(source, max_operators))
             except AugmentationError:
-                continue
+                continue  # repro: allow[exception-discipline] unaugmentable draw; guard bounds retries
         return augmented

@@ -109,8 +109,17 @@ class Trace:
         self._lock = threading.Lock()
         self._spans: list[Span] = []      # guarded by: self._lock
         self._open: dict[str, Span] = {}  # guarded by: self._lock
+        self._attrs: dict = {}            # guarded by: self._lock
 
     # -- span recording ------------------------------------------------------
+
+    def annotate(self, **attrs) -> None:
+        """Attach trace-level attributes (request facts that belong to
+        no single span: the deadline budget, the expiry stage)."""
+        if not self.sampled or not attrs:
+            return
+        with self._lock:
+            self._attrs.update(attrs)
 
     def begin(self, name: str, **attrs) -> None:
         """Open the named span (idempotent: re-begin keeps the open one).
@@ -192,6 +201,7 @@ class Trace:
         with self._lock:
             spans = [span.to_dict() for span in self._spans]
             duration = self.duration
+            attrs = dict(self._attrs)
         payload = {
             "trace_id": self.trace_id,
             "endpoint": self.endpoint,
@@ -201,6 +211,8 @@ class Trace:
             "duration_ms": round((duration or 0.0) * 1000.0, 3),
             "spans": spans,
         }
+        if attrs:
+            payload["attrs"] = attrs
         return payload
 
 

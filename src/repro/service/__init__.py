@@ -44,6 +44,13 @@ from repro.service.app import (
     ServiceUnavailable,
 )
 from repro.service.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
+from repro.service.deadline import (
+    DEADLINE_HEADER,
+    ClientDisconnected,
+    Deadline,
+    DeadlineExceeded,
+    Ticket,
+)
 from repro.service.fleet import FleetConfig, FleetContext, FleetSupervisor
 from repro.service.http import ServiceServer, build_server
 from repro.service.metrics import MetricsRegistry
@@ -52,11 +59,15 @@ from repro.service.schemas import BadRequest, UnprocessableRequest
 from repro.service.solver import MWPSolver, SolveResult
 
 __all__ = [
+    "DEADLINE_HEADER",
     "ENDPOINTS",
     "BadRequest",
     "BatcherClosed",
     "BatcherSaturated",
+    "ClientDisconnected",
     "ContinuousBatcher",
+    "Deadline",
+    "DeadlineExceeded",
     "DimensionService",
     "FleetConfig",
     "FleetContext",
@@ -68,6 +79,7 @@ __all__ = [
     "ServiceServer",
     "ServiceUnavailable",
     "SolveResult",
+    "Ticket",
     "UnprocessableRequest",
     "build_server",
 ]

@@ -23,6 +23,7 @@ import signal
 import sys
 import threading
 
+from repro import faults
 from repro.experiments.context import PROFILE_NAMES
 from repro.service.app import DimensionService, ServiceConfig
 from repro.service.http import ServiceRequestHandler, build_server
@@ -68,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--slow-trace-ms", type=float, default=500.0,
                         help="sampled traces at least this slow emit a "
                              "request.slow log event (0 disables)")
+    parser.add_argument("--default-deadline-ms", type=float, default=0.0,
+                        help="per-request time budget when the client "
+                             "sends no X-Repro-Deadline-Ms header "
+                             "(0 = unbounded)")
+    parser.add_argument("--fault-plan", default="",
+                        help="JSON fault-plan file to arm deterministic "
+                             "fault injection (see docs/RESILIENCE.md); "
+                             "REPRO_FAULT_PLAN env overrides")
     parser.add_argument("--verbose", action="store_true",
                         help="log each request to stderr")
     fleet = parser.add_argument_group(
@@ -100,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.fault_plan and faults.active() is None:
+        # armed before any fork so fleet workers inherit the plan; the
+        # REPRO_FAULT_PLAN env var (loaded at import) wins when both
+        # are set, since the chaos harness arms through it
+        faults.arm(faults.FaultPlan.from_file(args.fault_plan))
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -114,6 +128,7 @@ def main(argv: list[str] | None = None) -> int:
         trace_sample_rate=args.trace_sample_rate,
         trace_buffer_size=args.trace_buffer,
         slow_trace_ms=args.slow_trace_ms,
+        default_deadline_ms=args.default_deadline_ms,
     )
     ServiceRequestHandler.log_requests = args.verbose
     if args.workers > 1:

@@ -37,13 +37,23 @@ import json
 import time
 from dataclasses import dataclass
 
+from repro import faults
 from repro.dimension import DimensionError, DimensionLawViolation
 from repro.engine import EngineConfig, EvaluationEngine
 from repro.experiments.artifacts import set_default_store
 from repro.experiments.context import get_context, profile_named
+from repro.faults import FaultError
 from repro.obs import Trace, Tracer, get_logger, trace_span, use_trace
 from repro.quantity.grounder import QuantityGrounder, grounder_for
 from repro.service.batcher import BatcherClosed, BatcherSaturated, MicroBatcher
+from repro.service.deadline import (
+    ClientDisconnected,
+    Deadline,
+    DeadlineExceeded,
+    Probe,
+    use_deadline,
+    use_probe,
+)
 from repro.service.metrics import MetricsRegistry
 from repro.service.scheduler import ContinuousBatcher
 from repro.service.schemas import (
@@ -99,6 +109,10 @@ class ServiceConfig:
     #: Sampled traces at least this slow (milliseconds) are emitted as
     #: single-line structured JSON log events; 0 disables the emission.
     slow_trace_ms: float = 500.0
+    #: Default per-request time budget (milliseconds) when the client
+    #: sends no ``X-Repro-Deadline-Ms`` header; 0 disables deadlines
+    #: for headerless requests.
+    default_deadline_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.profile != "off":
@@ -116,6 +130,8 @@ class ServiceConfig:
             raise ValueError("trace_buffer_size must be at least 1")
         if self.slow_trace_ms < 0:
             raise ValueError("slow_trace_ms must be non-negative")
+        if self.default_deadline_ms < 0:
+            raise ValueError("default_deadline_ms must be non-negative")
 
 
 class ServiceUnavailable(RuntimeError):
@@ -193,6 +209,7 @@ class DimensionService:
                     name="solve",
                     on_admit=self._record_batch,
                     on_decode=self._record_decode,
+                    on_abandoned=self._record_abandoned,
                     completion_cache=self.engine.runner.completion_cache,
                 )
                 self._batchers["solve"] = self._solve_batcher
@@ -218,6 +235,9 @@ class DimensionService:
     def _record_batch(self, name: str, size: int) -> None:
         self.metrics.inc("batches_total", endpoint=name)
         self.metrics.inc("batched_requests_total", size, endpoint=name)
+
+    def _record_abandoned(self, name: str, count: int) -> None:
+        self.metrics.inc("requests_abandoned_total", count, endpoint=name)
 
     def _record_decode(self, stats) -> None:
         """Fold one decode call's :class:`~repro.llm.DecodeStats` into
@@ -311,6 +331,15 @@ class DimensionService:
         m.describe("traces_buffered",
                    "Completed traces currently held in this worker's "
                    "ring buffer (bounded by trace_buffer_size).")
+        m.describe("deadline_exceeded_total",
+                   "Requests shed because their deadline ran out, "
+                   "labelled by endpoint and the lifecycle stage that "
+                   "detected the expiry (pre-queue, queued, admitted, "
+                   "decoding, waiting); each one answered 504.")
+        m.describe("requests_abandoned_total",
+                   "Requests dropped at admission because the client "
+                   "socket had already disconnected -- the decode work "
+                   "those requests would have wasted.")
 
     # -- tracing --------------------------------------------------------------
 
@@ -360,7 +389,9 @@ class DimensionService:
     # -- dispatch -------------------------------------------------------------
 
     def dispatch(self, path: str, payload: dict | None,
-                 trace: Trace | None = None) -> tuple[int, dict | str]:
+                 trace: Trace | None = None,
+                 deadline: Deadline | None = None,
+                 probe: Probe | None = None) -> tuple[int, dict | str]:
         """Route one parsed request; returns (status, body).
 
         ``body`` is a dict (JSON-encoded by the transport) except for
@@ -369,6 +400,9 @@ class DimensionService:
         current trace for the handler's duration, so spans recorded
         anywhere down the call stack -- batcher queues, the decode
         scheduler, the solver -- land on this request's timeline.
+        ``deadline`` and ``probe`` (the client-socket liveness check)
+        bind the same way: every queue ticket below captures them, and
+        expiry anywhere maps to 504 here, disconnection to 499.
         """
         endpoint = path.rstrip("/") or "/"
         handler = {
@@ -387,7 +421,9 @@ class DimensionService:
                          "endpoints": sorted(ENDPOINTS)}
         started = time.perf_counter()
         try:
-            with use_trace(trace):
+            with use_trace(trace), use_deadline(deadline), use_probe(probe):
+                if deadline is not None:
+                    deadline.raise_if_expired("pre-queue")
                 body = handler(payload if payload is not None else {})
             status = 200
         except BadRequest as exc:
@@ -396,8 +432,23 @@ class DimensionService:
             status, body = 422, {"error": str(exc)}
         except BatcherSaturated as exc:
             status, body = 429, {"error": str(exc)}
+        except DeadlineExceeded as exc:
+            status, body = 504, {"error": str(exc), "stage": exc.stage}
+            self.metrics.inc("deadline_exceeded_total",
+                             endpoint=endpoint, stage=exc.stage)
+            if trace is not None:
+                trace.annotate(deadline_exceeded=True,
+                               deadline_stage=exc.stage)
+        except ClientDisconnected as exc:
+            # 499 (nginx convention): the client went away first, so
+            # nobody reads this body -- the status keeps the books honest.
+            status, body = 499, {"error": str(exc)}
         except (BatcherClosed, ServiceUnavailable) as exc:
             status, body = 503, {"error": str(exc)}
+        except FaultError as exc:
+            # An injected fault that reached the edge un-degraded:
+            # answer as a transient backend outage, never a 500.
+            status, body = 503, {"error": f"injected fault: {exc}"}
         except TraceNotFound as exc:
             status, body = 404, {
                 "error": exc.args[0] if exc.args else str(exc)
@@ -449,7 +500,19 @@ class DimensionService:
                 "solve_scheduler": self.config.solve_scheduler,
                 "max_inflight_rows": self.config.max_inflight_rows,
             },
+            "default_deadline_ms": self.config.default_deadline_ms,
+            "faults": self._faults_block(),
         }
+
+    @staticmethod
+    def _faults_block() -> dict | None:
+        """The armed fault plan's counters, or ``None`` when disarmed --
+        so an operator (and the chaos harness) can see from ``/healthz``
+        which injections actually fired."""
+        plan = faults.active()
+        if plan is None:
+            return None
+        return {"seed": plan.seed, "sites": plan.snapshot()}
 
     def sample_gauges(self) -> None:
         """Refresh every point-in-time gauge from live state.
@@ -640,6 +703,16 @@ class DimensionService:
         return {"text": text, **result.to_wire()}
 
     # -- helpers --------------------------------------------------------------
+
+    def retry_after_seconds(self) -> int:
+        """A queue-depth-derived backoff hint for 429/503/504 responses.
+
+        One batch window per queued batch-worth of work, floored at 1s
+        and capped at 30s -- honest enough for a client to spread its
+        retries without the server promising a precise drain time.
+        """
+        depth = sum(batcher.pending() for batcher in self._batchers.values())
+        return max(1, min(30, 1 + depth // max(self.config.max_batch_size, 1)))
 
     def _link_unit(self, mention: str, field: str) -> UnitRecord:
         unit = self.grounder.link_best(mention)

@@ -35,9 +35,11 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
 from typing import Callable, Sequence
 
-from repro.obs import Trace, current_trace
+from repro import faults
+from repro.service.deadline import DeadlineExceeded, Ticket, current_deadline
 
 
 class BatcherSaturated(RuntimeError):
@@ -79,10 +81,12 @@ class MicroBatcher:
         self.max_queue = max_queue
         self.name = name
         self._on_batch = on_batch
-        #: (item, caller future, caller trace-or-None) triples; the
-        #: trace handle rides along so queue wait and batch execution
-        #: land as spans on the submitting request's timeline.
-        self._queue: deque[tuple[object, Future, Trace | None]] = deque()  # guarded by: self._wake, self._lock
+        #: (item, caller future, caller ticket) triples; the ticket
+        #: carries the trace handle, deadline, and client-liveness
+        #: probe, so queue wait / batch execution land as spans on the
+        #: submitting request's timeline and expired requests can be
+        #: shed before the batch function spends compute on them.
+        self._queue: deque[tuple[object, Future, Ticket]] = deque()  # guarded by: self._wake, self._lock
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._closed = False  # guarded by: self._wake, self._lock
@@ -96,9 +100,12 @@ class MicroBatcher:
     def submit(self, item) -> Future:
         """Queue one item; the future resolves to its batch result."""
         future: Future = Future()
-        trace = current_trace()
-        if trace is not None:
-            trace.begin("queue")
+        ticket = Ticket.capture()
+        if ticket.trace is not None:
+            ticket.trace.begin("queue")
+        if faults.triggered("queue.full"):
+            raise BatcherSaturated(
+                f"batcher {self.name!r} queue full (injected)")
         with self._wake:
             if self._closed:
                 raise BatcherClosed(f"batcher {self.name!r} is closed")
@@ -107,13 +114,25 @@ class MicroBatcher:
                     f"batcher {self.name!r} queue full "
                     f"({self.max_queue} pending)"
                 )
-            self._queue.append((item, future, trace))
+            self._queue.append((item, future, ticket))
             self._wake.notify()
         return future
 
     def __call__(self, item):
-        """Submit and wait: the synchronous convenience used by handlers."""
-        return self.submit(item).result()
+        """Submit and wait: the synchronous convenience used by handlers.
+
+        With a deadline bound, the wait itself is bounded -- the
+        ``waiting`` backstop: whatever stage failed to shed the request,
+        the submitting thread never outlives the budget.
+        """
+        future = self.submit(item)
+        deadline = current_deadline()
+        if deadline is None:
+            return future.result()
+        try:
+            return future.result(timeout=max(deadline.remaining(), 0.001))
+        except _FutureTimeout:
+            raise DeadlineExceeded("waiting", deadline.budget_ms) from None
 
     # -- shutdown -----------------------------------------------------------
 
@@ -158,11 +177,14 @@ class MicroBatcher:
             batch = self._collect()
             if batch is None:
                 return
+            batch = self._shed_expired(batch)
+            if not batch:
+                continue
             items = [item for item, _, _ in batch]
-            for _, _, trace in batch:
-                if trace is not None:
-                    trace.end("queue", batch_size=len(items))
-                    trace.begin("execute")
+            for _, _, ticket in batch:
+                if ticket.trace is not None:
+                    ticket.trace.end("queue", batch_size=len(items))
+                    ticket.trace.begin("execute")
             try:
                 results = self.fn(items)
                 if len(results) != len(items):
@@ -171,20 +193,37 @@ class MicroBatcher:
                         f"{len(items)} items"
                     )
             except BaseException as exc:  # noqa: BLE001 -- fan the error out
-                for _, future, trace in batch:
-                    if trace is not None:
-                        trace.end("execute", error=type(exc).__name__)
+                for _, future, ticket in batch:
+                    if ticket.trace is not None:
+                        ticket.trace.end("execute", error=type(exc).__name__)
                     future.set_exception(exc)
                 continue
             if self._on_batch is not None:
                 self._on_batch(self.name, len(items))
-            for _, _, trace in batch:
-                if trace is not None:
-                    trace.end("execute", batch_size=len(items))
+            for _, _, ticket in batch:
+                if ticket.trace is not None:
+                    ticket.trace.end("execute", batch_size=len(items))
             for (_, future, _), result in zip(batch, results):
                 future.set_result(result)
 
-    def _collect(self) -> list[tuple[object, Future, Trace | None]] | None:
+    def _shed_expired(
+        self, batch: list[tuple[object, Future, Ticket]]
+    ) -> list[tuple[object, Future, Ticket]]:
+        """Fail expired entries (stage ``queued``) before ``fn`` runs,
+        so a stale request never occupies a batch slot."""
+        live = []
+        for entry in batch:
+            _, future, ticket = entry
+            if ticket.expired():
+                if ticket.trace is not None:
+                    ticket.trace.end("queue", deadline_exceeded=True)
+                future.set_exception(
+                    DeadlineExceeded("queued", ticket.deadline.budget_ms))
+            else:
+                live.append(entry)
+        return live
+
+    def _collect(self) -> list[tuple[object, Future, Ticket]] | None:
         """Block for work, apply the latency window, pop one batch.
 
         Returns ``None`` exactly once: when the batcher is closed *and*

@@ -47,6 +47,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.obs import get_logger
 from repro.service.app import DimensionService, ServiceConfig
 from repro.service.http import ServiceServer
@@ -172,7 +173,7 @@ class FleetContext:
         try:
             os.unlink(path)  # a crashed predecessor leaves its socket
         except OSError:
-            pass
+            pass  # repro: allow[exception-discipline] ENOENT on first boot is the normal case
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         listener.bind(path)
         listener.listen(16)
@@ -208,7 +209,8 @@ class FleetContext:
                 body = {"error": f"unknown op {op!r}"}
             conn.sendall(json.dumps(body).encode("utf-8"))
         except OSError:
-            pass
+            _LOG.debug("fleet.peer_answer_failed", exc_info=True,
+                       worker_id=self.worker_id)
         finally:
             conn.close()
 
@@ -231,6 +233,9 @@ class FleetContext:
         (the peer may be restarting -- aggregation degrades, never
         fails the scrape)."""
         try:
+            # fault site: an injected FaultError is an OSError, so a
+            # downed peer mesh degrades exactly like a real one
+            faults.check("fleet.peer")
             conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             conn.settimeout(PEER_TIMEOUT)
             conn.connect(self.socket_path(worker_id))
@@ -502,7 +507,8 @@ class FleetSupervisor:
                         rotation += offset + 1
                         break
                     except OSError:
-                        continue  # that worker died; try the next
+                        # repro: allow[exception-discipline] that worker died; round-robin to the next
+                        continue
 
     # -- supervision ---------------------------------------------------------
 
@@ -604,7 +610,8 @@ class FleetSupervisor:
                 json.dump(payload, handle, sort_keys=True)
             os.replace(tmp, path)
         except OSError:
-            pass
+            _LOG.warning("fleet.status_write_failed", exc_info=True,
+                         path=path)
 
     # -- shutdown ------------------------------------------------------------
 
@@ -616,7 +623,7 @@ class FleetSupervisor:
                 try:
                     os.kill(pid, signal.SIGTERM)
                 except ProcessLookupError:
-                    pass
+                    pass  # repro: allow[exception-discipline] child already exited; reap will notice
         deadline = time.monotonic() + self.config.shutdown_timeout
         while any(self._alive.values()) and time.monotonic() < deadline:
             self._reap()
@@ -629,7 +636,7 @@ class FleetSupervisor:
                 try:
                     os.kill(pid, signal.SIGKILL)
                 except ProcessLookupError:
-                    pass
+                    pass  # repro: allow[exception-discipline] straggler exited on its own
         while any(self._alive.values()):
             if not self._reap():
                 time.sleep(0.02)
@@ -700,7 +707,7 @@ def _worker_main(worker_id: int, config: FleetConfig, host: str, port: int,
         try:
             channel.shutdown(socket.SHUT_RDWR)
         except OSError:
-            pass
+            pass  # repro: allow[exception-discipline] parent side may already be closed
         channel.close()
     return 0
 

@@ -22,6 +22,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.obs import FORCE_HEADER, TRACE_HEADER, Trace
 from repro.service.app import ENDPOINTS, DimensionService, encode_body
+from repro.service.deadline import DEADLINE_HEADER, Deadline, Probe
 
 #: Cap request bodies well above any sane problem text; beyond it we
 #: refuse early instead of buffering unbounded input per thread.
@@ -55,18 +56,29 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _respond(self, status: int, body, close: bool = False,
                  trace: Trace | None = None) -> None:
         payload, content_type = encode_body(body)
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        if trace is not None:
-            # echo the id whether minted or inbound, so any client can
-            # follow up with /debug/traces?id=<value>
-            self.send_header(TRACE_HEADER, trace.trace_id)
-        if close:
-            # announces it to the client and sets self.close_connection
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(payload)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            if status in (429, 503, 504):
+                # a queue-depth-derived hint so well-behaved clients
+                # spread their retries instead of hammering a hot queue
+                self.send_header(
+                    "Retry-After", str(self.service.retry_after_seconds()))
+            if trace is not None:
+                # echo the id whether minted or inbound, so any client can
+                # follow up with /debug/traces?id=<value>
+                self.send_header(TRACE_HEADER, trace.trace_id)
+            if close:
+                # announces it to the client and sets self.close_connection
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            # the client hung up mid-response (the 499/expired-deadline
+            # path makes this routine); nothing to answer, just make
+            # sure the desynced socket is not reused for keep-alive
+            self.close_connection = True
 
     def _refuse(self, status: int, body: dict) -> None:
         """Answer an early error *before* the body was consumed.
@@ -107,6 +119,54 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             path.rstrip("/") or "/", trace_id=inbound or None, force=force
         )
 
+    # -- deadlines / client liveness ----------------------------------------
+
+    def _parse_deadline(self) -> tuple[Deadline | None, str | None]:
+        """The request's budget: header first, else the service default.
+
+        Returns ``(deadline, error)``; a malformed header is the
+        client's bug and reported as such (400), never silently treated
+        as "no deadline".
+        """
+        raw = (self.headers.get(DEADLINE_HEADER) or "").strip()
+        if not raw:
+            return Deadline.from_ms(
+                self.service.config.default_deadline_ms), None
+        try:
+            budget = float(raw)
+        except ValueError:
+            budget = float("nan")
+        if not budget > 0 or budget != budget or budget == float("inf"):
+            return None, (
+                f"invalid {DEADLINE_HEADER} header {raw!r}: "
+                f"expected a positive number of milliseconds"
+            )
+        return Deadline(budget), None
+
+    def _client_probe(self) -> Probe:
+        """A liveness probe for this connection's client socket.
+
+        A zero-byte ``MSG_PEEK | MSG_DONTWAIT`` read distinguishes
+        "still connected" (would-block, or pipelined bytes waiting)
+        from "gone" (orderly EOF or a reset) without consuming request
+        bytes.  Platforms without ``MSG_DONTWAIT`` report always-alive
+        -- shedding is an optimisation, never a correctness gate.
+        """
+        conn = self.connection
+        if not hasattr(socket, "MSG_DONTWAIT"):
+            return lambda: True
+
+        def probe() -> bool:
+            try:
+                data = conn.recv(1, socket.MSG_PEEK | socket.MSG_DONTWAIT)
+            except (BlockingIOError, InterruptedError):
+                return True
+            except (OSError, ValueError):
+                return False
+            return bool(data)
+
+        return probe
+
     def _finish_response(self, trace: Trace, status: int, body,
                          close: bool = False) -> None:
         """Write the response inside the trace's ``write`` span, then seal."""
@@ -146,8 +206,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "error": f"request body exceeds {MAX_BODY_BYTES} bytes"
             })
             return
+        deadline, deadline_error = self._parse_deadline()
+        if deadline_error is not None:
+            self._refuse(400, {"error": deadline_error})
+            return
         parts = urlsplit(self.path)
         trace = self._open_trace(parts.path, self._query(parts.query))
+        if deadline is not None:
+            trace.annotate(deadline_ms=deadline.budget_ms)
         error: str | None = None
         with trace.span("parse"):
             raw = self.rfile.read(length) if length else b""
@@ -160,7 +226,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if error is not None:
             self._finish_response(trace, 400, {"error": error})
             return
-        status, body = self.service.dispatch(parts.path, payload, trace)
+        status, body = self.service.dispatch(
+            parts.path, payload, trace,
+            deadline=deadline, probe=self._client_probe(),
+        )
         self._finish_response(trace, status, body)
 
 

@@ -51,12 +51,19 @@ import queue as _queue
 import threading
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
 from typing import Callable, Sequence
 
+from repro import faults
 from repro.llm.generation import DecodeSession, DecodeStats
 from repro.llm.interface import TransformerLM
-from repro.obs import current_trace
 from repro.service.batcher import BatcherClosed, BatcherSaturated
+from repro.service.deadline import (
+    ClientDisconnected,
+    DeadlineExceeded,
+    Ticket,
+    current_deadline,
+)
 
 
 class _Flight:
@@ -70,7 +77,7 @@ class _Flight:
 
     def __init__(self, prompt: str, waiters: list):
         self.prompt = prompt
-        self.waiters = waiters      # [(item, Future, Trace|None), ...]
+        self.waiters = waiters      # [(item, Future, Ticket), ...]
         self.slot: int | None = None
         self.steps = 0
 
@@ -112,6 +119,7 @@ class ContinuousBatcher:
         name: str = "solve",
         on_admit: Callable[[str, int], None] | None = None,
         on_decode: Callable[[DecodeStats], None] | None = None,
+        on_abandoned: Callable[[str, int], None] | None = None,
         completion_cache=None,
     ):
         if max_inflight_rows < 1:
@@ -133,6 +141,7 @@ class ContinuousBatcher:
         self.name = name
         self._on_admit = on_admit
         self._on_decode = on_decode
+        self._on_abandoned = on_abandoned
         self._memo = completion_cache if (
             completion_cache is not None and completion_cache.maxsize > 0
         ) else None
@@ -142,8 +151,9 @@ class ContinuousBatcher:
         self._stats = DecodeStats()
         self._reported = DecodeStats()
         self._session = DecodeSession(lm.model, stats=self._stats)
-        #: (item, caller future, caller trace-or-None) triples.
-        self._queue: deque[tuple[object, Future, object]] = deque()  # guarded by: self._wake, self._lock
+        #: (item, caller future, caller ticket) triples; the ticket
+        #: carries trace handle, deadline, and client-liveness probe.
+        self._queue: deque[tuple[object, Future, Ticket]] = deque()  # guarded by: self._wake, self._lock
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._closed = False  # guarded by: self._wake, self._lock
@@ -176,7 +186,8 @@ class ContinuousBatcher:
         backpressure path, so saturation refuses instead of hanging).
         """
         future: Future = Future()
-        trace = current_trace()
+        ticket = Ticket.capture()
+        trace = ticket.trace
         cached = self._memo_get(item[0])
         if cached is not None:
             if trace is not None:
@@ -186,6 +197,9 @@ class ContinuousBatcher:
             return future
         if trace is not None:
             trace.begin("queue")
+        if faults.triggered("queue.full"):
+            raise BatcherSaturated(
+                f"batcher {self.name!r} queue full (injected)")
         with self._wake:
             if self._closed:
                 raise BatcherClosed(f"batcher {self.name!r} is closed")
@@ -194,13 +208,25 @@ class ContinuousBatcher:
                     f"batcher {self.name!r} queue full "
                     f"({self.max_queue} pending)"
                 )
-            self._queue.append((item, future, trace))
+            self._queue.append((item, future, ticket))
             self._wake.notify()
         return future
 
     def __call__(self, item):
-        """Submit and wait: the synchronous convenience used by handlers."""
-        return self.submit(item).result()
+        """Submit and wait: the synchronous convenience used by handlers.
+
+        With a deadline bound, the wait is bounded too (the ``waiting``
+        backstop stage) -- whatever shedding stage missed the request,
+        the submitting thread never outlives the budget.
+        """
+        future = self.submit(item)
+        deadline = current_deadline()
+        if deadline is None:
+            return future.result()
+        try:
+            return future.result(timeout=max(deadline.remaining(), 0.001))
+        except _FutureTimeout:
+            raise DeadlineExceeded("waiting", deadline.budget_ms) from None
 
     # -- introspection (metrics) --------------------------------------------
 
@@ -269,12 +295,19 @@ class ContinuousBatcher:
                     self._wake.wait()
                 if self._closed and not self._queue and not self._by_slot:
                     return
-                memo_hits, fresh = self._classify_arrivals_locked()
+                memo_hits, fresh, expired = self._classify_arrivals_locked()
+            for _, future, ticket in expired:
+                if ticket.trace is not None:
+                    ticket.trace.end("queue", deadline_exceeded=True)
+                future.set_exception(
+                    DeadlineExceeded("queued", ticket.deadline.budget_ms))
             for hit in memo_hits:
                 self._resolutions.put(hit)
             self._admit(fresh)
+            self._cancel_expired()
             if self._session.active:
                 try:
+                    faults.check("decode.step")
                     finished = self._session.step()
                 except BaseException as exc:  # noqa: BLE001 -- fan out
                     self._fail_all(exc)
@@ -297,13 +330,23 @@ class ContinuousBatcher:
         rows are decoding, for at most ``admit_delay_steps`` rounds:
         retirements and new arrivals widen it, and one wide prefill
         pass is far cheaper than several narrow ones.
+
+        Requests whose deadline already ran out are shed here instead
+        of claiming a row; they come back in the third return value and
+        the caller fails them (stage ``queued``) outside the lock.
         """
         memo_hits: list = []
         fresh: dict[str, _Flight] = {}
-        blocked: deque[tuple[object, Future, object]] = deque()
+        expired: list[tuple[object, Future, Ticket]] = []
+        blocked: deque[tuple[object, Future, Ticket]] = deque()
         budget = self.max_inflight_rows - len(self._by_slot)
         while self._queue:
-            item, future, trace = self._queue.popleft()
+            entry = self._queue.popleft()
+            item, future, ticket = entry
+            trace = ticket.trace
+            if ticket.expired():
+                expired.append(entry)
+                continue
             prompt = item[0]
             output = self._memo_get(prompt)
             if output is not None:
@@ -318,14 +361,14 @@ class ContinuousBatcher:
                 if trace is not None:
                     trace.end("queue")
                     trace.begin("decode", joined=True)
-                flight.waiters.append((item, future, trace))
+                flight.waiters.append(entry)
                 continue
             flight = fresh.get(prompt)
             if flight is not None:
                 if trace is not None:
                     trace.end("queue")
                     trace.begin("admit")
-                flight.waiters.append((item, future, trace))
+                flight.waiters.append(entry)
                 continue
             if len(fresh) < budget:
                 # begin("admit") is idempotent, so a wave deferral that
@@ -334,9 +377,9 @@ class ContinuousBatcher:
                 if trace is not None:
                     trace.end("queue")
                     trace.begin("admit")
-                fresh[prompt] = _Flight(prompt, [(item, future, trace)])
+                fresh[prompt] = _Flight(prompt, [entry])
             else:
-                blocked.append((item, future, trace))
+                blocked.append(entry)
         if (fresh and self._by_slot and not self._closed
                 and len(fresh) < self.admit_wave
                 and self._deferred_rounds < self.admit_delay_steps):
@@ -348,39 +391,110 @@ class ContinuousBatcher:
         else:
             self._deferred_rounds = 0
         self._queue.extend(blocked)
-        return memo_hits, fresh
+        return memo_hits, fresh, expired
+
+    def _shed_waiters(self, flights: list[_Flight]) -> list[_Flight]:
+        """Drop expired and dead-client waiters at the admission boundary.
+
+        Runs just before prefill spends compute: expired waiters 504
+        (stage ``admitted``), waiters whose client socket already
+        disconnected get :class:`ClientDisconnected` and count toward
+        ``requests_abandoned_total`` -- decoding for a dead socket is
+        pure waste.  Flights left with no waiter are dropped entirely,
+        so their KV row is never claimed and the prefill pass narrows.
+        """
+        survivors: list[_Flight] = []
+        abandoned = 0
+        for flight in flights:
+            live = []
+            for entry in flight.waiters:
+                _, future, ticket = entry
+                trace = ticket.trace
+                if ticket.expired():
+                    if trace is not None:
+                        trace.end("admit", deadline_exceeded=True)
+                    future.set_exception(DeadlineExceeded(
+                        "admitted", ticket.deadline.budget_ms))
+                elif not ticket.client_alive():
+                    abandoned += 1
+                    if trace is not None:
+                        trace.end("admit", abandoned=True)
+                    future.set_exception(ClientDisconnected(
+                        "client disconnected before admission"))
+                else:
+                    live.append(entry)
+            flight.waiters = live
+            if live:
+                survivors.append(flight)
+        if abandoned and self._on_abandoned is not None:
+            self._on_abandoned(self.name, abandoned)
+        return survivors
 
     def _admit(self, fresh: dict[str, _Flight]) -> None:
         """Prefill the newly claimed rows into the live KV cache."""
         if not fresh:
             return
-        flights = list(fresh.values())
+        flights = self._shed_waiters(list(fresh.values()))
+        if not flights:
+            return
         for flight in flights:
-            for _, _, trace in flight.waiters:
-                if trace is not None:
-                    trace.end("admit")
-                    trace.begin("prefill", batch=len(flights))
+            for _, _, ticket in flight.waiters:
+                if ticket.trace is not None:
+                    ticket.trace.end("admit")
+                    ticket.trace.begin("prefill", batch=len(flights))
         try:
             encoded = [self.lm.tokenizer.encode(flight.prompt)
                        for flight in flights]
             slots = self._session.admit(encoded, self.lm.max_new_tokens)
         except BaseException as exc:  # noqa: BLE001 -- fan out, survive
             for flight in flights:
-                for _, future, trace in flight.waiters:
-                    if trace is not None:
-                        trace.end("prefill", error=type(exc).__name__)
+                for _, future, ticket in flight.waiters:
+                    if ticket.trace is not None:
+                        ticket.trace.end("prefill", error=type(exc).__name__)
                     future.set_exception(exc)
             return
         for flight, slot in zip(flights, slots):
             flight.slot = slot
             self._flights[flight.prompt] = flight
             self._by_slot[slot] = flight
-            for _, _, trace in flight.waiters:
-                if trace is not None:
-                    trace.end("prefill")
-                    trace.begin("decode")
+            for _, _, ticket in flight.waiters:
+                if ticket.trace is not None:
+                    ticket.trace.end("prefill")
+                    ticket.trace.begin("decode")
         if self._on_admit is not None:
             self._on_admit(self.name, len(flights))
+
+    def _cancel_expired(self) -> None:
+        """Cancel live decode rows whose waiters have all expired.
+
+        The mid-flight shedding path: expired waiters 504 immediately
+        (stage ``decoding``) and a row left with no waiter at all is
+        cancelled in the session -- its KV slot frees this round via
+        the same compaction retirement uses, instead of decoding to a
+        result nobody will read.
+        """
+        if not self._by_slot:
+            return
+        doomed: list[int] = []
+        for slot, flight in self._by_slot.items():
+            live = []
+            for entry in flight.waiters:
+                _, future, ticket = entry
+                if ticket.expired():
+                    if ticket.trace is not None:
+                        ticket.trace.end("decode", deadline_exceeded=True)
+                    future.set_exception(DeadlineExceeded(
+                        "decoding", ticket.deadline.budget_ms))
+                else:
+                    live.append(entry)
+            flight.waiters = live
+            if not live:
+                doomed.append(slot)
+        if doomed:
+            for slot in doomed:
+                flight = self._by_slot.pop(slot)
+                del self._flights[flight.prompt]
+            self._session.cancel(doomed)
 
     def _retire(self, finished: Sequence[tuple[int, list[int]]]) -> None:
         """Hand every waiter of each just-finished row to the resolver.
@@ -399,7 +513,8 @@ class ContinuousBatcher:
                     future.set_exception(exc)
                 continue
             self._memo_put(flight.prompt, output)
-            for item, future, trace in flight.waiters:
+            for item, future, ticket in flight.waiters:
+                trace = ticket.trace
                 if trace is not None:
                     trace.end("decode", tokens=len(generated),
                               steps=flight.steps)

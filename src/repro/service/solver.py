@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import faults
 from repro.core.encoding import equation_from_output, slotted_prompt
 from repro.engine.runner import BatchRunner
 from repro.llm.interface import TransformerLM
@@ -111,6 +112,10 @@ class MWPSolver:
         per retired KV row (two requests deduplicated onto one decode
         still evaluate against their own quantities here).
         """
+        # fault site: a resolver crash fails only this waiter (the
+        # scheduler's per-request error isolation is exactly what the
+        # chaos harness exercises here)
+        faults.check("solve.resolve")
         prompt, quantities = prepared
         equation = equation_from_output(output)
         try:

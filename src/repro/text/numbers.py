@@ -120,7 +120,7 @@ def find_numbers(text: str) -> list[NumericSpan]:
         try:
             add(match, parse_number(match.group()))
         except NumberParseError:
-            continue
+            continue  # repro: allow[exception-discipline] candidate span is not a number; skip it
     for match in _CHINESE_NUMBER_PATTERN.finditer(text):
         literal = match.group()
         # Skip bare unit-characters like the "千" in "千克".
@@ -130,7 +130,7 @@ def find_numbers(text: str) -> list[NumericSpan]:
         try:
             add(match, parse_number(literal))
         except NumberParseError:
-            continue
+            continue  # repro: allow[exception-discipline] non-numeric chinese literal; skip it
     spans.sort(key=lambda span: span.start)
     return spans
 
@@ -262,7 +262,7 @@ def _resolve_run(run: str, offset: int, spans: list[NumericSpan]) -> None:
                     value = (float(fraction_head.replace(",", ""))
                              / float(fraction_tail))
                 except (ValueError, ZeroDivisionError):
-                    continue  # the single-text path skips bad fractions
+                    continue  # repro: allow[exception-discipline] the single-text path skips bad fractions
             else:
                 value = float(literal.replace(",", "") if "," in literal
                               else literal)
@@ -296,7 +296,7 @@ def _resolve_run(run: str, offset: int, spans: list[NumericSpan]) -> None:
                 value = (float(fraction_head.replace(",", ""))
                          / float(fraction_tail))
             except (ValueError, ZeroDivisionError):
-                continue
+                continue  # repro: allow[exception-discipline] malformed fraction; caller skips the span
         else:
             value = float(literal.replace(",", "") if "," in literal
                           else literal)

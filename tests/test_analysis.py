@@ -456,6 +456,73 @@ def test_print_discipline_suppression(tmp_path):
     assert report.suppressed == 1
 
 
+# -- exception-discipline ----------------------------------------------------
+
+def test_exception_discipline_positive(tmp_path):
+    source = """
+        def load(path):
+            try:
+                return open(path).read()
+            except OSError:
+                pass
+            for item in (1, 2):
+                try:
+                    item()
+                except Exception:
+                    continue
+    """
+    findings = lint(tmp_path, source, "exception-discipline")
+    # anchored on the swallowing statement, not the except line
+    assert [f.line for f in findings] == [6, 11]
+    assert "OSError" in findings[0].message
+    assert "exc_info=True" in findings[0].message
+
+
+def test_exception_discipline_negative(tmp_path):
+    # logging, re-raising, falling back to a value, or any real body
+    # all pass; only silent pass/continue/... swallows are findings
+    source = """
+        from repro.obs import get_logger
+
+        def load(path):
+            try:
+                return open(path).read()
+            except OSError:
+                get_logger("mod").warning("load.failed", exc_info=True)
+            try:
+                return path.upper()
+            except AttributeError:
+                return ""
+            try:
+                return int(path)
+            except ValueError as error:
+                raise RuntimeError(path) from error
+    """
+    assert lint(tmp_path, source, "exception-discipline") == []
+
+
+def test_exception_discipline_suppression(tmp_path):
+    # both forms: trailing on the swallowing line, and a comment-only
+    # line directly above it
+    source = """
+        def cleanup(path):
+            try:
+                path.unlink()
+            except OSError:
+                pass  # repro: allow[exception-discipline] ENOENT is the normal case
+            for conn in ():
+                try:
+                    conn.close()
+                except OSError:
+                    # repro: allow[exception-discipline] peer already gone
+                    continue
+    """
+    report = run_paths([_write(tmp_path, source)],
+                       rules=["exception-discipline"])
+    assert report.findings == []
+    assert report.suppressed == 2
+
+
 # -- framework ---------------------------------------------------------------
 
 def _write(tmp_path, source: str, name: str = "mod.py") -> pathlib.Path:

@@ -1,0 +1,151 @@
+"""Tests for deterministic fault injection (repro.faults).
+
+The contract under test: an unarmed process pays nothing and never
+fires; an armed plan fires deterministically -- same seed, same site,
+same hit counts -> same injections in every process -- and every spec
+knob (``action``, ``after``, ``times``, ``probability``, ``delay_ms``)
+does what ``docs/RESILIENCE.md`` says.  Bad plans fail loud at load
+time, never silently run fault-free.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultError, FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    """Every test starts and ends with no plan armed."""
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def fire_pattern(plan: FaultPlan, site: str, hits: int) -> list[bool]:
+    return [plan.fire(site) is not None for _ in range(hits)]
+
+
+class TestFaultPlan:
+    def test_unarmed_sites_are_noops(self):
+        assert faults.active() is None
+        faults.check("anything.at_all")  # no-op, no error
+        assert faults.triggered("anything.at_all") is False
+
+    def test_raise_action_is_an_oserror(self):
+        faults.arm(FaultPlan(sites={"s": {"action": "raise"}}))
+        with pytest.raises(FaultError) as err:
+            faults.check("s")
+        assert isinstance(err.value, OSError)
+        assert "s" in str(err.value)
+
+    def test_unarmed_site_in_an_armed_plan_never_fires(self):
+        faults.arm(FaultPlan(sites={"s": {"action": "raise"}}))
+        faults.check("other.site")  # still a no-op
+
+    def test_after_skips_then_times_caps(self):
+        plan = faults.arm(FaultPlan(sites={
+            "s": {"action": "raise", "after": 2, "times": 1}}))
+        faults.check("s")  # hit 1: skipped by after
+        faults.check("s")  # hit 2: skipped by after
+        with pytest.raises(FaultError):
+            faults.check("s")  # hit 3: fires
+        faults.check("s")  # hit 4: times budget spent
+        assert plan.snapshot()["s"] == {
+            "action": "raise", "hits": 4, "fired": 1}
+
+    def test_probability_stream_is_seed_deterministic(self):
+        spec = {"sites": {"s": {"action": "raise", "probability": 0.5}}}
+        first = fire_pattern(FaultPlan.from_dict({"seed": 42, **spec}),
+                             "s", 64)
+        second = fire_pattern(FaultPlan.from_dict({"seed": 42, **spec}),
+                              "s", 64)
+        other = fire_pattern(FaultPlan.from_dict({"seed": 43, **spec}),
+                             "s", 64)
+        assert first == second
+        assert 0 < sum(first) < 64  # actually probabilistic
+        assert first != other  # ... and actually seeded
+
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan(sites={"s": {"action": "raise", "probability": 0.0}})
+        assert fire_pattern(plan, "s", 32) == [False] * 32
+
+    def test_delay_action_sleeps(self):
+        faults.arm(FaultPlan(sites={
+            "s": {"action": "delay", "delay_ms": 40.0}}))
+        started = time.perf_counter()
+        faults.check("s")  # returns (no raise), but only after the delay
+        assert time.perf_counter() - started >= 0.03
+
+    def test_triggered_reports_without_acting(self):
+        faults.arm(FaultPlan(sites={"s": {"action": "raise", "times": 1}}))
+        assert faults.triggered("s") is True
+        assert faults.triggered("s") is False  # times budget spent
+
+
+class TestPlanValidation:
+    def test_unknown_top_level_field_fails(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            FaultPlan.from_dict({"seed": 1, "sties": {}})
+
+    def test_unknown_site_field_fails(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            FaultPlan.from_dict({"sites": {"s": {"action": "raise",
+                                                 "prob": 0.5}}})
+
+    def test_bad_action_fails(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultPlan.from_dict({"sites": {"s": {"action": "explode"}}})
+
+    def test_probability_out_of_range_fails(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan.from_dict({"sites": {"s": {"probability": 1.5}}})
+
+    def test_negative_counters_fail(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"sites": {"s": {"after": -1}}})
+
+    def test_non_object_payloads_fail(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict(["not", "a", "plan"])
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict({"sites": "everything"})
+
+
+class TestArming:
+    def test_from_env_inline_json(self):
+        plan = FaultPlan.from_env(
+            '{"seed": 9, "sites": {"s": {"action": "raise"}}}')
+        assert plan.seed == 9
+        assert "s" in plan.snapshot()
+
+    def test_from_env_file_path(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"seed": 3, "sites": {"s": {"action": "delay",
+                                        "delay_ms": 1.0}}}))
+        plan = FaultPlan.from_env(str(path))
+        assert plan.seed == 3
+
+    def test_env_arming_is_automatic(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR,
+                           '{"sites": {"s": {"action": "raise"}}}')
+        faults._arm_from_env()
+        assert faults.active() is not None
+        with pytest.raises(FaultError):
+            faults.check("s")
+
+    def test_env_arming_fails_loud_on_garbage(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, '{"sites": {"s": {"action"')
+        with pytest.raises(json.JSONDecodeError):
+            faults._arm_from_env()
+
+    def test_disarm_restores_the_noop(self):
+        faults.arm(FaultPlan(sites={"s": {"action": "raise"}}))
+        faults.disarm()
+        faults.check("s")  # no-op again

@@ -25,6 +25,8 @@ import urllib.request
 
 import pytest
 
+import repro.experiments.artifacts as artifacts_module
+import repro.experiments.context as context_module
 from repro.service import (
     BatcherClosed,
     DimensionService,
@@ -154,17 +156,24 @@ def _request(port: int, path: str, payload: dict | None = None,
 
 @contextlib.contextmanager
 def fleet_process(workers: int = 2, extra: tuple[str, ...] = (),
-                  boot_timeout: float = 120.0):
+                  boot_timeout: float = 120.0, profile: str = "off",
+                  env_extra: dict[str, str] | None = None):
     """Boot ``python -m repro.service --workers N`` and wait until every
     worker reports alive; always kill the whole process group on exit
-    (fleets are sessions of their own, so nothing leaks past a test)."""
+    (fleets are sessions of their own, so nothing leaks past a test).
+
+    ``env_extra`` merges into the child environment -- the fault tests
+    arm ``REPRO_FAULT_PLAN`` through it so the plan is live from the
+    supervisor's import onward (workers inherit it across the fork)."""
     port = _free_port()
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC_DIR) + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    if env_extra:
+        env.update(env_extra)
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.service", "--port", str(port),
-         "--workers", str(workers), "--profile", "off", *extra],
+         "--workers", str(workers), "--profile", profile, *extra],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, start_new_session=True,
     )
@@ -323,3 +332,57 @@ def test_sigterm_drains_admission_before_any_worker_exits():
         assert 200 not in statuses[first_503:], (
             f"a worker admitted work after the drain began: {statuses}")
         assert proc.wait(timeout=30) == 0
+
+
+def test_fleet_heals_from_corrupt_artifact_read(tmp_path):
+    """Injected checkpoint corruption at warm-load time degrades to a
+    cold retrain, never a crash: the fleet boots healthy (with
+    ``warm_loaded`` False), /solve answers 200, and nothing 500s.
+    """
+    store_root = tmp_path / "artifacts"
+    # Pre-warm the store in-process so the fleet has something to fail
+    # to read; scrub the trained-context cache so this test neither
+    # sees nor leaves cross-test state.
+    original_cache = dict(context_module._CACHE)
+    context_module._CACHE.clear()
+    try:
+        warm = DimensionService(ServiceConfig(
+            port=0, profile="micro", seed=23, artifact_dir=str(store_root)))
+        assert warm.warm_loaded is False
+        warm.close()
+    finally:
+        artifacts_module.reset_default_store()
+        context_module._CACHE.clear()
+        context_module._CACHE.update(original_cache)
+    assert list(store_root.glob("ctx-*"))
+
+    plan = json.dumps({"seed": 7, "sites": {
+        "artifacts.checkpoint_read": {"action": "raise", "times": 1},
+    }})
+    with fleet_process(
+        workers=2, profile="micro",
+        extra=("--seed", "23", "--artifact-dir", str(store_root)),
+        env_extra={"REPRO_FAULT_PLAN": plan},
+    ) as (port, _proc):
+        status, health = _request(port, "/healthz")
+        assert status == 200
+        # the corruption fired exactly once, in the supervisor's
+        # pre-fork warm load (workers inherit the plan's counters
+        # across the fork, so any worker's /healthz shows it)
+        faults = health["faults"]
+        assert faults["seed"] == 7
+        assert faults["sites"]["artifacts.checkpoint_read"]["fired"] == 1
+        # ... and the heal is invisible downstream: the supervisor
+        # cold-retrained past the corrupt read, so every forked worker
+        # holds a usable context
+        assert health["model"]["warm_loaded"] is True
+        status, body = _request(port, "/solve", {
+            "text": "小明有 3 个苹果，又买了 5 个，现在有几个苹果？"})
+        assert status == 200
+        assert "equation" in body
+        status, _ = _request(port, "/ground", GROUND_PAYLOAD)
+        assert status == 200
+        # no request anywhere answered 500
+        status, text = _request(port, "/metrics")
+        assert status == 200
+        assert 'status="500"' not in text

@@ -1,0 +1,542 @@
+#!/usr/bin/env python
+"""Chaos harness: fault-injection scenarios against a real worker fleet.
+
+Each scenario boots ``python -m repro.service --workers N`` as a real
+subprocess (the same launcher operators use), arms a deterministic
+fault plan through ``REPRO_FAULT_PLAN`` (see ``docs/RESILIENCE.md``),
+drives real HTTP traffic at it, and asserts the *contract under
+faults* rather than the absence of faults:
+
+- ``worker-sigkill``     -- SIGKILL a worker mid-traffic: every request
+  still answers (retries ride over the crash window), answers are
+  byte-identical to a fault-free run, the supervisor respawns the
+  worker, and nothing hangs.
+- ``deadline-storm``     -- every decode step is slowed by an injected
+  delay while clients send tight ``X-Repro-Deadline-Ms`` budgets: every
+  request resolves within deadline + grace (504 is a fine answer; a
+  hang is not), sheds carry ``Retry-After`` and a ``stage``, and the
+  ``deadline_exceeded_total`` counter moves.
+- ``corrupt-artifact``   -- the first checkpoint read at boot raises:
+  the fleet must cold-retrain, come up healthy, answer /solve
+  byte-identically to the fault-free run, and serve zero 500s.
+- ``peer-mesh-down``     -- every cross-worker peer connection fails:
+  /metrics and /debug/traces must stay servable (degraded to the
+  serving worker's own view, never an error page).
+
+Run the whole matrix (CI does exactly this)::
+
+    PYTHONPATH=src python tools/chaos.py --out out/chaos
+
+or one scenario while debugging::
+
+    PYTHONPATH=src python tools/chaos.py --scenario deadline-storm
+
+A fault-free reference run always happens first: it warms the artifact
+store (so every chaotic boot is warm + fast) and records the
+byte-exact /solve answers the chaotic runs are held to.  One JSON
+report per scenario plus a summary lands in ``--out``; exit status is
+non-zero if any check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import pathlib
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
+_SUBJECTS = ["商店", "果园", "书店", "农场", "工厂", "学校", "车站", "仓库"]
+_THINGS = ["橙子", "苹果", "书", "箱子", "零件", "椅子", "包裹", "砖块"]
+
+
+def solve_bodies(requests: int) -> list[dict]:
+    """Deterministic unique-structure /solve traffic (no dedupe help)."""
+    return [{"text": (
+        f"{_SUBJECTS[i % 8]}第{i}天有 {20 + i} 个{_THINGS[(i // 8) % 8]}，"
+        f"卖出了 {3 + i % 9} 个，又进货 {1 + i % 7} 个，"
+        f"现在有几个{_THINGS[(i // 8) % 8]}？"
+    )} for i in range(requests)]
+
+
+# -- one request / one fleet -------------------------------------------------
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def request(port: int, path: str, payload: dict | None = None, *,
+            headers: dict | None = None, timeout: float = 30.0):
+    """(status, raw bytes, headers); raises OSError/URLError on
+    transport failure and socket.timeout past ``timeout``."""
+    data = None
+    send = dict(headers or {})
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        send["Content-Type"] = "application/json"
+    req = urllib.request.Request(f"http://127.0.0.1:{port}{path}",
+                                 data=data, headers=send)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, response.read(), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), error.headers
+
+
+def request_json(port: int, path: str, payload: dict | None = None, *,
+                 timeout: float = 30.0):
+    status, raw, _ = request(port, path, payload, timeout=timeout)
+    return status, json.loads(raw)
+
+
+class Fleet(contextlib.AbstractContextManager):
+    """``python -m repro.service --workers N`` with an armed fault plan.
+
+    The plan ships through ``REPRO_FAULT_PLAN`` so it is live from the
+    supervisor's import onward -- boot-time sites (checkpoint reads)
+    fire in the supervisor, and forked workers inherit the armed plan.
+    """
+
+    def __init__(self, *, workers: int, store: pathlib.Path,
+                 plan: dict | None = None, extra: tuple[str, ...] = (),
+                 boot_timeout: float = 300.0):
+        self.workers = workers
+        self.port = _free_port()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        if plan is not None:
+            env["REPRO_FAULT_PLAN"] = json.dumps(plan)
+        else:
+            env.pop("REPRO_FAULT_PLAN", None)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service",
+             "--port", str(self.port), "--workers", str(workers),
+             "--profile", "micro", "--seed", "0",
+             "--artifact-dir", str(store), *extra],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, start_new_session=True,
+        )
+        self.boot_timeout = boot_timeout
+
+    def __enter__(self):
+        deadline = time.monotonic() + self.boot_timeout
+        while True:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"fleet exited during boot:\n{self.proc.stdout.read()}")
+            with contextlib.suppress(OSError, urllib.error.URLError,
+                                     json.JSONDecodeError):
+                status, body = request_json(self.port, "/healthz",
+                                            timeout=2.0)
+                if (status == 200 and
+                        body.get("fleet", {}).get("alive") == self.workers):
+                    return self
+            if time.monotonic() > deadline:
+                raise RuntimeError("fleet never became ready")
+            time.sleep(0.1)
+
+    def __exit__(self, *exc):
+        with contextlib.suppress(ProcessLookupError, PermissionError):
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        with contextlib.suppress(Exception):
+            self.proc.wait(timeout=10)
+        self.proc.stdout.close()
+        return False
+
+    def health(self) -> dict:
+        return request_json(self.port, "/healthz")[1]
+
+
+def metric_value(text: str, name: str, **labels: str) -> float | None:
+    """First sample of ``name`` whose label set includes ``labels``."""
+    pattern = re.compile(
+        rf"^repro_service_{name}(?:{{(?P<labels>[^}}]*)}})? (?P<value>\S+)$")
+    for line in text.splitlines():
+        match = pattern.match(line)
+        if not match:
+            continue
+        have = dict(
+            re.findall(r'(\w+)="([^"]*)"', match.group("labels") or ""))
+        if all(have.get(key) == value for key, value in labels.items()):
+            return float(match.group("value"))
+    return None
+
+
+# -- scenario scaffolding ----------------------------------------------------
+
+
+class Report:
+    """Accumulates named pass/fail checks for one scenario."""
+
+    def __init__(self, scenario: str):
+        self.scenario = scenario
+        self.checks: list[dict] = []
+
+    def check(self, name: str, ok: bool, detail="") -> bool:
+        self.checks.append({"name": name, "ok": bool(ok),
+                            "detail": str(detail)[:500]})
+        # repro: allow[print-discipline] CLI check stream, stdout is the interface
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}"
+              + ("" if ok else f": {str(detail)[:200]}"), flush=True)
+        return bool(ok)
+
+    @property
+    def ok(self) -> bool:
+        return all(check["ok"] for check in self.checks)
+
+    def to_dict(self) -> dict:
+        return {"scenario": self.scenario, "ok": self.ok,
+                "checks": self.checks}
+
+
+def _is_timeout(error: BaseException) -> bool:
+    """urllib raises read timeouts bare and wraps connect timeouts in
+    ``URLError(reason=TimeoutError)``; a hang detector needs both."""
+    return isinstance(error, TimeoutError) or (
+        isinstance(error, urllib.error.URLError)
+        and isinstance(getattr(error, "reason", None), TimeoutError))
+
+
+def wait_until(condition, timeout: float = 60.0,
+               interval: float = 0.2) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with contextlib.suppress(OSError, urllib.error.URLError,
+                                 json.JSONDecodeError, KeyError):
+            if condition():
+                return True
+        time.sleep(interval)
+    return False
+
+
+def resilient_post(port: int, path: str, body: dict, *,
+                   hang_cap: float) -> tuple[str, bytes]:
+    """One request, retried over transient transport failures and
+    503/429 answers, bounded by ``hang_cap`` total wall clock.
+
+    Returns ``("ok", bytes)``, ``("hung", b"")`` if any single attempt
+    blocked past the cap (the hang detector), or
+    ``("failed:<why>", last bytes)`` when the budget runs out.
+    """
+    deadline = time.monotonic() + hang_cap
+    last = b""
+    why = "no attempt"
+    while time.monotonic() < deadline:
+        remaining = deadline - time.monotonic()
+        try:
+            status, raw, _ = request(port, path, body,
+                                     timeout=max(0.1, remaining))
+            if status == 200:
+                return "ok", raw
+            last, why = raw, f"status {status}"
+            if status not in (429, 503):
+                return f"failed:{why}", last
+        except (OSError, urllib.error.URLError) as error:
+            if _is_timeout(error):
+                return "hung", b""
+            # worker died under this request; the respawn will answer
+            why = f"transport {type(error).__name__}"
+        time.sleep(0.1)
+    return f"failed:{why}", last
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def reference_run(workers: int, store: pathlib.Path,
+                  bodies: list[dict], clients: int) -> dict[str, bytes]:
+    """Fault-free pass: warms the store, records byte-exact answers."""
+    # repro: allow[print-discipline] CLI progress line, stdout is the interface
+    print("reference run (fault-free, warms the store) ...", flush=True)
+    with Fleet(workers=workers, store=store) as fleet:
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            responses = list(pool.map(
+                lambda body: request(fleet.port, "/solve", body,
+                                     timeout=120.0)[1], bodies))
+    return {body["text"]: raw for body, raw in zip(bodies, responses)}
+
+
+def scenario_worker_sigkill(workers: int, store: pathlib.Path,
+                            bodies: list[dict], clients: int,
+                            reference: dict[str, bytes],
+                            grace: float) -> Report:
+    report = Report("worker-sigkill")
+    hang_cap = 60.0 + grace
+    done = threading.Semaphore(0)
+    with Fleet(workers=workers, store=store) as fleet:
+        victim = fleet.health()["fleet"]["pids"]["0"]
+
+        def one(body):
+            outcome = resilient_post(fleet.port, "/solve", body,
+                                     hang_cap=hang_cap)
+            done.release()
+            return outcome
+
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            futures = [pool.submit(one, body) for body in bodies]
+            # let traffic get going, then murder worker 0 mid-stream
+            for _ in range(max(2, len(bodies) // 4)):
+                done.acquire()
+            os.kill(victim, signal.SIGKILL)
+            outcomes = [future.result() for future in futures]
+
+        hung = [i for i, (state, _) in enumerate(outcomes)
+                if state == "hung"]
+        failed = [(i, state) for i, (state, _) in enumerate(outcomes)
+                  if state.startswith("failed")]
+        report.check("no request hangs past the cap", not hung, hung)
+        report.check("every request eventually answers 200",
+                     not failed, failed[:5])
+        mismatched = [i for i, (body, (state, raw)) in
+                      enumerate(zip(bodies, outcomes))
+                      if state == "ok" and raw != reference[body["text"]]]
+        report.check("answers are byte-identical to the fault-free run",
+                     not mismatched, mismatched[:5])
+
+        healed = wait_until(
+            lambda: (lambda fl: fl["alive"] == workers
+                     and fl["restarts"].get("0", 0) >= 1
+                     and fl["pids"]["0"] != victim)(
+                fleet.health()["fleet"]), timeout=60.0)
+        report.check("supervisor respawns the killed worker", healed,
+                     "fleet never returned to full strength")
+        status, text, _ = request(fleet.port, "/metrics", timeout=30.0)
+        report.check("/metrics servable after the heal", status == 200,
+                     status)
+        restarts = metric_value(text.decode("utf-8"),
+                                "fleet_worker_restarts_total",
+                                worker_id="0")
+        report.check("restart is visible in fleet metrics",
+                     restarts is not None and restarts >= 1, restarts)
+    return report
+
+
+def scenario_deadline_storm(workers: int, store: pathlib.Path,
+                            bodies: list[dict], clients: int,
+                            grace: float) -> Report:
+    report = Report("deadline-storm")
+    deadline_ms = 250.0
+    plan = {"seed": 11, "sites": {
+        # every decode step pays +30ms: a ~50-token decode now takes
+        # >1.5s, far past the 250ms budgets the clients send
+        "decode.step": {"action": "delay", "delay_ms": 30.0},
+    }}
+    cap = deadline_ms / 1000.0 + grace
+    with Fleet(workers=workers, store=store, plan=plan) as fleet:
+        def one(body):
+            started = time.monotonic()
+            try:
+                status, raw, headers = request(
+                    fleet.port, "/solve", body,
+                    headers={DEADLINE_HEADER: str(deadline_ms)},
+                    timeout=cap)
+            except (OSError, urllib.error.URLError) as error:
+                if _is_timeout(error):
+                    return {"state": "hung", "seconds": cap}
+                return {"state": f"transport:{type(error).__name__}"}
+            return {"state": "answered", "status": status, "raw": raw,
+                    "retry_after": headers.get("Retry-After"),
+                    "seconds": time.monotonic() - started}
+
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            outcomes = list(pool.map(one, bodies))
+
+        hung = [o for o in outcomes if o["state"] != "answered"]
+        report.check("every request resolves within deadline + grace",
+                     not hung, hung[:5])
+        sheds = [o for o in outcomes
+                 if o["state"] == "answered" and o["status"] == 504]
+        odd = [o["status"] for o in outcomes if o["state"] == "answered"
+               and o["status"] not in (200, 504)]
+        report.check("slowed decodes produce 504 sheds", len(sheds) > 0,
+                     [o["status"] for o in outcomes[:8]])
+        report.check("nothing but 200/504 comes back", not odd, odd)
+        stages = {json.loads(o["raw"]).get("stage") for o in sheds}
+        report.check("sheds name their lifecycle stage",
+                     all(stages) and stages <= {"pre-queue", "queued",
+                                                "admitted", "decoding",
+                                                "waiting"}, stages)
+        report.check("sheds carry Retry-After",
+                     all(o["retry_after"] is not None for o in sheds),
+                     [o["retry_after"] for o in sheds[:5]])
+
+        status, text, _ = request(fleet.port, "/metrics", timeout=30.0)
+        shed_total = sum(
+            metric_value(text.decode("utf-8"), "deadline_exceeded_total",
+                         endpoint="/solve", stage=stage,
+                         worker_id="fleet") or 0
+            for stage in ("pre-queue", "queued", "admitted", "decoding",
+                          "waiting"))
+        report.check("deadline_exceeded_total moved",
+                     status == 200 and shed_total >= len(sheds),
+                     (status, shed_total, len(sheds)))
+    return report
+
+
+def scenario_corrupt_artifact(workers: int, store: pathlib.Path,
+                              bodies: list[dict], clients: int,
+                              reference: dict[str, bytes]) -> Report:
+    report = Report("corrupt-artifact")
+    plan = {"seed": 5, "sites": {
+        # the supervisor's one warm-load read fails; the boot must
+        # degrade to a cold retrain, not crash or serve errors
+        "artifacts.checkpoint_read": {"action": "raise", "times": 1},
+    }}
+    with Fleet(workers=workers, store=store, plan=plan) as fleet:
+        health = fleet.health()
+        fired = (health.get("faults") or {}).get("sites", {}).get(
+            "artifacts.checkpoint_read", {}).get("fired", 0)
+        report.check("the injected read fault actually fired",
+                     fired >= 1, health.get("faults"))
+        report.check("fleet is at full strength despite the corrupt read",
+                     health["fleet"]["alive"] == workers, health["fleet"])
+
+        sample = bodies[:max(4, clients)]
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            answers = list(pool.map(
+                lambda body: request(fleet.port, "/solve", body,
+                                     timeout=120.0), sample))
+        report.check("/solve answers after the heal",
+                     all(status == 200 for status, _, _ in answers),
+                     [status for status, _, _ in answers])
+        mismatched = [i for i, (body, (_, raw, _)) in
+                      enumerate(zip(sample, answers))
+                      if raw != reference[body["text"]]]
+        report.check("retrained answers match the fault-free run",
+                     not mismatched, mismatched)
+        status, text, _ = request(fleet.port, "/metrics", timeout=30.0)
+        report.check("no 500s were served",
+                     status == 200 and b'status="500"' not in text,
+                     status)
+    return report
+
+
+def scenario_peer_mesh_down(workers: int, store: pathlib.Path,
+                            clients: int) -> Report:
+    report = Report("peer-mesh-down")
+    plan = {"seed": 3, "sites": {
+        # every cross-worker pull fails: aggregation must degrade to
+        # the serving worker's own registry, never to an error page
+        "fleet.peer": {"action": "raise", "probability": 1.0},
+    }}
+    with Fleet(workers=workers, store=store, plan=plan) as fleet:
+        payload = {"text": "货车以9.9m/s行驶了3 h"}
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            statuses = list(pool.map(
+                lambda _: request(fleet.port, "/ground", payload,
+                                  timeout=30.0)[0], range(16)))
+        report.check("/ground serves while the mesh is down",
+                     all(status == 200 for status in statuses),
+                     statuses)
+        status, text, _ = request(fleet.port, "/metrics", timeout=30.0)
+        own = metric_value(text.decode("utf-8"), "requests_total",
+                           endpoint="/ground", status="200")
+        report.check("/metrics stays servable (degraded, not an error)",
+                     status == 200 and own is not None and own >= 1,
+                     (status, own))
+        status, raw, _ = request(fleet.port, "/debug/traces?n=10",
+                                 timeout=30.0)
+        report.check("/debug/traces stays servable",
+                     status == 200 and "traces" in json.loads(raw),
+                     status)
+        status, health = request_json(fleet.port, "/healthz")
+        report.check("/healthz stays servable", status == 200, status)
+    return report
+
+
+# -- driver ------------------------------------------------------------------
+
+SCENARIOS = ("worker-sigkill", "deadline-storm", "corrupt-artifact",
+             "peer-mesh-down")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="fleet width for every scenario")
+    parser.add_argument("--requests", type=int, default=24,
+                        help="/solve requests in the traffic scenarios")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads")
+    parser.add_argument("--grace", type=float, default=10.0,
+                        help="seconds past a deadline before an "
+                             "unanswered request counts as a hang")
+    parser.add_argument("--artifact-dir", default=str(
+                            REPO_ROOT / "out" / "chaos-store"),
+                        help="artifact store (warmed by the reference "
+                             "run so chaotic boots are fast)")
+    parser.add_argument("--out", default="",
+                        help="directory for per-scenario JSON reports")
+    parser.add_argument("--scenario", action="append",
+                        choices=SCENARIOS, default=None,
+                        help="run only this scenario (repeatable; "
+                             "default: the whole matrix)")
+    args = parser.parse_args(argv)
+    selected = tuple(args.scenario) if args.scenario else SCENARIOS
+
+    store = pathlib.Path(args.artifact_dir)
+    store.mkdir(parents=True, exist_ok=True)
+    bodies = solve_bodies(args.requests)
+    reference = reference_run(args.workers, store, bodies, args.clients)
+
+    reports: list[Report] = []
+    for name in selected:
+        print(f"scenario: {name}", flush=True)
+        if name == "worker-sigkill":
+            reports.append(scenario_worker_sigkill(
+                args.workers, store, bodies, args.clients, reference,
+                args.grace))
+        elif name == "deadline-storm":
+            reports.append(scenario_deadline_storm(
+                args.workers, store, bodies, args.clients, args.grace))
+        elif name == "corrupt-artifact":
+            reports.append(scenario_corrupt_artifact(
+                args.workers, store, bodies, args.clients, reference))
+        elif name == "peer-mesh-down":
+            reports.append(scenario_peer_mesh_down(
+                args.workers, store, args.clients))
+
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        for report in reports:
+            (out / f"{report.scenario}.json").write_text(
+                json.dumps(report.to_dict(), indent=2) + "\n",
+                encoding="utf-8")
+        summary = {"workers": args.workers, "requests": args.requests,
+                   "ok": all(report.ok for report in reports),
+                   "scenarios": {report.scenario: report.ok
+                                 for report in reports}}
+        (out / "summary.json").write_text(
+            json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {len(reports)} report(s) to {out}")
+
+    broken = [report.scenario for report in reports if not report.ok]
+    if broken:
+        print(f"CHAOS FAIL: {', '.join(broken)}", file=sys.stderr)
+        return 1
+    print(f"chaos matrix green: {', '.join(r.scenario for r in reports)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
